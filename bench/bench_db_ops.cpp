@@ -1,0 +1,132 @@
+// bench_db_ops — relational-archive micro-benchmarks (§IV-D substrate):
+// insert throughput (single rows vs batched transactions), indexed vs
+// scanned selects, PK updates and the join shapes the statistics tool
+// issues.
+
+#include <benchmark/benchmark.h>
+
+#include "orm/stampede_tables.hpp"
+
+using namespace stampede;
+using db::Value;
+
+namespace {
+
+void populate_jobstates(db::Database& archive, int jobs) {
+  const auto wf = archive.insert("workflow", {{"wf_uuid", Value{"bench"}}});
+  for (int j = 0; j < jobs; ++j) {
+    const auto job = archive.insert(
+        "job", {{"wf_id", Value{wf}},
+                {"exec_job_id", Value{"job" + std::to_string(j)}},
+                {"type", Value{j % 4 == 0 ? "file" : "processing"}}});
+    const auto ji = archive.insert(
+        "job_instance",
+        {{"job_id", Value{job}}, {"job_submit_seq", Value{1}}});
+    archive.insert("jobstate", {{"job_instance_id", Value{ji}},
+                                {"state", Value{"JOB_SUCCESS"}},
+                                {"timestamp", Value{1000.0 + j}}});
+    archive.insert("invocation",
+                   {{"job_instance_id", Value{ji}},
+                    {"wf_id", Value{wf}},
+                    {"task_submit_seq", Value{1}},
+                    {"exitcode", Value{0}},
+                    {"remote_duration", Value{50.0 + j % 25}},
+                    {"transformation", Value{"t" + std::to_string(j % 8)}}});
+  }
+}
+
+void BM_InsertAutocommit(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    db::Database archive;
+    orm::create_stampede_schema(archive);
+    state.ResumeTiming();
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      archive.insert("jobstate", {{"job_instance_id", Value{i}},
+                                  {"state", Value{"SUBMIT"}},
+                                  {"timestamp", Value{1.0 * i}}});
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InsertAutocommit)->Arg(1000);
+
+void BM_InsertOneTransaction(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    db::Database archive;
+    orm::create_stampede_schema(archive);
+    state.ResumeTiming();
+    archive.begin();
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+      archive.insert("jobstate", {{"job_instance_id", Value{i}},
+                                  {"state", Value{"SUBMIT"}},
+                                  {"timestamp", Value{1.0 * i}}});
+    }
+    archive.commit();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InsertOneTransaction)->Arg(1000);
+
+void BM_SelectIndexedEquality(benchmark::State& state) {
+  db::Database archive;
+  orm::create_stampede_schema(archive);
+  populate_jobstates(archive, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    // exec_job_id is indexed.
+    const auto rs = archive.execute(db::Select{"job"}.where(
+        db::eq("exec_job_id", Value{"job42"})));
+    benchmark::DoNotOptimize(rs.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectIndexedEquality)->Arg(1000)->Arg(10000);
+
+void BM_SelectFullScanLike(benchmark::State& state) {
+  db::Database archive;
+  orm::create_stampede_schema(archive);
+  populate_jobstates(archive, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto rs = archive.execute(db::Select{"job"}.where(
+        db::like("exec_job_id", "job4%")));
+    benchmark::DoNotOptimize(rs.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectFullScanLike)->Arg(1000);
+
+void BM_UpdateByPk(benchmark::State& state) {
+  db::Database archive;
+  orm::create_stampede_schema(archive);
+  populate_jobstates(archive, 1000);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    archive.update_pk("job_instance", 1 + (i++ % 1000),
+                      {{"exitcode", Value{0}}});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UpdateByPk);
+
+void BM_StatisticsJoinGroupBy(benchmark::State& state) {
+  db::Database archive;
+  orm::create_stampede_schema(archive);
+  populate_jobstates(archive, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    // The Table-II query shape: invocations grouped by transformation.
+    const auto rs = archive.execute(
+        db::Select{"invocation"}
+            .join("job_instance", "job_instance_id", "job_instance_id")
+            .group_by({"invocation.transformation"})
+            .count_all("n")
+            .agg(db::AggFn::kAvg, "invocation.remote_duration", "mean"));
+    benchmark::DoNotOptimize(rs.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatisticsJoinGroupBy)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

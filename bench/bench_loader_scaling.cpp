@@ -1,0 +1,148 @@
+// bench_loader_scaling — the paper's loading-performance claims:
+// §IV-E "The loader has been shown to scale well for large workflows …
+// the Cybershake workflows that have O(10^6) tasks", and §VIII's
+// future-work experiment "running workflows of varying sizes through
+// Triana and evaluation of the loading performance".
+//
+// Both engines generate real event streams of growing size; the loader
+// consumes them into a fresh archive. The reported counter is
+// events/second (items_processed). Expectation: near-linear scaling —
+// events/sec roughly flat as workflow size grows by orders of magnitude.
+
+#include <benchmark/benchmark.h>
+
+#include "loader/stampede_loader.hpp"
+#include "netlogger/formatter.hpp"
+#include "netlogger/parser.hpp"
+#include "netlogger/sink.hpp"
+#include "orm/stampede_tables.hpp"
+#include "pegasus/dagman.hpp"
+#include "triana/scheduler.hpp"
+#include "yang/validator.hpp"
+
+using namespace stampede;
+
+namespace {
+
+/// Event stream of a Triana workflow with `tasks` parallel units feeding
+/// one collector (the future-work §VIII experiment: vary size, load).
+std::vector<nl::LogRecord> triana_stream(int tasks) {
+  sim::EventLoop loop{1339840800.0};
+  common::Rng rng{1234};
+  common::UuidGenerator uuids{1234};
+  nl::VectorSink sink;
+  sim::PsNode node{loop, "localhost", 64, 64.0};
+
+  triana::TaskGraph graph{"scaling-" + std::to_string(tasks)};
+  const auto source =
+      graph.add_task("source", triana::FunctionUnit::passthrough("file", 0.5));
+  const auto sink_task =
+      graph.add_task("collect", triana::FunctionUnit::passthrough("file", 0.5));
+  for (int i = 0; i < tasks; ++i) {
+    const auto t = graph.add_task(
+        "work" + std::to_string(i),
+        triana::FunctionUnit::passthrough("processing", 2.0));
+    graph.connect(source, t);
+    graph.connect(t, sink_task);
+  }
+  triana::StampedeLog log{sink, {uuids.next(), {}, {}, graph.name()}};
+  triana::Scheduler scheduler{loop, rng, node, graph};
+  scheduler.add_listener(log);
+  scheduler.start(nullptr);
+  loop.run();
+  return sink.records();
+}
+
+/// Event stream of a planned + executed Pegasus montage-like workflow.
+std::vector<nl::LogRecord> pegasus_stream(int width) {
+  sim::EventLoop loop{1339840800.0};
+  common::Rng rng{99};
+  common::UuidGenerator uuids{99};
+  nl::VectorSink sink;
+  sim::PsNode pool{loop, "condor", 32, 32.0};
+
+  const auto aw = pegasus::make_montage_like(width, 2.0);
+  pegasus::PlannerOptions popts;
+  popts.cluster_factor = 4;
+  const auto ew = pegasus::plan(aw, popts);
+  pegasus::DagmanOptions dopts;
+  dopts.xwf_id = uuids.next();
+  pegasus::Dagman dagman{loop, rng, pool, sink, dopts};
+  dagman.run(aw, ew, nullptr);
+  loop.run();
+  return sink.records();
+}
+
+void load_stream_into_fresh_archive(benchmark::State& state,
+                                    const std::vector<nl::LogRecord>& events,
+                                    bool validate) {
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    db::Database archive;
+    orm::create_stampede_schema(archive);
+    loader::LoaderOptions options;
+    options.validate = validate;
+    loader::StampedeLoader loader{archive, options};
+    state.ResumeTiming();
+
+    for (const auto& record : events) loader.process(record);
+    loader.finish();
+    total += events.size();
+    benchmark::DoNotOptimize(archive.row_count("jobstate"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+  state.counters["events"] = static_cast<double>(events.size());
+}
+
+void BM_LoaderTrianaWorkflowSize(benchmark::State& state) {
+  const auto events = triana_stream(static_cast<int>(state.range(0)));
+  load_stream_into_fresh_archive(state, events, /*validate=*/true);
+}
+BENCHMARK(BM_LoaderTrianaWorkflowSize)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LoaderPegasusWorkflowSize(benchmark::State& state) {
+  const auto events = pegasus_stream(static_cast<int>(state.range(0)));
+  load_stream_into_fresh_archive(state, events, /*validate=*/true);
+}
+BENCHMARK(BM_LoaderPegasusWorkflowSize)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LoaderValidationOverhead(benchmark::State& state) {
+  const auto events = triana_stream(256);
+  load_stream_into_fresh_archive(state, events,
+                                 /*validate=*/state.range(0) != 0);
+}
+BENCHMARK(BM_LoaderValidationOverhead)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BpParseLine(benchmark::State& state) {
+  const auto events = triana_stream(64);
+  std::vector<std::string> lines;
+  lines.reserve(events.size());
+  for (const auto& e : events) lines.push_back(nl::format_record(e));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto result = nl::parse_line(lines[i++ % lines.size()]);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BpParseLine);
+
+void BM_YangValidate(benchmark::State& state) {
+  const auto events = triana_stream(64);
+  const auto& registry = yang::stampede_schema();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto report = registry.validate(events[i++ % events.size()]);
+    benchmark::DoNotOptimize(report.issues.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_YangValidate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

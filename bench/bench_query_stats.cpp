@@ -1,0 +1,91 @@
+// bench_query_stats — latency of the stampede-statistics and
+// stampede_analyzer queries over the paper-scale DART archive (§VII
+// claims "real-time queries of both detailed and summarized status";
+// this quantifies what "real time" costs against the archive).
+
+#include <benchmark/benchmark.h>
+
+#include "dart/experiment.hpp"
+#include "query/analyzer.hpp"
+#include "query/statistics.hpp"
+
+using namespace stampede;
+
+namespace {
+
+/// One shared paper-scale archive for every benchmark in this binary.
+db::Database& paper_archive(std::int64_t* root_out) {
+  static db::Database archive;
+  static dart::DartRunResult result = [] {
+    const dart::DartConfig config;
+    return dart::run_dart_experiment(config, archive, {});
+  }();
+  if (root_out != nullptr) *root_out = result.root_wf_id;
+  return archive;
+}
+
+void BM_Summary(benchmark::State& state) {
+  std::int64_t root = 0;
+  const auto& archive = paper_archive(&root);
+  const query::QueryInterface q{archive};
+  const query::StampedeStatistics stats{q};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats.summary(root).tasks.total());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Summary)->Unit(benchmark::kMillisecond);
+
+void BM_BreakdownOneBundle(benchmark::State& state) {
+  std::int64_t root = 0;
+  const auto& archive = paper_archive(&root);
+  const query::QueryInterface q{archive};
+  const query::StampedeStatistics stats{q};
+  const auto children = q.children_of(root);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats.breakdown(children.front().wf_id).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BreakdownOneBundle)->Unit(benchmark::kMillisecond);
+
+void BM_JobsTable(benchmark::State& state) {
+  std::int64_t root = 0;
+  const auto& archive = paper_archive(&root);
+  const query::QueryInterface q{archive};
+  const query::StampedeStatistics stats{q};
+  const auto children = q.children_of(root);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats.jobs(children.front().wf_id).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JobsTable)->Unit(benchmark::kMillisecond);
+
+void BM_ProgressAllBundles(benchmark::State& state) {
+  std::int64_t root = 0;
+  const auto& archive = paper_archive(&root);
+  const query::QueryInterface q{archive};
+  const query::StampedeStatistics stats{q};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats.progress(root).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProgressAllBundles)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzerDrillDown(benchmark::State& state) {
+  std::int64_t root = 0;
+  const auto& archive = paper_archive(&root);
+  const query::QueryInterface q{archive};
+  const query::StampedeAnalyzer analyzer{q};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.drill_down(root).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyzerDrillDown)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

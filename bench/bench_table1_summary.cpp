@@ -1,0 +1,59 @@
+// bench_table1_summary — regenerates paper Table I:
+// "Summary output from stampede-statistics for DART workflow".
+//
+// Paper values: Tasks 367/367, Jobs 367/367, Sub WF 20/20, 0 failures,
+// 0 retries; workflow wall time 661 s; cumulative job wall time 40224 s.
+//
+// Shape expectations: counts match exactly (the workload structure is
+// deterministic); wall time lands near 661 s by construction of the
+// processor-sharing node model; cumulative time is lower than the
+// paper's because our accounting cannot reproduce the paper's
+// internally inconsistent cumulative/wall ratio of 61 with 32 task
+// slots (see DESIGN.md calibration notes) — but it stays in the same
+// order of magnitude and the headline relationship (cumulative >> wall,
+// demonstrating high parallelism) holds.
+
+#include "dart_run.hpp"
+
+using namespace stampede;
+
+int main() {
+  std::puts("== Table I: stampede-statistics summary for the DART workflow ==\n");
+  bench::PaperRun run;
+
+  const query::QueryInterface q{run.archive};
+  const query::StampedeStatistics stats{q};
+  const auto s = stats.summary(run.result.root_wf_id);
+
+  std::puts("measured output:\n");
+  std::fputs(query::StampedeStatistics::render_summary(s).c_str(), stdout);
+
+  std::puts("\npaper vs measured:");
+  bench::compare_row("Tasks total", 367, static_cast<double>(s.tasks.total()));
+  bench::compare_row("Tasks succeeded", 367,
+                     static_cast<double>(s.tasks.succeeded));
+  bench::compare_row("Jobs total", 367, static_cast<double>(s.jobs.total()));
+  bench::compare_row("Jobs succeeded", 367,
+                     static_cast<double>(s.jobs.succeeded));
+  bench::compare_row("Sub-workflows", 20,
+                     static_cast<double>(s.sub_workflows.total()));
+  bench::compare_row("Retries", 0, static_cast<double>(s.jobs.retries));
+  bench::compare_row("Workflow wall time (s)", 661, s.workflow_wall_time);
+  bench::compare_row("Cumulative job wall time (s)", 40224,
+                     s.cumulative_job_wall_time);
+  std::printf("  %-38s paper %10.1f | measured %10.1f\n",
+              "cumulative/wall parallelism ratio", 40224.0 / 661.0,
+              s.cumulative_job_wall_time /
+                  (s.workflow_wall_time > 0 ? s.workflow_wall_time : 1.0));
+
+  std::printf("\npipeline: %llu events published and loaded in %.2f s "
+              "real time (%.0f ev/s, %llu invalid, %llu dropped)\n",
+              static_cast<unsigned long long>(run.result.broker_stats.published),
+              run.result.real_seconds,
+              run.result.pump_stats.events_per_second(),
+              static_cast<unsigned long long>(
+                  run.result.loader_stats.events_invalid),
+              static_cast<unsigned long long>(
+                  run.result.loader_stats.events_dropped));
+  return 0;
+}

@@ -1,0 +1,43 @@
+#pragma once
+// Shared helper for the table/figure benches: runs the paper-scale DART
+// experiment once (306 executions, 20 bundles, 8 nodes × 4 slots) and
+// exposes the archive + result. Each bench binary performs its own run so
+// it is independently executable; the run is deterministic, so every
+// bench sees the identical archive.
+
+#include <cstdio>
+
+#include "dart/experiment.hpp"
+#include "query/analyzer.hpp"
+#include "query/statistics.hpp"
+
+namespace stampede::bench {
+
+struct PaperRun {
+  db::Database archive;
+  dart::DartRunResult result;
+
+  PaperRun() {
+    const dart::DartConfig config;  // Paper defaults.
+    const dart::DartExperimentOptions options;
+    result = dart::run_dart_experiment(config, archive, options);
+    if (result.status != 0) {
+      std::fprintf(stderr, "WARNING: DART run finished with status %d\n",
+                   result.status);
+    }
+  }
+};
+
+/// Prints "paper vs measured" with a percent delta (— when paper has no
+/// number for the cell).
+inline void compare_row(const char* metric, double paper, double measured) {
+  if (paper != 0.0) {
+    std::printf("  %-38s paper %10.1f | measured %10.1f | delta %+6.1f%%\n",
+                metric, paper, measured, 100.0 * (measured - paper) / paper);
+  } else {
+    std::printf("  %-38s paper %10.1f | measured %10.1f\n", metric, paper,
+                measured);
+  }
+}
+
+}  // namespace stampede::bench

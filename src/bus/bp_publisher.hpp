@@ -1,0 +1,51 @@
+#pragma once
+// Bridges NetLogger records onto the message bus.
+//
+// This is the transport half of the "Rabbit Appender" from paper §V-C:
+// each LogRecord is formatted as a BP line and published to an exchange
+// with the event name as the routing key, so consumers can topic-filter
+// ("stampede.job.#"). Engines own one of these per run.
+
+#include <string>
+
+#include "bus/broker.hpp"
+#include "netlogger/formatter.hpp"
+#include "netlogger/record.hpp"
+
+namespace stampede::bus {
+
+class BpPublisher {
+ public:
+  /// Publishes to `exchange` on `broker` (a topic exchange is declared if
+  /// absent). `persistent` marks messages for durable-queue spooling.
+  BpPublisher(Broker& broker, std::string exchange, bool persistent = false)
+      : broker_(&broker),
+        exchange_(std::move(exchange)),
+        persistent_(persistent) {
+    broker_->declare_exchange(exchange_, ExchangeType::kTopic);
+  }
+
+  /// Formats and publishes one record; returns queues reached.
+  std::size_t publish(const nl::LogRecord& record) {
+    Message message;
+    message.routing_key = record.event();
+    message.body = nl::format_record(record);
+    message.published_at = record.ts();
+    message.persistent = persistent_;
+    ++published_;
+    return broker_->publish(exchange_, std::move(message));
+  }
+
+  [[nodiscard]] std::uint64_t published() const noexcept { return published_; }
+  [[nodiscard]] const std::string& exchange() const noexcept {
+    return exchange_;
+  }
+
+ private:
+  Broker* broker_;
+  std::string exchange_;
+  bool persistent_;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace stampede::bus

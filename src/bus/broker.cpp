@@ -1,0 +1,314 @@
+#include "bus/broker.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "common/errors.hpp"
+#include "netlogger/parser.hpp"
+
+namespace stampede::bus {
+
+using common::BusError;
+
+// ---------------------------------------------------------------------------
+// Subscription
+
+struct Subscription::Impl {
+  std::jthread worker;
+};
+
+Subscription::Subscription() = default;
+Subscription::Subscription(Subscription&&) noexcept = default;
+
+Subscription& Subscription::operator=(Subscription&& other) noexcept {
+  if (this != &other) {
+    cancel();
+    impl_ = std::move(other.impl_);
+  }
+  return *this;
+}
+
+Subscription::~Subscription() { cancel(); }
+
+void Subscription::cancel() {
+  if (impl_ && impl_->worker.joinable()) {
+    impl_->worker.request_stop();
+    impl_->worker.join();
+  }
+  impl_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Broker
+
+Broker::Broker(std::string spool_dir) : spool_dir_(std::move(spool_dir)) {
+  // The AMQP default exchange: direct, routes by queue name.
+  exchanges_.emplace("", Exchange{ExchangeType::kDirect, {}});
+  if (!spool_dir_.empty()) {
+    std::filesystem::create_directories(spool_dir_);
+  }
+}
+
+Broker::~Broker() { close(); }
+
+void Broker::close() {
+  closed_.store(true);
+  message_ready_.notify_all();
+}
+
+void Broker::declare_exchange(const std::string& name, ExchangeType type) {
+  const std::scoped_lock lock{mutex_};
+  const auto it = exchanges_.find(name);
+  if (it != exchanges_.end()) {
+    if (it->second.type != type) {
+      throw BusError("exchange '" + name + "' redeclared with another type");
+    }
+    return;
+  }
+  exchanges_.emplace(name, Exchange{type, {}});
+}
+
+void Broker::declare_queue(const std::string& name, QueueOptions options) {
+  std::shared_ptr<QueueEntry> entry;
+  {
+    const std::scoped_lock lock{mutex_};
+    const auto it = queues_.find(name);
+    if (it != queues_.end()) {
+      const QueueOptions& existing = it->second->queue.options();
+      if (existing.durable != options.durable ||
+          existing.auto_delete != options.auto_delete ||
+          existing.max_length != options.max_length) {
+        throw BusError("queue '" + name + "' redeclared with other options");
+      }
+      return;
+    }
+    entry = std::make_shared<QueueEntry>(name, options);
+    if (options.durable && !spool_dir_.empty()) {
+      entry->spool_path = spool_dir_ + "/" + name + ".spool";
+    }
+    queues_.emplace(name, entry);
+    // Default-exchange binding under the queue's own name.
+    exchanges_[""].bindings.push_back({name, TopicPattern{name}});
+  }
+  if (!entry->spool_path.empty()) {
+    spool_recover(*entry);
+  }
+}
+
+void Broker::delete_queue(const std::string& name) {
+  const std::scoped_lock lock{mutex_};
+  queues_.erase(name);
+  for (auto& [ename, exchange] : exchanges_) {
+    auto& b = exchange.bindings;
+    std::erase_if(b, [&](const auto& binding) { return binding.queue == name; });
+  }
+}
+
+void Broker::bind(const std::string& queue, const std::string& exchange,
+                  const std::string& binding_key) {
+  const std::scoped_lock lock{mutex_};
+  if (queues_.find(queue) == queues_.end()) {
+    throw BusError("bind: unknown queue '" + queue + "'");
+  }
+  const auto it = exchanges_.find(exchange);
+  if (it == exchanges_.end()) {
+    throw BusError("bind: unknown exchange '" + exchange + "'");
+  }
+  it->second.bindings.push_back({queue, TopicPattern{binding_key}});
+}
+
+bool Broker::has_queue(const std::string& name) const {
+  const std::scoped_lock lock{mutex_};
+  return queues_.find(name) != queues_.end();
+}
+
+std::vector<std::string> Broker::queue_names() const {
+  const std::scoped_lock lock{mutex_};
+  std::vector<std::string> names;
+  names.reserve(queues_.size());
+  for (const auto& [name, entry] : queues_) names.push_back(name);
+  return names;
+}
+
+std::size_t Broker::publish(const std::string& exchange, Message message) {
+  if (closed_.load()) return 0;
+  std::vector<std::shared_ptr<QueueEntry>> targets;
+  {
+    const std::scoped_lock lock{mutex_};
+    const auto it = exchanges_.find(exchange);
+    if (it == exchanges_.end()) {
+      throw BusError("publish: unknown exchange '" + exchange + "'");
+    }
+    ++stats_.published;
+    for (const auto& binding : it->second.bindings) {
+      const bool hit = it->second.type == ExchangeType::kFanout ||
+                       (it->second.type == ExchangeType::kDirect
+                            ? binding.pattern.pattern() == message.routing_key
+                            : binding.pattern.matches(message.routing_key));
+      if (!hit) continue;
+      const auto qit = queues_.find(binding.queue);
+      if (qit != queues_.end()) targets.push_back(qit->second);
+    }
+    if (targets.empty()) {
+      ++stats_.unroutable;
+    } else {
+      stats_.routed += targets.size();
+    }
+  }
+  // Enqueue outside the broker lock: BrokerQueue has its own mutex and
+  // spooling does file I/O (CP.43 — keep critical sections small).
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    auto& entry = *targets[i];
+    const bool last = i + 1 == targets.size();
+    if (message.persistent && !entry.spool_path.empty()) {
+      spool_append(entry, message);
+    }
+    entry.queue.enqueue(last ? std::move(message) : message);
+  }
+  if (!targets.empty()) {
+    message_ready_.notify_all();
+  }
+  return targets.size();
+}
+
+std::shared_ptr<Broker::QueueEntry> Broker::find_queue(
+    const std::string& name) const {
+  const std::scoped_lock lock{mutex_};
+  const auto it = queues_.find(name);
+  return it == queues_.end() ? nullptr : it->second;
+}
+
+std::optional<Delivery> Broker::basic_get(const std::string& queue,
+                                          const std::string& consumer_tag,
+                                          int timeout_ms) {
+  const auto entry = find_queue(queue);
+  if (!entry) return std::nullopt;
+  if (auto delivery = entry->queue.deliver(consumer_tag, "")) return delivery;
+  if (timeout_ms <= 0) return std::nullopt;
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::unique_lock lock{mutex_};
+  while (!closed_.load()) {
+    if (message_ready_.wait_until(lock, deadline) ==
+        std::cv_status::timeout) {
+      break;
+    }
+    lock.unlock();
+    if (auto delivery = entry->queue.deliver(consumer_tag, "")) {
+      return delivery;
+    }
+    lock.lock();
+    if (std::chrono::steady_clock::now() >= deadline) break;
+  }
+  lock.unlock();
+  return entry->queue.deliver(consumer_tag, "");
+}
+
+bool Broker::ack(const std::string& queue, std::uint64_t delivery_tag) {
+  const auto entry = find_queue(queue);
+  return entry && entry->queue.ack(delivery_tag);
+}
+
+bool Broker::nack(const std::string& queue, std::uint64_t delivery_tag,
+                  bool requeue) {
+  const auto entry = find_queue(queue);
+  if (!entry) return false;
+  const bool ok = entry->queue.nack(delivery_tag, requeue);
+  if (ok && requeue) message_ready_.notify_all();
+  return ok;
+}
+
+Subscription Broker::subscribe(const std::string& queue,
+                               Subscription::Handler handler,
+                               const std::string& consumer_tag) {
+  const std::string tag =
+      consumer_tag.empty()
+          ? "ctag-" + std::to_string(consumer_seq_.fetch_add(1) + 1)
+          : consumer_tag;
+  Subscription subscription;
+  subscription.impl_ = std::make_unique<Subscription::Impl>();
+  subscription.impl_->worker = std::jthread(
+      [this, queue, tag, handler = std::move(handler)](std::stop_token stop) {
+        while (!stop.stop_requested()) {
+          auto delivery = basic_get(queue, tag, /*timeout_ms=*/50);
+          if (!delivery) continue;
+          bool ok = false;
+          try {
+            ok = handler(*delivery);
+          } catch (...) {
+            ok = false;  // A throwing handler must not kill the pump.
+          }
+          if (ok) {
+            ack(queue, delivery->delivery_tag);
+          } else {
+            nack(queue, delivery->delivery_tag, /*requeue=*/true);
+          }
+        }
+        const auto entry = find_queue(queue);
+        if (entry) entry->queue.requeue_consumer(tag);
+      });
+  return subscription;
+}
+
+QueueStats Broker::queue_stats(const std::string& queue) const {
+  const auto entry = find_queue(queue);
+  if (!entry) throw BusError("queue_stats: unknown queue '" + queue + "'");
+  return entry->queue.stats();
+}
+
+BrokerStats Broker::stats() const {
+  const std::scoped_lock lock{mutex_};
+  return stats_;
+}
+
+void Broker::spool_append(QueueEntry& entry, const Message& message) {
+  // One line per message: routing_key then the body, BP-escaped so the
+  // line is unambiguous to split on recovery.
+  std::ofstream out{entry.spool_path, std::ios::app};
+  if (!out) return;  // Spool loss degrades durability, not availability.
+  out << nl::escape_value(message.routing_key) << ' '
+      << nl::escape_value(message.body) << '\n';
+}
+
+void Broker::spool_recover(QueueEntry& entry) {
+  std::ifstream in{entry.spool_path};
+  if (!in) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Reuse the BP tokenizer by parsing "k=v"-shaped synthetic pairs is
+    // overkill; the two fields are escape_value-encoded, so split on the
+    // first unquoted space.
+    std::string_view rest{line};
+    auto take_field = [&rest]() -> std::string {
+      std::string out;
+      if (rest.empty()) return out;
+      if (rest.front() == '"') {
+        rest.remove_prefix(1);
+        while (!rest.empty() && rest.front() != '"') {
+          if (rest.front() == '\\' && rest.size() > 1) rest.remove_prefix(1);
+          out.push_back(rest.front());
+          rest.remove_prefix(1);
+        }
+        if (!rest.empty()) rest.remove_prefix(1);  // closing quote
+      } else {
+        while (!rest.empty() && rest.front() != ' ') {
+          out.push_back(rest.front());
+          rest.remove_prefix(1);
+        }
+      }
+      if (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+      return out;
+    };
+    Message message;
+    message.routing_key = take_field();
+    message.body = take_field();
+    message.persistent = true;
+    if (!message.routing_key.empty()) {
+      entry.queue.enqueue(std::move(message));
+    }
+  }
+}
+
+}  // namespace stampede::bus

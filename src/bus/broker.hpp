@@ -1,0 +1,161 @@
+#pragma once
+// In-process AMQP-style broker (the RabbitMQ substitute, DESIGN.md §2).
+//
+// Provides the AMQP 0-9-1 surface Stampede uses: exchange declaration
+// (direct / fanout / topic), queue declaration (durable, auto-delete,
+// bounded), bindings with wildcard keys, non-blocking publish, blocking
+// consume with acknowledgments, and RAII push-mode subscriptions running
+// on their own threads.
+//
+// Durable queues spool persistent messages to an append-only file so a
+// new broker instance can recover them — the `durable=true
+// auto_delete=false` flags from the paper's nl_load invocation.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bus/message.hpp"
+#include "bus/queue.hpp"
+#include "bus/topic_matcher.hpp"
+
+namespace stampede::bus {
+
+enum class ExchangeType { kDirect, kFanout, kTopic };
+
+struct BrokerStats {
+  std::uint64_t published = 0;
+  std::uint64_t routed = 0;    ///< Queue placements (one publish may fan out).
+  std::uint64_t unroutable = 0;
+};
+
+class Broker;
+
+/// RAII push-mode consumer. Runs the callback on an internal thread for
+/// every delivery; when the callback returns true the message is acked,
+/// otherwise nacked-and-requeued. Destroying the subscription stops the
+/// thread and requeues anything unacked.
+class Subscription {
+ public:
+  using Handler = std::function<bool(const Delivery&)>;
+
+  Subscription();
+  Subscription(Subscription&&) noexcept;
+  Subscription& operator=(Subscription&&) noexcept;
+  ~Subscription();
+
+  /// Stops consuming (idempotent); joins the delivery thread.
+  void cancel();
+
+  [[nodiscard]] bool active() const noexcept { return impl_ != nullptr; }
+
+ private:
+  friend class Broker;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+class Broker {
+ public:
+  /// `spool_dir`: where durable queues keep their spool files; empty
+  /// disables persistence entirely.
+  explicit Broker(std::string spool_dir = {});
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  // -- topology -------------------------------------------------------------
+
+  /// Declares (or re-declares, idempotently) an exchange. Redeclaring
+  /// with a different type throws common::BusError.
+  void declare_exchange(const std::string& name, ExchangeType type);
+
+  /// Declares a queue; also binds it to the default ("") direct exchange
+  /// under its own name, per AMQP. Recovers spooled messages for durable
+  /// queues. Redeclaring with different options throws common::BusError.
+  void declare_queue(const std::string& name, QueueOptions options = {});
+
+  /// Removes a queue and its bindings. Unknown names are ignored.
+  void delete_queue(const std::string& name);
+
+  /// Binds `queue` to `exchange` with a (possibly wildcarded) key.
+  /// Throws common::BusError if either does not exist.
+  void bind(const std::string& queue, const std::string& exchange,
+            const std::string& binding_key);
+
+  [[nodiscard]] bool has_queue(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> queue_names() const;
+
+  // -- publish --------------------------------------------------------------
+
+  /// Routes a message through `exchange`. Returns the number of queues
+  /// that accepted it (0 = unroutable). Never blocks the caller.
+  std::size_t publish(const std::string& exchange, Message message);
+
+  // -- consume --------------------------------------------------------------
+
+  /// Pull-mode get. Blocks up to `timeout_ms` (0 = poll) for a ready
+  /// message. nullopt on timeout or unknown queue after shutdown.
+  [[nodiscard]] std::optional<Delivery> basic_get(
+      const std::string& queue, const std::string& consumer_tag,
+      int timeout_ms = 0);
+
+  bool ack(const std::string& queue, std::uint64_t delivery_tag);
+  bool nack(const std::string& queue, std::uint64_t delivery_tag,
+            bool requeue);
+
+  /// Push-mode consume on a dedicated thread.
+  [[nodiscard]] Subscription subscribe(const std::string& queue,
+                                       Subscription::Handler handler,
+                                       const std::string& consumer_tag = "");
+
+  // -- introspection ----------------------------------------------------------
+
+  [[nodiscard]] QueueStats queue_stats(const std::string& queue) const;
+  [[nodiscard]] BrokerStats stats() const;
+
+  /// Wakes all blocked consumers and rejects further publishes; used for
+  /// orderly shutdown before destruction.
+  void close();
+
+ private:
+  struct Exchange {
+    ExchangeType type = ExchangeType::kDirect;
+    struct Binding {
+      std::string queue;
+      TopicPattern pattern;
+    };
+    std::vector<Binding> bindings;
+  };
+
+  struct QueueEntry {
+    explicit QueueEntry(std::string name, QueueOptions options)
+        : queue(std::move(name), options) {}
+    BrokerQueue queue;
+    std::string spool_path;  ///< Empty when not durable / no spool dir.
+  };
+
+  std::shared_ptr<QueueEntry> find_queue(const std::string& name) const;
+  void spool_append(QueueEntry& entry, const Message& message);
+  void spool_recover(QueueEntry& entry);
+
+  mutable std::mutex mutex_;
+  std::condition_variable message_ready_;
+  std::map<std::string, Exchange> exchanges_;
+  std::map<std::string, std::shared_ptr<QueueEntry>> queues_;
+  std::string spool_dir_;
+  BrokerStats stats_;
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> consumer_seq_{0};
+};
+
+}  // namespace stampede::bus

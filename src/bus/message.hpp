@@ -1,0 +1,34 @@
+#pragma once
+// Message types for the AMQP-style bus (paper §IV-C).
+//
+// In Stampede the message body is one NetLogger BP line and the routing
+// key is the hierarchical `event` field, so consumers can subscribe to
+// "stampede.job.#" or just "stampede.job_inst.main.*".
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/time_utils.hpp"
+
+namespace stampede::bus {
+
+struct Message {
+  std::string routing_key;
+  std::string body;
+  std::map<std::string, std::string> headers;
+  common::Timestamp published_at = 0.0;
+  bool persistent = false;  ///< Spooled to disk when queued on a durable queue.
+};
+
+/// A message handed to a consumer; carries the tag used to acknowledge.
+struct Delivery {
+  std::uint64_t delivery_tag = 0;
+  std::string consumer_tag;
+  std::string exchange;
+  bool redelivered = false;
+  Message message;
+};
+
+}  // namespace stampede::bus

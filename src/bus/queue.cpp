@@ -1,0 +1,84 @@
+#include "bus/queue.hpp"
+
+#include <vector>
+
+namespace stampede::bus {
+
+bool BrokerQueue::enqueue(Message message) {
+  const std::scoped_lock lock{mutex_};
+  if (options_.max_length != 0 && ready_.size() >= options_.max_length) {
+    // Drop-head: discard the oldest ready message to admit the new one.
+    ready_.pop_front();
+    ++stats_.dropped_overflow;
+  }
+  ready_.push_back(std::move(message));
+  ++stats_.enqueued;
+  return true;
+}
+
+std::optional<Delivery> BrokerQueue::deliver(const std::string& consumer_tag,
+                                             const std::string& exchange) {
+  const std::scoped_lock lock{mutex_};
+  if (ready_.empty()) return std::nullopt;
+  Delivery delivery;
+  delivery.delivery_tag = next_tag_++;
+  delivery.consumer_tag = consumer_tag;
+  delivery.exchange = exchange;
+  delivery.message = std::move(ready_.front());
+  ready_.pop_front();
+  unacked_.emplace(delivery.delivery_tag,
+                   Unacked{consumer_tag, delivery.message});
+  ++stats_.delivered;
+  return delivery;
+}
+
+bool BrokerQueue::ack(std::uint64_t delivery_tag) {
+  const std::scoped_lock lock{mutex_};
+  const auto it = unacked_.find(delivery_tag);
+  if (it == unacked_.end()) return false;
+  unacked_.erase(it);
+  ++stats_.acked;
+  return true;
+}
+
+bool BrokerQueue::nack(std::uint64_t delivery_tag, bool requeue) {
+  const std::scoped_lock lock{mutex_};
+  const auto it = unacked_.find(delivery_tag);
+  if (it == unacked_.end()) return false;
+  if (requeue) {
+    ready_.push_front(std::move(it->second.message));
+    ++stats_.requeued;
+  }
+  unacked_.erase(it);
+  return true;
+}
+
+void BrokerQueue::requeue_consumer(const std::string& consumer_tag) {
+  const std::scoped_lock lock{mutex_};
+  // Requeued messages keep arrival order as closely as possible: walk in
+  // ascending tag order, push_front in reverse.
+  std::vector<std::uint64_t> tags;
+  for (const auto& [tag, entry] : unacked_) {
+    if (entry.consumer_tag == consumer_tag) tags.push_back(tag);
+  }
+  for (auto it = tags.rbegin(); it != tags.rend(); ++it) {
+    auto node = unacked_.extract(*it);
+    ready_.push_front(std::move(node.mapped().message));
+    ++stats_.requeued;
+  }
+}
+
+QueueStats BrokerQueue::stats() const {
+  const std::scoped_lock lock{mutex_};
+  QueueStats s = stats_;
+  s.depth = ready_.size();
+  s.unacked = unacked_.size();
+  return s;
+}
+
+std::size_t BrokerQueue::depth() const {
+  const std::scoped_lock lock{mutex_};
+  return ready_.size();
+}
+
+}  // namespace stampede::bus

@@ -1,0 +1,90 @@
+#pragma once
+// Broker-side queue with acknowledgment tracking.
+//
+// Semantics follow AMQP 0-9-1 basic.{get,consume,ack,nack}: a delivered
+// message stays "unacked" until the consumer acks it; nack(requeue=true)
+// or consumer cancellation puts it back at the head with the redelivered
+// flag set. Producers never block (paper §IV-C: the bus "avoids blocking
+// the producers"): when a bounded queue is full the oldest ready message
+// is dropped and counted, mirroring RabbitMQ's drop-head overflow policy.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "bus/message.hpp"
+
+namespace stampede::bus {
+
+struct QueueOptions {
+  bool durable = false;      ///< Persistent messages spool to disk.
+  bool auto_delete = false;  ///< Deleted when the last consumer departs.
+  std::size_t max_length = 0;  ///< 0 = unbounded.
+};
+
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t requeued = 0;
+  std::uint64_t dropped_overflow = 0;
+  std::size_t depth = 0;     ///< Ready messages.
+  std::size_t unacked = 0;   ///< Delivered but not yet acked.
+};
+
+/// Thread-safe broker queue. Consumer blocking/wakeup is handled one
+/// level up (Broker) via its condition variable; this class only guards
+/// its own state.
+class BrokerQueue {
+ public:
+  BrokerQueue(std::string name, QueueOptions options)
+      : name_(std::move(name)), options_(options) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const QueueOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Enqueues; returns false when the message was dropped (queue full and
+  /// drop-head could not make room — only possible with max_length==0
+  /// edge cases). Never blocks.
+  bool enqueue(Message message);
+
+  /// Pops the next ready message as an unacked delivery; nullopt if empty.
+  [[nodiscard]] std::optional<Delivery> deliver(
+      const std::string& consumer_tag, const std::string& exchange);
+
+  /// Acknowledges a previously delivered message. Returns false for an
+  /// unknown tag (double-ack or foreign tag).
+  bool ack(std::uint64_t delivery_tag);
+
+  /// Negative-acknowledges; optionally requeues at the head. Returns
+  /// false for an unknown tag.
+  bool nack(std::uint64_t delivery_tag, bool requeue);
+
+  /// Requeues every unacked delivery of a departing consumer.
+  void requeue_consumer(const std::string& consumer_tag);
+
+  [[nodiscard]] QueueStats stats() const;
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] bool empty() const { return depth() == 0; }
+
+ private:
+  struct Unacked {
+    std::string consumer_tag;
+    Message message;
+  };
+
+  mutable std::mutex mutex_;
+  std::string name_;
+  QueueOptions options_;
+  std::deque<Message> ready_;
+  std::map<std::uint64_t, Unacked> unacked_;
+  std::uint64_t next_tag_ = 1;
+  QueueStats stats_;
+};
+
+}  // namespace stampede::bus

@@ -1,0 +1,29 @@
+#pragma once
+// The Rabbit Appender (paper §V-C): an EventSink that publishes each
+// Stampede event to the AMQP bus so it is "received on the AMQP queue in
+// real time, and can be listened for via any connected consumers".
+
+#include "bus/bp_publisher.hpp"
+#include "netlogger/sink.hpp"
+
+namespace stampede::bus {
+
+class RabbitAppender final : public nl::EventSink {
+ public:
+  RabbitAppender(Broker& broker, std::string exchange,
+                 bool persistent = false)
+      : publisher_(broker, std::move(exchange), persistent) {}
+
+  void emit(const nl::LogRecord& record) override {
+    publisher_.publish(record);
+  }
+
+  [[nodiscard]] const BpPublisher& publisher() const noexcept {
+    return publisher_;
+  }
+
+ private:
+  BpPublisher publisher_;
+};
+
+}  // namespace stampede::bus

@@ -1,0 +1,50 @@
+#include "bus/topic_matcher.hpp"
+
+#include "common/string_utils.hpp"
+
+namespace stampede::bus {
+
+TopicPattern::TopicPattern(std::string_view pattern) : pattern_(pattern) {
+  for (const auto word : common::split(pattern, '.')) {
+    words_.emplace_back(word);
+    if (word == "*" || word == "#") literal_ = false;
+  }
+}
+
+namespace {
+
+// Recursive match over word arrays with '#' backtracking. Word counts are
+// tiny (event names have ≤6 segments), so recursion depth is bounded.
+bool match_words(const std::vector<std::string>& pat, std::size_t pi,
+                 const std::vector<std::string_view>& key, std::size_t ki) {
+  while (pi < pat.size()) {
+    const std::string& w = pat[pi];
+    if (w == "#") {
+      // '#' absorbs zero or more words; try every split point.
+      if (pi + 1 == pat.size()) return true;
+      for (std::size_t skip = ki; skip <= key.size(); ++skip) {
+        if (match_words(pat, pi + 1, key, skip)) return true;
+      }
+      return false;
+    }
+    if (ki >= key.size()) return false;
+    if (w != "*" && w != key[ki]) return false;
+    ++pi;
+    ++ki;
+  }
+  return ki == key.size();
+}
+
+}  // namespace
+
+bool TopicPattern::matches(std::string_view routing_key) const {
+  if (literal_) return routing_key == pattern_;
+  const auto key_words = common::split(routing_key, '.');
+  return match_words(words_, 0, key_words, 0);
+}
+
+bool topic_matches(std::string_view pattern, std::string_view routing_key) {
+  return TopicPattern{pattern}.matches(routing_key);
+}
+
+}  // namespace stampede::bus

@@ -1,0 +1,40 @@
+#pragma once
+// AMQP topic-exchange routing-key matching.
+//
+// Binding keys are dot-separated words where `*` matches exactly one word
+// and `#` matches zero or more words — the semantics RabbitMQ implements
+// and the paper relies on to let analysis components subscribe to message
+// subsets ("all stampede.job messages", §IV-C).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stampede::bus {
+
+/// A compiled binding pattern. Compile once per binding; match per message.
+class TopicPattern {
+ public:
+  explicit TopicPattern(std::string_view pattern);
+
+  [[nodiscard]] bool matches(std::string_view routing_key) const;
+
+  [[nodiscard]] const std::string& pattern() const noexcept {
+    return pattern_;
+  }
+
+  /// True when the pattern contains no wildcards (enables exact-match
+  /// routing table lookups).
+  [[nodiscard]] bool is_literal() const noexcept { return literal_; }
+
+ private:
+  std::string pattern_;
+  std::vector<std::string> words_;
+  bool literal_ = true;
+};
+
+/// One-shot convenience match.
+[[nodiscard]] bool topic_matches(std::string_view pattern,
+                                 std::string_view routing_key);
+
+}  // namespace stampede::bus

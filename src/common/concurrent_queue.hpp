@@ -1,0 +1,128 @@
+#pragma once
+// Bounded multi-producer/multi-consumer blocking queue.
+//
+// This is the hand-off primitive between event producers (workflow
+// engines), the message-bus delivery threads and the loader pump. Per the
+// Core Guidelines concurrency rules we never wait without a condition
+// (CP.42), hold locks only across the queue mutation (CP.43), and pass
+// items by value (CP.31).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace stampede::common {
+
+template <typename T>
+class ConcurrentQueue {
+ public:
+  /// `capacity` == 0 means unbounded.
+  explicit ConcurrentQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  ConcurrentQueue(const ConcurrentQueue&) = delete;
+  ConcurrentQueue& operator=(const ConcurrentQueue&) = delete;
+
+  /// Blocks until space is available (or the queue is closed).
+  /// Returns false if the queue was closed before the item was accepted.
+  bool push(T item) {
+    std::unique_lock lock{mutex_};
+    not_full_.wait(lock, [this] {
+      return closed_ || capacity_ == 0 || items_.size() < capacity_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T item) {
+    {
+      std::scoped_lock lock{mutex_};
+      if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available; returns nullopt once the queue is
+  /// closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock lock{mutex_};
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::unique_lock lock{mutex_};
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Blocks up to `timeout`; nullopt on timeout or closed-and-drained.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock{mutex_};
+    if (!not_empty_.wait_for(lock, timeout,
+                             [this] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Closes the queue: pending pops drain remaining items then see
+  /// nullopt; pushes fail. Idempotent.
+  void close() {
+    {
+      std::scoped_lock lock{mutex_};
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::scoped_lock lock{mutex_};
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::scoped_lock lock{mutex_};
+    return items_.size();
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace stampede::common

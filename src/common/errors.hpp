@@ -1,0 +1,47 @@
+#pragma once
+// Error taxonomy for the stampede-cpp library.
+//
+// We follow the Core Guidelines split: exceptions for violations that the
+// immediate caller cannot reasonably handle (schema misuse, broken
+// invariants), and value-carried errors (std::optional / ParseError lists)
+// for data-dependent conditions like malformed log lines, which the loader
+// must tolerate and count rather than abort on.
+
+#include <stdexcept>
+#include <string>
+
+namespace stampede::common {
+
+/// Base class for all stampede-cpp exceptions.
+class StampedeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Misuse of a database/ORM API: unknown table, type mismatch, duplicate
+/// primary key, etc.
+class DbError : public StampedeError {
+ public:
+  using StampedeError::StampedeError;
+};
+
+/// Misuse of the message-bus API: unknown exchange/queue, redeclaration
+/// with conflicting attributes.
+class BusError : public StampedeError {
+ public:
+  using StampedeError::StampedeError;
+};
+
+/// Structural error in a YANG schema source text.
+class SchemaError : public StampedeError {
+ public:
+  using StampedeError::StampedeError;
+};
+
+/// Workflow-engine configuration errors (cycles in a DAG, dangling cable).
+class EngineError : public StampedeError {
+ public:
+  using StampedeError::StampedeError;
+};
+
+}  // namespace stampede::common

@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic random number generation for the simulation substrate.
+//
+// All stochastic behaviour in the simulated engines (task runtimes, queue
+// jitter, failure injection) flows through this type so experiments are
+// exactly reproducible from a seed — a requirement for the bench harness
+// to regenerate the paper's tables stably.
+
+#include <cstdint>
+#include <random>
+
+namespace stampede::common {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    std::uniform_real_distribution<double> d{lo, hi};
+    return d(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d{lo, hi};
+    return d(engine_);
+  }
+
+  /// Normal draw, truncated below at `min` (rejection-free clamp).
+  [[nodiscard]] double normal(double mean, double stddev, double min = 0.0) {
+    std::normal_distribution<double> d{mean, stddev};
+    const double v = d(engine_);
+    return v < min ? min : v;
+  }
+
+  /// Exponential draw with the given mean.
+  [[nodiscard]] double exponential(double mean) {
+    std::exponential_distribution<double> d{1.0 / mean};
+    return d(engine_);
+  }
+
+  /// Bernoulli trial.
+  [[nodiscard]] bool chance(double probability) {
+    std::bernoulli_distribution d{probability};
+    return d(engine_);
+  }
+
+  /// Access to the underlying engine for std::shuffle etc.
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace stampede::common

@@ -1,0 +1,109 @@
+#include "common/string_utils.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace stampede::common {
+
+std::vector<std::string_view> split(std::string_view text, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split_nonempty(std::string_view text,
+                                             char delim) {
+  std::vector<std::string_view> out;
+  for (const auto piece : split(text, delim)) {
+    if (!piece.empty()) out.push_back(piece);
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!text.empty() && is_space(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && is_space(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) noexcept {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out{text};
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool like_match(std::string_view text, std::string_view pattern) {
+  // Iterative two-pointer algorithm with backtracking over the last '%'.
+  std::size_t t = 0, p = 0;
+  std::size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string{text};
+  return std::string(width - text.size(), ' ') + std::string{text};
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string{text};
+  return std::string{text} + std::string(width - text.size(), ' ');
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace stampede::common

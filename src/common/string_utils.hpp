@@ -1,0 +1,50 @@
+#pragma once
+// Small string helpers shared by the BP parser, YANG lexer and tools.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stampede::common {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text,
+                                                  char delim);
+
+/// Splits on a delimiter, dropping empty fields.
+[[nodiscard]] std::vector<std::string_view> split_nonempty(
+    std::string_view text, char delim);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Joins items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text,
+                               std::string_view prefix) noexcept;
+
+/// True if `text` ends with `suffix`.
+[[nodiscard]] bool ends_with(std::string_view text,
+                             std::string_view suffix) noexcept;
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// Simple SQL-LIKE style match where '%' matches any run (including empty)
+/// and '_' matches exactly one character. Case-sensitive.
+[[nodiscard]] bool like_match(std::string_view text, std::string_view pattern);
+
+/// Left-pads with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_left(std::string_view text, std::size_t width);
+
+/// Right-pads with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_right(std::string_view text, std::size_t width);
+
+/// Formats a double with `decimals` fractional digits (fixed notation),
+/// matching the "74.0" style of the paper's tables.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+}  // namespace stampede::common

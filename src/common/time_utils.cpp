@@ -1,0 +1,210 @@
+#include "common/time_utils.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace stampede::common {
+namespace {
+
+// Days from 1970-01-01 to the first day of `year` (proleptic Gregorian),
+// via the standard days-from-civil algorithm (Howard Hinnant's).
+std::int64_t days_from_civil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& y, int& m, int& d) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp < 10 ? mp + 3 : mp - 9);
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+bool parse_fixed_int(std::string_view s, std::size_t pos, std::size_t len,
+                     int& out) noexcept {
+  if (pos + len > s.size()) return false;
+  int v = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const char c = s[pos + i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  out = v;
+  return true;
+}
+
+std::optional<Timestamp> parse_iso8601(std::string_view s) {
+  // YYYY-MM-DDTHH:MM:SS[.ffffff](Z|+hh:mm|-hh:mm)
+  int year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
+  if (!parse_fixed_int(s, 0, 4, year)) return std::nullopt;
+  if (s.size() < 19 || s[4] != '-' || s[7] != '-' ||
+      (s[10] != 'T' && s[10] != ' ') || s[13] != ':' || s[16] != ':') {
+    return std::nullopt;
+  }
+  if (!parse_fixed_int(s, 5, 2, month) || !parse_fixed_int(s, 8, 2, day) ||
+      !parse_fixed_int(s, 11, 2, hour) || !parse_fixed_int(s, 14, 2, minute) ||
+      !parse_fixed_int(s, 17, 2, second)) {
+    return std::nullopt;
+  }
+  if (month < 1 || month > 12 || day < 1 || day > days_in_month(year, month) ||
+      hour > 23 || minute > 59 || second > 60) {
+    return std::nullopt;
+  }
+  std::size_t pos = 19;
+  double frac = 0.0;
+  if (pos < s.size() && s[pos] == '.') {
+    ++pos;
+    double scale = 0.1;
+    bool any = false;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+      frac += (s[pos] - '0') * scale;
+      scale *= 0.1;
+      ++pos;
+      any = true;
+    }
+    if (!any) return std::nullopt;
+  }
+  double offset_seconds = 0.0;
+  if (pos < s.size()) {
+    const char c = s[pos];
+    if (c == 'Z' || c == 'z') {
+      ++pos;
+    } else if (c == '+' || c == '-') {
+      int oh = 0, om = 0;
+      if (!parse_fixed_int(s, pos + 1, 2, oh)) return std::nullopt;
+      std::size_t mpos = pos + 3;
+      if (mpos < s.size() && s[mpos] == ':') ++mpos;
+      if (!parse_fixed_int(s, mpos, 2, om)) return std::nullopt;
+      offset_seconds = (oh * 3600 + om * 60) * (c == '+' ? 1.0 : -1.0);
+      pos = mpos + 2;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (pos != s.size()) return std::nullopt;
+  const std::int64_t days = days_from_civil(year, month, day);
+  const double base = static_cast<double>(days) * 86400.0 + hour * 3600.0 +
+                      minute * 60.0 + second;
+  return base + frac - offset_seconds;
+}
+
+}  // namespace
+
+int days_in_month(int year, int month) noexcept {
+  static constexpr std::array<int, 13> kDays = {0,  31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  if (month == 2 && is_leap_year(year)) return 29;
+  return kDays[static_cast<std::size_t>(month)];
+}
+
+std::optional<Timestamp> parse_timestamp(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // Epoch-seconds form: all digits, optional single '.', optional sign.
+  bool numeric = true;
+  bool seen_dot = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '-' && i == 0) continue;
+    if (c == '.' && !seen_dot && i > 0) {
+      seen_dot = true;
+      continue;
+    }
+    if (c < '0' || c > '9') {
+      numeric = false;
+      break;
+    }
+  }
+  if (numeric) {
+    char* end = nullptr;
+    const std::string owned{text};
+    const double v = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size()) return std::nullopt;
+    return v;
+  }
+  return parse_iso8601(text);
+}
+
+CivilTime to_civil(Timestamp ts) {
+  double whole = std::floor(ts);
+  double frac = ts - whole;
+  auto secs = static_cast<std::int64_t>(whole);
+  std::int64_t days = secs / 86400;
+  std::int64_t rem = secs % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  CivilTime ct;
+  civil_from_days(days, ct.year, ct.month, ct.day);
+  ct.hour = static_cast<int>(rem / 3600);
+  ct.minute = static_cast<int>((rem % 3600) / 60);
+  ct.second = static_cast<int>(rem % 60);
+  ct.microsecond = static_cast<std::int64_t>(std::llround(frac * 1e6));
+  if (ct.microsecond >= 1000000) {
+    // Rounding pushed us into the next second; renormalize.
+    ct.microsecond -= 1000000;
+    return to_civil(static_cast<double>(secs + 1) +
+                    static_cast<double>(ct.microsecond) / 1e6);
+  }
+  return ct;
+}
+
+Timestamp from_civil(const CivilTime& ct) {
+  const std::int64_t days = days_from_civil(ct.year, ct.month, ct.day);
+  return static_cast<double>(days) * 86400.0 + ct.hour * 3600.0 +
+         ct.minute * 60.0 + ct.second +
+         static_cast<double>(ct.microsecond) / 1e6;
+}
+
+std::string format_iso8601(Timestamp ts) {
+  const CivilTime ct = to_civil(ts);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%06lldZ",
+                ct.year, ct.month, ct.day, ct.hour, ct.minute, ct.second,
+                static_cast<long long>(ct.microsecond));
+  return buf;
+}
+
+std::string format_duration_human(Duration seconds) {
+  auto total = static_cast<std::int64_t>(std::llround(seconds));
+  if (total < 0) total = 0;
+  const std::int64_t hrs = total / 3600;
+  const std::int64_t mins = (total % 3600) / 60;
+  const std::int64_t secs = total % 60;
+  auto unit = [](std::int64_t n, const char* one, const char* many) {
+    return std::to_string(n) + " " + (n == 1 ? one : many);
+  };
+  std::string out;
+  if (hrs > 0) {
+    out = unit(hrs, "hr", "hrs");
+    if (mins > 0) out += ", " + unit(mins, "min", "mins");
+  } else if (mins > 0) {
+    out = unit(mins, "min", "mins");
+    if (secs > 0) out += ", " + unit(secs, "sec", "secs");
+  } else {
+    out = unit(secs, "sec", "secs");
+  }
+  return out;
+}
+
+std::string format_duration_with_seconds(Duration seconds) {
+  const auto total = static_cast<std::int64_t>(std::llround(seconds));
+  return format_duration_human(seconds) + ", (" + std::to_string(total) +
+         " seconds)";
+}
+
+}  // namespace stampede::common

@@ -1,0 +1,66 @@
+#pragma once
+// Timestamp handling for NetLogger Best-Practices log messages.
+//
+// The Stampede YANG schema defines the `nl_ts` type as "ISO8601 or seconds
+// since 1/1/1970". Internally we represent timestamps as double seconds
+// since the Unix epoch (the NetLogger convention), which gives microsecond
+// precision over the ranges workflows care about while staying trivially
+// arithmetic for duration math.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace stampede::common {
+
+/// Seconds since the Unix epoch, fractional part = sub-second precision.
+using Timestamp = double;
+
+/// Seconds.
+using Duration = double;
+
+/// Parses either ISO8601 ("2012-03-13T12:35:38.000000Z", with optional
+/// fractional seconds and either 'Z' or a +hh:mm / -hh:mm offset) or a
+/// plain decimal epoch-seconds number. Returns nullopt on malformed input.
+[[nodiscard]] std::optional<Timestamp> parse_timestamp(std::string_view text);
+
+/// Formats a timestamp as UTC ISO8601 with microsecond precision, e.g.
+/// "2012-03-13T12:35:38.000000Z" — the form used in the paper's examples.
+[[nodiscard]] std::string format_iso8601(Timestamp ts);
+
+/// Formats a duration the way stampede-statistics prints it, e.g.
+/// "11 mins, 1 sec" or "11 hrs, 10 mins". Sub-minute durations render as
+/// "41 secs"; zero renders as "0 secs".
+[[nodiscard]] std::string format_duration_human(Duration seconds);
+
+/// Formats a duration as both human text and raw seconds, matching the
+/// Table I style: "11 mins, 1 sec, (661 seconds)".
+[[nodiscard]] std::string format_duration_with_seconds(Duration seconds);
+
+/// True for leap years in the proleptic Gregorian calendar.
+[[nodiscard]] constexpr bool is_leap_year(int year) noexcept {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+/// Days in the given month (1-12) of the given year.
+[[nodiscard]] int days_in_month(int year, int month) noexcept;
+
+/// Civil date/time decomposed from a UTC timestamp.
+struct CivilTime {
+  int year = 1970;
+  int month = 1;   ///< 1-12
+  int day = 1;     ///< 1-31
+  int hour = 0;    ///< 0-23
+  int minute = 0;  ///< 0-59
+  int second = 0;  ///< 0-59
+  std::int64_t microsecond = 0;
+};
+
+/// Decomposes epoch seconds into UTC civil time.
+[[nodiscard]] CivilTime to_civil(Timestamp ts);
+
+/// Recomposes UTC civil time into epoch seconds.
+[[nodiscard]] Timestamp from_civil(const CivilTime& ct);
+
+}  // namespace stampede::common

@@ -1,0 +1,93 @@
+#include "common/uuid.hpp"
+
+#include <cstdio>
+
+namespace stampede::common {
+namespace {
+
+constexpr int kHexInvalid = -1;
+
+constexpr int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return kHexInvalid;
+}
+
+}  // namespace
+
+std::optional<Uuid> Uuid::parse(std::string_view text) {
+  // Canonical form: xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx (36 chars).
+  if (text.size() != 36) return std::nullopt;
+  static constexpr std::size_t kDashPositions[] = {8, 13, 18, 23};
+  for (const std::size_t pos : kDashPositions) {
+    if (text[pos] != '-') return std::nullopt;
+  }
+  std::array<std::uint8_t, 16> bytes{};
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < text.size();) {
+    if (text[i] == '-') {
+      ++i;
+      continue;
+    }
+    const int hi = hex_value(text[i]);
+    const int lo = hex_value(text[i + 1]);
+    if (hi == kHexInvalid || lo == kHexInvalid) return std::nullopt;
+    bytes[out++] = static_cast<std::uint8_t>((hi << 4) | lo);
+    i += 2;
+  }
+  return Uuid{bytes};
+}
+
+std::string Uuid::to_string() const {
+  char buf[37];
+  std::snprintf(buf, sizeof(buf),
+                "%02x%02x%02x%02x-%02x%02x-%02x%02x-%02x%02x-"
+                "%02x%02x%02x%02x%02x%02x",
+                bytes_[0], bytes_[1], bytes_[2], bytes_[3], bytes_[4],
+                bytes_[5], bytes_[6], bytes_[7], bytes_[8], bytes_[9],
+                bytes_[10], bytes_[11], bytes_[12], bytes_[13], bytes_[14],
+                bytes_[15]);
+  return std::string{buf, 36};
+}
+
+UuidGenerator::UuidGenerator(std::uint64_t seed) {
+  // splitmix64 expansion of the seed into the xorshift128+ state; avoids
+  // the all-zero state and decorrelates nearby seeds.
+  auto splitmix = [&seed]() {
+    seed += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = seed;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  state_[0] = splitmix();
+  state_[1] = splitmix();
+  if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;
+}
+
+std::uint64_t UuidGenerator::next_u64() {
+  std::uint64_t s1 = state_[0];
+  const std::uint64_t s0 = state_[1];
+  state_[0] = s0;
+  s1 ^= s1 << 23;
+  state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+  return state_[1] + s0;
+}
+
+Uuid UuidGenerator::next() {
+  std::array<std::uint8_t, 16> bytes{};
+  const std::uint64_t hi = next_u64();
+  const std::uint64_t lo = next_u64();
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+    bytes[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+  }
+  bytes[6] = static_cast<std::uint8_t>((bytes[6] & 0x0f) | 0x40);  // version 4
+  bytes[8] = static_cast<std::uint8_t>((bytes[8] & 0x3f) | 0x80);  // variant 1
+  return Uuid{bytes};
+}
+
+}  // namespace stampede::common

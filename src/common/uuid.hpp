@@ -1,0 +1,85 @@
+#pragma once
+// UUID support for Stampede entity identifiers (xwf.id, task.id, ...).
+//
+// The paper's data model keys every workflow entity by UUID (see the
+// `xwf.id` leaf of the YANG base-event grouping). We implement RFC 4122
+// version-4 UUIDs with a seedable generator so that simulated runs are
+// fully deterministic and reproducible.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace stampede::common {
+
+/// A 128-bit RFC 4122 UUID value type.
+///
+/// Comparable and hashable so it can be used as a map key throughout the
+/// loader and query layers.
+class Uuid {
+ public:
+  /// The all-zero ("nil") UUID.
+  constexpr Uuid() noexcept : bytes_{} {}
+
+  /// Constructs from raw bytes (big-endian textual order).
+  explicit constexpr Uuid(const std::array<std::uint8_t, 16>& bytes) noexcept
+      : bytes_(bytes) {}
+
+  /// Parses the canonical 8-4-4-4-12 hex form. Returns nullopt on any
+  /// malformed input (wrong length, bad hex digit, misplaced dash).
+  [[nodiscard]] static std::optional<Uuid> parse(std::string_view text);
+
+  /// Renders the canonical lowercase 8-4-4-4-12 form.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 16>& bytes()
+      const noexcept {
+    return bytes_;
+  }
+
+  [[nodiscard]] constexpr bool is_nil() const noexcept {
+    for (const auto b : bytes_) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  friend constexpr bool operator==(const Uuid&, const Uuid&) = default;
+  friend constexpr auto operator<=>(const Uuid&, const Uuid&) = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_;
+};
+
+/// Deterministic UUIDv4 generator.
+///
+/// Not thread-safe by design (CP.3: minimize shared writable data); give
+/// each producer thread its own generator, seeded distinctly.
+class UuidGenerator {
+ public:
+  explicit UuidGenerator(std::uint64_t seed = 0x5741'4d50'4544'4531ULL);
+
+  /// Produces the next version-4 UUID in the deterministic stream.
+  [[nodiscard]] Uuid next();
+
+ private:
+  std::uint64_t state_[2];
+  std::uint64_t next_u64();
+};
+
+}  // namespace stampede::common
+
+template <>
+struct std::hash<stampede::common::Uuid> {
+  std::size_t operator()(const stampede::common::Uuid& u) const noexcept {
+    // FNV-1a over the 16 bytes; cheap and adequate for hash-map keys.
+    std::size_t h = 1469598103934665603ULL;
+    for (const auto b : u.bytes()) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};

@@ -1,0 +1,47 @@
+#pragma once
+// Continuous-mode (data-driven) DART experiment — the future work the
+// paper sketches in §V-A: "In the future, we plan to devise a workflow
+// experiment that executes a data driven workflow employing the
+// continuous mode of operation of Triana."
+//
+// A streaming pipeline analyzes a sequence of audio chunks: a source
+// unit emits chunks, filter stages process them in flight, and an SHS
+// detector estimates the pitch of each chunk. Every chunk transit is one
+// *invocation* of the stage's single job instance — exactly the job:1 /
+// invocation:N relationship the Stampede data model reserves for
+// Triana's continuous mode ("allowing a job to have multiple invocations
+// during each execution of the workflow", §V-B).
+
+#include "dart/shs.hpp"
+#include "db/database.hpp"
+#include "loader/stampede_loader.hpp"
+
+namespace stampede::dart {
+
+struct ContinuousConfig {
+  int chunks = 32;          ///< Audio chunks streamed through the pipe.
+  int filter_stages = 2;    ///< Pass-band stages before the detector.
+  double chunk_cpu = 1.5;   ///< CPU seconds per chunk per stage.
+  double source_f0 = 220.0; ///< Pitch of the synthesized stream.
+  std::uint64_t seed = 4242;
+  double start_time = 1339900000.0;
+};
+
+struct ContinuousResult {
+  common::Uuid xwf_id;
+  std::int64_t wf_id = 0;
+  int status = 0;
+  double wall_seconds = 0.0;
+  std::int64_t jobs = 0;
+  std::int64_t invocations = 0;
+  /// Mean detected pitch over all chunks (sanity: ≈ source_f0).
+  double mean_detected_pitch = 0.0;
+  loader::LoaderStats loader_stats;
+};
+
+/// Runs the streaming experiment through the full monitoring pipeline
+/// (bus → nl_load → archive). Creates the schema in `archive` if absent.
+ContinuousResult run_continuous_experiment(const ContinuousConfig& config,
+                                           db::Database& archive);
+
+}  // namespace stampede::dart

@@ -1,0 +1,99 @@
+#include "dart/experiment.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "bus/rabbit_appender.hpp"
+#include "orm/stampede_tables.hpp"
+#include "triana/scheduler.hpp"
+#include "triana/stampede_log.hpp"
+
+namespace stampede::dart {
+
+DartRunResult run_dart_experiment(const DartConfig& config,
+                                  db::Database& archive,
+                                  const DartExperimentOptions& options,
+                                  nl::EventSink* extra_sink) {
+  const auto real_start = std::chrono::steady_clock::now();
+  if (!archive.has_table("workflow")) {
+    orm::create_stampede_schema(archive);
+  }
+
+  // Transport: engine → Rabbit appender → topic exchange → durable-less
+  // queue → nl_load pump → archive. Consumers subscribe to "stampede.#"
+  // exactly as §IV-C describes.
+  bus::Broker internal_broker;
+  bus::Broker& broker = options.external_broker != nullptr
+                            ? *options.external_broker
+                            : internal_broker;
+  bus::RabbitAppender appender{broker, "monitoring"};
+  broker.declare_queue("stampede");
+  broker.bind("stampede", "monitoring", "stampede.#");
+
+  nl::TeeSink sink;
+  sink.add(appender);
+  std::unique_ptr<nl::FileSink> file_sink;
+  if (!options.retain_log_path.empty()) {
+    file_sink = std::make_unique<nl::FileSink>(options.retain_log_path);
+    sink.add(*file_sink);
+  }
+  if (extra_sink != nullptr) sink.add(*extra_sink);
+
+  loader::StampedeLoader loader{archive};
+  loader::QueuePump pump{broker, "stampede", loader};
+  pump.start();
+
+  // The simulated deployment.
+  sim::EventLoop loop{options.start_time};
+  common::Rng rng{config.seed};
+  common::UuidGenerator uuids{config.seed};
+  const common::Uuid root_uuid = uuids.next();
+
+  triana::TrianaCloud cloud{loop, rng, sink, uuids, root_uuid,
+                            options.cloud};
+  sim::PsNode localhost{loop, "localhost", 256, 256.0};
+
+  auto root_graph = build_root_workflow(config);
+  triana::StampedeLog::Identity identity;
+  identity.xwf_id = root_uuid;
+  identity.root_xwf_id = root_uuid;
+  identity.dax_label = root_graph->name();
+  triana::StampedeLog log{sink, identity};
+
+  triana::PlanInfo plan;
+  plan.user = "dart";
+  plan.submit_dir = "/home/dart/runs/shs-sweep";
+  triana::SchedulerOptions sched_options;
+  sched_options.site = "local";
+  triana::Scheduler scheduler{loop, rng, localhost, *root_graph,
+                              sched_options};
+  scheduler.set_plan_info(plan);
+  scheduler.add_listener(log);
+  cloud.attach(scheduler, root_uuid);
+
+  DartRunResult result;
+  result.root_uuid = root_uuid;
+  result.started_at = loop.now();
+  scheduler.start([&result](sim::SimTime end, int status) {
+    result.finished_at = end;
+    result.status = status;
+  });
+  loop.run();
+
+  // Drain the real-time pipeline, then finalize.
+  pump.wait_until_drained(30'000);
+  pump.stop();
+
+  result.loader_stats = loader.stats();
+  result.pump_stats = pump.stats();
+  result.broker_stats = broker.stats();
+  result.cloud_stats = cloud.stats();
+  if (const auto wf = loader.wf_id(root_uuid)) result.root_wf_id = *wf;
+  result.real_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    real_start)
+          .count();
+  return result;
+}
+
+}  // namespace stampede::dart

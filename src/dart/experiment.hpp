@@ -1,0 +1,60 @@
+#pragma once
+// End-to-end DART experiment driver (paper §VI–VII).
+//
+// Wires the full pipeline the paper deployed: the root workflow runs in
+// Triana on "the user's local machine", spawns 20 bundles onto the
+// 8-node TrianaCloud, every engine event is converted by StampedeLog,
+// published through the Rabbit appender onto the AMQP bus, and consumed
+// in real time by nl_load's stampede_loader into the relational archive
+// — while the workflow is still running.
+
+#include <optional>
+#include <string>
+
+#include "bus/broker.hpp"
+#include "common/uuid.hpp"
+#include "dart/workload.hpp"
+#include "db/database.hpp"
+#include "loader/nl_load.hpp"
+#include "netlogger/sink.hpp"
+#include "triana/trianacloud.hpp"
+
+namespace stampede::dart {
+
+struct DartRunResult {
+  common::Uuid root_uuid;
+  std::int64_t root_wf_id = 0;  ///< Archive key of the root workflow.
+  int status = 0;               ///< 0 = every bundle succeeded.
+  double started_at = 0.0;      ///< Virtual start time (epoch seconds).
+  double finished_at = 0.0;
+  [[nodiscard]] double wall_seconds() const noexcept {
+    return finished_at - started_at;
+  }
+  loader::LoaderStats loader_stats;
+  loader::NlLoadStats pump_stats;
+  bus::BrokerStats broker_stats;
+  triana::CloudStats cloud_stats;
+  double real_seconds = 0.0;  ///< Host wall-clock for the whole pipeline.
+};
+
+struct DartExperimentOptions {
+  triana::CloudOptions cloud;  ///< Defaults match the paper: 8×(1 core, 4).
+  /// Virtual start time of the run; defaults to 2012-06-16T10:00:00Z.
+  double start_time = 1339840800.0;
+  /// Also retain the plain-text BP log here (paper §VII-A kept both).
+  std::string retain_log_path;
+  /// Use this broker instead of an internal one — lets the caller attach
+  /// additional consumers (live analysis, extra queues) before the run.
+  /// The experiment declares its "stampede" queue + bindings on it.
+  bus::Broker* external_broker = nullptr;
+};
+
+/// Runs the full experiment against `archive` (the Stampede schema is
+/// created if absent). `extra_sink` additionally receives every event
+/// (tests use a VectorSink here).
+DartRunResult run_dart_experiment(const DartConfig& config,
+                                  db::Database& archive,
+                                  const DartExperimentOptions& options = {},
+                                  nl::EventSink* extra_sink = nullptr);
+
+}  // namespace stampede::dart

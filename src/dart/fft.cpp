@@ -1,0 +1,61 @@
+#include "dart/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace stampede::dart {
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<std::complex<double>>& data) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> magnitude_spectrum(const std::vector<double>& signal) {
+  const std::size_t n = next_pow2(signal.size());
+  std::vector<std::complex<double>> buf(n, {0.0, 0.0});
+  // Hann window suppresses spectral leakage so harmonic peaks stay sharp.
+  const std::size_t m = signal.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double w =
+        0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                              static_cast<double>(m > 1 ? m - 1 : 1)));
+    buf[i] = signal[i] * w;
+  }
+  fft(buf);
+  std::vector<double> mag(n / 2);
+  for (std::size_t i = 0; i < n / 2; ++i) mag[i] = std::abs(buf[i]);
+  return mag;
+}
+
+}  // namespace stampede::dart

@@ -1,0 +1,21 @@
+#pragma once
+// Radix-2 FFT for the DART audio analysis kernel.
+
+#include <complex>
+#include <vector>
+
+namespace stampede::dart {
+
+/// In-place iterative radix-2 Cooley–Tukey FFT. `data.size()` must be a
+/// power of two; throws std::invalid_argument otherwise.
+void fft(std::vector<std::complex<double>>& data);
+
+/// Magnitude spectrum of a real signal (Hann-windowed, zero-padded to
+/// the next power of two). Returns the first N/2 bins.
+[[nodiscard]] std::vector<double> magnitude_spectrum(
+    const std::vector<double>& signal);
+
+/// Next power of two ≥ n (n ≥ 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
+
+}  // namespace stampede::dart

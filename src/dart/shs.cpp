@@ -1,0 +1,92 @@
+#include "dart/shs.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "dart/fft.hpp"
+
+namespace stampede::dart {
+
+Tone synthesize_tone(double f0_hz, double sample_rate,
+                     std::size_t num_samples, double noise_level,
+                     common::Rng& rng) {
+  Tone tone;
+  tone.f0_hz = f0_hz;
+  tone.sample_rate = sample_rate;
+  tone.samples.resize(num_samples);
+  // Harmonic amplitudes roll off 1/h — a crude but serviceable model of
+  // pitched musical material.
+  constexpr int kHarmonics = 8;
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const double t = static_cast<double>(i) / sample_rate;
+    double v = 0.0;
+    for (int h = 1; h <= kHarmonics; ++h) {
+      const double fh = f0_hz * h;
+      if (fh >= sample_rate / 2.0) break;
+      v += std::sin(2.0 * std::numbers::pi * fh * t) / h;
+    }
+    v += noise_level * rng.uniform(-1.0, 1.0);
+    tone.samples[i] = v;
+  }
+  return tone;
+}
+
+double detect_pitch(const std::vector<double>& samples, double sample_rate,
+                    const ShsParams& params) {
+  const auto spectrum = magnitude_spectrum(samples);
+  const std::size_t fft_size = spectrum.size() * 2;
+  const double bin_hz = sample_rate / static_cast<double>(fft_size);
+
+  auto magnitude_at = [&](double hz) -> double {
+    // Linear interpolation between bins.
+    const double pos = hz / bin_hz;
+    const auto lo = static_cast<std::size_t>(pos);
+    if (lo + 1 >= spectrum.size()) return 0.0;
+    const double frac = pos - static_cast<double>(lo);
+    return spectrum[lo] * (1.0 - frac) + spectrum[lo + 1] * frac;
+  };
+
+  double best_f = params.min_pitch_hz;
+  double best_score = -1.0;
+  for (double f = params.min_pitch_hz; f <= params.max_pitch_hz;
+       f += params.step_hz) {
+    double score = 0.0;
+    double weight = 1.0;
+    for (int h = 1; h <= params.harmonics; ++h) {
+      score += weight * magnitude_at(f * h);
+      weight *= params.compression;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_f = f;
+    }
+  }
+  return best_f;
+}
+
+SweepPointResult evaluate_sweep_point(const ShsParams& params, int num_tones,
+                                      double tolerance_hz,
+                                      std::uint64_t corpus_seed) {
+  SweepPointResult result;
+  result.params = params;
+  common::Rng rng{corpus_seed};
+  double error_sum = 0.0;
+  for (int i = 0; i < num_tones; ++i) {
+    const double f0 = rng.uniform(80.0, 600.0);
+    const double noise = rng.uniform(0.05, 0.3);
+    const Tone tone = synthesize_tone(f0, 8000.0, 1024, noise, rng);
+    const double detected =
+        detect_pitch(tone.samples, tone.sample_rate, params);
+    const double err = std::abs(detected - f0);
+    error_sum += err;
+    ++result.tones_evaluated;
+    if (err <= tolerance_hz) ++result.correct;
+  }
+  result.mean_abs_error_hz =
+      result.tones_evaluated > 0
+          ? error_sum / static_cast<double>(result.tones_evaluated)
+          : 0.0;
+  return result;
+}
+
+}  // namespace stampede::dart

@@ -1,0 +1,62 @@
+#pragma once
+// Sub-Harmonic Summation (SHS) pitch detection — the DART science kernel.
+//
+// The paper's experiment is "a parameter sweep ... to discover the
+// optimal parameter settings for the Sub-Harmonic Summation (SHS) pitch
+// detection algorithm" (§VI). We implement SHS faithfully (Hermes 1988):
+// a pitch candidate f scores the compressed sum of spectral magnitudes at
+// its harmonics, Σ_h w^(h−1)·|X(h·f)|, and the best-scoring candidate
+// wins. The sweep varies the harmonic count and the compression factor.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace stampede::dart {
+
+struct ShsParams {
+  int harmonics = 5;        ///< Number of subharmonic terms summed.
+  double compression = 0.8; ///< Per-harmonic weight decay factor.
+  double min_pitch_hz = 60.0;
+  double max_pitch_hz = 800.0;
+  double step_hz = 1.0;     ///< Candidate grid resolution.
+};
+
+struct Tone {
+  double f0_hz = 0.0;
+  std::vector<double> samples;
+  double sample_rate = 8000.0;
+};
+
+/// Synthesizes a harmonic tone with rolloff + additive noise. The
+/// deterministic Rng keeps the whole benchmark corpus reproducible.
+[[nodiscard]] Tone synthesize_tone(double f0_hz, double sample_rate,
+                                   std::size_t num_samples,
+                                   double noise_level, common::Rng& rng);
+
+/// Runs SHS on a signal; returns the estimated pitch in Hz.
+[[nodiscard]] double detect_pitch(const std::vector<double>& samples,
+                                  double sample_rate, const ShsParams& params);
+
+struct SweepPointResult {
+  ShsParams params;
+  int tones_evaluated = 0;
+  int correct = 0;          ///< Within the tolerance of the true f0.
+  double mean_abs_error_hz = 0.0;
+  [[nodiscard]] double accuracy() const noexcept {
+    return tones_evaluated > 0
+               ? static_cast<double>(correct) /
+                     static_cast<double>(tones_evaluated)
+               : 0.0;
+  }
+};
+
+/// Evaluates one sweep point over a corpus of synthetic tones —
+/// the work one DART "exec" task performs.
+[[nodiscard]] SweepPointResult evaluate_sweep_point(
+    const ShsParams& params, int num_tones, double tolerance_hz,
+    std::uint64_t corpus_seed);
+
+}  // namespace stampede::dart

@@ -1,0 +1,229 @@
+#include "dart/workload.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/errors.hpp"
+#include "common/string_utils.hpp"
+
+namespace stampede::dart {
+
+using triana::Data;
+using triana::FunctionUnit;
+using triana::TaskGraph;
+using triana::UnitResult;
+
+std::vector<std::string> generate_commands(const DartConfig& config) {
+  // 18 harmonic counts × 17 compression factors = 306 sweep points, the
+  // cardinality of the paper's input file. Other totals truncate or wrap.
+  std::vector<std::string> commands;
+  commands.reserve(static_cast<std::size_t>(config.total_executions));
+  int produced = 0;
+  while (produced < config.total_executions) {
+    for (int h = 2; h <= 19 && produced < config.total_executions; ++h) {
+      for (int c = 0; c < 17 && produced < config.total_executions; ++c) {
+        const double compression = 0.50 + 0.03 * c;
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "java -jar dart.jar -shs -h %d -c %.2f -i input.wav",
+                      h, compression);
+        commands.emplace_back(buf);
+        ++produced;
+      }
+    }
+  }
+  return commands;
+}
+
+ShsParams parse_command(const std::string& command) {
+  ShsParams params;
+  const auto tokens = common::split_nonempty(command, ' ');
+  bool saw_h = false;
+  bool saw_c = false;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i] == "-h") {
+      params.harmonics = std::atoi(std::string{tokens[i + 1]}.c_str());
+      saw_h = true;
+    } else if (tokens[i] == "-c") {
+      params.compression = std::atof(std::string{tokens[i + 1]}.c_str());
+      saw_c = true;
+    }
+  }
+  if (!saw_h || !saw_c || params.harmonics < 1 || params.compression <= 0) {
+    throw common::EngineError("dart: malformed command '" + command + "'");
+  }
+  return params;
+}
+
+int bundle_count(const DartConfig& config) {
+  return (config.total_executions + config.tasks_per_bundle - 1) /
+         config.tasks_per_bundle;
+}
+
+int total_task_count(const DartConfig& config) {
+  const int bundles = bundle_count(config);
+  return 1 + bundles            // root: splitter + submit tasks
+         + config.total_executions  // exec tasks
+         + 2 * bundles;         // per bundle: range task + zipper
+}
+
+namespace {
+
+/// The exec unit: parses its command, runs the SHS sweep point on the
+/// synthetic corpus, reports accuracy on stdout.
+std::unique_ptr<FunctionUnit> make_exec_unit(std::string command,
+                                             const DartConfig& config,
+                                             bool fails) {
+  const double mean = config.exec_cpu_mean;
+  const double sd = config.exec_cpu_sd;
+  const double min = config.exec_cpu_min;
+  const int tones = config.tones_per_task;
+  const double tolerance = config.tolerance_hz;
+  const std::uint64_t corpus_seed = config.seed ^ 0x5441u;
+  return std::make_unique<FunctionUnit>(
+      "processing",
+      [command = std::move(command), tones, tolerance, corpus_seed,
+       fails](const Data&) -> UnitResult {
+        if (fails) {
+          return UnitResult{{}, 1, "",
+                            "DART: input audio file truncated (simulated "
+                            "worker-local data fault)"};
+        }
+        const ShsParams params = parse_command(command);
+        const SweepPointResult r =
+            evaluate_sweep_point(params, tones, tolerance, corpus_seed);
+        char out[160];
+        std::snprintf(out, sizeof(out),
+                      "h=%d c=%.2f accuracy=%.3f mean_abs_err_hz=%.2f",
+                      r.params.harmonics, r.params.compression, r.accuracy(),
+                      r.mean_abs_error_hz);
+        return UnitResult{{std::string{out}}, 0, std::string{out}, ""};
+      },
+      [mean, sd, min](common::Rng& rng) { return rng.normal(mean, sd, min); });
+}
+
+std::unique_ptr<FunctionUnit> make_zipper_unit(double cpu) {
+  return std::make_unique<FunctionUnit>(
+      "file",
+      [](const Data& inputs) -> UnitResult {
+        // Collate: pick the best accuracy among this bundle's results.
+        std::string best_line;
+        double best = -1.0;
+        for (const auto& line : inputs) {
+          const auto pos = line.find("accuracy=");
+          if (pos == std::string::npos) continue;
+          const double acc = std::atof(line.c_str() + pos + 9);
+          if (acc > best) {
+            best = acc;
+            best_line = line;
+          }
+        }
+        return UnitResult{{best_line}, 0,
+                          "bundle best: " + best_line, ""};
+      },
+      [cpu](common::Rng&) { return cpu; });
+}
+
+}  // namespace
+
+std::unique_ptr<TaskGraph> build_bundle(
+    const std::string& name, const std::vector<std::string>& commands,
+    int first_index, const DartConfig& config) {
+  auto graph = std::make_unique<TaskGraph>(name);
+  // The range-named unit task that seeds the bundle with its input lines
+  // (the "115-119"-style rows of the paper's tables).
+  const std::string range_name =
+      std::to_string(first_index) + "-" +
+      std::to_string(first_index + static_cast<int>(commands.size()) - 1);
+  const auto range_task = graph->add_task(
+      range_name,
+      std::make_unique<FunctionUnit>(
+          "unit",
+          [commands](const Data&) {
+            return UnitResult{commands, 0, "", ""};
+          },
+          [cpu = config.aux_cpu](common::Rng&) { return cpu; }));
+
+  common::Rng fail_rng{config.seed ^
+                       static_cast<std::uint64_t>(first_index * 2654435761u)};
+  const auto zipper = graph->add_task("zipper",
+                                      make_zipper_unit(config.aux_cpu));
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    const bool fails = config.failure_rate > 0.0 &&
+                       fail_rng.chance(config.failure_rate);
+    const auto exec = graph->add_task(
+        "exec" + std::to_string(i),
+        make_exec_unit(commands[i], config, fails));
+    graph->connect(range_task, exec);
+    graph->connect(exec, zipper);
+  }
+  return graph;
+}
+
+std::unique_ptr<TaskGraph> build_root_workflow(const DartConfig& config) {
+  const auto commands = generate_commands(config);
+  auto root = std::make_unique<TaskGraph>("DART-root");
+
+  // The input splitter: reads the 306-line input file and partitions it.
+  const auto splitter = root->add_task(
+      "Output_0",
+      std::make_unique<FunctionUnit>(
+          "file",
+          [commands](const Data&) { return UnitResult{commands, 0, "", ""}; },
+          [cpu = config.aux_cpu](common::Rng&) { return cpu; }));
+
+  const int bundles = bundle_count(config);
+  for (int b = 0; b < bundles; ++b) {
+    const int first = b * config.tasks_per_bundle;
+    const int last = std::min<int>(first + config.tasks_per_bundle,
+                                   config.total_executions);
+    const std::vector<std::string> slice(commands.begin() + first,
+                                         commands.begin() + last);
+    auto bundle = build_bundle("bundle" + std::to_string(b), slice, first,
+                               config);
+    const auto submit = root->add_subworkflow(
+        std::to_string(first) + "-" + std::to_string(last - 1),
+        std::move(bundle),
+        std::make_unique<FunctionUnit>(
+            "unit", [](const Data& in) { return UnitResult{in, 0, "", ""}; },
+            [cpu = config.aux_cpu](common::Rng&) { return cpu * 0.1; }));
+    root->connect(splitter, submit);
+  }
+  return root;
+}
+
+std::unique_ptr<TaskGraph> build_meta_workflow(const DartConfig& config) {
+  auto meta = std::make_unique<TaskGraph>("DART-meta");
+  // The CLI task that writes the parameter-sweep input file.
+  const auto prepare = meta->add_task(
+      "dart_cli",
+      std::make_unique<FunctionUnit>(
+          "file",
+          [config](const Data&) {
+            return UnitResult{generate_commands(config), 0, "", ""};
+          },
+          [cpu = config.aux_cpu](common::Rng&) { return cpu; }));
+
+  // The generator: builds the whole root workflow at runtime from the
+  // input lines it receives — nothing about the root exists before this
+  // task fires.
+  const auto generator = meta->add_dynamic_subworkflow(
+      "workflow_generator",
+      [config](const Data& input_lines) -> std::unique_ptr<TaskGraph> {
+        if (input_lines.size() !=
+            static_cast<std::size_t>(config.total_executions)) {
+          throw common::EngineError(
+              "meta-workflow generator: expected " +
+              std::to_string(config.total_executions) + " input lines, got " +
+              std::to_string(input_lines.size()));
+        }
+        return build_root_workflow(config);
+      },
+      std::make_unique<FunctionUnit>(
+          "unit", [](const Data& in) { return UnitResult{in, 0, "", ""}; },
+          [cpu = config.aux_cpu](common::Rng&) { return cpu * 0.2; }));
+  meta->connect(prepare, generator);
+  return meta;
+}
+
+}  // namespace stampede::dart

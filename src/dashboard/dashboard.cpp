@@ -1,0 +1,229 @@
+#include "dashboard/dashboard.hpp"
+
+#include "dashboard/json.hpp"
+
+namespace stampede::dash {
+
+Dashboard::Dashboard(const db::Database& database, int port)
+    : query_(database), server_(port) {
+  server_.route("/healthz", [](const HttpRequest&) {
+    return HttpResponse::json(R"({"status":"ok"})");
+  });
+  server_.route("/workflows",
+                [this](const HttpRequest& r) { return workflows(r); });
+  server_.route("/workflow/{uuid}/summary",
+                [this](const HttpRequest& r) { return summary(r); });
+  server_.route("/workflow/{uuid}/breakdown",
+                [this](const HttpRequest& r) { return breakdown(r); });
+  server_.route("/workflow/{uuid}/jobs",
+                [this](const HttpRequest& r) { return jobs(r); });
+  server_.route("/workflow/{uuid}/progress",
+                [this](const HttpRequest& r) { return progress(r); });
+  server_.route("/workflow/{uuid}/hosts",
+                [this](const HttpRequest& r) { return hosts(r); });
+  server_.route("/workflow/{uuid}/analyzer",
+                [this](const HttpRequest& r) { return analyzer(r); });
+}
+
+namespace {
+
+void write_counts(JsonWriter& w, std::string_view key,
+                  const query::EntityCounts& c) {
+  w.key(key).begin_object();
+  w.key("succeeded").value(c.succeeded);
+  w.key("failed").value(c.failed);
+  w.key("incomplete").value(c.incomplete);
+  w.key("total").value(c.total());
+  w.key("retries").value(c.retries);
+  w.end_object();
+}
+
+}  // namespace
+
+HttpResponse Dashboard::workflows(const HttpRequest&) const {
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& info : query_.root_workflows()) {
+    w.begin_object();
+    w.key("wf_id").value(info.wf_id);
+    w.key("wf_uuid").value(info.wf_uuid);
+    w.key("label").value(info.dax_label);
+    const auto status = query_.final_status(info.wf_id);
+    if (status) {
+      w.key("status").value(*status);
+    } else {
+      w.key("status").null();  // Still running — live monitoring.
+    }
+    w.end_object();
+  }
+  w.end_array();
+  return HttpResponse::json(w.str());
+}
+
+HttpResponse Dashboard::summary(const HttpRequest& request) const {
+  const auto info = query_.workflow_by_uuid(request.params.at(0));
+  if (!info) return HttpResponse::not_found("unknown workflow");
+  const query::StampedeStatistics stats{query_};
+  const auto s = stats.summary(info->wf_id);
+  JsonWriter w;
+  w.begin_object();
+  w.key("wf_uuid").value(info->wf_uuid);
+  write_counts(w, "tasks", s.tasks);
+  write_counts(w, "jobs", s.jobs);
+  write_counts(w, "sub_workflows", s.sub_workflows);
+  w.key("workflow_wall_time").value(s.workflow_wall_time);
+  w.key("cumulative_job_wall_time").value(s.cumulative_job_wall_time);
+  w.end_object();
+  return HttpResponse::json(w.str());
+}
+
+HttpResponse Dashboard::breakdown(const HttpRequest& request) const {
+  const auto info = query_.workflow_by_uuid(request.params.at(0));
+  if (!info) return HttpResponse::not_found("unknown workflow");
+  const query::StampedeStatistics stats{query_};
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& row : stats.breakdown(info->wf_id)) {
+    w.begin_object();
+    w.key("transformation").value(row.transformation);
+    w.key("count").value(row.count);
+    w.key("succeeded").value(row.succeeded);
+    w.key("failed").value(row.failed);
+    w.key("min").value(row.min);
+    w.key("max").value(row.max);
+    w.key("mean").value(row.mean);
+    w.key("total").value(row.total);
+    w.end_object();
+  }
+  w.end_array();
+  return HttpResponse::json(w.str());
+}
+
+HttpResponse Dashboard::jobs(const HttpRequest& request) const {
+  const auto info = query_.workflow_by_uuid(request.params.at(0));
+  if (!info) return HttpResponse::not_found("unknown workflow");
+  const query::StampedeStatistics stats{query_};
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& row : stats.jobs(info->wf_id)) {
+    w.begin_object();
+    w.key("job").value(row.job_name);
+    w.key("try").value(row.try_number);
+    w.key("site").value(row.site);
+    w.key("invocation_duration").value(row.invocation_duration);
+    w.key("queue_time").value(row.queue_time);
+    w.key("runtime").value(row.runtime);
+    if (row.exitcode) {
+      w.key("exitcode").value(*row.exitcode);
+    } else {
+      w.key("exitcode").null();
+    }
+    w.key("host").value(row.host);
+    w.end_object();
+  }
+  w.end_array();
+  return HttpResponse::json(w.str());
+}
+
+HttpResponse Dashboard::progress(const HttpRequest& request) const {
+  const auto info = query_.workflow_by_uuid(request.params.at(0));
+  if (!info) return HttpResponse::not_found("unknown workflow");
+  const query::StampedeStatistics stats{query_};
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& series : stats.progress(info->wf_id)) {
+    w.begin_object();
+    w.key("wf_id").value(series.wf_id);
+    w.key("label").value(series.label);
+    w.key("points").begin_array();
+    for (const auto& p : series.points) {
+      w.begin_array();
+      w.value(p.wall_clock);
+      w.value(p.cumulative_runtime);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  return HttpResponse::json(w.str());
+}
+
+HttpResponse Dashboard::hosts(const HttpRequest& request) const {
+  const auto info = query_.workflow_by_uuid(request.params.at(0));
+  if (!info) return HttpResponse::not_found("unknown workflow");
+  const query::StampedeStatistics stats{query_};
+  JsonWriter w;
+  w.begin_object();
+  w.key("usage").begin_array();
+  for (const auto& usage : stats.host_usage(info->wf_id)) {
+    w.begin_object();
+    w.key("hostname").value(usage.hostname);
+    w.key("jobs").value(usage.jobs);
+    w.key("total_runtime").value(usage.total_runtime);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("timeline").begin_array();
+  for (const auto& timeline : stats.host_timeline(info->wf_id)) {
+    w.begin_object();
+    w.key("hostname").value(timeline.hostname);
+    w.key("buckets").begin_array();
+    for (const auto& bucket : timeline.buckets) {
+      w.begin_array();
+      w.value(bucket.bucket_start);
+      w.value(bucket.jobs);
+      w.value(bucket.runtime);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return HttpResponse::json(w.str());
+}
+
+HttpResponse Dashboard::analyzer(const HttpRequest& request) const {
+  const auto info = query_.workflow_by_uuid(request.params.at(0));
+  if (!info) return HttpResponse::not_found("unknown workflow");
+  const query::StampedeAnalyzer tool{query_};
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& level : tool.drill_down(info->wf_id)) {
+    w.begin_object();
+    w.key("wf_id").value(level.wf_id);
+    w.key("wf_uuid").value(level.wf_uuid);
+    w.key("label").value(level.dax_label);
+    w.key("total_jobs").value(level.total_jobs);
+    w.key("succeeded").value(level.succeeded);
+    w.key("failed").value(level.failed);
+    w.key("unsubmitted").value(level.unsubmitted);
+    w.key("failures").begin_array();
+    for (const auto& f : level.failures) {
+      w.begin_object();
+      w.key("job").value(f.job_name);
+      w.key("try").value(f.try_number);
+      w.key("last_state").value(f.last_state);
+      w.key("host").value(f.host);
+      if (f.exitcode) {
+        w.key("exitcode").value(*f.exitcode);
+      } else {
+        w.key("exitcode").null();
+      }
+      w.key("stderr").value(f.stderr_text);
+      if (f.subwf_id) {
+        w.key("subwf_id").value(*f.subwf_id);
+      } else {
+        w.key("subwf_id").null();
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  return HttpResponse::json(w.str());
+}
+
+}  // namespace stampede::dash

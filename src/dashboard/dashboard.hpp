@@ -1,0 +1,45 @@
+#pragma once
+// The Stampede performance dashboard (paper §IV-F): "a very lightweight
+// performance dashboard that enables easy monitoring and online
+// exploration of workflows based on an embedded web server".
+//
+// Endpoints (all JSON):
+//   GET /healthz                      — liveness probe
+//   GET /workflows                    — top-level runs with status
+//   GET /workflow/{uuid}/summary      — Table-I style counts + wall times
+//   GET /workflow/{uuid}/breakdown    — per-transformation statistics
+//   GET /workflow/{uuid}/jobs         — jobs.txt rows
+//   GET /workflow/{uuid}/progress     — Fig.-7 per-bundle series
+//   GET /workflow/{uuid}/hosts        — per-host activity over time
+//   GET /workflow/{uuid}/analyzer     — failure drill-down (all levels)
+
+#include "dashboard/http_server.hpp"
+#include "query/analyzer.hpp"
+#include "query/statistics.hpp"
+
+namespace stampede::dash {
+
+class Dashboard {
+ public:
+  /// Serves live data from `database` (the loader may still be writing —
+  /// "users should not need to wait for a workflow to finish").
+  explicit Dashboard(const db::Database& database, int port = 0);
+
+  void start() { server_.start(); }
+  void stop() { server_.stop(); }
+  [[nodiscard]] int port() const noexcept { return server_.port(); }
+
+ private:
+  HttpResponse workflows(const HttpRequest& request) const;
+  HttpResponse summary(const HttpRequest& request) const;
+  HttpResponse breakdown(const HttpRequest& request) const;
+  HttpResponse jobs(const HttpRequest& request) const;
+  HttpResponse progress(const HttpRequest& request) const;
+  HttpResponse hosts(const HttpRequest& request) const;
+  HttpResponse analyzer(const HttpRequest& request) const;
+
+  query::QueryInterface query_;
+  HttpServer server_;
+};
+
+}  // namespace stampede::dash

@@ -1,0 +1,208 @@
+#include "dashboard/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/string_utils.hpp"
+
+namespace stampede::dash {
+
+namespace {
+
+std::string status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+void send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("HttpServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("HttpServer: bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("HttpServer: listen() failed");
+  }
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::route(const std::string& pattern, HttpHandler handler) {
+  Route r;
+  for (const auto seg : common::split_nonempty(pattern, '/')) {
+    r.segments.emplace_back(seg);
+  }
+  r.handler = std::move(handler);
+  routes_.push_back(std::move(r));
+}
+
+void HttpServer::start() {
+  if (running_.exchange(true)) return;
+  acceptor_ = std::jthread([this](std::stop_token stop) {
+    while (!stop.stop_requested()) {
+      pollfd pfd{listen_fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 50);
+      if (ready <= 0) continue;
+      const int client = ::accept(listen_fd_, nullptr, nullptr);
+      if (client >= 0) {
+        serve(client);
+        ::close(client);
+      }
+    }
+  });
+}
+
+void HttpServer::stop() {
+  if (acceptor_.joinable()) {
+    acceptor_.request_stop();
+    acceptor_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false);
+}
+
+void HttpServer::serve(int client_fd) {
+  // Read until the end of the request headers (we only support GET, so
+  // no body).
+  std::string raw;
+  char buf[2048];
+  while (raw.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+    if (raw.size() > 64 * 1024) break;  // Refuse absurd requests.
+  }
+  const auto line_end = raw.find("\r\n");
+  if (line_end == std::string::npos) return;
+  const auto parts =
+      common::split_nonempty(std::string_view{raw}.substr(0, line_end), ' ');
+  HttpResponse response;
+  if (parts.size() < 2) {
+    response = HttpResponse{400, "text/plain", "bad request"};
+  } else {
+    HttpRequest request;
+    request.method = std::string{parts[0]};
+    std::string_view target = parts[1];
+    const auto qpos = target.find('?');
+    if (qpos != std::string_view::npos) {
+      request.query = std::string{target.substr(qpos + 1)};
+      target = target.substr(0, qpos);
+    }
+    request.path = std::string{target};
+    response = dispatch(request);
+  }
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_text(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  send_all(client_fd, out);
+}
+
+HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
+  if (request.method != "GET") {
+    return HttpResponse{400, "text/plain", "only GET is supported"};
+  }
+  const auto segments = common::split_nonempty(request.path, '/');
+  for (const auto& route : routes_) {
+    if (route.segments.size() != segments.size()) continue;
+    std::vector<std::string> params;
+    bool match = true;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      const std::string& pat = route.segments[i];
+      if (pat.size() >= 2 && pat.front() == '{' && pat.back() == '}') {
+        params.emplace_back(segments[i]);
+      } else if (pat != segments[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      HttpRequest enriched = request;
+      enriched.params = std::move(params);
+      try {
+        return route.handler(enriched);
+      } catch (const std::exception& e) {
+        return HttpResponse{500, "text/plain", e.what()};
+      }
+    }
+  }
+  return HttpResponse::not_found("no route for " + request.path);
+}
+
+std::string http_get(int port, const std::string& path, int* status_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("http_get: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw std::runtime_error("http_get: connect() failed");
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  send_all(fd, request);
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    throw std::runtime_error("http_get: malformed response");
+  }
+  if (status_out != nullptr) {
+    *status_out = std::atoi(raw.c_str() + 9);  // After "HTTP/1.1 ".
+  }
+  return raw.substr(header_end + 4);
+}
+
+}  // namespace stampede::dash

@@ -1,0 +1,85 @@
+#pragma once
+// Minimal embedded HTTP/1.1 server — the substrate for the "very
+// lightweight performance dashboard ... based on an embedded web server"
+// (paper §IV-F; theirs was Python, ours is sockets + a jthread).
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace stampede::dash {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;                 ///< Path without query string.
+  std::string query;                ///< Raw query string (may be empty).
+  std::vector<std::string> params;  ///< Captures from route placeholders.
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  static HttpResponse json(std::string body) {
+    return HttpResponse{200, "application/json", std::move(body)};
+  }
+  static HttpResponse text(std::string body) {
+    return HttpResponse{200, "text/plain", std::move(body)};
+  }
+  static HttpResponse not_found(std::string why = "not found") {
+    return HttpResponse{404, "text/plain", std::move(why)};
+  }
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = pick an ephemeral port). Throws
+  /// std::runtime_error when binding fails.
+  explicit HttpServer(int port = 0);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a GET route. Pattern segments of the form "{x}" capture
+  /// one path segment into HttpRequest::params, e.g.
+  /// "/workflow/{uuid}/summary".
+  void route(const std::string& pattern, HttpHandler handler);
+
+  /// Starts the accept loop.
+  void start();
+
+  /// Stops and joins. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] int port() const noexcept { return port_; }
+
+ private:
+  struct Route {
+    std::vector<std::string> segments;
+    HttpHandler handler;
+  };
+
+  void serve(int client_fd);
+  [[nodiscard]] HttpResponse dispatch(const HttpRequest& request) const;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::vector<Route> routes_;
+  std::jthread acceptor_;
+  std::atomic<bool> running_{false};
+};
+
+/// One-shot HTTP GET against 127.0.0.1 (test/client helper). Returns the
+/// response body; `status_out` receives the status code. Throws
+/// std::runtime_error on connection failure.
+[[nodiscard]] std::string http_get(int port, const std::string& path,
+                                   int* status_out = nullptr);
+
+}  // namespace stampede::dash

@@ -1,0 +1,119 @@
+#include "dashboard/json.hpp"
+
+#include <cstdio>
+
+namespace stampede::dash {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_if_needed() {
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_.push_back(',');
+    need_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  out_.push_back('{');
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_.push_back('}');
+  need_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  out_.push_back('[');
+  need_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_.push_back(']');
+  need_comma_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma_if_needed();
+  out_.push_back('"');
+  out_ += json_escape(name);
+  out_ += "\":";
+  // The value that follows must not emit a separating comma itself; the
+  // next sibling (key or element) will, because that value call re-arms
+  // the flag.
+  if (!need_comma_.empty()) need_comma_.back() = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  comma_if_needed();
+  out_.push_back('"');
+  out_ += json_escape(text);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  comma_if_needed();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", number);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  comma_if_needed();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool boolean) {
+  comma_if_needed();
+  out_ += boolean ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_if_needed();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace stampede::dash

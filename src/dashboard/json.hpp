@@ -1,0 +1,41 @@
+#pragma once
+// Minimal JSON writer for the dashboard endpoints.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stampede::dash {
+
+/// Escapes a string for inclusion inside JSON quotes.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Streaming JSON writer with explicit begin/end calls. Keeps a small
+/// state stack so commas land where they belong.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object (must be followed by a value or container).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view{text}); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(bool boolean);
+  JsonWriter& null();
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void comma_if_needed();
+  std::string out_;
+  std::vector<bool> need_comma_;  ///< Per open container.
+};
+
+}  // namespace stampede::dash

@@ -1,0 +1,786 @@
+#include "db/database.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/errors.hpp"
+#include "common/string_utils.hpp"
+
+namespace stampede::db {
+
+using common::DbError;
+
+// ---------------------------------------------------------------------------
+// Schema
+
+void Database::create_table(TableDef def) {
+  const std::scoped_lock lock{mutex_};
+  const std::string name = def.name;
+  if (tables_.find(name) != tables_.end()) {
+    throw DbError("create_table: table '" + name + "' already exists");
+  }
+  tables_.emplace(name, std::make_unique<Table>(std::move(def)));
+}
+
+bool Database::has_table(const std::string& name) const {
+  const std::scoped_lock lock{mutex_};
+  return tables_.find(name) != tables_.end();
+}
+
+std::vector<std::string> Database::table_names() const {
+  const std::scoped_lock lock{mutex_};
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+const TableDef& Database::table_def(const std::string& name) const {
+  return table_ref(name).def();
+}
+
+Table& Database::table_ref(const std::string& name) {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) throw DbError("unknown table '" + name + "'");
+  return *it->second;
+}
+
+const Table& Database::table_ref(const std::string& name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) throw DbError("unknown table '" + name + "'");
+  return *it->second;
+}
+
+// ---------------------------------------------------------------------------
+// WAL serialization
+
+namespace {
+
+std::string wal_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '|') {
+      out += "\\p";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string wal_unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      const char e = text[++i];
+      if (e == 'p') {
+        out.push_back('|');
+      } else if (e == 'n') {
+        out.push_back('\n');
+      } else {
+        out.push_back(e);
+      }
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+std::string serialize_value(const Value& value) {
+  if (value.is_null()) return "N";
+  if (value.is_int()) return "I" + std::to_string(value.as_int());
+  if (value.is_real()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "R%.17g", value.as_real());
+    return buf;
+  }
+  return "S" + wal_escape(value.as_text());
+}
+
+Value deserialize_value(std::string_view text) {
+  if (text.empty() || text == "N") return Value::null();
+  const char tag = text.front();
+  const std::string_view payload = text.substr(1);
+  if (tag == 'I') {
+    return Value{static_cast<std::int64_t>(
+        std::strtoll(std::string{payload}.c_str(), nullptr, 10))};
+  }
+  if (tag == 'R') {
+    return Value{std::strtod(std::string{payload}.c_str(), nullptr)};
+  }
+  if (tag == 'S') return Value{wal_unescape(payload)};
+  throw DbError("WAL: bad value tag '" + std::string{text} + "'");
+}
+
+// Splits a WAL line on unescaped '|'.
+std::vector<std::string> wal_fields(std::string_view line) {
+  std::vector<std::string> out;
+  std::string current;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      current.push_back(line[i]);
+      current.push_back(line[i + 1]);
+      ++i;
+    } else if (line[i] == '|') {
+      out.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(line[i]);
+    }
+  }
+  out.push_back(std::move(current));
+  return out;
+}
+
+}  // namespace
+
+void Database::wal_write(const std::string& line) {
+  if (wal_path_.empty() || replaying_) return;
+  if (txn_active_) {
+    wal_buffer_.push_back(line);
+    return;
+  }
+  std::ofstream out{wal_path_, std::ios::app};
+  if (out) out << line << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// DML
+
+std::int64_t Database::insert(const std::string& table,
+                              const NamedValues& values) {
+  const std::scoped_lock lock{mutex_};
+  Table& t = table_ref(table);
+  const TableDef& def = t.def();
+  Row row(def.columns.size(), Value::null());
+  for (const auto& [name, value] : values) {
+    const auto col = def.column_index(name);
+    if (!col) {
+      throw DbError("insert into " + table + ": unknown column '" + name +
+                    "'");
+    }
+    row[*col] = value;
+  }
+  const auto result = t.insert(std::move(row));
+  if (txn_active_) {
+    undo_log_.push_back({UndoOp::Kind::kInsert, table, result.row_id, {}});
+  }
+  if (!wal_path_.empty() && !replaying_) {
+    const Row* stored = t.fetch(result.row_id);
+    std::string line = "I|" + wal_escape(table);
+    for (const auto& value : *stored) {
+      line += '|';
+      line += serialize_value(value);
+    }
+    wal_write(line);
+  }
+  return result.pk;
+}
+
+std::size_t Database::update(const std::string& table, const ExprPtr& predicate,
+                             const NamedValues& sets) {
+  const std::scoped_lock lock{mutex_};
+  Table& t = table_ref(table);
+  const TableDef& def = t.def();
+
+  std::vector<RowId> targets;
+  t.scan([&](RowId id, const Row& row) {
+    if (!predicate || evaluate(*predicate, [&](const std::string& col) {
+          const auto ci = def.column_index(col);
+          if (!ci) throw DbError("update " + table + ": unknown column " + col);
+          return row[*ci];
+        })) {
+      targets.push_back(id);
+    }
+  });
+
+  const auto pk_col = def.column_index(def.primary_key);
+  for (const RowId id : targets) {
+    const Row before = *t.fetch(id);
+    t.update(id, sets);
+    if (txn_active_) {
+      undo_log_.push_back({UndoOp::Kind::kUpdate, table, id, before});
+    }
+    if (!wal_path_.empty() && !replaying_) {
+      // Address the row by PK when available so replay is robust to slot
+      // drift from rolled-back inserts.
+      std::string line = "U|" + wal_escape(table) + '|';
+      line += pk_col ? serialize_value(before[*pk_col])
+                     : serialize_value(Value{id});
+      for (const auto& [name, value] : sets) {
+        line += '|';
+        line += wal_escape(name);
+        line += '|';
+        line += serialize_value(value);
+      }
+      wal_write(line);
+    }
+  }
+  return targets.size();
+}
+
+bool Database::update_pk(const std::string& table, std::int64_t pk,
+                         const NamedValues& sets) {
+  const std::scoped_lock lock{mutex_};
+  Table& t = table_ref(table);
+  const auto slot = t.find_pk(Value{pk});
+  if (!slot) return false;
+  const Row before = *t.fetch(*slot);
+  t.update(*slot, sets);
+  if (txn_active_) {
+    undo_log_.push_back({UndoOp::Kind::kUpdate, table, *slot, before});
+  }
+  if (!wal_path_.empty() && !replaying_) {
+    std::string line = "U|" + wal_escape(table) + '|';
+    line += serialize_value(Value{pk});
+    for (const auto& [name, value] : sets) {
+      line += '|';
+      line += wal_escape(name);
+      line += '|';
+      line += serialize_value(value);
+    }
+    wal_write(line);
+  }
+  return true;
+}
+
+std::size_t Database::delete_rows(const std::string& table,
+                                  const ExprPtr& predicate) {
+  const std::scoped_lock lock{mutex_};
+  Table& t = table_ref(table);
+  const TableDef& def = t.def();
+  std::vector<RowId> targets;
+  t.scan([&](RowId id, const Row& row) {
+    if (!predicate || evaluate(*predicate, [&](const std::string& col) {
+          const auto ci = def.column_index(col);
+          if (!ci) throw DbError("delete " + table + ": unknown column " + col);
+          return row[*ci];
+        })) {
+      targets.push_back(id);
+    }
+  });
+  const auto pk_col = def.column_index(def.primary_key);
+  for (const RowId id : targets) {
+    const Row before = *t.fetch(id);
+    t.erase(id);
+    if (txn_active_) {
+      undo_log_.push_back({UndoOp::Kind::kDelete, table, id, before});
+    }
+    if (!wal_path_.empty() && !replaying_) {
+      std::string line = "D|" + wal_escape(table) + '|';
+      line += pk_col ? serialize_value(before[*pk_col])
+                     : serialize_value(Value{id});
+      wal_write(line);
+    }
+  }
+  return targets.size();
+}
+
+std::size_t Database::row_count(const std::string& table) const {
+  const std::scoped_lock lock{mutex_};
+  return table_ref(table).row_count();
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+
+void Database::begin() {
+  const std::scoped_lock lock{mutex_};
+  if (txn_active_) throw DbError("begin: transaction already active");
+  txn_active_ = true;
+  undo_log_.clear();
+  wal_buffer_.clear();
+}
+
+void Database::commit() {
+  const std::scoped_lock lock{mutex_};
+  if (!txn_active_) throw DbError("commit: no active transaction");
+  txn_active_ = false;
+  undo_log_.clear();
+  if (!wal_path_.empty() && !wal_buffer_.empty()) {
+    std::ofstream out{wal_path_, std::ios::app};
+    if (out) {
+      for (const auto& line : wal_buffer_) out << line << '\n';
+    }
+  }
+  wal_buffer_.clear();
+}
+
+void Database::rollback() {
+  const std::scoped_lock lock{mutex_};
+  if (!txn_active_) throw DbError("rollback: no active transaction");
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    Table& t = table_ref(it->table);
+    switch (it->kind) {
+      case UndoOp::Kind::kInsert:
+        t.erase(it->row_id);
+        break;
+      case UndoOp::Kind::kUpdate:
+        t.raw_replace(it->row_id, std::move(it->before));
+        break;
+      case UndoOp::Kind::kDelete:
+        t.raw_revive(it->row_id, std::move(it->before));
+        break;
+    }
+  }
+  undo_log_.clear();
+  wal_buffer_.clear();
+  txn_active_ = false;
+}
+
+bool Database::in_transaction() const {
+  const std::scoped_lock lock{mutex_};
+  return txn_active_;
+}
+
+std::size_t Database::recover() {
+  const std::scoped_lock lock{mutex_};
+  if (wal_path_.empty()) return 0;
+  std::ifstream in{wal_path_};
+  if (!in) return 0;
+  replaying_ = true;
+  std::size_t applied = 0;
+  std::string line;
+  try {
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const auto fields = wal_fields(line);
+      if (fields.size() < 2) continue;
+      const std::string& op = fields[0];
+      const std::string table = wal_unescape(fields[1]);
+      Table& t = table_ref(table);
+      const TableDef& def = t.def();
+      if (op == "I") {
+        Row row;
+        for (std::size_t i = 2; i < fields.size(); ++i) {
+          row.push_back(deserialize_value(fields[i]));
+        }
+        t.insert(std::move(row));
+        ++applied;
+      } else if (op == "U" && fields.size() >= 3) {
+        const Value key = deserialize_value(fields[2]);
+        NamedValues sets;
+        for (std::size_t i = 3; i + 1 < fields.size(); i += 2) {
+          sets.emplace_back(wal_unescape(fields[i]),
+                            deserialize_value(fields[i + 1]));
+        }
+        std::optional<RowId> target = def.primary_key.empty()
+                                          ? std::optional<RowId>{key.as_int()}
+                                          : t.find_pk(key);
+        if (target) {
+          t.update(*target, sets);
+          ++applied;
+        }
+      } else if (op == "D" && fields.size() >= 3) {
+        const Value key = deserialize_value(fields[2]);
+        std::optional<RowId> target = def.primary_key.empty()
+                                          ? std::optional<RowId>{key.as_int()}
+                                          : t.find_pk(key);
+        if (target) {
+          t.erase(*target);
+          ++applied;
+        }
+      }
+    }
+  } catch (...) {
+    replaying_ = false;
+    throw;
+  }
+  replaying_ = false;
+  return applied;
+}
+
+// ---------------------------------------------------------------------------
+// Query executor
+
+namespace {
+
+/// One source in the FROM/JOIN chain with its flat column offset.
+struct Source {
+  std::string alias;
+  const Table* table = nullptr;
+  std::size_t offset = 0;  ///< First flat column index of this source.
+};
+
+/// Maps (possibly qualified) column names to flat indexes over the
+/// concatenated wide row.
+class ColumnMap {
+ public:
+  explicit ColumnMap(const std::vector<Source>& sources) {
+    for (const auto& source : sources) {
+      const auto& cols = source.table->def().columns;
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        const std::size_t flat = source.offset + i;
+        qualified_.emplace(source.alias + "." + cols[i].name, flat);
+        const auto [it, inserted] = unqualified_.emplace(cols[i].name, flat);
+        if (!inserted) it->second = kAmbiguous;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t resolve(const std::string& name) const {
+    const auto q = qualified_.find(name);
+    if (q != qualified_.end()) return q->second;
+    const auto u = unqualified_.find(name);
+    if (u == unqualified_.end()) {
+      throw DbError("query: unknown column '" + name + "'");
+    }
+    if (u->second == kAmbiguous) {
+      throw DbError("query: ambiguous column '" + name +
+                    "' — qualify with a table alias");
+    }
+    return u->second;
+  }
+
+ private:
+  static constexpr std::size_t kAmbiguous = static_cast<std::size_t>(-1);
+  std::unordered_map<std::string, std::size_t> qualified_;
+  std::unordered_map<std::string, std::size_t> unqualified_;
+};
+
+/// Collects top-level equality conjuncts usable as index probes on the
+/// base table.
+void collect_eq_conjuncts(const Expr& expr,
+                          std::vector<const Expr*>& out) {
+  if (expr.kind == Expr::Kind::kAnd) {
+    for (const auto& child : expr.children) {
+      collect_eq_conjuncts(*child, out);
+    }
+    return;
+  }
+  if (expr.kind == Expr::Kind::kCompareLiteral && expr.op == CompareOp::kEq) {
+    out.push_back(&expr);
+  }
+}
+
+struct Aggregator {
+  AggFn fn = AggFn::kCount;
+  std::int64_t count = 0;
+  double sum = 0.0;
+  bool any_numeric = false;
+  Value min_value;
+  Value max_value;
+  bool has_minmax = false;
+
+  void feed(const Value& value) {
+    if (fn == AggFn::kCount) {
+      if (!value.is_null()) ++count;
+      return;
+    }
+    if (value.is_null()) return;
+    ++count;
+    if (value.is_int() || value.is_real()) {
+      sum += value.as_number();
+      any_numeric = true;
+    }
+    if (!has_minmax) {
+      min_value = value;
+      max_value = value;
+      has_minmax = true;
+    } else {
+      if (value < min_value) min_value = value;
+      if (max_value < value) max_value = value;
+    }
+  }
+
+  void feed_row() { ++count; }  ///< COUNT(*)
+
+  [[nodiscard]] Value result() const {
+    switch (fn) {
+      case AggFn::kCount:
+        return Value{count};
+      case AggFn::kSum:
+        return any_numeric ? Value{sum} : Value::null();
+      case AggFn::kAvg:
+        return (any_numeric && count > 0)
+                   ? Value{sum / static_cast<double>(count)}
+                   : Value::null();
+      case AggFn::kMin:
+        return has_minmax ? min_value : Value::null();
+      case AggFn::kMax:
+        return has_minmax ? max_value : Value::null();
+    }
+    return Value::null();
+  }
+};
+
+}  // namespace
+
+ResultSet Database::execute(const Select& select) const {
+  const std::scoped_lock lock{mutex_};
+
+  // Assemble the source chain and the flat column map.
+  std::vector<Source> sources;
+  {
+    const Table& base = table_ref(select.table());
+    sources.push_back({select.alias(), &base, 0});
+    std::size_t offset = base.def().columns.size();
+    for (const auto& join : select.joins()) {
+      const Table& t = table_ref(join.table);
+      sources.push_back({join.alias, &t, offset});
+      offset += t.def().columns.size();
+    }
+  }
+  const ColumnMap columns{sources};
+
+  // 1. Base rows — use an index probe when a top-level equality conjunct
+  //    targets an indexed base-table column.
+  std::vector<Row> wide;
+  {
+    const Table& base = *sources[0].table;
+    const TableDef& def = base.def();
+    std::vector<RowId> candidates;
+    bool used_index = false;
+    if (select.predicate()) {
+      std::vector<const Expr*> eqs;
+      collect_eq_conjuncts(*select.predicate(), eqs);
+      for (const Expr* e : eqs) {
+        // Accept "col" or "<base alias>.col".
+        std::string name = e->column;
+        const std::string prefix = sources[0].alias + ".";
+        if (common::starts_with(name, prefix)) {
+          name = name.substr(prefix.size());
+        } else if (name.find('.') != std::string::npos) {
+          continue;  // Qualified with some join alias.
+        }
+        if (base.has_index(name)) {
+          candidates = base.index_lookup(name, e->literal);
+          used_index = true;
+          break;
+        }
+      }
+    }
+    auto add_row = [&](const Row& row) {
+      Row w;
+      w.reserve(row.size());
+      w.insert(w.end(), row.begin(), row.end());
+      wide.push_back(std::move(w));
+    };
+    if (used_index) {
+      for (const RowId id : candidates) {
+        if (const Row* row = base.fetch(id)) add_row(*row);
+      }
+    } else {
+      base.scan([&](RowId, const Row& row) { add_row(row); });
+    }
+    (void)def;
+  }
+
+  // 2. Hash joins, left to right.
+  for (std::size_t j = 0; j < select.joins().size(); ++j) {
+    const JoinSpec& join = select.joins()[j];
+    const Source& source = sources[j + 1];
+    const Table& right = *source.table;
+    const auto right_col = right.def().column_index(join.right_col);
+    if (!right_col) {
+      throw DbError("join: unknown column '" + join.right_col + "' on " +
+                    join.table);
+    }
+    // Build side.
+    std::unordered_map<Value, std::vector<const Row*>> build;
+    right.scan([&](RowId, const Row& row) {
+      if (!row[*right_col].is_null()) {
+        build[row[*right_col]].push_back(&row);
+      }
+    });
+    // Probe side. The left column resolves against the columns joined so
+    // far (all sources with offset < source.offset).
+    std::vector<Source> left_sources(sources.begin(),
+                                     sources.begin() +
+                                         static_cast<std::ptrdiff_t>(j + 1));
+    const ColumnMap left_columns{left_sources};
+    const std::size_t left_index = left_columns.resolve(join.left_col);
+    const std::size_t right_width = right.def().columns.size();
+
+    std::vector<Row> joined;
+    joined.reserve(wide.size());
+    for (auto& left_row : wide) {
+      const Value& key = left_row[left_index];
+      const auto it = key.is_null() ? build.end() : build.find(key);
+      if (it == build.end()) {
+        if (join.left_outer) {
+          Row w = left_row;
+          w.resize(w.size() + right_width, Value::null());
+          joined.push_back(std::move(w));
+        }
+        continue;
+      }
+      for (const Row* match : it->second) {
+        Row w = left_row;
+        w.insert(w.end(), match->begin(), match->end());
+        joined.push_back(std::move(w));
+      }
+    }
+    wide = std::move(joined);
+  }
+
+  // 3. Residual filter.
+  if (select.predicate()) {
+    std::vector<Row> filtered;
+    filtered.reserve(wide.size());
+    for (auto& row : wide) {
+      const bool keep =
+          evaluate(*select.predicate(), [&](const std::string& name) {
+            return row[columns.resolve(name)];
+          });
+      if (keep) filtered.push_back(std::move(row));
+    }
+    wide = std::move(filtered);
+  }
+
+  ResultSet result;
+
+  // 4. Aggregate or project.
+  if (!select.groups().empty() || !select.aggs().empty()) {
+    std::vector<std::size_t> group_cols;
+    group_cols.reserve(select.groups().size());
+    for (const auto& g : select.groups()) {
+      group_cols.push_back(columns.resolve(g));
+    }
+    struct GroupState {
+      Row key;
+      std::vector<Aggregator> aggs;
+    };
+    // Key rows by their serialized group values to keep insertion order.
+    std::unordered_map<std::string, std::size_t> index_of;
+    std::vector<GroupState> groups;
+
+    for (const auto& row : wide) {
+      std::string key_text;
+      Row key;
+      key.reserve(group_cols.size());
+      for (const std::size_t c : group_cols) {
+        key.push_back(row[c]);
+        key_text += serialize_value(row[c]);
+        key_text += '\x1f';
+      }
+      auto [it, inserted] = index_of.emplace(key_text, groups.size());
+      if (inserted) {
+        GroupState state;
+        state.key = std::move(key);
+        state.aggs.reserve(select.aggs().size());
+        for (const auto& spec : select.aggs()) {
+          Aggregator agg;
+          agg.fn = spec.fn;
+          state.aggs.push_back(agg);
+        }
+        groups.push_back(std::move(state));
+      }
+      GroupState& state = groups[it->second];
+      for (std::size_t a = 0; a < select.aggs().size(); ++a) {
+        const AggSpec& spec = select.aggs()[a];
+        if (spec.column.empty()) {
+          state.aggs[a].feed_row();
+        } else {
+          state.aggs[a].feed(row[columns.resolve(spec.column)]);
+        }
+      }
+    }
+    // With aggregates but no groups and no input rows, SQL still emits
+    // one row (e.g. COUNT(*) == 0).
+    if (groups.empty() && select.groups().empty() && !select.aggs().empty()) {
+      GroupState state;
+      for (const auto& spec : select.aggs()) {
+        Aggregator agg;
+        agg.fn = spec.fn;
+        state.aggs.push_back(agg);
+      }
+      groups.push_back(std::move(state));
+    }
+
+    for (const auto& g : select.groups()) result.columns.push_back(g);
+    for (const auto& spec : select.aggs()) result.columns.push_back(spec.alias);
+    for (auto& state : groups) {
+      Row out = std::move(state.key);
+      for (const auto& agg : state.aggs) out.push_back(agg.result());
+      result.rows.push_back(std::move(out));
+    }
+  } else {
+    // Projection.
+    std::vector<std::size_t> proj;
+    if (select.selected().empty()) {
+      for (const auto& source : sources) {
+        const auto& cols = source.table->def().columns;
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+          proj.push_back(source.offset + i);
+          result.columns.push_back(sources.size() == 1
+                                       ? cols[i].name
+                                       : source.alias + "." + cols[i].name);
+        }
+      }
+    } else {
+      for (const auto& name : select.selected()) {
+        proj.push_back(columns.resolve(name));
+        result.columns.push_back(name);
+      }
+    }
+    result.rows.reserve(wide.size());
+    for (const auto& row : wide) {
+      Row out;
+      out.reserve(proj.size());
+      for (const std::size_t c : proj) out.push_back(row[c]);
+      result.rows.push_back(std::move(out));
+    }
+  }
+
+  // 5. DISTINCT.
+  if (select.is_distinct()) {
+    std::unordered_set<std::string> seen;
+    std::vector<Row> unique;
+    unique.reserve(result.rows.size());
+    for (auto& row : result.rows) {
+      std::string key;
+      for (const auto& value : row) {
+        key += serialize_value(value);
+        key += '\x1f';
+      }
+      if (seen.insert(key).second) unique.push_back(std::move(row));
+    }
+    result.rows = std::move(unique);
+  }
+
+  // 6. ORDER BY (stable, applied as one composite comparison).
+  if (!select.orders().empty()) {
+    std::vector<std::pair<std::size_t, bool>> keys;
+    for (const auto& order : select.orders()) {
+      const auto idx = result.column_index(order.column);
+      if (!idx) {
+        throw DbError("order by: column '" + order.column +
+                      "' not in result set");
+      }
+      keys.emplace_back(*idx, order.descending);
+    }
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (const auto& [idx, desc] : keys) {
+                         const auto ord = a[idx].compare(b[idx]);
+                         if (ord == std::partial_ordering::less) return !desc;
+                         if (ord == std::partial_ordering::greater) return desc;
+                       }
+                       return false;
+                     });
+  }
+
+  // 7. LIMIT.
+  if (select.row_limit() && result.rows.size() > *select.row_limit()) {
+    result.rows.resize(*select.row_limit());
+  }
+  return result;
+}
+
+std::optional<Value> Database::scalar(const Select& select) const {
+  const ResultSet rs = execute(select);
+  if (rs.rows.empty() || rs.rows.front().empty()) return std::nullopt;
+  return rs.rows.front().front();
+}
+
+}  // namespace stampede::db

@@ -1,0 +1,118 @@
+#pragma once
+// The relational archive engine (SQLite substitute, DESIGN.md §2).
+//
+// Thread-safe at the API level via one database mutex — the same
+// serialized-writer model SQLite provides — which is exactly what the
+// loader (single writer) + query tools (concurrent readers tolerating
+// serialization) need. Supports transactions with rollback via an undo
+// log, and an optional write-ahead log file for crash recovery / reload.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "db/query.hpp"
+#include "db/table.hpp"
+
+namespace stampede::db {
+
+/// Column-name/value pairs, the convenient insert/update currency.
+using NamedValues = std::vector<std::pair<std::string, Value>>;
+
+class Database {
+ public:
+  /// In-memory database.
+  Database() = default;
+
+  /// Database backed by a write-ahead log: existing contents are
+  /// replayed on open, subsequent committed writes are appended.
+  /// Note: the schema must be recreated (create_table) before replay
+  /// touches a table, so construct, create tables, then call recover().
+  explicit Database(std::string wal_path) : wal_path_(std::move(wal_path)) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // -- schema -----------------------------------------------------------------
+
+  /// Creates a table; throws common::DbError if the name exists.
+  void create_table(TableDef def);
+
+  [[nodiscard]] bool has_table(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> table_names() const;
+  [[nodiscard]] const TableDef& table_def(const std::string& name) const;
+
+  // -- DML --------------------------------------------------------------------
+
+  /// Inserts named values (missing columns become NULL / defaults).
+  /// Returns the primary-key value assigned (or the row slot when the
+  /// table has no declared PK).
+  std::int64_t insert(const std::string& table, const NamedValues& values);
+
+  /// Updates all rows matching `predicate`; returns the count updated.
+  std::size_t update(const std::string& table, const ExprPtr& predicate,
+                     const NamedValues& sets);
+
+  /// Indexed single-row update by primary-key value; returns false when
+  /// no such row exists. This is the loader's hot path (O(1) vs the
+  /// predicate scan of update()).
+  bool update_pk(const std::string& table, std::int64_t pk,
+                 const NamedValues& sets);
+
+  /// Deletes all rows matching `predicate`; returns the count deleted.
+  std::size_t delete_rows(const std::string& table, const ExprPtr& predicate);
+
+  /// Row count of a table.
+  [[nodiscard]] std::size_t row_count(const std::string& table) const;
+
+  // -- queries ------------------------------------------------------------------
+
+  [[nodiscard]] ResultSet execute(const Select& select) const;
+
+  /// Single-value convenience: first row/column of the result, or
+  /// nullopt when the result is empty.
+  [[nodiscard]] std::optional<Value> scalar(const Select& select) const;
+
+  // -- transactions ---------------------------------------------------------------
+
+  /// Begins a transaction; nested begins throw.
+  void begin();
+  /// Commits (appends buffered WAL records).
+  void commit();
+  /// Rolls back every change since begin().
+  void rollback();
+  [[nodiscard]] bool in_transaction() const;
+
+  // -- persistence ------------------------------------------------------------------
+
+  /// Replays the WAL file (if configured and present). Call after the
+  /// schema has been created. Returns the number of operations applied.
+  std::size_t recover();
+
+ private:
+  Table& table_ref(const std::string& name);
+  const Table& table_ref(const std::string& name) const;
+  void wal_write(const std::string& line);
+
+  struct UndoOp {
+    enum class Kind { kInsert, kUpdate, kDelete };
+    Kind kind = Kind::kInsert;
+    std::string table;
+    RowId row_id = 0;
+    Row before;  ///< For update/delete.
+  };
+
+  mutable std::recursive_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::string wal_path_;
+  bool txn_active_ = false;
+  bool replaying_ = false;
+  std::vector<UndoOp> undo_log_;
+  std::vector<std::string> wal_buffer_;  ///< Committed at commit().
+};
+
+}  // namespace stampede::db

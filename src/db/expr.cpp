@@ -1,0 +1,161 @@
+#include "db/expr.hpp"
+
+#include "common/errors.hpp"
+#include "common/string_utils.hpp"
+
+namespace stampede::db {
+namespace {
+
+ExprPtr make_compare(std::string column, CompareOp op, Value value) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kCompareLiteral;
+  e->column = std::move(column);
+  e->op = op;
+  e->literal = std::move(value);
+  return e;
+}
+
+}  // namespace
+
+ExprPtr eq(std::string column, Value value) {
+  return make_compare(std::move(column), CompareOp::kEq, std::move(value));
+}
+ExprPtr ne(std::string column, Value value) {
+  return make_compare(std::move(column), CompareOp::kNe, std::move(value));
+}
+ExprPtr lt(std::string column, Value value) {
+  return make_compare(std::move(column), CompareOp::kLt, std::move(value));
+}
+ExprPtr le(std::string column, Value value) {
+  return make_compare(std::move(column), CompareOp::kLe, std::move(value));
+}
+ExprPtr gt(std::string column, Value value) {
+  return make_compare(std::move(column), CompareOp::kGt, std::move(value));
+}
+ExprPtr ge(std::string column, Value value) {
+  return make_compare(std::move(column), CompareOp::kGe, std::move(value));
+}
+
+ExprPtr eq_cols(std::string left, std::string right) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kCompareColumns;
+  e->column = std::move(left);
+  e->column_rhs = std::move(right);
+  e->op = CompareOp::kEq;
+  return e;
+}
+
+ExprPtr and_(std::vector<ExprPtr> children) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kAnd;
+  e->children = std::move(children);
+  return e;
+}
+ExprPtr and_(ExprPtr a, ExprPtr b) {
+  return and_(std::vector<ExprPtr>{std::move(a), std::move(b)});
+}
+ExprPtr or_(std::vector<ExprPtr> children) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kOr;
+  e->children = std::move(children);
+  return e;
+}
+ExprPtr or_(ExprPtr a, ExprPtr b) {
+  return or_(std::vector<ExprPtr>{std::move(a), std::move(b)});
+}
+ExprPtr not_(ExprPtr child) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kNot;
+  e->children.push_back(std::move(child));
+  return e;
+}
+ExprPtr is_null(std::string column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kIsNull;
+  e->column = std::move(column);
+  return e;
+}
+ExprPtr is_not_null(std::string column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kIsNotNull;
+  e->column = std::move(column);
+  return e;
+}
+ExprPtr like(std::string column, std::string pattern) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kLike;
+  e->column = std::move(column);
+  e->pattern = std::move(pattern);
+  return e;
+}
+ExprPtr in_list(std::string column, std::vector<Value> values) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::kIn;
+  e->column = std::move(column);
+  e->in_values = std::move(values);
+  return e;
+}
+
+bool compare_values(const Value& a, CompareOp op, const Value& b) {
+  if (a.is_null() || b.is_null()) return false;  // SQL NULL semantics.
+  const auto ord = a.compare(b);
+  switch (op) {
+    case CompareOp::kEq:
+      return ord == std::partial_ordering::equivalent;
+    case CompareOp::kNe:
+      return ord != std::partial_ordering::equivalent;
+    case CompareOp::kLt:
+      return ord == std::partial_ordering::less;
+    case CompareOp::kLe:
+      return ord == std::partial_ordering::less ||
+             ord == std::partial_ordering::equivalent;
+    case CompareOp::kGt:
+      return ord == std::partial_ordering::greater;
+    case CompareOp::kGe:
+      return ord == std::partial_ordering::greater ||
+             ord == std::partial_ordering::equivalent;
+  }
+  return false;
+}
+
+bool evaluate(const Expr& expr, const ColumnResolver& resolve) {
+  switch (expr.kind) {
+    case Expr::Kind::kCompareLiteral:
+      return compare_values(resolve(expr.column), expr.op, expr.literal);
+    case Expr::Kind::kCompareColumns:
+      return compare_values(resolve(expr.column), expr.op,
+                            resolve(expr.column_rhs));
+    case Expr::Kind::kAnd:
+      for (const auto& child : expr.children) {
+        if (!evaluate(*child, resolve)) return false;
+      }
+      return true;
+    case Expr::Kind::kOr:
+      for (const auto& child : expr.children) {
+        if (evaluate(*child, resolve)) return true;
+      }
+      return false;
+    case Expr::Kind::kNot:
+      return !expr.children.empty() && !evaluate(*expr.children[0], resolve);
+    case Expr::Kind::kIsNull:
+      return resolve(expr.column).is_null();
+    case Expr::Kind::kIsNotNull:
+      return !resolve(expr.column).is_null();
+    case Expr::Kind::kLike: {
+      const Value v = resolve(expr.column);
+      if (!v.is_text()) return false;
+      return common::like_match(v.as_text(), expr.pattern);
+    }
+    case Expr::Kind::kIn: {
+      const Value v = resolve(expr.column);
+      if (v.is_null()) return false;
+      for (const auto& candidate : expr.in_values) {
+        if (compare_values(v, CompareOp::kEq, candidate)) return true;
+      }
+      return false;
+    }
+  }
+  throw common::DbError("evaluate: unhandled expression kind");
+}
+
+}  // namespace stampede::db

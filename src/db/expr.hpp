@@ -1,0 +1,75 @@
+#pragma once
+// Predicate expressions for WHERE clauses and join conditions.
+//
+// A small immutable tree evaluated against a row context. Shared pointers
+// keep the builder API composable (`where(and_(eq(...), gt(...)))`)
+// without manual lifetime management.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/value.hpp"
+
+namespace stampede::db {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind {
+    kCompareLiteral,   ///< column <op> literal
+    kCompareColumns,   ///< column <op> column (used by joins)
+    kAnd,
+    kOr,
+    kNot,
+    kIsNull,
+    kIsNotNull,
+    kLike,             ///< column LIKE pattern ('%', '_')
+    kIn,               ///< column IN (values…)
+  };
+
+  Kind kind = Kind::kCompareLiteral;
+  std::string column;       ///< Left column (possibly "table.column").
+  std::string column_rhs;   ///< Right column for kCompareColumns.
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+  std::string pattern;      ///< For kLike.
+  std::vector<Value> in_values;
+  std::vector<ExprPtr> children;
+};
+
+// -- builders ---------------------------------------------------------------
+
+[[nodiscard]] ExprPtr eq(std::string column, Value value);
+[[nodiscard]] ExprPtr ne(std::string column, Value value);
+[[nodiscard]] ExprPtr lt(std::string column, Value value);
+[[nodiscard]] ExprPtr le(std::string column, Value value);
+[[nodiscard]] ExprPtr gt(std::string column, Value value);
+[[nodiscard]] ExprPtr ge(std::string column, Value value);
+[[nodiscard]] ExprPtr eq_cols(std::string left, std::string right);
+[[nodiscard]] ExprPtr and_(std::vector<ExprPtr> children);
+[[nodiscard]] ExprPtr and_(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr or_(std::vector<ExprPtr> children);
+[[nodiscard]] ExprPtr or_(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr not_(ExprPtr child);
+[[nodiscard]] ExprPtr is_null(std::string column);
+[[nodiscard]] ExprPtr is_not_null(std::string column);
+[[nodiscard]] ExprPtr like(std::string column, std::string pattern);
+[[nodiscard]] ExprPtr in_list(std::string column, std::vector<Value> values);
+
+/// Resolves a (possibly qualified) column name to its current value.
+/// Throws common::DbError for unknown columns.
+using ColumnResolver = std::function<Value(const std::string&)>;
+
+/// Tri-state SQL boolean collapsed to bool: NULL comparisons are false.
+[[nodiscard]] bool evaluate(const Expr& expr, const ColumnResolver& resolve);
+
+/// True when `op` holds between a and b under SQL semantics (any NULL
+/// operand → false, except via is_null which is handled elsewhere).
+[[nodiscard]] bool compare_values(const Value& a, CompareOp op, const Value& b);
+
+}  // namespace stampede::db

@@ -1,0 +1,83 @@
+#include "db/query.hpp"
+
+#include "common/errors.hpp"
+
+namespace stampede::db {
+
+Select::Select(std::string table, std::string alias)
+    : table_(std::move(table)),
+      alias_(alias.empty() ? table_ : std::move(alias)) {}
+
+Select& Select::columns(std::vector<std::string> cols) {
+  columns_ = std::move(cols);
+  return *this;
+}
+
+Select& Select::join(std::string table, std::string left_col,
+                     std::string right_col, std::string alias) {
+  JoinSpec spec;
+  spec.table = std::move(table);
+  spec.alias = alias.empty() ? spec.table : std::move(alias);
+  spec.left_col = std::move(left_col);
+  spec.right_col = std::move(right_col);
+  joins_.push_back(std::move(spec));
+  return *this;
+}
+
+Select& Select::left_join(std::string table, std::string left_col,
+                          std::string right_col, std::string alias) {
+  join(std::move(table), std::move(left_col), std::move(right_col),
+       std::move(alias));
+  joins_.back().left_outer = true;
+  return *this;
+}
+
+Select& Select::where(ExprPtr predicate) {
+  where_ = where_ ? and_(std::move(where_), std::move(predicate))
+                  : std::move(predicate);
+  return *this;
+}
+
+Select& Select::group_by(std::vector<std::string> cols) {
+  group_by_ = std::move(cols);
+  return *this;
+}
+
+Select& Select::agg(AggFn fn, std::string column, std::string alias) {
+  aggs_.push_back({fn, std::move(column), std::move(alias)});
+  return *this;
+}
+
+Select& Select::count_all(std::string alias) {
+  aggs_.push_back({AggFn::kCount, "", std::move(alias)});
+  return *this;
+}
+
+Select& Select::order_by(std::string column, bool descending) {
+  order_by_.push_back({std::move(column), descending});
+  return *this;
+}
+
+Select& Select::limit(std::size_t n) {
+  limit_ = n;
+  return *this;
+}
+
+Select& Select::distinct() {
+  distinct_ = true;
+  return *this;
+}
+
+const Value& ResultSet::at(std::size_t row, std::string_view column) const {
+  const auto col = column_index(column);
+  if (!col) {
+    throw common::DbError("ResultSet: unknown column '" + std::string{column} +
+                          "'");
+  }
+  if (row >= rows.size()) {
+    throw common::DbError("ResultSet: row index out of range");
+  }
+  return rows[row][*col];
+}
+
+}  // namespace stampede::db

@@ -1,0 +1,80 @@
+#pragma once
+// Table and column definitions for the relational archive.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/value.hpp"
+
+namespace stampede::db {
+
+enum class ColumnType { kInteger, kReal, kText };
+
+[[nodiscard]] constexpr std::string_view column_type_name(
+    ColumnType type) noexcept {
+  switch (type) {
+    case ColumnType::kInteger:
+      return "INTEGER";
+    case ColumnType::kReal:
+      return "REAL";
+    case ColumnType::kText:
+      return "TEXT";
+  }
+  return "?";
+}
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kText;
+  bool not_null = false;
+  std::optional<Value> default_value;
+};
+
+/// Logical foreign key. The engine records but does not enforce these —
+/// matching SQLite's historical default, which the real stampede schema
+/// was deployed against — but tests use them to assert loader ordering.
+struct ForeignKeyDef {
+  std::string column;
+  std::string ref_table;
+  std::string ref_column;
+};
+
+struct IndexDef {
+  std::string name;
+  std::vector<std::string> columns;
+  bool unique = false;
+};
+
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  /// Single-column integer primary key with auto-assignment when the
+  /// inserted value is NULL/absent (SQLite rowid-alias behaviour). Empty
+  /// means a hidden auto rowid only.
+  std::string primary_key;
+  std::vector<ForeignKeyDef> foreign_keys;
+  std::vector<IndexDef> indexes;
+
+  [[nodiscard]] const ColumnDef* find_column(
+      std::string_view name) const noexcept {
+    for (const auto& col : columns) {
+      if (col.name == name) return &col;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::optional<std::size_t> column_index(
+      std::string_view name) const noexcept {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == name) return i;
+    }
+    return std::nullopt;
+  }
+};
+
+/// A row is positionally aligned with TableDef::columns.
+using Row = std::vector<Value>;
+using RowId = std::int64_t;
+
+}  // namespace stampede::db

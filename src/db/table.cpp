@@ -1,0 +1,218 @@
+#include "db/table.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+
+namespace stampede::db {
+
+using common::DbError;
+
+Table::Table(TableDef def) : def_(std::move(def)) {
+  if (!def_.primary_key.empty()) {
+    pk_col_ = def_.column_index(def_.primary_key);
+    if (!pk_col_) {
+      throw DbError("table " + def_.name + ": primary key column '" +
+                    def_.primary_key + "' not found");
+    }
+    if (def_.columns[*pk_col_].type != ColumnType::kInteger) {
+      throw DbError("table " + def_.name +
+                    ": only integer primary keys are supported");
+    }
+  }
+  for (const auto& index : def_.indexes) {
+    if (index.columns.empty()) {
+      throw DbError("table " + def_.name + ": index with no columns");
+    }
+    const auto col = def_.column_index(index.columns.front());
+    if (!col) {
+      throw DbError("table " + def_.name + ": index on unknown column '" +
+                    index.columns.front() + "'");
+    }
+    secondary_.try_emplace(*col);
+    if (index.unique && index.columns.size() == 1) {
+      unique_single_.push_back(*col);
+    }
+  }
+}
+
+void Table::check_not_null(const Row& row) const {
+  for (std::size_t i = 0; i < def_.columns.size(); ++i) {
+    if (def_.columns[i].not_null && row[i].is_null()) {
+      throw DbError("table " + def_.name + ": NOT NULL violation on column '" +
+                    def_.columns[i].name + "'");
+    }
+  }
+}
+
+void Table::check_unique(const Row& row, std::optional<RowId> ignore) const {
+  for (const std::size_t col : unique_single_) {
+    if (row[col].is_null()) continue;  // SQL: NULLs never collide.
+    const auto it = secondary_.find(col);
+    if (it == secondary_.end()) continue;
+    const auto [lo, hi] = it->second.equal_range(row[col]);
+    for (auto cur = lo; cur != hi; ++cur) {
+      if (!ignore || cur->second != *ignore) {
+        throw DbError("table " + def_.name + ": UNIQUE violation on column '" +
+                      def_.columns[col].name + "'");
+      }
+    }
+  }
+}
+
+Table::InsertResult Table::insert(Row row) {
+  if (row.size() != def_.columns.size()) {
+    throw DbError("table " + def_.name + ": row arity " +
+                  std::to_string(row.size()) + " != schema arity " +
+                  std::to_string(def_.columns.size()));
+  }
+  // Apply column defaults to NULL slots.
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null() && def_.columns[i].default_value) {
+      row[i] = *def_.columns[i].default_value;
+    }
+  }
+  if (pk_col_ && row[*pk_col_].is_null()) {
+    row[*pk_col_] = Value{next_auto_};
+  }
+  if (pk_col_) {
+    const Value& key = row[*pk_col_];
+    if (!key.is_int()) {
+      throw DbError("table " + def_.name + ": non-integer primary key value");
+    }
+    if (pk_index_.find(key) != pk_index_.end()) {
+      throw DbError("table " + def_.name + ": duplicate primary key " +
+                    key.to_string());
+    }
+    next_auto_ = std::max(next_auto_, key.as_int() + 1);
+  }
+  check_not_null(row);
+  check_unique(row, std::nullopt);
+
+  const auto id = static_cast<RowId>(rows_.size());
+  index_insert(id, row);
+  rows_.push_back(std::move(row));
+  live_.push_back(true);
+  ++live_count_;
+  return InsertResult{id, pk_col_ ? rows_.back()[*pk_col_].as_int() : id};
+}
+
+void Table::index_insert(RowId id, const Row& row) {
+  if (pk_col_) pk_index_.emplace(row[*pk_col_], id);
+  for (auto& [col, index] : secondary_) {
+    index.emplace(row[col], id);
+  }
+}
+
+void Table::index_remove(RowId id, const Row& row) {
+  if (pk_col_) pk_index_.erase(row[*pk_col_]);
+  for (auto& [col, index] : secondary_) {
+    const auto [lo, hi] = index.equal_range(row[col]);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == id) {
+        index.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+const Row* Table::fetch(RowId id) const noexcept {
+  if (id < 0 || static_cast<std::size_t>(id) >= rows_.size() ||
+      !live_[static_cast<std::size_t>(id)]) {
+    return nullptr;
+  }
+  return &rows_[static_cast<std::size_t>(id)];
+}
+
+std::optional<RowId> Table::find_pk(const Value& key) const {
+  const auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Table::has_index(const std::string& column) const {
+  const auto col = def_.column_index(column);
+  if (!col) return false;
+  if (pk_col_ && *pk_col_ == *col) return true;
+  return secondary_.find(*col) != secondary_.end();
+}
+
+std::vector<RowId> Table::index_lookup(const std::string& column,
+                                       const Value& key) const {
+  std::vector<RowId> out;
+  const auto col = def_.column_index(column);
+  if (!col) return out;
+  if (pk_col_ && *pk_col_ == *col) {
+    const auto it = pk_index_.find(key);
+    if (it != pk_index_.end()) out.push_back(it->second);
+    return out;
+  }
+  const auto it = secondary_.find(*col);
+  if (it == secondary_.end()) return out;
+  const auto [lo, hi] = it->second.equal_range(key);
+  for (auto cur = lo; cur != hi; ++cur) out.push_back(cur->second);
+  return out;
+}
+
+bool Table::update(RowId id,
+                   const std::vector<std::pair<std::string, Value>>& sets) {
+  if (id < 0 || static_cast<std::size_t>(id) >= rows_.size() ||
+      !live_[static_cast<std::size_t>(id)]) {
+    return false;
+  }
+  const auto slot = static_cast<std::size_t>(id);
+  Row updated = rows_[slot];
+  for (const auto& [name, value] : sets) {
+    const auto col = def_.column_index(name);
+    if (!col) {
+      throw DbError("table " + def_.name + ": update of unknown column '" +
+                    name + "'");
+    }
+    if (pk_col_ && *col == *pk_col_) {
+      throw DbError("table " + def_.name + ": primary key is immutable");
+    }
+    updated[*col] = value;
+  }
+  check_not_null(updated);
+  check_unique(updated, static_cast<RowId>(slot));
+  index_remove(static_cast<RowId>(slot), rows_[slot]);
+  rows_[slot] = std::move(updated);
+  index_insert(static_cast<RowId>(slot), rows_[slot]);
+  return true;
+}
+
+bool Table::erase(RowId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= rows_.size() ||
+      !live_[static_cast<std::size_t>(id)]) {
+    return false;
+  }
+  const auto slot = static_cast<std::size_t>(id);
+  index_remove(static_cast<RowId>(slot), rows_[slot]);
+  live_[slot] = false;
+  --live_count_;
+  return true;
+}
+
+void Table::raw_replace(RowId id, Row row) {
+  const auto slot = static_cast<std::size_t>(id);
+  if (slot >= rows_.size() || !live_[slot]) {
+    throw DbError("table " + def_.name + ": raw_replace of dead row");
+  }
+  index_remove(id, rows_[slot]);
+  rows_[slot] = std::move(row);
+  index_insert(id, rows_[slot]);
+}
+
+void Table::raw_revive(RowId id, Row row) {
+  const auto slot = static_cast<std::size_t>(id);
+  if (slot >= rows_.size() || live_[slot]) {
+    throw DbError("table " + def_.name + ": raw_revive of live row");
+  }
+  rows_[slot] = std::move(row);
+  live_[slot] = true;
+  ++live_count_;
+  index_insert(id, rows_[slot]);
+}
+
+}  // namespace stampede::db

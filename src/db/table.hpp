@@ -1,0 +1,98 @@
+#pragma once
+// Row storage with primary-key and secondary indexes.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "db/expr.hpp"
+#include "db/schema.hpp"
+
+namespace stampede::db {
+
+/// One table's data. Rows are addressed by a stable RowId; deletions
+/// tombstone in place so ids never shift. Not internally synchronized —
+/// the owning Database serializes access.
+class Table {
+ public:
+  explicit Table(TableDef def);
+
+  [[nodiscard]] const TableDef& def() const noexcept { return def_; }
+
+  struct InsertResult {
+    RowId row_id = 0;     ///< Stable storage slot.
+    std::int64_t pk = 0;  ///< Primary-key value (== row_id when no PK).
+  };
+
+  /// Inserts a row (positionally aligned with the schema). Auto-assigns
+  /// the integer primary key when its slot is NULL. Enforces NOT NULL,
+  /// PK uniqueness and unique indexes; throws common::DbError on
+  /// violation.
+  InsertResult insert(Row row);
+
+  /// Fetch by RowId; nullptr when deleted/nonexistent.
+  [[nodiscard]] const Row* fetch(RowId id) const noexcept;
+
+  /// Fetch by primary-key value (indexed).
+  [[nodiscard]] std::optional<RowId> find_pk(const Value& key) const;
+
+  /// RowIds whose indexed column equals `key`; empty when the column has
+  /// no index (callers should fall back to a scan).
+  [[nodiscard]] std::vector<RowId> index_lookup(const std::string& column,
+                                                const Value& key) const;
+
+  /// True when `column` has an exact-match index available.
+  [[nodiscard]] bool has_index(const std::string& column) const;
+
+  /// Updates columns of the row `id`; maintains indexes. Returns false
+  /// when the row does not exist.
+  bool update(RowId id, const std::vector<std::pair<std::string, Value>>& sets);
+
+  /// Tombstones the row; returns false when absent.
+  bool erase(RowId id);
+
+  // Low-level hooks used by Database's transaction rollback; they bypass
+  // constraint checks because they restore a previously valid state.
+
+  /// Overwrites a live row in place, maintaining indexes.
+  void raw_replace(RowId id, Row row);
+
+  /// Revives a tombstoned row with its prior contents.
+  void raw_revive(RowId id, Row row);
+
+  /// Applies `fn(id, row)` to every live row.
+  template <typename Fn>
+  void scan(Fn&& fn) const {
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (!live_[i]) continue;
+      fn(static_cast<RowId>(i), rows_[i]);
+    }
+  }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return live_count_; }
+
+ private:
+  void index_insert(RowId id, const Row& row);
+  void index_remove(RowId id, const Row& row);
+  void check_not_null(const Row& row) const;
+  void check_unique(const Row& row, std::optional<RowId> ignore) const;
+
+  TableDef def_;
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  std::size_t live_count_ = 0;
+
+  std::optional<std::size_t> pk_col_;  ///< Index into columns.
+  std::int64_t next_auto_ = 1;
+  std::unordered_map<Value, RowId> pk_index_;
+
+  /// column index -> (value -> row ids). Built for every IndexDef column
+  /// (first column of a composite index gets the exact-match map).
+  std::unordered_map<std::size_t, std::multimap<Value, RowId>> secondary_;
+  std::vector<std::size_t> unique_single_;  ///< Columns with UNIQUE index.
+};
+
+}  // namespace stampede::db

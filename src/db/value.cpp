@@ -1,0 +1,47 @@
+#include "db/value.hpp"
+
+#include "common/string_utils.hpp"
+
+namespace stampede::db {
+
+std::string Value::to_string() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(as_int());
+  if (is_real()) return common::format_fixed(as_real(), 6);
+  return as_text();
+}
+
+std::partial_ordering Value::compare(const Value& other) const {
+  const bool a_null = is_null();
+  const bool b_null = other.is_null();
+  if (a_null || b_null) {
+    if (a_null && b_null) return std::partial_ordering::equivalent;
+    return a_null ? std::partial_ordering::less
+                  : std::partial_ordering::greater;
+  }
+  const bool a_num = is_int() || is_real();
+  const bool b_num = other.is_int() || other.is_real();
+  if (a_num && b_num) {
+    if (is_int() && other.is_int()) {
+      const auto a = as_int();
+      const auto b = other.as_int();
+      if (a < b) return std::partial_ordering::less;
+      if (a > b) return std::partial_ordering::greater;
+      return std::partial_ordering::equivalent;
+    }
+    const double a = as_number();
+    const double b = other.as_number();
+    return a <=> b;
+  }
+  if (a_num != b_num) {
+    // Numbers sort before text (SQLite storage-class ordering).
+    return a_num ? std::partial_ordering::less
+                 : std::partial_ordering::greater;
+  }
+  const int c = as_text().compare(other.as_text());
+  if (c < 0) return std::partial_ordering::less;
+  if (c > 0) return std::partial_ordering::greater;
+  return std::partial_ordering::equivalent;
+}
+
+}  // namespace stampede::db

@@ -1,0 +1,107 @@
+#include "loader/nl_load.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+
+namespace stampede::loader {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+NlLoadStats load_stream(std::istream& in, StampedeLoader& loader) {
+  const auto start = Clock::now();
+  NlLoadStats stats;
+  nl::StreamParser parser{in};
+  while (auto record = parser.next()) {
+    ++stats.messages;
+    loader.process(*record);
+  }
+  loader.finish();
+  stats.lines = parser.lines_read();
+  stats.parse_errors = parser.errors().size();
+  stats.wall_seconds = seconds_since(start);
+  return stats;
+}
+
+NlLoadStats load_file(const std::string& path, StampedeLoader& loader) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error("nl_load: cannot open " + path);
+  }
+  return load_stream(in, loader);
+}
+
+QueuePump::QueuePump(bus::Broker& broker, std::string queue,
+                     StampedeLoader& loader)
+    : broker_(&broker), queue_(std::move(queue)), loader_(&loader) {}
+
+QueuePump::~QueuePump() { stop(); }
+
+void QueuePump::start() {
+  if (started_.exchange(true)) return;
+  worker_ = std::jthread([this](std::stop_token stop) { pump(stop); });
+}
+
+void QueuePump::stop() {
+  if (worker_.joinable()) {
+    worker_.request_stop();
+    worker_.join();
+  }
+}
+
+bool QueuePump::wait_until_drained(int timeout_ms) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (Clock::now() < deadline) {
+    const auto qs = broker_->queue_stats(queue_);
+    if (qs.depth == 0 && qs.unacked == 0) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto qs = broker_->queue_stats(queue_);
+  return qs.depth == 0 && qs.unacked == 0;
+}
+
+NlLoadStats QueuePump::stats() const {
+  const std::scoped_lock lock{stats_mutex_};
+  return stats_;
+}
+
+void QueuePump::pump(const std::stop_token& stop) {
+  const auto start = Clock::now();
+  const std::string tag = "nl_load-" + queue_;
+  while (true) {
+    auto delivery = broker_->basic_get(queue_, tag, /*timeout_ms=*/20);
+    if (!delivery) {
+      if (stop.stop_requested()) break;  // Drained and asked to stop.
+      continue;
+    }
+    nl::ParseResult parsed = nl::parse_line(delivery->message.body);
+    {
+      const std::scoped_lock lock{stats_mutex_};
+      ++stats_.lines;
+      ++stats_.messages;
+      if (std::holds_alternative<nl::ParseError>(parsed)) {
+        ++stats_.parse_errors;
+      }
+      stats_.wall_seconds = seconds_since(start);
+    }
+    if (auto* record = std::get_if<nl::LogRecord>(&parsed)) {
+      loader_->process(*record);
+    }
+    // Ack regardless: a message our parser rejects will never become
+    // parseable on redelivery.
+    broker_->ack(queue_, delivery->delivery_tag);
+  }
+  loader_->finish();
+  const std::scoped_lock lock{stats_mutex_};
+  stats_.wall_seconds = seconds_since(start);
+}
+
+}  // namespace stampede::loader

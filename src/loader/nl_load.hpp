@@ -1,0 +1,83 @@
+#pragma once
+// nl_load: the NetLogger Toolkit loader front-end (paper §IV-E).
+//
+// Reads a stream of BP messages from a file or an AMQP queue and hands
+// each to a loader module (here: StampedeLoader). Mirrors the paper's
+// command line:
+//
+//   nl_load --amqp-host=... -A queue=stampede stampede_loader
+//       connString=mysql://.../mydb
+//
+// The file path corresponds to replaying retained plain-text logs, and
+// the queue path to real-time loading while the workflow runs (§VII-A).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "bus/broker.hpp"
+#include "loader/stampede_loader.hpp"
+#include "netlogger/parser.hpp"
+
+namespace stampede::loader {
+
+struct NlLoadStats {
+  std::uint64_t lines = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t messages = 0;
+  double wall_seconds = 0.0;  ///< Real time spent in the pump.
+
+  [[nodiscard]] double events_per_second() const noexcept {
+    return wall_seconds > 0 ? static_cast<double>(messages) / wall_seconds
+                            : 0.0;
+  }
+};
+
+/// Replays a BP log file into the loader synchronously. Returns pump
+/// statistics; loader-level outcomes are on loader.stats().
+NlLoadStats load_file(const std::string& path, StampedeLoader& loader);
+
+/// Parses BP text from any istream into the loader (for tests/pipes).
+NlLoadStats load_stream(std::istream& in, StampedeLoader& loader);
+
+/// Real-time loader pump attached to an AMQP queue. Runs on its own
+/// thread; messages are acked only after the loader accepted or
+/// definitively rejected them, so an interrupted pump redelivers.
+class QueuePump {
+ public:
+  /// Declares (idempotently) `queue` on the broker and binds it to
+  /// `exchange` with `binding_key` before consuming.
+  QueuePump(bus::Broker& broker, std::string queue, StampedeLoader& loader);
+
+  ~QueuePump();
+  QueuePump(const QueuePump&) = delete;
+  QueuePump& operator=(const QueuePump&) = delete;
+
+  /// Begins consuming.
+  void start();
+
+  /// Stops after draining everything currently in the queue; flushes the
+  /// loader. Idempotent.
+  void stop();
+
+  /// Blocks until the queue is observed empty (all published messages
+  /// consumed) or `timeout_ms` elapsed. Returns true when drained.
+  bool wait_until_drained(int timeout_ms);
+
+  [[nodiscard]] NlLoadStats stats() const;
+
+ private:
+  void pump(const std::stop_token& stop);
+
+  bus::Broker* broker_;
+  std::string queue_;
+  StampedeLoader* loader_;
+  std::jthread worker_;
+  mutable std::mutex stats_mutex_;
+  NlLoadStats stats_;
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace stampede::loader

@@ -1,0 +1,46 @@
+#include "netlogger/bp_file.hpp"
+
+#include <stdexcept>
+
+namespace stampede::nl {
+
+BpFileWriter::BpFileWriter(const std::string& path, TsFormat ts_format)
+    : out_(path, std::ios::app), ts_format_(ts_format) {
+  if (!out_) {
+    throw std::runtime_error("BpFileWriter: cannot open " + path);
+  }
+}
+
+void BpFileWriter::write(const LogRecord& record) {
+  out_ << format_record(record, ts_format_) << '\n';
+  ++count_;
+}
+
+void BpFileWriter::flush() { out_.flush(); }
+
+BpFileContents read_bp_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error("read_bp_file: cannot open " + path);
+  }
+  BpFileContents contents;
+  StreamParser parser{in};
+  while (auto record = parser.next()) {
+    contents.records.push_back(std::move(*record));
+  }
+  contents.errors = parser.errors();
+  return contents;
+}
+
+void write_bp_file(const std::string& path,
+                   const std::vector<LogRecord>& records, TsFormat ts_format) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) {
+    throw std::runtime_error("write_bp_file: cannot open " + path);
+  }
+  for (const auto& record : records) {
+    out << format_record(record, ts_format) << '\n';
+  }
+}
+
+}  // namespace stampede::nl

@@ -1,0 +1,56 @@
+#pragma once
+// BP log file reader/writer.
+//
+// Workflow engines append normalized events to plain-text BP files (the
+// paper keeps the original plain-text logs alongside the AMQP stream,
+// §VII-A); nl_load can later replay them into the archive.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "netlogger/formatter.hpp"
+#include "netlogger/parser.hpp"
+#include "netlogger/record.hpp"
+
+namespace stampede::nl {
+
+/// Append-only writer for BP log files.
+class BpFileWriter {
+ public:
+  /// Opens (creating or appending). Throws std::runtime_error on failure.
+  explicit BpFileWriter(const std::string& path,
+                        TsFormat ts_format = TsFormat::kIso8601);
+
+  /// Appends one record as a line.
+  void write(const LogRecord& record);
+
+  /// Flushes buffered output to the OS.
+  void flush();
+
+  [[nodiscard]] std::size_t records_written() const noexcept {
+    return count_;
+  }
+
+ private:
+  std::ofstream out_;
+  TsFormat ts_format_;
+  std::size_t count_ = 0;
+};
+
+/// Reads a whole BP file; malformed lines are collected, not fatal.
+struct BpFileContents {
+  std::vector<LogRecord> records;
+  std::vector<ParseError> errors;
+};
+
+/// Loads every record from `path`. Throws std::runtime_error if the file
+/// cannot be opened.
+[[nodiscard]] BpFileContents read_bp_file(const std::string& path);
+
+/// Writes all records to `path`, truncating. Throws on open failure.
+void write_bp_file(const std::string& path,
+                   const std::vector<LogRecord>& records,
+                   TsFormat ts_format = TsFormat::kIso8601);
+
+}  // namespace stampede::nl

@@ -1,0 +1,101 @@
+#pragma once
+// The Stampede event catalogue (paper §IV, and DESIGN.md §5).
+//
+// Producers (the Triana and Pegasus integrations) and the consumer
+// (stampede_loader) agree on these dotted event names; the YANG schema in
+// src/yang/stampede_schema.cpp formalizes the attributes each carries.
+
+#include <string_view>
+
+namespace stampede::nl::events {
+
+// -- workflow lifecycle -----------------------------------------------------
+inline constexpr std::string_view kWfPlan = "stampede.wf.plan";
+inline constexpr std::string_view kXwfStart = "stampede.xwf.start";
+inline constexpr std::string_view kXwfEnd = "stampede.xwf.end";
+
+// -- static structure (emitted before execution begins) ---------------------
+inline constexpr std::string_view kTaskInfo = "stampede.task.info";
+inline constexpr std::string_view kTaskEdge = "stampede.task.edge";
+inline constexpr std::string_view kJobInfo = "stampede.job.info";
+inline constexpr std::string_view kJobEdge = "stampede.job.edge";
+inline constexpr std::string_view kMapTaskJob = "stampede.wf.map.task_job";
+inline constexpr std::string_view kMapSubwfJob = "stampede.xwf.map.subwf_job";
+
+// -- job-instance lifecycle ---------------------------------------------------
+inline constexpr std::string_view kJobInstPreStart =
+    "stampede.job_inst.pre.start";
+inline constexpr std::string_view kJobInstPreTerm =
+    "stampede.job_inst.pre.term";
+inline constexpr std::string_view kJobInstPreEnd = "stampede.job_inst.pre.end";
+inline constexpr std::string_view kJobInstSubmitStart =
+    "stampede.job_inst.submit.start";
+inline constexpr std::string_view kJobInstSubmitEnd =
+    "stampede.job_inst.submit.end";
+inline constexpr std::string_view kJobInstHeldStart =
+    "stampede.job_inst.held.start";
+inline constexpr std::string_view kJobInstHeldEnd =
+    "stampede.job_inst.held.end";
+inline constexpr std::string_view kJobInstMainStart =
+    "stampede.job_inst.main.start";
+inline constexpr std::string_view kJobInstMainTerm =
+    "stampede.job_inst.main.term";
+inline constexpr std::string_view kJobInstMainEnd =
+    "stampede.job_inst.main.end";
+inline constexpr std::string_view kJobInstPostStart =
+    "stampede.job_inst.post.start";
+inline constexpr std::string_view kJobInstPostTerm =
+    "stampede.job_inst.post.term";
+inline constexpr std::string_view kJobInstPostEnd =
+    "stampede.job_inst.post.end";
+inline constexpr std::string_view kJobInstHostInfo =
+    "stampede.job_inst.host.info";
+inline constexpr std::string_view kJobInstImageInfo =
+    "stampede.job_inst.image.info";
+
+// -- invocations --------------------------------------------------------------
+inline constexpr std::string_view kInvStart = "stampede.inv.start";
+inline constexpr std::string_view kInvEnd = "stampede.inv.end";
+
+// -- common attribute keys ----------------------------------------------------
+namespace attr {
+inline constexpr std::string_view kXwfId = "xwf.id";
+inline constexpr std::string_view kParentXwfId = "parent.xwf.id";
+inline constexpr std::string_view kRootXwfId = "root.xwf.id";
+inline constexpr std::string_view kTaskId = "task.id";
+inline constexpr std::string_view kJobId = "job.id";
+inline constexpr std::string_view kJobInstId = "job_inst.id";
+inline constexpr std::string_view kInvId = "inv.id";
+inline constexpr std::string_view kParentTaskId = "parent.task.id";
+inline constexpr std::string_view kChildTaskId = "child.task.id";
+inline constexpr std::string_view kParentJobId = "parent.job.id";
+inline constexpr std::string_view kChildJobId = "child.job.id";
+inline constexpr std::string_view kSubwfId = "subwf.id";
+inline constexpr std::string_view kRestartCount = "restart_count";
+inline constexpr std::string_view kStatus = "status";
+inline constexpr std::string_view kExitcode = "exitcode";
+inline constexpr std::string_view kDur = "dur";
+inline constexpr std::string_view kRemoteCpuTime = "remote_cpu_time";
+inline constexpr std::string_view kName = "name";
+inline constexpr std::string_view kType = "type";
+inline constexpr std::string_view kTypeDesc = "type_desc";
+inline constexpr std::string_view kTransformation = "transformation";
+inline constexpr std::string_view kArgv = "argv";
+inline constexpr std::string_view kExecutable = "executable";
+inline constexpr std::string_view kSite = "site";
+inline constexpr std::string_view kHostname = "hostname";
+inline constexpr std::string_view kIp = "ip";
+inline constexpr std::string_view kTotalMemory = "total_memory";
+inline constexpr std::string_view kUname = "uname";
+inline constexpr std::string_view kSchedId = "sched.id";
+inline constexpr std::string_view kJobSubmitSeq = "js.id";
+inline constexpr std::string_view kStdOut = "stdout.text";
+inline constexpr std::string_view kStdErr = "stderr.text";
+inline constexpr std::string_view kStdFile = "stdout.file";
+inline constexpr std::string_view kSubmitDir = "submit.dir";
+inline constexpr std::string_view kPlanner = "planner.version";
+inline constexpr std::string_view kUser = "user";
+inline constexpr std::string_view kDaxLabel = "dax.label";
+}  // namespace attr
+
+}  // namespace stampede::nl::events

@@ -1,0 +1,29 @@
+#include "netlogger/formatter.hpp"
+
+#include "common/string_utils.hpp"
+#include "common/time_utils.hpp"
+#include "netlogger/parser.hpp"
+
+namespace stampede::nl {
+
+std::string format_record(const LogRecord& record, TsFormat ts_format) {
+  std::string out = "ts=";
+  if (ts_format == TsFormat::kIso8601) {
+    out += common::format_iso8601(record.ts());
+  } else {
+    out += common::format_fixed(record.ts(), 6);
+  }
+  out += " event=";
+  out += escape_value(record.event());
+  out += " level=";
+  out += level_name(record.level());
+  for (const auto& [key, value] : record.attributes()) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += escape_value(value);
+  }
+  return out;
+}
+
+}  // namespace stampede::nl

@@ -1,0 +1,21 @@
+#pragma once
+// Renders LogRecords back to canonical BP text.
+
+#include <string>
+
+#include "netlogger/record.hpp"
+
+namespace stampede::nl {
+
+/// Timestamp rendering choice; the paper's examples use ISO8601 but the
+/// loader accepts either, and epoch is cheaper for high-rate producers.
+enum class TsFormat { kIso8601, kEpochSeconds };
+
+/// Formats one record as a single BP line (no trailing newline).
+/// `ts=` then `event=` then `level=` lead, followed by the remaining
+/// attributes in insertion order — the canonical ordering used in the
+/// paper's example messages.
+[[nodiscard]] std::string format_record(const LogRecord& record,
+                                        TsFormat ts_format = TsFormat::kIso8601);
+
+}  // namespace stampede::nl

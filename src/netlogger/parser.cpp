@@ -1,0 +1,137 @@
+#include "netlogger/parser.hpp"
+
+#include <cctype>
+
+#include "common/string_utils.hpp"
+#include "common/time_utils.hpp"
+
+namespace stampede::nl {
+namespace {
+
+bool is_key_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+         c == '_' || c == '-';
+}
+
+}  // namespace
+
+std::string escape_value(std::string_view value) {
+  bool needs_quotes = value.empty();
+  for (const char c : value) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0 || c == '=' ||
+        c == '"' || c == '\\') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string{value};
+  std::string out;
+  out.reserve(value.size() + 2);
+  out.push_back('"');
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+ParseResult parse_line(std::string_view line) {
+  const std::string_view trimmed = common::trim(line);
+  if (trimmed.empty() || trimmed.front() == '#') {
+    return ParseError{0, 0, "empty"};
+  }
+
+  LogRecord record;
+  bool saw_ts = false;
+  bool saw_event = false;
+
+  std::size_t i = 0;
+  const std::size_t n = trimmed.size();
+  while (i < n) {
+    // Skip inter-pair whitespace.
+    while (i < n && std::isspace(static_cast<unsigned char>(trimmed[i]))) ++i;
+    if (i >= n) break;
+
+    // Key.
+    const std::size_t key_start = i;
+    while (i < n && is_key_char(trimmed[i])) ++i;
+    if (i == key_start || i >= n || trimmed[i] != '=') {
+      return ParseError{0, i, "expected key=value pair"};
+    }
+    const std::string_view key = trimmed.substr(key_start, i - key_start);
+    ++i;  // consume '='
+
+    // Value: quoted or bare.
+    std::string value;
+    if (i < n && trimmed[i] == '"') {
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        const char c = trimmed[i];
+        if (c == '\\') {
+          if (i + 1 >= n) return ParseError{0, i, "dangling escape"};
+          value.push_back(trimmed[i + 1]);
+          i += 2;
+        } else if (c == '"') {
+          ++i;
+          closed = true;
+          break;
+        } else {
+          value.push_back(c);
+          ++i;
+        }
+      }
+      if (!closed) return ParseError{0, i, "unterminated quoted value"};
+      if (i < n && !std::isspace(static_cast<unsigned char>(trimmed[i]))) {
+        return ParseError{0, i, "garbage after quoted value"};
+      }
+    } else {
+      const std::size_t val_start = i;
+      while (i < n && !std::isspace(static_cast<unsigned char>(trimmed[i]))) {
+        ++i;
+      }
+      value.assign(trimmed.substr(val_start, i - val_start));
+    }
+
+    if (key == "ts") {
+      const auto ts = common::parse_timestamp(value);
+      if (!ts) return ParseError{0, key_start, "bad timestamp: " + value};
+      record.set_ts(*ts);
+      saw_ts = true;
+    } else if (key == "event") {
+      if (value.empty()) return ParseError{0, key_start, "empty event name"};
+      record.set_event(std::move(value));
+      saw_event = true;
+    } else if (key == "level") {
+      const auto level = parse_level(value);
+      if (!level) return ParseError{0, key_start, "bad level: " + value};
+      record.set_level(*level);
+    } else {
+      record.set(key, std::move(value));
+    }
+  }
+
+  if (!saw_ts) return ParseError{0, 0, "missing ts"};
+  if (!saw_event) return ParseError{0, 0, "missing event"};
+  return record;
+}
+
+std::optional<LogRecord> StreamParser::next() {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++lines_;
+    const std::string_view trimmed = common::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    ParseResult result = parse_line(line);
+    if (auto* record = std::get_if<LogRecord>(&result)) {
+      return std::move(*record);
+    }
+    auto& err = std::get<ParseError>(result);
+    err.line_number = lines_;
+    errors_.push_back(std::move(err));
+  }
+  return std::nullopt;
+}
+
+}  // namespace stampede::nl

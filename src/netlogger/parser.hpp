@@ -1,0 +1,63 @@
+#pragma once
+// Parser for NetLogger Best-Practices log lines.
+//
+// Grammar (per the BP guide): a line is a whitespace-separated sequence of
+// `key=value` pairs. Values containing whitespace or '=' are wrapped in
+// double quotes with backslash escapes for `"` and `\`. The `ts` value may
+// be ISO8601 or epoch seconds; `event` is a dotted hierarchical name.
+//
+// The parser is tolerant: a malformed line yields a ParseError rather than
+// an exception, because the loader must keep running across garbage in a
+// multi-gigabyte log stream and report error counts (paper §IV: thousands
+// of log files feeding one repository).
+
+#include <istream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "netlogger/record.hpp"
+
+namespace stampede::nl {
+
+/// Why a line failed to parse.
+struct ParseError {
+  std::size_t line_number = 0;  ///< 1-based, when parsing a stream; else 0.
+  std::size_t column = 0;       ///< 0-based byte offset of the error.
+  std::string message;
+};
+
+using ParseResult = std::variant<LogRecord, ParseError>;
+
+/// Parses one BP line. Requires `ts` and `event` keys; `level` defaults to
+/// Info. Blank/comment(#) lines produce a ParseError with message "empty"
+/// — stream-level APIs skip those silently.
+[[nodiscard]] ParseResult parse_line(std::string_view line);
+
+/// Escapes a value for inclusion in a BP line (quotes iff needed).
+[[nodiscard]] std::string escape_value(std::string_view value);
+
+/// Incremental parser over an input stream; counts lines and errors.
+class StreamParser {
+ public:
+  explicit StreamParser(std::istream& in) : in_(&in) {}
+
+  /// Returns the next well-formed record, skipping blank and comment
+  /// lines. Malformed lines are recorded in errors() and skipped.
+  /// nullopt at end of stream.
+  [[nodiscard]] std::optional<LogRecord> next();
+
+  [[nodiscard]] const std::vector<ParseError>& errors() const noexcept {
+    return errors_;
+  }
+  [[nodiscard]] std::size_t lines_read() const noexcept { return lines_; }
+
+ private:
+  std::istream* in_;
+  std::vector<ParseError> errors_;
+  std::size_t lines_ = 0;
+};
+
+}  // namespace stampede::nl

@@ -1,0 +1,102 @@
+#include "netlogger/record.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+
+#include "common/string_utils.hpp"
+
+namespace stampede::nl {
+namespace {
+
+constexpr std::array<std::string_view, 6> kLevelNames = {
+    "Fatal", "Error", "Warn", "Info", "Debug", "Trace"};
+
+}  // namespace
+
+std::string_view level_name(Level level) noexcept {
+  return kLevelNames[static_cast<std::size_t>(level)];
+}
+
+std::optional<Level> parse_level(std::string_view name) {
+  const std::string lower = common::to_lower(name);
+  for (std::size_t i = 0; i < kLevelNames.size(); ++i) {
+    if (lower == common::to_lower(kLevelNames[i])) {
+      return static_cast<Level>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+void LogRecord::set(std::string_view key, std::string value) {
+  for (auto& [k, v] : attrs_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attrs_.emplace_back(std::string{key}, std::move(value));
+}
+
+void LogRecord::set(std::string_view key, std::int64_t value) {
+  set(key, std::to_string(value));
+}
+
+void LogRecord::set(std::string_view key, double value) {
+  set(key, common::format_fixed(value, 6));
+}
+
+void LogRecord::set(std::string_view key, const common::Uuid& value) {
+  set(key, value.to_string());
+}
+
+std::optional<std::string_view> LogRecord::get(
+    std::string_view key) const noexcept {
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return std::string_view{v};
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> LogRecord::get_int(
+    std::string_view key) const noexcept {
+  const auto raw = get(key);
+  if (!raw) return std::nullopt;
+  const std::string owned{*raw};
+  char* end = nullptr;
+  const long long v = std::strtoll(owned.c_str(), &end, 10);
+  if (end != owned.c_str() + owned.size() || owned.empty()) {
+    return std::nullopt;
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<double> LogRecord::get_double(
+    std::string_view key) const noexcept {
+  const auto raw = get(key);
+  if (!raw) return std::nullopt;
+  const std::string owned{*raw};
+  char* end = nullptr;
+  const double v = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size() || owned.empty()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<common::Uuid> LogRecord::get_uuid(
+    std::string_view key) const noexcept {
+  const auto raw = get(key);
+  if (!raw) return std::nullopt;
+  return common::Uuid::parse(*raw);
+}
+
+bool LogRecord::erase(std::string_view key) {
+  const auto it = std::find_if(attrs_.begin(), attrs_.end(),
+                               [&](const auto& kv) { return kv.first == key; });
+  if (it == attrs_.end()) return false;
+  attrs_.erase(it);
+  return true;
+}
+
+}  // namespace stampede::nl

@@ -1,0 +1,99 @@
+#pragma once
+// NetLogger Best-Practices (BP) log record.
+//
+// A BP message is a single line of `key=value` pairs. Three keys are
+// universal: `ts` (timestamp), `event` (hierarchical dotted name) and
+// `level`. The Stampede data model (paper §IV-B) rides on top of this
+// format; every monitoring datum in the system is one of these records.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/time_utils.hpp"
+#include "common/uuid.hpp"
+
+namespace stampede::nl {
+
+/// Severity levels from the NetLogger BP guide.
+enum class Level : std::uint8_t {
+  kFatal,
+  kError,
+  kWarn,
+  kInfo,
+  kDebug,
+  kTrace,
+};
+
+/// Renders the canonical capitalized name ("Info", "Error", ...).
+[[nodiscard]] std::string_view level_name(Level level) noexcept;
+
+/// Parses a level name case-insensitively.
+[[nodiscard]] std::optional<Level> parse_level(std::string_view name);
+
+/// One BP log message.
+///
+/// Attribute order is preserved (insertion order) so formatted output is
+/// stable and diff-able; lookup is linear, which is faster than a map for
+/// the ≤20 attributes real events carry.
+class LogRecord {
+ public:
+  LogRecord() = default;
+
+  /// Convenience constructor for producers.
+  LogRecord(common::Timestamp ts, std::string event, Level level = Level::kInfo)
+      : ts_(ts), event_(std::move(event)), level_(level) {}
+
+  [[nodiscard]] common::Timestamp ts() const noexcept { return ts_; }
+  void set_ts(common::Timestamp ts) noexcept { ts_ = ts; }
+
+  [[nodiscard]] const std::string& event() const noexcept { return event_; }
+  void set_event(std::string event) { event_ = std::move(event); }
+
+  [[nodiscard]] Level level() const noexcept { return level_; }
+  void set_level(Level level) noexcept { level_ = level; }
+
+  /// Sets (or replaces) an attribute.
+  void set(std::string_view key, std::string value);
+  void set(std::string_view key, std::int64_t value);
+  void set(std::string_view key, double value);
+  void set(std::string_view key, const common::Uuid& value);
+
+  /// Raw string lookup; nullopt when absent.
+  [[nodiscard]] std::optional<std::string_view> get(
+      std::string_view key) const noexcept;
+
+  /// Typed lookups; nullopt when absent *or* unparseable.
+  [[nodiscard]] std::optional<std::int64_t> get_int(
+      std::string_view key) const noexcept;
+  [[nodiscard]] std::optional<double> get_double(
+      std::string_view key) const noexcept;
+  [[nodiscard]] std::optional<common::Uuid> get_uuid(
+      std::string_view key) const noexcept;
+
+  [[nodiscard]] bool has(std::string_view key) const noexcept {
+    return get(key).has_value();
+  }
+
+  /// Removes an attribute; returns true if it was present.
+  bool erase(std::string_view key);
+
+  /// All attributes, in insertion order (excludes ts/event/level).
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  attributes() const noexcept {
+    return attrs_;
+  }
+
+  friend bool operator==(const LogRecord&, const LogRecord&) = default;
+
+ private:
+  common::Timestamp ts_ = 0.0;
+  std::string event_;
+  Level level_ = Level::kInfo;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+};
+
+}  // namespace stampede::nl

@@ -1,0 +1,62 @@
+#pragma once
+// Event sinks: where engines send their normalized Stampede events.
+//
+// The paper's Triana integration (§V, Fig. 5) lets the Rabbit Appender
+// record events "to either a file for later evaluation, or ... directly
+// to an AMQP queue for runtime processing". This interface abstracts that
+// choice; a fan-out sink supports doing both at once (the DART experiment
+// retained the plain-text logs *and* streamed to AMQP, §VII-A).
+
+#include <memory>
+#include <vector>
+
+#include "netlogger/bp_file.hpp"
+#include "netlogger/record.hpp"
+
+namespace stampede::nl {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void emit(const LogRecord& record) = 0;
+};
+
+/// Collects events in memory (tests, replay fixtures).
+class VectorSink final : public EventSink {
+ public:
+  void emit(const LogRecord& record) override { records_.push_back(record); }
+  [[nodiscard]] const std::vector<LogRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+/// Appends events to a BP log file.
+class FileSink final : public EventSink {
+ public:
+  explicit FileSink(const std::string& path) : writer_(path) {}
+  void emit(const LogRecord& record) override {
+    writer_.write(record);
+    writer_.flush();
+  }
+
+ private:
+  BpFileWriter writer_;
+};
+
+/// Fans one event out to several sinks.
+class TeeSink final : public EventSink {
+ public:
+  void add(EventSink& sink) { sinks_.push_back(&sink); }
+  void emit(const LogRecord& record) override {
+    for (auto* sink : sinks_) sink->emit(record);
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+}  // namespace stampede::nl

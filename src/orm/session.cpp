@@ -1,0 +1,64 @@
+#include "orm/session.hpp"
+
+namespace stampede::orm {
+
+Session::~Session() {
+  try {
+    flush();
+  } catch (...) {
+    // A destructor must not throw; pending rows are lost, which mirrors
+    // an uncommitted SQLAlchemy session being garbage-collected.
+  }
+}
+
+void Session::add(std::string table, db::NamedValues values) {
+  pending_.emplace_back(InsertOp{std::move(table), std::move(values)});
+  ++stats_.queued;
+  if (pending_.size() >= batch_size_) flush();
+}
+
+void Session::add_update_pk(std::string table, std::int64_t pk,
+                            db::NamedValues sets) {
+  pending_.emplace_back(UpdatePkOp{std::move(table), pk, std::move(sets)});
+  ++stats_.queued;
+  if (pending_.size() >= batch_size_) flush();
+}
+
+std::int64_t Session::insert_now(const std::string& table,
+                                 const db::NamedValues& values) {
+  flush();
+  ++stats_.queued;
+  ++stats_.flushed_ops;
+  return db_->insert(table, values);
+}
+
+void Session::flush() {
+  if (pending_.empty()) return;
+  db_->begin();
+  try {
+    for (const auto& op : pending_) {
+      if (const auto* ins = std::get_if<InsertOp>(&op)) {
+        db_->insert(ins->table, ins->values);
+      } else {
+        const auto& upd = std::get<UpdatePkOp>(op);
+        db_->update_pk(upd.table, upd.pk, upd.sets);
+      }
+    }
+    db_->commit();
+  } catch (...) {
+    db_->rollback();
+    throw;
+  }
+  stats_.flushed_ops += pending_.size();
+  ++stats_.flush_batches;
+  pending_.clear();
+}
+
+std::size_t Session::update(const std::string& table,
+                            const db::ExprPtr& predicate,
+                            const db::NamedValues& sets) {
+  flush();
+  return db_->update(table, predicate, sets);
+}
+
+}  // namespace stampede::orm

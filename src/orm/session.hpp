@@ -1,0 +1,79 @@
+#pragma once
+// Unit-of-work session (the SQLAlchemy-substitute surface the loader uses).
+//
+// Inserts and primary-key updates are queued in arrival order and flushed
+// in batches inside one transaction — the "batching similar inserts
+// together" optimization the paper credits for Pegasus-scale loading
+// performance (§V-D). Reads must call flush() (or use the flushing
+// helpers) to see queued state.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <variant>
+
+#include "db/database.hpp"
+
+namespace stampede::orm {
+
+struct SessionStats {
+  std::uint64_t queued = 0;
+  std::uint64_t flushed_ops = 0;
+  std::uint64_t flush_batches = 0;
+};
+
+class Session {
+ public:
+  /// `batch_size`: pending operations that trigger an automatic flush.
+  explicit Session(db::Database& database, std::size_t batch_size = 256)
+      : db_(&database), batch_size_(batch_size) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  ~Session();
+
+  /// Queues an insert whose generated key nobody needs.
+  void add(std::string table, db::NamedValues values);
+
+  /// Queues an indexed single-row update by primary key.
+  void add_update_pk(std::string table, std::int64_t pk,
+                     db::NamedValues sets);
+
+  /// Flush-then-insert for rows whose generated primary key the caller
+  /// needs right away (e.g. workflow → wf_id used by every child row).
+  std::int64_t insert_now(const std::string& table,
+                          const db::NamedValues& values);
+
+  /// Writes all pending operations, in order, inside one transaction.
+  void flush();
+
+  /// Predicate update against flushed state (flushes first).
+  std::size_t update(const std::string& table, const db::ExprPtr& predicate,
+                     const db::NamedValues& sets);
+
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] db::Database& database() noexcept { return *db_; }
+
+ private:
+  struct InsertOp {
+    std::string table;
+    db::NamedValues values;
+  };
+  struct UpdatePkOp {
+    std::string table;
+    std::int64_t pk;
+    db::NamedValues sets;
+  };
+  using Op = std::variant<InsertOp, UpdatePkOp>;
+
+  db::Database* db_;
+  std::size_t batch_size_;
+  std::deque<Op> pending_;
+  SessionStats stats_;
+};
+
+}  // namespace stampede::orm

@@ -1,0 +1,262 @@
+#include "orm/stampede_tables.hpp"
+
+namespace stampede::orm {
+namespace {
+
+using db::ColumnDef;
+using db::ColumnType;
+using db::IndexDef;
+using db::TableDef;
+
+ColumnDef col(std::string name, ColumnType type, bool not_null = false) {
+  ColumnDef c;
+  c.name = std::move(name);
+  c.type = type;
+  c.not_null = not_null;
+  return c;
+}
+
+TableDef workflow_table() {
+  TableDef t;
+  t.name = "workflow";
+  t.primary_key = "wf_id";
+  t.columns = {
+      col("wf_id", ColumnType::kInteger),
+      col("wf_uuid", ColumnType::kText, true),
+      col("dax_label", ColumnType::kText),
+      col("timestamp", ColumnType::kReal),
+      col("submit_hostname", ColumnType::kText),
+      col("submit_dir", ColumnType::kText),
+      col("planner_version", ColumnType::kText),
+      col("user", ColumnType::kText),
+      col("root_wf_id", ColumnType::kInteger),
+      col("parent_wf_id", ColumnType::kInteger),
+  };
+  t.indexes = {{"ix_workflow_wf_uuid", {"wf_uuid"}, /*unique=*/true},
+               {"ix_workflow_parent", {"parent_wf_id"}, false},
+               {"ix_workflow_root", {"root_wf_id"}, false}};
+  return t;
+}
+
+TableDef workflowstate_table() {
+  TableDef t;
+  t.name = "workflowstate";
+  t.columns = {
+      col("wf_id", ColumnType::kInteger, true),
+      col("state", ColumnType::kText, true),  // WORKFLOW_STARTED/_TERMINATED
+      col("timestamp", ColumnType::kReal, true),
+      col("restart_count", ColumnType::kInteger),
+      col("status", ColumnType::kInteger),
+  };
+  t.foreign_keys = {{"wf_id", "workflow", "wf_id"}};
+  t.indexes = {{"ix_workflowstate_wf", {"wf_id"}, false}};
+  return t;
+}
+
+TableDef host_table() {
+  TableDef t;
+  t.name = "host";
+  t.primary_key = "host_id";
+  t.columns = {
+      col("host_id", ColumnType::kInteger),
+      col("wf_id", ColumnType::kInteger, true),
+      col("site", ColumnType::kText),
+      col("hostname", ColumnType::kText, true),
+      col("ip", ColumnType::kText),
+      col("uname", ColumnType::kText),
+      col("total_memory", ColumnType::kInteger),
+  };
+  t.foreign_keys = {{"wf_id", "workflow", "wf_id"}};
+  t.indexes = {{"ix_host_wf", {"wf_id"}, false},
+               {"ix_host_hostname", {"hostname"}, false}};
+  return t;
+}
+
+TableDef task_table() {
+  TableDef t;
+  t.name = "task";
+  t.primary_key = "task_id";
+  t.columns = {
+      col("task_id", ColumnType::kInteger),
+      col("wf_id", ColumnType::kInteger, true),
+      col("abs_task_id", ColumnType::kText, true),
+      col("job_id", ColumnType::kInteger),  // AW→EW mapping (nullable).
+      col("type", ColumnType::kText),
+      col("type_desc", ColumnType::kText),
+      col("transformation", ColumnType::kText, true),
+      col("argv", ColumnType::kText),
+  };
+  t.foreign_keys = {{"wf_id", "workflow", "wf_id"},
+                    {"job_id", "job", "job_id"}};
+  t.indexes = {{"ix_task_wf", {"wf_id"}, false},
+               {"ix_task_abs", {"abs_task_id"}, false},
+               {"ix_task_job", {"job_id"}, false}};
+  return t;
+}
+
+TableDef task_edge_table() {
+  TableDef t;
+  t.name = "task_edge";
+  t.columns = {
+      col("wf_id", ColumnType::kInteger, true),
+      col("parent_abs_task_id", ColumnType::kText, true),
+      col("child_abs_task_id", ColumnType::kText, true),
+  };
+  t.foreign_keys = {{"wf_id", "workflow", "wf_id"}};
+  t.indexes = {{"ix_task_edge_wf", {"wf_id"}, false}};
+  return t;
+}
+
+TableDef job_table() {
+  TableDef t;
+  t.name = "job";
+  t.primary_key = "job_id";
+  t.columns = {
+      col("job_id", ColumnType::kInteger),
+      col("wf_id", ColumnType::kInteger, true),
+      col("exec_job_id", ColumnType::kText, true),
+      col("type", ColumnType::kText),
+      col("type_desc", ColumnType::kText),
+      col("transformation", ColumnType::kText),
+      col("executable", ColumnType::kText),
+      col("argv", ColumnType::kText),
+      col("task_count", ColumnType::kInteger),
+  };
+  t.foreign_keys = {{"wf_id", "workflow", "wf_id"}};
+  t.indexes = {{"ix_job_wf", {"wf_id"}, false},
+               {"ix_job_exec_id", {"exec_job_id"}, false}};
+  return t;
+}
+
+TableDef job_edge_table() {
+  TableDef t;
+  t.name = "job_edge";
+  t.columns = {
+      col("wf_id", ColumnType::kInteger, true),
+      col("parent_exec_job_id", ColumnType::kText, true),
+      col("child_exec_job_id", ColumnType::kText, true),
+  };
+  t.foreign_keys = {{"wf_id", "workflow", "wf_id"}};
+  t.indexes = {{"ix_job_edge_wf", {"wf_id"}, false}};
+  return t;
+}
+
+TableDef job_instance_table() {
+  TableDef t;
+  t.name = "job_instance";
+  t.primary_key = "job_instance_id";
+  t.columns = {
+      col("job_instance_id", ColumnType::kInteger),
+      col("job_id", ColumnType::kInteger, true),
+      col("host_id", ColumnType::kInteger),
+      col("job_submit_seq", ColumnType::kInteger, true),
+      col("sched_id", ColumnType::kText),
+      col("site", ColumnType::kText),
+      col("subwf_id", ColumnType::kInteger),  // wf_id of a sub-workflow.
+      col("stdout_text", ColumnType::kText),
+      col("stderr_text", ColumnType::kText),
+      col("stdout_file", ColumnType::kText),
+      col("multiplier_factor", ColumnType::kReal),
+      col("local_duration", ColumnType::kReal),
+      col("exitcode", ColumnType::kInteger),
+  };
+  t.foreign_keys = {{"job_id", "job", "job_id"},
+                    {"host_id", "host", "host_id"},
+                    {"subwf_id", "workflow", "wf_id"}};
+  t.indexes = {{"ix_ji_job", {"job_id"}, false},
+               {"ix_ji_host", {"host_id"}, false}};
+  return t;
+}
+
+TableDef jobstate_table() {
+  TableDef t;
+  t.name = "jobstate";
+  t.columns = {
+      col("job_instance_id", ColumnType::kInteger, true),
+      col("state", ColumnType::kText, true),  // SUBMIT, EXECUTE, ...
+      col("timestamp", ColumnType::kReal, true),
+      col("jobstate_submit_seq", ColumnType::kInteger),
+  };
+  t.foreign_keys = {{"job_instance_id", "job_instance", "job_instance_id"}};
+  t.indexes = {{"ix_jobstate_ji", {"job_instance_id"}, false},
+               {"ix_jobstate_state", {"state"}, false}};
+  return t;
+}
+
+TableDef invocation_table() {
+  TableDef t;
+  t.name = "invocation";
+  t.primary_key = "invocation_id";
+  t.columns = {
+      col("invocation_id", ColumnType::kInteger),
+      col("job_instance_id", ColumnType::kInteger, true),
+      col("wf_id", ColumnType::kInteger, true),
+      col("task_submit_seq", ColumnType::kInteger, true),
+      col("abs_task_id", ColumnType::kText),  // NULL for planner-added jobs.
+      col("start_time", ColumnType::kReal),
+      col("remote_duration", ColumnType::kReal),
+      col("remote_cpu_time", ColumnType::kReal),
+      col("exitcode", ColumnType::kInteger),
+      col("transformation", ColumnType::kText),
+      col("executable", ColumnType::kText),
+      col("argv", ColumnType::kText),
+  };
+  t.foreign_keys = {{"job_instance_id", "job_instance", "job_instance_id"},
+                    {"wf_id", "workflow", "wf_id"}};
+  t.indexes = {{"ix_inv_ji", {"job_instance_id"}, false},
+               {"ix_inv_wf", {"wf_id"}, false},
+               {"ix_inv_task", {"abs_task_id"}, false}};
+  return t;
+}
+
+TableDef schema_info_table() {
+  TableDef t;
+  t.name = "schema_info";
+  t.columns = {
+      col("version", ColumnType::kInteger, true),
+      col("created", ColumnType::kReal),
+  };
+  return t;
+}
+
+}  // namespace
+
+const std::vector<std::string>& stampede_table_names() {
+  static const std::vector<std::string> kNames = {
+      "workflow", "workflowstate", "host",     "task",
+      "task_edge", "job",          "job_edge", "job_instance",
+      "jobstate", "invocation",    "schema_info"};
+  return kNames;
+}
+
+void create_stampede_tables(db::Database& database) {
+  database.create_table(workflow_table());
+  database.create_table(workflowstate_table());
+  database.create_table(host_table());
+  database.create_table(task_table());
+  database.create_table(task_edge_table());
+  database.create_table(job_table());
+  database.create_table(job_edge_table());
+  database.create_table(job_instance_table());
+  database.create_table(jobstate_table());
+  database.create_table(invocation_table());
+  database.create_table(schema_info_table());
+}
+
+void create_stampede_schema(db::Database& database) {
+  create_stampede_tables(database);
+  database.insert("schema_info", {{"version", db::Value{kSchemaVersion}}});
+}
+
+std::unique_ptr<db::Database> open_archive(const std::string& wal_path) {
+  auto database = std::make_unique<db::Database>(wal_path);
+  create_stampede_tables(*database);
+  database->recover();
+  if (database->row_count("schema_info") == 0) {
+    database->insert("schema_info",
+                     {{"version", db::Value{kSchemaVersion}}});
+  }
+  return database;
+}
+
+}  // namespace stampede::orm

@@ -1,0 +1,36 @@
+#pragma once
+// DDL for the Stampede relational archive (paper Fig. 3).
+//
+// Eleven tables: workflow, workflowstate, host, task, task_edge, job,
+// job_edge, job_instance, jobstate, invocation, schema_info. The AW is
+// captured by task/task_edge, the EW by job/job_edge; the many-to-many
+// AW→EW mapping is recorded on task.job_id (populated by
+// stampede.wf.map.task_job events) plus invocation.abs_task_id.
+
+#include <memory>
+
+#include "db/database.hpp"
+
+namespace stampede::orm {
+
+/// Version tag stored in schema_info.
+inline constexpr int kSchemaVersion = 4;
+
+/// Creates all Stampede tables (throws common::DbError if any exist).
+void create_stampede_schema(db::Database& database);
+
+/// DDL only — no schema_info version row (used by open_archive, which
+/// replays the WAL before deciding whether the version row exists).
+void create_stampede_tables(db::Database& database);
+
+/// Opens (or creates) a WAL-backed archive file: creates the tables,
+/// replays the WAL, and ensures the schema_info version row exists
+/// exactly once. This is the entry point the CLI tools share.
+[[nodiscard]] std::unique_ptr<db::Database> open_archive(
+    const std::string& wal_path);
+
+/// Names of all tables created by create_stampede_schema, in creation
+/// (dependency) order.
+[[nodiscard]] const std::vector<std::string>& stampede_table_names();
+
+}  // namespace stampede::orm

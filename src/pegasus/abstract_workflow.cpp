@@ -1,0 +1,128 @@
+#include "pegasus/abstract_workflow.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace stampede::pegasus {
+
+using common::EngineError;
+
+TaskId AbstractWorkflow::add_task(AbstractTask task) {
+  tasks_.push_back(std::move(task));
+  return tasks_.size() - 1;
+}
+
+void AbstractWorkflow::add_dependency(TaskId parent, TaskId child) {
+  if (parent >= tasks_.size() || child >= tasks_.size()) {
+    throw EngineError("AW " + label_ + ": dependency endpoint out of range");
+  }
+  if (parent == child) {
+    throw EngineError("AW " + label_ + ": self-dependency on task '" +
+                      tasks_[parent].id + "'");
+  }
+  edges_.emplace_back(parent, child);
+}
+
+std::vector<TaskId> AbstractWorkflow::parents_of(TaskId id) const {
+  std::vector<TaskId> out;
+  for (const auto& [p, c] : edges_) {
+    if (c == id) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<TaskId> AbstractWorkflow::children_of(TaskId id) const {
+  std::vector<TaskId> out;
+  for (const auto& [p, c] : edges_) {
+    if (p == id) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<TaskId> AbstractWorkflow::topological_order() const {
+  std::vector<std::size_t> indegree(tasks_.size(), 0);
+  for (const auto& [p, c] : edges_) ++indegree[c];
+  std::deque<TaskId> ready;
+  for (TaskId i = 0; i < tasks_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId next = ready.front();
+    ready.pop_front();
+    order.push_back(next);
+    for (const auto& [p, c] : edges_) {
+      if (p == next && --indegree[c] == 0) ready.push_back(c);
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    throw EngineError("AW " + label_ + ": cycle detected");
+  }
+  return order;
+}
+
+std::vector<int> AbstractWorkflow::levels() const {
+  std::vector<int> level(tasks_.size(), 0);
+  for (const TaskId id : topological_order()) {
+    for (const TaskId child : children_of(id)) {
+      level[child] = std::max(level[child], level[id] + 1);
+    }
+  }
+  return level;
+}
+
+AbstractWorkflow make_diamond(double cpu_seconds) {
+  AbstractWorkflow aw{"diamond"};
+  const auto pre = aw.add_task(
+      {"preprocess_j1", "preprocess", "-a top -T60", cpu_seconds, 0.0});
+  const auto left = aw.add_task(
+      {"findrange_j2", "findrange", "-a left", cpu_seconds, 0.0});
+  const auto right = aw.add_task(
+      {"findrange_j3", "findrange", "-a right", cpu_seconds, 0.0});
+  const auto analyze =
+      aw.add_task({"analyze_j4", "analyze", "-a bottom", cpu_seconds, 0.0});
+  aw.add_dependency(pre, left);
+  aw.add_dependency(pre, right);
+  aw.add_dependency(left, analyze);
+  aw.add_dependency(right, analyze);
+  return aw;
+}
+
+AbstractWorkflow make_montage_like(int width, double cpu_seconds,
+                                   double failure_probability) {
+  AbstractWorkflow aw{"montage-" + std::to_string(width)};
+  std::vector<TaskId> projects;
+  projects.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    projects.push_back(aw.add_task({"mProject_" + std::to_string(i),
+                                    "mProject", "-i img" + std::to_string(i),
+                                    cpu_seconds, failure_probability}));
+  }
+  std::vector<TaskId> diffs;
+  for (int i = 0; i + 1 < width; ++i) {
+    const auto diff = aw.add_task({"mDiffFit_" + std::to_string(i),
+                                   "mDiffFit", "", cpu_seconds * 0.5,
+                                   failure_probability});
+    aw.add_dependency(projects[static_cast<std::size_t>(i)], diff);
+    aw.add_dependency(projects[static_cast<std::size_t>(i + 1)], diff);
+    diffs.push_back(diff);
+  }
+  const auto concat =
+      aw.add_task({"mConcatFit", "mConcatFit", "", cpu_seconds, 0.0});
+  for (const auto diff : diffs) aw.add_dependency(diff, concat);
+  std::vector<TaskId> backgrounds;
+  for (int i = 0; i < width; ++i) {
+    const auto bg = aw.add_task({"mBackground_" + std::to_string(i),
+                                 "mBackground", "", cpu_seconds * 0.5,
+                                 failure_probability});
+    aw.add_dependency(concat, bg);
+    aw.add_dependency(projects[static_cast<std::size_t>(i)], bg);
+    backgrounds.push_back(bg);
+  }
+  const auto add = aw.add_task({"mAdd", "mAdd", "", cpu_seconds * 2.0, 0.0});
+  for (const auto bg : backgrounds) aw.add_dependency(bg, add);
+  return aw;
+}
+
+}  // namespace stampede::pegasus

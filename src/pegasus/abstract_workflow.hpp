@@ -1,0 +1,93 @@
+#pragma once
+// Pegasus-style abstract workflows (the DAX of paper §III-A).
+//
+// The AW is "the input graph of tasks and dependencies, independent of a
+// given run on specific resources" (§IV-A). Unlike Triana's 1:1 mapping,
+// Pegasus restructures this graph at plan time, so the AW must exist as
+// its own artifact for the Stampede data model to reference.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+
+namespace stampede::pegasus {
+
+using TaskId = std::size_t;
+
+struct AbstractTask {
+  AbstractTask() = default;
+  AbstractTask(std::string id_, std::string transformation_,
+               std::string argv_, double cpu_seconds_,
+               double failure_probability_,
+               std::optional<std::size_t> subworkflow_ = std::nullopt)
+      : id(std::move(id_)),
+        transformation(std::move(transformation_)),
+        argv(std::move(argv_)),
+        cpu_seconds(cpu_seconds_),
+        failure_probability(failure_probability_),
+        subworkflow(subworkflow_) {}
+
+  std::string id;              ///< e.g. "findrange_j3".
+  std::string transformation;  ///< Logical executable name.
+  std::string argv;
+  double cpu_seconds = 1.0;    ///< Nominal work of the task.
+  /// Failure probability of one attempt of this task (failure injection
+  /// for analyzer / retry experiments).
+  double failure_probability = 0.0;
+  /// Index into the driver's list of child abstract workflows when this
+  /// task is a sub-DAX job (Pegasus's hierarchical workflows: the task
+  /// plans + runs a whole child workflow). nullopt for compute tasks.
+  std::optional<std::size_t> subworkflow;
+};
+
+class AbstractWorkflow {
+ public:
+  explicit AbstractWorkflow(std::string label) : label_(std::move(label)) {}
+
+  TaskId add_task(AbstractTask task);
+  /// Declares `child` depends on `parent`. Throws common::EngineError on
+  /// bad indices or self-loops.
+  void add_dependency(TaskId parent, TaskId child);
+
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] std::size_t task_count() const noexcept {
+    return tasks_.size();
+  }
+  [[nodiscard]] const AbstractTask& task(TaskId id) const {
+    return tasks_.at(id);
+  }
+  [[nodiscard]] const std::vector<std::pair<TaskId, TaskId>>& edges()
+      const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] std::vector<TaskId> parents_of(TaskId id) const;
+  [[nodiscard]] std::vector<TaskId> children_of(TaskId id) const;
+
+  /// Topological order; throws common::EngineError on cycles (AWs are
+  /// DAGs by definition, §IV-A).
+  [[nodiscard]] std::vector<TaskId> topological_order() const;
+
+  /// Topological depth (level) of every task.
+  [[nodiscard]] std::vector<int> levels() const;
+
+ private:
+  std::string label_;
+  std::vector<AbstractTask> tasks_;
+  std::vector<std::pair<TaskId, TaskId>> edges_;
+};
+
+/// The classic 4-task diamond (preprocess → findrange×2 → analyze).
+[[nodiscard]] AbstractWorkflow make_diamond(double cpu_seconds = 5.0);
+
+/// A Montage-like fan-out/fan-in workflow: `width` parallel mProject
+/// tasks, pairwise mDiffFit, one mConcatFit, `width` mBackground, one
+/// mAdd — the shape of the astronomy workflows Stampede was built for.
+[[nodiscard]] AbstractWorkflow make_montage_like(int width,
+                                                 double cpu_seconds = 4.0,
+                                                 double failure_probability = 0.0);
+
+}  // namespace stampede::pegasus

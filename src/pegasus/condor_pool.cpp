@@ -1,0 +1,41 @@
+#include "pegasus/condor_pool.hpp"
+
+namespace stampede::pegasus {
+
+CondorPool::CondorPool(sim::EventLoop& loop, CondorPoolOptions options) {
+  machines_.reserve(static_cast<std::size_t>(options.machines));
+  for (int i = 0; i < options.machines; ++i) {
+    machines_.push_back(std::make_unique<sim::PsNode>(
+        loop, options.machine_prefix + std::to_string(i),
+        options.slots_per_machine, options.cores_per_machine));
+  }
+}
+
+void CondorPool::submit(
+    double cpu_seconds,
+    std::function<void(const std::string& host, double t)> on_start,
+    std::function<void(double t)> on_done) {
+  // Least-loaded match-making, round-robin among ties.
+  std::size_t best = round_robin_ % machines_.size();
+  std::size_t best_load =
+      machines_[best]->running() + machines_[best]->queued();
+  for (std::size_t k = 0; k < machines_.size(); ++k) {
+    const std::size_t i = (round_robin_ + k) % machines_.size();
+    const std::size_t load = machines_[i]->running() + machines_[i]->queued();
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  ++round_robin_;
+  sim::PsNode& machine = *machines_[best];
+  const std::string host = machine.name();
+  machine.submit(
+      cpu_seconds,
+      [on_start = std::move(on_start), host](double t) {
+        if (on_start) on_start(host, t);
+      },
+      std::move(on_done));
+}
+
+}  // namespace stampede::pegasus

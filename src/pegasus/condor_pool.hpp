@@ -1,0 +1,46 @@
+#pragma once
+// A multi-node Condor pool: the execution substrate DAGMan submits into
+// (paper §III-A: Pegasus runs its jobs through Condor over distributed
+// resources). Jobs are matched to the least-loaded slot machine, so a
+// workflow's jobs spread over hosts — the per-host breakdowns of §VII
+// ("a single workflow can be executed over a number of hosts") need this.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/node.hpp"
+
+namespace stampede::pegasus {
+
+struct CondorPoolOptions {
+  int machines = 4;
+  int slots_per_machine = 2;
+  double cores_per_machine = 2.0;
+  std::string machine_prefix = "condor-slot-";
+};
+
+class CondorPool {
+ public:
+  CondorPool(sim::EventLoop& loop, CondorPoolOptions options = {});
+
+  CondorPool(const CondorPool&) = delete;
+  CondorPool& operator=(const CondorPool&) = delete;
+
+  /// Match-makes the job to the least-loaded machine and submits it.
+  /// `on_start(host, t)` fires at EXECUTE with the matched hostname.
+  void submit(double cpu_seconds,
+              std::function<void(const std::string& host, double t)> on_start,
+              std::function<void(double t)> on_done);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<sim::PsNode>>& machines()
+      const noexcept {
+    return machines_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<sim::PsNode>> machines_;
+  std::size_t round_robin_ = 0;
+};
+
+}  // namespace stampede::pegasus

@@ -1,0 +1,337 @@
+#include "pegasus/dagman.hpp"
+
+#include <algorithm>
+
+#include "netlogger/events.hpp"
+
+namespace stampede::pegasus {
+
+namespace ev = nl::events;
+namespace attr = nl::events::attr;
+
+Dagman::Dagman(sim::EventLoop& loop, common::Rng& rng, sim::PsNode& pool,
+               nl::EventSink& sink, DagmanOptions options)
+    : loop_(&loop),
+      rng_(&rng),
+      submit_([&pool](double cpu,
+                      std::function<void(const std::string&, double)> start,
+                      std::function<void(double)> done) {
+        const std::string host = pool.name();
+        pool.submit(
+            cpu,
+            [start = std::move(start), host](double t) {
+              if (start) start(host, t);
+            },
+            std::move(done));
+      }),
+      sink_(&sink),
+      options_(std::move(options)) {}
+
+Dagman::Dagman(sim::EventLoop& loop, common::Rng& rng, CondorPool& pool,
+               nl::EventSink& sink, DagmanOptions options)
+    : loop_(&loop),
+      rng_(&rng),
+      submit_([&pool](double cpu,
+                      std::function<void(const std::string&, double)> start,
+                      std::function<void(double)> done) {
+        pool.submit(cpu, std::move(start), std::move(done));
+      }),
+      sink_(&sink),
+      options_(std::move(options)) {}
+
+nl::LogRecord Dagman::base(double ts, std::string_view event) const {
+  nl::LogRecord r{ts, std::string{event}};
+  r.set(attr::kXwfId, options_.xwf_id);
+  return r;
+}
+
+nl::LogRecord Dagman::job_event(double ts, std::string_view event, JobId job,
+                                int attempt) const {
+  nl::LogRecord r = base(ts, event);
+  r.set(attr::kJobInstId, static_cast<std::int64_t>(
+                              attempt + options_.first_submit_seq - 1));
+  r.set(attr::kJobId, ew_->job(job).id);
+  return r;
+}
+
+std::vector<bool> Dagman::completed_jobs() const {
+  std::vector<bool> done(state_.size(), false);
+  for (std::size_t j = 0; j < state_.size(); ++j) {
+    done[j] = state_[j] == JobState::kDone;
+  }
+  return done;
+}
+
+void Dagman::emit_static_events() {
+  const double t = loop_->now();
+  nl::LogRecord plan = base(t, ev::kWfPlan);
+  plan.set(attr::kSubmitDir, options_.submit_dir);
+  plan.set(attr::kPlanner, options_.planner_version);
+  plan.set(attr::kUser, options_.user);
+  plan.set(attr::kDaxLabel, aw_->label());
+  if (options_.parent_xwf_id) {
+    plan.set(attr::kParentXwfId, *options_.parent_xwf_id);
+  }
+  sink_->emit(plan);
+
+  // Abstract workflow.
+  for (TaskId i = 0; i < aw_->task_count(); ++i) {
+    const AbstractTask& task = aw_->task(i);
+    nl::LogRecord ti = base(t, ev::kTaskInfo);
+    ti.set(attr::kTaskId, task.id);
+    ti.set(attr::kTransformation, task.transformation);
+    ti.set(attr::kType, std::string{"compute"});
+    if (!task.argv.empty()) ti.set(attr::kArgv, task.argv);
+    sink_->emit(ti);
+  }
+  for (const auto& [p, c] : aw_->edges()) {
+    nl::LogRecord te = base(t, ev::kTaskEdge);
+    te.set(attr::kParentTaskId, aw_->task(p).id);
+    te.set(attr::kChildTaskId, aw_->task(c).id);
+    sink_->emit(te);
+  }
+
+  // Executable workflow + many-to-many mapping.
+  for (JobId j = 0; j < ew_->job_count(); ++j) {
+    const ExecutableJob& job = ew_->job(j);
+    nl::LogRecord ji = base(t, ev::kJobInfo);
+    ji.set(attr::kJobId, job.id);
+    ji.set(attr::kType, std::string{job_type_name(job.type)});
+    ji.set(attr::kTransformation, job.transformation);
+    ji.set("task_count", static_cast<std::int64_t>(job.tasks.size()));
+    sink_->emit(ji);
+    for (const TaskId task : job.tasks) {
+      nl::LogRecord map = base(t, ev::kMapTaskJob);
+      map.set(attr::kTaskId, aw_->task(task).id);
+      map.set(attr::kJobId, job.id);
+      sink_->emit(map);
+    }
+  }
+  for (const auto& [p, c] : ew_->edges()) {
+    nl::LogRecord je = base(t, ev::kJobEdge);
+    je.set(attr::kParentJobId, ew_->job(p).id);
+    je.set(attr::kChildJobId, ew_->job(c).id);
+    sink_->emit(je);
+  }
+}
+
+void Dagman::run(const AbstractWorkflow& aw, const ExecutableWorkflow& ew,
+                 std::function<void(const DagmanResult&)> done) {
+  aw_ = &aw;
+  ew_ = &ew;
+  done_ = std::move(done);
+  state_.assign(ew.job_count(), JobState::kWaiting);
+  attempts_.assign(ew.job_count(), 0);
+
+  // Rescue runs resume from a prior run's completion state.
+  if (options_.rescue != nullptr) {
+    for (JobId j = 0; j < state_.size() && j < options_.rescue->size(); ++j) {
+      if ((*options_.rescue)[j]) state_[j] = JobState::kDone;
+    }
+  }
+
+  emit_static_events();
+  nl::LogRecord start = base(loop_->now(), ev::kXwfStart);
+  start.set(attr::kRestartCount,
+            static_cast<std::int64_t>(options_.restart_count));
+  sink_->emit(start);
+
+  submit_ready_jobs();
+  check_done();
+}
+
+void Dagman::submit_ready_jobs() {
+  for (JobId j = 0; j < ew_->job_count(); ++j) {
+    if (state_[j] != JobState::kWaiting) continue;
+    const auto parents = ew_->parents_of(j);
+    const bool ready =
+        std::all_of(parents.begin(), parents.end(), [this](JobId p) {
+          return state_[p] == JobState::kDone;
+        });
+    if (ready) {
+      state_[j] = JobState::kRunning;
+      submit_job(j, /*attempt=*/1);
+    }
+  }
+}
+
+void Dagman::submit_job(JobId job, int attempt) {
+  ++in_flight_;
+  attempts_[job] = attempt;
+  const double now = loop_->now();
+
+  if (options_.emit_pre_script) {
+    sink_->emit(job_event(now, ev::kJobInstPreStart, job, attempt));
+    nl::LogRecord pre = job_event(now + 0.2, ev::kJobInstPreEnd, job,
+                                  attempt);
+    pre.set(attr::kExitcode, std::int64_t{0});
+    sink_->emit(pre);
+  }
+
+  nl::LogRecord submit = job_event(now, ev::kJobInstSubmitStart, job, attempt);
+  submit.set(attr::kSchedId, std::to_string(sched_id_seq_++) + ".0");
+  sink_->emit(submit);
+  nl::LogRecord submitted =
+      job_event(now, ev::kJobInstSubmitEnd, job, attempt);
+  submitted.set(attr::kStatus, std::int64_t{0});
+  sink_->emit(submitted);
+
+  const double delay =
+      rng_->uniform(options_.submit_delay_lo, options_.submit_delay_hi);
+  loop_->schedule_in(delay, [this, job, attempt] {
+    submit_(
+        ew_->job(job).cpu_seconds,
+        /*on_start=*/
+        [this, job, attempt](const std::string& hostname, double t) {
+          nl::LogRecord running =
+              job_event(t, ev::kJobInstMainStart, job, attempt);
+          running.set(attr::kSite, options_.site);
+          sink_->emit(running);
+          nl::LogRecord host =
+              job_event(t, ev::kJobInstHostInfo, job, attempt);
+          host.set(attr::kHostname, hostname);
+          host.set(attr::kSite, options_.site);
+          sink_->emit(host);
+          exec_start_[job] = t;
+        },
+        /*on_done=*/
+        [this, job, attempt](double t) {
+          const double start = exec_start_[job];
+          const ExecutableJob& ej = ew_->job(job);
+
+          // Hierarchical workflows: the sub-DAX job's node work models
+          // the pegasus-plan wrapper; the child workflow then runs via
+          // the handler and determines the job's exit code.
+          if (ej.type == JobType::kSubDag && subworkflow_handler_) {
+            const common::Uuid child = subworkflow_handler_(
+                ej, attempt, [this, job, attempt, start](double end,
+                                                         int status) {
+                  job_finished(job, attempt, start, end,
+                               status == 0 ? 0 : 1);
+                });
+            nl::LogRecord map = base(t, ev::kMapSubwfJob);
+            map.set(attr::kSubwfId, child);
+            map.set(attr::kJobId, ej.id);
+            map.set(attr::kJobInstId,
+                    static_cast<std::int64_t>(attempt +
+                                              options_.first_submit_seq - 1));
+            sink_->emit(map);
+            return;
+          }
+
+          // Kickstart invocation records: one per fused AW task, the job
+          // duration apportioned by each task's share of the work. A
+          // task attempt fails with its declared probability.
+          int exitcode = 0;
+          const double duration = t - start;
+          if (ej.tasks.empty()) {
+            nl::LogRecord inv = base(t, ev::kInvEnd);
+            inv.set(attr::kJobInstId,
+                    static_cast<std::int64_t>(attempt +
+                                              options_.first_submit_seq - 1));
+            inv.set(attr::kJobId, ej.id);
+            inv.set(attr::kInvId, std::int64_t{1});
+            inv.set(attr::kDur, duration);
+            inv.set(attr::kRemoteCpuTime, ej.cpu_seconds);
+            inv.set(attr::kExitcode, std::int64_t{0});
+            inv.set(attr::kTransformation, ej.transformation);
+            inv.set(attr::kSite, options_.site);
+            sink_->emit(inv);
+          } else {
+            double offset = 0.0;
+            int inv_seq = 1;
+            for (const TaskId task : ej.tasks) {
+              const AbstractTask& at = aw_->task(task);
+              const double share =
+                  ej.cpu_seconds > 0 ? at.cpu_seconds / ej.cpu_seconds : 1.0;
+              const double dur = duration * share;
+              const bool failed = rng_->chance(at.failure_probability);
+              nl::LogRecord inv_start = base(start + offset, ev::kInvStart);
+              inv_start.set(attr::kJobInstId,
+                            static_cast<std::int64_t>(
+                                attempt + options_.first_submit_seq - 1));
+              inv_start.set(attr::kJobId, ej.id);
+              inv_start.set(attr::kInvId, static_cast<std::int64_t>(inv_seq));
+              sink_->emit(inv_start);
+
+              nl::LogRecord inv = base(start + offset + dur, ev::kInvEnd);
+              inv.set(attr::kJobInstId,
+                      static_cast<std::int64_t>(
+                          attempt + options_.first_submit_seq - 1));
+              inv.set(attr::kJobId, ej.id);
+              inv.set(attr::kInvId, static_cast<std::int64_t>(inv_seq));
+              inv.set(attr::kTaskId, at.id);
+              inv.set("start_time", start + offset);
+              inv.set(attr::kDur, dur);
+              inv.set(attr::kRemoteCpuTime, at.cpu_seconds);
+              inv.set(attr::kExitcode, std::int64_t{failed ? 1 : 0});
+              inv.set(attr::kTransformation, at.transformation);
+              inv.set(attr::kSite, options_.site);
+              sink_->emit(inv);
+              if (failed) exitcode = 1;
+              offset += dur;
+              ++inv_seq;
+            }
+          }
+          job_finished(job, attempt, start, t, exitcode);
+        });
+  });
+}
+
+void Dagman::job_finished(JobId job, int attempt, double /*start*/,
+                          double end, int exitcode) {
+  nl::LogRecord term = job_event(end, ev::kJobInstMainTerm, job, attempt);
+  term.set(attr::kStatus, std::int64_t{exitcode == 0 ? 0 : -1});
+  sink_->emit(term);
+  nl::LogRecord main_end = job_event(end, ev::kJobInstMainEnd, job, attempt);
+  main_end.set(attr::kExitcode, static_cast<std::int64_t>(exitcode));
+  main_end.set(attr::kSite, options_.site);
+  if (exitcode != 0) main_end.set_level(nl::Level::kError);
+  if (exitcode != 0) {
+    main_end.set(attr::kStdErr,
+                 std::string{"task exited with status "} +
+                     std::to_string(exitcode));
+  }
+  sink_->emit(main_end);
+
+  if (options_.emit_post_script) {
+    sink_->emit(job_event(end, ev::kJobInstPostStart, job, attempt));
+    nl::LogRecord post = job_event(end + 0.5, ev::kJobInstPostEnd, job,
+                                   attempt);
+    post.set(attr::kExitcode, static_cast<std::int64_t>(exitcode));
+    sink_->emit(post);
+  }
+
+  --in_flight_;
+  if (exitcode == 0) {
+    state_[job] = JobState::kDone;
+    submit_ready_jobs();
+  } else if (attempt <= ew_->job(job).max_retries) {
+    ++result_.total_retries;
+    submit_job(job, attempt + 1);
+  } else {
+    state_[job] = JobState::kFailed;
+    ++result_.jobs_failed;
+  }
+  check_done();
+}
+
+void Dagman::check_done() {
+  if (finished_ || in_flight_ > 0) return;
+  // Anything still waiting with satisfiable parents would have been
+  // submitted; remaining waiters are descendants of failures.
+  const bool all_done =
+      std::all_of(state_.begin(), state_.end(),
+                  [](JobState s) { return s == JobState::kDone; });
+  finished_ = true;
+  result_.status = all_done ? 0 : -1;
+  result_.finished_at = loop_->now();
+  nl::LogRecord end = base(loop_->now(), ev::kXwfEnd);
+  end.set(attr::kRestartCount,
+          static_cast<std::int64_t>(options_.restart_count));
+  end.set(attr::kStatus, static_cast<std::int64_t>(result_.status));
+  sink_->emit(end);
+  if (done_) done_(result_);
+}
+
+}  // namespace stampede::pegasus

@@ -1,0 +1,96 @@
+#include "pegasus/hierarchy.hpp"
+
+namespace stampede::pegasus {
+
+common::Uuid HierarchicalRunner::run(
+    const HierarchicalWorkflow& hierarchy,
+    std::function<void(const DagmanResult&)> done) {
+  return run_level(hierarchy, hierarchy.root, std::nullopt, std::move(done));
+}
+
+common::Uuid HierarchicalRunner::run_level(
+    const HierarchicalWorkflow& hierarchy, const AbstractWorkflow& aw,
+    std::optional<common::Uuid> parent,
+    std::function<void(const DagmanResult&)> done) {
+  const common::Uuid uuid = uuids_->next();
+  plans_.push_back(std::make_unique<ExecutableWorkflow>(plan(aw, options_)));
+  ExecutableWorkflow* ew = plans_.back().get();
+
+  DagmanOptions doptions;
+  doptions.xwf_id = uuid;
+  doptions.parent_xwf_id = parent;
+  auto engine =
+      std::make_unique<Dagman>(*loop_, *rng_, *pool_, *sink_, doptions);
+  Dagman* raw = engine.get();
+  engines_.push_back(std::move(engine));
+
+  raw->set_subworkflow_handler(
+      [this, &hierarchy, uuid](const ExecutableJob& job, int /*attempt*/,
+                               std::function<void(double, int)> child_done) {
+        const AbstractWorkflow& child =
+            hierarchy.children.at(*job.subworkflow);
+        return run_level(hierarchy, child, uuid,
+                         [child_done = std::move(child_done)](
+                             const DagmanResult& r) {
+                           child_done(r.finished_at, r.status);
+                         });
+      });
+
+  // Start from a fresh event so nested levels do not recurse through the
+  // parent's completion callbacks. `aw` is owned by the caller's
+  // HierarchicalWorkflow and `ew` by plans_, both outliving the run.
+  loop_->schedule_in(0, [raw, &aw, ew, done = std::move(done)]() mutable {
+    raw->run(aw, *ew, std::move(done));
+  });
+  return uuid;
+}
+
+// ---------------------------------------------------------------------------
+// RescueRunner
+
+void RescueRunner::run(const AbstractWorkflow& aw,
+                       const ExecutableWorkflow& ew,
+                       std::function<void(const Result&)> done) {
+  attempt(aw, ew, /*restart_count=*/0, std::move(done));
+}
+
+void RescueRunner::attempt(const AbstractWorkflow& aw,
+                           const ExecutableWorkflow& ew, int restart_count,
+                           std::function<void(const Result&)> done) {
+  DagmanOptions options = base_options_;
+  options.restart_count = restart_count;
+  if (!rescues_.empty()) {
+    options.rescue = rescues_.back().get();
+  }
+  // Distinct job_inst.id ranges per restart so every instance of a job
+  // stays addressable in the archive (a generous stride: DAGMan retries
+  // within one run stay below it).
+  options.first_submit_seq = restart_count * 100 + 1;
+
+  auto engine =
+      std::make_unique<Dagman>(*loop_, *rng_, *pool_, *sink_, options);
+  Dagman* raw = engine.get();
+  attempts_.push_back(std::move(engine));
+
+  raw->run(aw, ew,
+           [this, raw, &aw, &ew, restart_count,
+            done = std::move(done)](const DagmanResult& r) mutable {
+             if (r.status == 0 || restart_count >= max_restarts_) {
+               Result result;
+               result.final = r;
+               result.restarts = restart_count;
+               if (done) done(result);
+               return;
+             }
+             rescues_.push_back(std::make_unique<std::vector<bool>>(
+                 raw->completed_jobs()));
+             // Start the rescue run from a fresh event so the failing
+             // engine fully unwinds first.
+             loop_->schedule_in(0, [this, &aw, &ew, restart_count,
+                                    done = std::move(done)]() mutable {
+               attempt(aw, ew, restart_count + 1, std::move(done));
+             });
+           });
+}
+
+}  // namespace stampede::pegasus

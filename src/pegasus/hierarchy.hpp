@@ -1,0 +1,110 @@
+#pragma once
+// Hierarchical Pegasus workflows: sub-DAX jobs that plan and execute
+// child workflows (the "layered hierarchal workflows" of paper §VII-B
+// that stampede_analyzer drills through).
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "netlogger/sink.hpp"
+#include "pegasus/dagman.hpp"
+
+namespace stampede::pegasus {
+
+/// A root workflow plus the child workflows its sub-DAX tasks reference
+/// (AbstractTask::subworkflow indexes into `children`; children may
+/// themselves contain sub-DAX tasks referencing other entries).
+struct HierarchicalWorkflow {
+  AbstractWorkflow root;
+  std::vector<AbstractWorkflow> children;
+
+  explicit HierarchicalWorkflow(AbstractWorkflow root_wf)
+      : root(std::move(root_wf)) {}
+};
+
+/// Plans and executes a workflow hierarchy on one Condor pool, giving
+/// every level its own Dagman + UUID and emitting the full Stampede
+/// event stream (plans, maps, lifecycles) for each.
+class HierarchicalRunner {
+ public:
+  HierarchicalRunner(sim::EventLoop& loop, common::Rng& rng,
+                     sim::PsNode& pool, nl::EventSink& sink,
+                     common::UuidGenerator& uuids, PlannerOptions options)
+      : loop_(&loop),
+        rng_(&rng),
+        pool_(&pool),
+        sink_(&sink),
+        uuids_(&uuids),
+        options_(std::move(options)) {}
+
+  HierarchicalRunner(const HierarchicalRunner&) = delete;
+  HierarchicalRunner& operator=(const HierarchicalRunner&) = delete;
+
+  /// Starts the root workflow; returns its UUID. `done` fires when the
+  /// whole hierarchy finished. The HierarchicalWorkflow must outlive the
+  /// run.
+  common::Uuid run(const HierarchicalWorkflow& hierarchy,
+                   std::function<void(const DagmanResult&)> done);
+
+ private:
+  common::Uuid run_level(const HierarchicalWorkflow& hierarchy,
+                         const AbstractWorkflow& aw,
+                         std::optional<common::Uuid> parent,
+                         std::function<void(const DagmanResult&)> done);
+
+  sim::EventLoop* loop_;
+  common::Rng* rng_;
+  sim::PsNode* pool_;
+  nl::EventSink* sink_;
+  common::UuidGenerator* uuids_;
+  PlannerOptions options_;
+  // Keep every level's plan + engine alive until the loop drains.
+  std::vector<std::unique_ptr<ExecutableWorkflow>> plans_;
+  std::vector<std::unique_ptr<Dagman>> engines_;
+};
+
+/// Rescue-DAG driver: runs a workflow, and on failure re-plans a rescue
+/// run that skips every job the previous attempt completed, stamping
+/// xwf.start with an increasing restart_count — DAGMan's rescue behaviour,
+/// whose restart counter the Stampede schema tracks explicitly.
+class RescueRunner {
+ public:
+  struct Result {
+    DagmanResult final;  ///< Outcome of the last attempt.
+    int restarts = 0;    ///< Rescue runs performed (0 = first run worked).
+  };
+
+  RescueRunner(sim::EventLoop& loop, common::Rng& rng, sim::PsNode& pool,
+               nl::EventSink& sink, DagmanOptions base_options,
+               int max_restarts)
+      : loop_(&loop),
+        rng_(&rng),
+        pool_(&pool),
+        sink_(&sink),
+        base_options_(std::move(base_options)),
+        max_restarts_(max_restarts) {}
+
+  RescueRunner(const RescueRunner&) = delete;
+  RescueRunner& operator=(const RescueRunner&) = delete;
+
+  /// Starts the first attempt; `done` fires after the final attempt.
+  /// `aw`/`ew` must outlive the run.
+  void run(const AbstractWorkflow& aw, const ExecutableWorkflow& ew,
+           std::function<void(const Result&)> done);
+
+ private:
+  void attempt(const AbstractWorkflow& aw, const ExecutableWorkflow& ew,
+               int restart_count, std::function<void(const Result&)> done);
+
+  sim::EventLoop* loop_;
+  common::Rng* rng_;
+  sim::PsNode* pool_;
+  nl::EventSink* sink_;
+  DagmanOptions base_options_;
+  int max_restarts_;
+  std::vector<std::unique_ptr<Dagman>> attempts_;
+  std::vector<std::unique_ptr<std::vector<bool>>> rescues_;
+};
+
+}  // namespace stampede::pegasus

@@ -1,0 +1,159 @@
+#include "pegasus/planner.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace stampede::pegasus {
+
+std::string_view job_type_name(JobType type) noexcept {
+  switch (type) {
+    case JobType::kCompute:
+      return "compute";
+    case JobType::kClustered:
+      return "clustered";
+    case JobType::kStageIn:
+      return "stage-in";
+    case JobType::kStageOut:
+      return "stage-out";
+    case JobType::kSubDag:
+      return "dax";
+  }
+  return "?";
+}
+
+JobId ExecutableWorkflow::add_job(ExecutableJob job) {
+  jobs_.push_back(std::move(job));
+  return jobs_.size() - 1;
+}
+
+void ExecutableWorkflow::add_edge(JobId parent, JobId child) {
+  if (parent >= jobs_.size() || child >= jobs_.size() || parent == child) {
+    throw common::EngineError("EW " + label_ + ": bad edge");
+  }
+  edges_.emplace_back(parent, child);
+}
+
+std::vector<JobId> ExecutableWorkflow::parents_of(JobId id) const {
+  std::vector<JobId> out;
+  for (const auto& [p, c] : edges_) {
+    if (c == id) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<JobId> ExecutableWorkflow::children_of(JobId id) const {
+  std::vector<JobId> out;
+  for (const auto& [p, c] : edges_) {
+    if (p == id) out.push_back(c);
+  }
+  return out;
+}
+
+ExecutableWorkflow plan(const AbstractWorkflow& aw,
+                        const PlannerOptions& options) {
+  ExecutableWorkflow ew{aw.label()};
+  const auto levels = aw.levels();
+
+  // 1. Horizontal clustering: group tasks by (level, transformation) and
+  //    cut each group into chunks of cluster_factor.
+  std::map<std::pair<int, std::string>, std::vector<TaskId>> groups;
+  std::vector<JobId> job_of_task(aw.task_count());
+  std::vector<TaskId> subdax_tasks;
+  for (TaskId t = 0; t < aw.task_count(); ++t) {
+    if (aw.task(t).subworkflow) {
+      subdax_tasks.push_back(t);  // Sub-DAX jobs never cluster.
+      continue;
+    }
+    groups[{levels[t], aw.task(t).transformation}].push_back(t);
+  }
+  for (const TaskId t : subdax_tasks) {
+    ExecutableJob job;
+    job.id = aw.task(t).id;
+    job.type = JobType::kSubDag;
+    job.transformation = aw.task(t).transformation;
+    job.tasks.push_back(t);
+    job.cpu_seconds = aw.task(t).cpu_seconds;
+    job.max_retries = options.max_retries;
+    job.subworkflow = aw.task(t).subworkflow;
+    job_of_task[t] = ew.add_job(std::move(job));
+  }
+  int cluster_seq = 0;
+  for (const auto& [key, members] : groups) {
+    const int factor = std::max(1, options.cluster_factor);
+    for (std::size_t i = 0; i < members.size();
+         i += static_cast<std::size_t>(factor)) {
+      const std::size_t end =
+          std::min(members.size(), i + static_cast<std::size_t>(factor));
+      ExecutableJob job;
+      job.max_retries = options.max_retries;
+      double cpu = 0.0;
+      for (std::size_t k = i; k < end; ++k) {
+        job.tasks.push_back(members[k]);
+        cpu += aw.task(members[k]).cpu_seconds;
+      }
+      job.cpu_seconds = cpu;
+      job.transformation = key.second;
+      if (job.tasks.size() > 1) {
+        job.type = JobType::kClustered;
+        job.id = "merge_" + key.second + "_" + std::to_string(cluster_seq++);
+      } else {
+        job.type = JobType::kCompute;
+        job.id = aw.task(job.tasks.front()).id;
+      }
+      const JobId id = ew.add_job(std::move(job));
+      for (std::size_t k = i; k < end; ++k) job_of_task[members[k]] = id;
+    }
+  }
+
+  // 2. Job edges induced by task edges (deduplicated; intra-cluster
+  //    dependencies vanish — that is the point of clustering).
+  std::vector<std::pair<JobId, JobId>> seen;
+  for (const auto& [p, c] : aw.edges()) {
+    const JobId jp = job_of_task[p];
+    const JobId jc = job_of_task[c];
+    if (jp == jc) continue;
+    if (std::find(seen.begin(), seen.end(), std::make_pair(jp, jc)) ==
+        seen.end()) {
+      seen.emplace_back(jp, jc);
+      ew.add_edge(jp, jc);
+    }
+  }
+
+  // 3. Auxiliary data-staging jobs around the compute jobs.
+  if (options.add_stage_jobs) {
+    ExecutableJob stage_in;
+    stage_in.id = "stage_in_j0";
+    stage_in.type = JobType::kStageIn;
+    stage_in.transformation = "pegasus::transfer";
+    stage_in.cpu_seconds = options.stage_cpu_seconds;
+    stage_in.max_retries = options.max_retries;
+    const JobId in_id = ew.add_job(std::move(stage_in));
+
+    ExecutableJob stage_out;
+    stage_out.id = "stage_out_j0";
+    stage_out.type = JobType::kStageOut;
+    stage_out.transformation = "pegasus::transfer";
+    stage_out.cpu_seconds = options.stage_cpu_seconds;
+    stage_out.max_retries = options.max_retries;
+    const JobId out_id = ew.add_job(std::move(stage_out));
+
+    for (JobId j = 0; j < ew.job_count(); ++j) {
+      if (j == in_id || j == out_id) continue;
+      if (ew.parents_of(j).empty()) ew.add_edge(in_id, j);
+    }
+    for (JobId j = 0; j < ew.job_count(); ++j) {
+      if (j == in_id || j == out_id) continue;
+      const auto children = ew.children_of(j);
+      if (children.empty() ||
+          (children.size() == 1 && children.front() == out_id)) {
+        if (std::find(ew.children_of(j).begin(), ew.children_of(j).end(),
+                      out_id) == ew.children_of(j).end()) {
+          ew.add_edge(j, out_id);
+        }
+      }
+    }
+  }
+  return ew;
+}
+
+}  // namespace stampede::pegasus

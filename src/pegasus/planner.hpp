@@ -1,0 +1,77 @@
+#pragma once
+// The Pegasus planner: maps an abstract workflow onto resources,
+// producing the executable workflow (paper §III-A, §IV-A).
+//
+// Two restructurings make the AW→EW task↔job mapping many-to-many:
+//   * horizontal clustering — up to `cluster_factor` same-transformation
+//     tasks at the same topological level fuse into one clustered job;
+//   * auxiliary jobs — stage-in before the entry tasks and stage-out
+//     after the exit tasks, "jobs added by the workflow system to manage
+//     the workflow that were not present in the AW" (§IV-A).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pegasus/abstract_workflow.hpp"
+
+namespace stampede::pegasus {
+
+using JobId = std::size_t;
+
+enum class JobType { kCompute, kClustered, kStageIn, kStageOut, kSubDag };
+
+[[nodiscard]] std::string_view job_type_name(JobType type) noexcept;
+
+struct ExecutableJob {
+  std::string id;  ///< e.g. "merge_findrange_0", "stage_in_j0".
+  JobType type = JobType::kCompute;
+  std::string transformation;
+  std::vector<TaskId> tasks;  ///< AW tasks fused into this job (may be
+                              ///< empty for auxiliary jobs).
+  /// For kSubDag jobs: the child-workflow index from the AW task.
+  std::optional<std::size_t> subworkflow;
+  double cpu_seconds = 0.0;   ///< Total work (sum over fused tasks).
+  int max_retries = 0;
+};
+
+struct PlannerOptions {
+  /// Max same-transformation tasks merged into one clustered job; 1
+  /// disables clustering.
+  int cluster_factor = 1;
+  bool add_stage_jobs = true;
+  double stage_cpu_seconds = 0.5;
+  int max_retries = 2;  ///< DAGMan retries per job on failure.
+  std::string site = "condor_pool";
+};
+
+class ExecutableWorkflow {
+ public:
+  explicit ExecutableWorkflow(std::string label) : label_(std::move(label)) {}
+
+  JobId add_job(ExecutableJob job);
+  void add_edge(JobId parent, JobId child);
+
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] std::size_t job_count() const noexcept { return jobs_.size(); }
+  [[nodiscard]] const ExecutableJob& job(JobId id) const {
+    return jobs_.at(id);
+  }
+  [[nodiscard]] const std::vector<std::pair<JobId, JobId>>& edges()
+      const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] std::vector<JobId> parents_of(JobId id) const;
+  [[nodiscard]] std::vector<JobId> children_of(JobId id) const;
+
+ private:
+  std::string label_;
+  std::vector<ExecutableJob> jobs_;
+  std::vector<std::pair<JobId, JobId>> edges_;
+};
+
+/// Plans the AW into an EW. Deterministic: same AW + options → same EW.
+[[nodiscard]] ExecutableWorkflow plan(const AbstractWorkflow& aw,
+                                      const PlannerOptions& options);
+
+}  // namespace stampede::pegasus

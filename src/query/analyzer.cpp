@@ -1,0 +1,169 @@
+#include "query/analyzer.hpp"
+
+#include <map>
+
+#include "common/string_utils.hpp"
+
+namespace stampede::query {
+
+using db::Select;
+using db::Value;
+
+WorkflowAnalysis StampedeAnalyzer::analyze(std::int64_t wf_id) const {
+  WorkflowAnalysis analysis;
+  analysis.wf_id = wf_id;
+  if (const auto info = q_->workflow_by_id(wf_id)) {
+    analysis.wf_uuid = info->wf_uuid;
+    analysis.dax_label = info->dax_label;
+  }
+
+  const auto& database = q_->database();
+  analysis.total_jobs = static_cast<std::int64_t>(
+      database
+          .execute(Select{"job"}.where(db::eq("wf_id", Value{wf_id})))
+          .size());
+
+  // Last instance per job with its exit code and detail columns.
+  const auto rows = database.execute(
+      Select{"job_instance"}
+          .join("job", "job_id", "job_id")
+          .where(db::eq("job.wf_id", Value{wf_id}))
+          .columns({"job_instance.job_instance_id", "job.exec_job_id",
+                    "job_instance.job_submit_seq", "job_instance.exitcode",
+                    "job_instance.site", "job_instance.host_id",
+                    "job_instance.stdout_text", "job_instance.stderr_text",
+                    "job_instance.subwf_id"}));
+  struct Last {
+    std::int64_t row = 0;
+    std::int64_t seq = -1;
+  };
+  std::map<std::string, Last> last_of;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::string& name = rows.at(i, "job.exec_job_id").as_text();
+    const std::int64_t seq =
+        rows.at(i, "job_instance.job_submit_seq").as_int();
+    auto& slot = last_of[name];
+    if (seq > slot.seq) {
+      slot.seq = seq;
+      slot.row = static_cast<std::int64_t>(i);
+    }
+  }
+  analysis.unsubmitted =
+      analysis.total_jobs - static_cast<std::int64_t>(last_of.size());
+
+  // Last jobstate per instance.
+  const auto states = database.execute(
+      Select{"jobstate"}
+          .join("job_instance", "job_instance_id", "job_instance_id")
+          .join("job", "job_instance.job_id", "job_id")
+          .where(db::eq("job.wf_id", Value{wf_id}))
+          .columns({"jobstate.job_instance_id", "jobstate.state",
+                    "jobstate.jobstate_submit_seq"}));
+  std::map<std::int64_t, std::pair<std::int64_t, std::string>> last_state;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const std::int64_t ji = states.at(i, "jobstate.job_instance_id").as_int();
+    const std::int64_t seq =
+        states.at(i, "jobstate.jobstate_submit_seq").is_null()
+            ? 0
+            : states.at(i, "jobstate.jobstate_submit_seq").as_int();
+    auto& slot = last_state[ji];
+    if (seq >= slot.first) {
+      slot = {seq, states.at(i, "jobstate.state").as_text()};
+    }
+  }
+
+  const auto hosts =
+      database.execute(Select{"host"}.columns({"host_id", "hostname"}));
+  std::map<std::int64_t, std::string> hostnames;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    hostnames[hosts.at(i, "host_id").as_int()] =
+        hosts.at(i, "hostname").as_text();
+  }
+
+  for (const auto& [name, slot] : last_of) {
+    const auto i = static_cast<std::size_t>(slot.row);
+    const auto& exit = rows.at(i, "job_instance.exitcode");
+    if (!exit.is_null() && exit.as_int() == 0) {
+      ++analysis.succeeded;
+      continue;
+    }
+    ++analysis.failed;
+    FailedJobDetail detail;
+    detail.job_name = name;
+    detail.job_instance_id =
+        rows.at(i, "job_instance.job_instance_id").as_int();
+    detail.try_number = slot.seq;
+    if (!exit.is_null()) detail.exitcode = exit.as_int();
+    const auto& site = rows.at(i, "job_instance.site");
+    if (site.is_text()) detail.site = site.as_text();
+    const auto& host = rows.at(i, "job_instance.host_id");
+    if (!host.is_null() && hostnames.count(host.as_int()) != 0) {
+      detail.host = hostnames[host.as_int()];
+    }
+    const auto& out_text = rows.at(i, "job_instance.stdout_text");
+    if (out_text.is_text()) detail.stdout_text = out_text.as_text();
+    const auto& err_text = rows.at(i, "job_instance.stderr_text");
+    if (err_text.is_text()) detail.stderr_text = err_text.as_text();
+    const auto st = last_state.find(detail.job_instance_id);
+    if (st != last_state.end()) detail.last_state = st->second.second;
+    const auto& subwf = rows.at(i, "job_instance.subwf_id");
+    if (!subwf.is_null()) {
+      detail.subwf_id = subwf.as_int();
+      // A failed sub-workflow is a drill-down target.
+      analysis.failed_subworkflows.push_back(subwf.as_int());
+    }
+    analysis.failures.push_back(std::move(detail));
+  }
+  return analysis;
+}
+
+std::vector<WorkflowAnalysis> StampedeAnalyzer::drill_down(
+    std::int64_t wf_id) const {
+  std::vector<WorkflowAnalysis> out;
+  WorkflowAnalysis top = analyze(wf_id);
+  const auto targets = top.failed_subworkflows;
+  out.push_back(std::move(top));
+  for (const auto sub : targets) {
+    const auto nested = drill_down(sub);
+    out.insert(out.end(), nested.begin(), nested.end());
+  }
+  return out;
+}
+
+std::string StampedeAnalyzer::render(const WorkflowAnalysis& analysis) {
+  std::string out;
+  out += "************************************\n";
+  out += " stampede_analyzer — workflow " + analysis.wf_uuid + "\n";
+  if (!analysis.dax_label.empty()) {
+    out += " label: " + analysis.dax_label + "\n";
+  }
+  out += "************************************\n";
+  out += " total jobs      : " + std::to_string(analysis.total_jobs) + "\n";
+  out += " # jobs succeeded: " + std::to_string(analysis.succeeded) + "\n";
+  out += " # jobs failed   : " + std::to_string(analysis.failed) + "\n";
+  out += " # jobs unsubmitted: " + std::to_string(analysis.unsubmitted) +
+         "\n";
+  for (const auto& f : analysis.failures) {
+    out += "\n==== failed job: " + f.job_name + " (try " +
+           std::to_string(f.try_number) + ")\n";
+    out += " last state: " +
+           (f.last_state.empty() ? "(none recorded)" : f.last_state) + "\n";
+    out += " site      : " + (f.site.empty() ? "local" : f.site) + "\n";
+    out += " hostname  : " + (f.host.empty() ? "None" : f.host) + "\n";
+    out += " exitcode  : " +
+           (f.exitcode ? std::to_string(*f.exitcode) : "(incomplete)") + "\n";
+    if (!f.stdout_text.empty()) {
+      out += " stdout    : " + f.stdout_text + "\n";
+    }
+    if (!f.stderr_text.empty()) {
+      out += " stderr    : " + f.stderr_text + "\n";
+    }
+    if (f.subwf_id) {
+      out += " sub-workflow wf_id " + std::to_string(*f.subwf_id) +
+             " failed — drill down for details\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace stampede::query

@@ -1,0 +1,67 @@
+#pragma once
+// stampede_analyzer (paper §VII-B): interactive failure drill-down.
+//
+// "Its output contains a brief summary section, showing how many jobs
+// have succeeded and how many have failed. For each failed job,
+// stampede_analyzer will print information showing its last known state,
+// along with the location of its job description, output, and error
+// files. It will also display any application stdout and stderr ... It
+// first identifies for users the failures at the top level workflow and
+// then allows them to drill down the hierarchy."
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/query_interface.hpp"
+
+namespace stampede::query {
+
+struct FailedJobDetail {
+  std::string job_name;
+  std::int64_t job_instance_id = 0;
+  std::int64_t try_number = 1;
+  std::string last_state;   ///< Last jobstate row.
+  std::string site;
+  std::string host;
+  std::optional<std::int64_t> exitcode;
+  std::string stdout_text;
+  std::string stderr_text;
+  /// Set when the failed job wraps a sub-workflow the user can drill into.
+  std::optional<std::int64_t> subwf_id;
+};
+
+struct WorkflowAnalysis {
+  std::int64_t wf_id = 0;
+  std::string wf_uuid;
+  std::string dax_label;
+  std::int64_t total_jobs = 0;
+  std::int64_t succeeded = 0;
+  std::int64_t failed = 0;
+  std::int64_t unsubmitted = 0;  ///< Jobs with no instance at all.
+  std::vector<FailedJobDetail> failures;
+  /// Failed sub-workflows one level down (drill-down targets).
+  std::vector<std::int64_t> failed_subworkflows;
+};
+
+class StampedeAnalyzer {
+ public:
+  explicit StampedeAnalyzer(const QueryInterface& query) : q_(&query) {}
+
+  /// Analyzes one workflow (one level of the hierarchy).
+  [[nodiscard]] WorkflowAnalysis analyze(std::int64_t wf_id) const;
+
+  /// Recursive drill-down: analyses for this workflow and every failed
+  /// descendant, in drill-down (pre)order — the interactive session's
+  /// transcript.
+  [[nodiscard]] std::vector<WorkflowAnalysis> drill_down(
+      std::int64_t wf_id) const;
+
+  /// Renders one analysis the way the CLI tool prints it.
+  [[nodiscard]] static std::string render(const WorkflowAnalysis& analysis);
+
+ private:
+  const QueryInterface* q_;
+};
+
+}  // namespace stampede::query

@@ -1,0 +1,100 @@
+#include "query/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stampede::query {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::optional<RuntimeAnomaly> RuntimeAnomalyDetector::observe(
+    const std::string& transformation, double runtime) {
+  ++observed_;
+  OnlineStats& s = stats_[transformation];
+  std::optional<RuntimeAnomaly> result;
+  if (s.count() >= min_samples_ && s.stddev() > 0.0) {
+    const double z = (runtime - s.mean()) / s.stddev();
+    if (std::abs(z) >= threshold_) {
+      ++flagged_;
+      result = RuntimeAnomaly{transformation, runtime, s.mean(), s.stddev(),
+                              z};
+    }
+  }
+  s.add(runtime);
+  return result;
+}
+
+const OnlineStats* RuntimeAnomalyDetector::stats(
+    const std::string& transformation) const {
+  const auto it = stats_.find(transformation);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::size_t> iqr_outliers(const std::vector<double>& values,
+                                      double k) {
+  if (values.size() < 4) return {};
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const auto quantile = [&sorted](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+  };
+  const double q1 = quantile(0.25);
+  const double q3 = quantile(0.75);
+  const double iqr = q3 - q1;
+  const double lo_fence = q1 - k * iqr;
+  const double hi_fence = q3 + k * iqr;
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] < lo_fence || values[i] > hi_fence) out.push_back(i);
+  }
+  return out;
+}
+
+void FailurePredictor::record(bool success) {
+  ++total_;
+  recent_.push_back(success);
+  if (!success) ++failures_in_window_;
+  if (recent_.size() > window_) {
+    if (!recent_.front()) --failures_in_window_;
+    recent_.pop_front();
+  }
+  if (tripped_ == 0 && recent_.size() >= window_ / 2 &&
+      failure_ratio() >= threshold_) {
+    tripped_ = total_;
+  }
+}
+
+double FailurePredictor::failure_ratio() const noexcept {
+  if (recent_.empty()) return 0.0;
+  return static_cast<double>(failures_in_window_) /
+         static_cast<double>(recent_.size());
+}
+
+bool FailurePredictor::predicts_failure() const noexcept {
+  return tripped_ != 0;
+}
+
+}  // namespace stampede::query

@@ -1,0 +1,111 @@
+#pragma once
+// Online anomaly detection and failure prediction (paper §IV/§VIII,
+// following the approach of Samak et al., "Online fault and anomaly
+// detection for large-scale scientific workflows" [37]).
+//
+// Two granularities, as the paper describes:
+//   * job-level analysis — per-transformation runtime distributions kept
+//     online (Welford) so an invocation can be z-score-flagged the moment
+//     its inv.end event arrives, plus an IQR detector for post-hoc scans;
+//   * workflow-level analysis — "predict workflow failures from basic
+//     aggregations on high-level statistics": a sliding-window failure
+//     ratio that trips a threshold before the workflow finishes.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stampede::query {
+
+/// Numerically stable online mean/variance (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::int64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance; 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+struct RuntimeAnomaly {
+  std::string transformation;
+  double value = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double z_score = 0.0;
+};
+
+/// Per-transformation z-score detector fed one runtime at a time.
+class RuntimeAnomalyDetector {
+ public:
+  /// `threshold`: |z| at which an observation is anomalous;
+  /// `min_samples`: observations required before flagging starts.
+  explicit RuntimeAnomalyDetector(double threshold = 3.0,
+                                  std::int64_t min_samples = 5)
+      : threshold_(threshold), min_samples_(min_samples) {}
+
+  /// Feeds one observation; returns the anomaly when flagged. The
+  /// observation is always absorbed into the distribution afterwards.
+  std::optional<RuntimeAnomaly> observe(const std::string& transformation,
+                                        double runtime);
+
+  [[nodiscard]] const OnlineStats* stats(
+      const std::string& transformation) const;
+  [[nodiscard]] std::uint64_t observed() const noexcept { return observed_; }
+  [[nodiscard]] std::uint64_t flagged() const noexcept { return flagged_; }
+
+ private:
+  double threshold_;
+  std::int64_t min_samples_;
+  std::map<std::string, OnlineStats> stats_;
+  std::uint64_t observed_ = 0;
+  std::uint64_t flagged_ = 0;
+};
+
+/// Tukey-fence (IQR) outlier scan over a batch of runtimes: anything
+/// outside [Q1 − k·IQR, Q3 + k·IQR].
+[[nodiscard]] std::vector<std::size_t> iqr_outliers(
+    const std::vector<double>& values, double k = 1.5);
+
+/// Workflow-level failure prediction from a sliding window over job
+/// terminations: once the window's failure ratio crosses the threshold,
+/// the run is predicted to fail (so the user can be alerted "before
+/// resources and time are wasted", §IV).
+class FailurePredictor {
+ public:
+  explicit FailurePredictor(std::size_t window = 20, double threshold = 0.5)
+      : window_(window), threshold_(threshold) {}
+
+  /// Records one job termination (true = success).
+  void record(bool success);
+
+  [[nodiscard]] double failure_ratio() const noexcept;
+  [[nodiscard]] bool predicts_failure() const noexcept;
+  [[nodiscard]] std::size_t observed() const noexcept { return total_; }
+  /// Index (1-based) of the observation that first tripped the
+  /// prediction, 0 when never tripped.
+  [[nodiscard]] std::size_t tripped_at() const noexcept { return tripped_; }
+
+ private:
+  std::size_t window_;
+  double threshold_;
+  std::deque<bool> recent_;
+  std::size_t failures_in_window_ = 0;
+  std::size_t total_ = 0;
+  std::size_t tripped_ = 0;
+};
+
+}  // namespace stampede::query

@@ -1,0 +1,123 @@
+#include "query/live_monitor.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "netlogger/events.hpp"
+#include "netlogger/parser.hpp"
+
+namespace stampede::query {
+
+namespace ev = nl::events;
+namespace attr = nl::events::attr;
+
+LiveMonitor::LiveMonitor(bus::Broker& broker, Options options,
+                         AlertFn on_alert)
+    : broker_(&broker),
+      options_(std::move(options)),
+      on_alert_(std::move(on_alert)),
+      runtimes_(options_.z_threshold, options_.min_samples) {
+  broker_->declare_exchange(options_.exchange, bus::ExchangeType::kTopic);
+  broker_->declare_queue(options_.queue);
+  // Only the event subsets the analyses need — the §IV-C topic-filter
+  // pattern.
+  broker_->bind(options_.queue, options_.exchange, "stampede.inv.end");
+  broker_->bind(options_.queue, options_.exchange,
+                "stampede.job_inst.main.end");
+  subscription_ = broker_->subscribe(
+      options_.queue,
+      [this](const bus::Delivery& delivery) { return handle(delivery); },
+      "live-monitor");
+}
+
+LiveMonitor::~LiveMonitor() { stop(); }
+
+void LiveMonitor::stop() { subscription_.cancel(); }
+
+bool LiveMonitor::handle(const bus::Delivery& delivery) {
+  auto parsed = nl::parse_line(delivery.message.body);
+  const auto* record = std::get_if<nl::LogRecord>(&parsed);
+  {
+    const std::scoped_lock lock{mutex_};
+    ++messages_;
+  }
+  if (record == nullptr) return true;  // Unparseable → ack and move on.
+
+  const std::string wf =
+      std::string{record->get(attr::kXwfId).value_or("unknown")};
+
+  if (record->event() == ev::kInvEnd) {
+    const auto dur = record->get_double(attr::kDur);
+    const auto xform = record->get(attr::kTransformation);
+    if (dur && xform) {
+      std::optional<RuntimeAnomaly> anomaly;
+      {
+        const std::scoped_lock lock{mutex_};
+        anomaly = runtimes_.observe(std::string{*xform}, *dur);
+      }
+      if (anomaly) {
+        LiveAlert alert;
+        alert.kind = LiveAlert::Kind::kRuntimeAnomaly;
+        alert.workflow_uuid = wf;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%s ran %.1fs vs mean %.1fs (z=%.1f)",
+                      anomaly->transformation.c_str(), anomaly->value,
+                      anomaly->mean, anomaly->z_score);
+        alert.detail = buf;
+        {
+          const std::scoped_lock lock{mutex_};
+          alerts_.push_back(alert);
+        }
+        if (on_alert_) on_alert_(alert);
+      }
+    }
+  } else if (record->event() == ev::kJobInstMainEnd) {
+    const bool success = record->get_int(attr::kExitcode).value_or(0) == 0;
+    bool tripped_now = false;
+    {
+      const std::scoped_lock lock{mutex_};
+      auto [it, inserted] = per_workflow_.try_emplace(
+          wf, options_.failure_window, options_.failure_threshold);
+      const bool before = it->second.predicts_failure();
+      it->second.record(success);
+      tripped_now = !before && it->second.predicts_failure();
+    }
+    if (tripped_now) {
+      LiveAlert alert;
+      alert.kind = LiveAlert::Kind::kPredictedFailure;
+      alert.workflow_uuid = wf;
+      alert.detail = "failure ratio crossed threshold — workflow predicted "
+                     "to fail";
+      {
+        const std::scoped_lock lock{mutex_};
+        alerts_.push_back(alert);
+      }
+      if (on_alert_) on_alert_(alert);
+    }
+  }
+  return true;
+}
+
+std::uint64_t LiveMonitor::messages_seen() const {
+  const std::scoped_lock lock{mutex_};
+  return messages_;
+}
+
+std::vector<LiveAlert> LiveMonitor::alerts() const {
+  const std::scoped_lock lock{mutex_};
+  return alerts_;
+}
+
+bool LiveMonitor::wait_for_messages(std::uint64_t n, int timeout_ms) const {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (messages_seen() >= n) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return messages_seen() >= n;
+}
+
+}  // namespace stampede::query

@@ -1,0 +1,76 @@
+#pragma once
+// Live analysis attached to the message bus (paper §IV-C: topic queues
+// give "a great deal of flexibility in gluing together analysis
+// components"; §IV: "users need automated analyses that can alert them
+// to problems before resources and time are wasted").
+//
+// The monitor declares its own queue, binds it to the monitoring
+// exchange for the event subsets it cares about (invocation ends and job
+// terminations), and feeds two online analyses as messages arrive:
+//   * per-transformation runtime z-scoring (RuntimeAnomalyDetector)
+//   * workflow failure prediction (FailurePredictor)
+// Alerts fire through a callback the moment the analysis trips — while
+// the workflow is still running.
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bus/broker.hpp"
+#include "query/anomaly.hpp"
+
+namespace stampede::query {
+
+struct LiveAlert {
+  enum class Kind { kRuntimeAnomaly, kPredictedFailure };
+  Kind kind = Kind::kRuntimeAnomaly;
+  std::string workflow_uuid;
+  std::string detail;
+};
+
+class LiveMonitor {
+ public:
+  using AlertFn = std::function<void(const LiveAlert&)>;
+
+  struct Options {
+    std::string exchange = "monitoring";
+    std::string queue = "live-analysis";
+    double z_threshold = 3.0;
+    std::int64_t min_samples = 8;
+    std::size_t failure_window = 20;
+    double failure_threshold = 0.5;
+  };
+
+  /// Declares + binds the analysis queue and starts consuming. The
+  /// callback runs on the consumer thread — keep it cheap.
+  LiveMonitor(bus::Broker& broker, Options options, AlertFn on_alert);
+  ~LiveMonitor();
+
+  LiveMonitor(const LiveMonitor&) = delete;
+  LiveMonitor& operator=(const LiveMonitor&) = delete;
+
+  /// Stops consuming (idempotent).
+  void stop();
+
+  /// Blocks until `n` messages were analyzed or the timeout elapsed.
+  bool wait_for_messages(std::uint64_t n, int timeout_ms) const;
+
+  [[nodiscard]] std::uint64_t messages_seen() const;
+  [[nodiscard]] std::vector<LiveAlert> alerts() const;
+
+ private:
+  bool handle(const bus::Delivery& delivery);
+
+  bus::Broker* broker_;
+  Options options_;
+  AlertFn on_alert_;
+  mutable std::mutex mutex_;
+  RuntimeAnomalyDetector runtimes_;
+  std::map<std::string, FailurePredictor> per_workflow_;
+  std::vector<LiveAlert> alerts_;
+  std::uint64_t messages_ = 0;
+  bus::Subscription subscription_;
+};
+
+}  // namespace stampede::query

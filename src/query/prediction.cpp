@@ -1,0 +1,97 @@
+#include "query/prediction.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+
+namespace stampede::query {
+
+RuntimePredictor::RuntimePredictor(const QueryInterface& query) {
+  const auto rows = query.database().execute(
+      db::Select{"invocation"}
+          .where(db::and_(db::eq("exitcode", db::Value{0}),
+                          db::is_not_null("remote_duration")))
+          .columns({"transformation", "remote_duration"}));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& name = rows.at(i, "transformation");
+    if (!name.is_text()) continue;
+    history_[name.as_text()].add(rows.at(i, "remote_duration").as_number());
+  }
+}
+
+std::optional<TransformationEstimate> RuntimePredictor::estimate(
+    const std::string& transformation) const {
+  const auto it = history_.find(transformation);
+  if (it == history_.end()) return std::nullopt;
+  TransformationEstimate e;
+  e.transformation = transformation;
+  e.samples = it->second.count();
+  e.mean = it->second.mean();
+  e.stddev = it->second.stddev();
+  return e;
+}
+
+std::vector<TransformationEstimate> RuntimePredictor::estimates() const {
+  std::vector<TransformationEstimate> out;
+  out.reserve(history_.size());
+  for (const auto& [name, stats] : history_) {
+    TransformationEstimate e;
+    e.transformation = name;
+    e.samples = stats.count();
+    e.mean = stats.mean();
+    e.stddev = stats.stddev();
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+WorkflowForecast RuntimePredictor::forecast(
+    const std::vector<PlannedTask>& tasks, int slots,
+    double fallback_seconds) const {
+  if (slots < 1) {
+    throw common::StampedeError("forecast: slots must be ≥ 1");
+  }
+  WorkflowForecast forecast;
+  std::vector<double> expected(tasks.size(), 0.0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto est = estimate(tasks[i].transformation);
+    if (est) {
+      expected[i] = est->mean;
+    } else {
+      expected[i] = fallback_seconds;
+      if (std::find(forecast.unknown_transformations.begin(),
+                    forecast.unknown_transformations.end(),
+                    tasks[i].transformation) ==
+          forecast.unknown_transformations.end()) {
+        forecast.unknown_transformations.push_back(
+            tasks[i].transformation);
+      }
+    }
+    forecast.cumulative_seconds += expected[i];
+  }
+
+  // Longest path through the DAG (tasks are assumed listed so that
+  // parents precede children — the planner's natural order; violations
+  // surface as an error rather than a wrong answer).
+  std::vector<double> finish(tasks.size(), 0.0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    double ready = 0.0;
+    for (const std::size_t p : tasks[i].parents) {
+      if (p >= i) {
+        throw common::StampedeError(
+            "forecast: tasks must be topologically ordered");
+      }
+      ready = std::max(ready, finish[p]);
+    }
+    finish[i] = ready + expected[i];
+    forecast.critical_path_seconds =
+        std::max(forecast.critical_path_seconds, finish[i]);
+  }
+
+  forecast.makespan_estimate =
+      forecast.cumulative_seconds / static_cast<double>(slots) +
+      forecast.critical_path_seconds;
+  return forecast;
+}
+
+}  // namespace stampede::query

@@ -1,0 +1,72 @@
+#pragma once
+// Performance prediction (paper §IV): "Performance prediction of runtime
+// and other resources, which are useful e.g. for provisioning on grids
+// and clouds."
+//
+// The predictor learns per-transformation runtime distributions from the
+// archive's invocation history (possibly across many past runs — the
+// §VII motivation: "do a baseline run and use that to extrapolate") and
+// answers two provisioning questions about a planned workflow:
+//   * cumulative compute demand (CPU-hours to reserve), and
+//   * a makespan estimate for a given slot count (critical-path bound
+//     combined with the work bound — the classic Graham bound).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/anomaly.hpp"
+#include "query/query_interface.hpp"
+
+namespace stampede::query {
+
+struct TransformationEstimate {
+  std::string transformation;
+  std::int64_t samples = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// A task of a planned (not yet executed) workflow: its transformation
+/// plus dependency edges, the minimum a provisioning estimate needs.
+struct PlannedTask {
+  std::string transformation;
+  std::vector<std::size_t> parents;
+};
+
+struct WorkflowForecast {
+  double cumulative_seconds = 0.0;  ///< Σ expected runtimes (work bound).
+  double critical_path_seconds = 0.0;
+  /// Graham bound for `slots` machines:
+  ///   makespan ≤ work/slots + critical path.
+  double makespan_estimate = 0.0;
+  /// Transformations with no history — their tasks contribute the
+  /// fallback estimate and widen uncertainty.
+  std::vector<std::string> unknown_transformations;
+};
+
+class RuntimePredictor {
+ public:
+  /// Learns from every invocation in the archive (all workflows —
+  /// history across runs is the point).
+  explicit RuntimePredictor(const QueryInterface& query);
+
+  /// Per-transformation estimate; nullopt when never observed.
+  [[nodiscard]] std::optional<TransformationEstimate> estimate(
+      const std::string& transformation) const;
+
+  /// All learned estimates, sorted by transformation.
+  [[nodiscard]] std::vector<TransformationEstimate> estimates() const;
+
+  /// Forecasts a planned workflow on `slots` parallel slots.
+  /// `fallback_seconds` prices tasks of unknown transformations.
+  [[nodiscard]] WorkflowForecast forecast(
+      const std::vector<PlannedTask>& tasks, int slots,
+      double fallback_seconds = 60.0) const;
+
+ private:
+  std::map<std::string, OnlineStats> history_;
+};
+
+}  // namespace stampede::query

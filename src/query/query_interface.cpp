@@ -1,0 +1,124 @@
+#include "query/query_interface.hpp"
+
+#include "loader/stampede_loader.hpp"
+
+namespace stampede::query {
+
+using db::Select;
+using db::Value;
+
+WorkflowInfo QueryInterface::row_to_info(const db::ResultSet& rs,
+                                         std::size_t row) {
+  WorkflowInfo info;
+  info.wf_id = rs.at(row, "wf_id").as_int();
+  const auto& uuid = rs.at(row, "wf_uuid");
+  if (uuid.is_text()) info.wf_uuid = uuid.as_text();
+  const auto& label = rs.at(row, "dax_label");
+  if (label.is_text()) info.dax_label = label.as_text();
+  const auto& parent = rs.at(row, "parent_wf_id");
+  if (!parent.is_null()) info.parent_wf_id = parent.as_int();
+  const auto& root = rs.at(row, "root_wf_id");
+  if (!root.is_null()) info.root_wf_id = root.as_int();
+  const auto& user = rs.at(row, "user");
+  if (user.is_text()) info.user = user.as_text();
+  const auto& planner = rs.at(row, "planner_version");
+  if (planner.is_text()) info.planner_version = planner.as_text();
+  return info;
+}
+
+namespace {
+
+db::Select workflow_columns(db::Select select) {
+  return select.columns({"wf_id", "wf_uuid", "dax_label", "parent_wf_id",
+                         "root_wf_id", "user", "planner_version"});
+}
+
+}  // namespace
+
+std::optional<WorkflowInfo> QueryInterface::workflow_by_uuid(
+    const std::string& uuid) const {
+  const auto rs = db_->execute(
+      workflow_columns(Select{"workflow"}.where(db::eq("wf_uuid",
+                                                       Value{uuid}))));
+  if (rs.empty()) return std::nullopt;
+  return row_to_info(rs, 0);
+}
+
+std::optional<WorkflowInfo> QueryInterface::workflow_by_id(
+    std::int64_t wf_id) const {
+  const auto rs = db_->execute(
+      workflow_columns(Select{"workflow"}.where(db::eq("wf_id",
+                                                       Value{wf_id}))));
+  if (rs.empty()) return std::nullopt;
+  return row_to_info(rs, 0);
+}
+
+std::vector<WorkflowInfo> QueryInterface::root_workflows() const {
+  const auto rs = db_->execute(workflow_columns(
+      Select{"workflow"}.where(db::is_null("parent_wf_id"))));
+  std::vector<WorkflowInfo> out;
+  out.reserve(rs.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) out.push_back(row_to_info(rs, i));
+  return out;
+}
+
+std::vector<WorkflowInfo> QueryInterface::children_of(
+    std::int64_t wf_id) const {
+  const auto rs = db_->execute(workflow_columns(
+      Select{"workflow"}
+          .where(db::eq("parent_wf_id", Value{wf_id}))
+          .order_by("wf_id")));
+  std::vector<WorkflowInfo> out;
+  out.reserve(rs.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) out.push_back(row_to_info(rs, i));
+  return out;
+}
+
+std::vector<std::int64_t> QueryInterface::workflow_tree(
+    std::int64_t wf_id) const {
+  std::vector<std::int64_t> out{wf_id};
+  for (const auto& child : children_of(wf_id)) {
+    const auto subtree = workflow_tree(child.wf_id);
+    out.insert(out.end(), subtree.begin(), subtree.end());
+  }
+  return out;
+}
+
+std::optional<double> QueryInterface::state_time(std::int64_t wf_id,
+                                                 std::string_view state,
+                                                 bool last) const {
+  auto select = Select{"workflowstate"}
+                    .where(db::and_(db::eq("wf_id", Value{wf_id}),
+                                    db::eq("state",
+                                           Value{std::string{state}})))
+                    .columns({"timestamp"})
+                    .order_by("timestamp", /*descending=*/last)
+                    .limit(1);
+  const auto v = db_->scalar(select);
+  if (!v || v->is_null()) return std::nullopt;
+  return v->as_number();
+}
+
+std::optional<double> QueryInterface::start_time(std::int64_t wf_id) const {
+  return state_time(wf_id, loader::wfstate::kStarted, /*last=*/false);
+}
+
+std::optional<double> QueryInterface::end_time(std::int64_t wf_id) const {
+  return state_time(wf_id, loader::wfstate::kTerminated, /*last=*/true);
+}
+
+std::optional<std::int64_t> QueryInterface::final_status(
+    std::int64_t wf_id) const {
+  const auto rs = db_->execute(
+      Select{"workflowstate"}
+          .where(db::and_(
+              db::eq("wf_id", Value{wf_id}),
+              db::eq("state", Value{std::string{loader::wfstate::kTerminated}})))
+          .columns({"status", "timestamp"})
+          .order_by("timestamp", /*descending=*/true)
+          .limit(1));
+  if (rs.empty() || rs.at(0, "status").is_null()) return std::nullopt;
+  return rs.at(0, "status").as_int();
+}
+
+}  // namespace stampede::query

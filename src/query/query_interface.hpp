@@ -1,0 +1,68 @@
+#pragma once
+// The Stampede Query Interface (paper layer 3): "a standard query
+// interface for extracting the data from the relational archive. The
+// Stampede troubleshooting, analysis and dashboard tools use this
+// interface."
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/uuid.hpp"
+#include "db/database.hpp"
+
+namespace stampede::query {
+
+struct WorkflowInfo {
+  std::int64_t wf_id = 0;
+  std::string wf_uuid;
+  std::string dax_label;
+  std::optional<std::int64_t> parent_wf_id;
+  std::optional<std::int64_t> root_wf_id;
+  std::string user;
+  std::string planner_version;
+};
+
+class QueryInterface {
+ public:
+  explicit QueryInterface(const db::Database& database)
+      : db_(&database) {}
+
+  [[nodiscard]] const db::Database& database() const noexcept { return *db_; }
+
+  /// Workflow lookup by UUID / id; nullopt when absent.
+  [[nodiscard]] std::optional<WorkflowInfo> workflow_by_uuid(
+      const std::string& uuid) const;
+  [[nodiscard]] std::optional<WorkflowInfo> workflow_by_id(
+      std::int64_t wf_id) const;
+
+  /// All workflows with no parent (top-level runs).
+  [[nodiscard]] std::vector<WorkflowInfo> root_workflows() const;
+
+  /// Direct children (sub-workflows) of a workflow.
+  [[nodiscard]] std::vector<WorkflowInfo> children_of(
+      std::int64_t wf_id) const;
+
+  /// The workflow and every transitive descendant, pre-order.
+  [[nodiscard]] std::vector<std::int64_t> workflow_tree(
+      std::int64_t wf_id) const;
+
+  /// Timestamps of WORKFLOW_STARTED / WORKFLOW_TERMINATED states.
+  [[nodiscard]] std::optional<double> start_time(std::int64_t wf_id) const;
+  [[nodiscard]] std::optional<double> end_time(std::int64_t wf_id) const;
+
+  /// Final status from the last WORKFLOW_TERMINATED row (0 success).
+  [[nodiscard]] std::optional<std::int64_t> final_status(
+      std::int64_t wf_id) const;
+
+ private:
+  [[nodiscard]] static WorkflowInfo row_to_info(const db::ResultSet& rs,
+                                                std::size_t row);
+  [[nodiscard]] std::optional<double> state_time(std::int64_t wf_id,
+                                                 std::string_view state,
+                                                 bool last) const;
+
+  const db::Database* db_;
+};
+
+}  // namespace stampede::query

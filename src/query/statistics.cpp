@@ -1,0 +1,518 @@
+#include "query/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/string_utils.hpp"
+#include "common/time_utils.hpp"
+#include "loader/stampede_loader.hpp"
+
+namespace stampede::query {
+
+using db::Select;
+using db::Value;
+
+namespace {
+
+std::vector<Value> to_values(const std::vector<std::int64_t>& ids) {
+  std::vector<Value> out;
+  out.reserve(ids.size());
+  for (const auto id : ids) out.emplace_back(id);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Summary (Table I)
+
+EntityCounts StampedeStatistics::count_tasks(
+    const std::vector<std::int64_t>& tree) const {
+  const auto& database = q_->database();
+  // A task succeeded when any of its invocations (over every retry of
+  // its job) exited 0; it failed when it was attempted but never
+  // succeeded; with no invocations at all it is incomplete.
+  const auto invs = database.execute(
+      Select{"invocation"}
+          .where(db::and_(db::in_list("wf_id", to_values(tree)),
+                          db::is_not_null("abs_task_id")))
+          .columns({"wf_id", "abs_task_id", "exitcode"}));
+  std::map<std::pair<std::int64_t, std::string>, bool> outcome;
+  for (std::size_t i = 0; i < invs.size(); ++i) {
+    const std::pair<std::int64_t, std::string> key{
+        invs.at(i, "wf_id").as_int(), invs.at(i, "abs_task_id").as_text()};
+    const bool ok = !invs.at(i, "exitcode").is_null() &&
+                    invs.at(i, "exitcode").as_int() == 0;
+    auto [it, inserted] = outcome.emplace(key, ok);
+    if (!inserted) it->second = it->second || ok;
+  }
+
+  const auto tasks = database.execute(
+      Select{"task"}
+          .where(db::in_list("wf_id", to_values(tree)))
+          .columns({"wf_id", "abs_task_id"}));
+  EntityCounts counts;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const std::pair<std::int64_t, std::string> key{
+        tasks.at(i, "wf_id").as_int(), tasks.at(i, "abs_task_id").as_text()};
+    const auto it = outcome.find(key);
+    if (it == outcome.end()) {
+      ++counts.incomplete;
+    } else if (it->second) {
+      ++counts.succeeded;
+    } else {
+      ++counts.failed;
+    }
+  }
+  return counts;
+}
+
+EntityCounts StampedeStatistics::count_jobs(
+    const std::vector<std::int64_t>& tree) const {
+  const auto& database = q_->database();
+  const auto rows = database.execute(
+      Select{"job_instance"}
+          .join("job", "job_id", "job_id")
+          .where(db::in_list("job.wf_id", to_values(tree)))
+          .columns({"job.wf_id", "job.job_id", "job_instance.job_submit_seq",
+                    "job_instance.exitcode"}));
+  struct JobAgg {
+    std::int64_t instances = 0;
+    std::int64_t last_seq = -1;
+    std::optional<std::int64_t> last_exit;
+  };
+  std::map<std::pair<std::int64_t, std::int64_t>, JobAgg> jobs;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::pair<std::int64_t, std::int64_t> key{
+        rows.at(i, "job.wf_id").as_int(), rows.at(i, "job.job_id").as_int()};
+    JobAgg& agg = jobs[key];
+    ++agg.instances;
+    const std::int64_t seq = rows.at(i, "job_instance.job_submit_seq").as_int();
+    if (seq > agg.last_seq) {
+      agg.last_seq = seq;
+      const auto& exit = rows.at(i, "job_instance.exitcode");
+      agg.last_exit = exit.is_null()
+                          ? std::optional<std::int64_t>{}
+                          : std::optional<std::int64_t>{exit.as_int()};
+    }
+  }
+  EntityCounts counts;
+  for (const auto& [key, agg] : jobs) {
+    if (!agg.last_exit) {
+      ++counts.incomplete;
+    } else if (*agg.last_exit == 0) {
+      ++counts.succeeded;
+    } else {
+      ++counts.failed;
+    }
+    counts.retries += agg.instances - 1;
+  }
+  return counts;
+}
+
+SummaryStats StampedeStatistics::summary(std::int64_t root_wf_id) const {
+  SummaryStats stats;
+  const auto tree = q_->workflow_tree(root_wf_id);
+  stats.tasks = count_tasks(tree);
+  stats.jobs = count_jobs(tree);
+
+  // Sub-workflows: every tree member except the root, judged by its
+  // final WORKFLOW_TERMINATED status.
+  for (const auto wf : tree) {
+    if (wf == root_wf_id) continue;
+    const auto status = q_->final_status(wf);
+    if (!status) {
+      ++stats.sub_workflows.incomplete;
+    } else if (*status == 0) {
+      ++stats.sub_workflows.succeeded;
+    } else {
+      ++stats.sub_workflows.failed;
+    }
+  }
+
+  const auto start = q_->start_time(root_wf_id);
+  const auto end = q_->end_time(root_wf_id);
+  if (start && end) stats.workflow_wall_time = *end - *start;
+
+  const auto durations = q_->database().execute(
+      Select{"job_instance"}
+          .join("job", "job_id", "job_id")
+          .where(db::in_list("job.wf_id", to_values(tree)))
+          .agg(db::AggFn::kSum, "job_instance.local_duration", "total"));
+  if (!durations.empty() && !durations.at(0, "total").is_null()) {
+    stats.cumulative_job_wall_time = durations.at(0, "total").as_number();
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Breakdown (Table II)
+
+std::vector<TransformationStats> StampedeStatistics::breakdown(
+    std::int64_t wf_id) const {
+  const auto rows = q_->database().execute(
+      Select{"invocation"}
+          .where(db::eq("wf_id", Value{wf_id}))
+          .columns({"transformation", "remote_duration", "exitcode"}));
+  std::map<std::string, TransformationStats> by_name;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& name_cell = rows.at(i, "transformation");
+    const std::string name =
+        name_cell.is_text() ? name_cell.as_text() : "(unknown)";
+    TransformationStats& t = by_name[name];
+    t.transformation = name;
+    const double dur = rows.at(i, "remote_duration").is_null()
+                           ? 0.0
+                           : rows.at(i, "remote_duration").as_number();
+    if (t.count == 0) {
+      t.min = dur;
+      t.max = dur;
+    } else {
+      t.min = std::min(t.min, dur);
+      t.max = std::max(t.max, dur);
+    }
+    ++t.count;
+    t.total += dur;
+    const auto& exit = rows.at(i, "exitcode");
+    if (!exit.is_null() && exit.as_int() == 0) {
+      ++t.succeeded;
+    } else {
+      ++t.failed;
+    }
+  }
+  std::vector<TransformationStats> out;
+  out.reserve(by_name.size());
+  for (auto& [name, t] : by_name) {
+    t.mean = t.count > 0 ? t.total / static_cast<double>(t.count) : 0.0;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// jobs.txt (Tables III & IV)
+
+std::vector<JobRow> StampedeStatistics::jobs(std::int64_t wf_id) const {
+  const auto& database = q_->database();
+  const auto instances = database.execute(
+      Select{"job_instance"}
+          .join("job", "job_id", "job_id")
+          .where(db::eq("job.wf_id", Value{wf_id}))
+          .columns({"job_instance.job_instance_id", "job.exec_job_id",
+                    "job_instance.job_submit_seq", "job_instance.site",
+                    "job_instance.exitcode", "job_instance.host_id",
+                    "job_instance.local_duration"}));
+
+  // Invocation durations per instance.
+  const auto invs = database.execute(
+      Select{"invocation"}
+          .where(db::eq("wf_id", Value{wf_id}))
+          .columns({"job_instance_id", "remote_duration"}));
+  std::map<std::int64_t, double> inv_dur;
+  for (std::size_t i = 0; i < invs.size(); ++i) {
+    if (!invs.at(i, "remote_duration").is_null()) {
+      inv_dur[invs.at(i, "job_instance_id").as_int()] +=
+          invs.at(i, "remote_duration").as_number();
+    }
+  }
+
+  // Jobstate timestamps per instance.
+  const auto states = database.execute(
+      Select{"jobstate"}
+          .join("job_instance", "job_instance_id", "job_instance_id")
+          .join("job", "job_instance.job_id", "job_id")
+          .where(db::eq("job.wf_id", Value{wf_id}))
+          .columns({"jobstate.job_instance_id", "jobstate.state",
+                    "jobstate.timestamp"}));
+  struct Times {
+    std::optional<double> submit, execute, terminal;
+  };
+  std::map<std::int64_t, Times> times;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const std::int64_t ji = states.at(i, "jobstate.job_instance_id").as_int();
+    const std::string& state = states.at(i, "jobstate.state").as_text();
+    const double ts = states.at(i, "jobstate.timestamp").as_number();
+    Times& t = times[ji];
+    if (state == loader::jobstate::kSubmit && !t.submit) t.submit = ts;
+    if (state == loader::jobstate::kExecute && !t.execute) t.execute = ts;
+    if (state == loader::jobstate::kSuccess ||
+        state == loader::jobstate::kFailure) {
+      t.terminal = ts;
+    }
+  }
+
+  // Host names.
+  const auto hosts = database.execute(
+      Select{"host"}.columns({"host_id", "hostname"}));
+  std::map<std::int64_t, std::string> hostnames;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    hostnames[hosts.at(i, "host_id").as_int()] =
+        hosts.at(i, "hostname").as_text();
+  }
+
+  std::vector<JobRow> out;
+  out.reserve(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    JobRow row;
+    const std::int64_t ji =
+        instances.at(i, "job_instance.job_instance_id").as_int();
+    row.job_name = instances.at(i, "job.exec_job_id").as_text();
+    row.try_number = instances.at(i, "job_instance.job_submit_seq").as_int();
+    const auto& site = instances.at(i, "job_instance.site");
+    if (site.is_text()) row.site = site.as_text();
+    const auto& exit = instances.at(i, "job_instance.exitcode");
+    if (!exit.is_null()) row.exitcode = exit.as_int();
+    const auto& host = instances.at(i, "job_instance.host_id");
+    row.host = host.is_null()
+                   ? "None"
+                   : (hostnames.count(host.as_int()) != 0
+                          ? hostnames[host.as_int()]
+                          : "None");
+    const auto dur = inv_dur.find(ji);
+    if (dur != inv_dur.end()) row.invocation_duration = dur->second;
+    const auto t = times.find(ji);
+    if (t != times.end()) {
+      if (t->second.submit && t->second.execute) {
+        row.queue_time = *t->second.execute - *t->second.submit;
+      }
+      if (t->second.execute && t->second.terminal) {
+        row.runtime = *t->second.terminal - *t->second.execute;
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const JobRow& a, const JobRow& b) {
+    return a.job_name < b.job_name;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Hosts & progress
+
+std::vector<HostUsage> StampedeStatistics::host_usage(
+    std::int64_t root_wf_id) const {
+  const auto tree = q_->workflow_tree(root_wf_id);
+  const auto rows = q_->database().execute(
+      Select{"job_instance"}
+          .join("job", "job_id", "job_id")
+          .join("host", "job_instance.host_id", "host_id")
+          .where(db::in_list("job.wf_id", to_values(tree)))
+          .group_by({"host.hostname"})
+          .count_all("jobs")
+          .agg(db::AggFn::kSum, "job_instance.local_duration", "runtime")
+          .order_by("host.hostname"));
+  std::vector<HostUsage> out;
+  out.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    HostUsage usage;
+    usage.hostname = rows.at(i, "host.hostname").as_text();
+    usage.jobs = rows.at(i, "jobs").as_int();
+    if (!rows.at(i, "runtime").is_null()) {
+      usage.total_runtime = rows.at(i, "runtime").as_number();
+    }
+    out.push_back(std::move(usage));
+  }
+  return out;
+}
+
+std::vector<HostTimeline> StampedeStatistics::host_timeline(
+    std::int64_t root_wf_id, double bucket_seconds) const {
+  const auto tree = q_->workflow_tree(root_wf_id);
+  const double t0 = q_->start_time(root_wf_id).value_or(0.0);
+  // EXECUTE timestamp + host + duration per job instance.
+  const auto rows = q_->database().execute(
+      Select{"jobstate"}
+          .join("job_instance", "job_instance_id", "job_instance_id")
+          .join("job", "job_instance.job_id", "job_id")
+          .join("host", "job_instance.host_id", "host_id")
+          .where(db::and_(
+              db::in_list("job.wf_id", to_values(tree)),
+              db::eq("jobstate.state",
+                     Value{std::string{loader::jobstate::kExecute}})))
+          .columns({"host.hostname", "jobstate.timestamp",
+                    "job_instance.local_duration"}));
+  std::map<std::string, std::map<std::int64_t, HostTimeBucket>> sparse;
+  std::int64_t max_bucket = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::string& host = rows.at(i, "host.hostname").as_text();
+    const double offset = rows.at(i, "jobstate.timestamp").as_number() - t0;
+    const auto bucket =
+        static_cast<std::int64_t>(std::floor(std::max(0.0, offset) /
+                                             bucket_seconds));
+    max_bucket = std::max(max_bucket, bucket);
+    HostTimeBucket& b = sparse[host][bucket];
+    b.bucket_start = static_cast<double>(bucket) * bucket_seconds;
+    ++b.jobs;
+    const auto& dur = rows.at(i, "job_instance.local_duration");
+    if (!dur.is_null()) b.runtime += dur.as_number();
+  }
+  std::vector<HostTimeline> out;
+  out.reserve(sparse.size());
+  for (const auto& [host, buckets] : sparse) {
+    HostTimeline timeline;
+    timeline.hostname = host;
+    for (std::int64_t b = 0; b <= max_bucket; ++b) {
+      const auto it = buckets.find(b);
+      HostTimeBucket bucket;
+      bucket.bucket_start = static_cast<double>(b) * bucket_seconds;
+      if (it != buckets.end()) bucket = it->second;
+      timeline.buckets.push_back(bucket);
+    }
+    out.push_back(std::move(timeline));
+  }
+  return out;
+}
+
+std::vector<ProgressSeries> StampedeStatistics::progress(
+    std::int64_t root_wf_id) const {
+  const auto start = q_->start_time(root_wf_id);
+  const double t0 = start.value_or(0.0);
+  std::vector<ProgressSeries> out;
+  for (const auto& child : q_->children_of(root_wf_id)) {
+    ProgressSeries series;
+    series.wf_id = child.wf_id;
+    series.label = child.dax_label.empty()
+                       ? ("wf-" + std::to_string(child.wf_id))
+                       : child.dax_label;
+    // Completed jobs of the bundle in completion order.
+    const auto rows = q_->database().execute(
+        Select{"jobstate"}
+            .join("job_instance", "job_instance_id", "job_instance_id")
+            .join("job", "job_instance.job_id", "job_id")
+            .where(db::and_(
+                db::eq("job.wf_id", Value{child.wf_id}),
+                db::eq("jobstate.state",
+                       Value{std::string{loader::jobstate::kSuccess}})))
+            .columns({"jobstate.timestamp", "job_instance.local_duration"})
+            .order_by("jobstate.timestamp"));
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& dur = rows.at(i, "job_instance.local_duration");
+      cumulative += dur.is_null() ? 0.0 : dur.as_number();
+      series.points.push_back(
+          {rows.at(i, "jobstate.timestamp").as_number() - t0, cumulative});
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+
+namespace {
+
+std::string counts_line(std::string_view label, const EntityCounts& c) {
+  using common::pad_left;
+  using common::pad_right;
+  std::string line = pad_right(label, 8);
+  line += pad_left(std::to_string(c.succeeded), 10);
+  line += pad_left(std::to_string(c.failed), 8);
+  line += pad_left(std::to_string(c.incomplete), 12);
+  line += pad_left(std::to_string(c.total()), 7);
+  line += pad_left(std::to_string(c.retries), 9);
+  line += pad_left(std::to_string(c.total_with_retries()), 14);
+  return line + "\n";
+}
+
+}  // namespace
+
+std::string StampedeStatistics::render_summary(const SummaryStats& s) {
+  using common::pad_left;
+  using common::pad_right;
+  std::string out;
+  out += pad_right("Type", 8) + pad_left("Succeeded", 10) +
+         pad_left("Failed", 8) + pad_left("Incomplete", 12) +
+         pad_left("Total", 7) + pad_left("Retries", 9) +
+         pad_left("Total+Retries", 14) + "\n";
+  out += counts_line("Tasks", s.tasks);
+  out += counts_line("Jobs", s.jobs);
+  out += counts_line("Sub WF", s.sub_workflows);
+  out += "\n";
+  out += "Workflow wall time : " +
+         common::format_duration_with_seconds(s.workflow_wall_time) + "\n";
+  out += "Workflow cumulative job wall time : " +
+         common::format_duration_with_seconds(s.cumulative_job_wall_time) +
+         "\n";
+  return out;
+}
+
+std::string StampedeStatistics::render_breakdown(
+    const std::vector<TransformationStats>& rows) {
+  using common::format_fixed;
+  using common::pad_left;
+  using common::pad_right;
+  std::string out = pad_right("Type", 14) + pad_left("Count", 6) +
+                    pad_left("Success", 8) + pad_left("Failed", 7) +
+                    pad_left("Min", 8) + pad_left("Max", 8) +
+                    pad_left("Mean", 8) + pad_left("Total", 9) + "\n";
+  for (const auto& t : rows) {
+    out += pad_right(t.transformation, 14);
+    out += pad_left(std::to_string(t.count), 6);
+    out += pad_left(std::to_string(t.succeeded), 8);
+    out += pad_left(std::to_string(t.failed), 7);
+    out += pad_left(format_fixed(t.min, 1), 8);
+    out += pad_left(format_fixed(t.max, 1), 8);
+    out += pad_left(format_fixed(t.mean, 1), 8);
+    out += pad_left(format_fixed(t.total, 1), 9);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string StampedeStatistics::render_jobs_invocations(
+    const std::vector<JobRow>& rows) {
+  using common::format_fixed;
+  using common::pad_left;
+  using common::pad_right;
+  std::string out = pad_right("Job", 20) + pad_left("Try", 4) +
+                    pad_left("Site", 14) + pad_left("Invocation Duration", 21) +
+                    "\n";
+  for (const auto& r : rows) {
+    out += pad_right(r.job_name, 20);
+    out += pad_left(std::to_string(r.try_number), 4);
+    out += pad_left(r.site.empty() ? "local" : r.site, 14);
+    out += pad_left(format_fixed(r.invocation_duration, 1), 21);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string StampedeStatistics::render_jobs_queue(
+    const std::vector<JobRow>& rows) {
+  using common::format_fixed;
+  using common::pad_left;
+  using common::pad_right;
+  std::string out = pad_right("Job", 20) + pad_left("Queue Time", 11) +
+                    pad_left("Runtime", 9) + pad_left("Exit", 6) +
+                    pad_left("Host", 15) + "\n";
+  for (const auto& r : rows) {
+    out += pad_right(r.job_name, 20);
+    out += pad_left(format_fixed(r.queue_time, 2), 11);
+    out += pad_left(format_fixed(r.runtime, 1), 9);
+    out += pad_left(r.exitcode ? std::to_string(*r.exitcode) : "-", 6);
+    out += pad_left(r.host, 15);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string StampedeStatistics::render_host_usage(
+    const std::vector<HostUsage>& rows) {
+  using common::format_fixed;
+  using common::pad_left;
+  using common::pad_right;
+  std::string out = pad_right("Host", 18) + pad_left("Jobs", 6) +
+                    pad_left("Total Runtime", 15) + "\n";
+  for (const auto& r : rows) {
+    out += pad_right(r.hostname, 18);
+    out += pad_left(std::to_string(r.jobs), 6);
+    out += pad_left(format_fixed(r.total_runtime, 1), 15);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace stampede::query

@@ -1,0 +1,164 @@
+#pragma once
+// stampede_statistics (paper §VII): workflow-level and job-level metrics.
+//
+// Produces exactly the artifacts the paper's evaluation shows:
+//   * the summary block of Table I (task/job/sub-workflow counts, workflow
+//     wall time, cumulative job wall time)
+//   * breakdown.txt (Table II): per-transformation runtime statistics
+//   * jobs.txt (Tables III & IV): per-job site, invocation duration,
+//     queue time, runtime, exit code and host
+//   * the per-host over-time series and the per-bundle progress series
+//     behind Fig. 7
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/query_interface.hpp"
+
+namespace stampede::query {
+
+// ---------------------------------------------------------------------------
+// Table I — summary
+
+struct EntityCounts {
+  std::int64_t succeeded = 0;
+  std::int64_t failed = 0;
+  std::int64_t incomplete = 0;
+  std::int64_t retries = 0;
+  [[nodiscard]] std::int64_t total() const noexcept {
+    return succeeded + failed + incomplete;
+  }
+  [[nodiscard]] std::int64_t total_with_retries() const noexcept {
+    return total() + retries;
+  }
+};
+
+struct SummaryStats {
+  EntityCounts tasks;
+  EntityCounts jobs;
+  EntityCounts sub_workflows;
+  double workflow_wall_time = 0.0;
+  /// Sum of job runtimes over the whole workflow tree — "the resources a
+  /// workflow requires in a perfect system without delays". Includes
+  /// sub-workflow container jobs (pegasus-statistics accounting; see
+  /// DESIGN.md calibration notes).
+  double cumulative_job_wall_time = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Table II — breakdown.txt
+
+struct TransformationStats {
+  std::string transformation;
+  std::int64_t count = 0;
+  std::int64_t succeeded = 0;
+  std::int64_t failed = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double total = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Tables III & IV — jobs.txt
+
+struct JobRow {
+  std::string job_name;  ///< exec_job_id.
+  std::int64_t try_number = 1;
+  std::string site;
+  double invocation_duration = 0.0;  ///< Sum over invocations (Table III).
+  double queue_time = 0.0;           ///< SUBMIT → EXECUTE delay (Table IV).
+  double runtime = 0.0;              ///< EXECUTE → terminal state.
+  std::optional<std::int64_t> exitcode;
+  std::string host;                  ///< "None" when never placed.
+};
+
+// ---------------------------------------------------------------------------
+// Host / progress series
+
+struct HostUsage {
+  std::string hostname;
+  std::int64_t jobs = 0;
+  double total_runtime = 0.0;
+};
+
+/// One time bucket of a host's activity ("breakdown of tasks and jobs
+/// over time on hosts", §VII): jobs that *started executing* in the
+/// bucket, and the runtime they contributed.
+struct HostTimeBucket {
+  double bucket_start = 0.0;  ///< Seconds since root workflow start.
+  std::int64_t jobs = 0;
+  double runtime = 0.0;
+};
+
+struct HostTimeline {
+  std::string hostname;
+  std::vector<HostTimeBucket> buckets;  ///< Dense from 0, fixed width.
+};
+
+struct ProgressPoint {
+  double wall_clock = 0.0;      ///< Seconds since root workflow start.
+  double cumulative_runtime = 0.0;
+};
+
+struct ProgressSeries {
+  std::int64_t wf_id = 0;
+  std::string label;
+  std::vector<ProgressPoint> points;
+};
+
+// ---------------------------------------------------------------------------
+// The tool
+
+class StampedeStatistics {
+ public:
+  explicit StampedeStatistics(const QueryInterface& query) : q_(&query) {}
+
+  /// Table I over the workflow and all descendants.
+  [[nodiscard]] SummaryStats summary(std::int64_t root_wf_id) const;
+
+  /// Table II for one workflow (no descendants), sorted by name.
+  [[nodiscard]] std::vector<TransformationStats> breakdown(
+      std::int64_t wf_id) const;
+
+  /// Tables III/IV for one workflow, sorted by job name.
+  [[nodiscard]] std::vector<JobRow> jobs(std::int64_t wf_id) const;
+
+  /// Jobs and total runtime per host across the workflow tree.
+  [[nodiscard]] std::vector<HostUsage> host_usage(
+      std::int64_t root_wf_id) const;
+
+  /// Per-host activity over time across the workflow tree, bucketed by
+  /// `bucket_seconds` of wall clock since the root start.
+  [[nodiscard]] std::vector<HostTimeline> host_timeline(
+      std::int64_t root_wf_id, double bucket_seconds = 60.0) const;
+
+  /// Fig. 7: one cumulative-runtime series per direct sub-workflow of
+  /// the root (the DART "bundles"), x = wall clock since root start.
+  [[nodiscard]] std::vector<ProgressSeries> progress(
+      std::int64_t root_wf_id) const;
+
+  // -- text rendering in the paper's format ---------------------------------
+
+  [[nodiscard]] static std::string render_summary(const SummaryStats& s);
+  [[nodiscard]] static std::string render_breakdown(
+      const std::vector<TransformationStats>& rows);
+  [[nodiscard]] static std::string render_jobs_invocations(
+      const std::vector<JobRow>& rows);  ///< Table III shape.
+  [[nodiscard]] static std::string render_jobs_queue(
+      const std::vector<JobRow>& rows);  ///< Table IV shape.
+  [[nodiscard]] static std::string render_host_usage(
+      const std::vector<HostUsage>& rows);
+
+ private:
+  [[nodiscard]] EntityCounts count_tasks(
+      const std::vector<std::int64_t>& tree) const;
+  [[nodiscard]] EntityCounts count_jobs(
+      const std::vector<std::int64_t>& tree) const;
+
+  const QueryInterface* q_;
+};
+
+}  // namespace stampede::query

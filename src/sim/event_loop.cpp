@@ -1,0 +1,55 @@
+#include "sim/event_loop.hpp"
+
+namespace stampede::sim {
+
+EventLoop::Handle EventLoop::schedule_at(SimTime t, std::function<void()> fn) {
+  const Handle handle = next_handle_++;
+  queue_.push(Entry{t < now_ ? now_ : t, handle, std::move(fn)});
+  return handle;
+}
+
+bool EventLoop::cancel(Handle handle) {
+  if (handle == 0 || handle >= next_handle_) return false;
+  return cancelled_.insert(handle).second;
+}
+
+bool EventLoop::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; take a copy of the small parts and
+    // move the callable out via const_cast-free re-push avoidance: we pop
+    // first into a local.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    const auto it = cancelled_.find(entry.handle);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = entry.time;
+    ++fired_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+void EventLoop::run_until(SimTime t) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (cancelled_.count(top.handle) != 0) {
+      cancelled_.erase(top.handle);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace stampede::sim

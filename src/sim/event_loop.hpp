@@ -1,0 +1,75 @@
+#pragma once
+// Deterministic discrete-event simulation core.
+//
+// The workflow engines and the TrianaCloud substrate run on virtual time:
+// every run is exactly reproducible from its seed, which the bench
+// harness depends on to regenerate the paper's tables. Events at equal
+// timestamps fire in scheduling order (a strict total order), so there is
+// no tie-breaking nondeterminism.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time_utils.hpp"
+
+namespace stampede::sim {
+
+/// Virtual time: absolute epoch seconds, same unit as BP timestamps so
+/// simulated engines can stamp log records directly.
+using SimTime = common::Timestamp;
+
+class EventLoop {
+ public:
+  using Handle = std::uint64_t;
+
+  explicit EventLoop(SimTime start_time = 0.0) : now_(start_time) {}
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (clamped to now for past times).
+  Handle schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after a delay.
+  Handle schedule_in(common::Duration dt, std::function<void()> fn) {
+    return schedule_at(now_ + (dt > 0 ? dt : 0), std::move(fn));
+  }
+
+  /// Cancels a pending event; false when already fired or cancelled.
+  bool cancel(Handle handle);
+
+  /// Fires the next event; false when the queue is empty.
+  bool step();
+
+  /// Runs until no events remain.
+  void run();
+
+  /// Runs events with time ≤ t, then advances the clock to exactly t.
+  void run_until(SimTime t);
+
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+  [[nodiscard]] std::uint64_t fired() const noexcept { return fired_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    Handle handle;
+    std::function<void()> fn;
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.handle > b.handle;  // FIFO among simultaneous events.
+    }
+  };
+
+  SimTime now_;
+  Handle next_handle_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<Handle> cancelled_;
+};
+
+}  // namespace stampede::sim

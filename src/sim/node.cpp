@@ -1,0 +1,118 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace stampede::sim {
+
+namespace {
+// Work below this threshold counts as done. Chosen well above the double
+// ulp at epoch-scale time bases (~5e-7 s at t≈1e9) so completion events
+// always land at a strictly later representable instant.
+constexpr double kEpsilon = 1e-6;
+}
+
+PsNode::PsNode(EventLoop& loop, std::string name, int slots, double cores)
+    : loop_(&loop),
+      name_(std::move(name)),
+      slots_(slots),
+      cores_(cores),
+      last_update_(loop.now()) {}
+
+double PsNode::rate() const noexcept {
+  if (running_.empty()) return 0.0;
+  const double share = cores_ / static_cast<double>(running_.size());
+  return std::min(1.0, share);
+}
+
+PsNode::TaskId PsNode::submit(double cpu_seconds,
+                              std::function<void(SimTime)> on_start,
+                              std::function<void(SimTime)> on_done) {
+  const TaskId id = next_id_++;
+  ++stats_.submitted;
+  waiting_.push_back(
+      {id, std::max(cpu_seconds, kEpsilon), std::move(on_start),
+       std::move(on_done)});
+  stats_.peak_queue = std::max(stats_.peak_queue, waiting_.size());
+  // Admission happens as a scheduled event so that a submit() made from
+  // inside a completion callback sees a consistent node state.
+  loop_->schedule_in(0, [this] {
+    advance_work();
+    admit_from_queue();
+    reschedule_completion();
+  });
+  return id;
+}
+
+void PsNode::advance_work() {
+  const SimTime now = loop_->now();
+  const double elapsed = now - last_update_;
+  if (elapsed > 0 && !running_.empty()) {
+    const double done = elapsed * rate();
+    for (auto& [id, task] : running_) {
+      const double work = std::min(done, task.remaining);
+      task.remaining -= work;
+      stats_.busy_cpu_seconds += work;
+    }
+  }
+  last_update_ = now;
+}
+
+void PsNode::admit_from_queue() {
+  while (!waiting_.empty() &&
+         running_.size() < static_cast<std::size_t>(slots_)) {
+    Waiting next = std::move(waiting_.front());
+    waiting_.pop_front();
+    running_.emplace(next.id, Running{next.cpu_seconds,
+                                      std::move(next.on_done)});
+    stats_.peak_running = std::max(stats_.peak_running, running_.size());
+    if (next.on_start) next.on_start(loop_->now());
+  }
+}
+
+void PsNode::reschedule_completion() {
+  // Invalidate any previously scheduled completion: generation check.
+  const std::uint64_t generation = ++completion_generation_;
+  if (running_.empty()) return;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, task] : running_) {
+    min_remaining = std::min(min_remaining, task.remaining);
+  }
+  const double dt = min_remaining / rate();
+  // Guarantee the event lands at a strictly later representable time:
+  // at large epoch bases a tiny dt would otherwise be absorbed and the
+  // node would respin at the same instant forever.
+  const SimTime now = loop_->now();
+  SimTime target = now + dt;
+  if (!(target > now)) {
+    target = std::nextafter(now, std::numeric_limits<double>::infinity());
+  }
+  loop_->schedule_at(target, [this, generation] {
+    on_completion_event(generation);
+  });
+}
+
+void PsNode::on_completion_event(std::uint64_t generation) {
+  if (generation != completion_generation_) return;  // Stale.
+  advance_work();
+  // Complete every task whose work is (numerically) done.
+  std::vector<std::function<void(SimTime)>> callbacks;
+  for (auto it = running_.begin(); it != running_.end();) {
+    if (it->second.remaining <= kEpsilon) {
+      callbacks.push_back(std::move(it->second.on_done));
+      it = running_.erase(it);
+      ++stats_.completed;
+    } else {
+      ++it;
+    }
+  }
+  admit_from_queue();
+  reschedule_completion();
+  const SimTime now = loop_->now();
+  for (auto& cb : callbacks) {
+    if (cb) cb(now);
+  }
+}
+
+}  // namespace stampede::sim

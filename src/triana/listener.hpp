@@ -1,0 +1,84 @@
+#pragma once
+// Listener interface between the Triana scheduler and monitoring code.
+//
+// Most callbacks correspond 1:1 to Triana Execution Events (§V-B); the
+// rest carry "the events required for the schema compliance, but ... not
+// directly related to Triana events" (Fig. 5) — plan-time structure,
+// invocation records, host placement and sub-workflow parentage.
+
+#include <string>
+
+#include "triana/state.hpp"
+#include "triana/taskgraph.hpp"
+
+namespace stampede::triana {
+
+struct PlanInfo {
+  std::string user;
+  std::string planner_version = "stampede-cpp/triana-1.0";
+  std::string submit_dir;
+};
+
+struct InvocationInfo {
+  TaskIndex task = 0;
+  int inv_seq = 1;           ///< Invocation number within the job instance.
+  sim::SimTime start = 0.0;
+  sim::SimTime end = 0.0;    ///< Only meaningful on invocation end.
+  double cpu_seconds = 0.0;  ///< Modeled CPU demand of this firing.
+  int exitcode = 0;
+  std::string stdout_text;
+  std::string stderr_text;
+};
+
+class RunListener {
+ public:
+  virtual ~RunListener() = default;
+
+  /// Fired immediately before the task graph's state is set to RUNNING:
+  /// "the logging object records the workflow planning events, including
+  /// the Task, Edge, and Job descriptions" (§V-B).
+  virtual void on_plan(const TaskGraph& graph, const PlanInfo& info,
+                       sim::SimTime t) = 0;
+
+  virtual void on_workflow_start(sim::SimTime t) = 0;
+  virtual void on_workflow_end(sim::SimTime t, int status) = 0;
+
+  /// Raw Triana state transition.
+  virtual void on_execution_event(const TaskGraph& graph,
+                                  const ExecutionEvent& event,
+                                  TaskIndex task) = 0;
+
+  /// The task's unit began / finished processing one chunk of data.
+  virtual void on_invocation_start(const TaskGraph& graph,
+                                   const InvocationInfo& info) = 0;
+  virtual void on_invocation_end(const TaskGraph& graph,
+                                 const InvocationInfo& info) = 0;
+
+  /// The task was placed on a concrete host.
+  virtual void on_host(const TaskGraph& graph, TaskIndex task,
+                       const std::string& hostname, const std::string& site,
+                       sim::SimTime t) = 0;
+
+  /// A sub-workflow was created for `task`; `child_uuid` identifies it.
+  virtual void on_subworkflow(const TaskGraph& graph, TaskIndex task,
+                              const common::Uuid& child_uuid,
+                              sim::SimTime t) = 0;
+};
+
+/// No-op base for listeners interested in a subset of callbacks.
+class RunListenerBase : public RunListener {
+ public:
+  void on_plan(const TaskGraph&, const PlanInfo&, sim::SimTime) override {}
+  void on_workflow_start(sim::SimTime) override {}
+  void on_workflow_end(sim::SimTime, int) override {}
+  void on_execution_event(const TaskGraph&, const ExecutionEvent&,
+                          TaskIndex) override {}
+  void on_invocation_start(const TaskGraph&, const InvocationInfo&) override {}
+  void on_invocation_end(const TaskGraph&, const InvocationInfo&) override {}
+  void on_host(const TaskGraph&, TaskIndex, const std::string&,
+               const std::string&, sim::SimTime) override {}
+  void on_subworkflow(const TaskGraph&, TaskIndex, const common::Uuid&,
+                      sim::SimTime) override {}
+};
+
+}  // namespace stampede::triana

@@ -1,0 +1,350 @@
+#include "triana/scheduler.hpp"
+
+#include <algorithm>
+
+namespace stampede::triana {
+
+using common::EngineError;
+
+Scheduler::Scheduler(sim::EventLoop& loop, common::Rng& rng,
+                     sim::PsNode& node, TaskGraph& graph,
+                     SchedulerOptions options)
+    : loop_(&loop),
+      rng_(&rng),
+      node_(&node),
+      graph_(&graph),
+      options_(options) {}
+
+void Scheduler::emit_event(TaskIndex task, TaskState old_state,
+                           TaskState new_state) {
+  const ExecutionEvent event{loop_->now(), graph_->task(task).name, old_state,
+                             new_state};
+  for (auto* listener : listeners_) {
+    listener->on_execution_event(*graph_, event, task);
+  }
+}
+
+void Scheduler::set_state(TaskIndex task, TaskState next) {
+  Task& t = graph_->task(task);
+  const TaskState old_state = t.state;
+  if (old_state == next) return;
+  t.state = next;
+  emit_event(task, old_state, next);
+}
+
+void Scheduler::start(CompletionFn on_complete) {
+  if (started_) throw EngineError("Scheduler: start() called twice");
+  started_ = true;
+  on_complete_ = std::move(on_complete);
+
+  if (options_.mode == Mode::kSingleStep && graph_->has_cycle()) {
+    throw EngineError("taskgraph " + graph_->name() +
+                      ": cyclic graphs require continuous mode");
+  }
+
+  // Build the per-task runtime state.
+  runtime_.resize(graph_->task_count());
+  for (TaskIndex i = 0; i < graph_->task_count(); ++i) {
+    TaskRuntime& rt = runtime_[i];
+    rt.input_tasks = graph_->inputs_of(i);
+    rt.input_queues.assign(rt.input_tasks.size(), {});
+    rt.remaining_firings = options_.mode == Mode::kContinuous
+                               ? graph_->task(i).firings
+                               : 1;
+  }
+
+  // "Immediately before the scheduler sets the task graph's state to
+  // RUNNING, the logging object records the workflow planning events".
+  const sim::SimTime now = loop_->now();
+  for (auto* listener : listeners_) {
+    listener->on_plan(*graph_, plan_info_, now);
+  }
+  for (auto* listener : listeners_) listener->on_workflow_start(now);
+
+  // All tasks wake to SCHEDULED and wait for input (§V-B).
+  for (TaskIndex i = 0; i < graph_->task_count(); ++i) {
+    set_state(i, TaskState::kScheduled);
+  }
+  pump_ready();
+  check_done();
+}
+
+bool Scheduler::can_fire(TaskIndex task) const {
+  const TaskRuntime& rt = runtime_[task];
+  const TaskState state = graph_->task(task).state;
+  if (paused_ || rt.in_flight || rt.remaining_firings <= 0) return false;
+  if (state != TaskState::kScheduled && state != TaskState::kRunning) {
+    return false;
+  }
+  // Every input cable must hold a data chunk.
+  return std::all_of(rt.input_queues.begin(), rt.input_queues.end(),
+                     [](const std::deque<Data>& q) { return !q.empty(); });
+}
+
+void Scheduler::pump_ready() {
+  for (TaskIndex i = 0; i < graph_->task_count(); ++i) {
+    try_fire(i);
+  }
+}
+
+void Scheduler::try_fire(TaskIndex task) {
+  if (!can_fire(task)) return;
+  fire(task);
+}
+
+void Scheduler::fire(TaskIndex task) {
+  TaskRuntime& rt = runtime_[task];
+  rt.in_flight = true;
+  --rt.remaining_firings;
+  ++rt.fired;
+  ++outstanding_;
+
+  // Consume one chunk from every input cable.
+  Data inputs;
+  for (auto& queue : rt.input_queues) {
+    const Data& chunk = queue.front();
+    inputs.insert(inputs.end(), chunk.begin(), chunk.end());
+    queue.pop_front();
+  }
+
+  const double cpu = graph_->task(task).unit->cpu_seconds(*rng_);
+  const double overhead =
+      rng_->uniform(options_.overhead_lo, options_.overhead_hi);
+  loop_->schedule_in(overhead, [this, task, cpu,
+                                inputs = std::move(inputs)]() mutable {
+    node_->submit(
+        cpu,
+        /*on_start=*/
+        [this, task](sim::SimTime t) {
+          TaskRuntime& rt = runtime_[task];
+          if (!rt.started) {
+            rt.started = true;
+            set_state(task, TaskState::kRunning);
+            for (auto* listener : listeners_) {
+              listener->on_host(*graph_, task, node_->name(), options_.site,
+                                t);
+            }
+          }
+          InvocationInfo info;
+          info.task = task;
+          info.inv_seq = rt.fired;
+          info.start = t;
+          for (auto* listener : listeners_) {
+            listener->on_invocation_start(*graph_, info);
+          }
+          rt.inv_start = t;
+        },
+        /*on_done=*/
+        [this, task, cpu, inputs = std::move(inputs)](sim::SimTime t) mutable {
+          complete_firing(task, runtime_[task].inv_start, t, cpu,
+                          std::move(inputs));
+        });
+  });
+}
+
+void Scheduler::complete_firing(TaskIndex task, sim::SimTime start,
+                                sim::SimTime end, double cpu, Data inputs) {
+  TaskRuntime& rt = runtime_[task];
+  Task& t = graph_->task(task);
+
+  UnitResult result;
+  try {
+    result = t.unit->process(inputs);
+  } catch (const std::exception& e) {
+    result.exitcode = -1;
+    result.stderr_text = e.what();
+  } catch (...) {
+    result.exitcode = -1;
+    result.stderr_text = "unit threw a non-standard exception";
+  }
+
+  InvocationInfo info;
+  info.task = task;
+  info.inv_seq = rt.fired;
+  info.start = start;
+  info.end = end;
+  info.cpu_seconds = cpu;
+  info.exitcode = result.exitcode;
+  info.stdout_text = result.stdout_text;
+  info.stderr_text = result.stderr_text;
+  for (auto* listener : listeners_) {
+    listener->on_invocation_end(*graph_, info);
+  }
+
+  if (result.exitcode != 0) {
+    rt.in_flight = false;
+    --outstanding_;
+    finish_task(task, /*ok=*/false);
+    check_done();
+    return;
+  }
+
+  // Runtime workflow generation: build the child from this firing's
+  // inputs (§V-D — "the creation and execution of a workflow during the
+  // run of a parent workflow").
+  if (t.subgraph_factory && !t.subgraph) {
+    try {
+      t.subgraph = t.subgraph_factory(inputs);
+    } catch (const std::exception&) {
+      rt.in_flight = false;
+      --outstanding_;
+      finish_task(task, /*ok=*/false);
+      check_done();
+      return;
+    }
+  }
+
+  // Sub-workflow tasks hand their child graph to the handler and stay
+  // RUNNING until it reports back (§V-D meta-workflows).
+  if (t.subgraph) {
+    if (!subworkflow_handler_) {
+      rt.in_flight = false;
+      --outstanding_;
+      finish_task(task, /*ok=*/false);
+      check_done();
+      return;
+    }
+    const common::Uuid child_uuid = subworkflow_handler_(
+        task, *t.subgraph, result.outputs,
+        [this, task, outputs = result.outputs](sim::SimTime child_end,
+                                               int child_status) {
+          TaskRuntime& rt2 = runtime_[task];
+          rt2.in_flight = false;
+          --outstanding_;
+          (void)child_end;
+          if (child_status == 0) {
+            deliver_outputs(task, outputs);
+            if (rt2.remaining_firings == 0) finish_task(task, true);
+            pump_ready();
+          } else {
+            finish_task(task, false);
+          }
+          check_done();
+        });
+    for (auto* listener : listeners_) {
+      listener->on_subworkflow(*graph_, task, child_uuid, loop_->now());
+    }
+    return;
+  }
+
+  rt.in_flight = false;
+  --outstanding_;
+  deliver_outputs(task, result.outputs);
+  if (rt.remaining_firings == 0) {
+    finish_task(task, /*ok=*/true);
+  } else {
+    try_fire(task);  // Continuous mode: next chunk may already be waiting.
+  }
+  pump_ready();
+  check_done();
+}
+
+void Scheduler::deliver_outputs(TaskIndex task, const Data& outputs) {
+  for (TaskIndex i = 0; i < graph_->task_count(); ++i) {
+    TaskRuntime& rt = runtime_[i];
+    for (std::size_t c = 0; c < rt.input_tasks.size(); ++c) {
+      if (rt.input_tasks[c] == task) {
+        rt.input_queues[c].push_back(outputs);
+      }
+    }
+  }
+}
+
+void Scheduler::finish_task(TaskIndex task, bool ok) {
+  set_state(task, ok ? TaskState::kComplete : TaskState::kError);
+}
+
+void Scheduler::check_done() {
+  if (finished_ || outstanding_ > 0 || paused_) return;
+  // Can anything still fire?
+  for (TaskIndex i = 0; i < graph_->task_count(); ++i) {
+    if (can_fire(i)) return;
+  }
+  // Nothing in flight, nothing ready: the run is over.
+  bool all_complete = true;
+  for (TaskIndex i = 0; i < graph_->task_count(); ++i) {
+    if (graph_->task(i).state != TaskState::kComplete) {
+      all_complete = false;
+      break;
+    }
+  }
+  finished_ = true;
+  status_ = all_complete ? 0 : -1;
+  const sim::SimTime now = loop_->now();
+  for (auto* listener : listeners_) listener->on_workflow_end(now, status_);
+  if (on_complete_) on_complete_(now, status_);
+}
+
+void Scheduler::request_pause() {
+  if (paused_ || finished_) return;
+  paused_ = true;
+  // "This sends a message to the local task graph to pause the execution
+  // of each component" — components that have not begun are held.
+  for (TaskIndex i = 0; i < graph_->task_count(); ++i) {
+    if (graph_->task(i).state == TaskState::kScheduled &&
+        !runtime_[i].in_flight) {
+      set_state(i, TaskState::kPaused);
+    }
+  }
+}
+
+void Scheduler::request_resume() {
+  if (!paused_) return;
+  paused_ = false;
+  for (TaskIndex i = 0; i < graph_->task_count(); ++i) {
+    if (graph_->task(i).state == TaskState::kPaused) {
+      // held.end: RUNNING with previous state PAUSED (§V-B mapping).
+      set_state(i, TaskState::kRunning);
+      runtime_[i].started = true;
+    }
+  }
+  pump_ready();
+  check_done();
+}
+
+// ---------------------------------------------------------------------------
+// InlineSubworkflowRunner
+
+common::Uuid InlineSubworkflowRunner::run_child(
+    TaskGraph& child, common::Uuid parent_uuid, SchedulerOptions options,
+    std::function<void(sim::SimTime, int)> done) {
+  const common::Uuid child_uuid = uuids_->next();
+  StampedeLog::Identity identity;
+  identity.xwf_id = child_uuid;
+  identity.parent_xwf_id = parent_uuid;
+  identity.root_xwf_id = root_;
+  identity.dax_label = child.name();
+  logs_.push_back(std::make_unique<StampedeLog>(*sink_, identity));
+  auto scheduler =
+      std::make_unique<Scheduler>(*loop_, *rng_, *node_, child, options);
+  scheduler->add_listener(*logs_.back());
+  Scheduler* raw = scheduler.get();
+  children_.push_back(std::move(scheduler));
+  // Grandchildren spawn recursively through this same runner, parented
+  // to the child we just created ("a sub-workflow, which can contain a
+  // sub-workflow, and so on", §V).
+  raw->set_subworkflow_handler(
+      [this, child_uuid, options](TaskIndex, TaskGraph& grandchild, Data,
+                                  std::function<void(sim::SimTime, int)> d) {
+        return run_child(grandchild, child_uuid, options, std::move(d));
+      });
+  loop_->schedule_in(0, [raw, done = std::move(done)]() mutable {
+    raw->start([done = std::move(done)](sim::SimTime end, int status) {
+      done(end, status);
+    });
+  });
+  return child_uuid;
+}
+
+void InlineSubworkflowRunner::attach(Scheduler& parent,
+                                     common::Uuid parent_uuid,
+                                     SchedulerOptions child_options) {
+  parent.set_subworkflow_handler(
+      [this, parent_uuid, child_options](
+          TaskIndex, TaskGraph& child, Data,
+          std::function<void(sim::SimTime, int)> done) {
+        return run_child(child, parent_uuid, child_options, std::move(done));
+      });
+}
+
+}  // namespace stampede::triana

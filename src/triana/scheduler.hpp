@@ -1,0 +1,159 @@
+#pragma once
+// The Triana scheduler (paper §V, Fig. 5): controls the start/stop/reset
+// of a task graph lifecycle, runs Runnable Instances, and feeds Execution
+// Events to listeners (among them the StampedeLog).
+//
+// One Scheduler executes one task graph once ("If the workflow is re-run,
+// this is considered to be a new workflow", §V-B). Tasks execute on a
+// processor-sharing node — "localhost" for desktop runs, a TrianaCloud
+// worker for distributed bundles.
+//
+// Modes (§V-A): single-step (each component scheduled to execute once,
+// like a DAG) and continuous (components fire repeatedly as data chunks
+// stream through; every firing is one invocation of the job instance).
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/uuid.hpp"
+#include "sim/node.hpp"
+#include "triana/listener.hpp"
+#include "triana/stampede_log.hpp"
+#include "triana/taskgraph.hpp"
+
+namespace stampede::triana {
+
+enum class Mode { kSingleStep, kContinuous };
+
+struct SchedulerOptions {
+  Mode mode = Mode::kSingleStep;
+  /// Scheduling overhead between readiness and node submission, drawn
+  /// uniformly — the sub-100ms "queue time" of the paper's Table IV.
+  double overhead_lo = 0.02;
+  double overhead_hi = 0.10;
+  std::string site;  ///< Site label for host.info events.
+};
+
+class Scheduler {
+ public:
+  using CompletionFn = std::function<void(sim::SimTime end, int status)>;
+  /// Invoked when a sub-workflow task fires. The handler must arrange
+  /// execution of `child` and call `done(end, status)` when finished; it
+  /// returns the UUID it assigned to the child run (logged through
+  /// on_subworkflow / xwf.map.subwf_job).
+  using SubworkflowHandler = std::function<common::Uuid(
+      TaskIndex, TaskGraph& child, Data inputs,
+      std::function<void(sim::SimTime, int)> done)>;
+
+  Scheduler(sim::EventLoop& loop, common::Rng& rng, sim::PsNode& node,
+            TaskGraph& graph, SchedulerOptions options = {});
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  void add_listener(RunListener& listener) { listeners_.push_back(&listener); }
+  void set_plan_info(PlanInfo info) { plan_info_ = std::move(info); }
+  void set_subworkflow_handler(SubworkflowHandler handler) {
+    subworkflow_handler_ = std::move(handler);
+  }
+
+  /// Begins execution (emits plan + xwf.start, schedules source tasks).
+  /// Throws common::EngineError for a cyclic graph in single-step mode.
+  void start(CompletionFn on_complete);
+
+  /// Interactive pause (the GUI stop button, §V-A): tasks not yet
+  /// running are held; running tasks finish their current invocation.
+  void request_pause();
+
+  /// Releases held tasks.
+  void request_resume();
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] int status() const noexcept { return status_; }
+  [[nodiscard]] const TaskGraph& graph() const noexcept { return *graph_; }
+
+ private:
+  struct TaskRuntime {
+    int remaining_firings = 1;
+    int fired = 0;
+    std::vector<std::deque<Data>> input_queues;  ///< One per input cable.
+    std::vector<TaskIndex> input_tasks;
+    bool in_flight = false;  ///< Currently queued/running on the node.
+    bool started = false;    ///< main.start already emitted.
+    sim::SimTime inv_start = 0.0;  ///< Start of the current invocation.
+  };
+
+  void set_state(TaskIndex task, TaskState next);
+  void emit_event(TaskIndex task, TaskState old_state, TaskState new_state);
+  [[nodiscard]] bool can_fire(TaskIndex task) const;
+  void try_fire(TaskIndex task);
+  void fire(TaskIndex task);
+  void complete_firing(TaskIndex task, sim::SimTime start, sim::SimTime end,
+                       double cpu, Data inputs);
+  void deliver_outputs(TaskIndex task, const Data& outputs);
+  void finish_task(TaskIndex task, bool ok);
+  void check_done();
+  void pump_ready();
+
+  sim::EventLoop* loop_;
+  common::Rng* rng_;
+  sim::PsNode* node_;
+  TaskGraph* graph_;
+  SchedulerOptions options_;
+  PlanInfo plan_info_;
+  std::vector<RunListener*> listeners_;
+  SubworkflowHandler subworkflow_handler_;
+  CompletionFn on_complete_;
+
+  std::vector<TaskRuntime> runtime_;
+  std::size_t outstanding_ = 0;  ///< Firings + sub-workflows in flight.
+  bool paused_ = false;
+  bool finished_ = false;
+  bool started_ = false;
+  int status_ = 0;
+};
+
+/// Default sub-workflow handler: runs the child inline on the same node
+/// with its own Scheduler and StampedeLog writing to `sink`.
+/// `uuid_seed` controls child UUID assignment deterministically.
+class InlineSubworkflowRunner {
+ public:
+  InlineSubworkflowRunner(sim::EventLoop& loop, common::Rng& rng,
+                          sim::PsNode& node, nl::EventSink& sink,
+                          common::UuidGenerator& uuids,
+                          common::Uuid root_xwf_id)
+      : loop_(&loop),
+        rng_(&rng),
+        node_(&node),
+        sink_(&sink),
+        uuids_(&uuids),
+        root_(root_xwf_id) {}
+
+  /// Binds this runner as the handler of `parent`, parenting children to
+  /// `parent_uuid`.
+  void attach(Scheduler& parent, common::Uuid parent_uuid,
+              SchedulerOptions child_options = {});
+
+  /// Runs `child` (recursively wiring grandchildren) and returns its
+  /// assigned UUID. `done` fires at child workflow end.
+  common::Uuid run_child(TaskGraph& child, common::Uuid parent_uuid,
+                         SchedulerOptions options,
+                         std::function<void(sim::SimTime, int)> done);
+
+ private:
+  sim::EventLoop* loop_;
+  common::Rng* rng_;
+  sim::PsNode* node_;
+  nl::EventSink* sink_;
+  common::UuidGenerator* uuids_;
+  common::Uuid root_;
+  // Children kept alive until the loop drains.
+  std::vector<std::unique_ptr<Scheduler>> children_;
+  std::vector<std::unique_ptr<StampedeLog>> logs_;
+};
+
+}  // namespace stampede::triana

@@ -1,0 +1,227 @@
+#include "triana/stampede_log.hpp"
+
+#include "netlogger/events.hpp"
+
+namespace stampede::triana {
+
+namespace ev = nl::events;
+namespace attr = nl::events::attr;
+
+std::string StampedeLog::job_id_for(const TaskGraph& graph, TaskIndex task) {
+  const Task& t = graph.task(task);
+  const std::string type = t.unit ? t.unit->type() : "unit";
+  if (type == "unit") return "unit:" + t.name;
+  return type + "." + t.name;
+}
+
+nl::LogRecord StampedeLog::base(sim::SimTime t, std::string_view event) const {
+  nl::LogRecord r{t, std::string{event}};
+  r.set(attr::kXwfId, identity_.xwf_id);
+  return r;
+}
+
+nl::LogRecord StampedeLog::job_inst(sim::SimTime t, std::string_view event,
+                                    const TaskGraph& graph,
+                                    TaskIndex task) const {
+  nl::LogRecord r = base(t, event);
+  r.set(attr::kJobInstId, kSubmitSeq);
+  r.set(attr::kJobId, job_id_for(graph, task));
+  return r;
+}
+
+void StampedeLog::on_plan(const TaskGraph& graph, const PlanInfo& info,
+                          sim::SimTime t) {
+  nl::LogRecord plan = base(t, ev::kWfPlan);
+  if (!info.submit_dir.empty()) plan.set(attr::kSubmitDir, info.submit_dir);
+  plan.set(attr::kPlanner, info.planner_version);
+  if (!info.user.empty()) plan.set(attr::kUser, info.user);
+  if (!identity_.dax_label.empty()) {
+    plan.set(attr::kDaxLabel, identity_.dax_label);
+  }
+  if (identity_.parent_xwf_id) {
+    plan.set(attr::kParentXwfId, *identity_.parent_xwf_id);
+  }
+  if (identity_.root_xwf_id) {
+    plan.set(attr::kRootXwfId, *identity_.root_xwf_id);
+  }
+  sink_->emit(plan);
+
+  // Abstract workflow: one stampede task per Triana task.
+  for (TaskIndex i = 0; i < graph.task_count(); ++i) {
+    const Task& task = graph.task(i);
+    nl::LogRecord ti = base(t, ev::kTaskInfo);
+    ti.set(attr::kTaskId, task.name);
+    ti.set(attr::kTransformation, task.name);
+    ti.set(attr::kType, task.unit ? task.unit->type() : "unit");
+    ti.set(attr::kTypeDesc, task.subgraph ? "sub-workflow" : "unit");
+    sink_->emit(ti);
+  }
+  for (const Cable& cable : graph.cables()) {
+    nl::LogRecord te = base(t, ev::kTaskEdge);
+    te.set(attr::kParentTaskId, graph.task(cable.from).name);
+    te.set(attr::kChildTaskId, graph.task(cable.to).name);
+    sink_->emit(te);
+  }
+
+  // Executable workflow: 1:1 with the abstract one ("there is a one-to-
+  // one mapping between a Stampede task and a Stampede job entity", §V).
+  for (TaskIndex i = 0; i < graph.task_count(); ++i) {
+    const Task& task = graph.task(i);
+    nl::LogRecord ji = base(t, ev::kJobInfo);
+    ji.set(attr::kJobId, job_id_for(graph, i));
+    ji.set(attr::kType, task.unit ? task.unit->type() : "unit");
+    ji.set(attr::kTypeDesc, task.subgraph ? "sub-workflow" : "unit");
+    ji.set(attr::kTransformation, task.name);
+    ji.set("task_count", std::int64_t{1});
+    sink_->emit(ji);
+
+    nl::LogRecord map = base(t, ev::kMapTaskJob);
+    map.set(attr::kTaskId, task.name);
+    map.set(attr::kJobId, job_id_for(graph, i));
+    sink_->emit(map);
+  }
+  for (const Cable& cable : graph.cables()) {
+    nl::LogRecord je = base(t, ev::kJobEdge);
+    je.set(attr::kParentJobId, job_id_for(graph, cable.from));
+    je.set(attr::kChildJobId, job_id_for(graph, cable.to));
+    sink_->emit(je);
+  }
+}
+
+void StampedeLog::on_workflow_start(sim::SimTime t) {
+  nl::LogRecord r = base(t, ev::kXwfStart);
+  r.set(attr::kRestartCount, std::int64_t{0});
+  sink_->emit(r);
+}
+
+void StampedeLog::on_workflow_end(sim::SimTime t, int status) {
+  nl::LogRecord r = base(t, ev::kXwfEnd);
+  r.set(attr::kRestartCount, std::int64_t{0});
+  r.set(attr::kStatus, static_cast<std::int64_t>(status));
+  sink_->emit(r);
+}
+
+void StampedeLog::on_execution_event(const TaskGraph& graph,
+                                     const ExecutionEvent& event,
+                                     TaskIndex task) {
+  const sim::SimTime t = event.time;
+  switch (event.new_state) {
+    case TaskState::kScheduled: {
+      // "each task is WOKEN, their Job Submit Start event is recorded".
+      sink_->emit(job_inst(t, ev::kJobInstSubmitStart, graph, task));
+      nl::LogRecord end = job_inst(t, ev::kJobInstSubmitEnd, graph, task);
+      end.set(attr::kStatus, std::int64_t{0});
+      sink_->emit(end);
+      break;
+    }
+    case TaskState::kRunning: {
+      if (event.old_state == TaskState::kPaused) {
+        // "RUNNING ... previous state was PAUSED ... held.end".
+        nl::LogRecord r = job_inst(t, ev::kJobInstHeldEnd, graph, task);
+        r.set(attr::kStatus, std::int64_t{0});
+        sink_->emit(r);
+      } else {
+        sink_->emit(job_inst(t, ev::kJobInstMainStart, graph, task));
+      }
+      break;
+    }
+    case TaskState::kPaused:
+      // "PAUSED in Triana mapping directly to held.start".
+      sink_->emit(job_inst(t, ev::kJobInstHeldStart, graph, task));
+      break;
+    case TaskState::kComplete: {
+      nl::LogRecord term = job_inst(t, ev::kJobInstMainTerm, graph, task);
+      term.set(attr::kStatus, std::int64_t{0});
+      sink_->emit(term);
+      nl::LogRecord end = job_inst(t, ev::kJobInstMainEnd, graph, task);
+      const auto it = exitcodes_.find(task);
+      end.set(attr::kExitcode,
+              static_cast<std::int64_t>(it == exitcodes_.end() ? 0
+                                                               : it->second));
+      attach_std_streams(end, task);
+      sink_->emit(end);
+      break;
+    }
+    case TaskState::kError: {
+      // "the Terminate and End events have return codes of -1".
+      nl::LogRecord term = job_inst(t, ev::kJobInstMainTerm, graph, task);
+      term.set(attr::kStatus, std::int64_t{-1});
+      sink_->emit(term);
+      nl::LogRecord end = job_inst(t, ev::kJobInstMainEnd, graph, task);
+      // A task can reach ERROR even though its own invocation returned 0
+      // (e.g. the sub-workflow it spawned failed); the job-level exit
+      // code must still be nonzero.
+      const auto it = exitcodes_.find(task);
+      const int code =
+          (it == exitcodes_.end() || it->second == 0) ? -1 : it->second;
+      end.set(attr::kExitcode, static_cast<std::int64_t>(code));
+      end.set_level(nl::Level::kError);
+      attach_std_streams(end, task);
+      sink_->emit(end);
+      break;
+    }
+    default:
+      break;  // Other Triana states have no Stampede counterpart.
+  }
+}
+
+void StampedeLog::on_invocation_start(const TaskGraph& graph,
+                                      const InvocationInfo& info) {
+  nl::LogRecord r = base(info.start, ev::kInvStart);
+  r.set(attr::kJobInstId, kSubmitSeq);
+  r.set(attr::kJobId, job_id_for(graph, info.task));
+  r.set(attr::kInvId, static_cast<std::int64_t>(info.inv_seq));
+  sink_->emit(r);
+}
+
+void StampedeLog::attach_std_streams(nl::LogRecord& record,
+                                     TaskIndex task) const {
+  const auto out = stdout_.find(task);
+  if (out != stdout_.end() && !out->second.empty()) {
+    record.set(attr::kStdOut, out->second);
+  }
+  const auto err = stderr_.find(task);
+  if (err != stderr_.end() && !err->second.empty()) {
+    record.set(attr::kStdErr, err->second);
+  }
+}
+
+void StampedeLog::on_invocation_end(const TaskGraph& graph,
+                                    const InvocationInfo& info) {
+  exitcodes_[info.task] = info.exitcode;
+  if (!info.stdout_text.empty()) stdout_[info.task] = info.stdout_text;
+  if (!info.stderr_text.empty()) stderr_[info.task] = info.stderr_text;
+  nl::LogRecord r = base(info.end, ev::kInvEnd);
+  r.set(attr::kJobInstId, kSubmitSeq);
+  r.set(attr::kJobId, job_id_for(graph, info.task));
+  r.set(attr::kInvId, static_cast<std::int64_t>(info.inv_seq));
+  r.set(attr::kTaskId, graph.task(info.task).name);
+  r.set("start_time", info.start);
+  r.set(attr::kDur, info.end - info.start);
+  r.set(attr::kRemoteCpuTime, info.cpu_seconds);
+  r.set(attr::kExitcode, static_cast<std::int64_t>(info.exitcode));
+  r.set(attr::kTransformation, graph.task(info.task).name);
+  if (info.exitcode != 0) r.set_level(nl::Level::kError);
+  sink_->emit(r);
+}
+
+void StampedeLog::on_host(const TaskGraph& graph, TaskIndex task,
+                          const std::string& hostname, const std::string& site,
+                          sim::SimTime t) {
+  nl::LogRecord r = job_inst(t, ev::kJobInstHostInfo, graph, task);
+  r.set(attr::kHostname, hostname);
+  if (!site.empty()) r.set(attr::kSite, site);
+  sink_->emit(r);
+}
+
+void StampedeLog::on_subworkflow(const TaskGraph& graph, TaskIndex task,
+                                 const common::Uuid& child_uuid,
+                                 sim::SimTime t) {
+  nl::LogRecord r = base(t, ev::kMapSubwfJob);
+  r.set(attr::kSubwfId, child_uuid);
+  r.set(attr::kJobId, job_id_for(graph, task));
+  r.set(attr::kJobInstId, kSubmitSeq);
+  sink_->emit(r);
+}
+
+}  // namespace stampede::triana

@@ -1,0 +1,83 @@
+#pragma once
+// StampedeLog: converts Triana execution events to Stampede events (§V-B).
+//
+// Held by the Scheduler exactly as in Fig. 5; the produced LogRecords go
+// to an EventSink (file, AMQP appender, or both).
+//
+// Mapping implemented (from §V-B):
+//   * plan time  → stampede.wf.plan, task.info/.edge, job.info/.edge,
+//                  wf.map.task_job (tasks↔jobs are 1:1 in Triana)
+//   * graph RUNNING → stampede.xwf.start
+//   * task SCHEDULED ("WOKEN") → job_inst.submit.start + submit.end
+//   * RUNNING (prev SCHEDULED)  → job_inst.main.start
+//   * RUNNING (prev PAUSED)     → job_inst.held.end
+//   * PAUSED                    → job_inst.held.start
+//   * data received / processed → inv.start / inv.end
+//   * COMPLETE                  → main.term(0) + main.end(exitcode)
+//   * ERROR                     → main.term(-1) + main.end(-1)
+//   * graph done → stampede.xwf.end (status 0 or -1)
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/uuid.hpp"
+#include "netlogger/sink.hpp"
+#include "triana/listener.hpp"
+
+namespace stampede::triana {
+
+class StampedeLog final : public RunListener {
+ public:
+  struct Identity {
+    common::Uuid xwf_id;
+    std::optional<common::Uuid> parent_xwf_id;
+    std::optional<common::Uuid> root_xwf_id;
+    std::string dax_label;
+  };
+
+  StampedeLog(nl::EventSink& sink, Identity identity)
+      : sink_(&sink), identity_(std::move(identity)) {}
+
+  /// Job identifier written to stampede.job.info: Triana job names are
+  /// type-qualified, e.g. "processing.exec0", "file.zipper" (Table III).
+  [[nodiscard]] static std::string job_id_for(const TaskGraph& graph,
+                                              TaskIndex task);
+
+  // RunListener --------------------------------------------------------------
+  void on_plan(const TaskGraph& graph, const PlanInfo& info,
+               sim::SimTime t) override;
+  void on_workflow_start(sim::SimTime t) override;
+  void on_workflow_end(sim::SimTime t, int status) override;
+  void on_execution_event(const TaskGraph& graph, const ExecutionEvent& event,
+                          TaskIndex task) override;
+  void on_invocation_start(const TaskGraph& graph,
+                           const InvocationInfo& info) override;
+  void on_invocation_end(const TaskGraph& graph,
+                         const InvocationInfo& info) override;
+  void on_host(const TaskGraph& graph, TaskIndex task,
+               const std::string& hostname, const std::string& site,
+               sim::SimTime t) override;
+  void on_subworkflow(const TaskGraph& graph, TaskIndex task,
+                      const common::Uuid& child_uuid, sim::SimTime t) override;
+
+  [[nodiscard]] const Identity& identity() const noexcept {
+    return identity_;
+  }
+
+ private:
+  nl::LogRecord base(sim::SimTime t, std::string_view event) const;
+  nl::LogRecord job_inst(sim::SimTime t, std::string_view event,
+                         const TaskGraph& graph, TaskIndex task) const;
+  void attach_std_streams(nl::LogRecord& record, TaskIndex task) const;
+
+  nl::EventSink* sink_;
+  Identity identity_;
+  /// Triana has no retries: every task's single job instance is seq 1.
+  static constexpr std::int64_t kSubmitSeq = 1;
+  std::map<TaskIndex, int> exitcodes_;  ///< Last invocation exit per task.
+  std::map<TaskIndex, std::string> stdout_;  ///< Captured unit stdout.
+  std::map<TaskIndex, std::string> stderr_;  ///< Captured unit stderr.
+};
+
+}  // namespace stampede::triana

@@ -1,0 +1,35 @@
+#include "triana/state.hpp"
+
+namespace stampede::triana {
+
+std::string_view task_state_name(TaskState state) noexcept {
+  switch (state) {
+    case TaskState::kNotInitialized:
+      return "NOT_INITIALIZED";
+    case TaskState::kNotExecutable:
+      return "NOT_EXECUTABLE";
+    case TaskState::kScheduled:
+      return "SCHEDULED";
+    case TaskState::kRunning:
+      return "RUNNING";
+    case TaskState::kPaused:
+      return "PAUSED";
+    case TaskState::kComplete:
+      return "COMPLETE";
+    case TaskState::kResetting:
+      return "RESETTING";
+    case TaskState::kReset:
+      return "RESET";
+    case TaskState::kError:
+      return "ERROR";
+    case TaskState::kSuspended:
+      return "SUSPENDED";
+    case TaskState::kUnknown:
+      return "UNKNOWN";
+    case TaskState::kLock:
+      return "LOCK";
+  }
+  return "?";
+}
+
+}  // namespace stampede::triana

@@ -1,0 +1,41 @@
+#pragma once
+// Triana task states and execution events (paper §V-B).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/event_loop.hpp"
+
+namespace stampede::triana {
+
+/// The states natively recognised by Triana's workflow and task listener
+/// interfaces (paper §V-B, verbatim list).
+enum class TaskState : std::uint8_t {
+  kNotInitialized,
+  kNotExecutable,
+  kScheduled,
+  kRunning,
+  kPaused,
+  kComplete,
+  kResetting,
+  kReset,
+  kError,
+  kSuspended,
+  kUnknown,
+  kLock,
+};
+
+[[nodiscard]] std::string_view task_state_name(TaskState state) noexcept;
+
+/// A state transition of one task, carrying the previous state "giving
+/// some context as to the flow of the workflow" (§V-B).
+struct ExecutionEvent {
+  sim::SimTime time = 0.0;
+  std::string task_name;
+  TaskState old_state = TaskState::kNotInitialized;
+  TaskState new_state = TaskState::kNotInitialized;
+};
+
+}  // namespace stampede::triana

@@ -1,0 +1,104 @@
+#include "triana/taskgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace stampede::triana {
+
+using common::EngineError;
+
+TaskIndex TaskGraph::add_task(std::string name, std::unique_ptr<Unit> unit) {
+  Task task;
+  task.name = std::move(name);
+  task.unit = std::move(unit);
+  tasks_.push_back(std::move(task));
+  return tasks_.size() - 1;
+}
+
+TaskIndex TaskGraph::add_subworkflow(std::string name,
+                                     std::unique_ptr<TaskGraph> subgraph,
+                                     std::unique_ptr<Unit> wrapper) {
+  const TaskIndex index = add_task(std::move(name), std::move(wrapper));
+  tasks_[index].subgraph = std::move(subgraph);
+  return index;
+}
+
+TaskIndex TaskGraph::add_dynamic_subworkflow(
+    std::string name,
+    std::function<std::unique_ptr<TaskGraph>(const Data&)> factory,
+    std::unique_ptr<Unit> wrapper) {
+  const TaskIndex index = add_task(std::move(name), std::move(wrapper));
+  tasks_[index].subgraph_factory = std::move(factory);
+  return index;
+}
+
+void TaskGraph::connect(TaskIndex from, TaskIndex to) {
+  if (from >= tasks_.size() || to >= tasks_.size()) {
+    throw EngineError("taskgraph " + name_ + ": cable endpoint out of range");
+  }
+  if (from == to) {
+    throw EngineError("taskgraph " + name_ + ": self-loop cable on task '" +
+                      tasks_[from].name + "'");
+  }
+  cables_.push_back({from, to});
+}
+
+void TaskGraph::set_firings(TaskIndex task, int firings) {
+  if (task >= tasks_.size() || firings < 1) {
+    throw EngineError("taskgraph " + name_ + ": bad set_firings call");
+  }
+  tasks_[task].firings = firings;
+}
+
+std::vector<TaskIndex> TaskGraph::inputs_of(TaskIndex task) const {
+  std::vector<TaskIndex> in;
+  for (const auto& cable : cables_) {
+    if (cable.to == task) in.push_back(cable.from);
+  }
+  return in;
+}
+
+std::vector<TaskIndex> TaskGraph::outputs_of(TaskIndex task) const {
+  std::vector<TaskIndex> out;
+  for (const auto& cable : cables_) {
+    if (cable.from == task) out.push_back(cable.to);
+  }
+  return out;
+}
+
+std::vector<TaskIndex> TaskGraph::topological_order() const {
+  std::vector<std::size_t> indegree(tasks_.size(), 0);
+  for (const auto& cable : cables_) ++indegree[cable.to];
+  std::deque<TaskIndex> ready;
+  for (TaskIndex i = 0; i < tasks_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<TaskIndex> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskIndex next = ready.front();
+    ready.pop_front();
+    order.push_back(next);
+    for (const auto& cable : cables_) {
+      if (cable.from == next && --indegree[cable.to] == 0) {
+        ready.push_back(cable.to);
+      }
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    throw EngineError("taskgraph " + name_ +
+                      ": cycle detected (single-step mode requires a DAG)");
+  }
+  return order;
+}
+
+bool TaskGraph::has_cycle() const {
+  try {
+    (void)topological_order();
+    return false;
+  } catch (const EngineError&) {
+    return true;
+  }
+}
+
+}  // namespace stampede::triana

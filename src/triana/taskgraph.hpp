@@ -1,0 +1,103 @@
+#pragma once
+// Triana task graphs: tasks connected by cables, possibly nested.
+//
+// "A task graph contains tasks, which may be another task graph (i.e. a
+// sub-workflow, which can contain a sub-workflow, and so on)" (§V). Here
+// a sub-workflow is represented by a task whose unit, when processed,
+// asks the runtime (scheduler / TrianaCloud) to execute a child graph —
+// the meta-workflow pattern of §V-D builds on this.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "triana/state.hpp"
+#include "triana/unit.hpp"
+
+namespace stampede::triana {
+
+using TaskIndex = std::size_t;
+
+struct Cable {
+  TaskIndex from = 0;
+  TaskIndex to = 0;
+};
+
+class TaskGraph;
+
+struct Task {
+  std::string name;
+  std::unique_ptr<Unit> unit;
+  TaskState state = TaskState::kNotInitialized;
+  /// Set when this task wraps a sub-workflow (owned by the graph).
+  std::unique_ptr<TaskGraph> subgraph;
+  /// Runtime workflow generation (§V-D: "the creation and execution of a
+  /// workflow during the run of a parent workflow"): invoked with the
+  /// task's input data when it fires; the produced graph becomes the
+  /// task's sub-workflow.
+  std::function<std::unique_ptr<TaskGraph>(const Data&)> subgraph_factory;
+  /// Continuous mode: how many firings this task performs per run
+  /// (single-step mode always fires exactly once).
+  int firings = 1;
+};
+
+class TaskGraph {
+ public:
+  explicit TaskGraph(std::string name) : name_(std::move(name)) {}
+
+  TaskGraph(TaskGraph&&) = default;
+  TaskGraph& operator=(TaskGraph&&) = default;
+
+  /// Adds a task; returns its index.
+  TaskIndex add_task(std::string name, std::unique_ptr<Unit> unit);
+
+  /// Adds a task that runs a nested sub-workflow. The wrapping unit's
+  /// cost is charged on the hosting node before the child is launched.
+  TaskIndex add_subworkflow(std::string name,
+                            std::unique_ptr<TaskGraph> subgraph,
+                            std::unique_ptr<Unit> wrapper);
+
+  /// Adds a task whose sub-workflow is *generated at runtime* from its
+  /// input data — the meta-workflow pattern of §V-D/§VI.
+  TaskIndex add_dynamic_subworkflow(
+      std::string name,
+      std::function<std::unique_ptr<TaskGraph>(const Data&)> factory,
+      std::unique_ptr<Unit> wrapper);
+
+  /// Connects a data cable from `from`'s output to `to`'s input.
+  /// Throws common::EngineError on out-of-range indices or self-loops.
+  void connect(TaskIndex from, TaskIndex to);
+
+  /// Sets continuous-mode firing count for a task (≥1).
+  void set_firings(TaskIndex task, int firings);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t task_count() const noexcept {
+    return tasks_.size();
+  }
+  [[nodiscard]] Task& task(TaskIndex i) { return tasks_.at(i); }
+  [[nodiscard]] const Task& task(TaskIndex i) const { return tasks_.at(i); }
+  [[nodiscard]] const std::vector<Cable>& cables() const noexcept {
+    return cables_;
+  }
+
+  /// Indexes of tasks feeding `task` / fed by `task`.
+  [[nodiscard]] std::vector<TaskIndex> inputs_of(TaskIndex task) const;
+  [[nodiscard]] std::vector<TaskIndex> outputs_of(TaskIndex task) const;
+
+  /// Topological order; throws common::EngineError when the graph has a
+  /// cycle (only legal in continuous mode, which does not call this).
+  [[nodiscard]] std::vector<TaskIndex> topological_order() const;
+
+  /// True when any cable participates in a cycle.
+  [[nodiscard]] bool has_cycle() const;
+
+ private:
+  std::string name_;
+  std::vector<Task> tasks_;
+  std::vector<Cable> cables_;
+};
+
+}  // namespace stampede::triana

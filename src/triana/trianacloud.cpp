@@ -1,0 +1,135 @@
+#include "triana/trianacloud.hpp"
+
+namespace stampede::triana {
+
+TrianaCloud::TrianaCloud(sim::EventLoop& loop, common::Rng& rng,
+                         nl::EventSink& sink, common::UuidGenerator& uuids,
+                         common::Uuid root_xwf_id, CloudOptions options)
+    : loop_(&loop),
+      rng_(&rng),
+      sink_(&sink),
+      uuids_(&uuids),
+      root_(root_xwf_id),
+      options_(options) {
+  workers_.reserve(static_cast<std::size_t>(options_.nodes));
+  for (int i = 0; i < options_.nodes; ++i) {
+    workers_.push_back(std::make_unique<sim::PsNode>(
+        loop, options_.node_prefix + std::to_string(i),
+        options_.slots_per_node, options_.cores_per_node));
+  }
+  active_bundles_.assign(workers_.size(), 0);
+}
+
+std::size_t TrianaCloud::free_worker() const {
+  // Least-active worker with spare capacity; ties broken round-robin so
+  // equally idle nodes share the first wave of bundles.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t best = kNone;
+  int best_active = options_.bundles_per_node;
+  for (std::size_t k = 0; k < workers_.size(); ++k) {
+    const std::size_t i = (round_robin_ + k) % workers_.size();
+    if (active_bundles_[i] < best_active) {
+      best = i;
+      best_active = active_bundles_[i];
+    }
+  }
+  return best;
+}
+
+common::Uuid TrianaCloud::submit_bundle(
+    TaskGraph& child, common::Uuid parent_uuid, SchedulerOptions options,
+    std::function<void(sim::SimTime, int)> done) {
+  ++stats_.bundles_submitted;
+  const common::Uuid child_uuid = uuids_->next();
+
+  StampedeLog::Identity identity;
+  identity.xwf_id = child_uuid;
+  identity.parent_xwf_id = parent_uuid;
+  identity.root_xwf_id = root_;
+  identity.dax_label = child.name();
+  logs_.push_back(std::make_unique<StampedeLog>(*sink_, identity));
+
+  PendingBundle bundle;
+  bundle.child = &child;
+  bundle.log = logs_.back().get();
+  bundle.options = options;
+  bundle.options.site = options_.site;
+  bundle.done = std::move(done);
+  bundle.uuid = child_uuid;
+
+  // The HTTP POST + SHIWA bundle transfer, then broker placement: the
+  // bundle starts as soon as a worker has capacity, or waits in the
+  // broker's queue.
+  const double dispatch =
+      rng_->uniform(options_.dispatch_lo, options_.dispatch_hi);
+  loop_->schedule_in(dispatch, [this, bundle = std::move(bundle)]() mutable {
+    const std::size_t worker = free_worker();
+    if (worker == static_cast<std::size_t>(-1)) {
+      pending_.push_back(std::move(bundle));
+    } else {
+      launch(worker, std::move(bundle));
+    }
+  });
+  return child_uuid;
+}
+
+void TrianaCloud::launch(std::size_t worker, PendingBundle bundle) {
+  ++active_bundles_[worker];
+  ++round_robin_;
+  auto scheduler = std::make_unique<Scheduler>(
+      *loop_, *rng_, *workers_[worker], *bundle.child, bundle.options);
+  scheduler->add_listener(*bundle.log);
+  Scheduler* raw = scheduler.get();
+  bundles_.push_back(std::move(scheduler));
+
+  // Nested sub-workflows of a bundle are dispatched back through the
+  // broker (each may land on a different worker).
+  const common::Uuid child_uuid = bundle.uuid;
+  const SchedulerOptions child_options = bundle.options;
+  raw->set_subworkflow_handler(
+      [this, child_uuid, child_options](
+          TaskIndex, TaskGraph& grandchild, Data,
+          std::function<void(sim::SimTime, int)> d) {
+        return submit_bundle(grandchild, child_uuid, child_options,
+                             std::move(d));
+      });
+
+  raw->start([this, worker, done = std::move(bundle.done)](sim::SimTime end,
+                                                           int status) {
+    if (status == 0) {
+      ++stats_.bundles_completed;
+    } else {
+      ++stats_.bundles_failed;
+    }
+    on_bundle_finished(worker);
+    done(end, status);
+  });
+}
+
+void TrianaCloud::on_bundle_finished(std::size_t worker) {
+  --active_bundles_[worker];
+  if (pending_.empty()) return;
+  PendingBundle next = std::move(pending_.front());
+  pending_.pop_front();
+  // The freed worker is by construction free now; prefer it unless an
+  // idler one exists.
+  std::size_t target = free_worker();
+  if (target == static_cast<std::size_t>(-1)) target = worker;
+  // Launch from a fresh event so the completing scheduler fully unwinds.
+  loop_->schedule_in(0, [this, target, next = std::move(next)]() mutable {
+    launch(target, std::move(next));
+  });
+}
+
+void TrianaCloud::attach(Scheduler& parent, common::Uuid parent_uuid,
+                         SchedulerOptions bundle_options) {
+  parent.set_subworkflow_handler(
+      [this, parent_uuid, bundle_options](
+          TaskIndex, TaskGraph& child, Data,
+          std::function<void(sim::SimTime, int)> done) {
+        return submit_bundle(child, parent_uuid, bundle_options,
+                             std::move(done));
+      });
+}
+
+}  // namespace stampede::triana

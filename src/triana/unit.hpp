@@ -1,0 +1,78 @@
+#pragma once
+// Triana units: the Java "Unit" class with its process() method (§V).
+//
+// A unit is the computation inside a task. In this headless engine the
+// data flowing along cables is a vector of opaque string tokens, and each
+// unit additionally declares a CPU-cost model used by the simulator to
+// advance virtual time (the real process() work — e.g. the DART SHS
+// kernel — executes instantly in wall-clock terms but contributes its
+// modeled CPU seconds to the virtual timeline).
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace stampede::triana {
+
+using Data = std::vector<std::string>;
+
+struct UnitResult {
+  Data outputs;
+  int exitcode = 0;
+  std::string stdout_text;
+  std::string stderr_text;
+};
+
+class Unit {
+ public:
+  virtual ~Unit() = default;
+
+  /// Unit type used for the job breakdown in stampede-statistics
+  /// ("processing", "file", "unit", ...).
+  [[nodiscard]] virtual std::string type() const = 0;
+
+  /// The process() method of the Triana Unit class. Throwing is treated
+  /// as the unit erroring out: "the Terminate and End events have return
+  /// codes of -1" (§V-B).
+  virtual UnitResult process(const Data& inputs) = 0;
+
+  /// CPU seconds this execution demands from the hosting node.
+  [[nodiscard]] virtual double cpu_seconds(common::Rng& rng) = 0;
+};
+
+/// A unit built from lambdas — the common case in tests and workload
+/// generators.
+class FunctionUnit final : public Unit {
+ public:
+  using ProcessFn = std::function<UnitResult(const Data&)>;
+  using CostFn = std::function<double(common::Rng&)>;
+
+  FunctionUnit(std::string type, ProcessFn process, CostFn cost)
+      : type_(std::move(type)),
+        process_(std::move(process)),
+        cost_(std::move(cost)) {}
+
+  /// Pass-through unit with a fixed CPU cost.
+  static std::unique_ptr<FunctionUnit> passthrough(std::string type,
+                                                   double cpu_seconds) {
+    return std::make_unique<FunctionUnit>(
+        std::move(type),
+        [](const Data& in) { return UnitResult{in, 0, "", ""}; },
+        [cpu_seconds](common::Rng&) { return cpu_seconds; });
+  }
+
+  [[nodiscard]] std::string type() const override { return type_; }
+  UnitResult process(const Data& inputs) override { return process_(inputs); }
+  double cpu_seconds(common::Rng& rng) override { return cost_(rng); }
+
+ private:
+  std::string type_;
+  ProcessFn process_;
+  CostFn cost_;
+};
+
+}  // namespace stampede::triana

@@ -1,0 +1,92 @@
+#pragma once
+// AST for the YANG subset used by the Stampede log-message schema.
+//
+// The paper models every log event as a YANG `container` that `uses` a
+// shared `base-event` grouping and adds event-specific `leaf` nodes with
+// types and mandatory flags (§IV-B). We implement the subset of RFC 6020
+// needed to express that schema: module, typedef, grouping, uses,
+// container, leaf, type, mandatory, description, enumeration.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stampede::yang {
+
+/// Built-in leaf types after typedef resolution.
+enum class BaseType {
+  kString,
+  kUint32,
+  kUint64,
+  kInt32,
+  kInt64,
+  kDecimal64,
+  kBoolean,
+  kEnumeration,
+  kNlTs,  ///< NetLogger timestamp: ISO8601 or epoch seconds.
+  kUuid,
+};
+
+[[nodiscard]] std::string_view base_type_name(BaseType type) noexcept;
+
+/// A resolved leaf definition inside a container or grouping.
+struct Leaf {
+  std::string name;
+  BaseType type = BaseType::kString;
+  std::vector<std::string> enum_values;  ///< For kEnumeration.
+  bool mandatory = false;
+  std::string description;
+};
+
+/// A named reusable group of leaves.
+struct Grouping {
+  std::string name;
+  std::string description;
+  std::vector<Leaf> leaves;
+  std::vector<std::string> uses;  ///< Nested grouping references.
+};
+
+/// One event container; its name is the event string (e.g.
+/// "stampede.xwf.start").
+struct Container {
+  std::string name;
+  std::string description;
+  std::vector<Leaf> leaves;       ///< Own leaves, in declaration order.
+  std::vector<std::string> uses;  ///< Grouping references.
+};
+
+/// A user typedef mapping a new name to a base type.
+struct Typedef {
+  std::string name;
+  BaseType type = BaseType::kString;
+  std::string description;
+};
+
+/// A parsed (but not yet flattened) module.
+struct Module {
+  std::string name;
+  std::string ns;      ///< `namespace` statement argument, if any.
+  std::string prefix;  ///< `prefix` statement argument, if any.
+  std::map<std::string, Typedef> typedefs;
+  std::map<std::string, Grouping> groupings;
+  std::vector<Container> containers;
+};
+
+/// Fully resolved event schema: groupings inlined into each container.
+struct EventSchema {
+  std::string event;  ///< Container name.
+  std::string description;
+  std::vector<Leaf> leaves;  ///< base-event leaves first, then own.
+
+  /// Lookup by leaf name; nullptr if unknown.
+  [[nodiscard]] const Leaf* find_leaf(std::string_view name) const noexcept {
+    for (const auto& leaf : leaves) {
+      if (leaf.name == name) return &leaf;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace stampede::yang

@@ -1,0 +1,362 @@
+#include "yang/parser.hpp"
+
+#include <cctype>
+
+#include "common/errors.hpp"
+
+namespace stampede::yang {
+namespace {
+
+using common::SchemaError;
+
+/// Token stream over YANG source. YANG tokens are: `{`, `}`, `;`,
+/// double/single-quoted strings (with `+` concatenation), and unquoted
+/// words. Comments are `//` to end of line and `/* ... */`.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  struct Token {
+    enum class Kind { kWord, kString, kLBrace, kRBrace, kSemi, kEnd };
+    Kind kind = Kind::kEnd;
+    std::string text;
+    std::size_t line = 0;
+  };
+
+  Token next() {
+    skip_trivia();
+    Token tok;
+    tok.line = line_;
+    if (pos_ >= src_.size()) {
+      tok.kind = Token::Kind::kEnd;
+      return tok;
+    }
+    const char c = src_[pos_];
+    if (c == '{') {
+      ++pos_;
+      tok.kind = Token::Kind::kLBrace;
+      return tok;
+    }
+    if (c == '}') {
+      ++pos_;
+      tok.kind = Token::Kind::kRBrace;
+      return tok;
+    }
+    if (c == ';') {
+      ++pos_;
+      tok.kind = Token::Kind::kSemi;
+      return tok;
+    }
+    if (c == '"' || c == '\'') {
+      tok.kind = Token::Kind::kString;
+      tok.text = read_string();
+      // Handle `"a" + "b"` concatenation.
+      while (true) {
+        const std::size_t save = pos_;
+        const std::size_t save_line = line_;
+        skip_trivia();
+        if (pos_ < src_.size() && src_[pos_] == '+') {
+          ++pos_;
+          skip_trivia();
+          if (pos_ < src_.size() && (src_[pos_] == '"' || src_[pos_] == '\'')) {
+            tok.text += read_string();
+            continue;
+          }
+          throw SchemaError("yang: '+' not followed by string at line " +
+                            std::to_string(line_));
+        }
+        pos_ = save;
+        line_ = save_line;
+        break;
+      }
+      return tok;
+    }
+    // Unquoted word: up to whitespace or structural char.
+    tok.kind = Token::Kind::kWord;
+    const std::size_t start = pos_;
+    while (pos_ < src_.size()) {
+      const char w = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(w)) || w == '{' ||
+          w == '}' || w == ';' || w == '"' || w == '\'') {
+        break;
+      }
+      ++pos_;
+    }
+    tok.text.assign(src_.substr(start, pos_ - start));
+    return tok;
+  }
+
+ private:
+  void skip_trivia() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() &&
+               !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        if (pos_ + 1 >= src_.size()) {
+          throw SchemaError("yang: unterminated comment");
+        }
+        pos_ += 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string read_string() {
+    const char quote = src_[pos_];
+    ++pos_;
+    std::string out;
+    while (pos_ < src_.size() && src_[pos_] != quote) {
+      char c = src_[pos_];
+      if (c == '\\' && quote == '"' && pos_ + 1 < src_.size()) {
+        const char e = src_[pos_ + 1];
+        if (e == 'n') {
+          out.push_back('\n');
+        } else if (e == 't') {
+          out.push_back('\t');
+        } else {
+          out.push_back(e);
+        }
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') ++line_;
+      out.push_back(c);
+      ++pos_;
+    }
+    if (pos_ >= src_.size()) {
+      throw SchemaError("yang: unterminated string at line " +
+                        std::to_string(line_));
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lexer_(src) { advance(); }
+
+  Statement parse_top() {
+    Statement stmt = parse_statement();
+    if (tok_.kind != Lexer::Token::Kind::kEnd) {
+      throw SchemaError("yang: trailing content after module at line " +
+                        std::to_string(tok_.line));
+    }
+    return stmt;
+  }
+
+ private:
+  Statement parse_statement() {
+    if (tok_.kind != Lexer::Token::Kind::kWord) {
+      throw SchemaError("yang: expected statement keyword at line " +
+                        std::to_string(tok_.line));
+    }
+    Statement stmt;
+    stmt.keyword = tok_.text;
+    stmt.line = tok_.line;
+    advance();
+    if (tok_.kind == Lexer::Token::Kind::kWord ||
+        tok_.kind == Lexer::Token::Kind::kString) {
+      stmt.argument = tok_.text;
+      advance();
+    }
+    if (tok_.kind == Lexer::Token::Kind::kSemi) {
+      advance();
+      return stmt;
+    }
+    if (tok_.kind == Lexer::Token::Kind::kLBrace) {
+      advance();
+      while (tok_.kind != Lexer::Token::Kind::kRBrace) {
+        if (tok_.kind == Lexer::Token::Kind::kEnd) {
+          throw SchemaError("yang: unexpected end of input in block opened");
+        }
+        stmt.children.push_back(parse_statement());
+      }
+      advance();  // consume '}'
+      return stmt;
+    }
+    throw SchemaError("yang: expected ';' or '{' after statement '" +
+                      stmt.keyword + "' at line " + std::to_string(tok_.line));
+  }
+
+  void advance() { tok_ = lexer_.next(); }
+
+  Lexer lexer_;
+  Lexer::Token tok_;
+};
+
+BaseType builtin_type(std::string_view name, const Module& module,
+                      std::size_t line) {
+  if (name == "string") return BaseType::kString;
+  if (name == "uint32") return BaseType::kUint32;
+  if (name == "uint64") return BaseType::kUint64;
+  if (name == "int32") return BaseType::kInt32;
+  if (name == "int64") return BaseType::kInt64;
+  if (name == "decimal64") return BaseType::kDecimal64;
+  if (name == "boolean") return BaseType::kBoolean;
+  if (name == "enumeration") return BaseType::kEnumeration;
+  if (name == "nl_ts") return BaseType::kNlTs;
+  if (name == "uuid") return BaseType::kUuid;
+  const auto it = module.typedefs.find(std::string{name});
+  if (it != module.typedefs.end()) return it->second.type;
+  throw SchemaError("yang: unknown type '" + std::string{name} +
+                    "' at line " + std::to_string(line));
+}
+
+Leaf compile_leaf(const Statement& stmt, const Module& module) {
+  Leaf leaf;
+  leaf.name = stmt.argument;
+  if (leaf.name.empty()) {
+    throw SchemaError("yang: leaf without a name at line " +
+                      std::to_string(stmt.line));
+  }
+  for (const auto& sub : stmt.children) {
+    if (sub.keyword == "type") {
+      leaf.type = builtin_type(sub.argument, module, sub.line);
+      if (leaf.type == BaseType::kEnumeration) {
+        for (const auto& e : sub.children) {
+          if (e.keyword == "enum") leaf.enum_values.push_back(e.argument);
+        }
+        if (leaf.enum_values.empty()) {
+          throw SchemaError("yang: enumeration with no enum values at line " +
+                            std::to_string(sub.line));
+        }
+      }
+    } else if (sub.keyword == "mandatory") {
+      leaf.mandatory = sub.argument == "true";
+    } else if (sub.keyword == "description") {
+      leaf.description = sub.argument;
+    }
+  }
+  return leaf;
+}
+
+}  // namespace
+
+const Statement* Statement::child(std::string_view kw) const noexcept {
+  for (const auto& c : children) {
+    if (c.keyword == kw) return &c;
+  }
+  return nullptr;
+}
+
+Statement parse_statements(std::string_view source) {
+  Parser parser{source};
+  return parser.parse_top();
+}
+
+Module compile_module(const Statement& root) {
+  if (root.keyword != "module") {
+    throw SchemaError("yang: top-level statement must be 'module', got '" +
+                      root.keyword + "'");
+  }
+  Module module;
+  module.name = root.argument;
+
+  // Two passes so typedefs can be referenced from anywhere in the module.
+  for (const auto& stmt : root.children) {
+    if (stmt.keyword == "typedef") {
+      Typedef td;
+      td.name = stmt.argument;
+      if (const auto* type = stmt.child("type")) {
+        // Typedefs may only reference builtins (no chained typedefs).
+        Module empty;
+        td.type = builtin_type(type->argument, empty, type->line);
+      }
+      if (const auto* desc = stmt.child("description")) {
+        td.description = desc->argument;
+      }
+      if (!module.typedefs.emplace(td.name, td).second) {
+        throw SchemaError("yang: duplicate typedef '" + td.name + "'");
+      }
+    } else if (stmt.keyword == "namespace") {
+      module.ns = stmt.argument;
+    } else if (stmt.keyword == "prefix") {
+      module.prefix = stmt.argument;
+    }
+  }
+
+  for (const auto& stmt : root.children) {
+    if (stmt.keyword == "grouping") {
+      Grouping grp;
+      grp.name = stmt.argument;
+      for (const auto& sub : stmt.children) {
+        if (sub.keyword == "leaf") {
+          grp.leaves.push_back(compile_leaf(sub, module));
+        } else if (sub.keyword == "uses") {
+          grp.uses.push_back(sub.argument);
+        } else if (sub.keyword == "description") {
+          grp.description = sub.argument;
+        }
+      }
+      if (!module.groupings.emplace(grp.name, grp).second) {
+        throw SchemaError("yang: duplicate grouping '" + grp.name + "'");
+      }
+    } else if (stmt.keyword == "container") {
+      Container container;
+      container.name = stmt.argument;
+      for (const auto& sub : stmt.children) {
+        if (sub.keyword == "leaf") {
+          container.leaves.push_back(compile_leaf(sub, module));
+        } else if (sub.keyword == "uses") {
+          container.uses.push_back(sub.argument);
+        } else if (sub.keyword == "description") {
+          container.description = sub.argument;
+        }
+      }
+      module.containers.push_back(std::move(container));
+    }
+  }
+  return module;
+}
+
+Module parse_module(std::string_view source) {
+  return compile_module(parse_statements(source));
+}
+
+std::string_view base_type_name(BaseType type) noexcept {
+  switch (type) {
+    case BaseType::kString:
+      return "string";
+    case BaseType::kUint32:
+      return "uint32";
+    case BaseType::kUint64:
+      return "uint64";
+    case BaseType::kInt32:
+      return "int32";
+    case BaseType::kInt64:
+      return "int64";
+    case BaseType::kDecimal64:
+      return "decimal64";
+    case BaseType::kBoolean:
+      return "boolean";
+    case BaseType::kEnumeration:
+      return "enumeration";
+    case BaseType::kNlTs:
+      return "nl_ts";
+    case BaseType::kUuid:
+      return "uuid";
+  }
+  return "?";
+}
+
+}  // namespace stampede::yang

@@ -1,0 +1,36 @@
+#pragma once
+// Parser for the YANG subset (RFC 6020 grammar core: every statement is
+// `keyword [argument] (";" | "{" substatements "}")`).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "yang/ast.hpp"
+
+namespace stampede::yang {
+
+/// Generic statement tree, the direct parse result.
+struct Statement {
+  std::string keyword;
+  std::string argument;  ///< Unquoted/concatenated argument text.
+  std::vector<Statement> children;
+  std::size_t line = 0;
+
+  /// First child with the given keyword, or nullptr.
+  [[nodiscard]] const Statement* child(std::string_view keyword) const noexcept;
+};
+
+/// Parses YANG source into a statement tree rooted at the `module`
+/// statement. Throws common::SchemaError with line info on syntax errors.
+[[nodiscard]] Statement parse_statements(std::string_view source);
+
+/// Compiles a statement tree into a Module (typedefs, groupings,
+/// containers). Throws common::SchemaError on semantic errors (unknown
+/// type, duplicate names).
+[[nodiscard]] Module compile_module(const Statement& root);
+
+/// Convenience: parse + compile.
+[[nodiscard]] Module parse_module(std::string_view source);
+
+}  // namespace stampede::yang

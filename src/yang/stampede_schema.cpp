@@ -1,0 +1,442 @@
+#include "yang/validator.hpp"
+
+namespace stampede::yang {
+
+// The Stampede log-message schema, following the structure shown in paper
+// §IV-B (base-event grouping + one container per event). This is the
+// machine-processable contract between workflow-system integrations and
+// the loader; the snippets quoted in the paper (stampede.xwf.start,
+// base-event) appear verbatim below.
+std::string_view stampede_schema_source() noexcept {
+  static constexpr std::string_view kSource = R"yang(
+module stampede {
+  namespace "http://stampede-project.org/ns/schema";
+  prefix "stmp";
+
+  typedef nl_ts {
+    type string;
+    description "Timestamp, ISO8601 or seconds since 1/1/1970";
+  }
+
+  typedef uuid_t {
+    type uuid;
+    description "RFC 4122 UUID in canonical textual form";
+  }
+
+  grouping base-event {
+    description "Common components in all events";
+    leaf ts {
+      type nl_ts;
+      mandatory "true";
+      description
+        "Timestamp, ISO8601 or seconds since 1/1/1970";
+    }
+    leaf event {
+      type string;
+      mandatory "true";
+      description "Hierarchical dotted event name";
+    }
+    leaf level {
+      type string;
+      description "NetLogger severity level";
+    }
+    leaf xwf.id {
+      type uuid;
+      description "Executable workflow id";
+    }
+  }
+
+  grouping job-inst-event {
+    description "Common components of job-instance lifecycle events";
+    uses base-event;
+    leaf job_inst.id {
+      type int32;
+      mandatory "true";
+      description "Job instance sequence number within the workflow";
+    }
+    leaf job.id {
+      type string;
+      mandatory "true";
+      description "Identifier of the job in the executable workflow";
+    }
+  }
+
+  container stampede.wf.plan {
+    description "Plan produced: describes the workflow and its planner";
+    uses base-event;
+    leaf submit.dir {
+      type string;
+      description "Directory the workflow was planned/submitted from";
+    }
+    leaf planner.version {
+      type string;
+      description "Version of the planner/engine that produced the EW";
+    }
+    leaf user {
+      type string;
+      description "User who submitted the workflow";
+    }
+    leaf dax.label {
+      type string;
+      description "Label of the abstract workflow";
+    }
+    leaf parent.xwf.id {
+      type uuid;
+      description "Executable workflow id of the parent (sub-workflows)";
+    }
+    leaf root.xwf.id {
+      type uuid;
+      description "Executable workflow id of the root of the hierarchy";
+    }
+  }
+
+  container stampede.xwf.start {
+    uses base-event;
+    leaf restart_count {
+      type uint32;
+      mandatory "true";
+      description "Number of times workflow was
+            restarted (due to failures)";
+    }
+  }
+
+  container stampede.xwf.end {
+    uses base-event;
+    leaf restart_count {
+      type uint32;
+      mandatory "true";
+      description "Number of times workflow was restarted";
+    }
+    leaf status {
+      type int32;
+      mandatory "true";
+      description "Workflow exit status; 0 is success, -1 failure";
+    }
+  }
+
+  container stampede.task.info {
+    description "One task of the abstract workflow";
+    uses base-event;
+    leaf task.id {
+      type string;
+      mandatory "true";
+      description "Identifier of the task in the abstract workflow";
+    }
+    leaf type {
+      type string;
+      description "Task type (compute, dax, dag, ...)";
+    }
+    leaf type_desc {
+      type string;
+      description "Human-readable task type";
+    }
+    leaf transformation {
+      type string;
+      mandatory "true";
+      description "Logical name of the executable the task runs";
+    }
+    leaf argv {
+      type string;
+      description "Command-line arguments of the task";
+    }
+  }
+
+  container stampede.task.edge {
+    description "One dependency edge of the abstract workflow";
+    uses base-event;
+    leaf parent.task.id {
+      type string;
+      mandatory "true";
+      description "Task id of the dependency's source";
+    }
+    leaf child.task.id {
+      type string;
+      mandatory "true";
+      description "Task id of the dependency's target";
+    }
+  }
+
+  container stampede.job.info {
+    description "One job of the executable workflow";
+    uses base-event;
+    leaf job.id {
+      type string;
+      mandatory "true";
+      description "Identifier of the job in the executable workflow";
+    }
+    leaf type {
+      type string;
+      description "Job type (compute, stage-in, stage-out, ...)";
+    }
+    leaf type_desc {
+      type string;
+      description "Human-readable job type";
+    }
+    leaf transformation {
+      type string;
+      description "Logical name of the main executable";
+    }
+    leaf executable {
+      type string;
+      description "Path of the submit-script / executable";
+    }
+    leaf argv {
+      type string;
+      description "Command-line arguments";
+    }
+    leaf task_count {
+      type uint32;
+      description "Number of abstract tasks clustered into this job";
+    }
+  }
+
+  container stampede.job.edge {
+    description "One dependency edge of the executable workflow";
+    uses base-event;
+    leaf parent.job.id {
+      type string;
+      mandatory "true";
+      description "Job id of the dependency's source";
+    }
+    leaf child.job.id {
+      type string;
+      mandatory "true";
+      description "Job id of the dependency's target";
+    }
+  }
+
+  container stampede.wf.map.task_job {
+    description "Many-to-many mapping from AW tasks to EW jobs";
+    uses base-event;
+    leaf task.id {
+      type string;
+      mandatory "true";
+      description "Task id in the abstract workflow";
+    }
+    leaf job.id {
+      type string;
+      mandatory "true";
+      description "Job id in the executable workflow";
+    }
+  }
+
+  container stampede.xwf.map.subwf_job {
+    description "Associates a sub-workflow with the job that runs it";
+    uses base-event;
+    leaf subwf.id {
+      type uuid;
+      mandatory "true";
+      description "Executable workflow id of the sub-workflow";
+    }
+    leaf job.id {
+      type string;
+      mandatory "true";
+      description "Job id in the parent workflow that spawned it";
+    }
+    leaf job_inst.id {
+      type int32;
+      description "Job instance sequence number in the parent";
+    }
+  }
+
+  container stampede.job_inst.pre.start {
+    description "Pre-script of a job instance started";
+    uses job-inst-event;
+  }
+
+  container stampede.job_inst.pre.term {
+    description "Pre-script received termination signal";
+    uses job-inst-event;
+    leaf status { type int32; }
+  }
+
+  container stampede.job_inst.pre.end {
+    description "Pre-script of a job instance finished";
+    uses job-inst-event;
+    leaf exitcode {
+      type int32;
+      mandatory "true";
+    }
+  }
+
+  container stampede.job_inst.submit.start {
+    description "Job instance is being submitted to the scheduler";
+    uses job-inst-event;
+    leaf sched.id {
+      type string;
+      description "Identifier assigned by the underlying scheduler";
+    }
+  }
+
+  container stampede.job_inst.submit.end {
+    description "Submission of the job instance completed";
+    uses job-inst-event;
+    leaf status {
+      type int32;
+      mandatory "true";
+      description "Submission status; 0 accepted, -1 rejected";
+    }
+  }
+
+  container stampede.job_inst.held.start {
+    description "Job instance was held/paused";
+    uses job-inst-event;
+    leaf reason { type string; }
+  }
+
+  container stampede.job_inst.held.end {
+    description "Job instance was released from hold";
+    uses job-inst-event;
+    leaf status { type int32; }
+  }
+
+  container stampede.job_inst.main.start {
+    description "Main part of the job instance started executing";
+    uses job-inst-event;
+    leaf stdout.file { type string; }
+    leaf site {
+      type string;
+      description "Logical site/resource where the job runs";
+    }
+  }
+
+  container stampede.job_inst.main.term {
+    description "Main part of the job instance terminated";
+    uses job-inst-event;
+    leaf status {
+      type int32;
+      mandatory "true";
+      description "Termination status; 0 normal, -1 abnormal";
+    }
+  }
+
+  container stampede.job_inst.main.end {
+    description "Main part of the job instance finished";
+    uses job-inst-event;
+    leaf exitcode {
+      type int32;
+      mandatory "true";
+      description "Exit code of the job's main executable";
+    }
+    leaf stdout.text { type string; }
+    leaf stderr.text { type string; }
+    leaf site { type string; }
+    leaf multiplier_factor {
+      type decimal64;
+      description "Factor applied to runtimes for this resource";
+    }
+  }
+
+  container stampede.job_inst.post.start {
+    description "Post-script of a job instance started";
+    uses job-inst-event;
+  }
+
+  container stampede.job_inst.post.term {
+    description "Post-script received termination signal";
+    uses job-inst-event;
+    leaf status { type int32; }
+  }
+
+  container stampede.job_inst.post.end {
+    description "Post-script of a job instance finished";
+    uses job-inst-event;
+    leaf exitcode {
+      type int32;
+      mandatory "true";
+    }
+  }
+
+  container stampede.job_inst.host.info {
+    description "Host the job instance landed on";
+    uses job-inst-event;
+    leaf hostname {
+      type string;
+      mandatory "true";
+      description "Hostname of the execution host";
+    }
+    leaf ip { type string; }
+    leaf site { type string; }
+    leaf total_memory {
+      type uint64;
+      description "Total memory of the host in bytes";
+    }
+    leaf uname { type string; }
+  }
+
+  container stampede.job_inst.image.info {
+    description "Memory image statistics of the running job instance";
+    uses job-inst-event;
+    leaf size {
+      type uint64;
+      description "Image size in bytes";
+    }
+  }
+
+  container stampede.inv.start {
+    description "Invocation of an executable on a remote node started";
+    uses base-event;
+    leaf job_inst.id {
+      type int32;
+      mandatory "true";
+    }
+    leaf job.id {
+      type string;
+      mandatory "true";
+    }
+    leaf inv.id {
+      type int32;
+      mandatory "true";
+      description "Invocation sequence number within the job instance";
+    }
+  }
+
+  container stampede.inv.end {
+    description "Invocation of an executable on a remote node finished";
+    uses base-event;
+    leaf job_inst.id {
+      type int32;
+      mandatory "true";
+    }
+    leaf job.id {
+      type string;
+      mandatory "true";
+    }
+    leaf inv.id {
+      type int32;
+      mandatory "true";
+    }
+    leaf task.id {
+      type string;
+      description "Task in the AW this invocation instantiates; absent
+                   for jobs the planner added (stage-in and friends)";
+    }
+    leaf start_time {
+      type nl_ts;
+      description "Start of the invocation on the remote host";
+    }
+    leaf dur {
+      type decimal64;
+      mandatory "true";
+      description "Duration of the invocation in seconds";
+    }
+    leaf remote_cpu_time {
+      type decimal64;
+      description "CPU seconds consumed on the remote host";
+    }
+    leaf exitcode {
+      type int32;
+      mandatory "true";
+    }
+    leaf transformation { type string; }
+    leaf executable { type string; }
+    leaf argv { type string; }
+    leaf site { type string; }
+    leaf hostname { type string; }
+  }
+}
+)yang";
+  return kSource;
+}
+
+}  // namespace stampede::yang

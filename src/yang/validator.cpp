@@ -1,0 +1,181 @@
+#include "yang/validator.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/errors.hpp"
+#include "common/time_utils.hpp"
+#include "common/uuid.hpp"
+#include "yang/parser.hpp"
+
+namespace stampede::yang {
+namespace {
+
+using common::SchemaError;
+
+bool parse_whole_ll(std::string_view text, long long& out) {
+  if (text.empty()) return false;
+  const std::string owned{text};
+  char* end = nullptr;
+  out = std::strtoll(owned.c_str(), &end, 10);
+  return end == owned.c_str() + owned.size();
+}
+
+void append_grouping(const Module& module, const std::string& name,
+                     std::vector<Leaf>& leaves,
+                     std::vector<std::string>& stack) {
+  if (std::find(stack.begin(), stack.end(), name) != stack.end()) {
+    throw SchemaError("yang: grouping cycle through '" + name + "'");
+  }
+  const auto it = module.groupings.find(name);
+  if (it == module.groupings.end()) {
+    throw SchemaError("yang: uses of unknown grouping '" + name + "'");
+  }
+  stack.push_back(name);
+  for (const auto& nested : it->second.uses) {
+    append_grouping(module, nested, leaves, stack);
+  }
+  for (const auto& leaf : it->second.leaves) {
+    leaves.push_back(leaf);
+  }
+  stack.pop_back();
+}
+
+}  // namespace
+
+std::string check_value(const Leaf& leaf, std::string_view value) {
+  switch (leaf.type) {
+    case BaseType::kString:
+      return "";
+    case BaseType::kUint32:
+    case BaseType::kUint64: {
+      long long v = 0;
+      if (!parse_whole_ll(value, v) || v < 0) {
+        return "expected unsigned integer, got '" + std::string{value} + "'";
+      }
+      if (leaf.type == BaseType::kUint32 && v > 0xffffffffLL) {
+        return "value out of uint32 range";
+      }
+      return "";
+    }
+    case BaseType::kInt32:
+    case BaseType::kInt64: {
+      long long v = 0;
+      if (!parse_whole_ll(value, v)) {
+        return "expected integer, got '" + std::string{value} + "'";
+      }
+      if (leaf.type == BaseType::kInt32 &&
+          (v < -2147483648LL || v > 2147483647LL)) {
+        return "value out of int32 range";
+      }
+      return "";
+    }
+    case BaseType::kDecimal64: {
+      const std::string owned{value};
+      char* end = nullptr;
+      std::strtod(owned.c_str(), &end);
+      if (owned.empty() || end != owned.c_str() + owned.size()) {
+        return "expected decimal, got '" + std::string{value} + "'";
+      }
+      return "";
+    }
+    case BaseType::kBoolean:
+      if (value == "true" || value == "false") return "";
+      return "expected 'true' or 'false', got '" + std::string{value} + "'";
+    case BaseType::kEnumeration: {
+      for (const auto& allowed : leaf.enum_values) {
+        if (allowed == value) return "";
+      }
+      return "value '" + std::string{value} + "' not in enumeration";
+    }
+    case BaseType::kNlTs:
+      if (common::parse_timestamp(value)) return "";
+      return "expected ISO8601 or epoch-seconds timestamp";
+    case BaseType::kUuid:
+      if (common::Uuid::parse(value)) return "";
+      return "expected UUID, got '" + std::string{value} + "'";
+  }
+  return "unhandled type";
+}
+
+SchemaRegistry::SchemaRegistry(const Module& module) {
+  for (const auto& container : module.containers) {
+    EventSchema schema;
+    schema.event = container.name;
+    schema.description = container.description;
+    std::vector<std::string> stack;
+    for (const auto& uses : container.uses) {
+      append_grouping(module, uses, schema.leaves, stack);
+    }
+    for (const auto& leaf : container.leaves) {
+      schema.leaves.push_back(leaf);
+    }
+    // Reject duplicate leaves — they make validation ambiguous.
+    for (std::size_t i = 0; i < schema.leaves.size(); ++i) {
+      for (std::size_t j = i + 1; j < schema.leaves.size(); ++j) {
+        if (schema.leaves[i].name == schema.leaves[j].name) {
+          throw SchemaError("yang: duplicate leaf '" + schema.leaves[i].name +
+                            "' in container '" + container.name + "'");
+        }
+      }
+    }
+    if (!schemas_.emplace(schema.event, std::move(schema)).second) {
+      throw SchemaError("yang: duplicate container '" + container.name + "'");
+    }
+  }
+}
+
+const EventSchema* SchemaRegistry::find(std::string_view event) const noexcept {
+  const auto it = schemas_.find(event);
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SchemaRegistry::event_names() const {
+  std::vector<std::string> names;
+  names.reserve(schemas_.size());
+  for (const auto& [name, schema] : schemas_) names.push_back(name);
+  return names;
+}
+
+ValidationReport SchemaRegistry::validate(const nl::LogRecord& record) const {
+  ValidationReport report;
+  const EventSchema* schema = find(record.event());
+  if (schema == nullptr) {
+    report.issues.push_back({Severity::kError, record.event(), "",
+                             "event not defined in the Stampede schema"});
+    return report;
+  }
+  for (const auto& leaf : schema->leaves) {
+    // ts / event / level live in dedicated LogRecord fields, always set.
+    if (leaf.name == "ts" || leaf.name == "event" || leaf.name == "level") {
+      continue;
+    }
+    const auto value = record.get(leaf.name);
+    if (!value) {
+      if (leaf.mandatory) {
+        report.issues.push_back({Severity::kError, record.event(), leaf.name,
+                                 "mandatory attribute missing"});
+      }
+      continue;
+    }
+    std::string why = check_value(leaf, *value);
+    if (!why.empty()) {
+      report.issues.push_back(
+          {Severity::kError, record.event(), leaf.name, std::move(why)});
+    }
+  }
+  for (const auto& [key, value] : record.attributes()) {
+    if (schema->find_leaf(key) == nullptr) {
+      report.issues.push_back({Severity::kWarning, record.event(), key,
+                               "attribute not in schema (ignored)"});
+    }
+  }
+  return report;
+}
+
+const SchemaRegistry& stampede_schema() {
+  static const SchemaRegistry registry{parse_module(stampede_schema_source())};
+  return registry;
+}
+
+}  // namespace stampede::yang

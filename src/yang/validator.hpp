@@ -1,0 +1,83 @@
+#pragma once
+// Event validator — the pyang-equivalent described in paper §IV-B.
+//
+// A SchemaRegistry flattens a parsed Module into per-event EventSchemas
+// (inlining `uses base-event;` etc.) and validates LogRecords against
+// them: mandatory attributes present, values well-typed, enum values
+// legal. The loader runs every incoming message through this before any
+// database work so that producers (engine integrations) get immediate,
+// structured feedback when their mapping drifts from the data model.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlogger/record.hpp"
+#include "yang/ast.hpp"
+
+namespace stampede::yang {
+
+enum class Severity { kError, kWarning };
+
+struct ValidationIssue {
+  Severity severity = Severity::kError;
+  std::string event;      ///< Event name of the record being validated.
+  std::string attribute;  ///< Offending attribute (may be empty).
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  [[nodiscard]] bool ok() const noexcept {
+    for (const auto& issue : issues) {
+      if (issue.severity == Severity::kError) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::size_t error_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& issue : issues) {
+      if (issue.severity == Severity::kError) ++n;
+    }
+    return n;
+  }
+};
+
+/// Checks a single value against a leaf type. Returns empty string on
+/// success, else a human-readable reason.
+[[nodiscard]] std::string check_value(const Leaf& leaf, std::string_view value);
+
+class SchemaRegistry {
+ public:
+  /// Flattens a module. Throws common::SchemaError on unresolvable `uses`
+  /// or duplicate leaf names within one event.
+  explicit SchemaRegistry(const Module& module);
+
+  /// Schema for an event name; nullptr if the event is not in the model.
+  [[nodiscard]] const EventSchema* find(std::string_view event) const noexcept;
+
+  /// Validates one record. Unknown events are errors; unknown attributes
+  /// on known events are warnings (forward compatibility, as pyang's
+  /// default lax mode allows).
+  [[nodiscard]] ValidationReport validate(const nl::LogRecord& record) const;
+
+  [[nodiscard]] std::size_t event_count() const noexcept {
+    return schemas_.size();
+  }
+
+  /// All event names, sorted.
+  [[nodiscard]] std::vector<std::string> event_names() const;
+
+ private:
+  std::map<std::string, EventSchema, std::less<>> schemas_;
+};
+
+/// The embedded Stampede schema source (DESIGN.md §5 event catalogue).
+[[nodiscard]] std::string_view stampede_schema_source() noexcept;
+
+/// Parses + flattens the embedded schema. Built once, reused everywhere.
+[[nodiscard]] const SchemaRegistry& stampede_schema();
+
+}  // namespace stampede::yang

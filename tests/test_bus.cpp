@@ -1,0 +1,387 @@
+// Unit tests for the AMQP-style message bus: topic matching, routing,
+// acknowledgments, overflow, durability, subscriptions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+
+#include "bus/bp_publisher.hpp"
+#include "bus/broker.hpp"
+#include "bus/topic_matcher.hpp"
+#include "common/errors.hpp"
+
+namespace bus = stampede::bus;
+
+// ---------------------------------------------------------------------------
+// Topic matching (AMQP semantics: '*' one word, '#' zero or more)
+
+struct TopicCase {
+  const char* pattern;
+  const char* key;
+  bool expected;
+};
+
+class TopicMatch : public ::testing::TestWithParam<TopicCase> {};
+
+TEST_P(TopicMatch, Matches) {
+  const auto& c = GetParam();
+  EXPECT_EQ(bus::topic_matches(c.pattern, c.key), c.expected)
+      << c.pattern << " vs " << c.key;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TopicMatch,
+    ::testing::Values(
+        TopicCase{"stampede.job.info", "stampede.job.info", true},
+        TopicCase{"stampede.job.info", "stampede.job.edge", false},
+        TopicCase{"stampede.job.*", "stampede.job.info", true},
+        TopicCase{"stampede.job.*", "stampede.job.info.extra", false},
+        TopicCase{"stampede.*.info", "stampede.job.info", true},
+        TopicCase{"*.job.info", "stampede.job.info", true},
+        // Paper §IV-C: subscribe to all "stampede.job" messages.
+        TopicCase{"stampede.job.#", "stampede.job.info", true},
+        TopicCase{"stampede.job.#", "stampede.job", true},
+        TopicCase{"stampede.job.#", "stampede.job_inst.main.start", false},
+        TopicCase{"stampede.job_inst.main.#",
+                  "stampede.job_inst.main.start", true},
+        TopicCase{"#", "anything.at.all", true},
+        TopicCase{"#", "", true},
+        TopicCase{"#.end", "stampede.inv.end", true},
+        TopicCase{"#.end", "end", true},
+        TopicCase{"#.end", "stampede.inv.start", false},
+        TopicCase{"a.#.z", "a.z", true},
+        TopicCase{"a.#.z", "a.b.c.z", true},
+        TopicCase{"a.#.z", "a.b.c", false},
+        TopicCase{"*", "one", true},
+        TopicCase{"*", "two.words", false}));
+
+TEST(TopicPattern, LiteralDetection) {
+  EXPECT_TRUE(bus::TopicPattern{"a.b.c"}.is_literal());
+  EXPECT_FALSE(bus::TopicPattern{"a.*.c"}.is_literal());
+  EXPECT_FALSE(bus::TopicPattern{"a.#"}.is_literal());
+}
+
+// ---------------------------------------------------------------------------
+// Broker topology + routing
+
+namespace {
+
+bus::Message msg(std::string key, std::string body = "x") {
+  bus::Message m;
+  m.routing_key = std::move(key);
+  m.body = std::move(body);
+  return m;
+}
+
+}  // namespace
+
+TEST(Broker, DefaultExchangeRoutesByQueueName) {
+  bus::Broker broker;
+  broker.declare_queue("q1");
+  EXPECT_EQ(broker.publish("", msg("q1")), 1u);
+  EXPECT_EQ(broker.publish("", msg("nope")), 0u);
+  const auto d = broker.basic_get("q1", "t");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->message.routing_key, "q1");
+}
+
+TEST(Broker, TopicExchangeWildcardRouting) {
+  bus::Broker broker;
+  broker.declare_exchange("monitoring", bus::ExchangeType::kTopic);
+  broker.declare_queue("jobs");
+  broker.declare_queue("all");
+  broker.bind("jobs", "monitoring", "stampede.job_inst.#");
+  broker.bind("all", "monitoring", "#");
+
+  EXPECT_EQ(broker.publish("monitoring",
+                           msg("stampede.job_inst.main.start")),
+            2u);
+  EXPECT_EQ(broker.publish("monitoring", msg("stampede.task.info")), 1u);
+  EXPECT_EQ(broker.queue_stats("jobs").depth, 1u);
+  EXPECT_EQ(broker.queue_stats("all").depth, 2u);
+}
+
+TEST(Broker, FanoutIgnoresRoutingKey) {
+  bus::Broker broker;
+  broker.declare_exchange("fan", bus::ExchangeType::kFanout);
+  broker.declare_queue("a");
+  broker.declare_queue("b");
+  broker.bind("a", "fan", "ignored");
+  broker.bind("b", "fan", "also-ignored");
+  EXPECT_EQ(broker.publish("fan", msg("whatever")), 2u);
+}
+
+TEST(Broker, UnroutableIsCounted) {
+  bus::Broker broker;
+  broker.declare_exchange("t", bus::ExchangeType::kTopic);
+  broker.publish("t", msg("no.subscribers"));
+  EXPECT_EQ(broker.stats().unroutable, 1u);
+  EXPECT_EQ(broker.stats().published, 1u);
+}
+
+TEST(Broker, PublishToUnknownExchangeThrows) {
+  bus::Broker broker;
+  EXPECT_THROW(broker.publish("ghost", msg("k")), stampede::common::BusError);
+}
+
+TEST(Broker, RedeclareExchangeWithDifferentTypeThrows) {
+  bus::Broker broker;
+  broker.declare_exchange("e", bus::ExchangeType::kTopic);
+  broker.declare_exchange("e", bus::ExchangeType::kTopic);  // idempotent OK
+  EXPECT_THROW(broker.declare_exchange("e", bus::ExchangeType::kFanout),
+               stampede::common::BusError);
+}
+
+TEST(Broker, RedeclareQueueWithDifferentOptionsThrows) {
+  bus::Broker broker;
+  broker.declare_queue("q", {.durable = false});
+  broker.declare_queue("q", {.durable = false});  // idempotent OK
+  EXPECT_THROW(broker.declare_queue("q", {.durable = true}),
+               stampede::common::BusError);
+}
+
+TEST(Broker, BindUnknownQueueOrExchangeThrows) {
+  bus::Broker broker;
+  broker.declare_queue("q");
+  EXPECT_THROW(broker.bind("ghost", "", "k"), stampede::common::BusError);
+  EXPECT_THROW(broker.bind("q", "ghost", "k"), stampede::common::BusError);
+}
+
+TEST(Broker, DeleteQueueRemovesBindings) {
+  bus::Broker broker;
+  broker.declare_exchange("t", bus::ExchangeType::kTopic);
+  broker.declare_queue("q");
+  broker.bind("q", "t", "#");
+  broker.delete_queue("q");
+  EXPECT_EQ(broker.publish("t", msg("any")), 0u);
+  EXPECT_FALSE(broker.has_queue("q"));
+}
+
+// ---------------------------------------------------------------------------
+// Ack / nack / requeue
+
+TEST(Broker, AckRemovesUnacked) {
+  bus::Broker broker;
+  broker.declare_queue("q");
+  broker.publish("", msg("q"));
+  const auto d = broker.basic_get("q", "c1");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(broker.queue_stats("q").unacked, 1u);
+  EXPECT_TRUE(broker.ack("q", d->delivery_tag));
+  EXPECT_EQ(broker.queue_stats("q").unacked, 0u);
+  EXPECT_FALSE(broker.ack("q", d->delivery_tag));  // double ack
+}
+
+TEST(Broker, NackRequeuePutsMessageBack) {
+  bus::Broker broker;
+  broker.declare_queue("q");
+  broker.publish("", msg("q", "payload"));
+  const auto d = broker.basic_get("q", "c1");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(broker.nack("q", d->delivery_tag, /*requeue=*/true));
+  const auto again = broker.basic_get("q", "c1");
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->message.body, "payload");
+  EXPECT_NE(again->delivery_tag, d->delivery_tag);
+}
+
+TEST(Broker, NackWithoutRequeueDiscards) {
+  bus::Broker broker;
+  broker.declare_queue("q");
+  broker.publish("", msg("q"));
+  const auto d = broker.basic_get("q", "c1");
+  EXPECT_TRUE(broker.nack("q", d->delivery_tag, /*requeue=*/false));
+  EXPECT_FALSE(broker.basic_get("q", "c1").has_value());
+}
+
+TEST(Broker, BasicGetBlocksUntilPublish) {
+  bus::Broker broker;
+  broker.declare_queue("q");
+  std::thread publisher([&broker] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    broker.publish("", msg("q", "late"));
+  });
+  const auto d = broker.basic_get("q", "c1", /*timeout_ms=*/1000);
+  publisher.join();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->message.body, "late");
+}
+
+TEST(Broker, BasicGetTimesOut) {
+  bus::Broker broker;
+  broker.declare_queue("q");
+  EXPECT_FALSE(broker.basic_get("q", "c1", /*timeout_ms=*/30).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Overflow (drop-head, producers never block — paper §IV-C)
+
+TEST(Broker, BoundedQueueDropsOldest) {
+  bus::Broker broker;
+  broker.declare_queue("q", {.max_length = 3});
+  for (int i = 0; i < 5; ++i) {
+    broker.publish("", msg("q", std::to_string(i)));
+  }
+  const auto stats = broker.queue_stats("q");
+  EXPECT_EQ(stats.depth, 3u);
+  EXPECT_EQ(stats.dropped_overflow, 2u);
+  // Survivors are the newest three.
+  EXPECT_EQ(broker.basic_get("q", "c")->message.body, "2");
+  EXPECT_EQ(broker.basic_get("q", "c")->message.body, "3");
+  EXPECT_EQ(broker.basic_get("q", "c")->message.body, "4");
+}
+
+// ---------------------------------------------------------------------------
+// Subscriptions (push mode)
+
+TEST(Broker, SubscriptionDeliversAndAcks) {
+  bus::Broker broker;
+  broker.declare_queue("q");
+  std::atomic<int> seen{0};
+  auto sub = broker.subscribe("q", [&seen](const bus::Delivery&) {
+    ++seen;
+    return true;
+  });
+  for (int i = 0; i < 20; ++i) broker.publish("", msg("q"));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (seen.load() < 20 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(seen.load(), 20);
+  sub.cancel();
+  const auto stats = broker.queue_stats("q");
+  EXPECT_EQ(stats.acked, 20u);
+  EXPECT_EQ(stats.unacked, 0u);
+}
+
+TEST(Broker, RejectedDeliveryIsRedelivered) {
+  bus::Broker broker;
+  broker.declare_queue("q");
+  std::atomic<int> attempts{0};
+  auto sub = broker.subscribe("q", [&attempts](const bus::Delivery&) {
+    // Fail the first attempt, succeed after.
+    return ++attempts > 1;
+  });
+  broker.publish("", msg("q"));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (attempts.load() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(attempts.load(), 2);
+  sub.cancel();
+  EXPECT_EQ(broker.queue_stats("q").depth, 0u);
+}
+
+TEST(Broker, ThrowingHandlerDoesNotKillSubscription) {
+  bus::Broker broker;
+  broker.declare_queue("q");
+  std::atomic<int> calls{0};
+  auto sub = broker.subscribe("q", [&calls](const bus::Delivery&) -> bool {
+    if (++calls == 1) throw std::runtime_error("boom");
+    return true;
+  });
+  broker.publish("", msg("q"));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (calls.load() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(calls.load(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Durability
+
+TEST(Broker, DurableQueueRecoversSpooledMessages) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "stampede_test_spool";
+  std::filesystem::remove_all(dir);
+  {
+    bus::Broker broker{dir.string()};
+    broker.declare_queue("stampede", {.durable = true});
+    bus::Message m = msg("stampede", "ts=1 event=persisted");
+    m.persistent = true;
+    broker.publish("", std::move(m));
+  }
+  {
+    bus::Broker broker{dir.string()};
+    broker.declare_queue("stampede", {.durable = true});
+    const auto d = broker.basic_get("stampede", "c");
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->message.body, "ts=1 event=persisted");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Broker, NonPersistentMessagesAreNotSpooled) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "stampede_test_spool2";
+  std::filesystem::remove_all(dir);
+  {
+    bus::Broker broker{dir.string()};
+    broker.declare_queue("q", {.durable = true});
+    broker.publish("", msg("q", "transient"));
+  }
+  {
+    bus::Broker broker{dir.string()};
+    broker.declare_queue("q", {.durable = true});
+    EXPECT_FALSE(broker.basic_get("q", "c").has_value());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// BpPublisher
+
+TEST(BpPublisher, PublishesFormattedRecordsWithEventRoutingKey) {
+  bus::Broker broker;
+  bus::BpPublisher publisher{broker, "monitoring"};
+  broker.declare_queue("xwf");
+  broker.bind("xwf", "monitoring", "stampede.xwf.*");
+
+  stampede::nl::LogRecord r{1331642138.0, "stampede.xwf.start"};
+  r.set("restart_count", std::int64_t{0});
+  EXPECT_EQ(publisher.publish(r), 1u);
+  EXPECT_EQ(publisher.published(), 1u);
+
+  const auto d = broker.basic_get("xwf", "c");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->message.routing_key, "stampede.xwf.start");
+  EXPECT_NE(d->message.body.find("event=stampede.xwf.start"),
+            std::string::npos);
+  EXPECT_NE(d->message.body.find("restart_count=0"), std::string::npos);
+}
+
+TEST(Broker, StressManyProducersOneConsumer) {
+  bus::Broker broker;
+  broker.declare_exchange("t", bus::ExchangeType::kTopic);
+  broker.declare_queue("q");
+  broker.bind("q", "t", "#");
+
+  constexpr int kProducers = 4;
+  constexpr int kEach = 250;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&broker, p] {
+      for (int i = 0; i < kEach; ++i) {
+        broker.publish("t", msg("ev." + std::to_string(p), "b"));
+      }
+    });
+  }
+  int got = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (got < kProducers * kEach &&
+         std::chrono::steady_clock::now() < deadline) {
+    if (auto d = broker.basic_get("q", "c", 50)) {
+      broker.ack("q", d->delivery_tag);
+      ++got;
+    }
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(got, kProducers * kEach);
+}

@@ -1,0 +1,400 @@
+// Unit tests for the common substrate: UUIDs, time handling, string
+// helpers and the concurrent queue.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/concurrent_queue.hpp"
+#include "common/rng.hpp"
+#include "common/string_utils.hpp"
+#include "common/time_utils.hpp"
+#include "common/uuid.hpp"
+
+namespace sc = stampede::common;
+
+// ---------------------------------------------------------------------------
+// Uuid
+
+TEST(Uuid, DefaultIsNil) {
+  sc::Uuid u;
+  EXPECT_TRUE(u.is_nil());
+  EXPECT_EQ(u.to_string(), "00000000-0000-0000-0000-000000000000");
+}
+
+TEST(Uuid, ParseCanonicalForm) {
+  const auto u = sc::Uuid::parse("ea17e8ac-02ac-4909-b5e3-16e367392556");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->to_string(), "ea17e8ac-02ac-4909-b5e3-16e367392556");
+  EXPECT_FALSE(u->is_nil());
+}
+
+TEST(Uuid, ParseAcceptsUppercaseAndNormalizesToLower) {
+  const auto u = sc::Uuid::parse("EA17E8AC-02AC-4909-B5E3-16E367392556");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->to_string(), "ea17e8ac-02ac-4909-b5e3-16e367392556");
+}
+
+TEST(Uuid, ParseRejectsMalformed) {
+  EXPECT_FALSE(sc::Uuid::parse(""));
+  EXPECT_FALSE(sc::Uuid::parse("ea17e8ac"));
+  EXPECT_FALSE(sc::Uuid::parse("ea17e8ac-02ac-4909-b5e3-16e36739255"));    // short
+  EXPECT_FALSE(sc::Uuid::parse("ea17e8ac-02ac-4909-b5e3-16e3673925566")); // long
+  EXPECT_FALSE(sc::Uuid::parse("ea17e8ac_02ac_4909_b5e3_16e367392556"));  // bad sep
+  EXPECT_FALSE(sc::Uuid::parse("ga17e8ac-02ac-4909-b5e3-16e367392556"));  // bad hex
+  EXPECT_FALSE(sc::Uuid::parse("ea17e8ac-02ac-4909-b5e3-16e36739255g"));
+}
+
+TEST(Uuid, GeneratorIsDeterministicPerSeed) {
+  sc::UuidGenerator a{7};
+  sc::UuidGenerator b{7};
+  sc::UuidGenerator c{8};
+  const auto ua = a.next();
+  const auto ub = b.next();
+  const auto uc = c.next();
+  EXPECT_EQ(ua, ub);
+  EXPECT_NE(ua, uc);
+}
+
+TEST(Uuid, GeneratorSetsVersion4AndVariantBits) {
+  sc::UuidGenerator gen{123};
+  for (int i = 0; i < 100; ++i) {
+    const auto u = gen.next();
+    EXPECT_EQ(u.bytes()[6] & 0xf0, 0x40) << u.to_string();
+    EXPECT_EQ(u.bytes()[8] & 0xc0, 0x80) << u.to_string();
+  }
+}
+
+TEST(Uuid, GeneratorProducesDistinctValues) {
+  sc::UuidGenerator gen{99};
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(gen.next().to_string()).second);
+  }
+}
+
+TEST(Uuid, RoundTripThroughText) {
+  sc::UuidGenerator gen{5};
+  for (int i = 0; i < 50; ++i) {
+    const auto u = gen.next();
+    const auto parsed = sc::Uuid::parse(u.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, u);
+  }
+}
+
+TEST(Uuid, HashDistinguishesValues) {
+  sc::UuidGenerator gen{1};
+  const auto a = gen.next();
+  const auto b = gen.next();
+  const std::hash<sc::Uuid> h;
+  EXPECT_EQ(h(a), h(a));
+  EXPECT_NE(h(a), h(b));  // Overwhelmingly likely.
+}
+
+// ---------------------------------------------------------------------------
+// Time
+
+TEST(Time, ParsesPaperExampleTimestamp) {
+  const auto ts = sc::parse_timestamp("2012-03-13T12:35:38.000000Z");
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_EQ(sc::format_iso8601(*ts), "2012-03-13T12:35:38.000000Z");
+}
+
+TEST(Time, ParsesEpochSeconds) {
+  const auto ts = sc::parse_timestamp("1331642138.25");
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_DOUBLE_EQ(*ts, 1331642138.25);
+}
+
+TEST(Time, EpochAndIsoAgree) {
+  // 2012-03-13T12:35:38Z == 1331642138 (verified against `date -u`).
+  const auto iso = sc::parse_timestamp("2012-03-13T12:35:38Z");
+  ASSERT_TRUE(iso.has_value());
+  EXPECT_DOUBLE_EQ(*iso, 1331642138.0);
+}
+
+TEST(Time, ParsesFractionalSeconds) {
+  const auto ts = sc::parse_timestamp("2012-03-13T12:35:38.5Z");
+  ASSERT_TRUE(ts.has_value());
+  EXPECT_DOUBLE_EQ(*ts, 1331642138.5);
+}
+
+TEST(Time, ParsesUtcOffsets) {
+  const auto plus = sc::parse_timestamp("2012-03-13T14:35:38+02:00");
+  const auto minus = sc::parse_timestamp("2012-03-13T10:35:38-02:00");
+  const auto zulu = sc::parse_timestamp("2012-03-13T12:35:38Z");
+  ASSERT_TRUE(plus && minus && zulu);
+  EXPECT_DOUBLE_EQ(*plus, *zulu);
+  EXPECT_DOUBLE_EQ(*minus, *zulu);
+}
+
+TEST(Time, RejectsMalformedTimestamps) {
+  EXPECT_FALSE(sc::parse_timestamp(""));
+  EXPECT_FALSE(sc::parse_timestamp("not-a-time"));
+  EXPECT_FALSE(sc::parse_timestamp("2012-13-13T12:35:38Z"));  // month 13
+  EXPECT_FALSE(sc::parse_timestamp("2012-02-30T12:35:38Z"));  // Feb 30
+  EXPECT_FALSE(sc::parse_timestamp("2012-03-13T25:35:38Z"));  // hour 25
+  EXPECT_FALSE(sc::parse_timestamp("2012-03-13T12:35:38X"));  // bad zone
+  EXPECT_FALSE(sc::parse_timestamp("2012-03-13T12:35:38.Z"));  // empty frac
+  EXPECT_FALSE(sc::parse_timestamp("1.2.3"));
+}
+
+TEST(Time, LeapYearRules) {
+  EXPECT_TRUE(sc::is_leap_year(2012));
+  EXPECT_TRUE(sc::is_leap_year(2000));
+  EXPECT_FALSE(sc::is_leap_year(1900));
+  EXPECT_FALSE(sc::is_leap_year(2011));
+  EXPECT_EQ(sc::days_in_month(2012, 2), 29);
+  EXPECT_EQ(sc::days_in_month(2011, 2), 28);
+  EXPECT_EQ(sc::days_in_month(2012, 4), 30);
+  EXPECT_EQ(sc::days_in_month(2012, 12), 31);
+}
+
+TEST(Time, FebruaryLeapDayParses) {
+  EXPECT_TRUE(sc::parse_timestamp("2012-02-29T00:00:00Z"));
+  EXPECT_FALSE(sc::parse_timestamp("2011-02-29T00:00:00Z"));
+}
+
+TEST(Time, DurationFormattingMatchesPaperStyle) {
+  // Table I: "11 mins, 1 sec, (661 seconds)".
+  EXPECT_EQ(sc::format_duration_with_seconds(661),
+            "11 mins, 1 sec, (661 seconds)");
+  // Table I: "11 hrs, 10 mins, (40224 seconds)".
+  EXPECT_EQ(sc::format_duration_human(40224), "11 hrs, 10 mins");
+  EXPECT_EQ(sc::format_duration_human(0), "0 secs");
+  EXPECT_EQ(sc::format_duration_human(1), "1 sec");
+  EXPECT_EQ(sc::format_duration_human(59), "59 secs");
+  EXPECT_EQ(sc::format_duration_human(60), "1 min");
+  EXPECT_EQ(sc::format_duration_human(3600), "1 hr");
+  EXPECT_EQ(sc::format_duration_human(3661), "1 hr, 1 min");
+}
+
+// Property sweep: civil decomposition round-trips across a wide range of
+// timestamps including DST-irrelevant UTC boundaries and leap days.
+class CivilRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(CivilRoundTrip, RoundTrips) {
+  const double ts = GetParam();
+  const auto civil = sc::to_civil(ts);
+  EXPECT_NEAR(sc::from_civil(civil), ts, 1e-6);
+  const auto reparsed = sc::parse_timestamp(sc::format_iso8601(ts));
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_NEAR(*reparsed, ts, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Timestamps, CivilRoundTrip,
+    ::testing::Values(0.0, 1.0, 86399.0, 86400.0, 1331642138.0,
+                      1331642138.123456, 951782400.0 /* 2000-02-29 */,
+                      4102444800.0 /* 2100-01-01 */, 1609459199.5,
+                      315532800.0 /* 1980-01-01 */));
+
+// ---------------------------------------------------------------------------
+// Strings
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = sc::split("a..b.", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitNonemptyDropsEmptyFields) {
+  const auto parts = sc::split_nonempty("a..b.", '.');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(sc::trim("  hello \t\n"), "hello");
+  EXPECT_EQ(sc::trim(""), "");
+  EXPECT_EQ(sc::trim("   "), "");
+  EXPECT_EQ(sc::trim("x"), "x");
+}
+
+TEST(Strings, JoinWithSeparator) {
+  EXPECT_EQ(sc::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(sc::join({}, ","), "");
+  EXPECT_EQ(sc::join({"only"}, ","), "only");
+}
+
+TEST(Strings, PrefixSuffix) {
+  EXPECT_TRUE(sc::starts_with("stampede.job.info", "stampede.job"));
+  EXPECT_FALSE(sc::starts_with("stampede", "stampede.job"));
+  EXPECT_TRUE(sc::ends_with("main.start", ".start"));
+  EXPECT_FALSE(sc::ends_with("start", "main.start"));
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(sc::pad_left("ab", 5), "   ab");
+  EXPECT_EQ(sc::pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(sc::pad_left("abcdef", 3), "abcdef");
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(sc::format_fixed(74.0, 1), "74.0");
+  EXPECT_EQ(sc::format_fixed(0.056789, 2), "0.06");
+}
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool expected;
+};
+
+class LikeMatch : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeMatch, Matches) {
+  const auto& c = GetParam();
+  EXPECT_EQ(sc::like_match(c.text, c.pattern), c.expected)
+      << c.text << " LIKE " << c.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LikeMatch,
+    ::testing::Values(LikeCase{"exec0", "exec%", true},
+                      LikeCase{"exec0", "%0", true},
+                      LikeCase{"exec0", "e%0", true},
+                      LikeCase{"exec0", "exec_", true},
+                      LikeCase{"exec10", "exec_", false},
+                      LikeCase{"", "%", true}, LikeCase{"", "", true},
+                      LikeCase{"abc", "", false},
+                      LikeCase{"abc", "a%b%c", true},
+                      LikeCase{"abc", "%%%", true},
+                      LikeCase{"zipper", "%ipp%", true},
+                      LikeCase{"zipper", "%xpp%", false},
+                      LikeCase{"aXbXc", "a%b%c", true},
+                      LikeCase{"stampede.inv.end", "stampede.%.end", true}));
+
+// ---------------------------------------------------------------------------
+// ConcurrentQueue
+
+TEST(ConcurrentQueue, FifoOrder) {
+  sc::ConcurrentQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(ConcurrentQueue, TryPopEmptyReturnsNullopt) {
+  sc::ConcurrentQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(ConcurrentQueue, TryPushRespectsCapacity) {
+  sc::ConcurrentQueue<int> q{2};
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(ConcurrentQueue, CloseDrainsThenSignalsEnd) {
+  sc::ConcurrentQueue<int> q;
+  q.push(42);
+  q.close();
+  EXPECT_FALSE(q.push(43));
+  EXPECT_EQ(q.pop(), 42);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(ConcurrentQueue, PopForTimesOut) {
+  sc::ConcurrentQueue<int> q;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(std::chrono::milliseconds(30)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(25));
+}
+
+TEST(ConcurrentQueue, BlockingPopWakesOnPush) {
+  sc::ConcurrentQueue<int> q;
+  std::thread producer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.push(7);
+  });
+  EXPECT_EQ(q.pop(), 7);
+  producer.join();
+}
+
+TEST(ConcurrentQueue, MultiProducerMultiConsumerDeliversEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kItemsEach = 500;
+  sc::ConcurrentQueue<int> q{64};
+  std::atomic<int> consumed{0};
+  std::atomic<long long> sum{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + 2);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kItemsEach; ++i) q.push(p * kItemsEach + i);
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&] {
+      while (auto item = q.pop()) {
+        sum += *item;
+        ++consumed;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<size_t>(p)].join();
+  q.close();
+  threads[kProducers].join();
+  threads[kProducers + 1].join();
+
+  const int total = kProducers * kItemsEach;
+  EXPECT_EQ(consumed.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<long long>(total) * (total - 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+
+TEST(Rng, DeterministicPerSeed) {
+  sc::Rng a{11};
+  sc::Rng b{11};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, UniformBounds) {
+  sc::Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NormalRespectsFloor) {
+  sc::Rng rng{4};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.normal(1.0, 5.0, 0.5), 0.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  sc::Rng rng{5};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    saw_lo |= v == 1;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}

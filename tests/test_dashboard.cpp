@@ -1,0 +1,195 @@
+// Tests for the dashboard substrate: JSON writer, HTTP server, and the
+// live monitoring endpoints over a populated archive.
+
+#include <gtest/gtest.h>
+
+#include "dart/experiment.hpp"
+#include "dashboard/dashboard.hpp"
+#include "dashboard/json.hpp"
+
+namespace dash = stampede::dash;
+namespace dart = stampede::dart;
+namespace db = stampede::db;
+
+// ---------------------------------------------------------------------------
+// JSON writer
+
+TEST(Json, EscapesSpecials) {
+  EXPECT_EQ(dash::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(dash::json_escape(std::string{"x\x01y"}), "x\\u0001y");
+}
+
+TEST(Json, ObjectWithMixedValues) {
+  dash::JsonWriter w;
+  w.begin_object();
+  w.key("name").value("exec0");
+  w.key("dur").value(74.0);
+  w.key("count").value(std::int64_t{16});
+  w.key("ok").value(true);
+  w.key("host").null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"exec0","dur":74,"count":16,"ok":true,"host":null})");
+}
+
+TEST(Json, NestedContainers) {
+  dash::JsonWriter w;
+  w.begin_object();
+  w.key("series").begin_array();
+  w.begin_array().value(1.5).value(2.5).end_array();
+  w.begin_array().value(3.5).value(4.5).end_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"series":[[1.5,2.5],[3.5,4.5]]})");
+}
+
+TEST(Json, EmptyContainers) {
+  dash::JsonWriter w;
+  w.begin_object();
+  w.key("empty_list").begin_array().end_array();
+  w.key("empty_obj").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"empty_list":[],"empty_obj":{}})");
+}
+
+// ---------------------------------------------------------------------------
+// HTTP server
+
+TEST(HttpServer, RoutesAndCaptures) {
+  dash::HttpServer server{0};
+  server.route("/ping", [](const dash::HttpRequest&) {
+    return dash::HttpResponse::text("pong");
+  });
+  server.route("/echo/{a}/{b}", [](const dash::HttpRequest& r) {
+    return dash::HttpResponse::text(r.params[0] + "+" + r.params[1]);
+  });
+  server.start();
+
+  int status = 0;
+  EXPECT_EQ(dash::http_get(server.port(), "/ping", &status), "pong");
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(dash::http_get(server.port(), "/echo/x/y", &status), "x+y");
+  EXPECT_EQ(status, 200);
+  (void)dash::http_get(server.port(), "/nope", &status);
+  EXPECT_EQ(status, 404);
+  server.stop();
+}
+
+TEST(HttpServer, HandlerExceptionsBecome500) {
+  dash::HttpServer server{0};
+  server.route("/boom", [](const dash::HttpRequest&) -> dash::HttpResponse {
+    throw std::runtime_error("kaboom");
+  });
+  server.start();
+  int status = 0;
+  EXPECT_EQ(dash::http_get(server.port(), "/boom", &status), "kaboom");
+  EXPECT_EQ(status, 500);
+  server.stop();
+}
+
+TEST(HttpServer, QueryStringsAreSeparated) {
+  dash::HttpServer server{0};
+  server.route("/q", [](const dash::HttpRequest& r) {
+    return dash::HttpResponse::text(r.query);
+  });
+  server.start();
+  EXPECT_EQ(dash::http_get(server.port(), "/q?depth=2&json=1"),
+            "depth=2&json=1");
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Dashboard endpoints over a real archive
+
+namespace {
+
+struct DashboardFixture : ::testing::Test {
+  DashboardFixture() {
+    dart::DartConfig config;
+    config.total_executions = 12;
+    config.tasks_per_bundle = 6;
+    config.exec_cpu_mean = 3.0;
+    config.tones_per_task = 2;
+    dart::DartExperimentOptions options;
+    options.cloud.nodes = 2;
+    result = dart::run_dart_experiment(config, archive, options);
+  }
+
+  db::Database archive;
+  dart::DartRunResult result;
+};
+
+}  // namespace
+
+TEST_F(DashboardFixture, HealthAndWorkflowList) {
+  dash::Dashboard dashboard{archive};
+  dashboard.start();
+  EXPECT_EQ(dash::http_get(dashboard.port(), "/healthz"),
+            R"({"status":"ok"})");
+  const auto list = dash::http_get(dashboard.port(), "/workflows");
+  EXPECT_NE(list.find(result.root_uuid.to_string()), std::string::npos);
+  EXPECT_NE(list.find("\"status\":0"), std::string::npos);
+  dashboard.stop();
+}
+
+TEST_F(DashboardFixture, SummaryEndpointServesTableOneNumbers) {
+  dash::Dashboard dashboard{archive};
+  dashboard.start();
+  const auto body = dash::http_get(
+      dashboard.port(),
+      "/workflow/" + result.root_uuid.to_string() + "/summary");
+  // 12 execs + 2 ranges + 2 zippers + 1 splitter + 2 submits = 19 tasks.
+  EXPECT_NE(body.find("\"total\":19"), std::string::npos) << body;
+  EXPECT_NE(body.find("cumulative_job_wall_time"), std::string::npos);
+  dashboard.stop();
+}
+
+TEST_F(DashboardFixture, JobsAndProgressEndpoints) {
+  dash::Dashboard dashboard{archive};
+  dashboard.start();
+  const auto children_body = dash::http_get(
+      dashboard.port(),
+      "/workflow/" + result.root_uuid.to_string() + "/progress");
+  EXPECT_NE(children_body.find("\"points\":"), std::string::npos);
+
+  const auto jobs_body = dash::http_get(
+      dashboard.port(),
+      "/workflow/" + result.root_uuid.to_string() + "/jobs");
+  EXPECT_NE(jobs_body.find("\"queue_time\""), std::string::npos);
+  dashboard.stop();
+}
+
+TEST_F(DashboardFixture, UnknownWorkflowIs404) {
+  dash::Dashboard dashboard{archive};
+  dashboard.start();
+  int status = 0;
+  (void)dash::http_get(dashboard.port(),
+                       "/workflow/not-a-uuid/summary", &status);
+  EXPECT_EQ(status, 404);
+  dashboard.stop();
+}
+
+TEST_F(DashboardFixture, HostsEndpointServesUsageAndTimeline) {
+  dash::Dashboard dashboard{archive};
+  dashboard.start();
+  const auto body = dash::http_get(
+      dashboard.port(),
+      "/workflow/" + result.root_uuid.to_string() + "/hosts");
+  EXPECT_NE(body.find("\"usage\":"), std::string::npos);
+  EXPECT_NE(body.find("\"timeline\":"), std::string::npos);
+  EXPECT_NE(body.find("trianaworker"), std::string::npos);
+  EXPECT_NE(body.find("localhost"), std::string::npos);
+  dashboard.stop();
+}
+
+TEST_F(DashboardFixture, AnalyzerEndpointReportsCleanRun) {
+  dash::Dashboard dashboard{archive};
+  dashboard.start();
+  const auto body = dash::http_get(
+      dashboard.port(),
+      "/workflow/" + result.root_uuid.to_string() + "/analyzer");
+  // One level (no failures → no drill-down), zero failed.
+  EXPECT_NE(body.find("\"failed\":0"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"failures\":[]"), std::string::npos);
+  dashboard.stop();
+}

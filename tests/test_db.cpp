@@ -1,0 +1,718 @@
+// Unit tests for the embedded relational engine: values, tables, indexes,
+// predicates, the query executor, transactions and WAL persistence.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/errors.hpp"
+#include "db/database.hpp"
+
+namespace db = stampede::db;
+using db::Value;
+using stampede::common::DbError;
+
+// ---------------------------------------------------------------------------
+// Value
+
+TEST(Value, StorageClasses) {
+  EXPECT_TRUE(Value{}.is_null());
+  EXPECT_TRUE(Value{42}.is_int());
+  EXPECT_TRUE(Value{1.5}.is_real());
+  EXPECT_TRUE(Value{"text"}.is_text());
+}
+
+TEST(Value, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value{2}.compare(Value{2.0}), std::partial_ordering::equivalent);
+  EXPECT_EQ(Value{2}.compare(Value{2.5}), std::partial_ordering::less);
+  EXPECT_EQ(Value{3}.compare(Value{2.5}), std::partial_ordering::greater);
+}
+
+TEST(Value, NullOrdersFirstAndEqualsNull) {
+  EXPECT_EQ(Value{}.compare(Value{}), std::partial_ordering::equivalent);
+  EXPECT_EQ(Value{}.compare(Value{0}), std::partial_ordering::less);
+  EXPECT_EQ(Value{"a"}.compare(Value{}), std::partial_ordering::greater);
+}
+
+TEST(Value, NumbersOrderBeforeText) {
+  EXPECT_EQ(Value{999}.compare(Value{"0"}), std::partial_ordering::less);
+}
+
+TEST(Value, HashConsistentWithEqualityForIntegralReals) {
+  const std::hash<Value> h;
+  EXPECT_EQ(h(Value{7}), h(Value{7.0}));
+  EXPECT_EQ(Value{7}, Value{7.0});
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures
+
+namespace {
+
+db::TableDef jobs_def() {
+  db::TableDef t;
+  t.name = "jobs";
+  t.primary_key = "id";
+  t.columns = {
+      {"id", db::ColumnType::kInteger, false, std::nullopt},
+      {"name", db::ColumnType::kText, true, std::nullopt},
+      {"type", db::ColumnType::kText, false, std::nullopt},
+      {"dur", db::ColumnType::kReal, false, std::nullopt},
+      {"host", db::ColumnType::kText, false, std::nullopt},
+  };
+  t.indexes = {{"ix_jobs_type", {"type"}, false},
+               {"ix_jobs_name", {"name"}, true}};
+  return t;
+}
+
+db::TableDef hosts_def() {
+  db::TableDef t;
+  t.name = "hosts";
+  t.primary_key = "host_id";
+  t.columns = {
+      {"host_id", db::ColumnType::kInteger, false, std::nullopt},
+      {"host", db::ColumnType::kText, true, std::nullopt},
+      {"site", db::ColumnType::kText, false, std::nullopt},
+  };
+  return t;
+}
+
+/// Populates a small job table mirroring the paper's Table II shape.
+void populate(db::Database& d) {
+  d.create_table(jobs_def());
+  d.create_table(hosts_def());
+  d.insert("hosts", {{"host", Value{"trianaworker6"}}, {"site", Value{"cf"}}});
+  d.insert("hosts", {{"host", Value{"trianaworker7"}}, {"site", Value{"cf"}}});
+  const struct {
+    const char* name;
+    const char* type;
+    double dur;
+    const char* host;
+  } rows[] = {
+      {"exec0", "processing", 74.0, "trianaworker6"},
+      {"exec1", "processing", 75.0, "trianaworker6"},
+      {"exec2", "processing", 74.0, "trianaworker7"},
+      {"exec3", "processing", 75.0, "trianaworker7"},
+      {"exec4", "processing", 36.0, "trianaworker6"},
+      {"zipper", "file", 1.0, "trianaworker6"},
+      {"Output_0", "file", 1.0, "trianaworker7"},
+      {"unit:304-305", "unit", 1.0, nullptr},
+  };
+  for (const auto& r : rows) {
+    d.insert("jobs", {{"name", Value{r.name}},
+                      {"type", Value{r.type}},
+                      {"dur", Value{r.dur}},
+                      {"host", r.host ? Value{r.host} : Value::null()}});
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Schema & inserts
+
+TEST(Database, CreateAndListTables) {
+  db::Database d;
+  d.create_table(jobs_def());
+  EXPECT_TRUE(d.has_table("jobs"));
+  EXPECT_FALSE(d.has_table("ghosts"));
+  EXPECT_THROW(d.create_table(jobs_def()), DbError);
+  EXPECT_THROW((void)d.table_def("ghosts"), DbError);
+}
+
+TEST(Database, AutoIncrementPrimaryKey) {
+  db::Database d;
+  d.create_table(jobs_def());
+  EXPECT_EQ(d.insert("jobs", {{"name", Value{"a"}}}), 1);
+  EXPECT_EQ(d.insert("jobs", {{"name", Value{"b"}}}), 2);
+  // Explicit key advances the counter.
+  EXPECT_EQ(d.insert("jobs", {{"id", Value{10}}, {"name", Value{"c"}}}), 10);
+  EXPECT_EQ(d.insert("jobs", {{"name", Value{"d"}}}), 11);
+}
+
+TEST(Database, DuplicatePrimaryKeyThrows) {
+  db::Database d;
+  d.create_table(jobs_def());
+  d.insert("jobs", {{"id", Value{1}}, {"name", Value{"a"}}});
+  EXPECT_THROW(d.insert("jobs", {{"id", Value{1}}, {"name", Value{"b"}}}),
+               DbError);
+}
+
+TEST(Database, NotNullViolationThrows) {
+  db::Database d;
+  d.create_table(jobs_def());
+  EXPECT_THROW(d.insert("jobs", {{"type", Value{"x"}}}), DbError);
+}
+
+TEST(Database, UniqueIndexViolationThrows) {
+  db::Database d;
+  d.create_table(jobs_def());
+  d.insert("jobs", {{"name", Value{"dup"}}});
+  EXPECT_THROW(d.insert("jobs", {{"name", Value{"dup"}}}), DbError);
+}
+
+TEST(Database, UnknownColumnOnInsertThrows) {
+  db::Database d;
+  d.create_table(jobs_def());
+  EXPECT_THROW(d.insert("jobs", {{"name", Value{"a"}}, {"bogus", Value{1}}}),
+               DbError);
+}
+
+TEST(Database, RowCount) {
+  db::Database d;
+  populate(d);
+  EXPECT_EQ(d.row_count("jobs"), 8u);
+  EXPECT_EQ(d.row_count("hosts"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Select: filters, projection, ordering
+
+TEST(Select, WhereEquality) {
+  db::Database d;
+  populate(d);
+  const auto rs = d.execute(
+      db::Select{"jobs"}.where(db::eq("type", Value{"processing"})));
+  EXPECT_EQ(rs.size(), 5u);
+}
+
+TEST(Select, WhereUsesIndexAndScanAgree) {
+  db::Database d;
+  populate(d);
+  // "type" is indexed; "host" is not — both should return identical sets.
+  const auto by_index = d.execute(
+      db::Select{"jobs"}.where(db::eq("type", Value{"file"})));
+  const auto by_scan = d.execute(db::Select{"jobs"}.where(
+      db::in_list("name", {Value{"zipper"}, Value{"Output_0"}})));
+  EXPECT_EQ(by_index.size(), 2u);
+  EXPECT_EQ(by_scan.size(), 2u);
+}
+
+TEST(Select, ComparisonOperators) {
+  db::Database d;
+  populate(d);
+  EXPECT_EQ(d.execute(db::Select{"jobs"}.where(db::gt("dur", Value{70.0})))
+                .size(),
+            4u);
+  EXPECT_EQ(d.execute(db::Select{"jobs"}.where(db::ge("dur", Value{74.0})))
+                .size(),
+            4u);
+  EXPECT_EQ(d.execute(db::Select{"jobs"}.where(db::lt("dur", Value{2.0})))
+                .size(),
+            3u);
+  EXPECT_EQ(d.execute(db::Select{"jobs"}.where(db::ne("type",
+                                                      Value{"processing"})))
+                .size(),
+            3u);
+}
+
+TEST(Select, BooleanCombinators) {
+  db::Database d;
+  populate(d);
+  const auto rs = d.execute(db::Select{"jobs"}.where(
+      db::or_(db::eq("name", Value{"zipper"}),
+              db::and_(db::eq("type", Value{"processing"}),
+                       db::lt("dur", Value{50.0})))));
+  EXPECT_EQ(rs.size(), 2u);  // zipper + exec4
+  const auto none = d.execute(db::Select{"jobs"}.where(
+      db::not_(db::like("name", Value{"%"}.as_text()))));
+  EXPECT_EQ(none.size(), 0u);
+}
+
+TEST(Select, NullHandling) {
+  db::Database d;
+  populate(d);
+  EXPECT_EQ(
+      d.execute(db::Select{"jobs"}.where(db::is_null("host"))).size(), 1u);
+  EXPECT_EQ(
+      d.execute(db::Select{"jobs"}.where(db::is_not_null("host"))).size(),
+      7u);
+  // NULL never equals anything.
+  EXPECT_EQ(d.execute(db::Select{"jobs"}.where(db::eq("host", Value::null())))
+                .size(),
+            0u);
+}
+
+TEST(Select, LikePatterns) {
+  db::Database d;
+  populate(d);
+  EXPECT_EQ(
+      d.execute(db::Select{"jobs"}.where(db::like("name", "exec%"))).size(),
+      5u);
+  EXPECT_EQ(
+      d.execute(db::Select{"jobs"}.where(db::like("name", "exec_"))).size(),
+      5u);
+  // Both "Output_0" and "exec0" match: '_' matches any single char.
+  EXPECT_EQ(
+      d.execute(db::Select{"jobs"}.where(db::like("name", "%_0"))).size(),
+      2u);
+}
+
+TEST(Select, ProjectionAndColumnNames) {
+  db::Database d;
+  populate(d);
+  const auto rs = d.execute(db::Select{"jobs"}
+                                .columns({"name", "dur"})
+                                .where(db::eq("name", Value{"exec4"})));
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"name", "dur"}));
+  EXPECT_EQ(rs.at(0, "name").as_text(), "exec4");
+  EXPECT_DOUBLE_EQ(rs.at(0, "dur").as_real(), 36.0);
+  EXPECT_THROW((void)rs.at(0, "ghost"), DbError);
+  EXPECT_THROW((void)rs.at(5, "name"), DbError);
+}
+
+TEST(Select, OrderByMultipleKeysAndLimit) {
+  db::Database d;
+  populate(d);
+  const auto rs = d.execute(db::Select{"jobs"}
+                                .columns({"name", "dur"})
+                                .order_by("dur", /*descending=*/true)
+                                .order_by("name")
+                                .limit(3));
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_EQ(rs.at(0, "name").as_text(), "exec1");  // 75, tie broken by name
+  EXPECT_EQ(rs.at(1, "name").as_text(), "exec3");
+  EXPECT_EQ(rs.at(2, "name").as_text(), "exec0");
+}
+
+TEST(Select, OrderByUnknownColumnThrows) {
+  db::Database d;
+  populate(d);
+  EXPECT_THROW(
+      d.execute(db::Select{"jobs"}.columns({"name"}).order_by("ghost")),
+      DbError);
+}
+
+TEST(Select, Distinct) {
+  db::Database d;
+  populate(d);
+  const auto rs =
+      d.execute(db::Select{"jobs"}.columns({"type"}).distinct().order_by(
+          "type"));
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_EQ(rs.at(0, "type").as_text(), "file");
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+
+TEST(Select, InnerJoinMatchesOnKey) {
+  db::Database d;
+  populate(d);
+  const auto rs = d.execute(db::Select{"jobs"}
+                                .join("hosts", "jobs.host", "host")
+                                .columns({"jobs.name", "hosts.site"}));
+  EXPECT_EQ(rs.size(), 7u);  // unit:304-305 has NULL host → dropped
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_EQ(rs.at(i, "hosts.site").as_text(), "cf");
+  }
+}
+
+TEST(Select, LeftJoinKeepsUnmatched) {
+  db::Database d;
+  populate(d);
+  const auto rs = d.execute(db::Select{"jobs"}
+                                .left_join("hosts", "jobs.host", "host")
+                                .columns({"jobs.name", "hosts.site"}));
+  EXPECT_EQ(rs.size(), 8u);
+  bool saw_null = false;
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    if (rs.at(i, "hosts.site").is_null()) {
+      saw_null = true;
+      EXPECT_EQ(rs.at(i, "jobs.name").as_text(), "unit:304-305");
+    }
+  }
+  EXPECT_TRUE(saw_null);
+}
+
+TEST(Select, JoinWithWhereOnJoinedColumn) {
+  db::Database d;
+  populate(d);
+  const auto rs = d.execute(
+      db::Select{"jobs"}
+          .join("hosts", "jobs.host", "host")
+          .where(db::eq("hosts.host", Value{"trianaworker7"}))
+          .columns({"jobs.name"}));
+  EXPECT_EQ(rs.size(), 3u);
+}
+
+TEST(Select, AmbiguousUnqualifiedColumnThrows) {
+  db::Database d;
+  populate(d);
+  // "host" exists in both tables.
+  EXPECT_THROW(d.execute(db::Select{"jobs"}
+                             .join("hosts", "jobs.host", "host")
+                             .columns({"host"})),
+               DbError);
+}
+
+TEST(Select, UnknownColumnThrows) {
+  db::Database d;
+  populate(d);
+  EXPECT_THROW(d.execute(db::Select{"jobs"}.columns({"ghost"})), DbError);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+
+TEST(Select, GroupByWithAggregates) {
+  db::Database d;
+  populate(d);
+  const auto rs = d.execute(db::Select{"jobs"}
+                                .group_by({"type"})
+                                .count_all("count")
+                                .agg(db::AggFn::kMin, "dur", "min_dur")
+                                .agg(db::AggFn::kMax, "dur", "max_dur")
+                                .agg(db::AggFn::kAvg, "dur", "avg_dur")
+                                .agg(db::AggFn::kSum, "dur", "sum_dur")
+                                .order_by("type"));
+  ASSERT_EQ(rs.size(), 3u);
+  // Ascending type order: file, processing, unit.
+  // processing: 74, 75, 74, 75, 36.
+  const std::size_t p = 1;
+  EXPECT_EQ(rs.at(p, "type").as_text(), "processing");
+  EXPECT_EQ(rs.at(p, "count").as_int(), 5);
+  EXPECT_DOUBLE_EQ(rs.at(p, "min_dur").as_number(), 36.0);
+  EXPECT_DOUBLE_EQ(rs.at(p, "max_dur").as_number(), 75.0);
+  EXPECT_DOUBLE_EQ(rs.at(p, "avg_dur").as_number(), 66.8);
+  EXPECT_DOUBLE_EQ(rs.at(p, "sum_dur").as_number(), 334.0);
+}
+
+TEST(Select, AggregatesWithoutGroupsEmitOneRow) {
+  db::Database d;
+  populate(d);
+  const auto rs = d.execute(db::Select{"jobs"}.count_all("n").agg(
+      db::AggFn::kSum, "dur", "total"));
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.at(0, "n").as_int(), 8);
+  EXPECT_DOUBLE_EQ(rs.at(0, "total").as_number(), 337.0);
+}
+
+TEST(Select, CountOnEmptyResultIsZero) {
+  db::Database d;
+  populate(d);
+  const auto v = d.scalar(db::Select{"jobs"}
+                              .where(db::eq("name", Value{"ghost"}))
+                              .count_all("n"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_int(), 0);
+}
+
+TEST(Select, CountColumnSkipsNulls) {
+  db::Database d;
+  populate(d);
+  const auto rs =
+      d.execute(db::Select{"jobs"}.agg(db::AggFn::kCount, "host", "n"));
+  EXPECT_EQ(rs.at(0, "n").as_int(), 7);
+}
+
+TEST(Select, MinMaxOverText) {
+  db::Database d;
+  populate(d);
+  const auto rs = d.execute(db::Select{"jobs"}
+                                .agg(db::AggFn::kMin, "name", "first")
+                                .agg(db::AggFn::kMax, "name", "last"));
+  EXPECT_EQ(rs.at(0, "first").as_text(), "Output_0");
+  EXPECT_EQ(rs.at(0, "last").as_text(), "zipper");
+}
+
+TEST(Select, AvgOfEmptyGroupIsNull) {
+  db::Database d;
+  d.create_table(jobs_def());
+  const auto rs =
+      d.execute(db::Select{"jobs"}.agg(db::AggFn::kAvg, "dur", "a"));
+  EXPECT_TRUE(rs.at(0, "a").is_null());
+}
+
+// ---------------------------------------------------------------------------
+// Update / delete
+
+TEST(Database, UpdateByPredicate) {
+  db::Database d;
+  populate(d);
+  const std::size_t n = d.update("jobs", db::eq("type", Value{"file"}),
+                                 {{"dur", Value{2.0}}});
+  EXPECT_EQ(n, 2u);
+  const auto rs = d.execute(db::Select{"jobs"}.where(
+      db::and_(db::eq("type", Value{"file"}), db::eq("dur", Value{2.0}))));
+  EXPECT_EQ(rs.size(), 2u);
+}
+
+TEST(Database, UpdatePkIsIndexed) {
+  db::Database d;
+  populate(d);
+  EXPECT_TRUE(d.update_pk("jobs", 1, {{"dur", Value{100.0}}}));
+  EXPECT_FALSE(d.update_pk("jobs", 999, {{"dur", Value{100.0}}}));
+  const auto v = d.scalar(db::Select{"jobs"}
+                              .where(db::eq("id", Value{1}))
+                              .columns({"dur"}));
+  EXPECT_DOUBLE_EQ(v->as_number(), 100.0);
+}
+
+TEST(Database, UpdatePrimaryKeyColumnThrows) {
+  db::Database d;
+  populate(d);
+  EXPECT_THROW(d.update_pk("jobs", 1, {{"id", Value{50}}}), DbError);
+}
+
+TEST(Database, UpdateMaintainsSecondaryIndex) {
+  db::Database d;
+  populate(d);
+  d.update_pk("jobs", 1, {{"type", Value{"renamed"}}});
+  EXPECT_EQ(
+      d.execute(db::Select{"jobs"}.where(db::eq("type", Value{"renamed"})))
+          .size(),
+      1u);
+  EXPECT_EQ(d.execute(db::Select{"jobs"}.where(
+                          db::eq("type", Value{"processing"})))
+                .size(),
+            4u);
+}
+
+TEST(Database, DeleteRows) {
+  db::Database d;
+  populate(d);
+  const std::size_t n =
+      d.delete_rows("jobs", db::eq("type", Value{"processing"}));
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(d.row_count("jobs"), 3u);
+  // Index entries are gone too.
+  EXPECT_EQ(d.execute(db::Select{"jobs"}.where(
+                          db::eq("type", Value{"processing"})))
+                .size(),
+            0u);
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+
+TEST(Transactions, CommitKeepsChanges) {
+  db::Database d;
+  populate(d);
+  d.begin();
+  d.insert("jobs", {{"name", Value{"extra"}}});
+  d.commit();
+  EXPECT_EQ(d.row_count("jobs"), 9u);
+}
+
+TEST(Transactions, RollbackUndoesInsertUpdateDelete) {
+  db::Database d;
+  populate(d);
+  d.begin();
+  d.insert("jobs", {{"name", Value{"extra"}}});
+  d.update("jobs", db::eq("name", Value{"exec0"}), {{"dur", Value{999.0}}});
+  d.delete_rows("jobs", db::eq("name", Value{"zipper"}));
+  d.rollback();
+
+  EXPECT_EQ(d.row_count("jobs"), 8u);
+  EXPECT_DOUBLE_EQ(d.scalar(db::Select{"jobs"}
+                                .where(db::eq("name", Value{"exec0"}))
+                                .columns({"dur"}))
+                       ->as_number(),
+                   74.0);
+  EXPECT_EQ(d.execute(db::Select{"jobs"}.where(db::eq("name",
+                                                      Value{"zipper"})))
+                .size(),
+            1u);
+  // Unique index restored: reinserting "extra" must work, reinserting
+  // "zipper" must fail.
+  d.insert("jobs", {{"name", Value{"extra"}}});
+  EXPECT_THROW(d.insert("jobs", {{"name", Value{"zipper"}}}), DbError);
+}
+
+TEST(Transactions, NestedBeginThrows) {
+  db::Database d;
+  d.begin();
+  EXPECT_THROW(d.begin(), DbError);
+  d.rollback();
+  EXPECT_THROW(d.rollback(), DbError);
+  EXPECT_THROW(d.commit(), DbError);
+}
+
+// ---------------------------------------------------------------------------
+// WAL persistence
+
+TEST(Wal, RecoversInsertsUpdatesDeletes) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "stampede_test_db.wal";
+  std::filesystem::remove(path);
+  {
+    db::Database d{path.string()};
+    d.create_table(jobs_def());
+    d.insert("jobs", {{"name", Value{"a"}}, {"dur", Value{1.0}}});
+    d.insert("jobs", {{"name", Value{"b"}}, {"dur", Value{2.0}}});
+    d.insert("jobs", {{"name", Value{"c"}}, {"dur", Value{3.0}}});
+    d.update_pk("jobs", 2, {{"dur", Value{20.0}}});
+    d.delete_rows("jobs", db::eq("name", Value{"c"}));
+  }
+  {
+    db::Database d{path.string()};
+    d.create_table(jobs_def());
+    EXPECT_EQ(d.recover(), 5u);
+    EXPECT_EQ(d.row_count("jobs"), 2u);
+    EXPECT_DOUBLE_EQ(d.scalar(db::Select{"jobs"}
+                                  .where(db::eq("name", Value{"b"}))
+                                  .columns({"dur"}))
+                         ->as_number(),
+                     20.0);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Wal, RolledBackTransactionIsNotPersisted) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "stampede_test_db2.wal";
+  std::filesystem::remove(path);
+  {
+    db::Database d{path.string()};
+    d.create_table(jobs_def());
+    d.insert("jobs", {{"name", Value{"keep"}}});
+    d.begin();
+    d.insert("jobs", {{"name", Value{"discard"}}});
+    d.rollback();
+    d.begin();
+    d.insert("jobs", {{"name", Value{"committed"}}});
+    d.commit();
+  }
+  {
+    db::Database d{path.string()};
+    d.create_table(jobs_def());
+    d.recover();
+    EXPECT_EQ(d.row_count("jobs"), 2u);
+    EXPECT_EQ(d.execute(db::Select{"jobs"}.where(
+                            db::eq("name", Value{"discard"})))
+                  .size(),
+              0u);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Wal, EscapedTextSurvivesRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "stampede_test_db3.wal";
+  std::filesystem::remove(path);
+  const std::string nasty = "pipe|back\\slash\nnewline";
+  {
+    db::Database d{path.string()};
+    d.create_table(jobs_def());
+    d.insert("jobs", {{"name", Value{nasty}}});
+  }
+  {
+    db::Database d{path.string()};
+    d.create_table(jobs_def());
+    d.recover();
+    const auto v = d.scalar(db::Select{"jobs"}.columns({"name"}));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->as_text(), nasty);
+  }
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar convenience
+
+TEST(Database, ScalarReturnsFirstCellOrNullopt) {
+  db::Database d;
+  populate(d);
+  EXPECT_TRUE(d.scalar(db::Select{"jobs"}.count_all("n")).has_value());
+  EXPECT_FALSE(d.scalar(db::Select{"jobs"}
+                            .where(db::eq("name", Value{"ghost"}))
+                            .columns({"name"}))
+                   .has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Additional executor edges
+
+TEST(Select, OrderByPlacesNullsFirst) {
+  db::Database d;
+  populate(d);
+  const auto rs = d.execute(
+      db::Select{"jobs"}.columns({"name", "host"}).order_by("host"));
+  // NULL host (unit:304-305) sorts before every text value.
+  EXPECT_EQ(rs.at(0, "name").as_text(), "unit:304-305");
+  EXPECT_TRUE(rs.at(0, "host").is_null());
+}
+
+TEST(Select, GroupByMultipleColumns) {
+  db::Database d;
+  populate(d);
+  const auto rs = d.execute(db::Select{"jobs"}
+                                .group_by({"type", "host"})
+                                .count_all("n")
+                                .order_by("type")
+                                .order_by("host"));
+  // (file,w6) (file,w7) (processing,w6) (processing,w7) (unit,NULL).
+  ASSERT_EQ(rs.size(), 5u);
+  EXPECT_EQ(rs.at(4, "type").as_text(), "unit");
+  EXPECT_TRUE(rs.at(4, "host").is_null());
+}
+
+TEST(Select, DistinctAfterJoin) {
+  db::Database d;
+  populate(d);
+  const auto rs = d.execute(db::Select{"jobs"}
+                                .join("hosts", "jobs.host", "host")
+                                .columns({"hosts.site"})
+                                .distinct());
+  EXPECT_EQ(rs.size(), 1u);  // Every joined row has site "cf".
+}
+
+TEST(Select, LimitAfterOrderIsDeterministic) {
+  db::Database d;
+  populate(d);
+  const auto a = d.execute(
+      db::Select{"jobs"}.columns({"name"}).order_by("name").limit(2));
+  const auto b = d.execute(
+      db::Select{"jobs"}.columns({"name"}).order_by("name").limit(2));
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.at(0, "name").as_text(), b.at(0, "name").as_text());
+  EXPECT_EQ(a.at(0, "name").as_text(), "Output_0");
+}
+
+TEST(Select, JoinAliasAllowsSelfJoinStyleQueries) {
+  db::Database d;
+  populate(d);
+  // Join jobs against hosts twice under different aliases.
+  const auto rs = d.execute(db::Select{"jobs", "j"}
+                                .join("hosts", "j.host", "host", "h1")
+                                .join("hosts", "h1.host", "host", "h2")
+                                .columns({"j.name", "h2.site"}));
+  EXPECT_EQ(rs.size(), 7u);
+}
+
+TEST(Select, InListWithMixedNumericTypes) {
+  db::Database d;
+  populate(d);
+  // dur stored as REAL; int probes compare numerically.
+  const auto rs = d.execute(db::Select{"jobs"}.where(
+      db::in_list("dur", {Value{74}, Value{36}})));
+  EXPECT_EQ(rs.size(), 3u);
+}
+
+TEST(Database, DeleteThenReinsertKeepsIndexesConsistent) {
+  db::Database d;
+  populate(d);
+  d.delete_rows("jobs", db::eq("type", Value{"file"}));
+  d.insert("jobs", {{"name", Value{"zipper"}},
+                    {"type", Value{"file"}},
+                    {"dur", Value{2.0}}});
+  const auto rs =
+      d.execute(db::Select{"jobs"}.where(db::eq("type", Value{"file"})));
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_DOUBLE_EQ(rs.at(0, "dur").as_number(), 2.0);
+}
+
+TEST(Database, UpdatePkInsideTransactionRollsBack) {
+  db::Database d;
+  populate(d);
+  d.begin();
+  d.update_pk("jobs", 1, {{"dur", Value{999.0}}});
+  d.rollback();
+  EXPECT_DOUBLE_EQ(d.scalar(db::Select{"jobs"}
+                                .where(db::eq("id", Value{1}))
+                                .columns({"dur"}))
+                       ->as_number(),
+                   74.0);
+}

@@ -1,0 +1,141 @@
+// Integration test at the paper's full scale: the DART campaign of §VI
+// (306 executions, 20 bundles, 8 nodes × 4 slots) through the complete
+// pipeline, asserting the Table-I shape the reproduction is built around.
+
+#include <gtest/gtest.h>
+
+#include "dart/experiment.hpp"
+#include "query/statistics.hpp"
+#include "yang/validator.hpp"
+
+namespace dart = stampede::dart;
+namespace db = stampede::db;
+namespace query = stampede::query;
+namespace nl = stampede::nl;
+
+namespace {
+
+struct PaperScaleFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    archive = new db::Database();
+    sink = new nl::VectorSink();
+    const dart::DartConfig config;       // Paper defaults.
+    dart::DartExperimentOptions options; // Paper cloud.
+    result = dart::run_dart_experiment(config, *archive, options, sink);
+  }
+  static void TearDownTestSuite() {
+    delete archive;
+    archive = nullptr;
+    delete sink;
+    sink = nullptr;
+  }
+
+  static db::Database* archive;
+  static nl::VectorSink* sink;
+  static dart::DartRunResult result;
+};
+
+db::Database* PaperScaleFixture::archive = nullptr;
+nl::VectorSink* PaperScaleFixture::sink = nullptr;
+dart::DartRunResult PaperScaleFixture::result;
+
+}  // namespace
+
+TEST_F(PaperScaleFixture, RunSucceedsWithCleanPipeline) {
+  EXPECT_EQ(result.status, 0);
+  EXPECT_EQ(result.loader_stats.events_invalid, 0u);
+  EXPECT_EQ(result.loader_stats.events_unknown, 0u);
+  EXPECT_EQ(result.loader_stats.events_dropped, 0u);
+  EXPECT_EQ(result.broker_stats.published,
+            result.loader_stats.events_seen);
+  EXPECT_EQ(result.cloud_stats.bundles_completed, 20u);
+}
+
+TEST_F(PaperScaleFixture, TableOneCountsAreExact) {
+  const query::QueryInterface q{*archive};
+  const query::StampedeStatistics stats{q};
+  const auto s = stats.summary(result.root_wf_id);
+  EXPECT_EQ(s.tasks.total(), 367);       // Paper Table I.
+  EXPECT_EQ(s.tasks.succeeded, 367);
+  EXPECT_EQ(s.jobs.total(), 367);
+  EXPECT_EQ(s.jobs.succeeded, 367);
+  EXPECT_EQ(s.jobs.retries, 0);
+  EXPECT_EQ(s.sub_workflows.total(), 20);
+  EXPECT_EQ(s.sub_workflows.succeeded, 20);
+}
+
+TEST_F(PaperScaleFixture, WallTimeLandsNearThePaper) {
+  const query::QueryInterface q{*archive};
+  const query::StampedeStatistics stats{q};
+  const auto s = stats.summary(result.root_wf_id);
+  // Paper: 661 s. Allow a ±15 % calibration band.
+  EXPECT_GT(s.workflow_wall_time, 560.0);
+  EXPECT_LT(s.workflow_wall_time, 760.0);
+  // Cumulative ≫ wall — the parallelism the table demonstrates.
+  EXPECT_GT(s.cumulative_job_wall_time, 20.0 * s.workflow_wall_time);
+}
+
+TEST_F(PaperScaleFixture, ExecRuntimesSitInThePaperBand) {
+  const query::QueryInterface q{*archive};
+  const query::StampedeStatistics stats{q};
+  double mean_sum = 0.0;
+  int execs = 0;
+  for (const auto& child : q.children_of(result.root_wf_id)) {
+    for (const auto& row : stats.breakdown(child.wf_id)) {
+      if (row.transformation.rfind("exec", 0) != 0) continue;
+      mean_sum += row.mean;
+      ++execs;
+      // Paper Table II excerpt: 36–75 s; allow PS straggler spread.
+      EXPECT_GT(row.mean, 20.0) << row.transformation;
+      EXPECT_LT(row.mean, 90.0) << row.transformation;
+    }
+  }
+  EXPECT_EQ(execs, 306);
+  const double grand_mean = mean_sum / execs;
+  EXPECT_GT(grand_mean, 40.0);
+  EXPECT_LT(grand_mean, 75.0);
+}
+
+TEST_F(PaperScaleFixture, EveryPublishedEventValidates) {
+  const auto& registry = stampede::yang::stampede_schema();
+  std::size_t errors = 0;
+  for (const auto& record : sink->records()) {
+    if (!registry.validate(record).ok()) ++errors;
+  }
+  EXPECT_EQ(errors, 0u);
+  EXPECT_GT(sink->records().size(), 5000u);
+}
+
+TEST_F(PaperScaleFixture, ProgressSeriesMatchFigureSevenShape) {
+  const query::QueryInterface q{*archive};
+  const query::StampedeStatistics stats{q};
+  const auto series = stats.progress(result.root_wf_id);
+  ASSERT_EQ(series.size(), 20u);
+  double earliest_end = 1e18;
+  double latest_end = 0.0;
+  for (const auto& s : series) {
+    ASSERT_FALSE(s.points.empty());
+    for (std::size_t i = 1; i < s.points.size(); ++i) {
+      ASSERT_GE(s.points[i].cumulative_runtime,
+                s.points[i - 1].cumulative_runtime);
+    }
+    earliest_end = std::min(earliest_end, s.points.back().wall_clock);
+    latest_end = std::max(latest_end, s.points.back().wall_clock);
+  }
+  // Staggered waves: the first bundles finish long before the last.
+  EXPECT_LT(earliest_end, latest_end * 0.6);
+}
+
+TEST_F(PaperScaleFixture, AllTwentyBundlesPinnedToSingleWorkers) {
+  const query::QueryInterface q{*archive};
+  const query::StampedeStatistics stats{q};
+  for (const auto& child : q.children_of(result.root_wf_id)) {
+    std::string host;
+    for (const auto& row : stats.jobs(child.wf_id)) {
+      if (row.host == "None") continue;
+      if (host.empty()) host = row.host;
+      EXPECT_EQ(row.host, host) << child.dax_label;
+    }
+    EXPECT_FALSE(host.empty());
+  }
+}

@@ -1,0 +1,298 @@
+// Unit tests for the NetLogger BP layer: record, parser, formatter, file.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "netlogger/bp_file.hpp"
+#include "netlogger/events.hpp"
+#include "netlogger/formatter.hpp"
+#include "netlogger/parser.hpp"
+#include "netlogger/record.hpp"
+
+namespace nl = stampede::nl;
+namespace sc = stampede::common;
+
+namespace {
+
+nl::LogRecord must_parse(std::string_view line) {
+  auto result = nl::parse_line(line);
+  auto* record = std::get_if<nl::LogRecord>(&result);
+  EXPECT_NE(record, nullptr) << "line failed to parse: " << line;
+  if (record == nullptr) return nl::LogRecord{};
+  return *record;
+}
+
+std::string must_fail(std::string_view line) {
+  auto result = nl::parse_line(line);
+  auto* err = std::get_if<nl::ParseError>(&result);
+  EXPECT_NE(err, nullptr) << "line unexpectedly parsed: " << line;
+  return err ? err->message : std::string{};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LogRecord
+
+TEST(LogRecord, TypedAccessors) {
+  nl::LogRecord r{100.5, "stampede.xwf.start"};
+  r.set("restart_count", std::int64_t{3});
+  r.set("dur", 2.5);
+  r.set("name", std::string{"exec0"});
+  EXPECT_EQ(r.get_int("restart_count"), 3);
+  EXPECT_DOUBLE_EQ(*r.get_double("dur"), 2.5);
+  EXPECT_EQ(*r.get("name"), "exec0");
+  EXPECT_FALSE(r.get("missing").has_value());
+  EXPECT_FALSE(r.get_int("name").has_value());  // "exec0" is not an int
+}
+
+TEST(LogRecord, SetOverwritesInPlace) {
+  nl::LogRecord r{0.0, "e"};
+  r.set("k", std::string{"v1"});
+  r.set("k", std::string{"v2"});
+  EXPECT_EQ(r.attributes().size(), 1u);
+  EXPECT_EQ(*r.get("k"), "v2");
+}
+
+TEST(LogRecord, UuidRoundTrip) {
+  nl::LogRecord r{0.0, "e"};
+  const auto uuid = *sc::Uuid::parse("ea17e8ac-02ac-4909-b5e3-16e367392556");
+  r.set("xwf.id", uuid);
+  EXPECT_EQ(*r.get_uuid("xwf.id"), uuid);
+}
+
+TEST(LogRecord, EraseRemovesAttribute) {
+  nl::LogRecord r{0.0, "e"};
+  r.set("a", std::string{"1"});
+  EXPECT_TRUE(r.erase("a"));
+  EXPECT_FALSE(r.erase("a"));
+  EXPECT_FALSE(r.has("a"));
+}
+
+TEST(Level, ParseNamesCaseInsensitive) {
+  EXPECT_EQ(nl::parse_level("Info"), nl::Level::kInfo);
+  EXPECT_EQ(nl::parse_level("info"), nl::Level::kInfo);
+  EXPECT_EQ(nl::parse_level("ERROR"), nl::Level::kError);
+  EXPECT_EQ(nl::parse_level("Trace"), nl::Level::kTrace);
+  EXPECT_FALSE(nl::parse_level("loud").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+TEST(Parser, ParsesPaperExampleEvent) {
+  // Verbatim from paper §IV-B.
+  const auto r = must_parse(
+      "ts=2012-03-13T12:35:38.000000Z event=stampede.xwf.start "
+      "level=Info xwf.id=ea17e8ac-02ac-4909-b5e3-16e367392556 "
+      "restart_count=0");
+  EXPECT_EQ(r.event(), "stampede.xwf.start");
+  EXPECT_EQ(r.level(), nl::Level::kInfo);
+  EXPECT_EQ(r.get_int("restart_count"), 0);
+  EXPECT_EQ(r.get_uuid("xwf.id")->to_string(),
+            "ea17e8ac-02ac-4909-b5e3-16e367392556");
+}
+
+TEST(Parser, ParsesEpochTimestamps) {
+  const auto r = must_parse("ts=1331642138.5 event=e.v level=Debug");
+  EXPECT_DOUBLE_EQ(r.ts(), 1331642138.5);
+  EXPECT_EQ(r.level(), nl::Level::kDebug);
+}
+
+TEST(Parser, QuotedValuesWithSpacesAndEquals) {
+  const auto r =
+      must_parse(R"(ts=1 event=e argv="-a 1 -b=2 file name.txt")");
+  EXPECT_EQ(*r.get("argv"), "-a 1 -b=2 file name.txt");
+}
+
+TEST(Parser, QuotedValuesWithEscapes) {
+  const auto r = must_parse(R"(ts=1 event=e msg="say \"hi\" \\ there")");
+  EXPECT_EQ(*r.get("msg"), "say \"hi\" \\ there");
+}
+
+TEST(Parser, EmptyQuotedValue) {
+  const auto r = must_parse(R"(ts=1 event=e empty="")");
+  EXPECT_EQ(*r.get("empty"), "");
+}
+
+TEST(Parser, ToleratesExtraWhitespace) {
+  const auto r = must_parse("  ts=1   event=e   a=b  ");
+  EXPECT_EQ(*r.get("a"), "b");
+}
+
+TEST(Parser, ErrorsAreDescriptive) {
+  EXPECT_NE(must_fail("event=e a=b").find("missing ts"), std::string::npos);
+  EXPECT_NE(must_fail("ts=1 a=b").find("missing event"), std::string::npos);
+  EXPECT_NE(must_fail("ts=bogus event=e").find("bad timestamp"),
+            std::string::npos);
+  EXPECT_NE(must_fail("ts=1 event=e level=loud").find("bad level"),
+            std::string::npos);
+  EXPECT_NE(must_fail(R"(ts=1 event=e v="unterminated)").find("unterminated"),
+            std::string::npos);
+  EXPECT_NE(must_fail("ts=1 event=e novalue").find("expected key=value"),
+            std::string::npos);
+}
+
+TEST(Parser, BlankAndCommentLinesReportEmpty) {
+  EXPECT_EQ(must_fail(""), "empty");
+  EXPECT_EQ(must_fail("   "), "empty");
+  EXPECT_EQ(must_fail("# comment"), "empty");
+}
+
+TEST(StreamParser, SkipsGarbageAndCountsErrors) {
+  std::istringstream in{
+      "ts=1 event=a\n"
+      "# comment\n"
+      "\n"
+      "this is garbage\n"
+      "ts=2 event=b\n"
+      "ts=nope event=c\n"
+      "ts=3 event=d k=v\n"};
+  nl::StreamParser parser{in};
+  std::vector<std::string> events;
+  while (auto r = parser.next()) events.push_back(r->event());
+  EXPECT_EQ(events, (std::vector<std::string>{"a", "b", "d"}));
+  ASSERT_EQ(parser.errors().size(), 2u);
+  EXPECT_EQ(parser.errors()[0].line_number, 4u);
+  EXPECT_EQ(parser.errors()[1].line_number, 6u);
+  EXPECT_EQ(parser.lines_read(), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Formatter: round-trip property over representative records
+
+namespace {
+
+nl::LogRecord make_record(int variant) {
+  nl::LogRecord r{1331642138.0 + variant, "stampede.inv.end"};
+  switch (variant) {
+    case 0:
+      r.set("k", std::string{"plain"});
+      break;
+    case 1:
+      r.set("argv", std::string{"-x 1 -y 2"});
+      break;
+    case 2:
+      r.set("msg", std::string{"quote\" and back\\slash"});
+      break;
+    case 3:
+      r.set("empty", std::string{});
+      break;
+    case 4:
+      r.set("eq", std::string{"a=b"});
+      break;
+    case 5:
+      r.set_level(nl::Level::kError);
+      r.set("exitcode", std::int64_t{-1});
+      break;
+    default:
+      r.set("n", static_cast<std::int64_t>(variant));
+      break;
+  }
+  return r;
+}
+
+}  // namespace
+
+class FormatterRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FormatterRoundTrip, ParseOfFormatEqualsOriginal) {
+  const auto original = make_record(GetParam());
+  for (const auto fmt : {nl::TsFormat::kIso8601, nl::TsFormat::kEpochSeconds}) {
+    const std::string line = nl::format_record(original, fmt);
+    const auto reparsed = must_parse(line);
+    EXPECT_EQ(reparsed.event(), original.event());
+    EXPECT_EQ(reparsed.level(), original.level());
+    EXPECT_NEAR(reparsed.ts(), original.ts(), 1e-6);
+    EXPECT_EQ(reparsed.attributes(), original.attributes()) << line;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, FormatterRoundTrip,
+                         ::testing::Range(0, 8));
+
+TEST(Formatter, CanonicalFieldOrder) {
+  nl::LogRecord r{0.0, "e.v"};
+  r.set("zzz", std::string{"1"});
+  r.set("aaa", std::string{"2"});
+  const std::string line = nl::format_record(r);
+  // ts, event, level lead; attributes follow in insertion order.
+  EXPECT_EQ(line.find("ts="), 0u);
+  EXPECT_LT(line.find("event="), line.find("level="));
+  EXPECT_LT(line.find("zzz="), line.find("aaa="));
+}
+
+// ---------------------------------------------------------------------------
+// BP files
+
+TEST(BpFile, WriteThenReadBack) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "stampede_test_bp_file.log";
+  std::filesystem::remove(path);
+  {
+    nl::BpFileWriter writer{path.string()};
+    for (int i = 0; i < 10; ++i) {
+      nl::LogRecord r{1000.0 + i, "stampede.job.info"};
+      r.set("job.id", std::string{"job"} + std::to_string(i));
+      writer.write(r);
+    }
+    writer.flush();
+    EXPECT_EQ(writer.records_written(), 10u);
+  }
+  const auto contents = nl::read_bp_file(path.string());
+  EXPECT_TRUE(contents.errors.empty());
+  ASSERT_EQ(contents.records.size(), 10u);
+  EXPECT_EQ(*contents.records[3].get("job.id"), "job3");
+  std::filesystem::remove(path);
+}
+
+TEST(BpFile, AppendsAcrossWriters) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "stampede_test_bp_append.log";
+  std::filesystem::remove(path);
+  {
+    nl::BpFileWriter w{path.string()};
+    w.write(nl::LogRecord{1.0, "a"});
+  }
+  {
+    nl::BpFileWriter w{path.string()};
+    w.write(nl::LogRecord{2.0, "b"});
+  }
+  const auto contents = nl::read_bp_file(path.string());
+  ASSERT_EQ(contents.records.size(), 2u);
+  EXPECT_EQ(contents.records[1].event(), "b");
+  std::filesystem::remove(path);
+}
+
+TEST(BpFile, MissingFileThrows) {
+  EXPECT_THROW(nl::read_bp_file("/nonexistent/never/file.log"),
+               std::runtime_error);
+}
+
+TEST(BpFile, WriteBpFileTruncates) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "stampede_test_bp_trunc.log";
+  nl::write_bp_file(path.string(), {nl::LogRecord{1.0, "x"},
+                                    nl::LogRecord{2.0, "y"}});
+  nl::write_bp_file(path.string(), {nl::LogRecord{3.0, "z"}});
+  const auto contents = nl::read_bp_file(path.string());
+  ASSERT_EQ(contents.records.size(), 1u);
+  EXPECT_EQ(contents.records[0].event(), "z");
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Event catalogue sanity
+
+TEST(Events, NamesAreHierarchicalUnderStampede) {
+  using namespace stampede::nl::events;
+  for (const auto name :
+       {kWfPlan, kXwfStart, kXwfEnd, kTaskInfo, kTaskEdge, kJobInfo, kJobEdge,
+        kMapTaskJob, kMapSubwfJob, kJobInstSubmitStart, kJobInstMainStart,
+        kJobInstMainEnd, kInvStart, kInvEnd}) {
+    EXPECT_TRUE(name.starts_with("stampede.")) << name;
+  }
+}

@@ -1,0 +1,634 @@
+// Tests for the Pegasus-like engine: abstract workflows, the planner's
+// clustering + auxiliary jobs, and DAGMan execution with retries — the
+// second integration demonstrating the Stampede model's generic claim.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "loader/stampede_loader.hpp"
+#include "netlogger/events.hpp"
+#include "netlogger/sink.hpp"
+#include "orm/stampede_tables.hpp"
+#include "pegasus/dagman.hpp"
+#include "query/analyzer.hpp"
+#include "query/statistics.hpp"
+#include "yang/validator.hpp"
+
+namespace pg = stampede::pegasus;
+namespace nl = stampede::nl;
+namespace ev = stampede::nl::events;
+namespace db = stampede::db;
+using stampede::common::Rng;
+using stampede::common::Uuid;
+
+namespace {
+
+const Uuid kWf = *Uuid::parse("bbbbbbbb-0000-4000-8000-000000000001");
+
+struct PegasusHarness {
+  stampede::sim::EventLoop loop{1'340'100'000.0};
+  Rng rng{11};
+  nl::VectorSink sink;
+  stampede::sim::PsNode pool{loop, "condor-worker-1", 8, 8.0};
+};
+
+pg::DagmanOptions options_for(const Uuid& wf) {
+  pg::DagmanOptions options;
+  options.xwf_id = wf;
+  return options;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Abstract workflow
+
+TEST(AbstractWorkflow, DiamondShape) {
+  const auto aw = pg::make_diamond();
+  EXPECT_EQ(aw.task_count(), 4u);
+  EXPECT_EQ(aw.edges().size(), 4u);
+  const auto levels = aw.levels();
+  EXPECT_EQ(levels[0], 0);
+  EXPECT_EQ(levels[1], 1);
+  EXPECT_EQ(levels[2], 1);
+  EXPECT_EQ(levels[3], 2);
+}
+
+TEST(AbstractWorkflow, CycleDetection) {
+  pg::AbstractWorkflow aw{"bad"};
+  const auto a = aw.add_task({"a", "t", "", 1.0, 0.0});
+  const auto b = aw.add_task({"b", "t", "", 1.0, 0.0});
+  aw.add_dependency(a, b);
+  aw.add_dependency(b, a);
+  EXPECT_THROW((void)aw.topological_order(), stampede::common::EngineError);
+  EXPECT_THROW(aw.add_dependency(a, a), stampede::common::EngineError);
+}
+
+TEST(AbstractWorkflow, MontageLikeGenerator) {
+  const auto aw = pg::make_montage_like(4);
+  // 4 mProject + 3 mDiffFit + 1 mConcatFit + 4 mBackground + 1 mAdd = 13.
+  EXPECT_EQ(aw.task_count(), 13u);
+  EXPECT_NO_THROW((void)aw.topological_order());
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+
+TEST(Planner, NoClusteringKeepsOneJobPerTask) {
+  const auto aw = pg::make_diamond();
+  pg::PlannerOptions options;
+  options.cluster_factor = 1;
+  options.add_stage_jobs = false;
+  const auto ew = pg::plan(aw, options);
+  EXPECT_EQ(ew.job_count(), 4u);
+  for (pg::JobId j = 0; j < ew.job_count(); ++j) {
+    EXPECT_EQ(ew.job(j).tasks.size(), 1u);
+    EXPECT_EQ(ew.job(j).type, pg::JobType::kCompute);
+  }
+  EXPECT_EQ(ew.edges().size(), 4u);
+}
+
+TEST(Planner, HorizontalClusteringFusesSameTransformation) {
+  const auto aw = pg::make_diamond();
+  pg::PlannerOptions options;
+  options.cluster_factor = 2;
+  options.add_stage_jobs = false;
+  const auto ew = pg::plan(aw, options);
+  // The two findrange tasks merge → 3 jobs total.
+  EXPECT_EQ(ew.job_count(), 3u);
+  bool found_cluster = false;
+  for (pg::JobId j = 0; j < ew.job_count(); ++j) {
+    if (ew.job(j).type == pg::JobType::kClustered) {
+      found_cluster = true;
+      EXPECT_EQ(ew.job(j).tasks.size(), 2u);
+      EXPECT_EQ(ew.job(j).transformation, "findrange");
+      // CPU demand is the sum of the fused tasks.
+      EXPECT_DOUBLE_EQ(ew.job(j).cpu_seconds, 10.0);
+    }
+  }
+  EXPECT_TRUE(found_cluster);
+  // Edges dedup: preprocess→cluster and cluster→analyze only.
+  EXPECT_EQ(ew.edges().size(), 2u);
+}
+
+TEST(Planner, StageJobsWrapTheWorkflow) {
+  const auto aw = pg::make_diamond();
+  pg::PlannerOptions options;
+  options.add_stage_jobs = true;
+  const auto ew = pg::plan(aw, options);
+  EXPECT_EQ(ew.job_count(), 6u);  // 4 compute + stage-in + stage-out
+  std::optional<pg::JobId> in_id, out_id;
+  for (pg::JobId j = 0; j < ew.job_count(); ++j) {
+    if (ew.job(j).type == pg::JobType::kStageIn) in_id = j;
+    if (ew.job(j).type == pg::JobType::kStageOut) out_id = j;
+  }
+  ASSERT_TRUE(in_id && out_id);
+  EXPECT_TRUE(ew.parents_of(*in_id).empty());
+  EXPECT_TRUE(ew.children_of(*out_id).empty());
+  EXPECT_FALSE(ew.children_of(*in_id).empty());
+  EXPECT_FALSE(ew.parents_of(*out_id).empty());
+  // Stage jobs have no AW tasks — the "jobs ... not present in the AW".
+  EXPECT_TRUE(ew.job(*in_id).tasks.empty());
+}
+
+// ---------------------------------------------------------------------------
+// DAGMan execution
+
+TEST(Dagman, DiamondRunsCleanAndEventsValidate) {
+  PegasusHarness h;
+  const auto aw = pg::make_diamond();
+  const auto ew = pg::plan(aw, {});
+  pg::Dagman dagman{h.loop, h.rng, h.pool, h.sink, options_for(kWf)};
+  pg::DagmanResult result;
+  dagman.run(aw, ew, [&](const pg::DagmanResult& r) { result = r; });
+  h.loop.run();
+
+  EXPECT_TRUE(dagman.finished());
+  EXPECT_EQ(result.status, 0);
+  EXPECT_EQ(result.total_retries, 0);
+
+  const auto& registry = stampede::yang::stampede_schema();
+  for (const auto& record : h.sink.records()) {
+    EXPECT_TRUE(registry.validate(record).ok()) << record.event();
+  }
+}
+
+TEST(Dagman, ClusteredJobEmitsOneInvocationPerFusedTask) {
+  PegasusHarness h;
+  const auto aw = pg::make_diamond();
+  pg::PlannerOptions options;
+  options.cluster_factor = 2;
+  const auto ew = pg::plan(aw, options);
+  pg::Dagman dagman{h.loop, h.rng, h.pool, h.sink, options_for(kWf)};
+  dagman.run(aw, ew, nullptr);
+  h.loop.run();
+
+  int cluster_invocations = 0;
+  for (const auto& r : h.sink.records()) {
+    if (r.event() == ev::kInvEnd &&
+        r.get(ev::attr::kJobId)->find("merge_findrange") == 0) {
+      ++cluster_invocations;
+      EXPECT_TRUE(r.has(ev::attr::kTaskId));
+    }
+  }
+  EXPECT_EQ(cluster_invocations, 2);
+}
+
+TEST(Dagman, LoadsIntoArchiveWithManyToManyMapping) {
+  PegasusHarness h;
+  const auto aw = pg::make_diamond();
+  pg::PlannerOptions poptions;
+  poptions.cluster_factor = 2;
+  const auto ew = pg::plan(aw, poptions);
+  pg::Dagman dagman{h.loop, h.rng, h.pool, h.sink, options_for(kWf)};
+  dagman.run(aw, ew, nullptr);
+  h.loop.run();
+
+  db::Database database;
+  stampede::orm::create_stampede_schema(database);
+  stampede::loader::StampedeLoader loader{database};
+  for (const auto& r : h.sink.records()) loader.process(r);
+  loader.finish();
+  EXPECT_EQ(loader.stats().events_invalid, 0u);
+  EXPECT_EQ(loader.stats().events_dropped, 0u);
+
+  EXPECT_EQ(database.row_count("task"), 4u);  // The AW is intact…
+  EXPECT_EQ(database.row_count("job"), 5u);   // …while the EW is reshaped.
+  // Both findrange tasks map to the same clustered job.
+  const auto rs = database.execute(
+      db::Select{"task"}
+          .join("job", "task.job_id", "job_id")
+          .where(db::like("task.abs_task_id", "findrange%"))
+          .columns({"job.exec_job_id"}));
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs.at(0, "job.exec_job_id").as_text(),
+            rs.at(1, "job.exec_job_id").as_text());
+
+  // Auxiliary jobs' invocations carry no abs_task_id.
+  const auto aux = database.execute(
+      db::Select{"invocation"}.where(db::is_null("abs_task_id")));
+  EXPECT_EQ(aux.size(), 2u);  // stage-in + stage-out
+}
+
+TEST(Dagman, RetriesFailedJobsUpToLimit) {
+  PegasusHarness h;
+  pg::AbstractWorkflow aw{"flaky"};
+  // failure_probability 1.0 on attempt → always fails; DAGMan should try
+  // 1 + max_retries times then give up.
+  aw.add_task({"always_fails", "flaky", "", 2.0, 1.0});
+  pg::PlannerOptions poptions;
+  poptions.add_stage_jobs = false;
+  poptions.max_retries = 2;
+  const auto ew = pg::plan(aw, poptions);
+
+  pg::Dagman dagman{h.loop, h.rng, h.pool, h.sink, options_for(kWf)};
+  pg::DagmanResult result;
+  dagman.run(aw, ew, [&](const pg::DagmanResult& r) { result = r; });
+  h.loop.run();
+
+  EXPECT_EQ(result.status, -1);
+  EXPECT_EQ(result.total_retries, 2);
+  EXPECT_EQ(result.jobs_failed, 1);
+
+  // Three submit.start events = three job instances.
+  int submits = 0;
+  for (const auto& r : h.sink.records()) {
+    if (r.event() == ev::kJobInstSubmitStart) ++submits;
+  }
+  EXPECT_EQ(submits, 3);
+}
+
+TEST(Dagman, RetriesShowUpInTableOneStatistics) {
+  PegasusHarness h;
+  pg::AbstractWorkflow aw{"flaky2"};
+  aw.add_task({"sometimes", "flaky", "", 2.0, 0.6});
+  aw.add_task({"solid", "steady", "", 2.0, 0.0});
+  pg::PlannerOptions poptions;
+  poptions.add_stage_jobs = false;
+  poptions.max_retries = 10;  // With p=0.6, success arrives quickly.
+  const auto ew = pg::plan(aw, poptions);
+  pg::Dagman dagman{h.loop, h.rng, h.pool, h.sink, options_for(kWf)};
+  pg::DagmanResult result;
+  dagman.run(aw, ew, [&](const pg::DagmanResult& r) { result = r; });
+  h.loop.run();
+  ASSERT_EQ(result.status, 0);
+
+  db::Database database;
+  stampede::orm::create_stampede_schema(database);
+  stampede::loader::StampedeLoader loader{database};
+  for (const auto& r : h.sink.records()) loader.process(r);
+  loader.finish();
+
+  const stampede::query::QueryInterface q{database};
+  const stampede::query::StampedeStatistics stats{q};
+  const auto wf = loader.wf_id(kWf);
+  ASSERT_TRUE(wf.has_value());
+  const auto s = stats.summary(*wf);
+  EXPECT_EQ(s.jobs.total(), 2);
+  EXPECT_EQ(s.jobs.succeeded, 2);
+  EXPECT_EQ(s.jobs.retries, result.total_retries);
+  EXPECT_GT(result.total_retries, 0);
+}
+
+TEST(Dagman, FailedBranchBlocksDescendantsOnly) {
+  PegasusHarness h;
+  pg::AbstractWorkflow aw{"half"};
+  const auto bad = aw.add_task({"bad", "flaky", "", 1.0, 1.0});
+  const auto after_bad = aw.add_task({"after_bad", "t", "", 1.0, 0.0});
+  const auto good = aw.add_task({"good", "t", "", 1.0, 0.0});
+  aw.add_dependency(bad, after_bad);
+  (void)good;
+  pg::PlannerOptions poptions;
+  poptions.add_stage_jobs = false;
+  poptions.max_retries = 0;
+  const auto ew = pg::plan(aw, poptions);
+  pg::Dagman dagman{h.loop, h.rng, h.pool, h.sink, options_for(kWf)};
+  pg::DagmanResult result;
+  dagman.run(aw, ew, [&](const pg::DagmanResult& r) { result = r; });
+  h.loop.run();
+
+  EXPECT_EQ(result.status, -1);
+  // "good" ran to completion; "after_bad" never got a submit event.
+  bool good_done = false;
+  bool after_bad_submitted = false;
+  for (const auto& r : h.sink.records()) {
+    const auto job = r.get(ev::attr::kJobId);
+    if (!job) continue;
+    if (r.event() == ev::kJobInstMainEnd && *job == "good") good_done = true;
+    if (r.event() == ev::kJobInstSubmitStart && *job == "after_bad") {
+      after_bad_submitted = true;
+    }
+  }
+  EXPECT_TRUE(good_done);
+  EXPECT_FALSE(after_bad_submitted);
+}
+
+TEST(Dagman, QueueDelayIsVisibleInJobStatistics) {
+  PegasusHarness h;
+  const auto aw = pg::make_montage_like(6, 3.0);
+  const auto ew = pg::plan(aw, {});
+  pg::Dagman dagman{h.loop, h.rng, h.pool, h.sink, options_for(kWf)};
+  dagman.run(aw, ew, nullptr);
+  h.loop.run();
+
+  db::Database database;
+  stampede::orm::create_stampede_schema(database);
+  stampede::loader::StampedeLoader loader{database};
+  for (const auto& r : h.sink.records()) loader.process(r);
+  loader.finish();
+
+  const stampede::query::QueryInterface q{database};
+  const stampede::query::StampedeStatistics stats{q};
+  const auto rows = stats.jobs(*loader.wf_id(kWf));
+  ASSERT_FALSE(rows.empty());
+  for (const auto& row : rows) {
+    // Condor match-making delay: every job waited 0.5–5 s.
+    EXPECT_GE(row.queue_time, 0.5) << row.job_name;
+    EXPECT_GT(row.runtime, 0.0) << row.job_name;
+    EXPECT_EQ(row.host, "condor-worker-1");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical workflows (sub-DAX jobs)
+
+#include "pegasus/hierarchy.hpp"
+
+namespace {
+
+/// Root: prep → run_child (sub-DAX) → final; child: a diamond.
+pg::HierarchicalWorkflow make_hierarchy(double child_failure = 0.0) {
+  pg::AbstractWorkflow root{"hier-root"};
+  const auto prep = root.add_task({"prep", "prep", "", 2.0, 0.0, {}});
+  pg::AbstractTask sub;
+  sub.id = "run_child";
+  sub.transformation = "pegasus::dax";
+  sub.cpu_seconds = 1.0;  // The pegasus-plan wrapper work.
+  sub.subworkflow = 0;
+  const auto mid = root.add_task(sub);
+  const auto fin = root.add_task({"final", "final", "", 2.0, 0.0, {}});
+  root.add_dependency(prep, mid);
+  root.add_dependency(mid, fin);
+
+  pg::HierarchicalWorkflow hw{std::move(root)};
+  hw.children.push_back(pg::make_diamond(2.0));
+  if (child_failure > 0.0) {
+    // Rebuild the child with a failing analyze step.
+    pg::AbstractWorkflow bad{"bad-child"};
+    bad.add_task({"always_fails", "flaky", "", 1.0, child_failure, {}});
+    hw.children[0] = std::move(bad);
+  }
+  return hw;
+}
+
+}  // namespace
+
+TEST(Hierarchy, PlannerKeepsSubDaxJobsUnclustered) {
+  const auto hw = make_hierarchy();
+  pg::PlannerOptions options;
+  options.cluster_factor = 8;
+  options.add_stage_jobs = false;
+  const auto ew = pg::plan(hw.root, options);
+  bool found = false;
+  for (pg::JobId j = 0; j < ew.job_count(); ++j) {
+    if (ew.job(j).type == pg::JobType::kSubDag) {
+      found = true;
+      EXPECT_EQ(ew.job(j).tasks.size(), 1u);
+      EXPECT_EQ(ew.job(j).subworkflow, 0u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Hierarchy, RunsChildWorkflowAndLoadsBothLevels) {
+  PegasusHarness h;
+  stampede::common::UuidGenerator uuids{321};
+  pg::PlannerOptions options;
+  options.add_stage_jobs = false;
+  pg::HierarchicalRunner runner{h.loop, h.rng, h.pool, h.sink, uuids,
+                                options};
+  const auto hw = make_hierarchy();
+  pg::DagmanResult result;
+  result.status = -99;
+  const auto root_uuid =
+      runner.run(hw, [&](const pg::DagmanResult& r) { result = r; });
+  h.loop.run();
+  EXPECT_EQ(result.status, 0);
+
+  db::Database database;
+  stampede::orm::create_stampede_schema(database);
+  stampede::loader::StampedeLoader loader{database};
+  for (const auto& r : h.sink.records()) loader.process(r);
+  loader.finish();
+  EXPECT_EQ(loader.stats().events_invalid, 0u);
+  EXPECT_EQ(loader.stats().events_dropped, 0u);
+
+  // Two workflows: root + diamond child, linked parent→child.
+  EXPECT_EQ(database.row_count("workflow"), 2u);
+  const stampede::query::QueryInterface q{database};
+  const auto root = q.workflow_by_uuid(root_uuid.to_string());
+  ASSERT_TRUE(root.has_value());
+  const auto children = q.children_of(root->wf_id);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0].dax_label, "diamond");
+
+  // The sub-DAX job instance carries subwf_id.
+  const auto rs = database.execute(
+      db::Select{"job_instance"}.where(db::is_not_null("subwf_id")));
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.at(0, "subwf_id").as_int(), children[0].wf_id);
+
+  // Summary over the tree counts both levels: 3 root + 4 child jobs.
+  const stampede::query::StampedeStatistics stats{q};
+  const auto s = stats.summary(root->wf_id);
+  EXPECT_EQ(s.jobs.total(), 7);
+  EXPECT_EQ(s.sub_workflows.total(), 1);
+}
+
+TEST(Hierarchy, FailedChildFailsTheSubDaxJobAndAnalyzerDrillsDown) {
+  PegasusHarness h;
+  stampede::common::UuidGenerator uuids{654};
+  pg::PlannerOptions options;
+  options.add_stage_jobs = false;
+  options.max_retries = 0;
+  pg::HierarchicalRunner runner{h.loop, h.rng, h.pool, h.sink, uuids,
+                                options};
+  const auto hw = make_hierarchy(/*child_failure=*/1.0);
+  pg::DagmanResult result;
+  const auto root_uuid =
+      runner.run(hw, [&](const pg::DagmanResult& r) { result = r; });
+  h.loop.run();
+  EXPECT_EQ(result.status, -1);
+
+  db::Database database;
+  stampede::orm::create_stampede_schema(database);
+  stampede::loader::StampedeLoader loader{database};
+  for (const auto& r : h.sink.records()) loader.process(r);
+  loader.finish();
+
+  const stampede::query::QueryInterface q{database};
+  const stampede::query::StampedeAnalyzer analyzer{q};
+  const auto root = q.workflow_by_uuid(root_uuid.to_string());
+  ASSERT_TRUE(root.has_value());
+  const auto levels = analyzer.drill_down(root->wf_id);
+  ASSERT_EQ(levels.size(), 2u);  // root + failed child
+  // Root level: run_child failed and points at the sub-workflow…
+  bool subdax_failed = false;
+  for (const auto& f : levels[0].failures) {
+    if (f.job_name == "run_child") {
+      subdax_failed = true;
+      EXPECT_TRUE(f.subwf_id.has_value());
+    }
+  }
+  EXPECT_TRUE(subdax_failed);
+  // …and the leaf names the real culprit.
+  ASSERT_FALSE(levels[1].failures.empty());
+  EXPECT_EQ(levels[1].failures[0].job_name, "always_fails");
+}
+
+// ---------------------------------------------------------------------------
+// Rescue DAGs (workflow restarts with restart_count)
+
+TEST(Rescue, RestartSkipsCompletedJobsAndEventuallySucceeds) {
+  PegasusHarness h;
+  pg::AbstractWorkflow aw{"rescue-me"};
+  // solid always works; flaky fails ~70% of attempts. With retries off,
+  // the run needs rescue restarts to finish.
+  aw.add_task({"solid", "steady", "", 2.0, 0.0, {}});
+  aw.add_task({"flaky", "flaky", "", 2.0, 0.7, {}});
+  pg::PlannerOptions poptions;
+  poptions.add_stage_jobs = false;
+  poptions.max_retries = 0;
+  const auto ew = pg::plan(aw, poptions);
+
+  pg::RescueRunner rescue{h.loop, h.rng, h.pool, h.sink,
+                          options_for(kWf), /*max_restarts=*/20};
+  pg::RescueRunner::Result result;
+  result.final.status = -99;
+  rescue.run(aw, ew, [&](const pg::RescueRunner::Result& r) { result = r; });
+  h.loop.run();
+
+  ASSERT_EQ(result.final.status, 0);
+  ASSERT_GT(result.restarts, 0);  // Seeded: the first run fails.
+
+  // xwf.start events carry increasing restart_count.
+  std::vector<std::int64_t> restart_counts;
+  int solid_submits = 0;
+  for (const auto& r : h.sink.records()) {
+    if (r.event() == ev::kXwfStart) {
+      restart_counts.push_back(*r.get_int(ev::attr::kRestartCount));
+    }
+    if (r.event() == ev::kJobInstSubmitStart &&
+        *r.get(ev::attr::kJobId) == "solid") {
+      ++solid_submits;
+    }
+  }
+  ASSERT_EQ(restart_counts.size(),
+            static_cast<std::size_t>(result.restarts + 1));
+  for (std::size_t i = 0; i < restart_counts.size(); ++i) {
+    EXPECT_EQ(restart_counts[i], static_cast<std::int64_t>(i));
+  }
+  // The rescue runs never re-executed the already-finished job.
+  EXPECT_EQ(solid_submits, 1);
+}
+
+TEST(Rescue, ArchiveKeepsAllRestartsOfTheSameWorkflow) {
+  PegasusHarness h;
+  pg::AbstractWorkflow aw{"rescue-db"};
+  aw.add_task({"flaky", "flaky", "", 2.0, 0.7, {}});
+  pg::PlannerOptions poptions;
+  poptions.add_stage_jobs = false;
+  poptions.max_retries = 0;
+  const auto ew = pg::plan(aw, poptions);
+
+  pg::RescueRunner rescue{h.loop, h.rng, h.pool, h.sink,
+                          options_for(kWf), 20};
+  pg::RescueRunner::Result result;
+  rescue.run(aw, ew, [&](const pg::RescueRunner::Result& r) { result = r; });
+  h.loop.run();
+  ASSERT_EQ(result.final.status, 0);
+
+  db::Database database;
+  stampede::orm::create_stampede_schema(database);
+  stampede::loader::StampedeLoader loader{database};
+  for (const auto& r : h.sink.records()) loader.process(r);
+  loader.finish();
+  EXPECT_EQ(loader.stats().events_invalid, 0u);
+  EXPECT_EQ(loader.stats().events_dropped, 0u);
+
+  // One workflow row; one WORKFLOW_STARTED per attempt; one job with one
+  // job_instance per attempt (distinct submit seqs).
+  EXPECT_EQ(database.row_count("workflow"), 1u);
+  const auto starts = database.execute(
+      db::Select{"workflowstate"}
+          .where(db::eq("state", db::Value{"WORKFLOW_STARTED"}))
+          .columns({"restart_count"})
+          .order_by("restart_count"));
+  EXPECT_EQ(starts.size(), static_cast<std::size_t>(result.restarts + 1));
+  EXPECT_EQ(database.row_count("job"), 1u);
+  EXPECT_EQ(database.row_count("job_instance"),
+            static_cast<std::size_t>(result.restarts + 1));
+  // Final attempt's instance succeeded; the earlier ones failed.
+  const auto instances = database.execute(
+      db::Select{"job_instance"}
+          .columns({"job_submit_seq", "exitcode"})
+          .order_by("job_submit_seq"));
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const bool last = i + 1 == instances.size();
+    EXPECT_EQ(instances.at(i, "exitcode").as_int() == 0, last);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-machine Condor pool
+
+TEST(CondorPool, SpreadsJobsAcrossMachines) {
+  PegasusHarness h;
+  pg::CondorPoolOptions popts;
+  popts.machines = 3;
+  popts.slots_per_machine = 2;
+  pg::CondorPool pool{h.loop, popts};
+
+  const auto aw = pg::make_montage_like(8, 3.0);
+  const auto ew = pg::plan(aw, {});
+  pg::Dagman dagman{h.loop, h.rng, pool, h.sink, options_for(kWf)};
+  pg::DagmanResult result;
+  dagman.run(aw, ew, [&](const pg::DagmanResult& r) { result = r; });
+  h.loop.run();
+  ASSERT_EQ(result.status, 0);
+
+  // host.info events name more than one machine.
+  std::set<std::string> hosts;
+  for (const auto& r : h.sink.records()) {
+    if (r.event() == ev::kJobInstHostInfo) {
+      hosts.insert(std::string{*r.get(ev::attr::kHostname)});
+    }
+  }
+  EXPECT_GT(hosts.size(), 1u);
+  for (const auto& host : hosts) {
+    EXPECT_TRUE(host.rfind("condor-slot-", 0) == 0) << host;
+  }
+
+  // And the archive's host_usage sees the spread.
+  db::Database database;
+  stampede::orm::create_stampede_schema(database);
+  stampede::loader::StampedeLoader loader{database};
+  for (const auto& r : h.sink.records()) loader.process(r);
+  loader.finish();
+  const stampede::query::QueryInterface q{database};
+  const stampede::query::StampedeStatistics stats{q};
+  const auto usage = stats.host_usage(*loader.wf_id(kWf));
+  EXPECT_EQ(usage.size(), hosts.size());
+  std::int64_t total_jobs = 0;
+  for (const auto& u : usage) total_jobs += u.jobs;
+  EXPECT_EQ(total_jobs, static_cast<std::int64_t>(ew.job_count()));
+}
+
+TEST(Dagman, PreScriptEventsFlowThroughToJobstates) {
+  PegasusHarness h;
+  const auto aw = pg::make_diamond();
+  pg::PlannerOptions poptions;
+  poptions.add_stage_jobs = false;
+  const auto ew = pg::plan(aw, poptions);
+  auto options = options_for(kWf);
+  options.emit_pre_script = true;
+  pg::Dagman dagman{h.loop, h.rng, h.pool, h.sink, options};
+  dagman.run(aw, ew, nullptr);
+  h.loop.run();
+
+  db::Database database;
+  stampede::orm::create_stampede_schema(database);
+  stampede::loader::StampedeLoader loader{database};
+  for (const auto& r : h.sink.records()) loader.process(r);
+  loader.finish();
+  EXPECT_EQ(loader.stats().events_invalid, 0u);
+
+  const auto pre = database.execute(db::Select{"jobstate"}.where(
+      db::like("state", "PRE_SCRIPT%")));
+  // start + success per job instance, 4 jobs.
+  EXPECT_EQ(pre.size(), 8u);
+  const auto post = database.execute(db::Select{"jobstate"}.where(
+      db::like("state", "POST_SCRIPT%")));
+  EXPECT_EQ(post.size(), 8u);
+}

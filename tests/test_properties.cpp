@@ -1,0 +1,267 @@
+// Property-based tests: randomized operation sequences checked against
+// simple reference models. These guard the invariants the rest of the
+// stack silently depends on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/topic_matcher.hpp"
+#include "common/rng.hpp"
+#include "db/database.hpp"
+#include "sim/node.hpp"
+
+namespace db = stampede::db;
+namespace bus = stampede::bus;
+namespace sim = stampede::sim;
+using db::Value;
+using stampede::common::Rng;
+
+// ---------------------------------------------------------------------------
+// Relational engine vs a std::map reference model
+
+namespace {
+
+struct RefRow {
+  std::int64_t k = 0;
+  std::string s;
+  double x = 0.0;
+};
+
+db::TableDef prop_table() {
+  db::TableDef t;
+  t.name = "t";
+  t.primary_key = "id";
+  t.columns = {
+      {"id", db::ColumnType::kInteger, false, std::nullopt},
+      {"k", db::ColumnType::kInteger, true, std::nullopt},
+      {"s", db::ColumnType::kText, false, std::nullopt},
+      {"x", db::ColumnType::kReal, false, std::nullopt},
+  };
+  t.indexes = {{"ix_k", {"k"}, false}};
+  return t;
+}
+
+}  // namespace
+
+class DbModelCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DbModelCheck, RandomOpsMatchReferenceModel) {
+  Rng rng{GetParam()};
+  db::Database d;
+  d.create_table(prop_table());
+  std::map<std::int64_t, RefRow> model;  // pk → row
+
+  bool in_txn = false;
+  std::map<std::int64_t, RefRow> checkpoint;
+
+  for (int step = 0; step < 600; ++step) {
+    const auto op = rng.uniform_int(0, 9);
+    if (op <= 4) {  // insert
+      RefRow row;
+      row.k = rng.uniform_int(0, 9);
+      row.s = "s" + std::to_string(rng.uniform_int(0, 20));
+      row.x = rng.uniform(0, 100);
+      const auto pk = d.insert(
+          "t", {{"k", Value{row.k}}, {"s", Value{row.s}}, {"x", Value{row.x}}});
+      model[pk] = row;
+    } else if (op == 5 && !model.empty()) {  // update by pk
+      const auto idx = rng.uniform_int(0, static_cast<std::int64_t>(
+                                              model.size()) - 1);
+      auto it = model.begin();
+      std::advance(it, idx);
+      const double nx = rng.uniform(0, 100);
+      ASSERT_TRUE(d.update_pk("t", it->first, {{"x", Value{nx}}}));
+      it->second.x = nx;
+    } else if (op == 6 && !model.empty()) {  // delete by k (predicate)
+      const std::int64_t k = rng.uniform_int(0, 9);
+      const auto n = d.delete_rows("t", db::eq("k", Value{k}));
+      std::size_t expected = 0;
+      for (auto it = model.begin(); it != model.end();) {
+        if (it->second.k == k) {
+          it = model.erase(it);
+          ++expected;
+        } else {
+          ++it;
+        }
+      }
+      ASSERT_EQ(n, expected);
+    } else if (op == 7 && !in_txn) {  // begin
+      d.begin();
+      in_txn = true;
+      checkpoint = model;
+    } else if (op == 8 && in_txn) {  // commit
+      d.commit();
+      in_txn = false;
+    } else if (op == 9 && in_txn) {  // rollback
+      d.rollback();
+      in_txn = false;
+      model = checkpoint;
+    }
+
+    // Invariants every few steps: counts, indexed selects, aggregates.
+    if (step % 20 == 0) {
+      ASSERT_EQ(d.row_count("t"), model.size()) << "step " << step;
+      const std::int64_t k = rng.uniform_int(0, 9);
+      const auto rs =
+          d.execute(db::Select{"t"}.where(db::eq("k", Value{k})));
+      std::size_t expected = 0;
+      double sum = 0.0;
+      for (const auto& [pk, row] : model) {
+        if (row.k == k) {
+          ++expected;
+          sum += row.x;
+        }
+      }
+      ASSERT_EQ(rs.size(), expected) << "step " << step << " k=" << k;
+      const auto agg = d.execute(db::Select{"t"}
+                                     .where(db::eq("k", Value{k}))
+                                     .agg(db::AggFn::kSum, "x", "sum"));
+      if (expected > 0) {
+        ASSERT_NEAR(agg.at(0, "sum").as_number(), sum, 1e-6);
+      } else {
+        ASSERT_TRUE(agg.at(0, "sum").is_null());
+      }
+    }
+  }
+  if (in_txn) d.commit();
+
+  // Final deep equality: every model row is present with its values.
+  const auto rs =
+      d.execute(db::Select{"t"}.columns({"id", "k", "s", "x"}));
+  ASSERT_EQ(rs.size(), model.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto pk = rs.at(i, "id").as_int();
+    const auto it = model.find(pk);
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(rs.at(i, "k").as_int(), it->second.k);
+    EXPECT_EQ(rs.at(i, "s").as_text(), it->second.s);
+    EXPECT_NEAR(rs.at(i, "x").as_number(), it->second.x, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DbModelCheck,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// ---------------------------------------------------------------------------
+// Topic matcher vs a reference backtracking implementation
+
+namespace {
+
+/// Straightforward exponential reference matcher.
+bool ref_match(const std::vector<std::string>& pat, std::size_t pi,
+               const std::vector<std::string>& key, std::size_t ki) {
+  if (pi == pat.size()) return ki == key.size();
+  if (pat[pi] == "#") {
+    for (std::size_t skip = ki; skip <= key.size(); ++skip) {
+      if (ref_match(pat, pi + 1, key, skip)) return true;
+    }
+    return false;
+  }
+  if (ki == key.size()) return false;
+  if (pat[pi] != "*" && pat[pi] != key[ki]) return false;
+  return ref_match(pat, pi + 1, key, ki + 1);
+}
+
+std::string join_dots(const std::vector<std::string>& words) {
+  std::string out;
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) out += '.';
+    out += words[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+class TopicModelCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopicModelCheck, RandomPatternsAgreeWithReference) {
+  Rng rng{GetParam()};
+  const std::vector<std::string> vocab{"a", "b", "stampede", "job", "*", "#"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::string> pattern;
+    const auto plen = rng.uniform_int(0, 5);
+    for (int i = 0; i < plen; ++i) {
+      pattern.push_back(
+          vocab[static_cast<std::size_t>(rng.uniform_int(0, 5))]);
+    }
+    std::vector<std::string> key;
+    // ≥1 word: splitting the empty routing key yields one empty word
+    // (RabbitMQ semantics), which the flat reference model cannot
+    // represent — covered separately in test_bus.
+    const auto klen = rng.uniform_int(1, 5);
+    for (int i = 0; i < klen; ++i) {
+      // Keys never contain wildcards.
+      key.push_back(vocab[static_cast<std::size_t>(rng.uniform_int(0, 3))]);
+    }
+    if (pattern.empty()) continue;  // Empty binding keys are not used.
+    const bool expected = ref_match(pattern, 0, key, 0);
+    const bool actual =
+        bus::TopicPattern{join_dots(pattern)}.matches(join_dots(key));
+    ASSERT_EQ(actual, expected)
+        << "pattern=" << join_dots(pattern) << " key=" << join_dots(key);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopicModelCheck,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---------------------------------------------------------------------------
+// Processor-sharing node conservation laws
+
+class PsNodeConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PsNodeConservation, WorkAndOrderingInvariantsHold) {
+  Rng rng{GetParam()};
+  sim::EventLoop loop{1'000'000.0};
+  const int slots = static_cast<int>(rng.uniform_int(1, 6));
+  const double cores = rng.uniform(0.5, 4.0);
+  sim::PsNode node{loop, "prop", slots, cores};
+
+  struct Obs {
+    double cpu = 0.0;
+    double submit = 0.0;
+    double start = -1.0;
+    double end = -1.0;
+  };
+  const int n = 40;
+  std::vector<Obs> tasks(n);
+  double total_cpu = 0.0;
+  for (int i = 0; i < n; ++i) {
+    Obs& obs = tasks[static_cast<std::size_t>(i)];
+    obs.cpu = rng.uniform(0.5, 20.0);
+    total_cpu += obs.cpu;
+    const double delay = rng.uniform(0.0, 30.0);
+    obs.submit = loop.now() + delay;
+    loop.schedule_in(delay, [&node, &obs] {
+      node.submit(
+          obs.cpu, [&obs](double t) { obs.start = t; },
+          [&obs](double t) { obs.end = t; });
+    });
+  }
+  loop.run();
+
+  double makespan_end = 0.0;
+  for (const auto& obs : tasks) {
+    // Every task ran, in causal order.
+    ASSERT_GE(obs.start, obs.submit - 1e-6);
+    ASSERT_GT(obs.end, obs.start - 1e-6);
+    // Wall time is never shorter than the ideal cpu/full-rate run.
+    EXPECT_GE(obs.end - obs.start, obs.cpu / std::max(1.0, cores) - 1e-3);
+    makespan_end = std::max(makespan_end, obs.end);
+  }
+  // Work conservation: the node performed exactly the submitted CPU.
+  EXPECT_NEAR(node.stats().busy_cpu_seconds, total_cpu, total_cpu * 1e-3);
+  EXPECT_EQ(node.stats().completed, static_cast<std::uint64_t>(n));
+  // The machine cannot beat its aggregate capacity.
+  const double capacity = std::min(cores, static_cast<double>(slots));
+  EXPECT_GE(makespan_end - 1'000'000.0 + 1e-6, total_cpu / capacity - 30.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PsNodeConservation,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u));

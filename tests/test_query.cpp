@@ -1,0 +1,669 @@
+// Tests for the query layer: query interface, stampede_statistics,
+// stampede_analyzer, and the anomaly/failure-prediction analyses.
+
+#include <gtest/gtest.h>
+
+#include "loader/stampede_loader.hpp"
+#include "netlogger/events.hpp"
+#include "orm/stampede_tables.hpp"
+#include "query/analyzer.hpp"
+#include "query/anomaly.hpp"
+#include "query/statistics.hpp"
+
+namespace nl = stampede::nl;
+namespace ev = stampede::nl::events;
+namespace attr = stampede::nl::events::attr;
+namespace db = stampede::db;
+namespace query = stampede::query;
+using db::Value;
+using stampede::common::Uuid;
+
+namespace {
+
+const Uuid kRoot = *Uuid::parse("aaaaaaaa-0000-4000-8000-000000000001");
+const Uuid kChild1 = *Uuid::parse("aaaaaaaa-0000-4000-8000-000000000002");
+const Uuid kChild2 = *Uuid::parse("aaaaaaaa-0000-4000-8000-000000000003");
+
+/// Builds a compact but complete two-level archive:
+///   root (2 jobs: ok_job + a sub-workflow runner per child)
+///   child1: exec jobs "a" (10 s) and "b" (20 s, fails once then succeeds)
+///   child2: job "c" that fails terminally.
+struct ArchiveFixture : ::testing::Test {
+  ArchiveFixture() : loader(database) {
+    stampede::orm::create_stampede_schema(database);
+    feed_workflow(kRoot, {}, "root-wf");
+    feed_workflow(kChild1, kRoot, "bundle-one");
+    feed_workflow(kChild2, kRoot, "bundle-two");
+
+    // Root-level structure: two subwf-runner jobs + one local job.
+    feed_task(kRoot, "local_prep", "prep");
+    feed_job(kRoot, "local_prep", "unit");
+    map_task(kRoot, "local_prep", "local_prep");
+    feed_job(kRoot, "run_bundle1", "unit");
+    feed_job(kRoot, "run_bundle2", "unit");
+    feed_task(kRoot, "run_bundle1", "submit");
+    feed_task(kRoot, "run_bundle2", "submit");
+    map_task(kRoot, "run_bundle1", "run_bundle1");
+    map_task(kRoot, "run_bundle2", "run_bundle2");
+
+    start_workflow(kRoot, 1000.0);
+    run_job(kRoot, "local_prep", 1, 1001, 1002, 1003, 0, "localhost", 1.0,
+            "local_prep");
+    map_subwf(kRoot, kChild1, "run_bundle1");
+    map_subwf(kRoot, kChild2, "run_bundle2");
+    run_job(kRoot, "run_bundle1", 1, 1001, 1002, 1101, 0, "localhost", 99.0,
+            "");
+    run_job(kRoot, "run_bundle2", 1, 1001, 1002, 1061, -1, "localhost", 59.0,
+            "");
+
+    // Child 1: a (clean), b (retry then success).
+    start_workflow(kChild1, 1005.0);
+    feed_task(kChild1, "a", "sweep");
+    feed_task(kChild1, "b", "sweep");
+    feed_job(kChild1, "a", "processing");
+    feed_job(kChild1, "b", "processing");
+    map_task(kChild1, "a", "a");
+    map_task(kChild1, "b", "b");
+    run_job(kChild1, "a", 1, 1006, 1008, 1018, 0, "worker1", 10.0, "a");
+    run_job(kChild1, "b", 1, 1006, 1009, 1019, 1, "worker1", 10.0, "b");
+    run_job(kChild1, "b", 2, 1020, 1021, 1041, 0, "worker2", 20.0, "b");
+    end_workflow(kChild1, 1045.0, 0);
+
+    // Child 2: c fails for good.
+    start_workflow(kChild2, 1005.0);
+    feed_task(kChild2, "c", "sweep");
+    feed_job(kChild2, "c", "processing");
+    map_task(kChild2, "c", "c");
+    run_job(kChild2, "c", 1, 1006, 1010, 1030, 3, "worker3", 20.0, "c",
+            "", "segfault in sweep kernel");
+    end_workflow(kChild2, 1060.0, -1);
+
+    end_workflow(kRoot, 1101.0, -1);
+    loader.finish();
+    EXPECT_EQ(loader.stats().events_invalid, 0u);
+    EXPECT_EQ(loader.stats().events_dropped, 0u);
+  }
+
+  void feed(nl::LogRecord r) { EXPECT_TRUE(loader.process(r)) << r.event(); }
+
+  void feed_workflow(const Uuid& wf, std::optional<Uuid> parent,
+                     const std::string& label) {
+    nl::LogRecord r{999.0, std::string{ev::kWfPlan}};
+    r.set(attr::kXwfId, wf);
+    r.set(attr::kDaxLabel, label);
+    if (parent) {
+      r.set(attr::kParentXwfId, *parent);
+      r.set(attr::kRootXwfId, kRoot);
+    }
+    feed(std::move(r));
+  }
+
+  void start_workflow(const Uuid& wf, double ts) {
+    nl::LogRecord r{ts, std::string{ev::kXwfStart}};
+    r.set(attr::kXwfId, wf);
+    r.set(attr::kRestartCount, std::int64_t{0});
+    feed(std::move(r));
+  }
+
+  void end_workflow(const Uuid& wf, double ts, int status) {
+    nl::LogRecord r{ts, std::string{ev::kXwfEnd}};
+    r.set(attr::kXwfId, wf);
+    r.set(attr::kRestartCount, std::int64_t{0});
+    r.set(attr::kStatus, static_cast<std::int64_t>(status));
+    feed(std::move(r));
+  }
+
+  void feed_task(const Uuid& wf, const std::string& id,
+                 const std::string& xform) {
+    nl::LogRecord r{999.5, std::string{ev::kTaskInfo}};
+    r.set(attr::kXwfId, wf);
+    r.set(attr::kTaskId, id);
+    r.set(attr::kTransformation, xform);
+    feed(std::move(r));
+  }
+
+  void feed_job(const Uuid& wf, const std::string& id,
+                const std::string& type) {
+    nl::LogRecord r{999.5, std::string{ev::kJobInfo}};
+    r.set(attr::kXwfId, wf);
+    r.set(attr::kJobId, id);
+    r.set(attr::kType, type);
+    r.set(attr::kTransformation, id);
+    feed(std::move(r));
+  }
+
+  void map_task(const Uuid& wf, const std::string& task,
+                const std::string& job) {
+    nl::LogRecord r{999.5, std::string{ev::kMapTaskJob}};
+    r.set(attr::kXwfId, wf);
+    r.set(attr::kTaskId, task);
+    r.set(attr::kJobId, job);
+    feed(std::move(r));
+  }
+
+  void map_subwf(const Uuid& wf, const Uuid& subwf, const std::string& job) {
+    nl::LogRecord r{1000.5, std::string{ev::kMapSubwfJob}};
+    r.set(attr::kXwfId, wf);
+    r.set(attr::kSubwfId, subwf);
+    r.set(attr::kJobId, job);
+    r.set(attr::kJobInstId, std::int64_t{1});
+    feed(std::move(r));
+  }
+
+  /// Full job-instance lifecycle: submit at t_submit, EXECUTE at t_exec,
+  /// terminal at t_end with `exitcode`; one invocation of `dur` seconds
+  /// linked to `task_id` (empty = auxiliary job, no task link).
+  void run_job(const Uuid& wf, const std::string& job, int attempt,
+               double t_submit, double t_exec, double t_end, int exitcode,
+               const std::string& host, double dur,
+               const std::string& task_id, const std::string& stdout_text = "",
+               const std::string& stderr_text = "") {
+    nl::LogRecord submit{t_submit, std::string{ev::kJobInstSubmitStart}};
+    submit.set(attr::kXwfId, wf);
+    submit.set(attr::kJobId, job);
+    submit.set(attr::kJobInstId, static_cast<std::int64_t>(attempt));
+    feed(std::move(submit));
+
+    nl::LogRecord hostinfo{t_exec, std::string{ev::kJobInstHostInfo}};
+    hostinfo.set(attr::kXwfId, wf);
+    hostinfo.set(attr::kJobId, job);
+    hostinfo.set(attr::kJobInstId, static_cast<std::int64_t>(attempt));
+    hostinfo.set(attr::kHostname, host);
+    hostinfo.set(attr::kSite, std::string{"cloud"});
+    feed(std::move(hostinfo));
+
+    nl::LogRecord mainstart{t_exec, std::string{ev::kJobInstMainStart}};
+    mainstart.set(attr::kXwfId, wf);
+    mainstart.set(attr::kJobId, job);
+    mainstart.set(attr::kJobInstId, static_cast<std::int64_t>(attempt));
+    feed(std::move(mainstart));
+
+    nl::LogRecord inv{t_end, std::string{ev::kInvEnd}};
+    inv.set(attr::kXwfId, wf);
+    inv.set(attr::kJobId, job);
+    inv.set(attr::kJobInstId, static_cast<std::int64_t>(attempt));
+    inv.set(attr::kInvId, static_cast<std::int64_t>(attempt));
+    if (!task_id.empty()) inv.set(attr::kTaskId, task_id);
+    inv.set(attr::kDur, dur);
+    inv.set(attr::kExitcode, static_cast<std::int64_t>(exitcode));
+    inv.set(attr::kTransformation, job);
+    feed(std::move(inv));
+
+    nl::LogRecord main_end{t_end, std::string{ev::kJobInstMainEnd}};
+    main_end.set(attr::kXwfId, wf);
+    main_end.set(attr::kJobId, job);
+    main_end.set(attr::kJobInstId, static_cast<std::int64_t>(attempt));
+    main_end.set(attr::kExitcode, static_cast<std::int64_t>(exitcode));
+    if (!stdout_text.empty()) main_end.set(attr::kStdOut, stdout_text);
+    if (!stderr_text.empty()) main_end.set(attr::kStdErr, stderr_text);
+    feed(std::move(main_end));
+  }
+
+  [[nodiscard]] std::int64_t wf_id(const Uuid& uuid) const {
+    const auto id = loader.wf_id(uuid);
+    EXPECT_TRUE(id.has_value());
+    return id.value_or(-1);
+  }
+
+  db::Database database;
+  stampede::loader::StampedeLoader loader;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QueryInterface
+
+TEST_F(ArchiveFixture, WorkflowLookupAndHierarchy) {
+  const query::QueryInterface q{database};
+  const auto root = q.workflow_by_uuid(kRoot.to_string());
+  ASSERT_TRUE(root.has_value());
+  EXPECT_EQ(root->dax_label, "root-wf");
+  EXPECT_FALSE(root->parent_wf_id.has_value());
+
+  const auto children = q.children_of(root->wf_id);
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0].dax_label, "bundle-one");
+
+  const auto tree = q.workflow_tree(root->wf_id);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.front(), root->wf_id);
+
+  EXPECT_EQ(q.root_workflows().size(), 1u);
+  EXPECT_FALSE(q.workflow_by_uuid("no-such-uuid").has_value());
+}
+
+TEST_F(ArchiveFixture, WallClockAndStatus) {
+  const query::QueryInterface q{database};
+  const auto root = wf_id(kRoot);
+  EXPECT_DOUBLE_EQ(q.start_time(root).value(), 1000.0);
+  EXPECT_DOUBLE_EQ(q.end_time(root).value(), 1101.0);
+  EXPECT_EQ(q.final_status(root).value(), -1);
+  EXPECT_EQ(q.final_status(wf_id(kChild1)).value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+
+TEST_F(ArchiveFixture, SummaryCountsEverythingInTheTree) {
+  const query::QueryInterface q{database};
+  const query::StampedeStatistics stats{q};
+  const auto s = stats.summary(wf_id(kRoot));
+
+  // Tasks: local_prep, run_bundle1/2 (root) + a, b (child1) + c (child2)
+  // = 6. The two sub-workflow runner tasks have no invocation of their
+  // own (their work is the child workflow) → incomplete at task level.
+  EXPECT_EQ(s.tasks.total(), 6);
+  EXPECT_EQ(s.tasks.succeeded, 3);  // local_prep, a, b
+  EXPECT_EQ(s.tasks.failed, 1);     // c
+  EXPECT_EQ(s.tasks.incomplete, 2);
+
+  // Jobs: 3 root + 2 child1 + 1 child2 = 6; b retried once;
+  // run_bundle2 (exit −1) and c (exit 3) failed.
+  EXPECT_EQ(s.jobs.total(), 6);
+  EXPECT_EQ(s.jobs.succeeded, 4);
+  EXPECT_EQ(s.jobs.failed, 2);
+  EXPECT_EQ(s.jobs.retries, 1);
+
+  EXPECT_EQ(s.sub_workflows.total(), 2);
+  EXPECT_EQ(s.sub_workflows.succeeded, 1);
+  EXPECT_EQ(s.sub_workflows.failed, 1);
+
+  EXPECT_DOUBLE_EQ(s.workflow_wall_time, 101.0);
+  // Cumulative: local_prep 1 + bundle1 99 + bundle2 59 + a 10 + b(try1)
+  // 10 + b(try2) 20 + c 20 = 219.
+  EXPECT_DOUBLE_EQ(s.cumulative_job_wall_time, 219.0);
+}
+
+TEST_F(ArchiveFixture, SummaryRendersInPaperFormat) {
+  const query::QueryInterface q{database};
+  const query::StampedeStatistics stats{q};
+  const auto text =
+      query::StampedeStatistics::render_summary(stats.summary(wf_id(kRoot)));
+  EXPECT_NE(text.find("Tasks"), std::string::npos);
+  EXPECT_NE(text.find("Sub WF"), std::string::npos);
+  EXPECT_NE(text.find("Workflow wall time : 1 min, 41 secs, (101 seconds)"),
+            std::string::npos);
+  EXPECT_NE(text.find("Workflow cumulative job wall time"),
+            std::string::npos);
+}
+
+TEST_F(ArchiveFixture, BreakdownMatchesInvocationDurations) {
+  const query::QueryInterface q{database};
+  const query::StampedeStatistics stats{q};
+  const auto rows = stats.breakdown(wf_id(kChild1));
+  ASSERT_EQ(rows.size(), 2u);  // transformations "a" and "b"
+  const auto& a = rows[0];
+  EXPECT_EQ(a.transformation, "a");
+  EXPECT_EQ(a.count, 1);
+  EXPECT_DOUBLE_EQ(a.min, 10.0);
+  const auto& b = rows[1];
+  EXPECT_EQ(b.transformation, "b");
+  EXPECT_EQ(b.count, 2);  // Retry adds a second invocation.
+  EXPECT_EQ(b.succeeded, 1);
+  EXPECT_EQ(b.failed, 1);
+  EXPECT_DOUBLE_EQ(b.min, 10.0);
+  EXPECT_DOUBLE_EQ(b.max, 20.0);
+  EXPECT_DOUBLE_EQ(b.mean, 15.0);
+  EXPECT_DOUBLE_EQ(b.total, 30.0);
+}
+
+TEST_F(ArchiveFixture, JobRowsCarryQueueTimeRuntimeHost) {
+  const query::QueryInterface q{database};
+  const query::StampedeStatistics stats{q};
+  const auto rows = stats.jobs(wf_id(kChild1));
+  ASSERT_EQ(rows.size(), 3u);  // a×1, b×2 (sorted by name)
+  EXPECT_EQ(rows[0].job_name, "a");
+  EXPECT_DOUBLE_EQ(rows[0].queue_time, 2.0);   // 1008 − 1006
+  EXPECT_DOUBLE_EQ(rows[0].runtime, 10.0);     // 1018 − 1008
+  EXPECT_DOUBLE_EQ(rows[0].invocation_duration, 10.0);
+  EXPECT_EQ(rows[0].host, "worker1");
+  EXPECT_EQ(rows[0].exitcode.value(), 0);
+
+  // b's two tries are separate rows.
+  EXPECT_EQ(rows[1].job_name, "b");
+  EXPECT_EQ(rows[2].job_name, "b");
+  const auto& retry = rows[1].try_number == 2 ? rows[1] : rows[2];
+  EXPECT_EQ(retry.host, "worker2");
+  EXPECT_DOUBLE_EQ(retry.runtime, 20.0);
+}
+
+TEST_F(ArchiveFixture, JobsRenderTablesIIIAndIV) {
+  const query::QueryInterface q{database};
+  const query::StampedeStatistics stats{q};
+  const auto rows = stats.jobs(wf_id(kChild1));
+  const auto t3 = query::StampedeStatistics::render_jobs_invocations(rows);
+  EXPECT_NE(t3.find("Invocation Duration"), std::string::npos);
+  EXPECT_NE(t3.find("cloud"), std::string::npos);
+  const auto t4 = query::StampedeStatistics::render_jobs_queue(rows);
+  EXPECT_NE(t4.find("Queue Time"), std::string::npos);
+  EXPECT_NE(t4.find("worker1"), std::string::npos);
+}
+
+TEST_F(ArchiveFixture, HostUsageAggregatesAcrossTree) {
+  const query::QueryInterface q{database};
+  const query::StampedeStatistics stats{q};
+  const auto usage = stats.host_usage(wf_id(kRoot));
+  // localhost, worker1, worker2, worker3.
+  ASSERT_EQ(usage.size(), 4u);
+  EXPECT_EQ(usage[0].hostname, "localhost");
+  EXPECT_EQ(usage[0].jobs, 3);
+  const auto& w1 = usage[1];
+  EXPECT_EQ(w1.hostname, "worker1");
+  EXPECT_EQ(w1.jobs, 2);  // a + b try 1
+  EXPECT_DOUBLE_EQ(w1.total_runtime, 20.0);
+}
+
+TEST_F(ArchiveFixture, ProgressSeriesIsCumulativeAndClockAligned) {
+  const query::QueryInterface q{database};
+  const query::StampedeStatistics stats{q};
+  const auto series = stats.progress(wf_id(kRoot));
+  ASSERT_EQ(series.size(), 2u);
+  const auto& bundle1 = series[0];
+  EXPECT_EQ(bundle1.label, "bundle-one");
+  // Child1 successes: a at 1018 (10 s), b try2 at 1041 (+20 s).
+  ASSERT_EQ(bundle1.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(bundle1.points[0].wall_clock, 18.0);  // 1018 − 1000
+  EXPECT_DOUBLE_EQ(bundle1.points[0].cumulative_runtime, 10.0);
+  EXPECT_DOUBLE_EQ(bundle1.points[1].wall_clock, 41.0);
+  EXPECT_DOUBLE_EQ(bundle1.points[1].cumulative_runtime, 30.0);
+  // Child2 never succeeded a job → empty series.
+  EXPECT_TRUE(series[1].points.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer
+
+TEST_F(ArchiveFixture, AnalyzerSummarizesAndDetailsFailures) {
+  const query::QueryInterface q{database};
+  const query::StampedeAnalyzer analyzer{q};
+  const auto top = analyzer.analyze(wf_id(kRoot));
+  EXPECT_EQ(top.total_jobs, 3);
+  EXPECT_EQ(top.succeeded, 2);
+  EXPECT_EQ(top.failed, 1);
+  ASSERT_EQ(top.failures.size(), 1u);
+  EXPECT_EQ(top.failures[0].job_name, "run_bundle2");
+  ASSERT_TRUE(top.failures[0].subwf_id.has_value());
+  EXPECT_EQ(*top.failures[0].subwf_id, wf_id(kChild2));
+}
+
+TEST_F(ArchiveFixture, AnalyzerDrillsDownToTheRootCause) {
+  const query::QueryInterface q{database};
+  const query::StampedeAnalyzer analyzer{q};
+  const auto levels = analyzer.drill_down(wf_id(kRoot));
+  ASSERT_EQ(levels.size(), 2u);  // root, then failed child2
+  const auto& leaf = levels[1];
+  EXPECT_EQ(leaf.wf_id, wf_id(kChild2));
+  ASSERT_EQ(leaf.failures.size(), 1u);
+  EXPECT_EQ(leaf.failures[0].job_name, "c");
+  EXPECT_EQ(leaf.failures[0].exitcode.value(), 3);
+  EXPECT_EQ(leaf.failures[0].stderr_text, "segfault in sweep kernel");
+  EXPECT_EQ(leaf.failures[0].last_state, "JOB_FAILURE");
+}
+
+TEST_F(ArchiveFixture, AnalyzerRenderShowsStderr) {
+  const query::QueryInterface q{database};
+  const query::StampedeAnalyzer analyzer{q};
+  const auto text =
+      query::StampedeAnalyzer::render(analyzer.analyze(wf_id(kChild2)));
+  EXPECT_NE(text.find("segfault in sweep kernel"), std::string::npos);
+  EXPECT_NE(text.find("# jobs failed   : 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Anomaly detection
+
+TEST(OnlineStats, WelfordMatchesClosedForm) {
+  query::OnlineStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RuntimeAnomalyDetector, FlagsOutlierAfterWarmup) {
+  query::RuntimeAnomalyDetector detector{3.0, 5};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(detector.observe("sweep", 60.0 + (i % 3)).has_value());
+  }
+  const auto anomaly = detector.observe("sweep", 300.0);
+  ASSERT_TRUE(anomaly.has_value());
+  EXPECT_GT(anomaly->z_score, 3.0);
+  EXPECT_EQ(anomaly->transformation, "sweep");
+  EXPECT_EQ(detector.flagged(), 1u);
+}
+
+TEST(RuntimeAnomalyDetector, SeparateDistributionsPerTransformation) {
+  query::RuntimeAnomalyDetector detector{3.0, 3};
+  for (int i = 0; i < 6; ++i) {
+    (void)detector.observe("fast", 1.0 + 0.1 * (i % 2));
+    (void)detector.observe("slow", 100.0 + (i % 3));
+  }
+  // 100 s is normal for "slow" but wildly anomalous for "fast".
+  EXPECT_FALSE(detector.observe("slow", 101.0).has_value());
+  EXPECT_TRUE(detector.observe("fast", 100.0).has_value());
+}
+
+TEST(RuntimeAnomalyDetector, NoFlagBeforeMinSamples) {
+  query::RuntimeAnomalyDetector detector{2.0, 50};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(detector.observe("t", i == 10 ? 1e6 : 1.0).has_value());
+  }
+}
+
+TEST(IqrOutliers, FindsTukeyFenceViolations) {
+  std::vector<double> values{10, 11, 12, 11, 10, 12, 11, 10, 50};
+  const auto outliers = query::iqr_outliers(values);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0], 8u);
+  EXPECT_TRUE(query::iqr_outliers({1.0, 2.0}).empty());  // Too few points.
+}
+
+TEST(FailurePredictor, TripsOnceFailureRatioCrossesThreshold) {
+  query::FailurePredictor predictor{10, 0.5};
+  for (int i = 0; i < 20; ++i) predictor.record(true);
+  EXPECT_FALSE(predictor.predicts_failure());
+  for (int i = 0; i < 6; ++i) predictor.record(false);
+  EXPECT_TRUE(predictor.predicts_failure());
+  EXPECT_GT(predictor.tripped_at(), 20u);
+  EXPECT_GE(predictor.failure_ratio(), 0.5);
+}
+
+TEST(FailurePredictor, HealthyRunNeverTrips) {
+  query::FailurePredictor predictor{10, 0.5};
+  for (int i = 0; i < 200; ++i) predictor.record(i % 10 != 0);  // 10% fail
+  EXPECT_FALSE(predictor.predicts_failure());
+}
+
+// ---------------------------------------------------------------------------
+// Host timeline ("breakdown of tasks and jobs over time on hosts")
+
+TEST_F(ArchiveFixture, HostTimelineBucketsActivity) {
+  const query::QueryInterface q{database};
+  const query::StampedeStatistics stats{q};
+  // Bucket width 10 s; root started at t=1000.
+  const auto timelines = stats.host_timeline(wf_id(kRoot), 10.0);
+  ASSERT_EQ(timelines.size(), 4u);  // localhost + 3 workers.
+
+  // All timelines span the same dense bucket range.
+  const std::size_t buckets = timelines[0].buckets.size();
+  for (const auto& t : timelines) {
+    EXPECT_EQ(t.buckets.size(), buckets);
+  }
+
+  // worker1 ran jobs a (EXECUTE 1008) and b try1 (EXECUTE 1009): both in
+  // bucket 0, contributing 10+10=20 s of runtime.
+  const auto* w1 = &timelines[0];
+  for (const auto& t : timelines) {
+    if (t.hostname == "worker1") w1 = &t;
+  }
+  ASSERT_EQ(w1->hostname, "worker1");
+  EXPECT_EQ(w1->buckets[0].jobs, 2);
+  EXPECT_DOUBLE_EQ(w1->buckets[0].runtime, 20.0);
+
+  // worker2 ran b try2 (EXECUTE 1021 → bucket 2).
+  const auto* w2 = &timelines[0];
+  for (const auto& t : timelines) {
+    if (t.hostname == "worker2") w2 = &t;
+  }
+  EXPECT_EQ(w2->buckets[2].jobs, 1);
+  EXPECT_DOUBLE_EQ(w2->buckets[2].runtime, 20.0);
+  EXPECT_EQ(w2->buckets[0].jobs, 0);  // Dense zeros elsewhere.
+}
+
+// ---------------------------------------------------------------------------
+// Live bus-attached analysis (real-time alerting, §IV-C)
+
+#include "bus/bp_publisher.hpp"
+#include "query/live_monitor.hpp"
+
+namespace {
+
+nl::LogRecord inv_end_event(const char* xform, double dur) {
+  nl::LogRecord r{1000.0, std::string{ev::kInvEnd}};
+  r.set(attr::kXwfId, kRoot);
+  r.set(attr::kJobId, std::string{"processing."} + xform);
+  r.set(attr::kJobInstId, std::int64_t{1});
+  r.set(attr::kInvId, std::int64_t{1});
+  r.set(attr::kDur, dur);
+  r.set(attr::kExitcode, std::int64_t{0});
+  r.set(attr::kTransformation, std::string{xform});
+  return r;
+}
+
+nl::LogRecord main_end_event(int exitcode) {
+  nl::LogRecord r{1000.0, std::string{ev::kJobInstMainEnd}};
+  r.set(attr::kXwfId, kRoot);
+  r.set(attr::kJobId, std::string{"processing.x"});
+  r.set(attr::kJobInstId, std::int64_t{1});
+  r.set(attr::kExitcode, static_cast<std::int64_t>(exitcode));
+  return r;
+}
+
+}  // namespace
+
+TEST(LiveMonitor, FlagsRuntimeAnomalyWhileStreaming) {
+  stampede::bus::Broker broker;
+  stampede::bus::BpPublisher publisher{broker, "monitoring"};
+  std::atomic<int> alerts{0};
+  query::LiveMonitor::Options options;
+  options.min_samples = 5;
+  query::LiveMonitor monitor{broker, options,
+                             [&alerts](const query::LiveAlert& a) {
+                               if (a.kind ==
+                                   query::LiveAlert::Kind::kRuntimeAnomaly) {
+                                 ++alerts;
+                               }
+                             }};
+  for (int i = 0; i < 10; ++i) {
+    publisher.publish(inv_end_event("sweep", 60.0 + (i % 3)));
+  }
+  publisher.publish(inv_end_event("sweep", 900.0));  // Wildly slow.
+  ASSERT_TRUE(monitor.wait_for_messages(11, 5000));
+  monitor.stop();
+  EXPECT_EQ(alerts.load(), 1);
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].workflow_uuid, kRoot.to_string());
+  EXPECT_NE(monitor.alerts()[0].detail.find("z="), std::string::npos);
+}
+
+TEST(LiveMonitor, PredictsWorkflowFailureMidRun) {
+  stampede::bus::Broker broker;
+  stampede::bus::BpPublisher publisher{broker, "monitoring"};
+  std::atomic<int> predictions{0};
+  query::LiveMonitor::Options options;
+  options.failure_window = 10;
+  options.failure_threshold = 0.5;
+  query::LiveMonitor monitor{
+      broker, options, [&predictions](const query::LiveAlert& a) {
+        if (a.kind == query::LiveAlert::Kind::kPredictedFailure) {
+          ++predictions;
+        }
+      }};
+  for (int i = 0; i < 10; ++i) publisher.publish(main_end_event(0));
+  for (int i = 0; i < 8; ++i) publisher.publish(main_end_event(1));
+  ASSERT_TRUE(monitor.wait_for_messages(18, 5000));
+  monitor.stop();
+  EXPECT_EQ(predictions.load(), 1);  // Alert fires exactly once.
+}
+
+TEST(LiveMonitor, IgnoresEventsOutsideItsBindings) {
+  stampede::bus::Broker broker;
+  stampede::bus::BpPublisher publisher{broker, "monitoring"};
+  query::LiveMonitor monitor{broker, {}, nullptr};
+  nl::LogRecord unrelated{1.0, std::string{ev::kTaskInfo}};
+  unrelated.set(attr::kXwfId, kRoot);
+  unrelated.set(attr::kTaskId, std::string{"t"});
+  unrelated.set(attr::kTransformation, std::string{"t"});
+  publisher.publish(unrelated);
+  publisher.publish(inv_end_event("sweep", 10.0));
+  ASSERT_TRUE(monitor.wait_for_messages(1, 5000));
+  monitor.stop();
+  // Only the bound inv.end arrived; task.info was filtered by the topic
+  // bindings.
+  EXPECT_EQ(monitor.messages_seen(), 1u);
+  EXPECT_TRUE(monitor.alerts().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Performance prediction (§IV: provisioning forecasts)
+
+#include "common/errors.hpp"
+#include "query/prediction.hpp"
+
+TEST_F(ArchiveFixture, PredictorLearnsPerTransformationHistory) {
+  const query::QueryInterface q{database};
+  const query::RuntimePredictor predictor{q};
+  // Successful invocations of "b": 20 s (the failed 10 s try is excluded).
+  const auto b = predictor.estimate("b");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->samples, 1);
+  EXPECT_DOUBLE_EQ(b->mean, 20.0);
+  EXPECT_FALSE(predictor.estimate("never-seen").has_value());
+  EXPECT_GE(predictor.estimates().size(), 3u);
+}
+
+TEST_F(ArchiveFixture, ForecastCombinesWorkAndCriticalPath) {
+  const query::QueryInterface q{database};
+  const query::RuntimePredictor predictor{q};
+  // A planned chain a → b plus a parallel a: transformations with known
+  // history (a: 10 s, b: 20 s).
+  std::vector<query::PlannedTask> tasks;
+  tasks.push_back({"a", {}});
+  tasks.push_back({"a", {}});
+  tasks.push_back({"b", {0}});
+  const auto f1 = predictor.forecast(tasks, /*slots=*/1);
+  EXPECT_DOUBLE_EQ(f1.cumulative_seconds, 40.0);
+  EXPECT_DOUBLE_EQ(f1.critical_path_seconds, 30.0);  // a → b
+  EXPECT_DOUBLE_EQ(f1.makespan_estimate, 70.0);      // 40/1 + 30
+  const auto f4 = predictor.forecast(tasks, /*slots=*/4);
+  EXPECT_DOUBLE_EQ(f4.makespan_estimate, 40.0);      // 40/4 + 30
+  EXPECT_TRUE(f1.unknown_transformations.empty());
+}
+
+TEST_F(ArchiveFixture, ForecastPricesUnknownTransformationsWithFallback) {
+  const query::QueryInterface q{database};
+  const query::RuntimePredictor predictor{q};
+  std::vector<query::PlannedTask> tasks;
+  tasks.push_back({"mystery", {}});
+  const auto f = predictor.forecast(tasks, 1, /*fallback_seconds=*/45.0);
+  EXPECT_DOUBLE_EQ(f.cumulative_seconds, 45.0);
+  ASSERT_EQ(f.unknown_transformations.size(), 1u);
+  EXPECT_EQ(f.unknown_transformations[0], "mystery");
+}
+
+TEST_F(ArchiveFixture, ForecastRejectsBadInput) {
+  const query::QueryInterface q{database};
+  const query::RuntimePredictor predictor{q};
+  std::vector<query::PlannedTask> tasks;
+  tasks.push_back({"a", {}});
+  EXPECT_THROW((void)predictor.forecast(tasks, 0),
+               stampede::common::StampedeError);
+  std::vector<query::PlannedTask> unordered;
+  unordered.push_back({"a", {1}});  // Parent after child.
+  unordered.push_back({"a", {}});
+  EXPECT_THROW((void)predictor.forecast(unordered, 1),
+               stampede::common::StampedeError);
+}

@@ -1,0 +1,200 @@
+// Tests for the discrete-event loop and the processor-sharing node model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.hpp"
+#include "sim/node.hpp"
+
+namespace sim = stampede::sim;
+
+// ---------------------------------------------------------------------------
+// EventLoop
+
+TEST(EventLoop, FiresInTimeOrder) {
+  sim::EventLoop loop{100.0};
+  std::vector<int> order;
+  loop.schedule_at(103.0, [&] { order.push_back(3); });
+  loop.schedule_at(101.0, [&] { order.push_back(1); });
+  loop.schedule_at(102.0, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(loop.now(), 103.0);
+}
+
+TEST(EventLoop, SimultaneousEventsFireInScheduleOrder) {
+  sim::EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_at(10.0, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, PastTimesClampToNow) {
+  sim::EventLoop loop{50.0};
+  double fired_at = 0.0;
+  loop.schedule_at(10.0, [&] { fired_at = loop.now(); });
+  loop.run();
+  EXPECT_DOUBLE_EQ(fired_at, 50.0);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  sim::EventLoop loop;
+  bool fired = false;
+  const auto handle = loop.schedule_in(1.0, [&] { fired = true; });
+  EXPECT_TRUE(loop.cancel(handle));
+  EXPECT_FALSE(loop.cancel(handle));  // Double cancel.
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, EventsScheduleMoreEvents) {
+  sim::EventLoop loop;
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    if (++chain < 5) loop.schedule_in(1.0, tick);
+  };
+  loop.schedule_in(1.0, tick);
+  loop.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(loop.now(), 5.0);
+}
+
+TEST(EventLoop, RunUntilStopsAndAdvancesClock) {
+  sim::EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(1.0, [&] { ++fired; });
+  loop.schedule_at(5.0, [&] { ++fired; });
+  loop.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(loop.now(), 3.0);
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+// ---------------------------------------------------------------------------
+// PsNode
+
+namespace {
+
+struct Completion {
+  double start = -1.0;
+  double end = -1.0;
+};
+
+void submit_one(sim::PsNode& node, double cpu, Completion& c) {
+  node.submit(
+      cpu, [&c](double t) { c.start = t; }, [&c](double t) { c.end = t; });
+}
+
+}  // namespace
+
+TEST(PsNode, SingleTaskRunsAtFullRate) {
+  sim::EventLoop loop;
+  sim::PsNode node{loop, "n0", 4, 1.0};
+  Completion c;
+  submit_one(node, 10.0, c);
+  loop.run();
+  EXPECT_DOUBLE_EQ(c.start, 0.0);
+  EXPECT_NEAR(c.end, 10.0, 1e-6);
+}
+
+TEST(PsNode, TwoConcurrentTasksShareTheCore) {
+  sim::EventLoop loop;
+  sim::PsNode node{loop, "n0", 4, 1.0};
+  Completion a;
+  submit_one(node, 10.0, a);
+  Completion b;
+  submit_one(node, 10.0, b);
+  loop.run();
+  // Each progresses at rate 1/2 → both finish at t=20.
+  EXPECT_NEAR(a.end, 20.0, 1e-6);
+  EXPECT_NEAR(b.end, 20.0, 1e-6);
+}
+
+TEST(PsNode, ShortTaskLeavesLongTaskToSpeedUp) {
+  sim::EventLoop loop;
+  sim::PsNode node{loop, "n0", 4, 1.0};
+  Completion a;
+  submit_one(node, 10.0, a);
+  Completion b;
+  submit_one(node, 5.0, b);
+  loop.run();
+  // Shared until b completes at t=10 (5 cpu at rate ½); then a runs its
+  // remaining 5 cpu at full rate → t=15. Textbook processor sharing.
+  EXPECT_NEAR(b.end, 10.0, 1e-6);
+  EXPECT_NEAR(a.end, 15.0, 1e-6);
+}
+
+TEST(PsNode, SlotLimitQueuesExcessTasks) {
+  sim::EventLoop loop;
+  sim::PsNode node{loop, "n0", /*slots=*/1, /*cores=*/1.0};
+  Completion a;
+  submit_one(node, 10.0, a);
+  Completion b;
+  submit_one(node, 10.0, b);
+  loop.run();
+  EXPECT_NEAR(a.end, 10.0, 1e-6);
+  EXPECT_NEAR(b.start, 10.0, 1e-6);  // Waited in the FIFO queue.
+  EXPECT_NEAR(b.end, 20.0, 1e-6);
+  // Admission is a deferred event, so both submissions transiently sit in
+  // the FIFO; the invariant is that the queue was actually used.
+  EXPECT_GE(node.stats().peak_queue, 1u);
+}
+
+TEST(PsNode, FourAtATimeDilationMatchesDartModel) {
+  // 16 tasks of 14 CPU-seconds, 4 slots, 1 core: each wave of 4 shares
+  // the core, so a task's wall time is ~4×14=56 s and the bundle total is
+  // 16×14=224 s of serialized CPU.
+  sim::EventLoop loop;
+  sim::PsNode node{loop, "worker", 4, 1.0};
+  std::vector<Completion> tasks(16);
+  for (auto& c : tasks) {
+    node.submit(
+        14.0, [&c](double t) { c.start = t; }, [&c](double t) { c.end = t; });
+  }
+  loop.run();
+  for (const auto& c : tasks) {
+    EXPECT_NEAR(c.end - c.start, 56.0, 1e-6);
+  }
+  const double makespan = tasks.back().end - tasks.front().start;
+  EXPECT_NEAR(makespan, 224.0, 1e-6);
+  EXPECT_EQ(node.stats().completed, 16u);
+  EXPECT_NEAR(node.stats().busy_cpu_seconds, 224.0, 1e-6);
+}
+
+TEST(PsNode, MultiCoreRunsTasksAtFullRate) {
+  sim::EventLoop loop;
+  sim::PsNode node{loop, "n0", 4, 4.0};
+  Completion a;
+  submit_one(node, 10.0, a);
+  Completion b;
+  submit_one(node, 10.0, b);
+  loop.run();
+  // Two tasks, four cores: no dilation.
+  EXPECT_NEAR(a.end, 10.0, 1e-6);
+  EXPECT_NEAR(b.end, 10.0, 1e-6);
+}
+
+TEST(PsNode, SubmitFromCompletionCallback) {
+  sim::EventLoop loop;
+  sim::PsNode node{loop, "n0", 1, 1.0};
+  double second_end = -1.0;
+  node.submit(5.0, nullptr, [&](double) {
+    node.submit(5.0, nullptr, [&](double t) { second_end = t; });
+  });
+  loop.run();
+  EXPECT_NEAR(second_end, 10.0, 1e-6);
+}
+
+TEST(PsNode, ZeroCostTaskCompletesImmediately) {
+  sim::EventLoop loop;
+  sim::PsNode node{loop, "n0", 1, 1.0};
+  Completion c;
+  submit_one(node, 0.0, c);
+  loop.run();
+  EXPECT_NEAR(c.end, 0.0, 1e-6);
+}

@@ -1,0 +1,594 @@
+// Tests for the Triana engine: task graphs, scheduler modes, the
+// StampedeLog event mapping, sub-workflows and the TrianaCloud broker.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "loader/stampede_loader.hpp"
+#include "netlogger/events.hpp"
+#include "netlogger/sink.hpp"
+#include "orm/stampede_tables.hpp"
+#include "triana/scheduler.hpp"
+#include "triana/trianacloud.hpp"
+#include "yang/validator.hpp"
+
+namespace triana = stampede::triana;
+namespace sim = stampede::sim;
+namespace nl = stampede::nl;
+namespace ev = stampede::nl::events;
+using stampede::common::Rng;
+using stampede::common::Uuid;
+using stampede::common::UuidGenerator;
+using triana::Data;
+using triana::FunctionUnit;
+using triana::TaskGraph;
+
+namespace {
+
+std::unique_ptr<FunctionUnit> fixed_unit(std::string type, double cpu) {
+  return FunctionUnit::passthrough(std::move(type), cpu);
+}
+
+/// Counts events by name in a sink.
+std::size_t count_events(const nl::VectorSink& sink, std::string_view name) {
+  return static_cast<std::size_t>(
+      std::count_if(sink.records().begin(), sink.records().end(),
+                    [&](const nl::LogRecord& r) { return r.event() == name; }));
+}
+
+struct Harness {
+  sim::EventLoop loop{1'340'000'000.0};
+  Rng rng{7};
+  UuidGenerator uuids{7};
+  nl::VectorSink sink;
+  sim::PsNode local{loop, "localhost", 64, 64.0};
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TaskGraph structure
+
+TEST(TaskGraph, ConnectValidation) {
+  TaskGraph g{"g"};
+  const auto a = g.add_task("a", fixed_unit("processing", 1));
+  const auto b = g.add_task("b", fixed_unit("processing", 1));
+  g.connect(a, b);
+  EXPECT_THROW(g.connect(a, a), stampede::common::EngineError);
+  EXPECT_THROW(g.connect(a, 99), stampede::common::EngineError);
+  EXPECT_EQ(g.inputs_of(b), (std::vector<triana::TaskIndex>{a}));
+  EXPECT_EQ(g.outputs_of(a), (std::vector<triana::TaskIndex>{b}));
+}
+
+TEST(TaskGraph, TopologicalOrderAndCycles) {
+  TaskGraph g{"g"};
+  const auto a = g.add_task("a", fixed_unit("p", 1));
+  const auto b = g.add_task("b", fixed_unit("p", 1));
+  const auto c = g.add_task("c", fixed_unit("p", 1));
+  g.connect(a, b);
+  g.connect(b, c);
+  const auto order = g.topological_order();
+  EXPECT_EQ(order, (std::vector<triana::TaskIndex>{a, b, c}));
+  EXPECT_FALSE(g.has_cycle());
+  g.connect(c, a);
+  EXPECT_TRUE(g.has_cycle());
+}
+
+// ---------------------------------------------------------------------------
+// Single-step execution
+
+TEST(Scheduler, LinearGraphRunsToCompletion) {
+  Harness h;
+  TaskGraph g{"linear"};
+  const auto a = g.add_task("a", fixed_unit("processing", 5));
+  const auto b = g.add_task("b", fixed_unit("processing", 3));
+  g.connect(a, b);
+
+  triana::StampedeLog log{h.sink, {h.uuids.next(), {}, {}, "linear"}};
+  triana::Scheduler sched{h.loop, h.rng, h.local, g};
+  sched.add_listener(log);
+
+  double end_time = -1;
+  int status = -1;
+  sched.start([&](sim::SimTime t, int s) {
+    end_time = t;
+    status = s;
+  });
+  h.loop.run();
+
+  EXPECT_TRUE(sched.finished());
+  EXPECT_EQ(status, 0);
+  EXPECT_GT(end_time, h.loop.now() - 1e9);
+  EXPECT_EQ(g.task(a).state, triana::TaskState::kComplete);
+  EXPECT_EQ(g.task(b).state, triana::TaskState::kComplete);
+}
+
+TEST(Scheduler, EmitsFullEventSequence) {
+  Harness h;
+  TaskGraph g{"two"};
+  g.add_task("a", fixed_unit("processing", 2));
+  const auto b = g.add_task("b", fixed_unit("file", 1));
+  g.connect(0, b);
+
+  triana::StampedeLog log{h.sink, {h.uuids.next(), {}, {}, "two"}};
+  triana::Scheduler sched{h.loop, h.rng, h.local, g};
+  sched.add_listener(log);
+  sched.start(nullptr);
+  h.loop.run();
+
+  EXPECT_EQ(count_events(h.sink, ev::kWfPlan), 1u);
+  EXPECT_EQ(count_events(h.sink, ev::kTaskInfo), 2u);
+  EXPECT_EQ(count_events(h.sink, ev::kTaskEdge), 1u);
+  EXPECT_EQ(count_events(h.sink, ev::kJobInfo), 2u);
+  EXPECT_EQ(count_events(h.sink, ev::kJobEdge), 1u);
+  EXPECT_EQ(count_events(h.sink, ev::kMapTaskJob), 2u);
+  EXPECT_EQ(count_events(h.sink, ev::kXwfStart), 1u);
+  EXPECT_EQ(count_events(h.sink, ev::kJobInstSubmitStart), 2u);
+  EXPECT_EQ(count_events(h.sink, ev::kJobInstMainStart), 2u);
+  EXPECT_EQ(count_events(h.sink, ev::kInvStart), 2u);
+  EXPECT_EQ(count_events(h.sink, ev::kInvEnd), 2u);
+  EXPECT_EQ(count_events(h.sink, ev::kJobInstMainEnd), 2u);
+  EXPECT_EQ(count_events(h.sink, ev::kJobInstHostInfo), 2u);
+  EXPECT_EQ(count_events(h.sink, ev::kXwfEnd), 1u);
+}
+
+TEST(Scheduler, AllEmittedEventsValidateAgainstSchema) {
+  Harness h;
+  TaskGraph g{"valid"};
+  g.add_task("a", fixed_unit("processing", 2));
+  const auto b = g.add_task("b", fixed_unit("file", 1));
+  g.connect(0, b);
+  triana::StampedeLog log{h.sink, {h.uuids.next(), {}, {}, "valid"}};
+  triana::Scheduler sched{h.loop, h.rng, h.local, g};
+  sched.add_listener(log);
+  sched.start(nullptr);
+  h.loop.run();
+
+  const auto& registry = stampede::yang::stampede_schema();
+  for (const auto& record : h.sink.records()) {
+    const auto report = registry.validate(record);
+    EXPECT_TRUE(report.ok()) << record.event() << ": "
+                             << (report.issues.empty()
+                                     ? ""
+                                     : report.issues[0].message);
+  }
+}
+
+TEST(Scheduler, JobIdsAreTypeQualified) {
+  TaskGraph g{"names"};
+  g.add_task("exec0", fixed_unit("processing", 1));
+  g.add_task("zipper", fixed_unit("file", 1));
+  g.add_task("304-305", fixed_unit("unit", 1));
+  EXPECT_EQ(triana::StampedeLog::job_id_for(g, 0), "processing.exec0");
+  EXPECT_EQ(triana::StampedeLog::job_id_for(g, 1), "file.zipper");
+  EXPECT_EQ(triana::StampedeLog::job_id_for(g, 2), "unit:304-305");
+}
+
+TEST(Scheduler, FailingUnitYieldsErrorStateAndFailedWorkflow) {
+  Harness h;
+  TaskGraph g{"failing"};
+  const auto a = g.add_task(
+      "boom", std::make_unique<FunctionUnit>(
+                  "processing",
+                  [](const Data&) -> triana::UnitResult {
+                    throw std::runtime_error("simulated crash");
+                  },
+                  [](Rng&) { return 1.0; }));
+  const auto b = g.add_task("after", fixed_unit("processing", 1));
+  g.connect(a, b);
+
+  triana::StampedeLog log{h.sink, {h.uuids.next(), {}, {}, "failing"}};
+  triana::Scheduler sched{h.loop, h.rng, h.local, g};
+  sched.add_listener(log);
+  int status = 0;
+  sched.start([&](sim::SimTime, int s) { status = s; });
+  h.loop.run();
+
+  EXPECT_EQ(status, -1);
+  EXPECT_EQ(g.task(a).state, triana::TaskState::kError);
+  // Downstream task never fired.
+  EXPECT_EQ(g.task(b).state, triana::TaskState::kScheduled);
+
+  // inv.end and main.term/.end carry -1 (§V-B).
+  bool saw_bad_inv = false;
+  for (const auto& r : h.sink.records()) {
+    if (r.event() == ev::kInvEnd &&
+        *r.get(ev::attr::kJobId) == "processing.boom") {
+      EXPECT_EQ(r.get_int(ev::attr::kExitcode), -1);
+      saw_bad_inv = true;
+    }
+    if (r.event() == ev::kXwfEnd) {
+      EXPECT_EQ(r.get_int(ev::attr::kStatus), -1);
+    }
+  }
+  EXPECT_TRUE(saw_bad_inv);
+}
+
+TEST(Scheduler, NonZeroExitcodeFailsTask) {
+  Harness h;
+  TaskGraph g{"exit3"};
+  g.add_task("e", std::make_unique<FunctionUnit>(
+                      "processing",
+                      [](const Data&) {
+                        return triana::UnitResult{{}, 3, "", "bad input"};
+                      },
+                      [](Rng&) { return 1.0; }));
+  triana::Scheduler sched{h.loop, h.rng, h.local, g};
+  int status = 0;
+  sched.start([&](sim::SimTime, int s) { status = s; });
+  h.loop.run();
+  EXPECT_EQ(status, -1);
+  EXPECT_EQ(g.task(0).state, triana::TaskState::kError);
+}
+
+TEST(Scheduler, DiamondGraphRespectsDependencies) {
+  Harness h;
+  TaskGraph g{"diamond"};
+  const auto src = g.add_task("src", fixed_unit("processing", 1));
+  const auto l = g.add_task("left", fixed_unit("processing", 5));
+  const auto r = g.add_task("right", fixed_unit("processing", 2));
+  const auto join = g.add_task("join", fixed_unit("file", 1));
+  g.connect(src, l);
+  g.connect(src, r);
+  g.connect(l, join);
+  g.connect(r, join);
+
+  triana::StampedeLog log{h.sink, {h.uuids.next(), {}, {}, "diamond"}};
+  triana::Scheduler sched{h.loop, h.rng, h.local, g};
+  sched.add_listener(log);
+  sched.start(nullptr);
+  h.loop.run();
+
+  // join's main.start must come after both left and right main.end.
+  double left_end = -1, right_end = -1, join_start = -1;
+  for (const auto& rec : h.sink.records()) {
+    const auto job = rec.get(ev::attr::kJobId);
+    if (!job) continue;
+    if (rec.event() == ev::kJobInstMainEnd && *job == "processing.left") {
+      left_end = rec.ts();
+    }
+    if (rec.event() == ev::kJobInstMainEnd && *job == "processing.right") {
+      right_end = rec.ts();
+    }
+    if (rec.event() == ev::kJobInstMainStart && *job == "file.join") {
+      join_start = rec.ts();
+    }
+  }
+  ASSERT_GT(left_end, 0);
+  ASSERT_GT(join_start, 0);
+  EXPECT_GE(join_start, left_end);
+  EXPECT_GE(join_start, right_end);
+}
+
+TEST(Scheduler, CyclicGraphRejectedInSingleStep) {
+  Harness h;
+  TaskGraph g{"cycle"};
+  const auto a = g.add_task("a", fixed_unit("p", 1));
+  const auto b = g.add_task("b", fixed_unit("p", 1));
+  g.connect(a, b);
+  g.connect(b, a);
+  triana::Scheduler sched{h.loop, h.rng, h.local, g};
+  EXPECT_THROW(sched.start(nullptr), stampede::common::EngineError);
+}
+
+TEST(Scheduler, StartTwiceThrows) {
+  Harness h;
+  TaskGraph g{"once"};
+  g.add_task("a", fixed_unit("p", 1));
+  triana::Scheduler sched{h.loop, h.rng, h.local, g};
+  sched.start(nullptr);
+  EXPECT_THROW(sched.start(nullptr), stampede::common::EngineError);
+}
+
+// ---------------------------------------------------------------------------
+// Continuous mode (§V-A): multiple invocations per job instance
+
+TEST(Scheduler, ContinuousModeFiresMultipleInvocations) {
+  Harness h;
+  TaskGraph g{"stream"};
+  const auto src = g.add_task("source", fixed_unit("processing", 1));
+  const auto snk = g.add_task("sink", fixed_unit("processing", 1));
+  g.connect(src, snk);
+  g.set_firings(src, 4);
+  g.set_firings(snk, 4);
+
+  triana::StampedeLog log{h.sink, {h.uuids.next(), {}, {}, "stream"}};
+  triana::SchedulerOptions options;
+  options.mode = triana::Mode::kContinuous;
+  triana::Scheduler sched{h.loop, h.rng, h.local, g, options};
+  sched.add_listener(log);
+  int status = -1;
+  sched.start([&](sim::SimTime, int s) { status = s; });
+  h.loop.run();
+
+  EXPECT_EQ(status, 0);
+  // 4 invocations each for source and sink, but only one job instance
+  // (one main.start / main.end pair) per task.
+  EXPECT_EQ(count_events(h.sink, ev::kInvEnd), 8u);
+  EXPECT_EQ(count_events(h.sink, ev::kJobInstMainStart), 2u);
+  EXPECT_EQ(count_events(h.sink, ev::kJobInstMainEnd), 2u);
+  // Invocation sequence numbers 1..4 for the sink.
+  std::vector<std::int64_t> seqs;
+  for (const auto& r : h.sink.records()) {
+    if (r.event() == ev::kInvEnd &&
+        *r.get(ev::attr::kJobId) == "processing.sink") {
+      seqs.push_back(*r.get_int(ev::attr::kInvId));
+    }
+  }
+  EXPECT_EQ(seqs, (std::vector<std::int64_t>{1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ContinuousModeAllowsCycles) {
+  // A feedback loop: a → b → a. With bounded firings the run terminates:
+  // a fires once (no initial input required? it has an input cable from b,
+  // so we seed via a source task).
+  Harness h;
+  TaskGraph g{"loop"};
+  const auto seed = g.add_task("seed", fixed_unit("processing", 1));
+  const auto a = g.add_task("a", fixed_unit("processing", 1));
+  const auto b = g.add_task("b", fixed_unit("processing", 1));
+  g.connect(seed, a);
+  g.connect(a, b);
+  g.connect(b, a);
+  g.set_firings(seed, 1);
+  g.set_firings(a, 2);  // Fires on seed+loop... needs both inputs.
+  g.set_firings(b, 1);
+
+  triana::SchedulerOptions options;
+  options.mode = triana::Mode::kContinuous;
+  triana::Scheduler sched{h.loop, h.rng, h.local, g, options};
+  int status = -2;
+  sched.start([&](sim::SimTime, int s) { status = s; });
+  h.loop.run();
+  // 'a' needs data on BOTH cables (seed and b) to fire; b's first output
+  // arrives only after a fires — a fires once when both are seeded...
+  // seed fires, but b never does before a; the workflow ends without all
+  // tasks complete → data-dependent termination, status -1.
+  EXPECT_TRUE(sched.finished());
+  EXPECT_EQ(status, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Pause / resume (held.start / held.end mapping)
+
+TEST(Scheduler, PauseResumeEmitsHeldEvents) {
+  Harness h;
+  // b depends on a, so b is still SCHEDULED (awaiting input) while a
+  // runs — exactly the tasks the pause holds.
+  TaskGraph g{"held"};
+  const auto a = g.add_task("a", fixed_unit("processing", 10));
+  const auto b = g.add_task("b", fixed_unit("processing", 10));
+  g.connect(a, b);
+
+  triana::StampedeLog log{h.sink, {h.uuids.next(), {}, {}, "held"}};
+  triana::Scheduler sched{h.loop, h.rng, h.local, g};
+  sched.add_listener(log);
+  sched.start(nullptr);
+
+  // Pause shortly after start; resume later.
+  h.loop.schedule_in(1.0, [&] { sched.request_pause(); });
+  h.loop.schedule_in(5.0, [&] { sched.request_resume(); });
+  h.loop.run();
+
+  EXPECT_TRUE(sched.finished());
+  EXPECT_EQ(sched.status(), 0);
+  EXPECT_GE(count_events(h.sink, ev::kJobInstHeldStart), 1u);
+  EXPECT_GE(count_events(h.sink, ev::kJobInstHeldEnd), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Sub-workflows
+
+TEST(Scheduler, InlineSubworkflowRunsChildAndLogsMapping) {
+  Harness h;
+  auto child = std::make_unique<TaskGraph>("child");
+  child->add_task("inner", fixed_unit("processing", 2));
+
+  TaskGraph parent{"parent"};
+  const auto sub = parent.add_subworkflow("launcher", std::move(child),
+                                          fixed_unit("unit", 0.5));
+  const auto after = parent.add_task("after", fixed_unit("file", 0.5));
+  parent.connect(sub, after);
+
+  const Uuid parent_uuid = h.uuids.next();
+  triana::StampedeLog log{h.sink, {parent_uuid, {}, {}, "parent"}};
+  triana::Scheduler sched{h.loop, h.rng, h.local, parent};
+  sched.add_listener(log);
+  triana::InlineSubworkflowRunner runner{h.loop, h.rng,  h.local,
+                                         h.sink, h.uuids, parent_uuid};
+  runner.attach(sched, parent_uuid);
+
+  int status = -1;
+  sched.start([&](sim::SimTime, int s) { status = s; });
+  h.loop.run();
+
+  EXPECT_EQ(status, 0);
+  EXPECT_EQ(count_events(h.sink, ev::kMapSubwfJob), 1u);
+  EXPECT_EQ(count_events(h.sink, ev::kXwfStart), 2u);  // parent + child
+  EXPECT_EQ(count_events(h.sink, ev::kXwfEnd), 2u);
+
+  // The child's plan names the parent.
+  bool child_plan_found = false;
+  for (const auto& r : h.sink.records()) {
+    if (r.event() == ev::kWfPlan && r.has(ev::attr::kParentXwfId)) {
+      EXPECT_EQ(*r.get_uuid(ev::attr::kParentXwfId), parent_uuid);
+      child_plan_found = true;
+    }
+  }
+  EXPECT_TRUE(child_plan_found);
+}
+
+// ---------------------------------------------------------------------------
+// TrianaCloud
+
+TEST(TrianaCloud, DistributesBundlesAcrossWorkers) {
+  Harness h;
+  const Uuid root = h.uuids.next();
+  triana::CloudOptions copts;
+  copts.nodes = 4;
+  copts.slots_per_node = 2;
+  triana::TrianaCloud cloud{h.loop, h.rng, h.sink, h.uuids, root, copts};
+
+  // Root workflow with 8 sub-workflow tasks, no dependencies.
+  TaskGraph rootg{"root"};
+  std::vector<triana::TaskIndex> subs;
+  for (int i = 0; i < 8; ++i) {
+    auto child = std::make_unique<TaskGraph>("bundle" + std::to_string(i));
+    child->add_task("work", fixed_unit("processing", 10));
+    subs.push_back(rootg.add_subworkflow("submit" + std::to_string(i),
+                                         std::move(child),
+                                         fixed_unit("unit", 0.1)));
+  }
+
+  triana::StampedeLog log{h.sink, {root, {}, {}, "root"}};
+  triana::Scheduler sched{h.loop, h.rng, h.local, rootg};
+  sched.add_listener(log);
+  cloud.attach(sched, root);
+
+  int status = -1;
+  sched.start([&](sim::SimTime, int s) { status = s; });
+  h.loop.run();
+
+  EXPECT_EQ(status, 0);
+  EXPECT_EQ(cloud.stats().bundles_submitted, 8u);
+  EXPECT_EQ(cloud.stats().bundles_completed, 8u);
+  // Work landed on every worker (8 bundles over 4 workers, least-loaded).
+  for (const auto& worker : cloud.workers()) {
+    EXPECT_GE(worker->stats().completed, 1u) << worker->name();
+  }
+  // 9 workflows total: root + 8 bundles.
+  EXPECT_EQ(count_events(h.sink, ev::kXwfEnd), 9u);
+}
+
+TEST(TrianaCloud, EndToEndEventsLoadIntoArchive) {
+  Harness h;
+  const Uuid root = h.uuids.next();
+  triana::CloudOptions copts;
+  copts.nodes = 2;
+  triana::TrianaCloud cloud{h.loop, h.rng, h.sink, h.uuids, root, copts};
+
+  TaskGraph rootg{"root"};
+  auto child = std::make_unique<TaskGraph>("bundle0");
+  const auto c0 = child->add_task("exec0", fixed_unit("processing", 5));
+  const auto c1 = child->add_task("zip", fixed_unit("file", 1));
+  child->connect(c0, c1);
+  rootg.add_subworkflow("submit0", std::move(child), fixed_unit("unit", 0.1));
+
+  triana::StampedeLog log{h.sink, {root, {}, {}, "root"}};
+  triana::Scheduler sched{h.loop, h.rng, h.local, rootg};
+  sched.add_listener(log);
+  cloud.attach(sched, root);
+  sched.start(nullptr);
+  h.loop.run();
+
+  stampede::db::Database database;
+  stampede::orm::create_stampede_schema(database);
+  stampede::loader::StampedeLoader l{database};
+  for (const auto& record : h.sink.records()) {
+    l.process(record);
+  }
+  l.finish();
+
+  EXPECT_EQ(l.stats().events_invalid, 0u);
+  EXPECT_EQ(l.stats().events_dropped, 0u);
+  EXPECT_EQ(database.row_count("workflow"), 2u);
+  EXPECT_EQ(database.row_count("job"), 3u);        // submit0 + exec0 + zip
+  EXPECT_EQ(database.row_count("invocation"), 3u);
+  // The bundle's job_instance carries its sub-workflow id.
+  const auto rs = database.execute(
+      stampede::db::Select{"job_instance"}.where(
+          stampede::db::is_not_null("subwf_id")));
+  EXPECT_EQ(rs.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-generated sub-workflows (§V-D meta-workflows)
+
+TEST(Scheduler, DynamicSubworkflowIsBuiltFromRuntimeData) {
+  Harness h;
+  TaskGraph meta{"meta"};
+  const auto src = meta.add_task(
+      "src", std::make_unique<FunctionUnit>(
+                 "file",
+                 [](const Data&) {
+                   return triana::UnitResult{{"w0", "w1", "w2"}, 0, "", ""};
+                 },
+                 [](Rng&) { return 0.5; }));
+  const auto gen = meta.add_dynamic_subworkflow(
+      "generator",
+      [](const Data& inputs) {
+        // One child task per input token — impossible to know statically.
+        auto child = std::make_unique<TaskGraph>("generated");
+        for (const auto& token : inputs) {
+          child->add_task(token, fixed_unit("processing", 1.0));
+        }
+        return child;
+      },
+      fixed_unit("unit", 0.2));
+  meta.connect(src, gen);
+
+  const Uuid meta_uuid = h.uuids.next();
+  triana::StampedeLog log{h.sink, {meta_uuid, {}, {}, "meta"}};
+  triana::Scheduler sched{h.loop, h.rng, h.local, meta};
+  sched.add_listener(log);
+  triana::InlineSubworkflowRunner runner{h.loop, h.rng,  h.local,
+                                         h.sink, h.uuids, meta_uuid};
+  runner.attach(sched, meta_uuid);
+  int status = -1;
+  sched.start([&](sim::SimTime, int s) { status = s; });
+  h.loop.run();
+
+  EXPECT_EQ(status, 0);
+  // The generated child ran: 2 workflows, child has 3 tasks named w0-w2.
+  EXPECT_EQ(count_events(h.sink, ev::kXwfEnd), 2u);
+  int generated_tasks = 0;
+  for (const auto& r : h.sink.records()) {
+    if (r.event() == ev::kTaskInfo &&
+        r.get(ev::attr::kTaskId)->front() == 'w') {
+      ++generated_tasks;
+    }
+  }
+  EXPECT_EQ(generated_tasks, 3);
+}
+
+TEST(Scheduler, ThrowingSubworkflowFactoryFailsTheTask) {
+  Harness h;
+  TaskGraph meta{"meta-bad"};
+  meta.add_dynamic_subworkflow(
+      "generator",
+      [](const Data&) -> std::unique_ptr<TaskGraph> {
+        throw std::runtime_error("generator exploded");
+      },
+      fixed_unit("unit", 0.2));
+  triana::Scheduler sched{h.loop, h.rng, h.local, meta};
+  int status = 0;
+  sched.start([&](sim::SimTime, int s) { status = s; });
+  h.loop.run();
+  EXPECT_EQ(status, -1);
+  EXPECT_EQ(meta.task(0).state, triana::TaskState::kError);
+}
+
+TEST(Scheduler, FailureEventsCarryErrorLevel) {
+  Harness h;
+  TaskGraph g{"lvl"};
+  g.add_task("bad", std::make_unique<FunctionUnit>(
+                        "processing",
+                        [](const Data&) {
+                          return triana::UnitResult{{}, 2, "", "oops"};
+                        },
+                        [](Rng&) { return 1.0; }));
+  triana::StampedeLog log{h.sink, {h.uuids.next(), {}, {}, "lvl"}};
+  triana::Scheduler sched{h.loop, h.rng, h.local, g};
+  sched.add_listener(log);
+  sched.start(nullptr);
+  h.loop.run();
+  bool saw_error_level = false;
+  for (const auto& r : h.sink.records()) {
+    if (r.event() == ev::kJobInstMainEnd) {
+      EXPECT_EQ(r.level(), nl::Level::kError);
+      saw_error_level = true;
+    }
+  }
+  EXPECT_TRUE(saw_error_level);
+}

@@ -1,0 +1,351 @@
+// Unit tests for the YANG subset parser and the Stampede event validator.
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "netlogger/events.hpp"
+#include "netlogger/record.hpp"
+#include "yang/parser.hpp"
+#include "yang/validator.hpp"
+
+namespace yang = stampede::yang;
+namespace nl = stampede::nl;
+namespace ev = stampede::nl::events;
+
+// ---------------------------------------------------------------------------
+// Statement parser
+
+TEST(YangParser, ParsesSimpleStatements) {
+  const auto root = yang::parse_statements(
+      "module m { leaf a { type string; } }");
+  EXPECT_EQ(root.keyword, "module");
+  EXPECT_EQ(root.argument, "m");
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].keyword, "leaf");
+  EXPECT_EQ(root.children[0].argument, "a");
+}
+
+TEST(YangParser, QuotedArgumentsAndStringConcat) {
+  const auto root = yang::parse_statements(
+      "module m { description \"part one \" + \"part two\"; }");
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].argument, "part one part two");
+}
+
+TEST(YangParser, CommentsAreIgnored) {
+  const auto root = yang::parse_statements(R"(
+    // line comment
+    module m {
+      /* block
+         comment */
+      leaf a { type string; }
+    }
+  )");
+  ASSERT_EQ(root.children.size(), 1u);
+}
+
+TEST(YangParser, MultilineQuotedDescription) {
+  // The paper's schema snippet line-wraps a description string.
+  const auto root = yang::parse_statements(
+      "module m { leaf restart_count { type uint32; description \"Number of "
+      "times workflow was\n            restarted (due to failures)\"; } }");
+  EXPECT_EQ(root.children[0].children[1].keyword, "description");
+}
+
+TEST(YangParser, SyntaxErrorsThrow) {
+  EXPECT_THROW(yang::parse_statements("module m { leaf a "),
+               stampede::common::SchemaError);
+  EXPECT_THROW(yang::parse_statements("module m { leaf a }"),
+               stampede::common::SchemaError);
+  EXPECT_THROW(yang::parse_statements("module m { \"str\" }"),
+               stampede::common::SchemaError);
+  EXPECT_THROW(yang::parse_statements("module m {} trailing"),
+               stampede::common::SchemaError);
+  EXPECT_THROW(yang::parse_statements("module m { /* unterminated"),
+               stampede::common::SchemaError);
+}
+
+// ---------------------------------------------------------------------------
+// Module compilation
+
+namespace {
+
+constexpr std::string_view kTestModule = R"(
+module test {
+  typedef my_ts { type nl_ts; }
+  grouping base {
+    leaf ts { type my_ts; mandatory "true"; }
+    leaf event { type string; mandatory "true"; }
+    leaf level { type string; }
+    leaf xwf.id { type uuid; }
+  }
+  grouping extra {
+    uses base;
+    leaf n { type uint32; }
+  }
+  container a.start {
+    uses base;
+    leaf restart_count { type uint32; mandatory "true"; }
+    leaf mode { type enumeration { enum fast; enum slow; } }
+  }
+  container a.end {
+    uses extra;
+    leaf status { type int32; mandatory "true"; }
+    leaf dur { type decimal64; }
+    leaf ok { type boolean; }
+  }
+}
+)";
+
+const yang::SchemaRegistry& test_registry() {
+  static const yang::SchemaRegistry registry{
+      yang::parse_module(kTestModule)};
+  return registry;
+}
+
+nl::LogRecord valid_start() {
+  nl::LogRecord r{100.0, "a.start"};
+  r.set("xwf.id", std::string{"ea17e8ac-02ac-4909-b5e3-16e367392556"});
+  r.set("restart_count", std::int64_t{0});
+  return r;
+}
+
+}  // namespace
+
+TEST(YangCompile, TypedefResolvesToBuiltin) {
+  const auto module = yang::parse_module(kTestModule);
+  ASSERT_TRUE(module.typedefs.count("my_ts"));
+  EXPECT_EQ(module.typedefs.at("my_ts").type, yang::BaseType::kNlTs);
+}
+
+TEST(YangCompile, GroupingsFlattenTransitively) {
+  const auto* schema = test_registry().find("a.end");
+  ASSERT_NE(schema, nullptr);
+  // base(4 leaves) via extra + n + own 3.
+  EXPECT_EQ(schema->leaves.size(), 8u);
+  EXPECT_NE(schema->find_leaf("ts"), nullptr);
+  EXPECT_NE(schema->find_leaf("n"), nullptr);
+  EXPECT_NE(schema->find_leaf("status"), nullptr);
+}
+
+TEST(YangCompile, UnknownTypeThrows) {
+  EXPECT_THROW(
+      yang::parse_module("module m { container c { leaf a { type bogus; } } }"),
+      stampede::common::SchemaError);
+}
+
+TEST(YangCompile, UnknownGroupingThrowsAtFlatten) {
+  // `uses` references resolve when the registry flattens containers.
+  const auto module =
+      yang::parse_module("module m { container c { uses nope; } }");
+  EXPECT_THROW(yang::SchemaRegistry{module}, stampede::common::SchemaError);
+}
+
+TEST(YangCompile, DuplicateLeafInContainerThrowsAtFlatten) {
+  const auto module = yang::parse_module(R"(
+    module m {
+      grouping g { leaf a { type string; } }
+      container c { uses g; leaf a { type string; } }
+    })");
+  EXPECT_THROW(yang::SchemaRegistry{module}, stampede::common::SchemaError);
+}
+
+TEST(YangCompile, GroupingCycleThrowsAtFlatten) {
+  const auto module = yang::parse_module(R"(
+    module m {
+      grouping g1 { uses g2; }
+      grouping g2 { uses g1; }
+      container c { uses g1; }
+    })");
+  EXPECT_THROW(yang::SchemaRegistry{module}, stampede::common::SchemaError);
+}
+
+TEST(YangCompile, EmptyEnumerationThrows) {
+  EXPECT_THROW(
+      yang::parse_module(
+          "module m { container c { leaf a { type enumeration; } } }"),
+      stampede::common::SchemaError);
+}
+
+TEST(YangCompile, NonModuleTopLevelThrows) {
+  EXPECT_THROW(yang::parse_module("container c { leaf a { type string; } }"),
+               stampede::common::SchemaError);
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+
+TEST(Validate, AcceptsWellFormedEvent) {
+  const auto report = test_registry().validate(valid_start());
+  EXPECT_TRUE(report.ok()) << report.issues.size();
+}
+
+TEST(Validate, MissingMandatoryAttributeIsError) {
+  auto r = valid_start();
+  r.erase("restart_count");
+  const auto report = test_registry().validate(r);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.error_count(), 1u);
+  EXPECT_EQ(report.issues[0].attribute, "restart_count");
+}
+
+TEST(Validate, OptionalAttributeMayBeAbsent) {
+  nl::LogRecord r{1.0, "a.start"};
+  r.set("restart_count", std::int64_t{1});
+  // xwf.id and mode omitted — both optional.
+  EXPECT_TRUE(test_registry().validate(r).ok());
+}
+
+TEST(Validate, UnknownEventIsError) {
+  nl::LogRecord r{1.0, "a.unknown"};
+  const auto report = test_registry().validate(r);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validate, UnknownAttributeIsWarningOnly) {
+  auto r = valid_start();
+  r.set("extra_attr", std::string{"x"});
+  const auto report = test_registry().validate(r);
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].severity, yang::Severity::kWarning);
+}
+
+TEST(Validate, TypeErrors) {
+  auto r = valid_start();
+  r.set("restart_count", std::string{"minus-one"});
+  EXPECT_FALSE(test_registry().validate(r).ok());
+
+  auto r2 = valid_start();
+  r2.set("restart_count", std::string{"-1"});  // uint32 must be unsigned
+  EXPECT_FALSE(test_registry().validate(r2).ok());
+
+  auto r3 = valid_start();
+  r3.set("xwf.id", std::string{"not-a-uuid"});
+  EXPECT_FALSE(test_registry().validate(r3).ok());
+
+  auto r4 = valid_start();
+  r4.set("mode", std::string{"medium"});  // not in enumeration
+  EXPECT_FALSE(test_registry().validate(r4).ok());
+
+  auto r5 = valid_start();
+  r5.set("mode", std::string{"fast"});
+  EXPECT_TRUE(test_registry().validate(r5).ok());
+}
+
+TEST(Validate, BooleanAndDecimal) {
+  nl::LogRecord r{1.0, "a.end"};
+  r.set("status", std::int64_t{0});
+  r.set("dur", std::string{"12.75"});
+  r.set("ok", std::string{"true"});
+  EXPECT_TRUE(test_registry().validate(r).ok());
+  r.set("ok", std::string{"yes"});
+  EXPECT_FALSE(test_registry().validate(r).ok());
+  r.set("ok", std::string{"false"});
+  r.set("dur", std::string{"fast"});
+  EXPECT_FALSE(test_registry().validate(r).ok());
+}
+
+TEST(Validate, Uint32RangeEnforced) {
+  yang::Leaf leaf;
+  leaf.type = yang::BaseType::kUint32;
+  EXPECT_EQ(yang::check_value(leaf, "4294967295"), "");
+  EXPECT_NE(yang::check_value(leaf, "4294967296"), "");
+  yang::Leaf i32;
+  i32.type = yang::BaseType::kInt32;
+  EXPECT_EQ(yang::check_value(i32, "-2147483648"), "");
+  EXPECT_NE(yang::check_value(i32, "-2147483649"), "");
+}
+
+// ---------------------------------------------------------------------------
+// Embedded Stampede schema
+
+TEST(StampedeSchema, LoadsAndCoversEventCatalogue) {
+  const auto& registry = yang::stampede_schema();
+  for (const auto name :
+       {ev::kWfPlan, ev::kXwfStart, ev::kXwfEnd, ev::kTaskInfo, ev::kTaskEdge,
+        ev::kJobInfo, ev::kJobEdge, ev::kMapTaskJob, ev::kMapSubwfJob,
+        ev::kJobInstPreStart, ev::kJobInstPreTerm, ev::kJobInstPreEnd,
+        ev::kJobInstSubmitStart, ev::kJobInstSubmitEnd, ev::kJobInstHeldStart,
+        ev::kJobInstHeldEnd, ev::kJobInstMainStart, ev::kJobInstMainTerm,
+        ev::kJobInstMainEnd, ev::kJobInstPostStart, ev::kJobInstPostTerm,
+        ev::kJobInstPostEnd, ev::kJobInstHostInfo, ev::kJobInstImageInfo,
+        ev::kInvStart, ev::kInvEnd}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+}
+
+TEST(StampedeSchema, PaperExampleEventValidates) {
+  nl::LogRecord r{1331642138.0, std::string{ev::kXwfStart}};
+  r.set("xwf.id", std::string{"ea17e8ac-02ac-4909-b5e3-16e367392556"});
+  r.set("restart_count", std::int64_t{0});
+  EXPECT_TRUE(yang::stampede_schema().validate(r).ok());
+}
+
+TEST(StampedeSchema, XwfStartRequiresRestartCount) {
+  nl::LogRecord r{1.0, std::string{ev::kXwfStart}};
+  r.set("xwf.id", std::string{"ea17e8ac-02ac-4909-b5e3-16e367392556"});
+  EXPECT_FALSE(yang::stampede_schema().validate(r).ok());
+}
+
+TEST(StampedeSchema, InvEndRequiresDurAndExitcode) {
+  nl::LogRecord r{1.0, std::string{ev::kInvEnd}};
+  r.set("xwf.id", std::string{"ea17e8ac-02ac-4909-b5e3-16e367392556"});
+  r.set("job_inst.id", std::int64_t{1});
+  r.set("job.id", std::string{"exec0"});
+  r.set("inv.id", std::int64_t{1});
+  EXPECT_FALSE(yang::stampede_schema().validate(r).ok());
+  r.set("dur", 12.5);
+  r.set("exitcode", std::int64_t{0});
+  EXPECT_TRUE(yang::stampede_schema().validate(r).ok())
+      << yang::stampede_schema().validate(r).issues[0].message;
+}
+
+TEST(StampedeSchema, JobInstEventsShareBaseGrouping) {
+  const auto& registry = yang::stampede_schema();
+  for (const auto name : {ev::kJobInstSubmitStart, ev::kJobInstMainStart,
+                          ev::kJobInstPostEnd, ev::kJobInstHeldStart}) {
+    const auto* schema = registry.find(name);
+    ASSERT_NE(schema, nullptr) << name;
+    EXPECT_NE(schema->find_leaf("job_inst.id"), nullptr) << name;
+    EXPECT_NE(schema->find_leaf("job.id"), nullptr) << name;
+    EXPECT_NE(schema->find_leaf("ts"), nullptr) << name;
+  }
+}
+
+TEST(StampedeSchema, EventNamesListIsSorted) {
+  const auto names = yang::stampede_schema().event_names();
+  EXPECT_GE(names.size(), 26u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+// ---------------------------------------------------------------------------
+// Published schema file stays in sync with the embedded source
+
+#include <fstream>
+#include <sstream>
+
+TEST(StampedeSchema, PublishedSchemaFileMatchesEmbeddedSource) {
+  // schema/stampede.yang is the artifact workflow-system developers
+  // consume (the paper's [35]); it must be byte-identical to the source
+  // the validator compiles.
+  std::ifstream in{std::string{STAMPEDE_SOURCE_DIR} +
+                   "/schema/stampede.yang"};
+  ASSERT_TRUE(in.is_open())
+      << "schema/stampede.yang missing from the source tree";
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), std::string{yang::stampede_schema_source()});
+}
+
+TEST(StampedeSchema, PublishedSchemaFileParsesStandalone) {
+  std::ifstream in{std::string{STAMPEDE_SOURCE_DIR} +
+                   "/schema/stampede.yang"};
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  const auto module = yang::parse_module(contents.str());
+  EXPECT_EQ(module.name, "stampede");
+  const yang::SchemaRegistry registry{module};
+  EXPECT_GE(registry.event_count(), 26u);
+}

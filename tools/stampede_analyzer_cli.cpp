@@ -1,0 +1,46 @@
+// stampede_analyzer_cli — the paper's §VII-B troubleshooting tool:
+//
+//   stampede_analyzer_cli <archive-path> [wf-uuid]
+//
+// Prints the failure summary for the workflow and automatically drills
+// down the sub-workflow hierarchy to every failed descendant, exactly
+// the interactive session §VII-B describes.
+
+#include <cstdio>
+
+#include "orm/stampede_tables.hpp"
+#include "query/analyzer.hpp"
+
+using namespace stampede;
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: %s <archive-path> [wf-uuid]\n", argv[0]);
+    return 2;
+  }
+  const auto archive_ptr = orm::open_archive(argv[1]);
+  db::Database& archive = *archive_ptr;
+
+  const query::QueryInterface q{archive};
+  std::optional<query::WorkflowInfo> info;
+  if (argc == 3) {
+    info = q.workflow_by_uuid(argv[2]);
+  } else {
+    const auto roots = q.root_workflows();
+    if (!roots.empty()) info = roots.front();
+  }
+  if (!info) {
+    std::fprintf(stderr, "error: workflow not found\n");
+    return 1;
+  }
+
+  const query::StampedeAnalyzer analyzer{q};
+  const auto levels = analyzer.drill_down(info->wf_id);
+  for (const auto& analysis : levels) {
+    std::fputs(query::StampedeAnalyzer::render(analysis).c_str(), stdout);
+    std::puts("");
+  }
+  std::printf("analyzed %zu workflow level(s) in the hierarchy\n",
+              levels.size());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// stampede_statistics_cli — the paper's §VII statistics tool:
+//
+//   stampede_statistics_cli <archive-path> [wf-uuid]
+//
+// Prints the summary (Table I), per-transformation breakdown (Table II)
+// and jobs tables (Tables III/IV) for the given workflow — the first
+// root workflow in the archive when no UUID is given.
+
+#include <cstdio>
+
+#include "orm/stampede_tables.hpp"
+#include "query/statistics.hpp"
+
+using namespace stampede;
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: %s <archive-path> [wf-uuid]\n", argv[0]);
+    return 2;
+  }
+  const auto archive_ptr = orm::open_archive(argv[1]);
+  db::Database& archive = *archive_ptr;
+  if (archive.row_count("workflow") == 0) {
+    std::fprintf(stderr, "warning: archive %s is empty\n", argv[1]);
+  }
+
+  const query::QueryInterface q{archive};
+  std::optional<query::WorkflowInfo> info;
+  if (argc == 3) {
+    info = q.workflow_by_uuid(argv[2]);
+    if (!info) {
+      std::fprintf(stderr, "error: no workflow with uuid %s\n", argv[2]);
+      return 1;
+    }
+  } else {
+    const auto roots = q.root_workflows();
+    if (roots.empty()) {
+      std::fprintf(stderr, "error: archive has no workflows\n");
+      return 1;
+    }
+    info = roots.front();
+  }
+
+  const query::StampedeStatistics stats{q};
+  std::printf("workflow %s (%s)\n\n", info->wf_uuid.c_str(),
+              info->dax_label.c_str());
+  std::fputs(query::StampedeStatistics::render_summary(
+                 stats.summary(info->wf_id))
+                 .c_str(),
+             stdout);
+  std::puts("\n-- breakdown.txt --");
+  std::fputs(query::StampedeStatistics::render_breakdown(
+                 stats.breakdown(info->wf_id))
+                 .c_str(),
+             stdout);
+  const auto jobs = stats.jobs(info->wf_id);
+  std::puts("\n-- jobs.txt (invocations) --");
+  std::fputs(query::StampedeStatistics::render_jobs_invocations(jobs).c_str(),
+             stdout);
+  std::puts("\n-- jobs.txt (queue/runtime) --");
+  std::fputs(query::StampedeStatistics::render_jobs_queue(jobs).c_str(),
+             stdout);
+
+  std::puts("\n-- breakdown of jobs over hosts (workflow tree) --");
+  std::fputs(query::StampedeStatistics::render_host_usage(
+                 stats.host_usage(info->wf_id))
+                 .c_str(),
+             stdout);
+
+  const auto children = q.children_of(info->wf_id);
+  if (!children.empty()) {
+    std::printf("\n%zu sub-workflows; rerun with a uuid to inspect one:\n",
+                children.size());
+    for (const auto& child : children) {
+      std::printf("  %s  %s\n", child.wf_uuid.c_str(),
+                  child.dax_label.c_str());
+    }
+  }
+  return 0;
+}
