@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_invocations"
+  "../bench/bench_table3_invocations.pdb"
+  "CMakeFiles/bench_table3_invocations.dir/bench_table3_invocations.cpp.o"
+  "CMakeFiles/bench_table3_invocations.dir/bench_table3_invocations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_invocations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

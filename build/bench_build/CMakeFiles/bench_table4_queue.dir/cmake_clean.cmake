@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_queue"
+  "../bench/bench_table4_queue.pdb"
+  "CMakeFiles/bench_table4_queue.dir/bench_table4_queue.cpp.o"
+  "CMakeFiles/bench_table4_queue.dir/bench_table4_queue.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dart_triana.dir/dart_triana.cpp.o"
+  "CMakeFiles/dart_triana.dir/dart_triana.cpp.o.d"
+  "dart_triana"
+  "dart_triana.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dart_triana.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pegasus_diamond.dir/pegasus_diamond.cpp.o"
+  "CMakeFiles/pegasus_diamond.dir/pegasus_diamond.cpp.o.d"
+  "pegasus_diamond"
+  "pegasus_diamond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pegasus_diamond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

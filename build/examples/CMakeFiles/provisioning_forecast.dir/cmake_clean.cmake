@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provisioning_forecast.dir/provisioning_forecast.cpp.o"
+  "CMakeFiles/provisioning_forecast.dir/provisioning_forecast.cpp.o.d"
+  "provisioning_forecast"
+  "provisioning_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provisioning_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troubleshoot_failures.dir/troubleshoot_failures.cpp.o"
+  "CMakeFiles/troubleshoot_failures.dir/troubleshoot_failures.cpp.o.d"
+  "troubleshoot_failures"
+  "troubleshoot_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troubleshoot_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

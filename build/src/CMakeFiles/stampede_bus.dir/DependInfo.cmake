@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/broker.cpp" "src/CMakeFiles/stampede_bus.dir/bus/broker.cpp.o" "gcc" "src/CMakeFiles/stampede_bus.dir/bus/broker.cpp.o.d"
+  "/root/repo/src/bus/queue.cpp" "src/CMakeFiles/stampede_bus.dir/bus/queue.cpp.o" "gcc" "src/CMakeFiles/stampede_bus.dir/bus/queue.cpp.o.d"
+  "/root/repo/src/bus/topic_matcher.cpp" "src/CMakeFiles/stampede_bus.dir/bus/topic_matcher.cpp.o" "gcc" "src/CMakeFiles/stampede_bus.dir/bus/topic_matcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stampede_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_netlogger.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_bus.dir/bus/broker.cpp.o"
+  "CMakeFiles/stampede_bus.dir/bus/broker.cpp.o.d"
+  "CMakeFiles/stampede_bus.dir/bus/queue.cpp.o"
+  "CMakeFiles/stampede_bus.dir/bus/queue.cpp.o.d"
+  "CMakeFiles/stampede_bus.dir/bus/topic_matcher.cpp.o"
+  "CMakeFiles/stampede_bus.dir/bus/topic_matcher.cpp.o.d"
+  "libstampede_bus.a"
+  "libstampede_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/string_utils.cpp" "src/CMakeFiles/stampede_common.dir/common/string_utils.cpp.o" "gcc" "src/CMakeFiles/stampede_common.dir/common/string_utils.cpp.o.d"
+  "/root/repo/src/common/time_utils.cpp" "src/CMakeFiles/stampede_common.dir/common/time_utils.cpp.o" "gcc" "src/CMakeFiles/stampede_common.dir/common/time_utils.cpp.o.d"
+  "/root/repo/src/common/uuid.cpp" "src/CMakeFiles/stampede_common.dir/common/uuid.cpp.o" "gcc" "src/CMakeFiles/stampede_common.dir/common/uuid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

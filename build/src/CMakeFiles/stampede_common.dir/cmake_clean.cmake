@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_common.dir/common/string_utils.cpp.o"
+  "CMakeFiles/stampede_common.dir/common/string_utils.cpp.o.d"
+  "CMakeFiles/stampede_common.dir/common/time_utils.cpp.o"
+  "CMakeFiles/stampede_common.dir/common/time_utils.cpp.o.d"
+  "CMakeFiles/stampede_common.dir/common/uuid.cpp.o"
+  "CMakeFiles/stampede_common.dir/common/uuid.cpp.o.d"
+  "libstampede_common.a"
+  "libstampede_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dart/continuous.cpp" "src/CMakeFiles/stampede_dart.dir/dart/continuous.cpp.o" "gcc" "src/CMakeFiles/stampede_dart.dir/dart/continuous.cpp.o.d"
+  "/root/repo/src/dart/experiment.cpp" "src/CMakeFiles/stampede_dart.dir/dart/experiment.cpp.o" "gcc" "src/CMakeFiles/stampede_dart.dir/dart/experiment.cpp.o.d"
+  "/root/repo/src/dart/fft.cpp" "src/CMakeFiles/stampede_dart.dir/dart/fft.cpp.o" "gcc" "src/CMakeFiles/stampede_dart.dir/dart/fft.cpp.o.d"
+  "/root/repo/src/dart/shs.cpp" "src/CMakeFiles/stampede_dart.dir/dart/shs.cpp.o" "gcc" "src/CMakeFiles/stampede_dart.dir/dart/shs.cpp.o.d"
+  "/root/repo/src/dart/workload.cpp" "src/CMakeFiles/stampede_dart.dir/dart/workload.cpp.o" "gcc" "src/CMakeFiles/stampede_dart.dir/dart/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stampede_triana.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_loader.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_yang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_netlogger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_orm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_dart.dir/dart/continuous.cpp.o"
+  "CMakeFiles/stampede_dart.dir/dart/continuous.cpp.o.d"
+  "CMakeFiles/stampede_dart.dir/dart/experiment.cpp.o"
+  "CMakeFiles/stampede_dart.dir/dart/experiment.cpp.o.d"
+  "CMakeFiles/stampede_dart.dir/dart/fft.cpp.o"
+  "CMakeFiles/stampede_dart.dir/dart/fft.cpp.o.d"
+  "CMakeFiles/stampede_dart.dir/dart/shs.cpp.o"
+  "CMakeFiles/stampede_dart.dir/dart/shs.cpp.o.d"
+  "CMakeFiles/stampede_dart.dir/dart/workload.cpp.o"
+  "CMakeFiles/stampede_dart.dir/dart/workload.cpp.o.d"
+  "libstampede_dart.a"
+  "libstampede_dart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_dart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dashboard/dashboard.cpp" "src/CMakeFiles/stampede_dashboard.dir/dashboard/dashboard.cpp.o" "gcc" "src/CMakeFiles/stampede_dashboard.dir/dashboard/dashboard.cpp.o.d"
+  "/root/repo/src/dashboard/http_server.cpp" "src/CMakeFiles/stampede_dashboard.dir/dashboard/http_server.cpp.o" "gcc" "src/CMakeFiles/stampede_dashboard.dir/dashboard/http_server.cpp.o.d"
+  "/root/repo/src/dashboard/json.cpp" "src/CMakeFiles/stampede_dashboard.dir/dashboard/json.cpp.o" "gcc" "src/CMakeFiles/stampede_dashboard.dir/dashboard/json.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stampede_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_orm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_netlogger.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

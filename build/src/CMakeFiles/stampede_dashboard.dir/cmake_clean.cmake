@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_dashboard.dir/dashboard/dashboard.cpp.o"
+  "CMakeFiles/stampede_dashboard.dir/dashboard/dashboard.cpp.o.d"
+  "CMakeFiles/stampede_dashboard.dir/dashboard/http_server.cpp.o"
+  "CMakeFiles/stampede_dashboard.dir/dashboard/http_server.cpp.o.d"
+  "CMakeFiles/stampede_dashboard.dir/dashboard/json.cpp.o"
+  "CMakeFiles/stampede_dashboard.dir/dashboard/json.cpp.o.d"
+  "libstampede_dashboard.a"
+  "libstampede_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

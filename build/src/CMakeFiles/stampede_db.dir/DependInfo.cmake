@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/database.cpp" "src/CMakeFiles/stampede_db.dir/db/database.cpp.o" "gcc" "src/CMakeFiles/stampede_db.dir/db/database.cpp.o.d"
+  "/root/repo/src/db/expr.cpp" "src/CMakeFiles/stampede_db.dir/db/expr.cpp.o" "gcc" "src/CMakeFiles/stampede_db.dir/db/expr.cpp.o.d"
+  "/root/repo/src/db/query.cpp" "src/CMakeFiles/stampede_db.dir/db/query.cpp.o" "gcc" "src/CMakeFiles/stampede_db.dir/db/query.cpp.o.d"
+  "/root/repo/src/db/table.cpp" "src/CMakeFiles/stampede_db.dir/db/table.cpp.o" "gcc" "src/CMakeFiles/stampede_db.dir/db/table.cpp.o.d"
+  "/root/repo/src/db/value.cpp" "src/CMakeFiles/stampede_db.dir/db/value.cpp.o" "gcc" "src/CMakeFiles/stampede_db.dir/db/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stampede_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_db.dir/db/database.cpp.o"
+  "CMakeFiles/stampede_db.dir/db/database.cpp.o.d"
+  "CMakeFiles/stampede_db.dir/db/expr.cpp.o"
+  "CMakeFiles/stampede_db.dir/db/expr.cpp.o.d"
+  "CMakeFiles/stampede_db.dir/db/query.cpp.o"
+  "CMakeFiles/stampede_db.dir/db/query.cpp.o.d"
+  "CMakeFiles/stampede_db.dir/db/table.cpp.o"
+  "CMakeFiles/stampede_db.dir/db/table.cpp.o.d"
+  "CMakeFiles/stampede_db.dir/db/value.cpp.o"
+  "CMakeFiles/stampede_db.dir/db/value.cpp.o.d"
+  "libstampede_db.a"
+  "libstampede_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loader/nl_load.cpp" "src/CMakeFiles/stampede_loader.dir/loader/nl_load.cpp.o" "gcc" "src/CMakeFiles/stampede_loader.dir/loader/nl_load.cpp.o.d"
+  "/root/repo/src/loader/stampede_loader.cpp" "src/CMakeFiles/stampede_loader.dir/loader/stampede_loader.cpp.o" "gcc" "src/CMakeFiles/stampede_loader.dir/loader/stampede_loader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stampede_orm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_yang.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_netlogger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_loader.dir/loader/nl_load.cpp.o"
+  "CMakeFiles/stampede_loader.dir/loader/nl_load.cpp.o.d"
+  "CMakeFiles/stampede_loader.dir/loader/stampede_loader.cpp.o"
+  "CMakeFiles/stampede_loader.dir/loader/stampede_loader.cpp.o.d"
+  "libstampede_loader.a"
+  "libstampede_loader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_netlogger.dir/netlogger/bp_file.cpp.o"
+  "CMakeFiles/stampede_netlogger.dir/netlogger/bp_file.cpp.o.d"
+  "CMakeFiles/stampede_netlogger.dir/netlogger/formatter.cpp.o"
+  "CMakeFiles/stampede_netlogger.dir/netlogger/formatter.cpp.o.d"
+  "CMakeFiles/stampede_netlogger.dir/netlogger/parser.cpp.o"
+  "CMakeFiles/stampede_netlogger.dir/netlogger/parser.cpp.o.d"
+  "CMakeFiles/stampede_netlogger.dir/netlogger/record.cpp.o"
+  "CMakeFiles/stampede_netlogger.dir/netlogger/record.cpp.o.d"
+  "libstampede_netlogger.a"
+  "libstampede_netlogger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_netlogger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

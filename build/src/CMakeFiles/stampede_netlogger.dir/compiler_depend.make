@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stampede_netlogger.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_orm.dir/orm/session.cpp.o"
+  "CMakeFiles/stampede_orm.dir/orm/session.cpp.o.d"
+  "CMakeFiles/stampede_orm.dir/orm/stampede_tables.cpp.o"
+  "CMakeFiles/stampede_orm.dir/orm/stampede_tables.cpp.o.d"
+  "libstampede_orm.a"
+  "libstampede_orm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_orm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

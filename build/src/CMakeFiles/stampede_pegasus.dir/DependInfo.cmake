@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pegasus/abstract_workflow.cpp" "src/CMakeFiles/stampede_pegasus.dir/pegasus/abstract_workflow.cpp.o" "gcc" "src/CMakeFiles/stampede_pegasus.dir/pegasus/abstract_workflow.cpp.o.d"
+  "/root/repo/src/pegasus/condor_pool.cpp" "src/CMakeFiles/stampede_pegasus.dir/pegasus/condor_pool.cpp.o" "gcc" "src/CMakeFiles/stampede_pegasus.dir/pegasus/condor_pool.cpp.o.d"
+  "/root/repo/src/pegasus/dagman.cpp" "src/CMakeFiles/stampede_pegasus.dir/pegasus/dagman.cpp.o" "gcc" "src/CMakeFiles/stampede_pegasus.dir/pegasus/dagman.cpp.o.d"
+  "/root/repo/src/pegasus/hierarchy.cpp" "src/CMakeFiles/stampede_pegasus.dir/pegasus/hierarchy.cpp.o" "gcc" "src/CMakeFiles/stampede_pegasus.dir/pegasus/hierarchy.cpp.o.d"
+  "/root/repo/src/pegasus/planner.cpp" "src/CMakeFiles/stampede_pegasus.dir/pegasus/planner.cpp.o" "gcc" "src/CMakeFiles/stampede_pegasus.dir/pegasus/planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stampede_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_netlogger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_pegasus.dir/pegasus/abstract_workflow.cpp.o"
+  "CMakeFiles/stampede_pegasus.dir/pegasus/abstract_workflow.cpp.o.d"
+  "CMakeFiles/stampede_pegasus.dir/pegasus/condor_pool.cpp.o"
+  "CMakeFiles/stampede_pegasus.dir/pegasus/condor_pool.cpp.o.d"
+  "CMakeFiles/stampede_pegasus.dir/pegasus/dagman.cpp.o"
+  "CMakeFiles/stampede_pegasus.dir/pegasus/dagman.cpp.o.d"
+  "CMakeFiles/stampede_pegasus.dir/pegasus/hierarchy.cpp.o"
+  "CMakeFiles/stampede_pegasus.dir/pegasus/hierarchy.cpp.o.d"
+  "CMakeFiles/stampede_pegasus.dir/pegasus/planner.cpp.o"
+  "CMakeFiles/stampede_pegasus.dir/pegasus/planner.cpp.o.d"
+  "libstampede_pegasus.a"
+  "libstampede_pegasus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_pegasus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/analyzer.cpp" "src/CMakeFiles/stampede_query.dir/query/analyzer.cpp.o" "gcc" "src/CMakeFiles/stampede_query.dir/query/analyzer.cpp.o.d"
+  "/root/repo/src/query/anomaly.cpp" "src/CMakeFiles/stampede_query.dir/query/anomaly.cpp.o" "gcc" "src/CMakeFiles/stampede_query.dir/query/anomaly.cpp.o.d"
+  "/root/repo/src/query/live_monitor.cpp" "src/CMakeFiles/stampede_query.dir/query/live_monitor.cpp.o" "gcc" "src/CMakeFiles/stampede_query.dir/query/live_monitor.cpp.o.d"
+  "/root/repo/src/query/prediction.cpp" "src/CMakeFiles/stampede_query.dir/query/prediction.cpp.o" "gcc" "src/CMakeFiles/stampede_query.dir/query/prediction.cpp.o.d"
+  "/root/repo/src/query/query_interface.cpp" "src/CMakeFiles/stampede_query.dir/query/query_interface.cpp.o" "gcc" "src/CMakeFiles/stampede_query.dir/query/query_interface.cpp.o.d"
+  "/root/repo/src/query/statistics.cpp" "src/CMakeFiles/stampede_query.dir/query/statistics.cpp.o" "gcc" "src/CMakeFiles/stampede_query.dir/query/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stampede_orm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_netlogger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

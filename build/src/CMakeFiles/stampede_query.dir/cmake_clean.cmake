@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_query.dir/query/analyzer.cpp.o"
+  "CMakeFiles/stampede_query.dir/query/analyzer.cpp.o.d"
+  "CMakeFiles/stampede_query.dir/query/anomaly.cpp.o"
+  "CMakeFiles/stampede_query.dir/query/anomaly.cpp.o.d"
+  "CMakeFiles/stampede_query.dir/query/live_monitor.cpp.o"
+  "CMakeFiles/stampede_query.dir/query/live_monitor.cpp.o.d"
+  "CMakeFiles/stampede_query.dir/query/prediction.cpp.o"
+  "CMakeFiles/stampede_query.dir/query/prediction.cpp.o.d"
+  "CMakeFiles/stampede_query.dir/query/query_interface.cpp.o"
+  "CMakeFiles/stampede_query.dir/query/query_interface.cpp.o.d"
+  "CMakeFiles/stampede_query.dir/query/statistics.cpp.o"
+  "CMakeFiles/stampede_query.dir/query/statistics.cpp.o.d"
+  "libstampede_query.a"
+  "libstampede_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

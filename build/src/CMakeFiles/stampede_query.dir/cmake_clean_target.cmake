@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstampede_query.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_sim.dir/sim/event_loop.cpp.o"
+  "CMakeFiles/stampede_sim.dir/sim/event_loop.cpp.o.d"
+  "CMakeFiles/stampede_sim.dir/sim/node.cpp.o"
+  "CMakeFiles/stampede_sim.dir/sim/node.cpp.o.d"
+  "libstampede_sim.a"
+  "libstampede_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

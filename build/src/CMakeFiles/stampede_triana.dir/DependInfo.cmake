@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/triana/scheduler.cpp" "src/CMakeFiles/stampede_triana.dir/triana/scheduler.cpp.o" "gcc" "src/CMakeFiles/stampede_triana.dir/triana/scheduler.cpp.o.d"
+  "/root/repo/src/triana/stampede_log.cpp" "src/CMakeFiles/stampede_triana.dir/triana/stampede_log.cpp.o" "gcc" "src/CMakeFiles/stampede_triana.dir/triana/stampede_log.cpp.o.d"
+  "/root/repo/src/triana/state.cpp" "src/CMakeFiles/stampede_triana.dir/triana/state.cpp.o" "gcc" "src/CMakeFiles/stampede_triana.dir/triana/state.cpp.o.d"
+  "/root/repo/src/triana/taskgraph.cpp" "src/CMakeFiles/stampede_triana.dir/triana/taskgraph.cpp.o" "gcc" "src/CMakeFiles/stampede_triana.dir/triana/taskgraph.cpp.o.d"
+  "/root/repo/src/triana/trianacloud.cpp" "src/CMakeFiles/stampede_triana.dir/triana/trianacloud.cpp.o" "gcc" "src/CMakeFiles/stampede_triana.dir/triana/trianacloud.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stampede_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_netlogger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

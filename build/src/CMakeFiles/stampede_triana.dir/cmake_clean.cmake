@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_triana.dir/triana/scheduler.cpp.o"
+  "CMakeFiles/stampede_triana.dir/triana/scheduler.cpp.o.d"
+  "CMakeFiles/stampede_triana.dir/triana/stampede_log.cpp.o"
+  "CMakeFiles/stampede_triana.dir/triana/stampede_log.cpp.o.d"
+  "CMakeFiles/stampede_triana.dir/triana/state.cpp.o"
+  "CMakeFiles/stampede_triana.dir/triana/state.cpp.o.d"
+  "CMakeFiles/stampede_triana.dir/triana/taskgraph.cpp.o"
+  "CMakeFiles/stampede_triana.dir/triana/taskgraph.cpp.o.d"
+  "CMakeFiles/stampede_triana.dir/triana/trianacloud.cpp.o"
+  "CMakeFiles/stampede_triana.dir/triana/trianacloud.cpp.o.d"
+  "libstampede_triana.a"
+  "libstampede_triana.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_triana.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

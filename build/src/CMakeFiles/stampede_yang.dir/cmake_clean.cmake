@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_yang.dir/yang/parser.cpp.o"
+  "CMakeFiles/stampede_yang.dir/yang/parser.cpp.o.d"
+  "CMakeFiles/stampede_yang.dir/yang/stampede_schema.cpp.o"
+  "CMakeFiles/stampede_yang.dir/yang/stampede_schema.cpp.o.d"
+  "CMakeFiles/stampede_yang.dir/yang/validator.cpp.o"
+  "CMakeFiles/stampede_yang.dir/yang/validator.cpp.o.d"
+  "libstampede_yang.a"
+  "libstampede_yang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_yang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dashboard.dir/test_dashboard.cpp.o"
+  "CMakeFiles/test_dashboard.dir/test_dashboard.cpp.o.d"
+  "test_dashboard"
+  "test_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

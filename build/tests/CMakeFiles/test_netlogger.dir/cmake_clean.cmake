@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlogger.dir/test_netlogger.cpp.o"
+  "CMakeFiles/test_netlogger.dir/test_netlogger.cpp.o.d"
+  "test_netlogger"
+  "test_netlogger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlogger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orm.dir/test_orm.cpp.o"
+  "CMakeFiles/test_orm.dir/test_orm.cpp.o.d"
+  "test_orm"
+  "test_orm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pegasus.dir/test_pegasus.cpp.o"
+  "CMakeFiles/test_pegasus.dir/test_pegasus.cpp.o.d"
+  "test_pegasus"
+  "test_pegasus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pegasus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triana.dir/test_triana.cpp.o"
+  "CMakeFiles/test_triana.dir/test_triana.cpp.o.d"
+  "test_triana"
+  "test_triana.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triana.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_yang.dir/test_yang.cpp.o"
+  "CMakeFiles/test_yang.dir/test_yang.cpp.o.d"
+  "test_yang"
+  "test_yang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_yang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nl_load_cli.dir/nl_load_cli.cpp.o"
+  "CMakeFiles/nl_load_cli.dir/nl_load_cli.cpp.o.d"
+  "nl_load_cli"
+  "nl_load_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nl_load_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

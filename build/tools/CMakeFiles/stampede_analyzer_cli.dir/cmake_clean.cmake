@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_analyzer_cli.dir/stampede_analyzer_cli.cpp.o"
+  "CMakeFiles/stampede_analyzer_cli.dir/stampede_analyzer_cli.cpp.o.d"
+  "stampede_analyzer_cli"
+  "stampede_analyzer_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_analyzer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/stampede_statistics_cli.cpp" "tools/CMakeFiles/stampede_statistics_cli.dir/stampede_statistics_cli.cpp.o" "gcc" "tools/CMakeFiles/stampede_statistics_cli.dir/stampede_statistics_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stampede_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_orm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_netlogger.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stampede_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stampede_statistics_cli.dir/stampede_statistics_cli.cpp.o"
+  "CMakeFiles/stampede_statistics_cli.dir/stampede_statistics_cli.cpp.o.d"
+  "stampede_statistics_cli"
+  "stampede_statistics_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stampede_statistics_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
