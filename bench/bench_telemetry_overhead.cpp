@@ -1,0 +1,146 @@
+// bench_telemetry_overhead — proves the self-telemetry instrumentation
+// is cheap enough to leave on in production (<5% loader throughput cost).
+//
+// Two measurements:
+//   1. Micro: ns/op for the individual instruments (counter inc, gauge
+//      set, histogram observe) with telemetry enabled vs disabled.
+//   2. Macro: a full Triana event stream loaded through StampedeLoader
+//      with telemetry enabled vs disabled (runtime kill-switch), best of
+//      N repetitions each, interleaved to cancel thermal/cache drift.
+//
+// Exit status is the verdict: non-zero if the enabled/disabled loader
+// regression exceeds the 5% budget, so CI can run it as a gate.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/uuid.hpp"
+#include "loader/stampede_loader.hpp"
+#include "netlogger/sink.hpp"
+#include "orm/stampede_tables.hpp"
+#include "telemetry/metrics.hpp"
+#include "triana/scheduler.hpp"
+
+using namespace stampede;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<nl::LogRecord> triana_stream(int tasks) {
+  sim::EventLoop loop{1339840800.0};
+  common::Rng rng{1234};
+  common::UuidGenerator uuids{1234};
+  nl::VectorSink sink;
+  sim::PsNode node{loop, "localhost", 64, 64.0};
+  triana::TaskGraph graph{"overhead-" + std::to_string(tasks)};
+  const auto source =
+      graph.add_task("source", triana::FunctionUnit::passthrough("file", 0.5));
+  const auto sink_task =
+      graph.add_task("collect", triana::FunctionUnit::passthrough("file", 0.5));
+  for (int i = 0; i < tasks; ++i) {
+    const auto t = graph.add_task(
+        "work" + std::to_string(i),
+        triana::FunctionUnit::passthrough("processing", 2.0));
+    graph.connect(source, t);
+    graph.connect(t, sink_task);
+  }
+  triana::StampedeLog log{sink, {uuids.next(), {}, {}, graph.name()}};
+  triana::Scheduler scheduler{loop, rng, node, graph};
+  scheduler.add_listener(log);
+  scheduler.start(nullptr);
+  loop.run();
+  return sink.records();
+}
+
+/// One full load of `events` into a fresh archive; returns wall seconds.
+double load_once(const std::vector<nl::LogRecord>& events) {
+  db::Database archive;
+  orm::create_stampede_schema(archive);
+  loader::StampedeLoader loader{archive};
+  const auto start = Clock::now();
+  for (const auto& record : events) loader.process(record);
+  loader.finish();
+  return seconds_since(start);
+}
+
+/// Best-of-reps wall time — min is the standard low-noise estimator for
+/// a deterministic workload.
+double best_load_seconds(const std::vector<nl::LogRecord>& events, int reps) {
+  double best = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    const double s = load_once(events);
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+double micro_ns_per_op(int iters, const auto& op) {
+  const auto start = Clock::now();
+  for (int i = 0; i < iters; ++i) op(i);
+  return seconds_since(start) * 1e9 / iters;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kMicroIters = 5'000'000;
+  auto& registry = telemetry::registry();
+  auto& counter = registry.counter("bench_counter_total");
+  auto& gauge = registry.gauge("bench_gauge");
+  auto& histogram = registry.histogram("bench_histogram_seconds");
+
+  std::printf("== micro (ns/op, %d iterations) ==\n", kMicroIters);
+  for (const bool on : {true, false}) {
+    telemetry::set_enabled(on);
+    const double counter_ns =
+        micro_ns_per_op(kMicroIters, [&](int) { counter.inc(); });
+    const double gauge_ns =
+        micro_ns_per_op(kMicroIters, [&](int i) { gauge.set(i); });
+    const double histogram_ns = micro_ns_per_op(
+        kMicroIters, [&](int i) { histogram.observe(1e-6 * (i % 4096 + 1)); });
+    std::printf("telemetry=%-3s counter.inc %6.2f  gauge.set %6.2f  "
+                "histogram.observe %6.2f\n",
+                on ? "on" : "off", counter_ns, gauge_ns, histogram_ns);
+  }
+
+  // Macro: the real loader hot path. Interleave enabled/disabled reps so
+  // neither configuration systematically benefits from warm caches.
+  const auto events = triana_stream(512);
+  std::printf("\n== macro (loader, %zu events, best of 5) ==\n",
+              events.size());
+  telemetry::set_enabled(true);
+  (void)load_once(events);  // Warm-up (schema compile, allocator).
+  double best_on = 1e30;
+  double best_off = 1e30;
+  for (int rep = 0; rep < 5; ++rep) {
+    telemetry::set_enabled(true);
+    best_on = std::min(best_on, best_load_seconds(events, 1));
+    telemetry::set_enabled(false);
+    best_off = std::min(best_off, best_load_seconds(events, 1));
+  }
+  telemetry::set_enabled(true);
+
+  const double n = static_cast<double>(events.size());
+  const double overhead = (best_on - best_off) / best_off * 100.0;
+  std::printf("telemetry=on   %8.1f events/s (%.3f s)\n", n / best_on, best_on);
+  std::printf("telemetry=off  %8.1f events/s (%.3f s)\n", n / best_off,
+              best_off);
+  std::printf("overhead       %+.2f%% (budget 5%%)\n", overhead);
+
+  if (overhead > 5.0) {
+    std::fprintf(stderr, "FAIL: telemetry overhead %.2f%% exceeds 5%% budget\n",
+                 overhead);
+    return 1;
+  }
+  std::puts("PASS: telemetry overhead within budget");
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include "bus/broker.hpp"
 #include "netlogger/formatter.hpp"
 #include "netlogger/record.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace stampede::bus {
 
@@ -25,13 +26,15 @@ class BpPublisher {
     broker_->declare_exchange(exchange_, ExchangeType::kTopic);
   }
 
-  /// Formats and publishes one record; returns queues reached.
+  /// Formats and publishes one record; returns queues reached. The
+  /// publish-side trace stamp starts the end-to-end latency clock.
   std::size_t publish(const nl::LogRecord& record) {
     Message message;
     message.routing_key = record.event();
     message.body = nl::format_record(record);
     message.published_at = record.ts();
     message.persistent = persistent_;
+    message.trace_published = telemetry::trace_now();
     ++published_;
     return broker_->publish(exchange_, std::move(message));
   }

@@ -6,10 +6,33 @@
 
 #include "common/errors.hpp"
 #include "netlogger/parser.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace stampede::bus {
 
 using common::BusError;
+
+namespace {
+
+/// Broker-wide instruments, resolved once per process (the broker is a
+/// hot path: one publish per monitoring event in the whole system).
+struct BusTelemetry {
+  telemetry::Counter& published =
+      telemetry::registry().counter("stampede_bus_published_total");
+  telemetry::Counter& routed =
+      telemetry::registry().counter("stampede_bus_routed_total");
+  telemetry::Counter& unroutable =
+      telemetry::registry().counter("stampede_bus_unroutable_total");
+  telemetry::Histogram& routing_latency = telemetry::registry().histogram(
+      "stampede_bus_routing_latency_seconds", {1e-7, 2.0, 32});
+};
+
+BusTelemetry& bus_telemetry() {
+  static BusTelemetry instance;
+  return instance;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Subscription
@@ -133,6 +156,8 @@ std::vector<std::string> Broker::queue_names() const {
 
 std::size_t Broker::publish(const std::string& exchange, Message message) {
   if (closed_.load()) return 0;
+  auto& tele = bus_telemetry();
+  const double route_start = telemetry::trace_now();
   std::vector<std::shared_ptr<QueueEntry>> targets;
   {
     const std::scoped_lock lock{mutex_};
@@ -141,6 +166,7 @@ std::size_t Broker::publish(const std::string& exchange, Message message) {
       throw BusError("publish: unknown exchange '" + exchange + "'");
     }
     ++stats_.published;
+    tele.published.inc();
     for (const auto& binding : it->second.bindings) {
       const bool hit = it->second.type == ExchangeType::kFanout ||
                        (it->second.type == ExchangeType::kDirect
@@ -152,12 +178,15 @@ std::size_t Broker::publish(const std::string& exchange, Message message) {
     }
     if (targets.empty()) {
       ++stats_.unroutable;
+      tele.unroutable.inc();
     } else {
       stats_.routed += targets.size();
+      tele.routed.inc(targets.size());
     }
   }
   // Enqueue outside the broker lock: BrokerQueue has its own mutex and
   // spooling does file I/O (CP.43 — keep critical sections small).
+  message.trace_enqueued = route_start > 0.0 ? telemetry::now() : 0.0;
   for (std::size_t i = 0; i < targets.size(); ++i) {
     auto& entry = *targets[i];
     const bool last = i + 1 == targets.size();
@@ -165,6 +194,9 @@ std::size_t Broker::publish(const std::string& exchange, Message message) {
       spool_append(entry, message);
     }
     entry.queue.enqueue(last ? std::move(message) : message);
+  }
+  if (route_start > 0.0) {
+    tele.routing_latency.observe(telemetry::now() - route_start);
   }
   if (!targets.empty()) {
     message_ready_.notify_all();

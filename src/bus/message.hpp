@@ -20,6 +20,13 @@ struct Message {
   std::map<std::string, std::string> headers;
   common::Timestamp published_at = 0.0;
   bool persistent = false;  ///< Spooled to disk when queued on a durable queue.
+
+  // Telemetry trace stamps (telemetry/trace.hpp): steady-clock seconds
+  // recorded as the message crossed each stage; 0 = stage not traced.
+  // These live on the message, not in the BP body, so the payload stays
+  // byte-identical to a file replay.
+  double trace_published = 0.0;  ///< BpPublisher::publish.
+  double trace_enqueued = 0.0;   ///< Broker::publish routing.
 };
 
 /// A message handed to a consumer; carries the tag used to acknowledge.

@@ -10,9 +10,12 @@ bool BrokerQueue::enqueue(Message message) {
     // Drop-head: discard the oldest ready message to admit the new one.
     ready_.pop_front();
     ++stats_.dropped_overflow;
+    dropped_counter_->inc();
   }
   ready_.push_back(std::move(message));
   ++stats_.enqueued;
+  enqueued_counter_->inc();
+  depth_gauge_->set(static_cast<std::int64_t>(ready_.size()));
   return true;
 }
 
@@ -29,6 +32,7 @@ std::optional<Delivery> BrokerQueue::deliver(const std::string& consumer_tag,
   unacked_.emplace(delivery.delivery_tag,
                    Unacked{consumer_tag, delivery.message});
   ++stats_.delivered;
+  depth_gauge_->set(static_cast<std::int64_t>(ready_.size()));
   return delivery;
 }
 
@@ -48,6 +52,7 @@ bool BrokerQueue::nack(std::uint64_t delivery_tag, bool requeue) {
   if (requeue) {
     ready_.push_front(std::move(it->second.message));
     ++stats_.requeued;
+    depth_gauge_->set(static_cast<std::int64_t>(ready_.size()));
   }
   unacked_.erase(it);
   return true;
@@ -66,6 +71,7 @@ void BrokerQueue::requeue_consumer(const std::string& consumer_tag) {
     ready_.push_front(std::move(node.mapped().message));
     ++stats_.requeued;
   }
+  depth_gauge_->set(static_cast<std::int64_t>(ready_.size()));
 }
 
 QueueStats BrokerQueue::stats() const {

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "bus/message.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace stampede::bus {
 
@@ -40,8 +41,18 @@ struct QueueStats {
 /// its own state.
 class BrokerQueue {
  public:
+  // Telemetry instruments are resolved once here (one registry lookup
+  // per queue lifetime); the enqueue/deliver hot path then only touches
+  // relaxed atomics.
   BrokerQueue(std::string name, QueueOptions options)
-      : name_(std::move(name)), options_(options) {}
+      : name_(std::move(name)),
+        options_(options),
+        depth_gauge_(&telemetry::registry().gauge(telemetry::labeled(
+            "stampede_bus_queue_depth", "queue", name_))),
+        enqueued_counter_(&telemetry::registry().counter(telemetry::labeled(
+            "stampede_bus_queue_enqueued_total", "queue", name_))),
+        dropped_counter_(&telemetry::registry().counter(telemetry::labeled(
+            "stampede_bus_queue_dropped_total", "queue", name_))) {}
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const QueueOptions& options() const noexcept {
@@ -81,6 +92,9 @@ class BrokerQueue {
   mutable std::mutex mutex_;
   std::string name_;
   QueueOptions options_;
+  telemetry::Gauge* depth_gauge_;
+  telemetry::Counter* enqueued_counter_;
+  telemetry::Counter* dropped_counter_;
   std::deque<Message> ready_;
   std::map<std::uint64_t, Unacked> unacked_;
   std::uint64_t next_tag_ = 1;

@@ -1,6 +1,7 @@
 #include "dashboard/dashboard.hpp"
 
 #include "dashboard/json.hpp"
+#include "dashboard/telemetry_routes.hpp"
 
 namespace stampede::dash {
 
@@ -9,6 +10,7 @@ Dashboard::Dashboard(const db::Database& database, int port)
   server_.route("/healthz", [](const HttpRequest&) {
     return HttpResponse::json(R"({"status":"ok"})");
   });
+  register_telemetry_routes(server_);
   server_.route("/workflows",
                 [this](const HttpRequest& r) { return workflows(r); });
   server_.route("/workflow/{uuid}/summary",

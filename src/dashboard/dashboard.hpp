@@ -12,6 +12,10 @@
 //   GET /workflow/{uuid}/progress     — Fig.-7 per-bundle series
 //   GET /workflow/{uuid}/hosts        — per-host activity over time
 //   GET /workflow/{uuid}/analyzer     — failure drill-down (all levels)
+//
+// Self-telemetry (dashboard/telemetry_routes.hpp):
+//   GET /metrics                      — Prometheus text exposition
+//   GET /selfz                        — registry snapshot as JSON
 
 #include "dashboard/http_server.hpp"
 #include "query/analyzer.hpp"

@@ -10,10 +10,25 @@
 #include <stdexcept>
 
 #include "common/string_utils.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace stampede::dash {
 
 namespace {
+
+struct HttpTelemetry {
+  telemetry::Counter& requests =
+      telemetry::registry().counter("stampede_http_requests_total");
+  telemetry::Counter& errors =
+      telemetry::registry().counter("stampede_http_errors_total");
+  telemetry::Histogram& latency = telemetry::registry().histogram(
+      "stampede_http_request_latency_seconds");
+};
+
+HttpTelemetry& http_telemetry() {
+  static HttpTelemetry instance;
+  return instance;
+}
 
 std::string status_text(int status) {
   switch (status) {
@@ -114,6 +129,9 @@ void HttpServer::serve(int client_fd) {
     raw.append(buf, static_cast<std::size_t>(n));
     if (raw.size() > 64 * 1024) break;  // Refuse absurd requests.
   }
+  auto& tele = http_telemetry();
+  const double serve_start = telemetry::trace_now();
+  tele.requests.inc();
   const auto line_end = raw.find("\r\n");
   if (line_end == std::string::npos) return;
   const auto parts =
@@ -140,6 +158,10 @@ void HttpServer::serve(int client_fd) {
   out += "Connection: close\r\n\r\n";
   out += response.body;
   send_all(client_fd, out);
+  if (response.status >= 400) tele.errors.inc();
+  if (serve_start > 0.0) {
+    tele.latency.observe(telemetry::now() - serve_start);
+  }
 }
 
 HttpResponse HttpServer::dispatch(const HttpRequest& request) const {

@@ -1,0 +1,19 @@
+#include "dashboard/telemetry_routes.hpp"
+
+#include "telemetry/exposition.hpp"
+
+namespace stampede::dash {
+
+void register_telemetry_routes(HttpServer& server,
+                               const telemetry::Registry& registry) {
+  server.route("/metrics", [&registry](const HttpRequest&) {
+    HttpResponse response = HttpResponse::text(telemetry::to_prometheus(registry));
+    response.content_type = "text/plain; version=0.0.4";
+    return response;
+  });
+  server.route("/selfz", [&registry](const HttpRequest&) {
+    return HttpResponse::json(telemetry::to_json(registry));
+  });
+}
+
+}  // namespace stampede::dash

@@ -1,0 +1,20 @@
+#pragma once
+// Self-telemetry exposition endpoints for any embedded HttpServer:
+//
+//   GET /metrics — Prometheus text format (telemetry::to_prometheus)
+//   GET /selfz   — the same registry as one JSON document
+//
+// The Dashboard registers these on its own server; standalone tools
+// (nl_load_cli --metrics-port) mount them on a bare HttpServer without
+// pulling in the query stack.
+
+#include "dashboard/http_server.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace stampede::dash {
+
+void register_telemetry_routes(HttpServer& server,
+                               const telemetry::Registry& registry =
+                                   telemetry::registry());
+
+}  // namespace stampede::dash

@@ -4,6 +4,9 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace stampede::loader {
 namespace {
 
@@ -11,6 +14,12 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+telemetry::Gauge& events_per_second_gauge() {
+  static telemetry::Gauge& gauge =
+      telemetry::registry().gauge("stampede_loader_events_per_second");
+  return gauge;
 }
 
 }  // namespace
@@ -27,6 +36,8 @@ NlLoadStats load_stream(std::istream& in, StampedeLoader& loader) {
   stats.lines = parser.lines_read();
   stats.parse_errors = parser.errors().size();
   stats.wall_seconds = seconds_since(start);
+  events_per_second_gauge().set(
+      static_cast<std::int64_t>(stats.events_per_second()));
   return stats;
 }
 
@@ -82,6 +93,11 @@ void QueuePump::pump(const std::stop_token& stop) {
       if (stop.stop_requested()) break;  // Drained and asked to stop.
       continue;
     }
+    // The dequeue-side trace stamp; together with the bus-side stamps it
+    // lets the loader measure true end-to-end latency per event.
+    const telemetry::TraceStamps trace{delivery->message.trace_published,
+                                       delivery->message.trace_enqueued,
+                                       telemetry::trace_now()};
     nl::ParseResult parsed = nl::parse_line(delivery->message.body);
     {
       const std::scoped_lock lock{stats_mutex_};
@@ -91,9 +107,11 @@ void QueuePump::pump(const std::stop_token& stop) {
         ++stats_.parse_errors;
       }
       stats_.wall_seconds = seconds_since(start);
+      events_per_second_gauge().set(
+          static_cast<std::int64_t>(stats_.events_per_second()));
     }
     if (auto* record = std::get_if<nl::LogRecord>(&parsed)) {
-      loader_->process(*record);
+      loader_->process(*record, &trace);
     }
     // Ack regardless: a message our parser rejects will never become
     // parseable on redelivery.

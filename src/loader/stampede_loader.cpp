@@ -1,5 +1,7 @@
 #include "loader/stampede_loader.hpp"
 
+#include <cstdio>
+
 #include "common/string_utils.hpp"
 #include "common/time_utils.hpp"
 #include "netlogger/events.hpp"
@@ -10,8 +12,41 @@ namespace ev = nl::events;
 namespace attr = nl::events::attr;
 using db::Value;
 
+StampedeLoader::Instruments StampedeLoader::make_instruments() {
+  auto& r = telemetry::registry();
+  return {
+      r.counter("stampede_loader_events_seen_total"),
+      r.counter("stampede_loader_events_loaded_total"),
+      r.counter("stampede_loader_events_invalid_total"),
+      r.counter("stampede_loader_events_unknown_total"),
+      r.counter("stampede_loader_events_dropped_total"),
+      r.counter("stampede_loader_events_deferred_total"),
+      r.counter("stampede_loader_defer_warnings_total"),
+      r.gauge("stampede_loader_deferred_depth"),
+      r.histogram("stampede_e2e_publish_to_enqueue_seconds", {1e-7, 2.0, 32}),
+      r.histogram("stampede_e2e_enqueue_to_dequeue_seconds"),
+      r.histogram("stampede_e2e_publish_to_commit_seconds"),
+  };
+}
+
 StampedeLoader::StampedeLoader(db::Database& database, LoaderOptions options)
-    : session_(database, options.batch_size), options_(options) {}
+    : session_(database, options.batch_size),
+      options_(options),
+      tele_(make_instruments()) {
+  session_.set_commit_hook([this](std::size_t) { on_batch_commit(); });
+}
+
+StampedeLoader::~StampedeLoader() {
+  // Flush while the commit hook (and the members it touches) are still
+  // alive, then detach it so the Session's own destructor-flush cannot
+  // call back into a partially destroyed loader.
+  try {
+    session_.flush();
+  } catch (...) {
+    // Mirrors Session::~Session: destructors must not throw.
+  }
+  session_.set_commit_hook({});
+}
 
 std::optional<std::int64_t> StampedeLoader::wf_id(
     const common::Uuid& uuid) const {
@@ -514,13 +549,55 @@ StampedeLoader::Outcome StampedeLoader::dispatch(const nl::LogRecord& r) {
   return Outcome::kError;
 }
 
-bool StampedeLoader::process(const nl::LogRecord& record) {
+void StampedeLoader::note_applied(const telemetry::TraceStamps& trace) {
+  if (!trace.traced()) return;
+  if (trace.enqueued > 0.0) {
+    tele_.publish_to_enqueue.observe(trace.enqueued - trace.published);
+    if (trace.dequeued > 0.0) {
+      tele_.enqueue_to_dequeue.observe(trace.dequeued - trace.enqueued);
+    }
+  }
+  awaiting_commit_.push_back(trace.published);
+}
+
+void StampedeLoader::note_deferred_depth() {
+  const std::size_t depth = deferred_.size();
+  tele_.deferred_depth.set(static_cast<std::int64_t>(depth));
+  if (options_.defer_warn_threshold == 0) return;
+  if (depth > options_.defer_warn_threshold) {
+    if (!defer_warned_) {
+      defer_warned_ = true;
+      tele_.defer_warnings.inc();
+      std::fprintf(stderr,
+                   "stampede_loader: warning: deferred-replay queue depth "
+                   "%zu exceeds threshold %zu (event stream badly "
+                   "reordered or referents missing)\n",
+                   depth, options_.defer_warn_threshold);
+    }
+  } else if (depth <= options_.defer_warn_threshold / 2) {
+    defer_warned_ = false;  // Re-arm once the backlog drains.
+  }
+}
+
+void StampedeLoader::on_batch_commit() {
+  if (awaiting_commit_.empty()) return;
+  const double now = telemetry::now();
+  for (const double published : awaiting_commit_) {
+    tele_.publish_to_commit.observe(now - published);
+  }
+  awaiting_commit_.clear();
+}
+
+bool StampedeLoader::process(const nl::LogRecord& record,
+                             const telemetry::TraceStamps* trace) {
   ++stats_.events_seen;
   ++stats_.by_event[record.event()];
+  tele_.seen.inc();
   if (options_.validate) {
     const auto report = yang::stampede_schema().validate(record);
     if (!report.ok()) {
       ++stats_.events_invalid;
+      tele_.invalid.inc();
       return false;
     }
   }
@@ -528,14 +605,20 @@ bool StampedeLoader::process(const nl::LogRecord& record) {
   switch (outcome) {
     case Outcome::kApplied:
       ++stats_.events_loaded;
+      tele_.loaded.inc();
+      if (trace != nullptr) note_applied(*trace);
       if (!deferred_.empty()) replay_deferred();
       return true;
     case Outcome::kDefer:
       ++stats_.events_deferred;
-      deferred_.push_back({record, 0});
+      tele_.deferred.inc();
+      deferred_.push_back(
+          {record, 0, trace != nullptr ? *trace : telemetry::TraceStamps{}});
+      note_deferred_depth();
       return false;
     case Outcome::kError:
       ++stats_.events_unknown;
+      tele_.unknown.inc();
       return false;
   }
   return false;
@@ -554,25 +637,32 @@ void StampedeLoader::replay_deferred() {
       const Outcome outcome = dispatch(item.record);
       if (outcome == Outcome::kApplied) {
         ++stats_.events_loaded;
+        tele_.loaded.inc();
+        note_applied(item.trace);
         progress = true;
       } else if (outcome == Outcome::kDefer) {
         if (++item.rounds >= options_.max_defer_rounds) {
           ++stats_.events_dropped;
+          tele_.dropped.inc();
         } else {
           deferred_.push_back(std::move(item));
         }
       } else {
         ++stats_.events_unknown;
+        tele_.unknown.inc();
       }
     }
   }
   replaying_ = false;
+  note_deferred_depth();
 }
 
 void StampedeLoader::finish() {
   replay_deferred();
   stats_.events_dropped += deferred_.size();
+  tele_.dropped.inc(deferred_.size());
   deferred_.clear();
+  note_deferred_depth();
   session_.flush();
 }
 

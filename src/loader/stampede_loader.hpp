@@ -20,10 +20,13 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/uuid.hpp"
 #include "netlogger/record.hpp"
 #include "orm/session.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "yang/validator.hpp"
 
 namespace stampede::loader {
@@ -57,6 +60,10 @@ struct LoaderOptions {
   std::size_t batch_size = 256;
   std::size_t max_defer_rounds = 64;  ///< Give up on a deferred event after
                                       ///< this many replay attempts.
+  /// Log a warning (and count it) when the deferred-replay queue grows
+  /// past this depth — sustained growth means the event stream is badly
+  /// reordered or referents are missing. 0 disables the warning.
+  std::size_t defer_warn_threshold = 1024;
 };
 
 struct LoaderStats {
@@ -75,10 +82,16 @@ class StampedeLoader {
   /// (orm::create_stampede_schema).
   explicit StampedeLoader(db::Database& database, LoaderOptions options = {});
 
+  ~StampedeLoader();
+
   /// Feeds one event. Returns true when the event was applied (possibly
   /// after deferred replay of earlier events), false when it was
-  /// rejected or deferred.
-  bool process(const nl::LogRecord& record);
+  /// rejected or deferred. `trace` carries the bus-side trace stamps for
+  /// events arriving through a QueuePump; the loader completes them into
+  /// end-to-end publish→commit latency when the ORM transaction holding
+  /// the event's rows commits. nullptr (file replays) skips tracing.
+  bool process(const nl::LogRecord& record,
+               const telemetry::TraceStamps* trace = nullptr);
 
   /// Flushes batched inserts and replays deferred events one last time.
   /// Call when the input stream ends (or periodically for real-time
@@ -100,6 +113,12 @@ class StampedeLoader {
 
   Outcome dispatch(const nl::LogRecord& record);
   void replay_deferred();
+
+  /// Bookkeeping shared by process() and replay_deferred() when an event
+  /// lands: stage latencies now, publish→commit when the batch commits.
+  void note_applied(const telemetry::TraceStamps& trace);
+  void note_deferred_depth();
+  void on_batch_commit();
 
   // Handlers, one per event family.
   Outcome on_wf_plan(const nl::LogRecord& r);
@@ -149,9 +168,32 @@ class StampedeLoader {
   struct Deferred {
     nl::LogRecord record;
     std::size_t rounds = 0;
+    telemetry::TraceStamps trace;  ///< Deferral counts toward e2e latency.
   };
   std::deque<Deferred> deferred_;
   bool replaying_ = false;
+
+  // Self-telemetry. Instruments are resolved once at construction; the
+  // per-event path touches only relaxed atomics.
+  struct Instruments {
+    telemetry::Counter& seen;
+    telemetry::Counter& loaded;
+    telemetry::Counter& invalid;
+    telemetry::Counter& unknown;
+    telemetry::Counter& dropped;
+    telemetry::Counter& deferred;
+    telemetry::Counter& defer_warnings;
+    telemetry::Gauge& deferred_depth;
+    telemetry::Histogram& publish_to_enqueue;
+    telemetry::Histogram& enqueue_to_dequeue;
+    telemetry::Histogram& publish_to_commit;
+  };
+  static Instruments make_instruments();
+  Instruments tele_;
+  /// Publish stamps of applied-but-not-yet-committed events; drained
+  /// into the publish→commit histogram by the session's commit hook.
+  std::vector<double> awaiting_commit_;
+  bool defer_warned_ = false;
 };
 
 }  // namespace stampede::loader

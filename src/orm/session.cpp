@@ -1,6 +1,30 @@
 #include "orm/session.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace stampede::orm {
+
+namespace {
+
+struct OrmTelemetry {
+  telemetry::Counter& flushed_ops =
+      telemetry::registry().counter("stampede_orm_flushed_ops_total");
+  telemetry::Counter& flush_batches =
+      telemetry::registry().counter("stampede_orm_flush_batches_total");
+  telemetry::Histogram& flush_latency = telemetry::registry().histogram(
+      "stampede_orm_flush_latency_seconds");
+  // Operations per committed batch; bucket layout sized for row counts
+  // (1 .. ~32k) rather than latencies.
+  telemetry::Histogram& flush_batch_ops = telemetry::registry().histogram(
+      "stampede_orm_flush_batch_ops", {1.0, 2.0, 16});
+};
+
+OrmTelemetry& orm_telemetry() {
+  static OrmTelemetry instance;
+  return instance;
+}
+
+}  // namespace
 
 Session::~Session() {
   try {
@@ -34,6 +58,8 @@ std::int64_t Session::insert_now(const std::string& table,
 
 void Session::flush() {
   if (pending_.empty()) return;
+  auto& tele = orm_telemetry();
+  const double start = telemetry::trace_now();
   db_->begin();
   try {
     for (const auto& op : pending_) {
@@ -49,9 +75,17 @@ void Session::flush() {
     db_->rollback();
     throw;
   }
-  stats_.flushed_ops += pending_.size();
+  const std::size_t ops = pending_.size();
+  stats_.flushed_ops += ops;
   ++stats_.flush_batches;
   pending_.clear();
+  if (start > 0.0) {
+    tele.flush_latency.observe(telemetry::now() - start);
+    tele.flush_batch_ops.observe(static_cast<double>(ops));
+  }
+  tele.flushed_ops.inc(ops);
+  tele.flush_batches.inc();
+  if (commit_hook_) commit_hook_(ops);
 }
 
 std::size_t Session::update(const std::string& table,

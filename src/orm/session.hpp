@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <variant>
 
@@ -48,6 +49,14 @@ class Session {
   /// Writes all pending operations, in order, inside one transaction.
   void flush();
 
+  /// Invoked after every successful flush() commit with the number of
+  /// operations written. The loader uses this to observe true
+  /// publish→commit latency: rows are durable exactly when the hook
+  /// fires. One hook per session; pass {} to clear.
+  void set_commit_hook(std::function<void(std::size_t)> hook) {
+    commit_hook_ = std::move(hook);
+  }
+
   /// Predicate update against flushed state (flushes first).
   std::size_t update(const std::string& table, const db::ExprPtr& predicate,
                      const db::NamedValues& sets);
@@ -74,6 +83,7 @@ class Session {
   std::size_t batch_size_;
   std::deque<Op> pending_;
   SessionStats stats_;
+  std::function<void(std::size_t)> commit_hook_;
 };
 
 }  // namespace stampede::orm

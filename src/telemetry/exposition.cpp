@@ -1,0 +1,221 @@
+#include "telemetry/exposition.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+namespace stampede::telemetry {
+namespace {
+
+/// Base series name with any {label} suffix stripped — what # TYPE lines
+/// announce.
+std::string_view base_name(std::string_view name) {
+  const auto brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+/// Splices an `le` label into a (possibly already labeled) series name:
+/// "x" -> "x_bucket{le=\"b\"}", "x{q=\"y\"}" -> "x_bucket{q=\"y\",le=\"b\"}".
+std::string bucket_series(std::string_view name, std::string_view le) {
+  const auto brace = name.find('{');
+  std::string out;
+  if (brace == std::string_view::npos) {
+    out.append(name);
+    out.append("_bucket{le=\"");
+  } else {
+    out.append(name.substr(0, brace));
+    out.append("_bucket");
+    out.append(name.substr(brace, name.size() - brace - 1));
+    out.append(",le=\"");
+  }
+  out.append(le);
+  out.append("\"}");
+  return out;
+}
+
+/// Suffixes a name before its label block: ("x{a=..}", "_sum") -> "x_sum{a=..}".
+std::string suffixed(std::string_view name, std::string_view suffix) {
+  const auto brace = name.find('{');
+  std::string out;
+  if (brace == std::string_view::npos) {
+    out.append(name);
+    out.append(suffix);
+  } else {
+    out.append(name.substr(0, brace));
+    out.append(suffix);
+    out.append(name.substr(brace));
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void type_line(std::string& out, std::string_view seen_before,
+               std::string_view name, std::string_view type) {
+  const auto base = base_name(name);
+  if (base == seen_before) return;
+  out.append("# TYPE ");
+  out.append(base);
+  out.push_back(' ');
+  out.append(type);
+  out.push_back('\n');
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Registry& registry) {
+  std::string out;
+  std::string last_base;
+  for (const auto& sample : registry.collect()) {
+    switch (sample.type) {
+      case Registry::Type::kCounter:
+        type_line(out, last_base, sample.name, "counter");
+        out.append(sample.name);
+        out.push_back(' ');
+        out.append(std::to_string(sample.counter_value));
+        out.push_back('\n');
+        break;
+      case Registry::Type::kGauge:
+        type_line(out, last_base, sample.name, "gauge");
+        out.append(sample.name);
+        out.push_back(' ');
+        out.append(std::to_string(sample.gauge_value));
+        out.push_back('\n');
+        out.append(suffixed(sample.name, "_high_water"));
+        out.push_back(' ');
+        out.append(std::to_string(sample.gauge_high_water));
+        out.push_back('\n');
+        break;
+      case Registry::Type::kHistogram: {
+        type_line(out, last_base, sample.name, "histogram");
+        const auto& h = sample.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+          cumulative += h.buckets[i];
+          out.append(bucket_series(sample.name, format_double(h.bounds[i])));
+          out.push_back(' ');
+          out.append(std::to_string(cumulative));
+          out.push_back('\n');
+        }
+        out.append(bucket_series(sample.name, "+Inf"));
+        out.push_back(' ');
+        out.append(std::to_string(h.count));
+        out.push_back('\n');
+        out.append(suffixed(sample.name, "_sum"));
+        out.push_back(' ');
+        out.append(format_double(h.sum));
+        out.push_back('\n');
+        out.append(suffixed(sample.name, "_count"));
+        out.push_back(' ');
+        out.append(std::to_string(h.count));
+        out.push_back('\n');
+        for (const auto& [suffix, q] :
+             {std::pair{"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}}) {
+          out.append(suffixed(sample.name, suffix));
+          out.push_back(' ');
+          out.append(format_double(h.quantile(q)));
+          out.push_back('\n');
+        }
+        break;
+      }
+    }
+    last_base = base_name(sample.name);
+  }
+  return out;
+}
+
+std::string to_json(const Registry& registry) {
+  std::string out = "{\"counters\":{";
+  const auto samples = registry.collect();
+  bool first = true;
+  for (const auto& s : samples) {
+    if (s.type != Registry::Type::kCounter) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(json_escape(s.name));
+    out.append("\":");
+    out.append(std::to_string(s.counter_value));
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& s : samples) {
+    if (s.type != Registry::Type::kGauge) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(json_escape(s.name));
+    out.append("\":{\"value\":");
+    out.append(std::to_string(s.gauge_value));
+    out.append(",\"high_water\":");
+    out.append(std::to_string(s.gauge_high_water));
+    out.push_back('}');
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& s : samples) {
+    if (s.type != Registry::Type::kHistogram) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    const auto& h = s.histogram;
+    out.push_back('"');
+    out.append(json_escape(s.name));
+    out.append("\":{\"count\":");
+    out.append(std::to_string(h.count));
+    out.append(",\"sum\":");
+    out.append(format_double(h.sum));
+    out.append(",\"mean\":");
+    out.append(format_double(h.mean()));
+    out.append(",\"p50\":");
+    out.append(format_double(h.quantile(0.50)));
+    out.append(",\"p95\":");
+    out.append(format_double(h.quantile(0.95)));
+    out.append(",\"p99\":");
+    out.append(format_double(h.quantile(0.99)));
+    out.push_back('}');
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace stampede::telemetry

@@ -1,0 +1,20 @@
+#pragma once
+// Renders a telemetry Registry for scrapers and humans.
+//
+// to_prometheus: the Prometheus text exposition format (v0.0.4) — what
+// GET /metrics serves. Histograms render as native histogram series
+// (<name>_bucket{le=...}, _sum, _count) plus convenience gauges
+// <name>_p50/_p95/_p99 so dashboards get quantiles without PromQL.
+//
+// to_json: the same data as one JSON document — what GET /selfz serves.
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace stampede::telemetry {
+
+[[nodiscard]] std::string to_prometheus(const Registry& registry);
+[[nodiscard]] std::string to_json(const Registry& registry);
+
+}  // namespace stampede::telemetry

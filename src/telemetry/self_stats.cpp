@@ -1,0 +1,95 @@
+#include "telemetry/self_stats.hpp"
+
+#include <chrono>
+
+namespace stampede::telemetry {
+namespace {
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// BP attribute keys must stay `key=value`-parseable; labeled series
+/// names carry quotes and braces, so they are summarized by their base
+/// family elsewhere and skipped here.
+bool bp_safe(const std::string& name) {
+  return name.find('{') == std::string::npos;
+}
+
+}  // namespace
+
+SelfStatsEmitter::SelfStatsEmitter(Registry& registry, double interval_seconds,
+                                   Emit emit)
+    : registry_(&registry),
+      interval_seconds_(interval_seconds > 0 ? interval_seconds : 1.0),
+      emit_(std::move(emit)) {}
+
+SelfStatsEmitter::~SelfStatsEmitter() { stop(); }
+
+void SelfStatsEmitter::start() {
+  if (started_) return;
+  started_ = true;
+  worker_ = std::jthread([this](std::stop_token stop) { run(stop); });
+}
+
+void SelfStatsEmitter::stop() {
+  if (worker_.joinable()) {
+    worker_.request_stop();
+    wake_.notify_all();
+    worker_.join();
+  }
+  started_ = false;
+}
+
+std::vector<nl::LogRecord> SelfStatsEmitter::snapshot_records() const {
+  const double ts = wall_now();
+  nl::LogRecord snapshot{ts, "stampede.loader.stats.snapshot"};
+  nl::LogRecord latency{ts, "stampede.loader.stats.latency"};
+  bool have_latency = false;
+  for (const auto& sample : registry_->collect()) {
+    if (!bp_safe(sample.name)) continue;
+    switch (sample.type) {
+      case Registry::Type::kCounter:
+        snapshot.set(sample.name,
+                     static_cast<std::int64_t>(sample.counter_value));
+        break;
+      case Registry::Type::kGauge:
+        snapshot.set(sample.name, sample.gauge_value);
+        snapshot.set(sample.name + ".high_water", sample.gauge_high_water);
+        break;
+      case Registry::Type::kHistogram:
+        latency.set(sample.name + ".count",
+                    static_cast<std::int64_t>(sample.histogram.count));
+        latency.set(sample.name + ".p50", sample.histogram.quantile(0.50));
+        latency.set(sample.name + ".p95", sample.histogram.quantile(0.95));
+        latency.set(sample.name + ".p99", sample.histogram.quantile(0.99));
+        have_latency = true;
+        break;
+    }
+  }
+  std::vector<nl::LogRecord> records;
+  records.push_back(std::move(snapshot));
+  if (have_latency) records.push_back(std::move(latency));
+  return records;
+}
+
+void SelfStatsEmitter::run(const std::stop_token& stop) {
+  const auto interval = std::chrono::duration<double>(interval_seconds_);
+  std::unique_lock lock{wake_mutex_};
+  while (!stop.stop_requested()) {
+    if (wake_.wait_for(lock, stop, interval,
+                       [&stop] { return stop.stop_requested(); })) {
+      break;
+    }
+    lock.unlock();
+    for (const auto& record : snapshot_records()) emit_(record);
+    lock.lock();
+  }
+  lock.unlock();
+  // Final snapshot so runs shorter than one interval still report.
+  for (const auto& record : snapshot_records()) emit_(record);
+}
+
+}  // namespace stampede::telemetry

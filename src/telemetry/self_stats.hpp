@@ -1,0 +1,59 @@
+#pragma once
+// Periodic self-telemetry snapshots as NetLogger BP events.
+//
+// The system's own health rides the same bus it monitors (the CMS
+// pattern: the monitoring stack self-monitors). Every interval the
+// emitter renders the registry into `stampede.loader.stats.*` records
+// and hands them to a caller-supplied emit function — typically a
+// bus::BpPublisher::publish bound with std::bind_front, or a formatter
+// writing BP lines to a log. Attribute names are metric names; labeled
+// series (containing '{') are skipped to keep the BP lines parseable.
+//
+// Emitted events:
+//   stampede.loader.stats.snapshot — counters and gauges
+//   stampede.loader.stats.latency  — histogram count/p50/p95/p99 series
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "netlogger/record.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace stampede::telemetry {
+
+class SelfStatsEmitter {
+ public:
+  using Emit = std::function<void(const nl::LogRecord&)>;
+
+  /// Emits every `interval_seconds` once started; also emits one final
+  /// snapshot on stop so short runs still report.
+  SelfStatsEmitter(Registry& registry, double interval_seconds, Emit emit);
+  ~SelfStatsEmitter();
+
+  SelfStatsEmitter(const SelfStatsEmitter&) = delete;
+  SelfStatsEmitter& operator=(const SelfStatsEmitter&) = delete;
+
+  void start();
+  void stop();  ///< Idempotent; joins the emitter thread.
+
+  /// Renders the registry into the snapshot + latency records without
+  /// touching the schedule (used by the periodic thread, the final
+  /// flush, and tests).
+  [[nodiscard]] std::vector<nl::LogRecord> snapshot_records() const;
+
+ private:
+  void run(const std::stop_token& stop);
+
+  Registry* registry_;
+  double interval_seconds_;
+  Emit emit_;
+  std::jthread worker_;
+  std::mutex wake_mutex_;
+  std::condition_variable_any wake_;
+  bool started_ = false;
+};
+
+}  // namespace stampede::telemetry

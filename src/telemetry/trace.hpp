@@ -1,0 +1,29 @@
+#pragma once
+// Per-event trace stamps threaded through the monitoring pipeline.
+//
+// Each BP record is stamped (telemetry::now() seconds, one shared steady
+// clock) as it crosses a pipeline stage:
+//
+//   published  — BpPublisher::publish, before the broker sees it
+//   enqueued   — Broker::publish, as the message lands on a queue
+//   dequeued   — QueuePump, when the loader pulls it off the queue
+//   (commit)   — observed by the loader when the ORM transaction that
+//                contains the event's rows commits
+//
+// The stamps ride on bus::Message (not on the BP text), so the record
+// bytes stay identical to what a file replay would see. A zero stamp
+// means "stage not traced" (telemetry disabled, or the event entered the
+// pipeline downstream of that stage — e.g. file replays never pass the
+// broker); consumers skip observations whose inputs are zero.
+
+namespace stampede::telemetry {
+
+struct TraceStamps {
+  double published = 0.0;
+  double enqueued = 0.0;
+  double dequeued = 0.0;
+
+  [[nodiscard]] bool traced() const noexcept { return published > 0.0; }
+};
+
+}  // namespace stampede::telemetry

@@ -1,0 +1,455 @@
+// Tests for the self-telemetry subsystem: instrument concurrency,
+// histogram percentile extraction, exposition formats, the /metrics and
+// /selfz endpoints, and end-to-end trace stamps through the real
+// publisher → broker → pump → loader pipeline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "telemetry/exposition.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/self_stats.hpp"
+#include "telemetry/trace.hpp"
+
+#include "bus/bp_publisher.hpp"
+#include "bus/broker.hpp"
+#include "dashboard/dashboard.hpp"
+#include "dashboard/telemetry_routes.hpp"
+#include "loader/nl_load.hpp"
+#include "loader/stampede_loader.hpp"
+#include "netlogger/events.hpp"
+#include "orm/stampede_tables.hpp"
+
+namespace tele = stampede::telemetry;
+namespace nl = stampede::nl;
+namespace ev = stampede::nl::events;
+namespace attr = stampede::nl::events::attr;
+namespace bus = stampede::bus;
+namespace db = stampede::db;
+namespace orm = stampede::orm;
+namespace loader = stampede::loader;
+namespace dash = stampede::dash;
+using stampede::common::Uuid;
+
+// ---------------------------------------------------------------------------
+// Concurrency: updates from N threads must sum exactly
+
+TEST(TelemetryConcurrency, CounterSumsExactlyAcrossThreads) {
+  tele::Registry registry;
+  auto& counter = registry.counter("c");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  threads.clear();  // join
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(TelemetryConcurrency, GaugeAddIsLinearizableAndHighWaterSticks) {
+  tele::Registry registry;
+  auto& gauge = registry.gauge("g");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.add(1);
+      for (int i = 0; i < kPerThread; ++i) gauge.add(-1);
+    });
+  }
+  threads.clear();
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_GE(gauge.high_water(), kPerThread);  // At least one full ramp.
+  EXPECT_LE(gauge.high_water(),
+            static_cast<std::int64_t>(kThreads) * kPerThread);
+}
+
+TEST(TelemetryConcurrency, HistogramCountsExactlyAcrossThreads) {
+  tele::Registry registry;
+  auto& histogram = registry.histogram("h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.observe(1e-5 * (t + 1));
+      }
+    });
+  }
+  threads.clear();
+  const auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const auto b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram percentile extraction on known distributions
+
+TEST(TelemetryHistogram, PercentilesOnUniformDistribution) {
+  tele::Histogram histogram{{1e-3, 2.0, 24}};
+  // Uniform over (0, 1]: p50 ≈ 0.5, p95 ≈ 0.95, p99 ≈ 0.99 — within the
+  // resolution of power-of-two buckets (worst case one bucket ≈ 2x).
+  for (int i = 1; i <= 100'000; ++i) histogram.observe(i / 100'000.0);
+  const auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 100'000u);
+  EXPECT_NEAR(snap.quantile(0.50), 0.5, 0.15);
+  EXPECT_NEAR(snap.quantile(0.95), 0.95, 0.25);
+  EXPECT_NEAR(snap.quantile(0.99), 0.99, 0.25);
+  EXPECT_NEAR(snap.mean(), 0.5, 0.01);
+  // Quantiles are monotone in q.
+  EXPECT_LE(snap.quantile(0.50), snap.quantile(0.95));
+  EXPECT_LE(snap.quantile(0.95), snap.quantile(0.99));
+}
+
+TEST(TelemetryHistogram, PercentilesOnPointMass) {
+  tele::Histogram histogram;
+  for (int i = 0; i < 1000; ++i) histogram.observe(0.004);
+  const auto snap = histogram.snapshot();
+  // Every observation lands in the (2^21, 2^22]·1e-6 bucket, i.e.
+  // (0.0021, 0.0042]; any quantile must land inside that bucket.
+  for (const double q : {0.01, 0.5, 0.95, 0.99}) {
+    EXPECT_GT(snap.quantile(q), 0.002);
+    EXPECT_LE(snap.quantile(q), 0.0042);
+  }
+}
+
+TEST(TelemetryHistogram, BimodalSeparatesModes) {
+  tele::Histogram histogram;
+  for (int i = 0; i < 900; ++i) histogram.observe(1e-4);  // Fast mode, 90%.
+  for (int i = 0; i < 100; ++i) histogram.observe(1.0);   // Slow tail, 10%.
+  const auto snap = histogram.snapshot();
+  EXPECT_LT(snap.quantile(0.50), 2e-4);
+  EXPECT_GT(snap.quantile(0.95), 0.5);
+}
+
+TEST(TelemetryHistogram, OverflowAndEdgeCases) {
+  tele::Histogram histogram{{1e-6, 2.0, 4}};  // Bounds: 1u, 2u, 4u, 8u.
+  histogram.observe(1e9);   // Overflow bucket.
+  histogram.observe(-5.0);  // Clamped to zero → first bucket.
+  histogram.observe(0.0);
+  const auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.buckets.back(), 1u);
+  EXPECT_EQ(snap.buckets.front(), 2u);
+  // Empty histogram quantiles are 0.
+  tele::Histogram empty;
+  EXPECT_EQ(empty.snapshot().quantile(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry + exposition formats
+
+TEST(TelemetryRegistry, GetOrCreateReturnsStableInstruments) {
+  tele::Registry registry;
+  auto& a = registry.counter("x");
+  a.inc(3);
+  EXPECT_EQ(&registry.counter("x"), &a);
+  EXPECT_EQ(registry.counter("x").value(), 3u);
+  EXPECT_EQ(registry.collect().size(), 1u);
+}
+
+TEST(TelemetryRegistry, LabeledNamesEscapeQuotes) {
+  EXPECT_EQ(tele::labeled("depth", "queue", "q1"), "depth{queue=\"q1\"}");
+  EXPECT_EQ(tele::labeled("depth", "queue", "a\"b\\c"),
+            "depth{queue=\"a\\\"b\\\\c\"}");
+}
+
+TEST(TelemetryExposition, PrometheusFormatCoversAllTypes) {
+  tele::Registry registry;
+  registry.counter("jobs_total").inc(7);
+  registry.gauge("depth").set(5);
+  registry.counter(tele::labeled("per_queue_total", "queue", "q1")).inc(2);
+  auto& h = registry.histogram("latency_seconds");
+  for (int i = 0; i < 100; ++i) h.observe(0.001 * i);
+
+  const std::string text = tele::to_prometheus(registry);
+  EXPECT_NE(text.find("# TYPE jobs_total counter\njobs_total 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\ndepth 5\n"), std::string::npos);
+  EXPECT_NE(text.find("depth_high_water 5\n"), std::string::npos);
+  EXPECT_NE(text.find("per_queue_total{queue=\"q1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 100\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_p50 "), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_p95 "), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_p99 "), std::string::npos);
+
+  // Every non-comment line is "<series> <number>" — the scrape contract.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* end = nullptr;
+    std::strtod(line.c_str() + space + 1, &end);
+    EXPECT_EQ(*end, '\0') << line;
+  }
+}
+
+TEST(TelemetryExposition, JsonFormatIsWellFormed) {
+  tele::Registry registry;
+  registry.counter("c").inc(1);
+  registry.gauge("g").set(-2);
+  registry.histogram("h").observe(0.5);
+  const std::string json = tele::to_json(registry);
+  EXPECT_NE(json.find("\"counters\":{\"c\":1}"), std::string::npos);
+  EXPECT_NE(json.find("\"g\":{\"value\":-2,\"high_water\":0}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  // Balanced braces (cheap well-formedness check; no strings with braces
+  // were registered).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(TelemetryRuntimeSwitch, DisabledMutationsAreDropped) {
+  tele::Registry registry;
+  auto& counter = registry.counter("c");
+  auto& histogram = registry.histogram("h");
+  counter.inc();
+  tele::set_enabled(false);
+  counter.inc(100);
+  histogram.observe(1.0);
+  tele::set_enabled(true);
+  EXPECT_EQ(counter.value(), 1u);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Self-stat snapshots as BP events
+
+TEST(TelemetrySelfStats, SnapshotRecordsCarryRegistrySeries) {
+  tele::Registry registry;
+  registry.counter("stampede_loader_events_loaded_total").inc(42);
+  registry.gauge("stampede_loader_deferred_depth").set(3);
+  registry.histogram("stampede_e2e_publish_to_commit_seconds").observe(0.01);
+  registry.counter(tele::labeled("noisy", "queue", "q")).inc();  // Skipped.
+
+  std::vector<nl::LogRecord> emitted;
+  tele::SelfStatsEmitter emitter{registry, 10.0, [&](const nl::LogRecord& r) {
+                                   emitted.push_back(r);
+                                 }};
+  const auto records = emitter.snapshot_records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].event(), "stampede.loader.stats.snapshot");
+  EXPECT_EQ(records[0].get_int("stampede_loader_events_loaded_total"), 42);
+  EXPECT_EQ(records[0].get_int("stampede_loader_deferred_depth"), 3);
+  EXPECT_FALSE(records[0].has("noisy{queue=\"q\"}"));
+  EXPECT_EQ(records[1].event(), "stampede.loader.stats.latency");
+  EXPECT_EQ(
+      records[1].get_int("stampede_e2e_publish_to_commit_seconds.count"), 1);
+  EXPECT_TRUE(
+      records[1].has("stampede_e2e_publish_to_commit_seconds.p95"));
+
+  // start()/stop() emits at least the final snapshot through the hook.
+  emitter.start();
+  emitter.stop();
+  ASSERT_GE(emitted.size(), 1u);
+  EXPECT_EQ(emitted.front().event(), "stampede.loader.stats.snapshot");
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: trace stamps and endpoint coverage over the real pipeline
+
+namespace {
+
+const Uuid kWf = *Uuid::parse("ea17e8ac-02ac-4909-b5e3-16e367392556");
+
+nl::LogRecord make(double ts, std::string_view event) {
+  nl::LogRecord r{ts, std::string{event}};
+  r.set(attr::kXwfId, kWf);
+  return r;
+}
+
+/// Minimal but complete workflow stream (plan → start → job lifecycle).
+std::vector<nl::LogRecord> tiny_workflow() {
+  std::vector<nl::LogRecord> events;
+  double t = 1000.0;
+  auto plan = make(t, ev::kWfPlan);
+  plan.set(attr::kDaxLabel, std::string{"tele"});
+  plan.set(attr::kUser, std::string{"alice"});
+  plan.set(attr::kPlanner, std::string{"stampede-cpp-1.0"});
+  events.push_back(plan);
+  auto start = make(t += 1, ev::kXwfStart);
+  start.set(attr::kRestartCount, std::int64_t{0});
+  events.push_back(start);
+  auto job = make(t += 1, ev::kJobInfo);
+  job.set(attr::kJobId, std::string{"j1"});
+  job.set(attr::kType, std::string{"compute"});
+  job.set(attr::kTransformation, std::string{"j1"});
+  events.push_back(job);
+  auto submit = make(t += 1, ev::kJobInstSubmitStart);
+  submit.set(attr::kJobId, std::string{"j1"});
+  submit.set(attr::kJobInstId, std::int64_t{1});
+  submit.set(attr::kSchedId, std::string{"condor-42"});
+  events.push_back(submit);
+  auto running = make(t += 1, ev::kJobInstMainStart);
+  running.set(attr::kJobId, std::string{"j1"});
+  running.set(attr::kJobInstId, std::int64_t{1});
+  events.push_back(running);
+  auto done = make(t += 1, ev::kJobInstMainEnd);
+  done.set(attr::kJobId, std::string{"j1"});
+  done.set(attr::kJobInstId, std::int64_t{1});
+  done.set(attr::kExitcode, std::int64_t{0});
+  events.push_back(done);
+  auto end = make(t += 1, ev::kXwfEnd);
+  end.set(attr::kRestartCount, std::int64_t{0});
+  end.set(attr::kStatus, std::int64_t{0});
+  events.push_back(end);
+  return events;
+}
+
+}  // namespace
+
+TEST(TelemetryPipeline, TraceStampsAreMonotoneThroughTheBus) {
+  bus::Broker broker;
+  broker.declare_queue("stampede", {});
+  bus::BpPublisher publisher{broker, "monitoring"};
+  broker.bind("stampede", "monitoring", "stampede.#");
+
+  const double before = tele::now();
+  publisher.publish(make(1.0, ev::kXwfStart));
+  const auto delivery = broker.basic_get("stampede", "t", 1000);
+  const double after = tele::now();
+  ASSERT_TRUE(delivery.has_value());
+  const auto& m = delivery->message;
+  EXPECT_GE(m.trace_published, before);
+  EXPECT_GT(m.trace_published, 0.0);
+  EXPECT_LE(m.trace_published, m.trace_enqueued);
+  EXPECT_LE(m.trace_enqueued, after);
+}
+
+TEST(TelemetryPipeline, EndToEndLatencyReachesCommitHistogram) {
+  auto& r = tele::registry();
+  const auto commits_before =
+      r.histogram("stampede_e2e_publish_to_commit_seconds").count();
+  const auto loaded_before =
+      r.counter("stampede_loader_events_loaded_total").value();
+
+  db::Database database;
+  orm::create_stampede_schema(database);
+  bus::Broker broker;
+  broker.declare_queue("stampede", {});
+  bus::BpPublisher publisher{broker, "monitoring"};
+  broker.bind("stampede", "monitoring", "stampede.#");
+
+  loader::StampedeLoader l{database};
+  loader::QueuePump pump{broker, "stampede", l};
+  pump.start();
+  const auto events = tiny_workflow();
+  for (const auto& e : events) publisher.publish(e);
+  ASSERT_TRUE(pump.wait_until_drained(5000));
+  pump.stop();  // Flushes the loader → commit hook fires.
+
+  EXPECT_EQ(l.stats().events_loaded, events.size());
+  EXPECT_EQ(r.counter("stampede_loader_events_loaded_total").value(),
+            loaded_before + events.size());
+  const auto& h = r.histogram("stampede_e2e_publish_to_commit_seconds");
+  EXPECT_EQ(h.count(), commits_before + events.size());
+  // Publish → commit latency is positive and sane (< 60 s in-process).
+  const auto snap = h.snapshot();
+  EXPECT_GT(snap.quantile(0.5), 0.0);
+  EXPECT_LT(snap.quantile(0.99), 60.0);
+}
+
+TEST(TelemetryPipeline, MetricsAndSelfzEndpointsServeTheRegistry) {
+  // Drive a workflow through the pipeline so loader/bus/orm series exist.
+  db::Database database;
+  orm::create_stampede_schema(database);
+  bus::Broker broker;
+  broker.declare_queue("stampede", {});
+  bus::BpPublisher publisher{broker, "monitoring"};
+  broker.bind("stampede", "monitoring", "stampede.#");
+  {
+    loader::StampedeLoader l{database};
+    loader::QueuePump pump{broker, "stampede", l};
+    pump.start();
+    for (const auto& e : tiny_workflow()) publisher.publish(e);
+    ASSERT_TRUE(pump.wait_until_drained(5000));
+    pump.stop();
+  }
+
+  dash::Dashboard dashboard{database, 0};
+  dashboard.start();
+  int status = 0;
+  const std::string metrics =
+      dash::http_get(dashboard.port(), "/metrics", &status);
+  EXPECT_EQ(status, 200);
+  for (const auto* series : {
+           "stampede_bus_published_total",
+           "stampede_bus_queue_depth{queue=\"stampede\"}",
+           "stampede_bus_queue_enqueued_total{queue=\"stampede\"}",
+           "stampede_loader_events_seen_total",
+           "stampede_loader_events_loaded_total",
+           "stampede_loader_events_dropped_total",
+           "stampede_loader_events_deferred_total",
+           "stampede_loader_deferred_depth",
+           "stampede_orm_flush_latency_seconds_p95",
+           "stampede_e2e_publish_to_commit_seconds_bucket",
+           "stampede_e2e_publish_to_commit_seconds_p50",
+           "stampede_e2e_publish_to_commit_seconds_p95",
+           "stampede_e2e_publish_to_commit_seconds_p99",
+       }) {
+    EXPECT_NE(metrics.find(series), std::string::npos)
+        << "missing series: " << series;
+  }
+
+  const std::string selfz = dash::http_get(dashboard.port(), "/selfz", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(selfz.find("\"counters\""), std::string::npos);
+  EXPECT_NE(selfz.find("stampede_loader_events_loaded_total"),
+            std::string::npos);
+  EXPECT_NE(selfz.find("stampede_e2e_publish_to_commit_seconds"),
+            std::string::npos);
+  // The request counter covers the dashboard itself.
+  const std::string again = dash::http_get(dashboard.port(), "/metrics");
+  EXPECT_NE(again.find("stampede_http_requests_total"), std::string::npos);
+  dashboard.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Deferred-replay surfacing
+
+TEST(TelemetryLoader, DeferWarningFiresAboveThreshold) {
+  db::Database database;
+  orm::create_stampede_schema(database);
+  loader::LoaderOptions options;
+  options.defer_warn_threshold = 4;
+  loader::StampedeLoader l{database, options};
+  auto& r = tele::registry();
+  const auto warnings_before =
+      r.counter("stampede_loader_defer_warnings_total").value();
+
+  // job_inst events for a job whose job.info never arrives → deferred.
+  for (int i = 0; i < 6; ++i) {
+    auto e = make(1.0 + i, ev::kJobInstMainStart);
+    e.set(attr::kJobId, std::string{"ghost"});
+    e.set(attr::kJobInstId, std::int64_t{i + 1});
+    EXPECT_FALSE(l.process(e));
+  }
+  EXPECT_EQ(l.deferred_count(), 6u);
+  EXPECT_EQ(r.counter("stampede_loader_defer_warnings_total").value(),
+            warnings_before + 1);
+  EXPECT_GE(r.gauge("stampede_loader_deferred_depth").high_water(), 6);
+  l.finish();  // Drops them; depth returns to zero.
+  EXPECT_EQ(r.gauge("stampede_loader_deferred_depth").value(), 0);
+}

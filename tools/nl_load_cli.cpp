@@ -1,6 +1,6 @@
 // nl_load_cli — the command-line face of nl_load (paper §IV-E):
 //
-//   nl_load_cli <bp-log-file> <archive-path>
+//   nl_load_cli [options] <bp-log-file> <archive-path>
 //
 // Replays a retained plain-text NetLogger BP log into a WAL-backed
 // Stampede archive (created if absent, appended otherwise) and prints
@@ -8,22 +8,105 @@
 // stampede_statistics_cli / stampede_analyzer_cli — the same
 // file-interchange workflow as the paper's
 //   nl_load ... stampede_loader connString=sqlite:///test.db
+//
+// Options:
+//   --metrics-port=N     serve GET /metrics (Prometheus) and GET /selfz
+//                        (JSON) on 127.0.0.1:N while loading; with N=0 an
+//                        ephemeral port is chosen and printed
+//   --stats-interval=S   every S seconds emit a self-telemetry snapshot
+//                        as stampede.loader.stats.* BP lines on stderr
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
 
+#include "dashboard/http_server.hpp"
+#include "dashboard/telemetry_routes.hpp"
 #include "loader/nl_load.hpp"
+#include "netlogger/formatter.hpp"
 #include "orm/stampede_tables.hpp"
+#include "telemetry/self_stats.hpp"
 
 using namespace stampede;
 
-int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <bp-log-file> <archive-path>\n", argv[0]);
-    return 2;
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--metrics-port=N] [--stats-interval=SECONDS] "
+               "<bp-log-file> <archive-path>\n",
+               argv0);
+  return 2;
+}
+
+std::optional<double> parse_flag_value(const char* arg, const char* name) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return std::nullopt;
   }
-  const std::string log_path = argv[1];
-  const std::string archive_path = argv[2];
+  char* end = nullptr;
+  const double value = std::strtod(arg + len + 1, &end);
+  if (end == arg + len + 1 || *end != '\0' || value < 0) {
+    std::fprintf(stderr, "error: bad value in '%s'\n", arg);
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<int> metrics_port;
+  std::optional<double> stats_interval;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (const auto v = parse_flag_value(argv[i], "--metrics-port")) {
+      metrics_port = static_cast<int>(*v);
+    } else if (const auto v = parse_flag_value(argv[i], "--stats-interval")) {
+      stats_interval = *v;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return usage(argv[0]);
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2) return usage(argv[0]);
+  const std::string& log_path = positional[0];
+  const std::string& archive_path = positional[1];
+
+  // Exposition endpoint: scrape while the replay runs (real-time
+  // self-monitoring), and after it finishes until the process exits.
+  std::unique_ptr<dash::HttpServer> metrics_server;
+  if (metrics_port) {
+    try {
+      metrics_server = std::make_unique<dash::HttpServer>(*metrics_port);
+      dash::register_telemetry_routes(*metrics_server);
+      metrics_server->start();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: cannot serve metrics on port %d: %s\n",
+                   *metrics_port, e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics : http://127.0.0.1:%d/metrics (and /selfz)\n",
+                 metrics_server->port());
+  }
+
+  // Periodic self-stat snapshots as BP events on stderr — the same
+  // records a bus deployment would publish to stampede.loader.stats.*.
+  std::unique_ptr<telemetry::SelfStatsEmitter> emitter;
+  if (stats_interval && *stats_interval > 0) {
+    emitter = std::make_unique<telemetry::SelfStatsEmitter>(
+        telemetry::registry(), *stats_interval, [](const nl::LogRecord& r) {
+          std::fprintf(stderr, "%s\n", nl::format_record(r).c_str());
+        });
+    emitter->start();
+  }
 
   const auto archive_ptr = orm::open_archive(archive_path);
   db::Database& archive = *archive_ptr;
@@ -31,6 +114,7 @@ int main(int argc, char** argv) {
   loader::StampedeLoader stampede_loader{archive};
   try {
     const auto stats = loader::load_file(log_path, stampede_loader);
+    if (emitter) emitter->stop();  // Emits the final snapshot.
     const auto& ls = stampede_loader.stats();
     std::printf("read    : %llu lines (%llu parse errors)\n",
                 static_cast<unsigned long long>(stats.lines),
