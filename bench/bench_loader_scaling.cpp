@@ -9,8 +9,20 @@
 // events/second (items_processed). Expectation: near-linear scaling —
 // events/sec roughly flat as workflow size grows by orders of magnitude.
 
+// The sharded-lane benchmarks interleave many *independent* workflows:
+// sticky routing pins a whole workflow (tree) to one lane, so a single
+// workflow cannot parallelize by design — fleet throughput is the claim.
+// Besides the google-benchmark timings, main() first writes
+// BENCH_loader_scaling.json (1/2/4-shard events/second and the 4-vs-1
+// speedup) for machine consumption.
+
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <thread>
+
+#include "db/sharded_database.hpp"
+#include "loader/sharded_loader.hpp"
 #include "loader/stampede_loader.hpp"
 #include "netlogger/formatter.hpp"
 #include "netlogger/parser.hpp"
@@ -26,10 +38,12 @@ namespace {
 
 /// Event stream of a Triana workflow with `tasks` parallel units feeding
 /// one collector (the future-work §VIII experiment: vary size, load).
-std::vector<nl::LogRecord> triana_stream(int tasks) {
+/// Distinct seeds give distinct workflow UUIDs, so interleaved streams
+/// spread across loader lanes.
+std::vector<nl::LogRecord> triana_stream(int tasks, unsigned seed = 1234) {
   sim::EventLoop loop{1339840800.0};
-  common::Rng rng{1234};
-  common::UuidGenerator uuids{1234};
+  common::Rng rng{seed};
+  common::UuidGenerator uuids{seed};
   nl::VectorSink sink;
   sim::PsNode node{loop, "localhost", 64, 64.0};
 
@@ -131,6 +145,63 @@ void BM_BpParseLine(benchmark::State& state) {
 }
 BENCHMARK(BM_BpParseLine);
 
+/// Round-robin interleave of `workflows` independent Triana runs of
+/// `tasks` units each — the fleet-ingest workload the lanes shard.
+std::vector<nl::LogRecord> interleaved_fleet(int workflows, int tasks) {
+  std::vector<std::vector<nl::LogRecord>> streams;
+  streams.reserve(workflows);
+  std::size_t longest = 0;
+  for (int w = 0; w < workflows; ++w) {
+    streams.push_back(triana_stream(tasks, 1000u + w));
+    longest = std::max(longest, streams.back().size());
+  }
+  std::vector<nl::LogRecord> merged;
+  for (std::size_t i = 0; i < longest; ++i) {
+    for (const auto& stream : streams) {
+      if (i < stream.size()) merged.push_back(stream[i]);
+    }
+  }
+  return merged;
+}
+
+/// One timed sharded load of `events`; returns events/second.
+double timed_sharded_load(const std::vector<nl::LogRecord>& events,
+                          std::size_t shards) {
+  db::ShardedDatabase archive{shards};
+  orm::create_stampede_schema(archive);
+  loader::ShardedLoader lanes{archive};
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& record : events) lanes.process(record);
+  lanes.finish();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return secs > 0 ? static_cast<double>(events.size()) / secs : 0.0;
+}
+
+void BM_ShardedLoaderFleet(benchmark::State& state) {
+  const auto events = interleaved_fleet(/*workflows=*/16, /*tasks=*/256);
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    db::ShardedDatabase archive{shards};
+    orm::create_stampede_schema(archive);
+    loader::ShardedLoader lanes{archive};
+    state.ResumeTiming();
+
+    for (const auto& record : events) lanes.process(record);
+    lanes.finish();
+    total += events.size();
+    benchmark::DoNotOptimize(archive.row_count("jobstate"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+  state.counters["events"] = static_cast<double>(events.size());
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_ShardedLoaderFleet)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_YangValidate(benchmark::State& state) {
   const auto events = triana_stream(64);
   const auto& registry = yang::stampede_schema();
@@ -143,6 +214,46 @@ void BM_YangValidate(benchmark::State& state) {
 }
 BENCHMARK(BM_YangValidate);
 
+/// Best-of-three 1/2/4-shard fleet loads, dumped as
+/// BENCH_loader_scaling.json next to the binary's working directory.
+void emit_scaling_json() {
+  const auto events = interleaved_fleet(16, 256);
+  const std::size_t shard_counts[] = {1, 2, 4};
+  double rates[3] = {0, 0, 0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      rates[i] = std::max(rates[i],
+                          timed_sharded_load(events, shard_counts[i]));
+    }
+  }
+  std::FILE* out = std::fopen("BENCH_loader_scaling.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out,
+               "{\n"
+               "  \"workload\": \"16 interleaved Triana workflows x 256 "
+               "tasks\",\n"
+               "  \"events\": %zu,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"events_per_second\": {\"shards_1\": %.0f, "
+               "\"shards_2\": %.0f, \"shards_4\": %.0f},\n"
+               "  \"speedup_4x_vs_1x\": %.3f\n"
+               "}\n",
+               events.size(), std::thread::hardware_concurrency(), rates[0],
+               rates[1], rates[2], rates[0] > 0 ? rates[2] / rates[0] : 0.0);
+  std::fclose(out);
+  std::printf("BENCH_loader_scaling.json: 1-shard %.0f ev/s, 2-shard %.0f "
+              "ev/s, 4-shard %.0f ev/s (%.2fx, %u hw threads)\n",
+              rates[0], rates[1], rates[2],
+              rates[0] > 0 ? rates[2] / rates[0] : 0.0,
+              std::thread::hardware_concurrency());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  emit_scaling_json();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

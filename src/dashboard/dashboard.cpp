@@ -7,6 +7,15 @@ namespace stampede::dash {
 
 Dashboard::Dashboard(const db::Database& database, int port)
     : query_(database), server_(port) {
+  install_routes();
+}
+
+Dashboard::Dashboard(const db::ShardedDatabase& database, int port)
+    : query_(database), server_(port) {
+  install_routes();
+}
+
+void Dashboard::install_routes() {
   server_.route("/healthz", [](const HttpRequest&) {
     return HttpResponse::json(R"({"status":"ok"})");
   });

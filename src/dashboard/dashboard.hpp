@@ -29,11 +29,16 @@ class Dashboard {
   /// "users should not need to wait for a workflow to finish").
   explicit Dashboard(const db::Database& database, int port = 0);
 
+  /// Same, over a sharded archive: queries scatter-gather across shards.
+  explicit Dashboard(const db::ShardedDatabase& database, int port = 0);
+
   void start() { server_.start(); }
   void stop() { server_.stop(); }
   [[nodiscard]] int port() const noexcept { return server_.port(); }
 
  private:
+  void install_routes();
+
   HttpResponse workflows(const HttpRequest& request) const;
   HttpResponse summary(const HttpRequest& request) const;
   HttpResponse breakdown(const HttpRequest& request) const;

@@ -1,12 +1,15 @@
 #include "db/database.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/errors.hpp"
 #include "common/string_utils.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace stampede::db {
 
@@ -15,21 +18,40 @@ using common::DbError;
 // ---------------------------------------------------------------------------
 // Schema
 
-void Database::create_table(TableDef def) {
+void StorageShard::create_table(TableDef def) {
   const std::scoped_lock lock{mutex_};
   const std::string name = def.name;
   if (tables_.find(name) != tables_.end()) {
     throw DbError("create_table: table '" + name + "' already exists");
   }
-  tables_.emplace(name, std::make_unique<Table>(std::move(def)));
+  auto table = std::make_unique<Table>(std::move(def));
+  if (pk_step_ != 1) table->set_auto_increment(1 + pk_offset_, pk_step_);
+  tables_.emplace(name, std::move(table));
 }
 
-bool Database::has_table(const std::string& name) const {
+void StorageShard::set_pk_allocation(std::int64_t offset, std::int64_t step) {
+  const std::scoped_lock lock{mutex_};
+  if (step < 1 || offset < 0 || offset >= step) {
+    throw DbError("set_pk_allocation: need 0 <= offset < step");
+  }
+  pk_offset_ = offset;
+  pk_step_ = step;
+  for (auto& [name, table] : tables_) {
+    table->set_auto_increment(1 + offset, step);
+  }
+}
+
+void StorageShard::set_commit_latency_sink(telemetry::Histogram* sink) {
+  const std::scoped_lock lock{mutex_};
+  commit_latency_ = sink;
+}
+
+bool StorageShard::has_table(const std::string& name) const {
   const std::scoped_lock lock{mutex_};
   return tables_.find(name) != tables_.end();
 }
 
-std::vector<std::string> Database::table_names() const {
+std::vector<std::string> StorageShard::table_names() const {
   const std::scoped_lock lock{mutex_};
   std::vector<std::string> names;
   names.reserve(tables_.size());
@@ -37,17 +59,17 @@ std::vector<std::string> Database::table_names() const {
   return names;
 }
 
-const TableDef& Database::table_def(const std::string& name) const {
+const TableDef& StorageShard::table_def(const std::string& name) const {
   return table_ref(name).def();
 }
 
-Table& Database::table_ref(const std::string& name) {
+Table& StorageShard::table_ref(const std::string& name) {
   const auto it = tables_.find(name);
   if (it == tables_.end()) throw DbError("unknown table '" + name + "'");
   return *it->second;
 }
 
-const Table& Database::table_ref(const std::string& name) const {
+const Table& StorageShard::table_ref(const std::string& name) const {
   const auto it = tables_.find(name);
   if (it == tables_.end()) throw DbError("unknown table '" + name + "'");
   return *it->second;
@@ -143,7 +165,7 @@ std::vector<std::string> wal_fields(std::string_view line) {
 
 }  // namespace
 
-void Database::wal_write(const std::string& line) {
+void StorageShard::wal_write(const std::string& line) {
   if (wal_path_.empty() || replaying_) return;
   if (txn_active_) {
     wal_buffer_.push_back(line);
@@ -156,7 +178,7 @@ void Database::wal_write(const std::string& line) {
 // ---------------------------------------------------------------------------
 // DML
 
-std::int64_t Database::insert(const std::string& table,
+std::int64_t StorageShard::insert(const std::string& table,
                               const NamedValues& values) {
   const std::scoped_lock lock{mutex_};
   Table& t = table_ref(table);
@@ -186,7 +208,7 @@ std::int64_t Database::insert(const std::string& table,
   return result.pk;
 }
 
-std::size_t Database::update(const std::string& table, const ExprPtr& predicate,
+std::size_t StorageShard::update(const std::string& table, const ExprPtr& predicate,
                              const NamedValues& sets) {
   const std::scoped_lock lock{mutex_};
   Table& t = table_ref(table);
@@ -228,7 +250,7 @@ std::size_t Database::update(const std::string& table, const ExprPtr& predicate,
   return targets.size();
 }
 
-bool Database::update_pk(const std::string& table, std::int64_t pk,
+bool StorageShard::update_pk(const std::string& table, std::int64_t pk,
                          const NamedValues& sets) {
   const std::scoped_lock lock{mutex_};
   Table& t = table_ref(table);
@@ -253,7 +275,7 @@ bool Database::update_pk(const std::string& table, std::int64_t pk,
   return true;
 }
 
-std::size_t Database::delete_rows(const std::string& table,
+std::size_t StorageShard::delete_rows(const std::string& table,
                                   const ExprPtr& predicate) {
   const std::scoped_lock lock{mutex_};
   Table& t = table_ref(table);
@@ -285,7 +307,7 @@ std::size_t Database::delete_rows(const std::string& table,
   return targets.size();
 }
 
-std::size_t Database::row_count(const std::string& table) const {
+std::size_t StorageShard::row_count(const std::string& table) const {
   const std::scoped_lock lock{mutex_};
   return table_ref(table).row_count();
 }
@@ -293,15 +315,16 @@ std::size_t Database::row_count(const std::string& table) const {
 // ---------------------------------------------------------------------------
 // Transactions
 
-void Database::begin() {
+void StorageShard::begin() {
   const std::scoped_lock lock{mutex_};
   if (txn_active_) throw DbError("begin: transaction already active");
   txn_active_ = true;
   undo_log_.clear();
   wal_buffer_.clear();
+  if (commit_latency_) txn_begin_time_ = std::chrono::steady_clock::now();
 }
 
-void Database::commit() {
+void StorageShard::commit() {
   const std::scoped_lock lock{mutex_};
   if (!txn_active_) throw DbError("commit: no active transaction");
   txn_active_ = false;
@@ -313,9 +336,15 @@ void Database::commit() {
     }
   }
   wal_buffer_.clear();
+  if (commit_latency_) {
+    commit_latency_->observe(std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() -
+                                 txn_begin_time_)
+                                 .count());
+  }
 }
 
-void Database::rollback() {
+void StorageShard::rollback() {
   const std::scoped_lock lock{mutex_};
   if (!txn_active_) throw DbError("rollback: no active transaction");
   for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
@@ -337,12 +366,12 @@ void Database::rollback() {
   txn_active_ = false;
 }
 
-bool Database::in_transaction() const {
+bool StorageShard::in_transaction() const {
   const std::scoped_lock lock{mutex_};
   return txn_active_;
 }
 
-std::size_t Database::recover() {
+std::size_t StorageShard::recover() {
   const std::scoped_lock lock{mutex_};
   if (wal_path_.empty()) return 0;
   std::ifstream in{wal_path_};
@@ -350,45 +379,75 @@ std::size_t Database::recover() {
   replaying_ = true;
   std::size_t applied = 0;
   std::string line;
+
+  const auto apply_line = [&](const std::string& text) {
+    const auto fields = wal_fields(text);
+    if (fields.size() < 2) return;
+    const std::string& op = fields[0];
+    const std::string table = wal_unescape(fields[1]);
+    Table& t = table_ref(table);
+    const TableDef& def = t.def();
+    if (op == "I") {
+      Row row;
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        row.push_back(deserialize_value(fields[i]));
+      }
+      t.insert(std::move(row));
+      ++applied;
+    } else if (op == "U" && fields.size() >= 3) {
+      const Value key = deserialize_value(fields[2]);
+      NamedValues sets;
+      for (std::size_t i = 3; i + 1 < fields.size(); i += 2) {
+        sets.emplace_back(wal_unescape(fields[i]),
+                          deserialize_value(fields[i + 1]));
+      }
+      std::optional<RowId> target = def.primary_key.empty()
+                                        ? std::optional<RowId>{key.as_int()}
+                                        : t.find_pk(key);
+      if (target) {
+        t.update(*target, sets);
+        ++applied;
+      }
+    } else if (op == "D" && fields.size() >= 3) {
+      const Value key = deserialize_value(fields[2]);
+      std::optional<RowId> target = def.primary_key.empty()
+                                        ? std::optional<RowId>{key.as_int()}
+                                        : t.find_pk(key);
+      if (target) {
+        t.erase(*target);
+        ++applied;
+      }
+    }
+  };
+
   try {
     while (std::getline(in, line)) {
       if (line.empty()) continue;
-      const auto fields = wal_fields(line);
-      if (fields.size() < 2) continue;
-      const std::string& op = fields[0];
-      const std::string table = wal_unescape(fields[1]);
-      Table& t = table_ref(table);
-      const TableDef& def = t.def();
-      if (op == "I") {
-        Row row;
-        for (std::size_t i = 2; i < fields.size(); ++i) {
-          row.push_back(deserialize_value(fields[i]));
+      try {
+        apply_line(line);
+      } catch (const std::exception& e) {
+        // A record that fails to apply is either the torn final line a
+        // crash mid-append left behind (tolerated: discard it) or
+        // corruption in the middle of the log (fatal). Distinguish by
+        // whether any further non-empty record follows.
+        bool more = false;
+        std::string rest;
+        while (std::getline(in, rest)) {
+          if (!rest.empty()) {
+            more = true;
+            break;
+          }
         }
-        t.insert(std::move(row));
-        ++applied;
-      } else if (op == "U" && fields.size() >= 3) {
-        const Value key = deserialize_value(fields[2]);
-        NamedValues sets;
-        for (std::size_t i = 3; i + 1 < fields.size(); i += 2) {
-          sets.emplace_back(wal_unescape(fields[i]),
-                            deserialize_value(fields[i + 1]));
-        }
-        std::optional<RowId> target = def.primary_key.empty()
-                                          ? std::optional<RowId>{key.as_int()}
-                                          : t.find_pk(key);
-        if (target) {
-          t.update(*target, sets);
-          ++applied;
-        }
-      } else if (op == "D" && fields.size() >= 3) {
-        const Value key = deserialize_value(fields[2]);
-        std::optional<RowId> target = def.primary_key.empty()
-                                          ? std::optional<RowId>{key.as_int()}
-                                          : t.find_pk(key);
-        if (target) {
-          t.erase(*target);
-          ++applied;
-        }
+        if (more) throw;
+        ++wal_truncated_;
+        telemetry::registry()
+            .counter("stampede_db_wal_truncated_records_total")
+            .inc();
+        std::fprintf(
+            stderr,
+            "stampede-db: WAL %s: discarded truncated trailing record (%s)\n",
+            wal_path_.c_str(), e.what());
+        break;
       }
     }
   } catch (...) {
@@ -397,6 +456,11 @@ std::size_t Database::recover() {
   }
   replaying_ = false;
   return applied;
+}
+
+std::uint64_t StorageShard::wal_truncated_records() const {
+  const std::scoped_lock lock{mutex_};
+  return wal_truncated_;
 }
 
 // ---------------------------------------------------------------------------
@@ -515,7 +579,7 @@ struct Aggregator {
 
 }  // namespace
 
-ResultSet Database::execute(const Select& select) const {
+ResultSet StorageShard::execute(const Select& select) const {
   const std::scoped_lock lock{mutex_};
 
   // Assemble the source chain and the flat column map.
@@ -777,7 +841,7 @@ ResultSet Database::execute(const Select& select) const {
   return result;
 }
 
-std::optional<Value> Database::scalar(const Select& select) const {
+std::optional<Value> StorageShard::scalar(const Select& select) const {
   const ResultSet rs = execute(select);
   if (rs.rows.empty() || rs.rows.front().empty()) return std::nullopt;
   return rs.rows.front().front();

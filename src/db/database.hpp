@@ -1,12 +1,20 @@
 #pragma once
 // The relational archive engine (SQLite substitute, DESIGN.md §2).
 //
-// Thread-safe at the API level via one database mutex — the same
-// serialized-writer model SQLite provides — which is exactly what the
-// loader (single writer) + query tools (concurrent readers tolerating
-// serialization) need. Supports transactions with rollback via an undo
-// log, and an optional write-ahead log file for crash recovery / reload.
+// A StorageShard is one self-contained partition of the archive: its own
+// tables, undo log, write-ahead log file and mutex. Thread-safe at the
+// API level via one shard mutex — the same serialized-writer model
+// SQLite provides — which is exactly what a loader lane (single writer)
+// + query tools (concurrent readers tolerating serialization) need.
+// Supports transactions with rollback via an undo log, and an optional
+// write-ahead log file for crash recovery / reload.
+//
+// `Database` is an alias for StorageShard: a one-shard archive, the
+// original single-partition engine. ShardedDatabase (sharded_database.hpp)
+// composes N of these behind a partition-routing facade.
 
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -18,24 +26,28 @@
 #include "db/query.hpp"
 #include "db/table.hpp"
 
+namespace stampede::telemetry {
+class Histogram;
+}  // namespace stampede::telemetry
+
 namespace stampede::db {
 
 /// Column-name/value pairs, the convenient insert/update currency.
 using NamedValues = std::vector<std::pair<std::string, Value>>;
 
-class Database {
+class StorageShard {
  public:
-  /// In-memory database.
-  Database() = default;
+  /// In-memory shard.
+  StorageShard() = default;
 
-  /// Database backed by a write-ahead log: existing contents are
+  /// Shard backed by a write-ahead log: existing contents are
   /// replayed on open, subsequent committed writes are appended.
   /// Note: the schema must be recreated (create_table) before replay
   /// touches a table, so construct, create tables, then call recover().
-  explicit Database(std::string wal_path) : wal_path_(std::move(wal_path)) {}
+  explicit StorageShard(std::string wal_path) : wal_path_(std::move(wal_path)) {}
 
-  Database(const Database&) = delete;
-  Database& operator=(const Database&) = delete;
+  StorageShard(const StorageShard&) = delete;
+  StorageShard& operator=(const StorageShard&) = delete;
 
   // -- schema -----------------------------------------------------------------
 
@@ -45,6 +57,21 @@ class Database {
   [[nodiscard]] bool has_table(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> table_names() const;
   [[nodiscard]] const TableDef& table_def(const std::string& name) const;
+
+  // -- partitioning -----------------------------------------------------------
+
+  /// Configures primary-key striding for shard `offset` of `step` total:
+  /// every table (existing and future) auto-assigns keys from the
+  /// congruence class offset+1 mod step, so keys are globally unique
+  /// across the shard set and (key-1) mod step recovers the owner.
+  /// (0, 1) — the default — is the ordinary single-shard sequence.
+  /// Must be called before any inserts.
+  void set_pk_allocation(std::int64_t offset, std::int64_t step);
+
+  /// Installs a per-shard commit-latency histogram (seconds from
+  /// begin() to commit()); nullptr detaches. The histogram must outlive
+  /// the shard (telemetry registry instruments do).
+  void set_commit_latency_sink(telemetry::Histogram* sink);
 
   // -- DML --------------------------------------------------------------------
 
@@ -91,7 +118,13 @@ class Database {
 
   /// Replays the WAL file (if configured and present). Call after the
   /// schema has been created. Returns the number of operations applied.
+  /// A corrupt *final* record — the partial line a crash mid-append
+  /// leaves behind — is discarded with a warning counter instead of
+  /// failing recovery; corruption anywhere earlier still throws.
   std::size_t recover();
+
+  /// Number of truncated trailing WAL records discarded by recover().
+  [[nodiscard]] std::uint64_t wal_truncated_records() const;
 
  private:
   Table& table_ref(const std::string& name);
@@ -113,6 +146,16 @@ class Database {
   bool replaying_ = false;
   std::vector<UndoOp> undo_log_;
   std::vector<std::string> wal_buffer_;  ///< Committed at commit().
+
+  std::int64_t pk_offset_ = 0;  ///< This shard's congruence class.
+  std::int64_t pk_step_ = 1;    ///< Total shard count.
+  std::uint64_t wal_truncated_ = 0;
+  telemetry::Histogram* commit_latency_ = nullptr;
+  std::chrono::steady_clock::time_point txn_begin_time_{};
 };
+
+/// The single-partition archive: exactly one shard. Existing code built
+/// against `Database` is untouched by the sharding refactor.
+using Database = StorageShard;
 
 }  // namespace stampede::db

@@ -84,7 +84,12 @@ Table::InsertResult Table::insert(Row row) {
       throw DbError("table " + def_.name + ": duplicate primary key " +
                     key.to_string());
     }
-    next_auto_ = std::max(next_auto_, key.as_int() + 1);
+    // Advance the auto sequence past an explicit key while staying in
+    // this table's congruence class (start mod step).
+    if (key.as_int() >= next_auto_) {
+      const std::int64_t delta = key.as_int() - next_auto_;
+      next_auto_ += (delta / auto_step_ + 1) * auto_step_;
+    }
   }
   check_not_null(row);
   check_unique(row, std::nullopt);
@@ -95,6 +100,18 @@ Table::InsertResult Table::insert(Row row) {
   live_.push_back(true);
   ++live_count_;
   return InsertResult{id, pk_col_ ? rows_.back()[*pk_col_].as_int() : id};
+}
+
+void Table::set_auto_increment(std::int64_t start, std::int64_t step) {
+  if (start < 1 || step < 1) {
+    throw DbError("table " + def_.name + ": invalid auto-increment stride");
+  }
+  if (!rows_.empty()) {
+    throw DbError("table " + def_.name +
+                  ": auto-increment stride must be set before inserts");
+  }
+  next_auto_ = start;
+  auto_step_ = step;
 }
 
 void Table::index_insert(RowId id, const Row& row) {

@@ -33,6 +33,14 @@ class Table {
   /// violation.
   InsertResult insert(Row row);
 
+  /// Configures a strided auto-increment sequence: generated keys are
+  /// start, start+step, start+step*2, … Shard s of N uses (s+1, N) so
+  /// every shard draws from a disjoint congruence class and the owning
+  /// shard of any key is recoverable as (key-1) mod N. Must be called
+  /// before the first insert; (1, 1) is the default single-shard
+  /// sequence.
+  void set_auto_increment(std::int64_t start, std::int64_t step);
+
   /// Fetch by RowId; nullptr when deleted/nonexistent.
   [[nodiscard]] const Row* fetch(RowId id) const noexcept;
 
@@ -87,6 +95,7 @@ class Table {
 
   std::optional<std::size_t> pk_col_;  ///< Index into columns.
   std::int64_t next_auto_ = 1;
+  std::int64_t auto_step_ = 1;
   std::unordered_map<Value, RowId> pk_index_;
 
   /// column index -> (value -> row ids). Built for every IndexDef column

@@ -22,9 +22,10 @@ telemetry::Gauge& events_per_second_gauge() {
   return gauge;
 }
 
-}  // namespace
-
-NlLoadStats load_stream(std::istream& in, StampedeLoader& loader) {
+// Shared pump body: LoaderT is StampedeLoader (inline) or ShardedLoader
+// (the caller becomes the lane dispatcher).
+template <typename LoaderT>
+NlLoadStats load_stream_impl(std::istream& in, LoaderT& loader) {
   const auto start = Clock::now();
   NlLoadStats stats;
   nl::StreamParser parser{in};
@@ -41,7 +42,25 @@ NlLoadStats load_stream(std::istream& in, StampedeLoader& loader) {
   return stats;
 }
 
+}  // namespace
+
+NlLoadStats load_stream(std::istream& in, StampedeLoader& loader) {
+  return load_stream_impl(in, loader);
+}
+
+NlLoadStats load_stream(std::istream& in, ShardedLoader& loader) {
+  return load_stream_impl(in, loader);
+}
+
 NlLoadStats load_file(const std::string& path, StampedeLoader& loader) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error("nl_load: cannot open " + path);
+  }
+  return load_stream(in, loader);
+}
+
+NlLoadStats load_file(const std::string& path, ShardedLoader& loader) {
   std::ifstream in{path};
   if (!in) {
     throw std::runtime_error("nl_load: cannot open " + path);
@@ -52,6 +71,10 @@ NlLoadStats load_file(const std::string& path, StampedeLoader& loader) {
 QueuePump::QueuePump(bus::Broker& broker, std::string queue,
                      StampedeLoader& loader)
     : broker_(&broker), queue_(std::move(queue)), loader_(&loader) {}
+
+QueuePump::QueuePump(bus::Broker& broker, std::string queue,
+                     ShardedLoader& loader)
+    : broker_(&broker), queue_(std::move(queue)), sharded_(&loader) {}
 
 QueuePump::~QueuePump() { stop(); }
 
@@ -111,13 +134,21 @@ void QueuePump::pump(const std::stop_token& stop) {
           static_cast<std::int64_t>(stats_.events_per_second()));
     }
     if (auto* record = std::get_if<nl::LogRecord>(&parsed)) {
-      loader_->process(*record, &trace);
+      if (sharded_ != nullptr) {
+        sharded_->process(*record, &trace);
+      } else {
+        loader_->process(*record, &trace);
+      }
     }
     // Ack regardless: a message our parser rejects will never become
     // parseable on redelivery.
     broker_->ack(queue_, delivery->delivery_tag);
   }
-  loader_->finish();
+  if (sharded_ != nullptr) {
+    sharded_->finish();
+  } else {
+    loader_->finish();
+  }
   const std::scoped_lock lock{stats_mutex_};
   stats_.wall_seconds = seconds_since(start);
 }

@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "bus/broker.hpp"
+#include "loader/sharded_loader.hpp"
 #include "loader/stampede_loader.hpp"
 #include "netlogger/parser.hpp"
 
@@ -42,6 +43,11 @@ NlLoadStats load_file(const std::string& path, StampedeLoader& loader);
 /// Parses BP text from any istream into the loader (for tests/pipes).
 NlLoadStats load_stream(std::istream& in, StampedeLoader& loader);
 
+/// Parallel-lane variants: the calling thread acts as the dispatcher
+/// and events load on the ShardedLoader's per-shard lanes.
+NlLoadStats load_file(const std::string& path, ShardedLoader& loader);
+NlLoadStats load_stream(std::istream& in, ShardedLoader& loader);
+
 /// Real-time loader pump attached to an AMQP queue. Runs on its own
 /// thread; messages are acked only after the loader accepted or
 /// definitively rejected them, so an interrupted pump redelivers.
@@ -50,6 +56,10 @@ class QueuePump {
   /// Declares (idempotently) `queue` on the broker and binds it to
   /// `exchange` with `binding_key` before consuming.
   QueuePump(bus::Broker& broker, std::string queue, StampedeLoader& loader);
+
+  /// Sharded variant: the pump thread is the dispatcher and hands each
+  /// message to the loader's per-shard lanes.
+  QueuePump(bus::Broker& broker, std::string queue, ShardedLoader& loader);
 
   ~QueuePump();
   QueuePump(const QueuePump&) = delete;
@@ -73,7 +83,8 @@ class QueuePump {
 
   bus::Broker* broker_;
   std::string queue_;
-  StampedeLoader* loader_;
+  StampedeLoader* loader_ = nullptr;
+  ShardedLoader* sharded_ = nullptr;  ///< Set instead of loader_ when sharded.
   std::jthread worker_;
   mutable std::mutex stats_mutex_;
   NlLoadStats stats_;

@@ -1,0 +1,169 @@
+#include "loader/sharded_loader.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "netlogger/events.hpp"
+
+namespace stampede::loader {
+
+namespace ev = nl::events;
+namespace attr = nl::events::attr;
+
+ShardedLoader::Lane::Lane(db::StorageShard& shard,
+                          const LoaderOptions& options, std::size_t index)
+    : loader(shard, options),
+      queue(options.lane_queue_capacity),
+      depth(telemetry::registry().gauge(telemetry::labeled(
+          "stampede_loader_lane_depth", "lane", std::to_string(index)))),
+      dispatched(telemetry::registry().counter(telemetry::labeled(
+          "stampede_loader_lane_events_total", "lane",
+          std::to_string(index)))) {}
+
+ShardedLoader::ShardedLoader(db::ShardedDatabase& database,
+                             LoaderOptions options)
+    : db_(&database),
+      lane_events_(database.shard_count(), 0),
+      skew_(telemetry::registry().gauge("stampede_loader_shard_skew_permille")) {
+  lanes_.reserve(database.shard_count());
+  for (std::size_t i = 0; i < database.shard_count(); ++i) {
+    lanes_.push_back(
+        std::make_unique<Lane>(database.shard(i), options, i));
+  }
+  // Workers start only after every lane exists.
+  for (auto& lane : lanes_) {
+    Lane* l = lane.get();
+    l->worker = std::jthread([this, l] { run_lane(*l); });
+  }
+}
+
+ShardedLoader::~ShardedLoader() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; a failing flush is already counted in
+    // the lane loaders' own error paths.
+  }
+}
+
+void ShardedLoader::run_lane(Lane& lane) {
+  while (auto item = lane.queue.pop()) {
+    lane.depth.set(static_cast<std::int64_t>(lane.queue.size()));
+    lane.loader.process(item->record,
+                        item->traced ? &item->trace : nullptr);
+  }
+  // Queue closed and drained: final flush + deferred replay.
+  lane.loader.finish();
+}
+
+std::size_t ShardedLoader::route(const nl::LogRecord& record) {
+  const auto uuid = record.get_uuid(attr::kXwfId);
+  if (!uuid) return 0;  // No workflow attribution: arbitrary (stable) lane.
+  if (const auto it = route_of_.find(*uuid); it != route_of_.end()) {
+    return it->second;
+  }
+  // First sighting: co-locate with the tree. Prefer the root's lane,
+  // then the parent's; a workflow with neither attribute is (the root
+  // of) its own tree and routes by hash of its own UUID.
+  std::size_t lane;
+  if (const auto root = record.get_uuid(attr::kRootXwfId);
+      root && *root != *uuid) {
+    const auto rit = route_of_.find(*root);
+    lane = rit != route_of_.end()
+               ? rit->second
+               : db_->shard_index_for_key(root->to_string());
+  } else if (const auto parent = record.get_uuid(attr::kParentXwfId)) {
+    const auto pit = route_of_.find(*parent);
+    lane = pit != route_of_.end()
+               ? pit->second
+               : db_->shard_index_for_key(parent->to_string());
+  } else {
+    lane = db_->shard_index_for_key(uuid->to_string());
+  }
+  route_of_.emplace(*uuid, lane);
+  return lane;
+}
+
+void ShardedLoader::update_skew() {
+  // Max relative deviation from a perfectly even spread, in permille:
+  // 0 = balanced, 1000 = one lane holds double its fair share (or
+  // worse). Cheap enough to refresh on every dispatch.
+  if (dispatched_ == 0 || lanes_.size() < 2) {
+    skew_.set(0);
+    return;
+  }
+  const double fair =
+      static_cast<double>(dispatched_) / static_cast<double>(lanes_.size());
+  double worst = 0.0;
+  for (const std::uint64_t count : lane_events_) {
+    worst = std::max(worst,
+                     std::abs(static_cast<double>(count) - fair) / fair);
+  }
+  skew_.set(static_cast<std::int64_t>(worst * 1000.0));
+}
+
+bool ShardedLoader::process(const nl::LogRecord& record,
+                            const telemetry::TraceStamps* trace) {
+  if (finished_) return false;
+  const std::size_t lane_index = route(record);
+
+  // A sub-workflow mapping pins the child to this tree's lane before
+  // any of the child's own events (which may lack parent attribution)
+  // arrive.
+  if (record.event() == ev::kMapSubwfJob) {
+    if (const auto subwf = record.get_uuid(attr::kSubwfId)) {
+      route_of_.emplace(*subwf, lane_index);
+    }
+  }
+
+  Item item;
+  item.record = record;
+  if (trace != nullptr) {
+    item.trace = *trace;
+    item.traced = true;
+  }
+  Lane& lane = *lanes_[lane_index];
+  if (!lane.queue.push(std::move(item))) return false;
+  lane.depth.set(static_cast<std::int64_t>(lane.queue.size()));
+  lane.dispatched.inc();
+  ++lane_events_[lane_index];
+  ++dispatched_;
+  update_skew();
+  return true;
+}
+
+void ShardedLoader::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& lane : lanes_) lane->queue.close();
+  for (auto& lane : lanes_) {
+    if (lane->worker.joinable()) lane->worker.join();
+    lane->depth.set(0);
+  }
+}
+
+LoaderStats ShardedLoader::stats() const {
+  LoaderStats total;
+  for (const auto& lane : lanes_) total.merge(lane->loader.stats());
+  return total;
+}
+
+const LoaderStats& ShardedLoader::lane_stats(std::size_t lane) const {
+  return lanes_[lane]->loader.stats();
+}
+
+std::optional<std::size_t> ShardedLoader::route_of(
+    const common::Uuid& uuid) const {
+  const auto it = route_of_.find(uuid);
+  if (it == route_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> ShardedLoader::wf_id(
+    const common::Uuid& uuid) const {
+  const auto route = route_of_.find(uuid);
+  if (route == route_of_.end()) return std::nullopt;
+  return lanes_[route->second]->loader.wf_id(uuid);
+}
+
+}  // namespace stampede::loader

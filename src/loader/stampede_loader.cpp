@@ -12,6 +12,17 @@ namespace ev = nl::events;
 namespace attr = nl::events::attr;
 using db::Value;
 
+void LoaderStats::merge(const LoaderStats& other) {
+  events_seen += other.events_seen;
+  events_loaded += other.events_loaded;
+  events_invalid += other.events_invalid;
+  events_unknown += other.events_unknown;
+  events_dropped += other.events_dropped;
+  events_deferred += other.events_deferred;
+  deferred_evicted += other.deferred_evicted;
+  for (const auto& [event, count] : other.by_event) by_event[event] += count;
+}
+
 StampedeLoader::Instruments StampedeLoader::make_instruments() {
   auto& r = telemetry::registry();
   return {
@@ -21,6 +32,7 @@ StampedeLoader::Instruments StampedeLoader::make_instruments() {
       r.counter("stampede_loader_events_unknown_total"),
       r.counter("stampede_loader_events_dropped_total"),
       r.counter("stampede_loader_events_deferred_total"),
+      r.counter("stampede_loader_deferred_dropped_total"),
       r.counter("stampede_loader_defer_warnings_total"),
       r.gauge("stampede_loader_deferred_depth"),
       r.histogram("stampede_e2e_publish_to_enqueue_seconds", {1e-7, 2.0, 32}),
@@ -614,6 +626,15 @@ bool StampedeLoader::process(const nl::LogRecord& record,
       tele_.deferred.inc();
       deferred_.push_back(
           {record, 0, trace != nullptr ? *trace : telemetry::TraceStamps{}});
+      if (options_.defer_max != 0 && deferred_.size() > options_.defer_max) {
+        // Hard cap: evict the oldest deferred event rather than letting
+        // orphans grow the queue without bound.
+        deferred_.pop_front();
+        ++stats_.events_dropped;
+        ++stats_.deferred_evicted;
+        tele_.dropped.inc();
+        tele_.deferred_dropped.inc();
+      }
       note_deferred_depth();
       return false;
     case Outcome::kError:

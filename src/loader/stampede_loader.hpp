@@ -64,6 +64,16 @@ struct LoaderOptions {
   /// past this depth — sustained growth means the event stream is badly
   /// reordered or referents are missing. 0 disables the warning.
   std::size_t defer_warn_threshold = 1024;
+  /// Hard cap on the deferred-replay queue. A deferral past this depth
+  /// evicts the oldest deferred event (counted as dropped, plus the
+  /// stampede_loader_deferred_dropped_total metric), so a stream of
+  /// orphaned events can never grow memory without bound. 0 disables
+  /// the cap.
+  std::size_t defer_max = 65536;
+  /// Depth of each lane's hand-off queue when the loader runs as
+  /// parallel lanes (ShardedLoader); the dispatcher blocks when a lane
+  /// falls this far behind (backpressure).
+  std::size_t lane_queue_capacity = 4096;
 };
 
 struct LoaderStats {
@@ -73,7 +83,11 @@ struct LoaderStats {
   std::uint64_t events_unknown = 0;    ///< Event name not handled.
   std::uint64_t events_dropped = 0;    ///< Deferred past max rounds.
   std::uint64_t events_deferred = 0;   ///< Total deferral episodes.
+  std::uint64_t deferred_evicted = 0;  ///< Evicted by the defer_max cap.
   std::map<std::string, std::uint64_t> by_event;
+
+  /// Accumulates `other` into this (used to aggregate per-lane stats).
+  void merge(const LoaderStats& other);
 };
 
 class StampedeLoader {
@@ -182,6 +196,7 @@ class StampedeLoader {
     telemetry::Counter& unknown;
     telemetry::Counter& dropped;
     telemetry::Counter& deferred;
+    telemetry::Counter& deferred_dropped;
     telemetry::Counter& defer_warnings;
     telemetry::Gauge& deferred_depth;
     telemetry::Histogram& publish_to_enqueue;

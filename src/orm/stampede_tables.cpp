@@ -248,6 +248,28 @@ void create_stampede_schema(db::Database& database) {
   database.insert("schema_info", {{"version", db::Value{kSchemaVersion}}});
 }
 
+void create_stampede_tables(db::ShardedDatabase& database) {
+  database.create_table(workflow_table());
+  database.create_table(workflowstate_table());
+  database.create_table(host_table());
+  database.create_table(task_table());
+  database.create_table(task_edge_table());
+  database.create_table(job_table());
+  database.create_table(job_edge_table());
+  database.create_table(job_instance_table());
+  database.create_table(jobstate_table());
+  database.create_table(invocation_table());
+  database.create_table(schema_info_table());
+}
+
+void create_stampede_schema(db::ShardedDatabase& database) {
+  create_stampede_tables(database);
+  for (std::size_t i = 0; i < database.shard_count(); ++i) {
+    database.shard(i).insert("schema_info",
+                             {{"version", db::Value{kSchemaVersion}}});
+  }
+}
+
 std::unique_ptr<db::Database> open_archive(const std::string& wal_path) {
   auto database = std::make_unique<db::Database>(wal_path);
   create_stampede_tables(*database);
@@ -255,6 +277,20 @@ std::unique_ptr<db::Database> open_archive(const std::string& wal_path) {
   if (database->row_count("schema_info") == 0) {
     database->insert("schema_info",
                      {{"version", db::Value{kSchemaVersion}}});
+  }
+  return database;
+}
+
+std::unique_ptr<db::ShardedDatabase> open_sharded_archive(
+    const std::string& wal_path, std::size_t shards) {
+  auto database = std::make_unique<db::ShardedDatabase>(shards, wal_path);
+  create_stampede_tables(*database);
+  database->recover();
+  for (std::size_t i = 0; i < database->shard_count(); ++i) {
+    auto& shard = database->shard(i);
+    if (shard.row_count("schema_info") == 0) {
+      shard.insert("schema_info", {{"version", db::Value{kSchemaVersion}}});
+    }
   }
   return database;
 }

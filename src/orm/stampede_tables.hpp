@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "db/database.hpp"
+#include "db/sharded_database.hpp"
 
 namespace stampede::orm {
 
@@ -23,11 +24,22 @@ void create_stampede_schema(db::Database& database);
 /// replays the WAL before deciding whether the version row exists).
 void create_stampede_tables(db::Database& database);
 
+/// Sharded variants: fan the DDL out to every shard. Each shard carries
+/// its own schema_info row so every per-shard WAL file self-describes.
+void create_stampede_schema(db::ShardedDatabase& database);
+void create_stampede_tables(db::ShardedDatabase& database);
+
 /// Opens (or creates) a WAL-backed archive file: creates the tables,
 /// replays the WAL, and ensures the schema_info version row exists
 /// exactly once. This is the entry point the CLI tools share.
 [[nodiscard]] std::unique_ptr<db::Database> open_archive(
     const std::string& wal_path);
+
+/// Sharded equivalent of open_archive: shard i replays/appends
+/// `<wal_path>.<i>` (just `wal_path` when shards == 1, so existing
+/// single-shard archives open unchanged).
+[[nodiscard]] std::unique_ptr<db::ShardedDatabase> open_sharded_archive(
+    const std::string& wal_path, std::size_t shards);
 
 /// Names of all tables created by create_stampede_schema, in creation
 /// (dependency) order.

@@ -17,14 +17,15 @@ WorkflowAnalysis StampedeAnalyzer::analyze(std::int64_t wf_id) const {
     analysis.dax_label = info->dax_label;
   }
 
-  const auto& database = q_->database();
+  const auto& exec = q_->executor();
   analysis.total_jobs = static_cast<std::int64_t>(
-      database
-          .execute(Select{"job"}.where(db::eq("wf_id", Value{wf_id})))
+      exec.execute_for(wf_id,
+                       Select{"job"}.where(db::eq("wf_id", Value{wf_id})))
           .size());
 
   // Last instance per job with its exit code and detail columns.
-  const auto rows = database.execute(
+  const auto rows = exec.execute_for(
+      wf_id,
       Select{"job_instance"}
           .join("job", "job_id", "job_id")
           .where(db::eq("job.wf_id", Value{wf_id}))
@@ -52,7 +53,8 @@ WorkflowAnalysis StampedeAnalyzer::analyze(std::int64_t wf_id) const {
       analysis.total_jobs - static_cast<std::int64_t>(last_of.size());
 
   // Last jobstate per instance.
-  const auto states = database.execute(
+  const auto states = exec.execute_for(
+      wf_id,
       Select{"jobstate"}
           .join("job_instance", "job_instance_id", "job_instance_id")
           .join("job", "job_instance.job_id", "job_id")
@@ -73,7 +75,7 @@ WorkflowAnalysis StampedeAnalyzer::analyze(std::int64_t wf_id) const {
   }
 
   const auto hosts =
-      database.execute(Select{"host"}.columns({"host_id", "hostname"}));
+      exec.execute(Select{"host"}.columns({"host_id", "hostname"}));
   std::map<std::int64_t, std::string> hostnames;
   for (std::size_t i = 0; i < hosts.size(); ++i) {
     hostnames[hosts.at(i, "host_id").as_int()] =

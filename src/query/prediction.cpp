@@ -7,7 +7,8 @@
 namespace stampede::query {
 
 RuntimePredictor::RuntimePredictor(const QueryInterface& query) {
-  const auto rows = query.database().execute(
+  // Prediction learns from every workflow's history: fleet-wide scatter.
+  const auto rows = query.executor().execute(
       db::Select{"invocation"}
           .where(db::and_(db::eq("exitcode", db::Value{0}),
                           db::is_not_null("remote_duration")))

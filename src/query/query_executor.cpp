@@ -1,0 +1,369 @@
+#include "query/query_executor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/errors.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace stampede::query {
+namespace {
+
+using common::DbError;
+using db::AggFn;
+using db::AggSpec;
+using db::ResultSet;
+using db::Row;
+using db::Select;
+using db::Value;
+
+// Collision-free serialization of a value for DISTINCT / group-merge
+// keys (length-prefixed, so no escaping is needed).
+void append_key(std::string& out, const Value& value) {
+  std::string text;
+  if (value.is_null()) {
+    out += "N;";
+    return;
+  }
+  if (value.is_int()) {
+    text = "I" + std::to_string(value.as_int());
+  } else if (value.is_real()) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "R%.17g", value.as_real());
+    text = buf;
+  } else {
+    text = "S" + value.as_text();
+  }
+  out += std::to_string(text.size());
+  out += ':';
+  out += text;
+}
+
+std::string row_key(const Row& row, std::size_t prefix) {
+  std::string key;
+  for (std::size_t i = 0; i < prefix; ++i) append_key(key, row[i]);
+  return key;
+}
+
+// Separator between an AVG alias and its partial-column suffix; cannot
+// collide with user aliases (control character).
+constexpr char kPartialSep = '\x1f';
+
+/// Rebuilds `select` as the per-shard partial query: same sources,
+/// predicate and grouping, but AVG aggregates split into SUM+COUNT
+/// partials and the global DISTINCT / ORDER BY / LIMIT stripped (a
+/// top-k prune is kept when it is safe — see gather()).
+Select build_partial(const Select& select) {
+  Select partial{select.table(), select.alias()};
+  partial.columns(select.selected());
+  for (const auto& join : select.joins()) {
+    if (join.left_outer) {
+      partial.left_join(join.table, join.left_col, join.right_col, join.alias);
+    } else {
+      partial.join(join.table, join.left_col, join.right_col, join.alias);
+    }
+  }
+  if (select.predicate()) partial.where(select.predicate());
+  partial.group_by(select.groups());
+  for (const auto& spec : select.aggs()) {
+    if (spec.fn == AggFn::kAvg) {
+      partial.agg(AggFn::kSum, spec.column, spec.alias + kPartialSep + 's');
+      partial.agg(AggFn::kCount, spec.column, spec.alias + kPartialSep + 'c');
+    } else {
+      partial.agg(spec.fn, spec.column, spec.alias);
+    }
+  }
+  const bool aggregated = !select.groups().empty() || !select.aggs().empty();
+  if (!aggregated) {
+    if (select.is_distinct()) partial.distinct();
+    // Safe top-k prune: each shard's top `limit` rows (under the global
+    // order) are a superset of its contribution to the global top-k.
+    // DISTINCT breaks that (a per-shard cut can starve the global set
+    // after dedup), so only prune without it.
+    if (select.row_limit() && !select.is_distinct()) {
+      for (const auto& order : select.orders()) {
+        partial.order_by(order.column, order.descending);
+      }
+      partial.limit(*select.row_limit());
+    }
+  }
+  return partial;
+}
+
+/// Cross-shard accumulator reproducing Aggregator's result semantics
+/// from per-shard partials.
+struct MergeAgg {
+  AggFn fn = AggFn::kCount;
+  std::int64_t count = 0;  ///< kCount: summed partial counts.
+  double sum = 0.0;        ///< kSum / kAvg: summed non-null partial sums.
+  bool any_sum = false;
+  std::int64_t avg_count = 0;  ///< kAvg: summed non-null-value counts.
+  Value minmax;
+  bool has_minmax = false;
+
+  void feed_count(const Value& partial) { count += partial.as_int(); }
+
+  void feed_sum(const Value& partial) {
+    if (partial.is_null()) return;
+    sum += partial.as_number();
+    any_sum = true;
+  }
+
+  void feed_minmax(const Value& partial, bool want_min) {
+    if (partial.is_null()) return;
+    if (!has_minmax) {
+      minmax = partial;
+      has_minmax = true;
+    } else if (want_min ? partial < minmax : minmax < partial) {
+      minmax = partial;
+    }
+  }
+
+  [[nodiscard]] Value result() const {
+    switch (fn) {
+      case AggFn::kCount:
+        return Value{count};
+      case AggFn::kSum:
+        return any_sum ? Value{sum} : Value::null();
+      case AggFn::kAvg:
+        return (any_sum && avg_count > 0)
+                   ? Value{sum / static_cast<double>(avg_count)}
+                   : Value::null();
+      case AggFn::kMin:
+      case AggFn::kMax:
+        return has_minmax ? minmax : Value::null();
+    }
+    return Value::null();
+  }
+};
+
+ResultSet merge_aggregates(const Select& select,
+                           const std::vector<ResultSet>& parts) {
+  const std::size_t n_groups = select.groups().size();
+
+  struct GroupState {
+    Row key;
+    std::vector<MergeAgg> aggs;
+  };
+  std::unordered_map<std::string, std::size_t> index_of;
+  std::vector<GroupState> groups;
+
+  for (const auto& part : parts) {
+    for (const auto& row : part.rows) {
+      auto [it, inserted] = index_of.emplace(row_key(row, n_groups),
+                                             groups.size());
+      if (inserted) {
+        GroupState state;
+        state.key.assign(row.begin(),
+                         row.begin() + static_cast<std::ptrdiff_t>(n_groups));
+        state.aggs.reserve(select.aggs().size());
+        for (const auto& spec : select.aggs()) {
+          MergeAgg agg;
+          agg.fn = spec.fn;
+          state.aggs.push_back(agg);
+        }
+        groups.push_back(std::move(state));
+      }
+      GroupState& state = groups[it->second];
+      // Partial rows lay out as: group values, then one column per
+      // non-AVG aggregate and two (sum, count) per AVG, in spec order.
+      std::size_t col = n_groups;
+      for (std::size_t a = 0; a < select.aggs().size(); ++a) {
+        MergeAgg& agg = state.aggs[a];
+        switch (agg.fn) {
+          case AggFn::kCount:
+            agg.feed_count(row[col++]);
+            break;
+          case AggFn::kSum:
+            agg.feed_sum(row[col++]);
+            break;
+          case AggFn::kAvg:
+            agg.feed_sum(row[col++]);
+            agg.avg_count += row[col++].as_int();
+            break;
+          case AggFn::kMin:
+            agg.feed_minmax(row[col++], /*want_min=*/true);
+            break;
+          case AggFn::kMax:
+            agg.feed_minmax(row[col++], /*want_min=*/false);
+            break;
+        }
+      }
+    }
+  }
+
+  // Aggregates with no groups emit one row even from zero input — each
+  // shard already did, so `groups` is non-empty in that case; this is
+  // just belt and braces for defensive symmetry with the engine.
+  if (groups.empty() && n_groups == 0 && !select.aggs().empty()) {
+    GroupState state;
+    for (const auto& spec : select.aggs()) {
+      MergeAgg agg;
+      agg.fn = spec.fn;
+      state.aggs.push_back(agg);
+    }
+    groups.push_back(std::move(state));
+  }
+
+  ResultSet result;
+  for (const auto& g : select.groups()) result.columns.push_back(g);
+  for (const auto& spec : select.aggs()) result.columns.push_back(spec.alias);
+  result.rows.reserve(groups.size());
+  for (auto& state : groups) {
+    Row out = std::move(state.key);
+    for (const auto& agg : state.aggs) out.push_back(agg.result());
+    result.rows.push_back(std::move(out));
+  }
+  return result;
+}
+
+/// Re-applies the global DISTINCT / ORDER BY / LIMIT tail on the merged
+/// rows, mirroring the single-shard engine's steps 5-7.
+void apply_tail(const Select& select, ResultSet& result) {
+  if (select.is_distinct()) {
+    std::unordered_set<std::string> seen;
+    std::vector<Row> unique;
+    unique.reserve(result.rows.size());
+    for (auto& row : result.rows) {
+      if (seen.insert(row_key(row, row.size())).second) {
+        unique.push_back(std::move(row));
+      }
+    }
+    result.rows = std::move(unique);
+  }
+  if (!select.orders().empty()) {
+    std::vector<std::pair<std::size_t, bool>> keys;
+    for (const auto& order : select.orders()) {
+      const auto idx = result.column_index(order.column);
+      if (!idx) {
+        throw DbError("order by: column '" + order.column +
+                      "' not in result set");
+      }
+      keys.emplace_back(*idx, order.descending);
+    }
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (const auto& [idx, desc] : keys) {
+                         const auto ord = a[idx].compare(b[idx]);
+                         if (ord == std::partial_ordering::less) return !desc;
+                         if (ord == std::partial_ordering::greater) return desc;
+                       }
+                       return false;
+                     });
+  }
+  if (select.row_limit() && result.rows.size() > *select.row_limit()) {
+    result.rows.resize(*select.row_limit());
+  }
+}
+
+telemetry::Counter& scatter_counter() {
+  static telemetry::Counter& counter =
+      telemetry::registry().counter("stampede_query_scatter_total");
+  return counter;
+}
+
+telemetry::Counter& single_shard_counter() {
+  static telemetry::Counter& counter =
+      telemetry::registry().counter("stampede_query_single_shard_total");
+  return counter;
+}
+
+}  // namespace
+
+ResultSet QueryExecutor::gather(const std::vector<std::size_t>& shards,
+                                const Select& select) const {
+  if (shards.size() == 1) {
+    single_shard_counter().inc();
+    return sharded_->shard(shards.front()).execute(select);
+  }
+  scatter_counter().inc();
+
+  const Select partial = build_partial(select);
+  std::vector<ResultSet> parts(shards.size());
+  std::vector<std::exception_ptr> errors(shards.size());
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      workers.emplace_back([&, i] {
+        try {
+          parts[i] = sharded_->shard(shards[i]).execute(partial);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  ResultSet merged;
+  if (!select.groups().empty() || !select.aggs().empty()) {
+    merged = merge_aggregates(select, parts);
+  } else {
+    merged.columns = parts.front().columns;
+    std::size_t total = 0;
+    for (const auto& part : parts) total += part.rows.size();
+    merged.rows.reserve(total);
+    for (auto& part : parts) {
+      for (auto& row : part.rows) merged.rows.push_back(std::move(row));
+    }
+  }
+  apply_tail(select, merged);
+  return merged;
+}
+
+ResultSet QueryExecutor::execute(const Select& select) const {
+  if (single_) return single_->execute(select);
+  std::vector<std::size_t> all(sharded_->shard_count());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return gather(all, select);
+}
+
+std::optional<Value> QueryExecutor::scalar(const Select& select) const {
+  if (single_) return single_->scalar(select);
+  const ResultSet rs = execute(select);
+  if (rs.rows.empty() || rs.rows.front().empty()) return std::nullopt;
+  return rs.rows.front().front();
+}
+
+ResultSet QueryExecutor::execute_for(std::int64_t wf_id,
+                                     const Select& select) const {
+  if (single_) return single_->execute(select);
+  return gather({sharded_->shard_index_for_id(wf_id)}, select);
+}
+
+std::optional<Value> QueryExecutor::scalar_for(std::int64_t wf_id,
+                                               const Select& select) const {
+  if (single_) return single_->scalar(select);
+  const ResultSet rs = execute_for(wf_id, select);
+  if (rs.rows.empty() || rs.rows.front().empty()) return std::nullopt;
+  return rs.rows.front().front();
+}
+
+ResultSet QueryExecutor::execute_for_ids(
+    const std::vector<std::int64_t>& wf_ids, const Select& select) const {
+  if (single_) return single_->execute(select);
+  std::vector<std::size_t> shards;
+  for (const std::int64_t id : wf_ids) {
+    const std::size_t s = sharded_->shard_index_for_id(id);
+    if (std::find(shards.begin(), shards.end(), s) == shards.end()) {
+      shards.push_back(s);
+    }
+  }
+  if (shards.empty()) return execute(select);
+  std::sort(shards.begin(), shards.end());
+  return gather(shards, select);
+}
+
+std::size_t QueryExecutor::row_count(const std::string& table) const {
+  return single_ ? single_->row_count(table) : sharded_->row_count(table);
+}
+
+}  // namespace stampede::query

@@ -1,0 +1,64 @@
+#pragma once
+// Scatter-gather query execution over the (possibly sharded) archive.
+//
+// Over a single Database this is a thin pass-through. Over a
+// ShardedDatabase it fans a Select out to every shard in parallel and
+// merges the partial results: plain scans concatenate (then re-apply
+// DISTINCT / ORDER BY / LIMIT globally), aggregates are rewritten into
+// mergeable partials (AVG becomes per-shard SUM+COUNT) and combined
+// per group with the same null semantics as the single-shard engine.
+//
+// Workflow-scoped queries should use the *_for routes: because primary
+// keys are strided by shard, the owner of wf_id is known without
+// hashing, and the query touches exactly one shard — which also makes
+// tie-breaking (ORDER BY … LIMIT 1) deterministic and identical to an
+// unsharded archive.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/database.hpp"
+#include "db/sharded_database.hpp"
+
+namespace stampede::query {
+
+class QueryExecutor {
+ public:
+  /// Single-shard pass-through (the original Database path).
+  explicit QueryExecutor(const db::Database& database) : single_(&database) {}
+
+  /// Scatter-gather over every shard.
+  explicit QueryExecutor(const db::ShardedDatabase& sharded)
+      : sharded_(&sharded) {}
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return sharded_ ? sharded_->shard_count() : 1;
+  }
+
+  /// Fleet-wide: all shards, merged.
+  [[nodiscard]] db::ResultSet execute(const db::Select& select) const;
+  [[nodiscard]] std::optional<db::Value> scalar(const db::Select& select) const;
+
+  /// Workflow-scoped: exactly the shard owning `wf_id`.
+  [[nodiscard]] db::ResultSet execute_for(std::int64_t wf_id,
+                                          const db::Select& select) const;
+  [[nodiscard]] std::optional<db::Value> scalar_for(
+      std::int64_t wf_id, const db::Select& select) const;
+
+  /// Tree-scoped: the union of shards owning `wf_ids` (deduplicated).
+  [[nodiscard]] db::ResultSet execute_for_ids(
+      const std::vector<std::int64_t>& wf_ids, const db::Select& select) const;
+
+  [[nodiscard]] std::size_t row_count(const std::string& table) const;
+
+ private:
+  [[nodiscard]] db::ResultSet gather(const std::vector<std::size_t>& shards,
+                                     const db::Select& select) const;
+
+  const db::Database* single_ = nullptr;
+  const db::ShardedDatabase* sharded_ = nullptr;
+};
+
+}  // namespace stampede::query

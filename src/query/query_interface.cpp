@@ -37,7 +37,7 @@ db::Select workflow_columns(db::Select select) {
 
 std::optional<WorkflowInfo> QueryInterface::workflow_by_uuid(
     const std::string& uuid) const {
-  const auto rs = db_->execute(
+  const auto rs = exec_.execute(
       workflow_columns(Select{"workflow"}.where(db::eq("wf_uuid",
                                                        Value{uuid}))));
   if (rs.empty()) return std::nullopt;
@@ -46,15 +46,15 @@ std::optional<WorkflowInfo> QueryInterface::workflow_by_uuid(
 
 std::optional<WorkflowInfo> QueryInterface::workflow_by_id(
     std::int64_t wf_id) const {
-  const auto rs = db_->execute(
-      workflow_columns(Select{"workflow"}.where(db::eq("wf_id",
-                                                       Value{wf_id}))));
+  const auto rs = exec_.execute_for(
+      wf_id, workflow_columns(Select{"workflow"}.where(db::eq("wf_id",
+                                                              Value{wf_id}))));
   if (rs.empty()) return std::nullopt;
   return row_to_info(rs, 0);
 }
 
 std::vector<WorkflowInfo> QueryInterface::root_workflows() const {
-  const auto rs = db_->execute(workflow_columns(
+  const auto rs = exec_.execute(workflow_columns(
       Select{"workflow"}.where(db::is_null("parent_wf_id"))));
   std::vector<WorkflowInfo> out;
   out.reserve(rs.size());
@@ -64,7 +64,9 @@ std::vector<WorkflowInfo> QueryInterface::root_workflows() const {
 
 std::vector<WorkflowInfo> QueryInterface::children_of(
     std::int64_t wf_id) const {
-  const auto rs = db_->execute(workflow_columns(
+  // Children are co-located with their parent by the loader's sticky
+  // routing, but correctness must not depend on that: scan every shard.
+  const auto rs = exec_.execute(workflow_columns(
       Select{"workflow"}
           .where(db::eq("parent_wf_id", Value{wf_id}))
           .order_by("wf_id")));
@@ -94,7 +96,7 @@ std::optional<double> QueryInterface::state_time(std::int64_t wf_id,
                     .columns({"timestamp"})
                     .order_by("timestamp", /*descending=*/last)
                     .limit(1);
-  const auto v = db_->scalar(select);
+  const auto v = exec_.scalar_for(wf_id, select);
   if (!v || v->is_null()) return std::nullopt;
   return v->as_number();
 }
@@ -109,7 +111,8 @@ std::optional<double> QueryInterface::end_time(std::int64_t wf_id) const {
 
 std::optional<std::int64_t> QueryInterface::final_status(
     std::int64_t wf_id) const {
-  const auto rs = db_->execute(
+  const auto rs = exec_.execute_for(
+      wf_id,
       Select{"workflowstate"}
           .where(db::and_(
               db::eq("wf_id", Value{wf_id}),

@@ -10,6 +10,8 @@
 
 #include "common/uuid.hpp"
 #include "db/database.hpp"
+#include "db/sharded_database.hpp"
+#include "query/query_executor.hpp"
 
 namespace stampede::query {
 
@@ -25,10 +27,15 @@ struct WorkflowInfo {
 
 class QueryInterface {
  public:
-  explicit QueryInterface(const db::Database& database)
-      : db_(&database) {}
+  explicit QueryInterface(const db::Database& database) : exec_(database) {}
+  explicit QueryInterface(const db::ShardedDatabase& sharded)
+      : exec_(sharded) {}
 
-  [[nodiscard]] const db::Database& database() const noexcept { return *db_; }
+  /// The scatter-gather executor; query tools route their own Selects
+  /// through this (workflow-scoped ones via execute_for and friends).
+  [[nodiscard]] const QueryExecutor& executor() const noexcept {
+    return exec_;
+  }
 
   /// Workflow lookup by UUID / id; nullopt when absent.
   [[nodiscard]] std::optional<WorkflowInfo> workflow_by_uuid(
@@ -62,7 +69,7 @@ class QueryInterface {
                                                  std::string_view state,
                                                  bool last) const;
 
-  const db::Database* db_;
+  QueryExecutor exec_;
 };
 
 }  // namespace stampede::query

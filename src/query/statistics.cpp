@@ -29,11 +29,12 @@ std::vector<Value> to_values(const std::vector<std::int64_t>& ids) {
 
 EntityCounts StampedeStatistics::count_tasks(
     const std::vector<std::int64_t>& tree) const {
-  const auto& database = q_->database();
+  const auto& exec = q_->executor();
   // A task succeeded when any of its invocations (over every retry of
   // its job) exited 0; it failed when it was attempted but never
   // succeeded; with no invocations at all it is incomplete.
-  const auto invs = database.execute(
+  const auto invs = exec.execute_for_ids(
+      tree,
       Select{"invocation"}
           .where(db::and_(db::in_list("wf_id", to_values(tree)),
                           db::is_not_null("abs_task_id")))
@@ -48,7 +49,8 @@ EntityCounts StampedeStatistics::count_tasks(
     if (!inserted) it->second = it->second || ok;
   }
 
-  const auto tasks = database.execute(
+  const auto tasks = exec.execute_for_ids(
+      tree,
       Select{"task"}
           .where(db::in_list("wf_id", to_values(tree)))
           .columns({"wf_id", "abs_task_id"}));
@@ -70,8 +72,8 @@ EntityCounts StampedeStatistics::count_tasks(
 
 EntityCounts StampedeStatistics::count_jobs(
     const std::vector<std::int64_t>& tree) const {
-  const auto& database = q_->database();
-  const auto rows = database.execute(
+  const auto rows = q_->executor().execute_for_ids(
+      tree,
       Select{"job_instance"}
           .join("job", "job_id", "job_id")
           .where(db::in_list("job.wf_id", to_values(tree)))
@@ -135,7 +137,8 @@ SummaryStats StampedeStatistics::summary(std::int64_t root_wf_id) const {
   const auto end = q_->end_time(root_wf_id);
   if (start && end) stats.workflow_wall_time = *end - *start;
 
-  const auto durations = q_->database().execute(
+  const auto durations = q_->executor().execute_for_ids(
+      tree,
       Select{"job_instance"}
           .join("job", "job_id", "job_id")
           .where(db::in_list("job.wf_id", to_values(tree)))
@@ -151,7 +154,8 @@ SummaryStats StampedeStatistics::summary(std::int64_t root_wf_id) const {
 
 std::vector<TransformationStats> StampedeStatistics::breakdown(
     std::int64_t wf_id) const {
-  const auto rows = q_->database().execute(
+  const auto rows = q_->executor().execute_for(
+      wf_id,
       Select{"invocation"}
           .where(db::eq("wf_id", Value{wf_id}))
           .columns({"transformation", "remote_duration", "exitcode"}));
@@ -194,8 +198,9 @@ std::vector<TransformationStats> StampedeStatistics::breakdown(
 // jobs.txt (Tables III & IV)
 
 std::vector<JobRow> StampedeStatistics::jobs(std::int64_t wf_id) const {
-  const auto& database = q_->database();
-  const auto instances = database.execute(
+  const auto& exec = q_->executor();
+  const auto instances = exec.execute_for(
+      wf_id,
       Select{"job_instance"}
           .join("job", "job_id", "job_id")
           .where(db::eq("job.wf_id", Value{wf_id}))
@@ -205,7 +210,8 @@ std::vector<JobRow> StampedeStatistics::jobs(std::int64_t wf_id) const {
                     "job_instance.local_duration"}));
 
   // Invocation durations per instance.
-  const auto invs = database.execute(
+  const auto invs = exec.execute_for(
+      wf_id,
       Select{"invocation"}
           .where(db::eq("wf_id", Value{wf_id}))
           .columns({"job_instance_id", "remote_duration"}));
@@ -218,7 +224,8 @@ std::vector<JobRow> StampedeStatistics::jobs(std::int64_t wf_id) const {
   }
 
   // Jobstate timestamps per instance.
-  const auto states = database.execute(
+  const auto states = exec.execute_for(
+      wf_id,
       Select{"jobstate"}
           .join("job_instance", "job_instance_id", "job_instance_id")
           .join("job", "job_instance.job_id", "job_id")
@@ -243,7 +250,8 @@ std::vector<JobRow> StampedeStatistics::jobs(std::int64_t wf_id) const {
   }
 
   // Host names.
-  const auto hosts = database.execute(
+  // Hosts are fleet-wide (host ids resolve across the whole archive).
+  const auto hosts = exec.execute(
       Select{"host"}.columns({"host_id", "hostname"}));
   std::map<std::int64_t, std::string> hostnames;
   for (std::size_t i = 0; i < hosts.size(); ++i) {
@@ -294,7 +302,8 @@ std::vector<JobRow> StampedeStatistics::jobs(std::int64_t wf_id) const {
 std::vector<HostUsage> StampedeStatistics::host_usage(
     std::int64_t root_wf_id) const {
   const auto tree = q_->workflow_tree(root_wf_id);
-  const auto rows = q_->database().execute(
+  const auto rows = q_->executor().execute_for_ids(
+      tree,
       Select{"job_instance"}
           .join("job", "job_id", "job_id")
           .join("host", "job_instance.host_id", "host_id")
@@ -322,7 +331,8 @@ std::vector<HostTimeline> StampedeStatistics::host_timeline(
   const auto tree = q_->workflow_tree(root_wf_id);
   const double t0 = q_->start_time(root_wf_id).value_or(0.0);
   // EXECUTE timestamp + host + duration per job instance.
-  const auto rows = q_->database().execute(
+  const auto rows = q_->executor().execute_for_ids(
+      tree,
       Select{"jobstate"}
           .join("job_instance", "job_instance_id", "job_instance_id")
           .join("job", "job_instance.job_id", "job_id")
@@ -377,7 +387,8 @@ std::vector<ProgressSeries> StampedeStatistics::progress(
                        ? ("wf-" + std::to_string(child.wf_id))
                        : child.dax_label;
     // Completed jobs of the bundle in completion order.
-    const auto rows = q_->database().execute(
+    const auto rows = q_->executor().execute_for(
+        child.wf_id,
         Select{"jobstate"}
             .join("job_instance", "job_instance_id", "job_instance_id")
             .join("job", "job_instance.job_id", "job_id")

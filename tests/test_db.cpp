@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "common/errors.hpp"
 #include "db/database.hpp"
+#include "db/sharded_database.hpp"
 
 namespace db = stampede::db;
 using db::Value;
@@ -715,4 +717,172 @@ TEST(Database, UpdatePkInsideTransactionRollsBack) {
                                 .columns({"dur"}))
                        ->as_number(),
                    74.0);
+}
+
+// ---------------------------------------------------------------------------
+// Sharding: strided key sequences and the partitioned facade
+
+TEST(Sharding, PartitionHashIsStableAcrossCalls) {
+  const auto h1 = db::partition_hash("wf-uuid-1");
+  const auto h2 = db::partition_hash("wf-uuid-1");
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, db::partition_hash("wf-uuid-2"));
+  // FNV-1a offset basis: the hash of the empty key, by construction.
+  EXPECT_EQ(db::partition_hash(""), 14695981039346656037ULL);
+}
+
+TEST(Sharding, PkAllocationDrawsFromDisjointCongruenceClass) {
+  db::StorageShard s;
+  s.set_pk_allocation(/*offset=*/1, /*step=*/4);
+  s.create_table(jobs_def());
+  const auto a = s.insert("jobs", {{"name", Value{"a"}}});
+  const auto b = s.insert("jobs", {{"name", Value{"b"}}});
+  const auto c = s.insert("jobs", {{"name", Value{"c"}}});
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 6);
+  EXPECT_EQ(c, 10);
+}
+
+TEST(Sharding, ExplicitPkAdvanceStaysInCongruenceClass) {
+  db::StorageShard s;
+  s.set_pk_allocation(1, 4);
+  s.create_table(jobs_def());
+  // An explicit key from *another* shard's class must not derail this
+  // shard's sequence: the next generated key is the first class member
+  // past it.
+  s.insert("jobs", {{"id", Value{7}}, {"name", Value{"x"}}});
+  EXPECT_EQ(s.insert("jobs", {{"name", Value{"y"}}}), 10);
+}
+
+TEST(Sharding, DefaultAllocationMatchesUnshardedSequence) {
+  db::StorageShard s;
+  s.create_table(jobs_def());
+  EXPECT_EQ(s.insert("jobs", {{"name", Value{"a"}}}), 1);
+  EXPECT_EQ(s.insert("jobs", {{"name", Value{"b"}}}), 2);
+}
+
+TEST(Sharding, RoutingIsStableAndIdInverseOfStride) {
+  db::ShardedDatabase d{4};
+  const auto lane = d.shard_index_for_key("some-workflow-uuid");
+  EXPECT_LT(lane, 4u);
+  EXPECT_EQ(lane, d.shard_index_for_key("some-workflow-uuid"));
+  // Shard s strides keys s+1, s+1+4, …: the owner of any id is
+  // recoverable as (id-1) mod 4.
+  d.create_table(jobs_def());
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto id = d.shard(s).insert("jobs", {{"name", Value{"r"}}});
+    EXPECT_EQ(d.shard_index_for_id(id), s);
+  }
+}
+
+TEST(Sharding, RowCountSumsAcrossShards) {
+  db::ShardedDatabase d{3};
+  d.create_table(jobs_def());
+  d.shard(0).insert("jobs", {{"name", Value{"a"}}});
+  d.shard(1).insert("jobs", {{"name", Value{"b"}}});
+  d.shard(1).insert("jobs", {{"name", Value{"c"}}});
+  EXPECT_EQ(d.row_count("jobs"), 3u);
+  EXPECT_EQ(d.shard(1).row_count("jobs"), 2u);
+}
+
+TEST(Sharding, WalPathsPerShardAndSingleShardUnchanged) {
+  EXPECT_EQ(db::ShardedDatabase::shard_wal_path("a.wal", 0, 1), "a.wal");
+  EXPECT_EQ(db::ShardedDatabase::shard_wal_path("a.wal", 2, 4), "a.wal.2");
+  EXPECT_EQ(db::ShardedDatabase::shard_wal_path("", 2, 4), "");
+}
+
+TEST(Sharding, RecoverRoundTripsAcrossShardFiles) {
+  const auto base = std::filesystem::temp_directory_path() /
+                    "stampede_test_sharded.wal";
+  for (int i = 0; i < 2; ++i) {
+    std::filesystem::remove(base.string() + "." + std::to_string(i));
+  }
+  {
+    db::ShardedDatabase d{2, base.string()};
+    d.create_table(jobs_def());
+    d.shard_for("wf-a").insert("jobs", {{"name", Value{"a"}}});
+    d.shard_for("wf-b").insert("jobs", {{"name", Value{"b"}}});
+    d.shard_for("wf-c").insert("jobs", {{"name", Value{"c"}}});
+  }
+  {
+    db::ShardedDatabase d{2, base.string()};
+    d.create_table(jobs_def());
+    EXPECT_EQ(d.recover(), 3u);
+    EXPECT_EQ(d.row_count("jobs"), 3u);
+  }
+  for (int i = 0; i < 2; ++i) {
+    std::filesystem::remove(base.string() + "." + std::to_string(i));
+  }
+}
+
+TEST(Sharding, SingleShardArchiveIsCompatibleWithPlainDatabase) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "stampede_test_shard1.wal";
+  std::filesystem::remove(path);
+  {
+    db::ShardedDatabase d{1, path.string()};
+    d.create_table(jobs_def());
+    d.shard_for("wf-a").insert("jobs", {{"name", Value{"a"}}});
+  }
+  {
+    // A 1-shard archive is just the classic WAL file.
+    db::Database d{path.string()};
+    d.create_table(jobs_def());
+    EXPECT_EQ(d.recover(), 1u);
+    EXPECT_EQ(d.row_count("jobs"), 1u);
+  }
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// WAL crash tolerance
+
+TEST(Wal, TruncatedTrailingRecordIsDiscardedNotFatal) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "stampede_test_torn.wal";
+  std::filesystem::remove(path);
+  {
+    db::Database d{path.string()};
+    d.create_table(jobs_def());
+    d.insert("jobs", {{"name", Value{"a"}}});
+    d.insert("jobs", {{"name", Value{"b"}}});
+  }
+  {
+    // Simulate a crash mid-append: a torn final record with a mangled
+    // value tag and no trailing newline.
+    std::ofstream out{path, std::ios::app};
+    out << "I|jobs|x";
+  }
+  {
+    db::Database d{path.string()};
+    d.create_table(jobs_def());
+    EXPECT_EQ(d.recover(), 2u);
+    EXPECT_EQ(d.row_count("jobs"), 2u);
+    EXPECT_EQ(d.wal_truncated_records(), 1u);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Wal, MidFileCorruptionIsStillFatal) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "stampede_test_corrupt.wal";
+  std::filesystem::remove(path);
+  {
+    db::Database d{path.string()};
+    d.create_table(jobs_def());
+    d.insert("jobs", {{"name", Value{"a"}}});
+  }
+  {
+    // Corruption *followed by* valid records is not a torn tail; losing
+    // those later records silently would be data loss.
+    std::ofstream out{path, std::ios::app};
+    out << "I|jobs|x\n";
+    out << "I|jobs|I9|Sb|Sfile|R1.0|Sw1\n";
+  }
+  {
+    db::Database d{path.string()};
+    d.create_table(jobs_def());
+    EXPECT_THROW(d.recover(), std::exception);
+  }
+  std::filesystem::remove(path);
 }

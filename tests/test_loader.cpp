@@ -525,3 +525,66 @@ TEST_F(LoaderFixture, ReversedStreamLoadsCleanly) {
   EXPECT_EQ(database.row_count("invocation"), 2u);
   EXPECT_EQ(database.row_count("job_instance"), 2u);
 }
+
+// ---------------------------------------------------------------------------
+// Deferral queue bound (defer_max)
+
+TEST_F(LoaderFixture, DeferMaxEvictsOldestDeferredEvent) {
+  loader::LoaderOptions opts;
+  opts.defer_max = 4;
+  loader::StampedeLoader l{database, opts};
+  // Ten orphan events (no job_info referent): all defer, but the queue
+  // must never exceed the cap — the oldest six are evicted.
+  for (int i = 0; i < 10; ++i) {
+    auto submit = make(1.0 + i, ev::kJobInstSubmitStart);
+    submit.set(attr::kJobId, "orphan-" + std::to_string(i));
+    submit.set(attr::kJobInstId, std::int64_t{1});
+    EXPECT_FALSE(l.process(submit));
+  }
+  EXPECT_EQ(l.deferred_count(), 4u);
+  EXPECT_EQ(l.stats().deferred_evicted, 6u);
+  EXPECT_EQ(l.stats().events_dropped, 6u);
+
+  // A survivor's referent arriving still replays it successfully.
+  auto job = make(20.0, ev::kJobInfo);
+  job.set(attr::kJobId, std::string{"orphan-9"});
+  EXPECT_TRUE(l.process(job));
+  l.finish();
+  EXPECT_EQ(database.row_count("job_instance"), 1u);
+}
+
+TEST_F(LoaderFixture, DeferMaxZeroDisablesTheCap) {
+  loader::LoaderOptions opts;
+  opts.defer_max = 0;
+  loader::StampedeLoader l{database, opts};
+  for (int i = 0; i < 10; ++i) {
+    auto submit = make(1.0 + i, ev::kJobInstSubmitStart);
+    submit.set(attr::kJobId, "orphan-" + std::to_string(i));
+    submit.set(attr::kJobInstId, std::int64_t{1});
+    l.process(submit);
+  }
+  EXPECT_EQ(l.deferred_count(), 10u);
+  EXPECT_EQ(l.stats().deferred_evicted, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// LoaderStats aggregation
+
+TEST(LoaderStats, MergeSumsCountersAndEventMap) {
+  loader::LoaderStats a;
+  a.events_seen = 3;
+  a.events_loaded = 2;
+  a.by_event["x"] = 1;
+  loader::LoaderStats b;
+  b.events_seen = 5;
+  b.events_loaded = 4;
+  b.deferred_evicted = 1;
+  b.by_event["x"] = 2;
+  b.by_event["y"] = 7;
+  a.merge(b);
+  EXPECT_EQ(a.events_seen, 8u);
+  EXPECT_EQ(a.events_loaded, 6u);
+  EXPECT_EQ(a.deferred_evicted, 1u);
+  EXPECT_EQ(a.by_event["x"], 3u);
+  EXPECT_EQ(a.by_event["y"], 7u);
+}

@@ -1,0 +1,119 @@
+// Data-race check for the sharded archive pipeline, compiled standalone
+// under -fsanitize=thread (see tests/CMakeLists.txt). Deliberately
+// gtest-free, like test_telemetry_tsan: every object in the binary is
+// TSan-instrumented, and any race aborts with a non-zero exit.
+//
+// The scenario mirrors production contention: one dispatcher feeding
+// interleaved workflows to four loader lanes (each committing to its own
+// shard) while a reader thread continuously runs scatter-gather queries
+// across all shards.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/sharded_database.hpp"
+#include "loader/sharded_loader.hpp"
+#include "netlogger/events.hpp"
+#include "netlogger/record.hpp"
+#include "orm/stampede_tables.hpp"
+#include "query/query_executor.hpp"
+
+namespace nl = stampede::nl;
+namespace ev = stampede::nl::events;
+namespace attr = stampede::nl::events::attr;
+namespace db = stampede::db;
+namespace loader = stampede::loader;
+namespace query = stampede::query;
+using stampede::common::Uuid;
+
+namespace {
+
+Uuid wf_uuid(int i) {
+  char buf[37];
+  std::snprintf(buf, sizeof buf, "dddddddd-0000-4000-8000-%012d", i);
+  return *Uuid::parse(buf);
+}
+
+std::vector<nl::LogRecord> workflow_stream(const Uuid& wf, int jobs) {
+  std::vector<nl::LogRecord> events;
+  double t = 1000.0;
+  nl::LogRecord plan{t, std::string{ev::kWfPlan}};
+  plan.set(attr::kXwfId, wf);
+  events.push_back(plan);
+  for (int j = 0; j < jobs; ++j) {
+    const std::string name = "job-" + std::to_string(j);
+    nl::LogRecord info{t += 1, std::string{ev::kJobInfo}};
+    info.set(attr::kXwfId, wf);
+    info.set(attr::kJobId, name);
+    events.push_back(info);
+    for (const auto* e :
+         {ev::kJobInstSubmitStart.data(), ev::kJobInstMainStart.data(),
+          ev::kJobInstMainEnd.data()}) {
+      nl::LogRecord r{t += 1, std::string{e}};
+      r.set(attr::kXwfId, wf);
+      r.set(attr::kJobId, name);
+      r.set(attr::kJobInstId, std::int64_t{1});
+      r.set(attr::kExitcode, std::int64_t{0});
+      events.push_back(r);
+    }
+  }
+  return events;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kWorkflows = 8;
+  constexpr int kJobs = 24;
+
+  db::ShardedDatabase archive{4};
+  stampede::orm::create_stampede_schema(archive);
+
+  loader::LoaderOptions opts;
+  opts.validate = false;
+  loader::ShardedLoader lanes{archive, opts};
+
+  // Reader: scatter-gather while the lanes are still committing.
+  std::jthread reader{[&archive](const std::stop_token& stop) {
+    const query::QueryExecutor exec{archive};
+    while (!stop.stop_requested()) {
+      (void)exec.execute(db::Select{"jobstate"}
+                             .group_by({"state"})
+                             .count_all("n"));
+      (void)exec.scalar(db::Select{"workflow"}.count_all("n"));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }};
+
+  std::vector<std::vector<nl::LogRecord>> streams;
+  streams.reserve(kWorkflows);
+  for (int w = 0; w < kWorkflows; ++w) {
+    streams.push_back(workflow_stream(wf_uuid(w), kJobs));
+  }
+  for (std::size_t i = 0; i < streams[0].size(); ++i) {
+    for (auto& stream : streams) lanes.process(stream[i]);
+  }
+  lanes.finish();
+  reader.request_stop();
+  reader.join();
+
+  const auto stats = lanes.stats();
+  const auto expected =
+      static_cast<std::uint64_t>(kWorkflows) * (1 + kJobs * 4);
+  if (stats.events_loaded != expected) {
+    std::fprintf(stderr, "lanes lost events: %llu != %llu\n",
+                 static_cast<unsigned long long>(stats.events_loaded),
+                 static_cast<unsigned long long>(expected));
+    return 1;
+  }
+  // SUBMIT + EXECUTE + JOB_SUCCESS per job.
+  const auto jobstates = archive.row_count("jobstate");
+  if (jobstates != static_cast<std::size_t>(kWorkflows) * kJobs * 3) {
+    std::fprintf(stderr, "jobstate rows: %zu\n", jobstates);
+    return 1;
+  }
+  std::puts("sharded tsan scenario: ok");
+  return 0;
+}

@@ -1,0 +1,407 @@
+// End-to-end tests for the sharded archive: scatter-gather query
+// equivalence against a single database, per-workflow event ordering
+// through parallel loader lanes, and DART-workload statistics parity
+// between a 1-shard and a 4-shard archive.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "dart/experiment.hpp"
+#include "db/sharded_database.hpp"
+#include "loader/nl_load.hpp"
+#include "loader/sharded_loader.hpp"
+#include "netlogger/events.hpp"
+#include "orm/stampede_tables.hpp"
+#include "query/query_executor.hpp"
+#include "query/query_interface.hpp"
+#include "query/statistics.hpp"
+
+namespace nl = stampede::nl;
+namespace ev = stampede::nl::events;
+namespace attr = stampede::nl::events::attr;
+namespace db = stampede::db;
+namespace dart = stampede::dart;
+namespace loader = stampede::loader;
+namespace query = stampede::query;
+using db::Value;
+using stampede::common::Uuid;
+
+namespace {
+
+std::string cell(const Value& v) {
+  if (v.is_null()) return "N";
+  if (v.is_int()) return "I" + std::to_string(v.as_int());
+  if (v.is_real()) return "R" + std::to_string(v.as_number());
+  return "S" + std::string{v.as_text()};
+}
+
+/// Order-insensitive canonical form of a result set (sharded scatter
+/// concatenates per-shard rows, so unordered queries may permute rows).
+std::vector<std::string> canon(const db::ResultSet& rs) {
+  std::vector<std::string> rows;
+  rows.reserve(rs.size());
+  for (const auto& row : rs.rows) {
+    std::string s;
+    for (const auto& v : row) s += cell(v) + "|";
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Order-sensitive form, for ORDER BY queries.
+std::vector<std::string> exact(const db::ResultSet& rs) {
+  std::vector<std::string> rows;
+  for (const auto& row : rs.rows) {
+    std::string s;
+    for (const auto& v : row) s += cell(v) + "|";
+    rows.push_back(std::move(s));
+  }
+  return rows;
+}
+
+db::TableDef runs_def() {
+  db::TableDef t;
+  t.name = "runs";
+  t.primary_key = "id";
+  t.columns = {
+      {"id", db::ColumnType::kInteger, false, std::nullopt},
+      {"wf", db::ColumnType::kText, true, std::nullopt},
+      {"kind", db::ColumnType::kText, false, std::nullopt},
+      {"dur", db::ColumnType::kReal, false, std::nullopt},
+  };
+  return t;
+}
+
+/// Identical logical content in an unsharded database and a 3-shard
+/// facade; rows partitioned by the `wf` key. Durations are multiples of
+/// 0.25 so per-shard partial sums merge without floating-point drift.
+struct ScatterFixture : ::testing::Test {
+  ScatterFixture() : sharded(3) {
+    single.create_table(runs_def());
+    sharded.create_table(runs_def());
+    const char* wfs[] = {"wf-a", "wf-b", "wf-c", "wf-d", "wf-e"};
+    const char* kinds[] = {"exec", "stage", "exec", "zip"};
+    int i = 0;
+    for (const auto* wf : wfs) {
+      for (int j = 0; j < 4; ++j, ++i) {
+        db::NamedValues row{{"wf", Value{wf}}, {"kind", Value{kinds[j]}}};
+        if (i % 7 != 0) row.emplace_back("dur", Value{0.25 * i});
+        single.insert("runs", row);
+        sharded.shard_for(wf).insert("runs", row);
+      }
+    }
+  }
+
+  db::Database single;
+  db::ShardedDatabase sharded;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scatter-gather equivalence
+
+TEST_F(ScatterFixture, PredicateScanMatchesUnsharded) {
+  const auto select = db::Select{"runs"}
+                          .where(db::eq("kind", Value{"exec"}))
+                          .columns({"wf", "kind", "dur"});
+  query::QueryExecutor one{single};
+  query::QueryExecutor many{sharded};
+  EXPECT_EQ(canon(one.execute(select)), canon(many.execute(select)));
+  EXPECT_EQ(many.execute(select).size(), 10u);
+}
+
+TEST_F(ScatterFixture, GroupedAggregatesMatchUnsharded) {
+  const auto select = db::Select{"runs"}
+                          .group_by({"kind"})
+                          .count_all("n")
+                          .agg(db::AggFn::kSum, "dur", "total")
+                          .agg(db::AggFn::kAvg, "dur", "mean")
+                          .agg(db::AggFn::kMin, "dur", "lo")
+                          .agg(db::AggFn::kMax, "dur", "hi")
+                          .order_by("kind");
+  query::QueryExecutor one{single};
+  query::QueryExecutor many{sharded};
+  EXPECT_EQ(exact(one.execute(select)), exact(many.execute(select)));
+}
+
+TEST_F(ScatterFixture, UngroupedAggregateOverNoRowsStillOneRow) {
+  const auto select = db::Select{"runs"}
+                          .where(db::eq("kind", Value{"ghost"}))
+                          .count_all("n")
+                          .agg(db::AggFn::kAvg, "dur", "mean");
+  query::QueryExecutor one{single};
+  query::QueryExecutor many{sharded};
+  const auto a = one.execute(select);
+  const auto b = many.execute(select);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.at(0, "n").as_int(), 0);
+  EXPECT_TRUE(b.at(0, "mean").is_null());
+  EXPECT_EQ(exact(a), exact(b));
+}
+
+TEST_F(ScatterFixture, DistinctMatchesUnsharded) {
+  const auto select = db::Select{"runs"}.columns({"kind"}).distinct();
+  query::QueryExecutor one{single};
+  query::QueryExecutor many{sharded};
+  EXPECT_EQ(canon(one.execute(select)), canon(many.execute(select)));
+  EXPECT_EQ(many.execute(select).size(), 3u);
+}
+
+TEST_F(ScatterFixture, OrderByLimitMatchesUnsharded) {
+  // dur is unique per row, so the global order is total and the top-k
+  // prune cannot change the answer.
+  const auto select = db::Select{"runs"}
+                          .columns({"wf", "dur"})
+                          .order_by("dur", /*descending=*/true)
+                          .limit(5);
+  query::QueryExecutor one{single};
+  query::QueryExecutor many{sharded};
+  EXPECT_EQ(exact(one.execute(select)), exact(many.execute(select)));
+}
+
+TEST_F(ScatterFixture, ScalarMatchesUnsharded) {
+  const auto select = db::Select{"runs"}.count_all("n");
+  query::QueryExecutor one{single};
+  query::QueryExecutor many{sharded};
+  ASSERT_TRUE(many.scalar(select).has_value());
+  EXPECT_EQ(one.scalar(select)->as_int(), many.scalar(select)->as_int());
+}
+
+TEST_F(ScatterFixture, WorkflowScopedQueryTouchesOneShard) {
+  query::QueryExecutor many{sharded};
+  // A wf-scoped query routed by a shard-0-strided id must read only that
+  // shard; rows of every other workflow on other shards are invisible.
+  const auto lane = sharded.shard_index_for_key("wf-a");
+  const auto probe = sharded.shard(lane).execute(
+      db::Select{"runs"}.where(db::eq("wf", Value{"wf-a"})).columns({"id"}));
+  ASSERT_GT(probe.size(), 0u);
+  const auto id = probe.at(0, "id").as_int();
+  EXPECT_EQ(sharded.shard_index_for_id(id), lane);
+  const auto rs = many.execute_for(
+      id, db::Select{"runs"}.where(db::eq("wf", Value{"wf-a"})));
+  EXPECT_EQ(rs.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel lanes: per-workflow event order survives interleaving
+
+namespace {
+
+Uuid wf_uuid(int i) {
+  char buf[37];
+  std::snprintf(buf, sizeof buf,
+                "cccccccc-0000-4000-8000-%012d", i);
+  return *Uuid::parse(buf);
+}
+
+nl::LogRecord wf_event(const Uuid& wf, double ts, std::string_view event) {
+  nl::LogRecord r{ts, std::string{event}};
+  r.set(attr::kXwfId, wf);
+  return r;
+}
+
+/// One workflow's stream: plan, start, then J jobs each walking the full
+/// SUBMIT → HELD → RELEASED → EXECUTE → TERMINATED → SUCCESS ladder.
+std::vector<nl::LogRecord> synthetic_workflow(const Uuid& wf, int jobs) {
+  std::vector<nl::LogRecord> events;
+  double t = 1000.0;
+  auto plan = wf_event(wf, t, ev::kWfPlan);
+  plan.set(attr::kDaxLabel, std::string{"stress"});
+  events.push_back(plan);
+  auto start = wf_event(wf, t += 1, ev::kXwfStart);
+  start.set(attr::kRestartCount, std::int64_t{0});
+  events.push_back(start);
+  for (int j = 0; j < jobs; ++j) {
+    const std::string name = "job-" + std::to_string(j);
+    auto info = wf_event(wf, t += 1, ev::kJobInfo);
+    info.set(attr::kJobId, name);
+    events.push_back(info);
+    for (const auto* e :
+         {ev::kJobInstSubmitStart.data(), ev::kJobInstHeldStart.data(),
+          ev::kJobInstHeldEnd.data(), ev::kJobInstMainStart.data(),
+          ev::kJobInstMainTerm.data(), ev::kJobInstMainEnd.data()}) {
+      auto r = wf_event(wf, t += 1, e);
+      r.set(attr::kJobId, name);
+      r.set(attr::kJobInstId, std::int64_t{1});
+      r.set(attr::kExitcode, std::int64_t{0});
+      events.push_back(r);
+    }
+  }
+  return events;
+}
+
+const std::vector<std::string> kLadder = {
+    "SUBMIT",         "JOB_HELD",    "JOB_RELEASED",
+    "EXECUTE",        "JOB_TERMINATED", "JOB_SUCCESS"};
+
+}  // namespace
+
+TEST(ShardedLoader, PerWorkflowOrderSurvivesInterleavedLanes) {
+  constexpr int kWorkflows = 8;
+  constexpr int kJobs = 6;
+  db::ShardedDatabase archive{4};
+  stampede::orm::create_stampede_schema(archive);
+
+  std::vector<std::vector<nl::LogRecord>> streams;
+  for (int w = 0; w < kWorkflows; ++w) {
+    streams.push_back(synthetic_workflow(wf_uuid(w), kJobs));
+  }
+  loader::LoaderOptions opts;
+  opts.validate = false;  // Synthetic ladder events; ordering is the point.
+  loader::ShardedLoader l{archive, opts};
+  // Round-robin interleave: adjacent events almost never share a lane.
+  for (std::size_t i = 0; i < streams[0].size(); ++i) {
+    for (auto& stream : streams) l.process(stream[i]);
+  }
+  l.finish();
+
+  const auto stats = l.stats();
+  EXPECT_EQ(stats.events_dropped, 0u);
+  query::QueryExecutor exec{archive};
+  for (int w = 0; w < kWorkflows; ++w) {
+    const auto wf = l.wf_id(wf_uuid(w));
+    ASSERT_TRUE(wf.has_value()) << "workflow " << w;
+    for (int j = 0; j < kJobs; ++j) {
+      const auto rs = exec.execute_for(
+          *wf,
+          db::Select{"jobstate"}
+              .join("job_instance", "jobstate.job_instance_id",
+                    "job_instance_id")
+              .join("job", "job_instance.job_id", "job_id")
+              .where(db::and_(
+                  db::eq("job.wf_id", Value{*wf}),
+                  db::eq("job.exec_job_id",
+                         Value{"job-" + std::to_string(j)})))
+              .order_by("jobstate.jobstate_submit_seq")
+              .columns({"jobstate.state", "jobstate.jobstate_submit_seq"}));
+      ASSERT_EQ(rs.size(), kLadder.size()) << "wf " << w << " job " << j;
+      for (std::size_t s = 0; s < kLadder.size(); ++s) {
+        EXPECT_EQ(rs.at(s, "jobstate.state").as_text(), kLadder[s])
+            << "wf " << w << " job " << j << " step " << s;
+      }
+    }
+  }
+}
+
+TEST(ShardedLoader, SubWorkflowsCoLocateWithTheirTree) {
+  db::ShardedDatabase archive{4};
+  stampede::orm::create_stampede_schema(archive);
+  loader::LoaderOptions opts;
+  opts.validate = false;
+  loader::ShardedLoader l{archive, opts};
+
+  const Uuid root = wf_uuid(100);
+  const Uuid child = wf_uuid(101);
+  auto plan = wf_event(root, 1.0, ev::kWfPlan);
+  l.process(plan);
+  auto job = wf_event(root, 2.0, ev::kJobInfo);
+  job.set(attr::kJobId, std::string{"run_child"});
+  l.process(job);
+  auto map = wf_event(root, 3.0, ev::kMapSubwfJob);
+  map.set(attr::kSubwfId, child);
+  map.set(attr::kJobId, std::string{"run_child"});
+  l.process(map);
+  // The child now reports with no parent attribution at all; the mapping
+  // must already have pinned it to the root's lane.
+  auto cplan = wf_event(child, 4.0, ev::kWfPlan);
+  l.process(cplan);
+  l.finish();
+
+  ASSERT_TRUE(l.route_of(root).has_value());
+  ASSERT_TRUE(l.route_of(child).has_value());
+  EXPECT_EQ(*l.route_of(root), *l.route_of(child));
+}
+
+// ---------------------------------------------------------------------------
+// DART workload: 4-shard statistics identical to 1-shard
+
+TEST(ShardedDart, StatisticsIdenticalAcrossShardCounts) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "stampede_test_sharded_dart.bp";
+  std::filesystem::remove(path);
+  dart::DartConfig config;
+  config.total_executions = 24;
+  config.tasks_per_bundle = 8;
+  config.tones_per_task = 2;
+  db::Database live;
+  dart::DartExperimentOptions options;
+  options.cloud.nodes = 3;
+  options.retain_log_path = path.string();
+  const auto result = dart::run_dart_experiment(config, live, options);
+  ASSERT_EQ(result.status, 0);
+
+  // Replay the retained log into a 1-shard and a 4-shard archive through
+  // the parallel lanes.
+  std::string renders[2];
+  std::size_t rows[2];
+  const std::size_t shard_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    db::ShardedDatabase archive{shard_counts[i]};
+    stampede::orm::create_stampede_schema(archive);
+    loader::ShardedLoader l{archive};
+    const auto pump = loader::load_file(path.string(), l);
+    EXPECT_EQ(pump.parse_errors, 0u);
+    const auto root = l.wf_id(result.root_uuid);
+    ASSERT_TRUE(root.has_value());
+
+    const query::QueryInterface q{archive};
+    const query::StampedeStatistics stats{q};
+    std::string text = query::StampedeStatistics::render_summary(
+        stats.summary(*root));
+    for (const auto& child : q.children_of(*root)) {
+      text += query::StampedeStatistics::render_breakdown(
+          stats.breakdown(child.wf_id));
+      text += query::StampedeStatistics::render_jobs_invocations(
+          stats.jobs(child.wf_id));
+      text += query::StampedeStatistics::render_jobs_queue(
+          stats.jobs(child.wf_id));
+    }
+    text += query::StampedeStatistics::render_host_usage(
+        stats.host_usage(*root));
+    renders[i] = std::move(text);
+    rows[i] = archive.row_count("jobstate");
+  }
+  EXPECT_EQ(rows[0], rows[1]);
+  EXPECT_EQ(rows[0], live.row_count("jobstate"));
+  // The acceptance bar: byte-identical statistics output.
+  EXPECT_EQ(renders[0], renders[1]);
+  EXPECT_FALSE(renders[0].empty());
+}
+
+TEST(ShardedDart, ScatterQueriesMatchSingleShardOnDartArchive) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "stampede_test_sharded_dart2.bp";
+  std::filesystem::remove(path);
+  dart::DartConfig config;
+  config.total_executions = 24;
+  config.tasks_per_bundle = 8;
+  config.tones_per_task = 2;
+  db::Database live;
+  dart::DartExperimentOptions options;
+  options.cloud.nodes = 3;
+  options.retain_log_path = path.string();
+  ASSERT_EQ(dart::run_dart_experiment(config, live, options).status, 0);
+
+  db::ShardedDatabase archive{4};
+  stampede::orm::create_stampede_schema(archive);
+  loader::ShardedLoader l{archive};
+  loader::load_file(path.string(), l);
+
+  query::QueryExecutor one{live};
+  query::QueryExecutor many{archive};
+  const auto by_state = db::Select{"jobstate"}
+                            .group_by({"state"})
+                            .count_all("n")
+                            .order_by("state");
+  EXPECT_EQ(exact(one.execute(by_state)), exact(many.execute(by_state)));
+  const auto wf_count = db::Select{"workflow"}.count_all("n");
+  EXPECT_EQ(one.scalar(wf_count)->as_int(), many.scalar(wf_count)->as_int());
+  std::filesystem::remove(path);
+}

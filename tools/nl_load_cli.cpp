@@ -15,6 +15,10 @@
 //                        ephemeral port is chosen and printed
 //   --stats-interval=S   every S seconds emit a self-telemetry snapshot
 //                        as stampede.loader.stats.* BP lines on stderr
+//   --shards=N           partition the archive into N shards loaded by N
+//                        parallel lanes (WAL files <archive>.0..N-1);
+//                        N=1 (default) keeps the classic single-file
+//                        archive bit-compatible with earlier releases
 
 #include <cstdio>
 #include <cstdlib>
@@ -39,7 +43,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--metrics-port=N] [--stats-interval=SECONDS] "
-               "<bp-log-file> <archive-path>\n",
+               "[--shards=N] <bp-log-file> <archive-path>\n",
                argv0);
   return 2;
 }
@@ -63,12 +67,19 @@ std::optional<double> parse_flag_value(const char* arg, const char* name) {
 int main(int argc, char** argv) {
   std::optional<int> metrics_port;
   std::optional<double> stats_interval;
+  std::size_t shards = 1;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     if (const auto v = parse_flag_value(argv[i], "--metrics-port")) {
       metrics_port = static_cast<int>(*v);
     } else if (const auto v = parse_flag_value(argv[i], "--stats-interval")) {
       stats_interval = *v;
+    } else if (const auto v = parse_flag_value(argv[i], "--shards")) {
+      shards = static_cast<std::size_t>(*v);
+      if (shards == 0) {
+        std::fprintf(stderr, "error: --shards must be >= 1\n");
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return usage(argv[0]);
@@ -108,14 +119,32 @@ int main(int argc, char** argv) {
     emitter->start();
   }
 
-  const auto archive_ptr = orm::open_archive(archive_path);
-  db::Database& archive = *archive_ptr;
-
-  loader::StampedeLoader stampede_loader{archive};
   try {
-    const auto stats = loader::load_file(log_path, stampede_loader);
+    loader::NlLoadStats stats;
+    loader::LoaderStats ls;
+    std::size_t n_workflows = 0, n_jobs = 0, n_invocations = 0;
+    std::unique_ptr<db::Database> single_archive;
+    std::unique_ptr<db::ShardedDatabase> sharded_archive;
+    std::unique_ptr<loader::ShardedLoader> sharded_loader;
+    if (shards == 1) {
+      single_archive = orm::open_archive(archive_path);
+      loader::StampedeLoader stampede_loader{*single_archive};
+      stats = loader::load_file(log_path, stampede_loader);
+      ls = stampede_loader.stats();
+      n_workflows = single_archive->row_count("workflow");
+      n_jobs = single_archive->row_count("job");
+      n_invocations = single_archive->row_count("invocation");
+    } else {
+      sharded_archive = orm::open_sharded_archive(archive_path, shards);
+      sharded_loader =
+          std::make_unique<loader::ShardedLoader>(*sharded_archive);
+      stats = loader::load_file(log_path, *sharded_loader);
+      ls = sharded_loader->stats();
+      n_workflows = sharded_archive->row_count("workflow");
+      n_jobs = sharded_archive->row_count("job");
+      n_invocations = sharded_archive->row_count("invocation");
+    }
     if (emitter) emitter->stop();  // Emits the final snapshot.
-    const auto& ls = stampede_loader.stats();
     std::printf("read    : %llu lines (%llu parse errors)\n",
                 static_cast<unsigned long long>(stats.lines),
                 static_cast<unsigned long long>(stats.parse_errors));
@@ -127,8 +156,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ls.events_dropped));
     std::printf("rate    : %.0f events/s\n", stats.events_per_second());
     std::printf("archive : %s (%zu workflows, %zu jobs, %zu invocations)\n",
-                archive_path.c_str(), archive.row_count("workflow"),
-                archive.row_count("job"), archive.row_count("invocation"));
+                archive_path.c_str(), n_workflows, n_jobs, n_invocations);
+    if (sharded_loader) {
+      for (std::size_t i = 0; i < sharded_loader->lane_count(); ++i) {
+        const auto& lane = sharded_loader->lane_stats(i);
+        std::printf(
+            "lane %-3zu: %llu events -> %s (%zu workflows)\n", i,
+            static_cast<unsigned long long>(lane.events_loaded),
+            db::ShardedDatabase::shard_wal_path(archive_path, i, shards)
+                .c_str(),
+            sharded_archive->shard(i).row_count("workflow"));
+      }
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
