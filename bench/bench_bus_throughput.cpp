@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "bus/broker.hpp"
 #include "bus/topic_matcher.hpp"
 
@@ -74,6 +76,35 @@ void BM_PublishConsumeRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PublishConsumeRoundTrip);
+
+// The durable path: every publish appends an M record, every ack an A
+// record, and the spool compacts each time the dead prefix passes the
+// threshold — the steady-state cost of at-least-once delivery.
+void BM_DurablePublishAckRoundTrip(benchmark::State& state) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "stampede_bench_spool";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    bus::Broker broker{dir.string()};
+    bus::QueueOptions options;
+    options.durable = true;
+    options.spool_compact_threshold =
+        static_cast<std::size_t>(state.range(0));
+    broker.declare_queue("q", options);
+    for (auto _ : state) {
+      auto m = make_message("q");
+      m.persistent = true;
+      broker.publish("", std::move(m));
+      auto d = broker.basic_get("q", "c");
+      broker.ack("q", d->delivery_tag);
+      benchmark::DoNotOptimize(d->delivery_tag);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_DurablePublishAckRoundTrip)->Arg(256)->Arg(4096);
 
 void BM_TopicMatchCompiled(benchmark::State& state) {
   const bus::TopicPattern pattern{"stampede.job_inst.#"};

@@ -1,11 +1,11 @@
 #include "bus/broker.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
-#include <fstream>
 
+#include "bus/spool.hpp"
 #include "common/errors.hpp"
-#include "netlogger/parser.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace stampede::bus {
@@ -23,6 +23,12 @@ struct BusTelemetry {
       telemetry::registry().counter("stampede_bus_routed_total");
   telemetry::Counter& unroutable =
       telemetry::registry().counter("stampede_bus_unroutable_total");
+  telemetry::Counter& spool_compactions =
+      telemetry::registry().counter("stampede_bus_spool_compactions_total");
+  telemetry::Counter& dead_lettered =
+      telemetry::registry().counter("stampede_bus_dead_lettered_total");
+  telemetry::Counter& spool_truncated = telemetry::registry().counter(
+      "stampede_bus_spool_truncated_records_total");
   telemetry::Histogram& routing_latency = telemetry::registry().histogram(
       "stampede_bus_routing_latency_seconds", {1e-7, 2.0, 32});
 };
@@ -31,6 +37,12 @@ BusTelemetry& bus_telemetry() {
   static BusTelemetry instance;
   return instance;
 }
+
+// Subscribe-pump retry backoff: doubles per redelivery from the base,
+// capped, so a poison message retries at a falling rate instead of the
+// raw 20 Hz basic_get loop until it dead-letters.
+constexpr std::chrono::milliseconds kRetryBackoffBase{10};
+constexpr std::chrono::milliseconds kRetryBackoffMax{500};
 
 }  // namespace
 
@@ -76,6 +88,11 @@ Broker::Broker(std::string spool_dir) : spool_dir_(std::move(spool_dir)) {
 Broker::~Broker() { close(); }
 
 void Broker::close() {
+  // closed_ is set and the wakeup broadcast under mutex_ so a consumer
+  // that saw closed_ == false under the lock is already parked on the
+  // condition variable when the notify lands (see locking discipline in
+  // broker.hpp).
+  const std::scoped_lock lock{mutex_};
   closed_.store(true);
   message_ready_.notify_all();
 }
@@ -101,7 +118,10 @@ void Broker::declare_queue(const std::string& name, QueueOptions options) {
       const QueueOptions& existing = it->second->queue.options();
       if (existing.durable != options.durable ||
           existing.auto_delete != options.auto_delete ||
-          existing.max_length != options.max_length) {
+          existing.max_length != options.max_length ||
+          existing.max_redeliveries != options.max_redeliveries ||
+          existing.dead_letter_queue != options.dead_letter_queue ||
+          existing.spool_compact_threshold != options.spool_compact_threshold) {
         throw BusError("queue '" + name + "' redeclared with other options");
       }
       return;
@@ -116,15 +136,33 @@ void Broker::declare_queue(const std::string& name, QueueOptions options) {
   }
   if (!entry->spool_path.empty()) {
     spool_recover(*entry);
+    if (!entry->queue.empty()) {
+      const std::scoped_lock lock{mutex_};
+      message_ready_.notify_all();
+    }
   }
 }
 
 void Broker::delete_queue(const std::string& name) {
-  const std::scoped_lock lock{mutex_};
-  queues_.erase(name);
-  for (auto& [ename, exchange] : exchanges_) {
-    auto& b = exchange.bindings;
-    std::erase_if(b, [&](const auto& binding) { return binding.queue == name; });
+  std::shared_ptr<QueueEntry> entry;
+  {
+    const std::scoped_lock lock{mutex_};
+    const auto it = queues_.find(name);
+    if (it != queues_.end()) {
+      entry = it->second;
+      queues_.erase(it);
+    }
+    for (auto& [ename, exchange] : exchanges_) {
+      auto& b = exchange.bindings;
+      std::erase_if(b,
+                    [&](const auto& binding) { return binding.queue == name; });
+    }
+  }
+  if (entry && !entry->spool_path.empty()) {
+    const std::scoped_lock slock{entry->spool_mutex};
+    entry->spool_out.close();
+    std::error_code ec;
+    std::filesystem::remove(entry->spool_path, ec);
   }
 }
 
@@ -188,17 +226,14 @@ std::size_t Broker::publish(const std::string& exchange, Message message) {
   // spooling does file I/O (CP.43 — keep critical sections small).
   message.trace_enqueued = route_start > 0.0 ? telemetry::now() : 0.0;
   for (std::size_t i = 0; i < targets.size(); ++i) {
-    auto& entry = *targets[i];
     const bool last = i + 1 == targets.size();
-    if (message.persistent && !entry.spool_path.empty()) {
-      spool_append(entry, message);
-    }
-    entry.queue.enqueue(last ? std::move(message) : message);
+    spool_publish(*targets[i], last ? std::move(message) : message);
   }
   if (route_start > 0.0) {
     tele.routing_latency.observe(telemetry::now() - route_start);
   }
   if (!targets.empty()) {
+    const std::scoped_lock lock{mutex_};
     message_ready_.notify_all();
   }
   return targets.size();
@@ -216,23 +251,27 @@ std::optional<Delivery> Broker::basic_get(const std::string& queue,
                                           int timeout_ms) {
   const auto entry = find_queue(queue);
   if (!entry) return std::nullopt;
+  // Optimistic lock-free try first: the common case under load is a
+  // non-empty queue, which never needs mutex_ at all.
   if (auto delivery = entry->queue.deliver(consumer_tag, "")) return delivery;
   if (timeout_ms <= 0) return std::nullopt;
 
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(timeout_ms);
   std::unique_lock lock{mutex_};
-  while (!closed_.load()) {
+  while (true) {
+    // Recheck under mutex_ before every wait (including the first): a
+    // publish that landed between the optimistic miss above and this
+    // lock either enqueued before this deliver() or will notify after
+    // we park — notify_all is only called with mutex_ held.
+    if (auto delivery = entry->queue.deliver(consumer_tag, "")) {
+      return delivery;
+    }
+    if (closed_.load()) return std::nullopt;
     if (message_ready_.wait_until(lock, deadline) ==
         std::cv_status::timeout) {
       break;
     }
-    lock.unlock();
-    if (auto delivery = entry->queue.deliver(consumer_tag, "")) {
-      return delivery;
-    }
-    lock.lock();
-    if (std::chrono::steady_clock::now() >= deadline) break;
   }
   lock.unlock();
   return entry->queue.deliver(consumer_tag, "");
@@ -240,16 +279,50 @@ std::optional<Delivery> Broker::basic_get(const std::string& queue,
 
 bool Broker::ack(const std::string& queue, std::uint64_t delivery_tag) {
   const auto entry = find_queue(queue);
-  return entry && entry->queue.ack(delivery_tag);
+  if (!entry) return false;
+  const auto spool_seq = entry->queue.ack(delivery_tag);
+  if (!spool_seq) return false;
+  if (*spool_seq != 0) spool_ack(*entry, *spool_seq);
+  return true;
 }
 
 bool Broker::nack(const std::string& queue, std::uint64_t delivery_tag,
                   bool requeue) {
   const auto entry = find_queue(queue);
   if (!entry) return false;
-  const bool ok = entry->queue.nack(delivery_tag, requeue);
-  if (ok && requeue) message_ready_.notify_all();
-  return ok;
+  NackResult result = entry->queue.nack(delivery_tag, requeue);
+  if (!result.ok) return false;
+  // A message that permanently left this queue (discarded or about to
+  // be dead-lettered) is acked in the spool so it cannot resurrect on
+  // recovery.
+  if (result.removed_spool_seq != 0) {
+    spool_ack(*entry, result.removed_spool_seq);
+  }
+  if (result.dead_letter) {
+    dead_letter(*entry, std::move(*result.dead_letter));
+  }
+  if (result.requeued) {
+    const std::scoped_lock lock{mutex_};
+    message_ready_.notify_all();
+  }
+  return true;
+}
+
+void Broker::dead_letter(QueueEntry& source, Message message) {
+  bus_telemetry().dead_lettered.inc();
+  message.headers["x-death-queue"] = source.queue.name();
+  message.headers["x-death-reason"] = "max_redeliveries";
+  message.headers["x-death-count"] = std::to_string(message.redeliveries + 1);
+  // The message starts a fresh life on the dead-letter queue.
+  message.spool_seq = 0;
+  message.redeliveries = 0;
+  message.replayed = false;
+  const std::string& dlq = source.queue.options().dead_letter_queue;
+  const auto target = dlq.empty() ? nullptr : find_queue(dlq);
+  if (!target) return;  // No DLQ declared: counted drop, not a crash.
+  spool_publish(*target, std::move(message));
+  const std::scoped_lock lock{mutex_};
+  message_ready_.notify_all();
 }
 
 Subscription Broker::subscribe(const std::string& queue,
@@ -263,6 +336,15 @@ Subscription Broker::subscribe(const std::string& queue,
   subscription.impl_ = std::make_unique<Subscription::Impl>();
   subscription.impl_->worker = std::jthread(
       [this, queue, tag, handler = std::move(handler)](std::stop_token stop) {
+        using std::chrono::milliseconds;
+        using std::chrono::steady_clock;
+        const auto stop_aware_sleep = [&stop](milliseconds total) {
+          const auto deadline = steady_clock::now() + total;
+          while (!stop.stop_requested() &&
+                 steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(milliseconds{2});
+          }
+        };
         while (!stop.stop_requested()) {
           auto delivery = basic_get(queue, tag, /*timeout_ms=*/50);
           if (!delivery) continue;
@@ -275,7 +357,14 @@ Subscription Broker::subscribe(const std::string& queue,
           if (ok) {
             ack(queue, delivery->delivery_tag);
           } else {
+            const std::uint32_t attempt = delivery->message().redeliveries;
             nack(queue, delivery->delivery_tag, /*requeue=*/true);
+            // The nack puts the message back at the head, so without a
+            // pause this loop would retry a poison message at full
+            // basic_get speed until it dead-letters.
+            const auto factor = std::uint64_t{1} << std::min(attempt, 16u);
+            stop_aware_sleep(std::min<milliseconds>(
+                kRetryBackoffMax, kRetryBackoffBase * factor));
           }
         }
         const auto entry = find_queue(queue);
@@ -295,52 +384,105 @@ BrokerStats Broker::stats() const {
   return stats_;
 }
 
-void Broker::spool_append(QueueEntry& entry, const Message& message) {
-  // One line per message: routing_key then the body, BP-escaped so the
-  // line is unambiguous to split on recovery.
-  std::ofstream out{entry.spool_path, std::ios::app};
-  if (!out) return;  // Spool loss degrades durability, not availability.
-  out << nl::escape_value(message.routing_key) << ' '
-      << nl::escape_value(message.body) << '\n';
+// ---------------------------------------------------------------------------
+// Spool (format: bus/spool.hpp)
+
+void Broker::spool_publish(QueueEntry& entry, Message message) {
+  if (!message.persistent || entry.spool_path.empty()) {
+    const auto result = entry.queue.enqueue(std::move(message));
+    if (result.dropped_spool_seq != 0) {
+      spool_ack(entry, result.dropped_spool_seq);
+    }
+    return;
+  }
+  // spool_mutex spans append+enqueue so a concurrent compaction cannot
+  // snapshot the queue in between and rewrite the file without this
+  // message (see locking discipline in broker.hpp).
+  const std::scoped_lock slock{entry.spool_mutex};
+  message.spool_seq = entry.next_seq++;
+  if (entry.spool_out) {
+    entry.spool_out << spool::encode_message(message.spool_seq,
+                                             message.routing_key, message.body)
+                    << '\n';
+    entry.spool_out.flush();
+  }
+  const auto result = entry.queue.enqueue(std::move(message));
+  if (result.dropped_spool_seq != 0) {
+    spool_ack_locked(entry, result.dropped_spool_seq);
+  }
+}
+
+void Broker::spool_ack(QueueEntry& entry, std::uint64_t spool_seq) {
+  if (entry.spool_path.empty()) return;
+  const std::scoped_lock slock{entry.spool_mutex};
+  spool_ack_locked(entry, spool_seq);
+}
+
+void Broker::spool_ack_locked(QueueEntry& entry, std::uint64_t spool_seq) {
+  if (spool_seq == 0 || !entry.spool_out) return;
+  entry.spool_out << spool::encode_ack(spool_seq) << '\n';
+  entry.spool_out.flush();
+  ++entry.dead_records;
+  // Each ack kills one message record, so the dead prefix is roughly
+  // 2 * dead_records lines; the threshold bounds the spool under
+  // sustained publish/ack traffic.
+  if (entry.dead_records >= entry.queue.options().spool_compact_threshold) {
+    compact_locked(entry);
+  }
+}
+
+void Broker::compact_locked(QueueEntry& entry) {
+  const std::vector<Message> live = entry.queue.spooled_messages();
+  std::vector<spool::MessageRecord> records;
+  records.reserve(live.size());
+  for (const auto& msg : live) {
+    records.push_back({msg.spool_seq, msg.routing_key, msg.body});
+  }
+  entry.spool_out.close();
+  spool::rewrite_file(entry.spool_path, records);
+  entry.spool_out.open(entry.spool_path, std::ios::app);
+  entry.dead_records = 0;
+  bus_telemetry().spool_compactions.inc();
 }
 
 void Broker::spool_recover(QueueEntry& entry) {
-  std::ifstream in{entry.spool_path};
-  if (!in) return;
-  std::string line;
-  while (std::getline(in, line)) {
-    // Reuse the BP tokenizer by parsing "k=v"-shaped synthetic pairs is
-    // overkill; the two fields are escape_value-encoded, so split on the
-    // first unquoted space.
-    std::string_view rest{line};
-    auto take_field = [&rest]() -> std::string {
-      std::string out;
-      if (rest.empty()) return out;
-      if (rest.front() == '"') {
-        rest.remove_prefix(1);
-        while (!rest.empty() && rest.front() != '"') {
-          if (rest.front() == '\\' && rest.size() > 1) rest.remove_prefix(1);
-          out.push_back(rest.front());
-          rest.remove_prefix(1);
-        }
-        if (!rest.empty()) rest.remove_prefix(1);  // closing quote
-      } else {
-        while (!rest.empty() && rest.front() != ' ') {
-          out.push_back(rest.front());
-          rest.remove_prefix(1);
-        }
-      }
-      if (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
-      return out;
-    };
-    Message message;
-    message.routing_key = take_field();
-    message.body = take_field();
-    message.persistent = true;
-    if (!message.routing_key.empty()) {
-      entry.queue.enqueue(std::move(message));
-    }
+  const std::scoped_lock slock{entry.spool_mutex};
+  spool::RecoverResult recovered = spool::recover_file(entry.spool_path);
+  entry.next_seq = recovered.next_seq;
+  if (recovered.truncated > 0) {
+    bus_telemetry().spool_truncated.inc(recovered.truncated);
   }
+  // Replay only the unacked suffix. Replayed messages may have been
+  // delivered (even fully processed) before the crash, so they carry
+  // the flag that makes their next delivery `redelivered` — consumers
+  // dedup from there (at-least-once).
+  for (auto& rec : recovered.live) {
+    Message message;
+    message.routing_key = std::move(rec.routing_key);
+    message.body = std::move(rec.body);
+    message.persistent = true;
+    message.spool_seq = rec.seq;
+    message.replayed = true;
+    entry.queue.enqueue(std::move(message));
+  }
+  // Recovery always rewrites the file down to the live set — the one
+  // point where compaction is free — so an ack-everything-then-restart
+  // cycle leaves a near-empty spool no matter the threshold. Drop-head
+  // overflow during the re-enqueue above is reflected by snapshotting
+  // the queue, not the recovered list.
+  const std::vector<Message> live = entry.queue.spooled_messages();
+  std::vector<spool::MessageRecord> records;
+  records.reserve(live.size());
+  for (const auto& msg : live) {
+    records.push_back({msg.spool_seq, msg.routing_key, msg.body});
+  }
+  spool::rewrite_file(entry.spool_path, records);
+  if (recovered.acks > 0 || recovered.legacy ||
+      records.size() != recovered.messages) {
+    bus_telemetry().spool_compactions.inc();
+  }
+  entry.spool_out.open(entry.spool_path, std::ios::app);
+  entry.dead_records = 0;
 }
 
 }  // namespace stampede::bus

@@ -7,13 +7,39 @@
 // consume with acknowledgments, and RAII push-mode subscriptions running
 // on their own threads.
 //
-// Durable queues spool persistent messages to an append-only file so a
-// new broker instance can recover them — the `durable=true
-// auto_delete=false` flags from the paper's nl_load invocation.
+// Durable queues spool persistent messages to an append-only file
+// (bus/spool.hpp format v2) so a new broker instance can recover them —
+// the `durable=true auto_delete=false` flags from the paper's nl_load
+// invocation. Acks are logged to the same file and the broker compacts
+// it once the dead prefix passes QueueOptions::spool_compact_threshold,
+// so recovery replays only unacked messages and the spool stays bounded
+// under sustained traffic (at-least-once, DESIGN.md "Delivery
+// guarantees"). Messages nack-requeued more than
+// QueueOptions::max_redeliveries times are routed to the queue's
+// declared dead-letter queue instead of hot-looping at the head.
+//
+// Locking discipline (lock order top to bottom; never reversed):
+//   1. `mutex_` guards topology (exchanges_, queues_), stats_, and
+//      closed_, and is the condition-variable mutex: `message_ready_`
+//      is ONLY notified while `mutex_` is held (publish, nack-requeue,
+//      close). A consumer that rechecks its queue under `mutex_` before
+//      waiting therefore cannot miss a wakeup — either the publish's
+//      enqueue happened before the recheck, or its notify happens after
+//      the consumer is parked on the condition variable.
+//   2. `QueueEntry::spool_mutex` guards one queue's spool file, open
+//      stream, and sequence counter. publish holds it across
+//      append+enqueue so a concurrent compaction cannot snapshot the
+//      queue between the two steps and drop a spooled-but-not-enqueued
+//      message. Never held together with `mutex_`.
+//   3. `BrokerQueue`'s internal mutex is innermost: taken while holding
+//      `mutex_` (basic_get recheck) or `spool_mutex` (publish,
+//      compaction snapshot), and BrokerQueue never calls back into the
+//      broker, so no cycle is possible.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
@@ -41,8 +67,9 @@ class Broker;
 
 /// RAII push-mode consumer. Runs the callback on an internal thread for
 /// every delivery; when the callback returns true the message is acked,
-/// otherwise nacked-and-requeued. Destroying the subscription stops the
-/// thread and requeues anything unacked.
+/// otherwise nacked-and-requeued with exponential backoff (bounded by
+/// the queue's max_redeliveries / dead-letter policy). Destroying the
+/// subscription stops the thread and requeues anything unacked.
 class Subscription {
  public:
   using Handler = std::function<bool(const Delivery&)>;
@@ -81,10 +108,13 @@ class Broker {
 
   /// Declares a queue; also binds it to the default ("") direct exchange
   /// under its own name, per AMQP. Recovers spooled messages for durable
-  /// queues. Redeclaring with different options throws common::BusError.
+  /// queues (replaying only those without a logged ack) and compacts the
+  /// spool in passing. Redeclaring with different options throws
+  /// common::BusError.
   void declare_queue(const std::string& name, QueueOptions options = {});
 
-  /// Removes a queue and its bindings. Unknown names are ignored.
+  /// Removes a queue, its bindings, and its spool file. Unknown names
+  /// are ignored.
   void delete_queue(const std::string& name);
 
   /// Binds `queue` to `exchange` with a (possibly wildcarded) key.
@@ -142,11 +172,27 @@ class Broker {
         : queue(std::move(name), options) {}
     BrokerQueue queue;
     std::string spool_path;  ///< Empty when not durable / no spool dir.
+
+    // Spool state, guarded by spool_mutex (lock order: see file header).
+    std::mutex spool_mutex;
+    std::ofstream spool_out;        ///< Kept open in append mode.
+    std::uint64_t next_seq = 1;     ///< Next spool sequence to assign.
+    std::uint64_t dead_records = 0;  ///< Ack records since last compaction.
   };
 
   std::shared_ptr<QueueEntry> find_queue(const std::string& name) const;
-  void spool_append(QueueEntry& entry, const Message& message);
+  /// Spools (if persistent + durable) then enqueues; handles the spool
+  /// ack for a message dropped by drop-head overflow.
+  void spool_publish(QueueEntry& entry, Message message);
+  /// Logs an ack record for `spool_seq` (no-op for 0 / non-durable) and
+  /// compacts once the dead prefix passes the queue's threshold.
+  void spool_ack(QueueEntry& entry, std::uint64_t spool_seq);
+  void spool_ack_locked(QueueEntry& entry, std::uint64_t spool_seq);
+  void compact_locked(QueueEntry& entry);
   void spool_recover(QueueEntry& entry);
+  /// Routes a message that exhausted max_redeliveries to its queue's
+  /// declared dead-letter queue (counted drop when none exists).
+  void dead_letter(QueueEntry& source, Message message);
 
   mutable std::mutex mutex_;
   std::condition_variable message_ready_;

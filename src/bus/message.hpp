@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -21,6 +22,12 @@ struct Message {
   common::Timestamp published_at = 0.0;
   bool persistent = false;  ///< Spooled to disk when queued on a durable queue.
 
+  // Broker-internal delivery bookkeeping (at-least-once semantics).
+  std::uint64_t spool_seq = 0;     ///< Durable spool sequence; 0 = not spooled.
+  std::uint32_t redeliveries = 0;  ///< Times requeued after a failed delivery.
+  bool replayed = false;  ///< Recovered from the spool (may have been
+                          ///< delivered before the crash).
+
   // Telemetry trace stamps (telemetry/trace.hpp): steady-clock seconds
   // recorded as the message crossed each stage; 0 = stage not traced.
   // These live on the message, not in the BP body, so the payload stays
@@ -29,13 +36,23 @@ struct Message {
   double trace_enqueued = 0.0;   ///< Broker::publish routing.
 };
 
+class BrokerQueue;
+
 /// A message handed to a consumer; carries the tag used to acknowledge.
-struct Delivery {
+/// The payload is shared with the broker's unacked ledger — stored once,
+/// copied only if the broker actually requeues it.
+class Delivery {
+ public:
   std::uint64_t delivery_tag = 0;
   std::string consumer_tag;
   std::string exchange;
   bool redelivered = false;
-  Message message;
+
+  [[nodiscard]] const Message& message() const noexcept { return *payload_; }
+
+ private:
+  friend class BrokerQueue;
+  std::shared_ptr<const Message> payload_;
 };
 
 }  // namespace stampede::bus

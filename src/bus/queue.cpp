@@ -1,13 +1,16 @@
 #include "bus/queue.hpp"
 
+#include <algorithm>
 #include <vector>
 
 namespace stampede::bus {
 
-bool BrokerQueue::enqueue(Message message) {
+EnqueueResult BrokerQueue::enqueue(Message message) {
   const std::scoped_lock lock{mutex_};
+  EnqueueResult result;
   if (options_.max_length != 0 && ready_.size() >= options_.max_length) {
     // Drop-head: discard the oldest ready message to admit the new one.
+    result.dropped_spool_seq = ready_.front().spool_seq;
     ready_.pop_front();
     ++stats_.dropped_overflow;
     dropped_counter_->inc();
@@ -16,7 +19,8 @@ bool BrokerQueue::enqueue(Message message) {
   ++stats_.enqueued;
   enqueued_counter_->inc();
   depth_gauge_->set(static_cast<std::int64_t>(ready_.size()));
-  return true;
+  result.accepted = true;
+  return result;
 }
 
 std::optional<Delivery> BrokerQueue::deliver(const std::string& consumer_tag,
@@ -27,35 +31,61 @@ std::optional<Delivery> BrokerQueue::deliver(const std::string& consumer_tag,
   delivery.delivery_tag = next_tag_++;
   delivery.consumer_tag = consumer_tag;
   delivery.exchange = exchange;
-  delivery.message = std::move(ready_.front());
+  // A replayed message may have been delivered (even processed) before
+  // the crash that spooled it back, so it counts as redelivered too.
+  delivery.redelivered =
+      ready_.front().redeliveries > 0 || ready_.front().replayed;
+  delivery.payload_ =
+      std::make_shared<const Message>(std::move(ready_.front()));
   ready_.pop_front();
   unacked_.emplace(delivery.delivery_tag,
-                   Unacked{consumer_tag, delivery.message});
+                   Unacked{consumer_tag, delivery.payload_});
   ++stats_.delivered;
+  if (delivery.redelivered) ++stats_.redelivered;
   depth_gauge_->set(static_cast<std::int64_t>(ready_.size()));
   return delivery;
 }
 
-bool BrokerQueue::ack(std::uint64_t delivery_tag) {
+std::optional<std::uint64_t> BrokerQueue::ack(std::uint64_t delivery_tag) {
   const std::scoped_lock lock{mutex_};
   const auto it = unacked_.find(delivery_tag);
-  if (it == unacked_.end()) return false;
+  if (it == unacked_.end()) return std::nullopt;
+  const std::uint64_t spool_seq = it->second.message->spool_seq;
   unacked_.erase(it);
   ++stats_.acked;
-  return true;
+  return spool_seq;
 }
 
-bool BrokerQueue::nack(std::uint64_t delivery_tag, bool requeue) {
+NackResult BrokerQueue::nack(std::uint64_t delivery_tag, bool requeue) {
   const std::scoped_lock lock{mutex_};
+  NackResult result;
   const auto it = unacked_.find(delivery_tag);
-  if (it == unacked_.end()) return false;
+  if (it == unacked_.end()) return result;
+  result.ok = true;
+  const Message& held = *it->second.message;
   if (requeue) {
-    ready_.push_front(std::move(it->second.message));
-    ++stats_.requeued;
-    depth_gauge_->set(static_cast<std::int64_t>(ready_.size()));
+    if (options_.max_redeliveries != 0 &&
+        held.redeliveries >= options_.max_redeliveries) {
+      // Exhausted: hand the message back for dead-lettering.
+      result.dead_letter = held;
+      result.removed_spool_seq = held.spool_seq;
+      ++stats_.dead_lettered;
+    } else {
+      // The shared payload may still be referenced by the consumer's
+      // Delivery, so requeue copies; this is the only copy a message
+      // pays after the one-time store in deliver().
+      Message copy = held;
+      ++copy.redeliveries;
+      ready_.push_front(std::move(copy));
+      ++stats_.requeued;
+      result.requeued = true;
+      depth_gauge_->set(static_cast<std::int64_t>(ready_.size()));
+    }
+  } else {
+    result.removed_spool_seq = held.spool_seq;
   }
   unacked_.erase(it);
-  return true;
+  return result;
 }
 
 void BrokerQueue::requeue_consumer(const std::string& consumer_tag) {
@@ -68,10 +98,30 @@ void BrokerQueue::requeue_consumer(const std::string& consumer_tag) {
   }
   for (auto it = tags.rbegin(); it != tags.rend(); ++it) {
     auto node = unacked_.extract(*it);
-    ready_.push_front(std::move(node.mapped().message));
+    // Cancellation is not a delivery failure: the flag is set (the
+    // consumer may have seen the message) but redeliveries is not
+    // advanced toward max_redeliveries.
+    Message copy = *node.mapped().message;
+    copy.replayed = true;
+    ready_.push_front(std::move(copy));
     ++stats_.requeued;
   }
   depth_gauge_->set(static_cast<std::int64_t>(ready_.size()));
+}
+
+std::vector<Message> BrokerQueue::spooled_messages() const {
+  const std::scoped_lock lock{mutex_};
+  std::vector<Message> out;
+  for (const auto& msg : ready_) {
+    if (msg.spool_seq != 0) out.push_back(msg);
+  }
+  for (const auto& [tag, entry] : unacked_) {
+    if (entry.message->spool_seq != 0) out.push_back(*entry.message);
+  }
+  std::sort(out.begin(), out.end(), [](const Message& a, const Message& b) {
+    return a.spool_seq < b.spool_seq;
+  });
+  return out;
 }
 
 QueueStats BrokerQueue::stats() const {

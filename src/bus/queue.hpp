@@ -7,13 +7,20 @@
 // flag set. Producers never block (paper §IV-C: the bus "avoids blocking
 // the producers"): when a bounded queue is full the oldest ready message
 // is dropped and counted, mirroring RabbitMQ's drop-head overflow policy.
+//
+// At-least-once additions: every message carries its durable spool
+// sequence (0 = not spooled) so the broker can log acks; nack-requeues
+// count redeliveries and, past QueueOptions::max_redeliveries, hand the
+// message back for dead-lettering instead of requeueing it forever.
 
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "bus/message.hpp"
 #include "telemetry/metrics.hpp"
@@ -24,6 +31,15 @@ struct QueueOptions {
   bool durable = false;      ///< Persistent messages spool to disk.
   bool auto_delete = false;  ///< Deleted when the last consumer departs.
   std::size_t max_length = 0;  ///< 0 = unbounded.
+  /// Nack-requeues a message survives before it is dead-lettered
+  /// (0 = unlimited, the pre-DLQ behaviour).
+  std::size_t max_redeliveries = 0;
+  /// Queue that receives messages exhausting max_redeliveries; messages
+  /// are dropped (counted) when empty or the queue does not exist.
+  std::string dead_letter_queue;
+  /// Acked spool records tolerated before the broker compacts the
+  /// spool file (rewrites it with only live messages).
+  std::size_t spool_compact_threshold = 1024;
 };
 
 struct QueueStats {
@@ -31,9 +47,31 @@ struct QueueStats {
   std::uint64_t delivered = 0;
   std::uint64_t acked = 0;
   std::uint64_t requeued = 0;
+  std::uint64_t redelivered = 0;     ///< Deliveries with the flag set.
+  std::uint64_t dead_lettered = 0;   ///< Exhausted max_redeliveries.
   std::uint64_t dropped_overflow = 0;
   std::size_t depth = 0;     ///< Ready messages.
   std::size_t unacked = 0;   ///< Delivered but not yet acked.
+};
+
+/// Outcome of an enqueue; a drop-head overflow of a spooled message
+/// surfaces the victim's spool sequence so the broker can log its ack.
+struct EnqueueResult {
+  bool accepted = false;
+  std::uint64_t dropped_spool_seq = 0;  ///< 0 = nothing spooled dropped.
+};
+
+/// Outcome of a nack. At most one of `requeued` / `dead_letter` /
+/// `discarded_spool_seq` describes what happened to the message.
+struct NackResult {
+  bool ok = false;        ///< Tag was known.
+  bool requeued = false;  ///< Back at the queue head.
+  /// Set when the message exhausted max_redeliveries: the caller (the
+  /// broker) routes it to the dead-letter queue.
+  std::optional<Message> dead_letter;
+  /// Spool sequence of a message that permanently left this queue
+  /// (nack without requeue, or dead-lettered); 0 = none.
+  std::uint64_t removed_spool_seq = 0;
 };
 
 /// Thread-safe broker queue. Consumer blocking/wakeup is handled one
@@ -59,25 +97,32 @@ class BrokerQueue {
     return options_;
   }
 
-  /// Enqueues; returns false when the message was dropped (queue full and
-  /// drop-head could not make room — only possible with max_length==0
-  /// edge cases). Never blocks.
-  bool enqueue(Message message);
+  /// Enqueues; never blocks. On drop-head overflow the dropped spooled
+  /// message's sequence is reported so its spool ack can be logged.
+  EnqueueResult enqueue(Message message);
 
   /// Pops the next ready message as an unacked delivery; nullopt if empty.
   [[nodiscard]] std::optional<Delivery> deliver(
       const std::string& consumer_tag, const std::string& exchange);
 
-  /// Acknowledges a previously delivered message. Returns false for an
-  /// unknown tag (double-ack or foreign tag).
-  bool ack(std::uint64_t delivery_tag);
+  /// Acknowledges a previously delivered message. nullopt for an unknown
+  /// tag (double-ack or foreign tag); otherwise the acked message's
+  /// spool sequence (0 when it was never spooled).
+  std::optional<std::uint64_t> ack(std::uint64_t delivery_tag);
 
-  /// Negative-acknowledges; optionally requeues at the head. Returns
-  /// false for an unknown tag.
-  bool nack(std::uint64_t delivery_tag, bool requeue);
+  /// Negative-acknowledges; optionally requeues at the head, counting
+  /// the redelivery and dead-lettering past max_redeliveries.
+  NackResult nack(std::uint64_t delivery_tag, bool requeue);
 
-  /// Requeues every unacked delivery of a departing consumer.
+  /// Requeues every unacked delivery of a departing consumer (sets the
+  /// redelivered flag but never dead-letters — cancellation is not a
+  /// delivery failure).
   void requeue_consumer(const std::string& consumer_tag);
+
+  /// Every message currently on this queue (ready or unacked) carrying a
+  /// spool sequence, ascending by sequence — the live set a spool
+  /// compaction must preserve.
+  [[nodiscard]] std::vector<Message> spooled_messages() const;
 
   [[nodiscard]] QueueStats stats() const;
   [[nodiscard]] std::size_t depth() const;
@@ -86,7 +131,7 @@ class BrokerQueue {
  private:
   struct Unacked {
     std::string consumer_tag;
-    Message message;
+    std::shared_ptr<const Message> message;  ///< Shared with the Delivery.
   };
 
   mutable std::mutex mutex_;

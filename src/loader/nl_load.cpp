@@ -110,18 +110,36 @@ NlLoadStats QueuePump::stats() const {
 void QueuePump::pump(const std::stop_token& stop) {
   const auto start = Clock::now();
   const std::string tag = "nl_load-" + queue_;
+  // Acks flow through the loader: each delivery's tag is released only
+  // when the transaction holding its rows commits (or the event is
+  // definitively rejected), so a crash never acks uncommitted work.
+  const auto ack = [this](std::uint64_t delivery_tag) {
+    broker_->ack(queue_, delivery_tag);
+  };
+  if (sharded_ != nullptr) {
+    sharded_->set_ack_callback(ack);
+  } else {
+    loader_->set_ack_callback(ack);
+  }
   while (true) {
     auto delivery = broker_->basic_get(queue_, tag, /*timeout_ms=*/20);
     if (!delivery) {
       if (stop.stop_requested()) break;  // Drained and asked to stop.
+      // Idle: commit the partial batch so its acks release — otherwise
+      // unacked messages linger until batch_size more events arrive.
+      if (sharded_ != nullptr) {
+        sharded_->flush_hint();
+      } else {
+        loader_->idle_flush();
+      }
       continue;
     }
     // The dequeue-side trace stamp; together with the bus-side stamps it
     // lets the loader measure true end-to-end latency per event.
-    const telemetry::TraceStamps trace{delivery->message.trace_published,
-                                       delivery->message.trace_enqueued,
+    const telemetry::TraceStamps trace{delivery->message().trace_published,
+                                       delivery->message().trace_enqueued,
                                        telemetry::trace_now()};
-    nl::ParseResult parsed = nl::parse_line(delivery->message.body);
+    nl::ParseResult parsed = nl::parse_line(delivery->message().body);
     {
       const std::scoped_lock lock{stats_mutex_};
       ++stats_.lines;
@@ -135,15 +153,19 @@ void QueuePump::pump(const std::stop_token& stop) {
     }
     if (auto* record = std::get_if<nl::LogRecord>(&parsed)) {
       if (sharded_ != nullptr) {
-        sharded_->process(*record, &trace);
+        sharded_->process(*record, &trace, delivery->redelivered,
+                          delivery->delivery_tag);
       } else {
-        loader_->process(*record, &trace);
+        loader_->process(*record, &trace, delivery->redelivered,
+                         delivery->delivery_tag);
       }
+    } else {
+      // A message our parser rejects will never become parseable on
+      // redelivery; ack it directly.
+      broker_->ack(queue_, delivery->delivery_tag);
     }
-    // Ack regardless: a message our parser rejects will never become
-    // parseable on redelivery.
-    broker_->ack(queue_, delivery->delivery_tag);
   }
+  // finish() flushes and releases every remaining ack via the callback.
   if (sharded_ != nullptr) {
     sharded_->finish();
   } else {

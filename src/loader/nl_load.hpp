@@ -49,8 +49,12 @@ NlLoadStats load_file(const std::string& path, ShardedLoader& loader);
 NlLoadStats load_stream(std::istream& in, ShardedLoader& loader);
 
 /// Real-time loader pump attached to an AMQP queue. Runs on its own
-/// thread; messages are acked only after the loader accepted or
-/// definitively rejected them, so an interrupted pump redelivers.
+/// thread; messages are acked only after the loader's transaction
+/// holding their rows has committed (ack-after-commit), so a crash at
+/// any point redelivers rather than loses — and the loader's replay
+/// dedup makes the redelivery idempotent (at-least-once end to end).
+/// When the stream goes idle the pump flushes the loader so trailing
+/// acks are not held hostage by a partially filled batch.
 class QueuePump {
  public:
   /// Declares (idempotently) `queue` on the broker and binds it to

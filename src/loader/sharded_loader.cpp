@@ -30,6 +30,23 @@ ShardedLoader::ShardedLoader(db::ShardedDatabase& database,
     lanes_.push_back(
         std::make_unique<Lane>(database.shard(i), options, i));
   }
+  // Routing must survive a crash/restart: a workflow's rows live on
+  // exactly one shard, so every workflow already in the (recovered)
+  // archive is pinned back to that shard's lane. Without this, a
+  // sub-workflow pinned to its parent's lane by an already-committed
+  // map event would re-route by hash after a restart and its replayed
+  // events would land on the wrong shard.
+  for (std::size_t i = 0; i < database.shard_count(); ++i) {
+    if (!database.shard(i).has_table("workflow")) continue;
+    const auto rs = database.shard(i).execute(
+        db::Select{"workflow"}.columns({"wf_uuid"}));
+    for (std::size_t r = 0; r < rs.size(); ++r) {
+      if (const auto uuid =
+              common::Uuid::parse(rs.at(r, "wf_uuid").as_text())) {
+        route_of_.emplace(*uuid, i);
+      }
+    }
+  }
   // Workers start only after every lane exists.
   for (auto& lane : lanes_) {
     Lane* l = lane.get();
@@ -49,11 +66,33 @@ ShardedLoader::~ShardedLoader() {
 void ShardedLoader::run_lane(Lane& lane) {
   while (auto item = lane.queue.pop()) {
     lane.depth.set(static_cast<std::int64_t>(lane.queue.size()));
-    lane.loader.process(item->record,
-                        item->traced ? &item->trace : nullptr);
+    if (item->flush_marker) {
+      // Only flush when genuinely idle — if real events queued up
+      // behind the marker they will flush (and ack) soon anyway.
+      if (lane.queue.size() == 0) lane.loader.idle_flush();
+      continue;
+    }
+    lane.loader.process(item->record, item->traced ? &item->trace : nullptr,
+                        item->redelivered, item->ack_tag);
   }
   // Queue closed and drained: final flush + deferred replay.
   lane.loader.finish();
+}
+
+void ShardedLoader::set_ack_callback(
+    std::function<void(std::uint64_t)> callback) {
+  for (auto& lane : lanes_) lane->loader.set_ack_callback(callback);
+}
+
+void ShardedLoader::flush_hint() {
+  if (finished_) return;
+  for (auto& lane : lanes_) {
+    // try_push: a backlogged lane doesn't need the hint, and the
+    // dispatcher must never block on it.
+    Item marker;
+    marker.flush_marker = true;
+    lane->queue.try_push(std::move(marker));
+  }
 }
 
 std::size_t ShardedLoader::route(const nl::LogRecord& record) {
@@ -103,7 +142,8 @@ void ShardedLoader::update_skew() {
 }
 
 bool ShardedLoader::process(const nl::LogRecord& record,
-                            const telemetry::TraceStamps* trace) {
+                            const telemetry::TraceStamps* trace,
+                            bool redelivered, std::uint64_t ack_tag) {
   if (finished_) return false;
   const std::size_t lane_index = route(record);
 
@@ -122,6 +162,8 @@ bool ShardedLoader::process(const nl::LogRecord& record,
     item.trace = *trace;
     item.traced = true;
   }
+  item.redelivered = redelivered;
+  item.ack_tag = ack_tag;
   Lane& lane = *lanes_[lane_index];
   if (!lane.queue.push(std::move(item))) return false;
   lane.depth.set(static_cast<std::int64_t>(lane.queue.size()));

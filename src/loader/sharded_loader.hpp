@@ -48,9 +48,21 @@ class ShardedLoader {
 
   /// Routes one event to its lane (blocking when the lane queue is
   /// full). Returns false after finish(). Call from ONE dispatcher
-  /// thread only — routing state is not synchronized.
+  /// thread only — routing state is not synchronized. `redelivered` and
+  /// `ack_tag` forward to the lane's StampedeLoader::process (replay
+  /// dedup + ack-after-commit).
   bool process(const nl::LogRecord& record,
-               const telemetry::TraceStamps* trace = nullptr);
+               const telemetry::TraceStamps* trace = nullptr,
+               bool redelivered = false, std::uint64_t ack_tag = 0);
+
+  /// Forwarded to every lane loader. The callback runs on lane worker
+  /// threads, so it must be thread-safe (Broker::ack is).
+  void set_ack_callback(std::function<void(std::uint64_t)> callback);
+
+  /// Asks every lane to commit pending rows and release acks once it
+  /// drains its queue; the dispatcher calls this when the input stream
+  /// goes idle (cheap: one marker item per lane).
+  void flush_hint();
 
   /// Terminal: closes the lane queues, joins the workers and flushes
   /// every lane's session. Events offered afterwards are rejected.
@@ -80,6 +92,9 @@ class ShardedLoader {
     nl::LogRecord record;
     telemetry::TraceStamps trace;
     bool traced = false;
+    bool redelivered = false;
+    std::uint64_t ack_tag = 0;
+    bool flush_marker = false;  ///< idle_flush the lane; record is empty.
   };
 
   struct Lane {

@@ -20,6 +20,7 @@ void LoaderStats::merge(const LoaderStats& other) {
   events_dropped += other.events_dropped;
   events_deferred += other.events_deferred;
   deferred_evicted += other.deferred_evicted;
+  replay_deduped += other.replay_deduped;
   for (const auto& [event, count] : other.by_event) by_event[event] += count;
 }
 
@@ -34,6 +35,7 @@ StampedeLoader::Instruments StampedeLoader::make_instruments() {
       r.counter("stampede_loader_events_deferred_total"),
       r.counter("stampede_loader_deferred_dropped_total"),
       r.counter("stampede_loader_defer_warnings_total"),
+      r.counter("stampede_loader_replay_deduped_total"),
       r.gauge("stampede_loader_deferred_depth"),
       r.histogram("stampede_e2e_publish_to_enqueue_seconds", {1e-7, 2.0, 32}),
       r.histogram("stampede_e2e_enqueue_to_dequeue_seconds"),
@@ -133,7 +135,9 @@ std::optional<std::int64_t> StampedeLoader::resolve_job_instance(
           .columns({"job_instance_id"}));
   if (existing && existing->is_int()) {
     job_instance_ids_.emplace(key, existing->as_int());
-    recovered_jis_.insert(existing->as_int());
+    if (recovered_jis_.insert(existing->as_int()).second) {
+      seed_job_instance_state(existing->as_int());
+    }
     return existing->as_int();
   }
   if (!create) return std::nullopt;
@@ -144,13 +148,59 @@ std::optional<std::int64_t> StampedeLoader::resolve_job_instance(
   return id;
 }
 
+void StampedeLoader::seed_job_instance_state(std::int64_t job_instance_id) {
+  // A recovered job instance must resume jobstate numbering after its
+  // archived rows — restarting at 1 would collide the UNIQUE-like
+  // (instance, seq) pairing downstream queries order by — and main.end
+  // needs the EXECUTE timestamp back to compute local_duration.
+  const auto max_seq = session_.database().scalar(
+      db::Select{"jobstate"}
+          .where(db::eq("job_instance_id", Value{job_instance_id}))
+          .agg(db::AggFn::kMax, "jobstate_submit_seq", "max_seq"));
+  if (max_seq && max_seq->is_int()) {
+    jobstate_seq_[job_instance_id] = max_seq->as_int();
+  }
+  const auto exec_ts = session_.database().scalar(
+      db::Select{"jobstate"}
+          .where(db::and_(
+              db::eq("job_instance_id", Value{job_instance_id}),
+              db::eq("state", Value{std::string{jobstate::kExecute}})))
+          .columns({"timestamp"}));
+  if (exec_ts && exec_ts->is_real()) {
+    execute_ts_[job_instance_id] = exec_ts->as_real();
+  }
+}
+
 void StampedeLoader::add_jobstate(std::int64_t job_instance_id,
                                   std::string_view state, double ts) {
+  if (redelivered_ &&
+      replay_duplicate(
+          db::Select{"jobstate"}
+              .where(db::and_(
+                  db::and_(db::eq("job_instance_id", Value{job_instance_id}),
+                           db::eq("state", Value{std::string{state}})),
+                  db::eq("timestamp", Value{ts})))
+              .columns({"job_instance_id"}))) {
+    return;  // Already archived before the crash/redelivery.
+  }
   const std::int64_t seq = ++jobstate_seq_[job_instance_id];
   session_.add("jobstate", {{"job_instance_id", Value{job_instance_id}},
                             {"state", Value{std::string{state}}},
                             {"timestamp", Value{ts}},
                             {"jobstate_submit_seq", Value{seq}}});
+}
+
+bool StampedeLoader::replay_duplicate(const db::Select& probe) {
+  session_.flush();
+  const auto existing = session_.database().scalar(probe);
+  if (!existing || existing->is_null()) return false;
+  ++stats_.replay_deduped;
+  tele_.replay_deduped.inc();
+  return true;
+}
+
+void StampedeLoader::ack_now(std::uint64_t ack_tag) {
+  if (ack_tag != 0 && ack_cb_) ack_cb_(ack_tag);
 }
 
 // ---------------------------------------------------------------------------
@@ -197,10 +247,21 @@ StampedeLoader::Outcome StampedeLoader::on_xwf_state(const nl::LogRecord& r,
                                                      bool start) {
   const auto wf = resolve_wf(r);
   if (!wf) return Outcome::kError;
+  const std::string_view state =
+      start ? wfstate::kStarted : wfstate::kTerminated;
+  if (redelivered_ &&
+      replay_duplicate(
+          db::Select{"workflowstate"}
+              .where(db::and_(
+                  db::and_(db::eq("wf_id", Value{*wf}),
+                           db::eq("state", Value{std::string{state}})),
+                  db::eq("timestamp", Value{r.ts()})))
+              .columns({"wf_id"}))) {
+    return Outcome::kApplied;
+  }
   db::NamedValues row{
       {"wf_id", Value{*wf}},
-      {"state", Value{std::string{start ? wfstate::kStarted
-                                        : wfstate::kTerminated}}},
+      {"state", Value{std::string{state}}},
       {"timestamp", Value{r.ts()}},
   };
   if (const auto v = r.get_int(attr::kRestartCount)) {
@@ -233,8 +294,9 @@ StampedeLoader::Outcome StampedeLoader::on_task_info(const nl::LogRecord& r) {
     row.emplace_back("argv", Value{std::string{*v}});
   }
   // Idempotence lookups only for workflows recovered from an existing
-  // archive; fresh workflows take the fast batched path.
-  if (recovered_wfs_.count(*wf) != 0) {
+  // archive or for redelivered events; fresh first-delivery workflows
+  // take the fast batched path.
+  if (recovered_wfs_.count(*wf) != 0 || redelivered_) {
     session_.flush();
     const auto existing = session_.database().scalar(
         db::Select{"task"}
@@ -243,6 +305,10 @@ StampedeLoader::Outcome StampedeLoader::on_task_info(const nl::LogRecord& r) {
                                    Value{std::string{*task}})))
             .columns({"task_id"}));
     if (existing && existing->is_int()) {
+      if (redelivered_) {
+        ++stats_.replay_deduped;
+        tele_.replay_deduped.inc();
+      }
       row.erase(row.begin(), row.begin() + 2);  // Drop the key columns.
       session_.add_update_pk("task", existing->as_int(), std::move(row));
       return Outcome::kApplied;
@@ -257,6 +323,17 @@ StampedeLoader::Outcome StampedeLoader::on_task_edge(const nl::LogRecord& r) {
   const auto parent = r.get(attr::kParentTaskId);
   const auto child = r.get(attr::kChildTaskId);
   if (!wf || !parent || !child) return Outcome::kError;
+  if (redelivered_ &&
+      replay_duplicate(
+          db::Select{"task_edge"}
+              .where(db::and_(
+                  db::and_(db::eq("wf_id", Value{*wf}),
+                           db::eq("parent_abs_task_id",
+                                  Value{std::string{*parent}})),
+                  db::eq("child_abs_task_id", Value{std::string{*child}})))
+              .columns({"wf_id"}))) {
+    return Outcome::kApplied;
+  }
   session_.add("task_edge",
                {{"wf_id", Value{*wf}},
                 {"parent_abs_task_id", Value{std::string{*parent}}},
@@ -306,6 +383,17 @@ StampedeLoader::Outcome StampedeLoader::on_job_edge(const nl::LogRecord& r) {
   const auto parent = r.get(attr::kParentJobId);
   const auto child = r.get(attr::kChildJobId);
   if (!wf || !parent || !child) return Outcome::kError;
+  if (redelivered_ &&
+      replay_duplicate(
+          db::Select{"job_edge"}
+              .where(db::and_(
+                  db::and_(db::eq("wf_id", Value{*wf}),
+                           db::eq("parent_exec_job_id",
+                                  Value{std::string{*parent}})),
+                  db::eq("child_exec_job_id", Value{std::string{*child}})))
+              .columns({"wf_id"}))) {
+    return Outcome::kApplied;
+  }
   session_.add("job_edge",
                {{"wf_id", Value{*wf}},
                 {"parent_exec_job_id", Value{std::string{*parent}}},
@@ -452,6 +540,21 @@ StampedeLoader::Outcome StampedeLoader::on_host_info(const nl::LogRecord& r) {
 
   const std::pair<std::int64_t, std::string> key{*wf, std::string{*hostname}};
   auto it = host_ids_.find(key);
+  if (it == host_ids_.end() &&
+      (recovered_wfs_.count(*wf) != 0 || redelivered_)) {
+    // Cache miss over a recovered archive: the host row may already
+    // exist from the pre-crash run; inserting blindly would fork a
+    // duplicate host_id and skew host-usage statistics.
+    const auto existing = session_.database().scalar(
+        db::Select{"host"}
+            .where(db::and_(db::eq("wf_id", Value{*wf}),
+                            db::eq("hostname",
+                                   Value{std::string{*hostname}})))
+            .columns({"host_id"}));
+    if (existing && existing->is_int()) {
+      it = host_ids_.emplace(key, existing->as_int()).first;
+    }
+  }
   if (it == host_ids_.end()) {
     db::NamedValues row{{"wf_id", Value{*wf}},
                         {"hostname", Value{std::string{*hostname}}}};
@@ -517,8 +620,8 @@ StampedeLoader::Outcome StampedeLoader::on_inv_end(const nl::LogRecord& r) {
     row.emplace_back("argv", Value{std::string{*v}});
   }
   // Idempotence lookup only for job instances recovered from an
-  // existing archive.
-  if (recovered_jis_.count(*ji) != 0) {
+  // existing archive or for redelivered events.
+  if (recovered_jis_.count(*ji) != 0 || redelivered_) {
     session_.flush();
     const auto existing = session_.database().scalar(
         db::Select{"invocation"}
@@ -526,6 +629,10 @@ StampedeLoader::Outcome StampedeLoader::on_inv_end(const nl::LogRecord& r) {
                             db::eq("task_submit_seq", Value{*inv})))
             .columns({"invocation_id"}));
     if (existing && existing->is_int()) {
+      if (redelivered_) {
+        ++stats_.replay_deduped;
+        tele_.replay_deduped.inc();
+      }
       row.erase(row.begin(), row.begin() + 3);  // Drop the key columns.
       session_.add_update_pk("invocation", existing->as_int(),
                              std::move(row));
@@ -592,16 +699,35 @@ void StampedeLoader::note_deferred_depth() {
 }
 
 void StampedeLoader::on_batch_commit() {
-  if (awaiting_commit_.empty()) return;
-  const double now = telemetry::now();
-  for (const double published : awaiting_commit_) {
-    tele_.publish_to_commit.observe(now - published);
+  if (!awaiting_commit_.empty()) {
+    const double now = telemetry::now();
+    for (const double published : awaiting_commit_) {
+      tele_.publish_to_commit.observe(now - published);
+    }
+    awaiting_commit_.clear();
   }
-  awaiting_commit_.clear();
+  // Rows are durable exactly when this hook fires, so these events'
+  // acknowledgments are now safe: a crash after this point replays
+  // nothing the archive does not already hold.
+  if (!awaiting_ack_.empty()) {
+    if (ack_cb_) {
+      for (const std::uint64_t tag : awaiting_ack_) ack_cb_(tag);
+    }
+    awaiting_ack_.clear();
+  }
+}
+
+void StampedeLoader::idle_flush() {
+  if (!deferred_.empty()) replay_deferred();
+  session_.flush();
+  // Session::flush is a no-op (no hook) on an empty batch, but events
+  // whose rows all went through insert_now may still await their acks.
+  on_batch_commit();
 }
 
 bool StampedeLoader::process(const nl::LogRecord& record,
-                             const telemetry::TraceStamps* trace) {
+                             const telemetry::TraceStamps* trace,
+                             bool redelivered, std::uint64_t ack_tag) {
   ++stats_.events_seen;
   ++stats_.by_event[record.event()];
   tele_.seen.inc();
@@ -610,25 +736,31 @@ bool StampedeLoader::process(const nl::LogRecord& record,
     if (!report.ok()) {
       ++stats_.events_invalid;
       tele_.invalid.inc();
+      ack_now(ack_tag);  // Will never produce rows; redelivery is useless.
       return false;
     }
   }
+  redelivered_ = redelivered;
   const Outcome outcome = dispatch(record);
+  redelivered_ = false;
   switch (outcome) {
     case Outcome::kApplied:
       ++stats_.events_loaded;
       tele_.loaded.inc();
       if (trace != nullptr) note_applied(*trace);
+      if (ack_tag != 0) awaiting_ack_.push_back(ack_tag);
       if (!deferred_.empty()) replay_deferred();
       return true;
     case Outcome::kDefer:
       ++stats_.events_deferred;
       tele_.deferred.inc();
       deferred_.push_back(
-          {record, 0, trace != nullptr ? *trace : telemetry::TraceStamps{}});
+          {record, 0, trace != nullptr ? *trace : telemetry::TraceStamps{},
+           redelivered, ack_tag});
       if (options_.defer_max != 0 && deferred_.size() > options_.defer_max) {
         // Hard cap: evict the oldest deferred event rather than letting
         // orphans grow the queue without bound.
+        ack_now(deferred_.front().ack_tag);
         deferred_.pop_front();
         ++stats_.events_dropped;
         ++stats_.deferred_evicted;
@@ -640,6 +772,7 @@ bool StampedeLoader::process(const nl::LogRecord& record,
     case Outcome::kError:
       ++stats_.events_unknown;
       tele_.unknown.inc();
+      ack_now(ack_tag);
       return false;
   }
   return false;
@@ -655,22 +788,27 @@ void StampedeLoader::replay_deferred() {
     for (std::size_t i = 0; i < n; ++i) {
       Deferred item = std::move(deferred_.front());
       deferred_.pop_front();
+      redelivered_ = item.redelivered;
       const Outcome outcome = dispatch(item.record);
+      redelivered_ = false;
       if (outcome == Outcome::kApplied) {
         ++stats_.events_loaded;
         tele_.loaded.inc();
         note_applied(item.trace);
+        if (item.ack_tag != 0) awaiting_ack_.push_back(item.ack_tag);
         progress = true;
       } else if (outcome == Outcome::kDefer) {
         if (++item.rounds >= options_.max_defer_rounds) {
           ++stats_.events_dropped;
           tele_.dropped.inc();
+          ack_now(item.ack_tag);
         } else {
           deferred_.push_back(std::move(item));
         }
       } else {
         ++stats_.events_unknown;
         tele_.unknown.inc();
+        ack_now(item.ack_tag);
       }
     }
   }
@@ -682,9 +820,11 @@ void StampedeLoader::finish() {
   replay_deferred();
   stats_.events_dropped += deferred_.size();
   tele_.dropped.inc(deferred_.size());
+  for (const Deferred& item : deferred_) ack_now(item.ack_tag);
   deferred_.clear();
   note_deferred_depth();
   session_.flush();
+  on_batch_commit();  // Release acks even when the final batch was empty.
 }
 
 }  // namespace stampede::loader

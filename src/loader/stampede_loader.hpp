@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <set>
@@ -84,6 +85,7 @@ struct LoaderStats {
   std::uint64_t events_dropped = 0;    ///< Deferred past max rounds.
   std::uint64_t events_deferred = 0;   ///< Total deferral episodes.
   std::uint64_t deferred_evicted = 0;  ///< Evicted by the defer_max cap.
+  std::uint64_t replay_deduped = 0;    ///< Redelivered rows already archived.
   std::map<std::string, std::uint64_t> by_event;
 
   /// Accumulates `other` into this (used to aggregate per-lane stats).
@@ -104,8 +106,30 @@ class StampedeLoader {
   /// events arriving through a QueuePump; the loader completes them into
   /// end-to-end publish→commit latency when the ORM transaction holding
   /// the event's rows commits. nullptr (file replays) skips tracing.
+  ///
+  /// `redelivered` marks an event the bus may already have delivered
+  /// (crash replay or nack-requeue): the loader takes the idempotent
+  /// slow path, checking the archive before inserting append-only rows,
+  /// so at-least-once delivery converges to the same archive.
+  ///
+  /// `ack_tag` (0 = none) is handed to the ack callback once the
+  /// event's rows are durably committed — or immediately when the event
+  /// produces no rows (invalid, unknown, deduped, dropped) — giving the
+  /// bus ack-after-commit semantics.
   bool process(const nl::LogRecord& record,
-               const telemetry::TraceStamps* trace = nullptr);
+               const telemetry::TraceStamps* trace = nullptr,
+               bool redelivered = false, std::uint64_t ack_tag = 0);
+
+  /// Receives each processed event's `ack_tag` once it is safe to
+  /// acknowledge on the bus (rows committed, or no rows to commit).
+  void set_ack_callback(std::function<void(std::uint64_t)> callback) {
+    ack_cb_ = std::move(callback);
+  }
+
+  /// Commits pending batched rows and releases their acks; call when
+  /// the input stream goes idle so acknowledgments (and therefore
+  /// QueuePump::wait_until_drained) do not wait for a full batch.
+  void idle_flush();
 
   /// Flushes batched inserts and replays deferred events one last time.
   /// Call when the input stream ends (or periodically for real-time
@@ -156,9 +180,18 @@ class StampedeLoader {
                                                    std::string_view exec_job_id,
                                                    std::int64_t submit_seq,
                                                    bool create);
+  /// Rebuilds the in-memory per-instance state (jobstate numbering, the
+  /// EXECUTE timestamp) for a job instance found in a recovered archive.
+  void seed_job_instance_state(std::int64_t job_instance_id);
 
   void add_jobstate(std::int64_t job_instance_id, std::string_view state,
                     double ts);
+
+  /// True when `probe` finds a row — the redelivered event's work is
+  /// already archived. Flushes first so batched rows are visible.
+  bool replay_duplicate(const db::Select& probe);
+  /// Fires the ack callback right away (events that never produce rows).
+  void ack_now(std::uint64_t ack_tag);
 
   orm::Session session_;
   LoaderOptions options_;
@@ -183,9 +216,14 @@ class StampedeLoader {
     nl::LogRecord record;
     std::size_t rounds = 0;
     telemetry::TraceStamps trace;  ///< Deferral counts toward e2e latency.
+    bool redelivered = false;      ///< Keep the dedup path across replays.
+    std::uint64_t ack_tag = 0;     ///< Acked when applied+committed/dropped.
   };
   std::deque<Deferred> deferred_;
   bool replaying_ = false;
+  /// True while dispatching an event the bus flagged as redelivered;
+  /// handlers use it to take the archive-checking idempotent path.
+  bool redelivered_ = false;
 
   // Self-telemetry. Instruments are resolved once at construction; the
   // per-event path touches only relaxed atomics.
@@ -198,6 +236,7 @@ class StampedeLoader {
     telemetry::Counter& deferred;
     telemetry::Counter& deferred_dropped;
     telemetry::Counter& defer_warnings;
+    telemetry::Counter& replay_deduped;
     telemetry::Gauge& deferred_depth;
     telemetry::Histogram& publish_to_enqueue;
     telemetry::Histogram& enqueue_to_dequeue;
@@ -208,6 +247,10 @@ class StampedeLoader {
   /// Publish stamps of applied-but-not-yet-committed events; drained
   /// into the publish→commit histogram by the session's commit hook.
   std::vector<double> awaiting_commit_;
+  /// Ack tags of applied-but-not-yet-committed events; released to
+  /// ack_cb_ by the same commit hook (acked ⊆ committed).
+  std::vector<std::uint64_t> awaiting_ack_;
+  std::function<void(std::uint64_t)> ack_cb_;
   bool defer_warned_ = false;
 };
 

@@ -36,7 +36,7 @@ LiveMonitor::~LiveMonitor() { stop(); }
 void LiveMonitor::stop() { subscription_.cancel(); }
 
 bool LiveMonitor::handle(const bus::Delivery& delivery) {
-  auto parsed = nl::parse_line(delivery.message.body);
+  auto parsed = nl::parse_line(delivery.message().body);
   const auto* record = std::get_if<nl::LogRecord>(&parsed);
   {
     const std::scoped_lock lock{mutex_};

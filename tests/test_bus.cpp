@@ -83,7 +83,7 @@ TEST(Broker, DefaultExchangeRoutesByQueueName) {
   EXPECT_EQ(broker.publish("", msg("nope")), 0u);
   const auto d = broker.basic_get("q1", "t");
   ASSERT_TRUE(d.has_value());
-  EXPECT_EQ(d->message.routing_key, "q1");
+  EXPECT_EQ(d->message().routing_key, "q1");
 }
 
 TEST(Broker, TopicExchangeWildcardRouting) {
@@ -182,7 +182,7 @@ TEST(Broker, NackRequeuePutsMessageBack) {
   EXPECT_TRUE(broker.nack("q", d->delivery_tag, /*requeue=*/true));
   const auto again = broker.basic_get("q", "c1");
   ASSERT_TRUE(again.has_value());
-  EXPECT_EQ(again->message.body, "payload");
+  EXPECT_EQ(again->message().body, "payload");
   EXPECT_NE(again->delivery_tag, d->delivery_tag);
 }
 
@@ -205,7 +205,7 @@ TEST(Broker, BasicGetBlocksUntilPublish) {
   const auto d = broker.basic_get("q", "c1", /*timeout_ms=*/1000);
   publisher.join();
   ASSERT_TRUE(d.has_value());
-  EXPECT_EQ(d->message.body, "late");
+  EXPECT_EQ(d->message().body, "late");
 }
 
 TEST(Broker, BasicGetTimesOut) {
@@ -227,9 +227,9 @@ TEST(Broker, BoundedQueueDropsOldest) {
   EXPECT_EQ(stats.depth, 3u);
   EXPECT_EQ(stats.dropped_overflow, 2u);
   // Survivors are the newest three.
-  EXPECT_EQ(broker.basic_get("q", "c")->message.body, "2");
-  EXPECT_EQ(broker.basic_get("q", "c")->message.body, "3");
-  EXPECT_EQ(broker.basic_get("q", "c")->message.body, "4");
+  EXPECT_EQ(broker.basic_get("q", "c")->message().body, "2");
+  EXPECT_EQ(broker.basic_get("q", "c")->message().body, "3");
+  EXPECT_EQ(broker.basic_get("q", "c")->message().body, "4");
 }
 
 // ---------------------------------------------------------------------------
@@ -311,7 +311,7 @@ TEST(Broker, DurableQueueRecoversSpooledMessages) {
     broker.declare_queue("stampede", {.durable = true});
     const auto d = broker.basic_get("stampede", "c");
     ASSERT_TRUE(d.has_value());
-    EXPECT_EQ(d->message.body, "ts=1 event=persisted");
+    EXPECT_EQ(d->message().body, "ts=1 event=persisted");
   }
   std::filesystem::remove_all(dir);
 }
@@ -349,10 +349,10 @@ TEST(BpPublisher, PublishesFormattedRecordsWithEventRoutingKey) {
 
   const auto d = broker.basic_get("xwf", "c");
   ASSERT_TRUE(d.has_value());
-  EXPECT_EQ(d->message.routing_key, "stampede.xwf.start");
-  EXPECT_NE(d->message.body.find("event=stampede.xwf.start"),
+  EXPECT_EQ(d->message().routing_key, "stampede.xwf.start");
+  EXPECT_NE(d->message().body.find("event=stampede.xwf.start"),
             std::string::npos);
-  EXPECT_NE(d->message.body.find("restart_count=0"), std::string::npos);
+  EXPECT_NE(d->message().body.find("restart_count=0"), std::string::npos);
 }
 
 TEST(Broker, StressManyProducersOneConsumer) {

@@ -9,9 +9,11 @@
 #include <string>
 #include <vector>
 
+#include "bus/spool.hpp"
 #include "bus/topic_matcher.hpp"
 #include "common/rng.hpp"
 #include "db/database.hpp"
+#include "netlogger/parser.hpp"
 #include "sim/node.hpp"
 
 namespace db = stampede::db;
@@ -265,3 +267,93 @@ TEST_P(PsNodeConservation, WorkAndOrderingInvariantsHold) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PsNodeConservation,
                          ::testing::Values(101u, 202u, 303u, 404u, 505u,
                                            606u));
+
+// ---------------------------------------------------------------------------
+// Durable-spool codec: encode/decode round-trip and nl::escape_value
+// equivalence (bus/spool.hpp promises byte-identical output for
+// newline-free values)
+
+namespace {
+
+namespace spool = stampede::bus::spool;
+
+/// Values biased towards every character the codec treats specially.
+std::string random_spool_value(Rng& rng) {
+  static constexpr char kPalette[] = {'"', '\\', '\n', '\r', ' ', '=',
+                                      '\t', 'a',  'b',  'z',  '0', '.'};
+  const auto len = rng.uniform_int(0, 24);
+  std::string out;
+  for (std::int64_t i = 0; i < len; ++i) {
+    out.push_back(kPalette[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(sizeof kPalette) - 1))]);
+  }
+  return out;
+}
+
+}  // namespace
+
+class SpoolCodecCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpoolCodecCheck, MessageRecordsRoundTrip) {
+  Rng rng{GetParam()};
+  for (int trial = 0; trial < 1000; ++trial) {
+    const auto seq =
+        static_cast<std::uint64_t>(rng.uniform_int(1, 1'000'000'000));
+    const std::string key = random_spool_value(rng);
+    const std::string body = random_spool_value(rng);
+    const std::string line = spool::encode_message(seq, key, body);
+    // Line-safety: whatever the input, one record is one physical line.
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_EQ(line.find('\r'), std::string::npos);
+    const auto record = spool::decode_record(line);
+    const auto* msg = std::get_if<spool::MessageRecord>(&record);
+    ASSERT_NE(msg, nullptr) << "line: " << line;
+    EXPECT_EQ(msg->seq, seq);
+    EXPECT_EQ(msg->routing_key, key) << "line: " << line;
+    EXPECT_EQ(msg->body, body) << "line: " << line;
+  }
+}
+
+TEST_P(SpoolCodecCheck, AckRecordsRoundTrip) {
+  Rng rng{GetParam()};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto seq =
+        static_cast<std::uint64_t>(rng.uniform_int(1, 1'000'000'000));
+    const auto record = spool::decode_record(spool::encode_ack(seq));
+    const auto* ack = std::get_if<spool::AckRecord>(&record);
+    ASSERT_NE(ack, nullptr);
+    EXPECT_EQ(ack->seq, seq);
+  }
+}
+
+TEST_P(SpoolCodecCheck, EncodeFieldMatchesEscapeValueWithoutNewlines) {
+  Rng rng{GetParam()};
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::string value = random_spool_value(rng);
+    // escape_value leaves newlines raw (BP lines never contain them);
+    // the equivalence claim is scoped to newline-free values.
+    std::erase(value, '\n');
+    std::erase(value, '\r');
+    EXPECT_EQ(spool::encode_field(value), stampede::nl::escape_value(value))
+        << "value: " << value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpoolCodecCheck,
+                         ::testing::Values(7u, 77u, 777u));
+
+TEST(SpoolCodec, DirectedEscapeValueEquivalence) {
+  for (const std::string value :
+       {"", "plain", "embedded\"quote", "back\\slash", "two words", "k=v",
+        "tab\there", "\"", "\\", "trailing "}) {
+    EXPECT_EQ(spool::encode_field(value), stampede::nl::escape_value(value))
+        << "value: " << value;
+  }
+}
+
+TEST(SpoolCodec, TornQuotedFieldIsDetected) {
+  const std::string line = spool::encode_message(9, "stampede", "torn body");
+  ASSERT_EQ(line.back(), '"');  // Body has a space, so it was quoted.
+  const auto record = spool::decode_record(line.substr(0, line.size() - 1));
+  EXPECT_TRUE(std::holds_alternative<spool::RecordError>(record));
+}

@@ -331,7 +331,7 @@ TEST(TelemetryPipeline, TraceStampsAreMonotoneThroughTheBus) {
   const auto delivery = broker.basic_get("stampede", "t", 1000);
   const double after = tele::now();
   ASSERT_TRUE(delivery.has_value());
-  const auto& m = delivery->message;
+  const auto& m = delivery->message();
   EXPECT_GE(m.trace_published, before);
   EXPECT_GT(m.trace_published, 0.0);
   EXPECT_LE(m.trace_published, m.trace_enqueued);
