@@ -1,0 +1,211 @@
+// Networked-bus benchmarks (DESIGN.md "Network substrate"):
+// publish→deliver→ack round-trip latency over loopback TCP and
+// sustained throughput with 1 and 4 consumer connections, dumped as
+// BENCH_net_throughput.json, plus frame-codec micro benches.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bus/broker.hpp"
+#include "net/bus_client.hpp"
+#include "net/bus_server.hpp"
+#include "net/frame.hpp"
+
+namespace bus = stampede::bus;
+namespace net = stampede::net;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bus::Message bench_message(int i) {
+  bus::Message message;
+  message.routing_key = "stampede.job_inst.main.end";
+  message.body =
+      "ts=2012-06-16T10:00:00.000001Z event=stampede.job_inst.main.end "
+      "level=Info job_inst.id=" +
+      std::to_string(i) + " status=0 exitcode=0";
+  message.published_at = 1339840800.0 + i;
+  return message;
+}
+
+net::BusClientOptions client_options(int port) {
+  net::BusClientOptions options;
+  options.port = port;
+  return options;
+}
+
+/// Sequential ping round trips through broker+server+client; returns
+/// each publish→deliver latency in seconds (ack sent before the next
+/// publish, so the ack leg overlaps the next round trip).
+std::vector<double> measure_round_trips(int rounds) {
+  bus::Broker broker;
+  net::BusServer server{broker};
+  server.start();
+  net::BusClient client{client_options(server.port())};
+  client.wait_connected(5000);
+  client.declare_queue("ping");
+
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(rounds));
+  for (int i = 0; i < rounds; ++i) {
+    auto message = bench_message(i);
+    message.routing_key = "ping";
+    const auto start = Clock::now();
+    client.publish("", std::move(message));
+    const auto delivery = client.basic_get("ping", "bench", 5000);
+    if (!delivery) break;
+    latencies.push_back(
+        std::chrono::duration<double>(Clock::now() - start).count());
+    client.ack("ping", delivery->delivery_tag);
+  }
+  client.close();
+  server.stop();
+  return latencies;
+}
+
+/// Publishes `total` messages fanned over `consumers` queues, each
+/// drained (get+ack) by its own BusClient connection; returns msgs/s.
+double measure_throughput(int consumers, int total) {
+  bus::Broker broker;
+  net::BusServer server{broker};
+  server.start();
+
+  net::BusClient admin{client_options(server.port())};
+  admin.wait_connected(5000);
+  for (int c = 0; c < consumers; ++c) {
+    admin.declare_queue("q" + std::to_string(c));
+  }
+
+  const int per_consumer = total / consumers;
+  std::atomic<int> done{0};
+  const auto start = Clock::now();
+  std::vector<std::jthread> drains;
+  drains.reserve(static_cast<std::size_t>(consumers));
+  for (int c = 0; c < consumers; ++c) {
+    drains.emplace_back([&, c] {
+      net::BusClient consumer{client_options(server.port())};
+      consumer.wait_connected(5000);
+      const std::string queue = "q" + std::to_string(c);
+      for (int i = 0; i < per_consumer; ++i) {
+        const auto delivery = consumer.basic_get(queue, "bench", 10'000);
+        if (!delivery) break;
+        consumer.ack(queue, delivery->delivery_tag);
+        done.fetch_add(1, std::memory_order_relaxed);
+      }
+      consumer.close();
+    });
+  }
+  for (int i = 0; i < per_consumer * consumers; ++i) {
+    auto message = bench_message(i);
+    message.routing_key = "q" + std::to_string(i % consumers);
+    admin.publish("", std::move(message));
+  }
+  drains.clear();  // Joins every drain thread.
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  admin.close();
+  server.stop();
+  return seconds > 0 ? done.load() / seconds : 0.0;
+}
+
+void emit_net_json() {
+  auto latencies = measure_round_trips(400);
+  std::sort(latencies.begin(), latencies.end());
+  const auto quantile = [&](double q) {
+    if (latencies.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(latencies.size() - 1));
+    return latencies[idx];
+  };
+  double sum = 0;
+  for (const double v : latencies) sum += v;
+  const double mean = latencies.empty()
+                          ? 0.0
+                          : sum / static_cast<double>(latencies.size());
+  const double one = measure_throughput(1, 4000);
+  const double four = measure_throughput(4, 4000);
+
+  std::FILE* out = std::fopen("BENCH_net_throughput.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out,
+               "{\n"
+               "  \"transport\": \"loopback TCP, length-prefixed frames\",\n"
+               "  \"round_trips\": %zu,\n"
+               "  \"publish_to_deliver_seconds\": "
+               "{\"mean\": %.6g, \"p50\": %.6g, \"p99\": %.6g},\n"
+               "  \"throughput_msgs_per_second\": "
+               "{\"consumers_1\": %.0f, \"consumers_4\": %.0f}\n"
+               "}\n",
+               latencies.size(), mean, quantile(0.5), quantile(0.99), one,
+               four);
+  std::fclose(out);
+  std::printf("BENCH_net_throughput.json: rtt mean %.0f us, p99 %.0f us; "
+              "%.0f msg/s (1 consumer), %.0f msg/s (4 consumers)\n",
+              mean * 1e6, quantile(0.99) * 1e6, one, four);
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec micro benches
+
+void BM_FrameEncodePublish(benchmark::State& state) {
+  const auto message = bench_message(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::encode_publish(1, "monitoring", message));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FrameEncodePublish);
+
+void BM_FrameDecodePublish(benchmark::State& state) {
+  const auto bytes = net::encode_publish(1, "monitoring", bench_message(7));
+  for (auto _ : state) {
+    net::Frame frame;
+    std::size_t consumed = 0;
+    benchmark::DoNotOptimize(net::decode_frame(bytes, consumed, frame));
+    std::string exchange;
+    bus::Message message;
+    benchmark::DoNotOptimize(net::parse_publish(frame, &exchange, &message));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FrameDecodePublish);
+
+void BM_NetPublishConsumeAck(benchmark::State& state) {
+  bus::Broker broker;
+  net::BusServer server{broker};
+  server.start();
+  net::BusClient client{client_options(server.port())};
+  client.wait_connected(5000);
+  client.declare_queue("bm");
+  int i = 0;
+  for (auto _ : state) {
+    auto message = bench_message(i++);
+    message.routing_key = "bm";
+    client.publish("", std::move(message));
+    const auto delivery = client.basic_get("bm", "bench", 5000);
+    if (delivery) client.ack("bm", delivery->delivery_tag);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  client.close();
+  server.stop();
+}
+BENCHMARK(BM_NetPublishConsumeAck)->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  emit_net_json();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -8,7 +8,7 @@
 
 #include <string>
 
-#include "bus/broker.hpp"
+#include "bus/ibus.hpp"
 #include "netlogger/formatter.hpp"
 #include "netlogger/record.hpp"
 #include "telemetry/metrics.hpp"
@@ -17,10 +17,12 @@ namespace stampede::bus {
 
 class BpPublisher {
  public:
-  /// Publishes to `exchange` on `broker` (a topic exchange is declared if
-  /// absent). `persistent` marks messages for durable-queue spooling.
-  BpPublisher(Broker& broker, std::string exchange, bool persistent = false)
-      : broker_(&broker),
+  /// Publishes to `exchange` on `bus` (a topic exchange is declared if
+  /// absent) — any IBus transport: the in-process Broker or a
+  /// net::BusClient. `persistent` marks messages for durable-queue
+  /// spooling.
+  BpPublisher(IBus& bus, std::string exchange, bool persistent = false)
+      : broker_(&bus),
         exchange_(std::move(exchange)),
         persistent_(persistent) {
     broker_->declare_exchange(exchange_, ExchangeType::kTopic);
@@ -45,7 +47,7 @@ class BpPublisher {
   }
 
  private:
-  Broker* broker_;
+  IBus* broker_;
   std::string exchange_;
   bool persistent_;
   std::uint64_t published_ = 0;

@@ -176,6 +176,14 @@ void Broker::bind(const std::string& queue, const std::string& exchange,
   if (it == exchanges_.end()) {
     throw BusError("bind: unknown exchange '" + exchange + "'");
   }
+  // Identical bindings are idempotent (AMQP queue.bind semantics) —
+  // producer and consumer processes can both assert the topology
+  // without doubling every delivery.
+  for (const auto& binding : it->second.bindings) {
+    if (binding.queue == queue && binding.pattern.pattern() == binding_key) {
+      return;
+    }
+  }
   it->second.bindings.push_back({queue, TopicPattern{binding_key}});
 }
 

@@ -49,13 +49,12 @@
 #include <thread>
 #include <vector>
 
+#include "bus/ibus.hpp"
 #include "bus/message.hpp"
 #include "bus/queue.hpp"
 #include "bus/topic_matcher.hpp"
 
 namespace stampede::bus {
-
-enum class ExchangeType { kDirect, kFanout, kTopic };
 
 struct BrokerStats {
   std::uint64_t published = 0;
@@ -90,12 +89,12 @@ class Subscription {
   std::unique_ptr<Impl> impl_;
 };
 
-class Broker {
+class Broker : public IBus {
  public:
   /// `spool_dir`: where durable queues keep their spool files; empty
   /// disables persistence entirely.
   explicit Broker(std::string spool_dir = {});
-  ~Broker();
+  ~Broker() override;
 
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
@@ -104,14 +103,15 @@ class Broker {
 
   /// Declares (or re-declares, idempotently) an exchange. Redeclaring
   /// with a different type throws common::BusError.
-  void declare_exchange(const std::string& name, ExchangeType type);
+  void declare_exchange(const std::string& name, ExchangeType type) override;
 
   /// Declares a queue; also binds it to the default ("") direct exchange
   /// under its own name, per AMQP. Recovers spooled messages for durable
   /// queues (replaying only those without a logged ack) and compacts the
   /// spool in passing. Redeclaring with different options throws
   /// common::BusError.
-  void declare_queue(const std::string& name, QueueOptions options = {});
+  void declare_queue(const std::string& name,
+                     QueueOptions options = {}) override;
 
   /// Removes a queue, its bindings, and its spool file. Unknown names
   /// are ignored.
@@ -120,7 +120,7 @@ class Broker {
   /// Binds `queue` to `exchange` with a (possibly wildcarded) key.
   /// Throws common::BusError if either does not exist.
   void bind(const std::string& queue, const std::string& exchange,
-            const std::string& binding_key);
+            const std::string& binding_key) override;
 
   [[nodiscard]] bool has_queue(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> queue_names() const;
@@ -129,7 +129,7 @@ class Broker {
 
   /// Routes a message through `exchange`. Returns the number of queues
   /// that accepted it (0 = unroutable). Never blocks the caller.
-  std::size_t publish(const std::string& exchange, Message message);
+  std::size_t publish(const std::string& exchange, Message message) override;
 
   // -- consume --------------------------------------------------------------
 
@@ -137,11 +137,11 @@ class Broker {
   /// message. nullopt on timeout or unknown queue after shutdown.
   [[nodiscard]] std::optional<Delivery> basic_get(
       const std::string& queue, const std::string& consumer_tag,
-      int timeout_ms = 0);
+      int timeout_ms = 0) override;
 
-  bool ack(const std::string& queue, std::uint64_t delivery_tag);
+  bool ack(const std::string& queue, std::uint64_t delivery_tag) override;
   bool nack(const std::string& queue, std::uint64_t delivery_tag,
-            bool requeue);
+            bool requeue) override;
 
   /// Push-mode consume on a dedicated thread.
   [[nodiscard]] Subscription subscribe(const std::string& queue,
@@ -150,7 +150,8 @@ class Broker {
 
   // -- introspection ----------------------------------------------------------
 
-  [[nodiscard]] QueueStats queue_stats(const std::string& queue) const;
+  [[nodiscard]] QueueStats queue_stats(
+      const std::string& queue) const override;
   [[nodiscard]] BrokerStats stats() const;
 
   /// Wakes all blocked consumers and rejects further publishes; used for

@@ -1,0 +1,67 @@
+#pragma once
+// Transport-agnostic bus surface (DESIGN.md "Network substrate").
+//
+// The AMQP operations Stampede's producers and consumers actually use,
+// abstracted from the transport: bus::Broker implements it in-process,
+// net::BusClient implements it over the TCP wire protocol. BpPublisher,
+// QueuePump and the loaders program against this interface, so the same
+// pipeline runs single-process or distributed across machines without
+// code changes — the paper's deployment shape (§IV-C), where producers
+// on remote worker nodes publish to a central broker and nl_load
+// consumes over the network.
+//
+// Not part of the interface: push-mode subscribe (Subscription owns a
+// broker-side thread; remote consumers get pipelined deliveries through
+// basic_get's prefetch instead), queue deletion and topology listing
+// (administrative, broker-local).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "bus/message.hpp"
+#include "bus/queue.hpp"
+
+namespace stampede::bus {
+
+enum class ExchangeType { kDirect, kFanout, kTopic };
+
+class IBus {
+ public:
+  virtual ~IBus() = default;
+
+  /// Declares (or re-declares, idempotently) an exchange. Redeclaring
+  /// with a different type throws common::BusError.
+  virtual void declare_exchange(const std::string& name,
+                                ExchangeType type) = 0;
+
+  /// Declares a queue (idempotent); redeclaring with different options
+  /// throws common::BusError.
+  virtual void declare_queue(const std::string& name,
+                             QueueOptions options = {}) = 0;
+
+  /// Binds `queue` to `exchange` with a (possibly wildcarded) key.
+  virtual void bind(const std::string& queue, const std::string& exchange,
+                    const std::string& binding_key) = 0;
+
+  /// Routes a message through `exchange`. Returns the number of queues
+  /// that accepted it; a networked implementation may not know the
+  /// routed count and reports 1 for "handed to the transport".
+  virtual std::size_t publish(const std::string& exchange,
+                              Message message) = 0;
+
+  /// Pull-mode get. Blocks up to `timeout_ms` (0 = poll) for a ready
+  /// message; nullopt on timeout.
+  [[nodiscard]] virtual std::optional<Delivery> basic_get(
+      const std::string& queue, const std::string& consumer_tag,
+      int timeout_ms = 0) = 0;
+
+  virtual bool ack(const std::string& queue, std::uint64_t delivery_tag) = 0;
+  virtual bool nack(const std::string& queue, std::uint64_t delivery_tag,
+                    bool requeue) = 0;
+
+  [[nodiscard]] virtual QueueStats queue_stats(
+      const std::string& queue) const = 0;
+};
+
+}  // namespace stampede::bus

@@ -50,6 +50,21 @@ class Delivery {
 
   [[nodiscard]] const Message& message() const noexcept { return *payload_; }
 
+  /// Assembles a delivery outside the broker — for transports
+  /// (net::BusClient) that reconstruct deliveries from wire frames.
+  [[nodiscard]] static Delivery make(std::uint64_t delivery_tag,
+                                     std::string consumer_tag,
+                                     std::string exchange, bool redelivered,
+                                     Message message) {
+    Delivery d;
+    d.delivery_tag = delivery_tag;
+    d.consumer_tag = std::move(consumer_tag);
+    d.exchange = std::move(exchange);
+    d.redelivered = redelivered;
+    d.payload_ = std::make_shared<const Message>(std::move(message));
+    return d;
+  }
+
  private:
   friend class BrokerQueue;
   std::shared_ptr<const Message> payload_;

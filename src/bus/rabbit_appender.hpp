@@ -10,9 +10,8 @@ namespace stampede::bus {
 
 class RabbitAppender final : public nl::EventSink {
  public:
-  RabbitAppender(Broker& broker, std::string exchange,
-                 bool persistent = false)
-      : publisher_(broker, std::move(exchange), persistent) {}
+  RabbitAppender(IBus& bus, std::string exchange, bool persistent = false)
+      : publisher_(bus, std::move(exchange), persistent) {}
 
   void emit(const nl::LogRecord& record) override {
     publisher_.publish(record);

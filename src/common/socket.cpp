@@ -1,0 +1,116 @@
+#include "common/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace stampede::common {
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (host.empty() || host == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("socket: bad IPv4 address '" + host + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void SocketFd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void SocketFd::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+SocketFd listen_tcp(const std::string& host, int port, int backlog,
+                    int* bound_port) {
+  SocketFd fd{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!fd.valid()) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    throw std::runtime_error("bind(" + host + ":" + std::to_string(port) +
+                             ") failed: " + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len);
+  if (bound_port != nullptr) *bound_port = ntohs(addr.sin_port);
+  if (::listen(fd.get(), backlog) < 0) {
+    throw std::runtime_error("listen() failed");
+  }
+  return fd;
+}
+
+SocketFd accept_client(int listen_fd, int timeout_ms) {
+  pollfd pfd{listen_fd, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0) return SocketFd{};
+  return SocketFd{::accept(listen_fd, nullptr, nullptr)};
+}
+
+SocketFd connect_tcp(const std::string& host, int port) {
+  sockaddr_in addr;
+  try {
+    addr = make_addr(host, port);
+  } catch (const std::exception&) {
+    return SocketFd{};
+  }
+  SocketFd fd{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!fd.valid()) return SocketFd{};
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return SocketFd{};
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+RecvStatus recv_some(int fd, void* buf, std::size_t size, int timeout_ms,
+                     std::size_t* received) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready == 0) return RecvStatus::kTimeout;
+  if (ready < 0) return errno == EINTR ? RecvStatus::kTimeout
+                                       : RecvStatus::kError;
+  const ssize_t n = ::recv(fd, buf, size, 0);
+  if (n > 0) {
+    if (received != nullptr) *received = static_cast<std::size_t>(n);
+    return RecvStatus::kData;
+  }
+  if (n == 0) return RecvStatus::kClosed;
+  return errno == EINTR ? RecvStatus::kTimeout : RecvStatus::kError;
+}
+
+}  // namespace stampede::common

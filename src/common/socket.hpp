@@ -1,0 +1,79 @@
+#pragma once
+// Shared raw-socket helpers for the embedded servers (dashboard HTTP,
+// net::BusServer/BusClient). Plain POSIX TCP, loopback-oriented, no
+// external dependencies: RAII fds, bind/listen/accept with poll-based
+// timeouts, and full-buffer read/write loops that handle short
+// transfers and EINTR.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace stampede::common {
+
+/// Move-only RAII file descriptor; closes on destruction.
+class SocketFd {
+ public:
+  SocketFd() = default;
+  explicit SocketFd(int fd) noexcept : fd_(fd) {}
+  ~SocketFd() { reset(); }
+
+  SocketFd(const SocketFd&) = delete;
+  SocketFd& operator=(const SocketFd&) = delete;
+  SocketFd(SocketFd&& other) noexcept : fd_(other.release()) {}
+  SocketFd& operator=(SocketFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Gives up ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes now (idempotent).
+  void reset() noexcept;
+
+  /// shutdown(SHUT_RDWR): unblocks a peer thread parked in poll/recv on
+  /// this fd without racing the close (the fd number stays reserved).
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on `host`:`port` (port 0 = ephemeral) with
+/// SO_REUSEADDR. `bound_port` (may be null) receives the actual port.
+/// Throws std::runtime_error on failure. `host` must be a dotted-quad
+/// IPv4 literal or "localhost".
+[[nodiscard]] SocketFd listen_tcp(const std::string& host, int port,
+                                  int backlog, int* bound_port);
+
+/// Polls the listening fd up to `timeout_ms` and accepts one client.
+/// Invalid SocketFd on timeout or error.
+[[nodiscard]] SocketFd accept_client(int listen_fd, int timeout_ms);
+
+/// Connects to `host`:`port`. Invalid SocketFd on failure.
+[[nodiscard]] SocketFd connect_tcp(const std::string& host, int port);
+
+/// Writes the whole buffer, looping over short sends. False on error
+/// (peer gone).
+bool send_all(int fd, const void* data, std::size_t size);
+
+/// Result of a single timed read.
+enum class RecvStatus { kData, kClosed, kTimeout, kError };
+
+/// Polls up to `timeout_ms` then recv()s once into `buf`. On kData,
+/// `received` holds the byte count (> 0).
+RecvStatus recv_some(int fd, void* buf, std::size_t size, int timeout_ms,
+                     std::size_t* received);
+
+}  // namespace stampede::common

@@ -96,4 +96,60 @@ DartRunResult run_dart_experiment(const DartConfig& config,
   return result;
 }
 
+DartPublishResult run_dart_publish(const DartConfig& config, bus::IBus& bus,
+                                   const DartExperimentOptions& options,
+                                   nl::EventSink* extra_sink) {
+  bus::RabbitAppender appender{bus, "monitoring"};
+  bus.declare_queue("stampede");
+  bus.bind("stampede", "monitoring", "stampede.#");
+
+  nl::TeeSink sink;
+  sink.add(appender);
+  std::unique_ptr<nl::FileSink> file_sink;
+  if (!options.retain_log_path.empty()) {
+    file_sink = std::make_unique<nl::FileSink>(options.retain_log_path);
+    sink.add(*file_sink);
+  }
+  if (extra_sink != nullptr) sink.add(*extra_sink);
+
+  sim::EventLoop loop{options.start_time};
+  common::Rng rng{config.seed};
+  common::UuidGenerator uuids{config.seed};
+  const common::Uuid root_uuid = uuids.next();
+
+  triana::TrianaCloud cloud{loop, rng, sink, uuids, root_uuid,
+                            options.cloud};
+  sim::PsNode localhost{loop, "localhost", 256, 256.0};
+
+  auto root_graph = build_root_workflow(config);
+  triana::StampedeLog::Identity identity;
+  identity.xwf_id = root_uuid;
+  identity.root_xwf_id = root_uuid;
+  identity.dax_label = root_graph->name();
+  triana::StampedeLog log{sink, identity};
+
+  triana::PlanInfo plan;
+  plan.user = "dart";
+  plan.submit_dir = "/home/dart/runs/shs-sweep";
+  triana::SchedulerOptions sched_options;
+  sched_options.site = "local";
+  triana::Scheduler scheduler{loop, rng, localhost, *root_graph,
+                              sched_options};
+  scheduler.set_plan_info(plan);
+  scheduler.add_listener(log);
+  cloud.attach(scheduler, root_uuid);
+
+  DartPublishResult result;
+  result.root_uuid = root_uuid;
+  result.started_at = loop.now();
+  scheduler.start([&result](sim::SimTime end, int status) {
+    result.finished_at = end;
+    result.status = status;
+  });
+  loop.run();
+
+  result.published = appender.publisher().published();
+  return result;
+}
+
 }  // namespace stampede::dart

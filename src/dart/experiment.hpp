@@ -57,4 +57,23 @@ DartRunResult run_dart_experiment(const DartConfig& config,
                                   const DartExperimentOptions& options = {},
                                   nl::EventSink* extra_sink = nullptr);
 
+struct DartPublishResult {
+  common::Uuid root_uuid;
+  int status = 0;          ///< 0 = every bundle succeeded.
+  std::uint64_t published = 0;  ///< Events handed to the bus.
+  double started_at = 0.0;
+  double finished_at = 0.0;
+};
+
+/// Publish-only half of the experiment: runs the simulated deployment
+/// and pushes every event through the Rabbit appender onto `bus` —
+/// which may be a net::BusClient, making this the producer process of a
+/// multi-process deployment (stampede_publish_cli). Declares the
+/// "stampede" queue and its "stampede.#" binding up front so no event
+/// is unroutable even before a consumer attaches. The consumer side is
+/// whoever pumps that queue (nl_load_cli --listen / --connect).
+DartPublishResult run_dart_publish(const DartConfig& config, bus::IBus& bus,
+                                   const DartExperimentOptions& options = {},
+                                   nl::EventSink* extra_sink = nullptr);
+
 }  // namespace stampede::dart

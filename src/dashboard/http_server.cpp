@@ -1,12 +1,7 @@
 #include "dashboard/http_server.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cstring>
+#include <chrono>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "common/string_utils.hpp"
@@ -21,6 +16,11 @@ struct HttpTelemetry {
       telemetry::registry().counter("stampede_http_requests_total");
   telemetry::Counter& errors =
       telemetry::registry().counter("stampede_http_errors_total");
+  telemetry::Counter& rejected_slow = telemetry::registry().counter(
+      telemetry::labeled("stampede_http_rejected_total", "reason", "timeout"));
+  telemetry::Counter& rejected_oversize = telemetry::registry().counter(
+      telemetry::labeled("stampede_http_rejected_total", "reason",
+                         "oversize"));
   telemetry::Histogram& latency = telemetry::registry().histogram(
       "stampede_http_request_latency_seconds");
 };
@@ -38,6 +38,10 @@ std::string status_text(int status) {
       return "Bad Request";
     case 404:
       return "Not Found";
+    case 408:
+      return "Request Timeout";
+    case 431:
+      return "Request Header Fields Too Large";
     case 500:
       return "Internal Server Error";
     default:
@@ -45,38 +49,21 @@ std::string status_text(int status) {
   }
 }
 
-void send_all(int fd, std::string_view data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
-    if (n <= 0) return;
-    sent += static_cast<std::size_t>(n);
-  }
+void send_response(int fd, const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_text(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  (void)common::send_all(fd, out.data(), out.size());
 }
 
 }  // namespace
 
-HttpServer::HttpServer(int port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) throw std::runtime_error("HttpServer: socket() failed");
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    ::close(listen_fd_);
-    throw std::runtime_error("HttpServer: bind() failed");
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 16) < 0) {
-    ::close(listen_fd_);
-    throw std::runtime_error("HttpServer: listen() failed");
-  }
+HttpServer::HttpServer(int port, HttpServerOptions options)
+    : options_(options) {
+  listen_fd_ = common::listen_tcp("127.0.0.1", port, /*backlog=*/16, &port_);
 }
 
 HttpServer::~HttpServer() { stop(); }
@@ -94,14 +81,8 @@ void HttpServer::start() {
   if (running_.exchange(true)) return;
   acceptor_ = std::jthread([this](std::stop_token stop) {
     while (!stop.stop_requested()) {
-      pollfd pfd{listen_fd_, POLLIN, 0};
-      const int ready = ::poll(&pfd, 1, 50);
-      if (ready <= 0) continue;
-      const int client = ::accept(listen_fd_, nullptr, nullptr);
-      if (client >= 0) {
-        serve(client);
-        ::close(client);
-      }
+      auto client = common::accept_client(listen_fd_.get(), 50);
+      if (client.valid()) serve(client.get());
     }
   });
 }
@@ -111,29 +92,56 @@ void HttpServer::stop() {
     acceptor_.request_stop();
     acceptor_.join();
   }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  listen_fd_.reset();
   running_.store(false);
 }
 
 void HttpServer::serve(int client_fd) {
+  auto& tele = http_telemetry();
   // Read until the end of the request headers (we only support GET, so
-  // no body).
+  // no body) — but never wait on a trickling client beyond the deadline
+  // and never buffer past the size cap.
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.read_timeout_ms);
   std::string raw;
   char buf[2048];
+  bool closed_early = false;
   while (raw.find("\r\n\r\n") == std::string::npos) {
-    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    raw.append(buf, static_cast<std::size_t>(n));
-    if (raw.size() > 64 * 1024) break;  // Refuse absurd requests.
+    if (raw.size() > options_.max_request_bytes) {
+      tele.rejected_oversize.inc();
+      tele.errors.inc();
+      send_response(client_fd, HttpResponse{431, "text/plain",
+                                            "request too large"});
+      return;
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) {
+      tele.rejected_slow.inc();
+      tele.errors.inc();
+      send_response(client_fd,
+                    HttpResponse{408, "text/plain", "request timeout"});
+      return;
+    }
+    std::size_t received = 0;
+    const auto status = common::recv_some(
+        client_fd, buf, sizeof(buf),
+        static_cast<int>(std::min<std::int64_t>(remaining.count(), 100)),
+        &received);
+    if (status == common::RecvStatus::kClosed ||
+        status == common::RecvStatus::kError) {
+      closed_early = true;
+      break;
+    }
+    if (status == common::RecvStatus::kData) {
+      raw.append(buf, received);
+    }
   }
-  auto& tele = http_telemetry();
   const double serve_start = telemetry::trace_now();
   tele.requests.inc();
   const auto line_end = raw.find("\r\n");
-  if (line_end == std::string::npos) return;
+  if (closed_early || line_end == std::string::npos) return;
   const auto parts =
       common::split_nonempty(std::string_view{raw}.substr(0, line_end), ' ');
   HttpResponse response;
@@ -151,13 +159,7 @@ void HttpServer::serve(int client_fd) {
     request.path = std::string{target};
     response = dispatch(request);
   }
-  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                    status_text(response.status) + "\r\n";
-  out += "Content-Type: " + response.content_type + "\r\n";
-  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  out += "Connection: close\r\n\r\n";
-  out += response.body;
-  send_all(client_fd, out);
+  send_response(client_fd, response);
   if (response.status >= 400) tele.errors.inc();
   if (serve_start > 0.0) {
     tele.latency.observe(telemetry::now() - serve_start);
@@ -196,27 +198,22 @@ HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
 }
 
 std::string http_get(int port, const std::string& path, int* status_out) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw std::runtime_error("http_get: socket() failed");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(fd);
-    throw std::runtime_error("http_get: connect() failed");
-  }
+  auto fd = common::connect_tcp("127.0.0.1", port);
+  if (!fd.valid()) throw std::runtime_error("http_get: connect() failed");
   const std::string request =
       "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
-  send_all(fd, request);
+  if (!common::send_all(fd.get(), request.data(), request.size())) {
+    throw std::runtime_error("http_get: send() failed");
+  }
   std::string raw;
   char buf[4096];
   while (true) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    raw.append(buf, static_cast<std::size_t>(n));
+    std::size_t received = 0;
+    const auto status =
+        common::recv_some(fd.get(), buf, sizeof(buf), 10000, &received);
+    if (status != common::RecvStatus::kData) break;
+    raw.append(buf, received);
   }
-  ::close(fd);
   const auto header_end = raw.find("\r\n\r\n");
   if (header_end == std::string::npos) {
     throw std::runtime_error("http_get: malformed response");

@@ -2,6 +2,11 @@
 // Minimal embedded HTTP/1.1 server — the substrate for the "very
 // lightweight performance dashboard ... based on an embedded web server"
 // (paper §IV-F; theirs was Python, ours is sockets + a jthread).
+//
+// Hardened against trickle-feed (slowloris-style) clients: a request
+// must arrive whole within `read_timeout_ms` and fit in
+// `max_request_bytes`, else the server answers 408 / 431 and closes.
+// Rejections are counted in stampede_http_rejected_total{reason=...}.
 
 #include <atomic>
 #include <functional>
@@ -9,6 +14,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "common/socket.hpp"
 
 namespace stampede::dash {
 
@@ -37,11 +44,20 @@ struct HttpResponse {
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
+struct HttpServerOptions {
+  /// A connection that has not delivered a complete request header
+  /// block within this window gets 408 Request Timeout.
+  int read_timeout_ms = 5000;
+  /// A request exceeding this size gets 431 Request Header Fields Too
+  /// Large.
+  std::size_t max_request_bytes = 64 * 1024;
+};
+
 class HttpServer {
  public:
   /// Binds 127.0.0.1:`port` (0 = pick an ephemeral port). Throws
   /// std::runtime_error when binding fails.
-  explicit HttpServer(int port = 0);
+  explicit HttpServer(int port = 0, HttpServerOptions options = {});
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -69,7 +85,8 @@ class HttpServer {
   void serve(int client_fd);
   [[nodiscard]] HttpResponse dispatch(const HttpRequest& request) const;
 
-  int listen_fd_ = -1;
+  HttpServerOptions options_;
+  common::SocketFd listen_fd_;
   int port_ = 0;
   std::vector<Route> routes_;
   std::jthread acceptor_;

@@ -68,13 +68,13 @@ NlLoadStats load_file(const std::string& path, ShardedLoader& loader) {
   return load_stream(in, loader);
 }
 
-QueuePump::QueuePump(bus::Broker& broker, std::string queue,
+QueuePump::QueuePump(bus::IBus& bus, std::string queue,
                      StampedeLoader& loader)
-    : broker_(&broker), queue_(std::move(queue)), loader_(&loader) {}
+    : broker_(&bus), queue_(std::move(queue)), loader_(&loader) {}
 
-QueuePump::QueuePump(bus::Broker& broker, std::string queue,
+QueuePump::QueuePump(bus::IBus& bus, std::string queue,
                      ShardedLoader& loader)
-    : broker_(&broker), queue_(std::move(queue)), sharded_(&loader) {}
+    : broker_(&bus), queue_(std::move(queue)), sharded_(&loader) {}
 
 QueuePump::~QueuePump() { stop(); }
 

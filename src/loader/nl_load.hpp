@@ -17,7 +17,7 @@
 #include <string>
 #include <thread>
 
-#include "bus/broker.hpp"
+#include "bus/ibus.hpp"
 #include "loader/sharded_loader.hpp"
 #include "loader/stampede_loader.hpp"
 #include "netlogger/parser.hpp"
@@ -57,13 +57,14 @@ NlLoadStats load_stream(std::istream& in, ShardedLoader& loader);
 /// acks are not held hostage by a partially filled batch.
 class QueuePump {
  public:
-  /// Declares (idempotently) `queue` on the broker and binds it to
-  /// `exchange` with `binding_key` before consuming.
-  QueuePump(bus::Broker& broker, std::string queue, StampedeLoader& loader);
+  /// Consumes `queue` from any IBus — the in-process Broker or a
+  /// net::BusClient reaching a broker in another process; the pump is
+  /// transport-agnostic.
+  QueuePump(bus::IBus& bus, std::string queue, StampedeLoader& loader);
 
   /// Sharded variant: the pump thread is the dispatcher and hands each
   /// message to the loader's per-shard lanes.
-  QueuePump(bus::Broker& broker, std::string queue, ShardedLoader& loader);
+  QueuePump(bus::IBus& bus, std::string queue, ShardedLoader& loader);
 
   ~QueuePump();
   QueuePump(const QueuePump&) = delete;
@@ -85,7 +86,7 @@ class QueuePump {
  private:
   void pump(const std::stop_token& stop);
 
-  bus::Broker* broker_;
+  bus::IBus* broker_;
   std::string queue_;
   StampedeLoader* loader_ = nullptr;
   ShardedLoader* sharded_ = nullptr;  ///< Set instead of loader_ when sharded.

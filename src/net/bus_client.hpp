@@ -1,0 +1,187 @@
+#pragma once
+// net::BusClient — a bus::IBus whose broker lives in another process,
+// reached over the frame protocol in net/frame.hpp.
+//
+// Drop-in for bus::Broker wherever code consumes the IBus surface
+// (BpPublisher, RabbitAppender, loader::QueuePump): declare topology,
+// publish, basic_get, ack/nack, queue_stats — the transport is
+// invisible to the caller.
+//
+// Reconnection: a single IO thread owns the socket. On any connection
+// loss it backs off exponentially (options.reconnect_*), reconnects,
+// re-runs the versioned handshake, replays every exchange/queue/binding
+// this client ever declared, and re-issues CONSUME for every queue with
+// an active pull loop — callers just see basic_get stall until the
+// stream resumes.
+//
+// Delivery tags and restarts: a restarted broker numbers deliveries
+// from 1 again, so a tag from before the reconnect could alias a fresh
+// message. Tags handed to callers are therefore epoch-stamped —
+// local_tag = (connection_epoch << 48) | wire_tag — and an ack/nack
+// whose epoch is not current is dropped (counted in
+// stampede_net_stale_acks_total). The broker nacked those deliveries
+// when the old connection died, so it redelivers them with
+// redelivered=true and the loader's replay dedup absorbs the duplicate
+// — at-least-once end to end (DESIGN.md "Delivery guarantees").
+//
+// Flow control: deliveries pushed by the server land in a bounded
+// per-queue prefetch buffer. When a consumer stops draining it, the IO
+// thread blocks on the push, stops reading the socket, the kernel
+// receive window closes, and backpressure propagates to the server's
+// bounded outbound queue and from there to the broker.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bus/ibus.hpp"
+#include "bus/message.hpp"
+#include "bus/queue.hpp"
+#include "common/concurrent_queue.hpp"
+#include "common/socket.hpp"
+#include "net/frame.hpp"
+
+namespace stampede::net {
+
+struct BusClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Exponential backoff between reconnect attempts.
+  int reconnect_initial_ms = 50;
+  int reconnect_max_ms = 2000;
+  /// How long a request/reply op (declare, bind, stats) waits for its
+  /// reply before retrying on the next connection.
+  int request_timeout_ms = 5000;
+  /// Deliveries buffered per consumed queue before the IO thread stops
+  /// reading the socket (the client half of the backpressure chain).
+  std::size_t prefetch = 64;
+  /// Heartbeat cadence when nothing else is sent; keeps the server's
+  /// idle timeout at bay.
+  int heartbeat_interval_ms = 1000;
+};
+
+class BusClient final : public bus::IBus {
+ public:
+  /// Starts the IO thread immediately; connection is established (and
+  /// re-established) in the background. Use wait_connected() to block
+  /// until the first handshake completes.
+  explicit BusClient(BusClientOptions options);
+  ~BusClient() override;
+
+  BusClient(const BusClient&) = delete;
+  BusClient& operator=(const BusClient&) = delete;
+
+  /// Blocks until connected or the timeout elapses. Returns connected.
+  bool wait_connected(int timeout_ms);
+  [[nodiscard]] bool connected() const noexcept {
+    return connected_.load(std::memory_order_acquire);
+  }
+  /// Bumps on every successful handshake; 1 after the first connect.
+  [[nodiscard]] std::uint64_t connection_epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  // -- bus::IBus ------------------------------------------------------------
+
+  void declare_exchange(const std::string& name,
+                        bus::ExchangeType type) override;
+  void declare_queue(const std::string& name,
+                     bus::QueueOptions options = {}) override;
+  void bind(const std::string& queue, const std::string& exchange,
+            const std::string& binding_key) override;
+
+  /// Hands the message to the transport (blocking while disconnected).
+  /// Returns 1 once written to the socket — routing happens broker-side
+  /// and, like AMQP basic.publish, is not confirmed per message.
+  std::size_t publish(const std::string& exchange,
+                      bus::Message message) override;
+
+  /// First call on a queue starts a server-push CONSUME; this and later
+  /// calls pop from the local prefetch buffer.
+  [[nodiscard]] std::optional<bus::Delivery> basic_get(
+      const std::string& queue, const std::string& consumer_tag,
+      int timeout_ms = 0) override;
+
+  bool ack(const std::string& queue, std::uint64_t delivery_tag) override;
+  bool nack(const std::string& queue, std::uint64_t delivery_tag,
+            bool requeue) override;
+
+  [[nodiscard]] bus::QueueStats queue_stats(
+      const std::string& queue) const override;
+
+  /// Stops the IO thread and fails all blocked callers. Idempotent; the
+  /// destructor calls it.
+  void close();
+
+ private:
+  struct PendingReply {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::optional<Frame> reply;
+    bool failed = false;  ///< Connection died before the reply arrived.
+  };
+  using Buffer = common::ConcurrentQueue<WireDelivery>;
+
+  void io_loop(const std::stop_token& stop);
+  /// Connect + handshake + topology/consume replay. Returns the live
+  /// socket (leftover inbound bytes in `carry`), or invalid on failure.
+  common::SocketFd establish(const std::stop_token& stop, std::string& carry);
+  void read_stream(common::SocketFd& fd, std::string& carry,
+                   const std::stop_token& stop);
+  void dispatch(const Frame& frame);
+  void fail_pending();
+  void mark_disconnected();
+
+  /// Sends raw bytes on the current socket (write-mutex serialized).
+  /// False when disconnected or the send fails.
+  bool send_now(const std::string& bytes);
+  /// Blocks until connected, then sends; retries across reconnects.
+  /// Throws common::BusError once the client is closed.
+  void send_blocking(const std::string& bytes);
+  /// send + wait for the reply on `channel`; retries the whole exchange
+  /// on connection loss. Throws common::BusError on a kError reply or
+  /// when closed.
+  Frame request(std::uint32_t channel, const std::string& bytes);
+  [[nodiscard]] std::uint32_t next_channel() const {
+    return channel_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  std::shared_ptr<Buffer> buffer_for(const std::string& queue);
+
+  BusClientOptions options_;
+  std::jthread io_;
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<std::uint64_t> epoch_{0};
+  mutable std::mutex state_mutex_;        ///< Guards the cv + maps below.
+  std::condition_variable state_cv_;      ///< Connected-state changes.
+  std::map<std::uint32_t, std::shared_ptr<PendingReply>> pending_;
+  std::map<std::string, std::shared_ptr<Buffer>> buffers_;
+
+  // Write path: the live fd, serialized against concurrent senders
+  // (callers + the IO thread's heartbeats).
+  mutable std::mutex write_mutex_;
+  int write_fd_ = -1;  ///< -1 while disconnected.
+
+  mutable std::atomic<std::uint32_t> channel_seq_{0};
+
+  // Topology replayed after every reconnect, in declaration order.
+  struct TopologyOp {
+    enum class Kind : std::uint8_t { kExchange, kQueue, kBind } kind;
+    std::string a, b, c;
+    bus::ExchangeType exchange_type = bus::ExchangeType::kDirect;
+    bus::QueueOptions queue_options;
+  };
+  std::mutex topology_mutex_;
+  std::vector<TopologyOp> topology_;
+  std::vector<std::string> consumed_;  ///< Queues with an active CONSUME.
+};
+
+}  // namespace stampede::net

@@ -1,0 +1,438 @@
+#include "net/bus_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <utility>
+
+#include "common/concurrent_queue.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace stampede::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ServerTelemetry {
+  telemetry::Gauge& active =
+      telemetry::registry().gauge("stampede_net_connections_active");
+  telemetry::Counter& total =
+      telemetry::registry().counter("stampede_net_connections_total");
+  telemetry::Counter& bytes_in =
+      telemetry::registry().counter("stampede_net_bytes_in_total");
+  telemetry::Counter& bytes_out =
+      telemetry::registry().counter("stampede_net_bytes_out_total");
+  telemetry::Counter& heartbeats =
+      telemetry::registry().counter("stampede_net_heartbeats_sent_total");
+  telemetry::Counter& idle_drops =
+      telemetry::registry().counter("stampede_net_idle_drops_total");
+  telemetry::Counter& disconnect_nacked = telemetry::registry().counter(
+      "stampede_net_disconnect_nacked_total");
+  telemetry::Counter& protocol_errors =
+      telemetry::registry().counter("stampede_net_protocol_errors_total");
+};
+
+ServerTelemetry& server_telemetry() {
+  static ServerTelemetry instance;
+  return instance;
+}
+
+/// Longest single broker wait a GET is served with; the reader loop
+/// slices longer client timeouts so stop() stays responsive.
+constexpr int kGetSliceMs = 50;
+
+}  // namespace
+
+struct BusServer::Connection {
+  explicit Connection(common::SocketFd socket, std::uint64_t id,
+                      std::size_t outbound_capacity)
+      : fd(std::move(socket)),
+        tag("net-" + std::to_string(id)),
+        outbound(outbound_capacity) {}
+
+  common::SocketFd fd;
+  std::string tag;  ///< Broker consumer tag for everything on this conn.
+  common::ConcurrentQueue<std::string> outbound;  ///< Encoded frames.
+  std::jthread writer;
+  std::vector<std::jthread> pumps;
+  bool hello_done = false;  ///< Reader-thread-only before handshake.
+  std::atomic<std::int64_t> last_inbound_ms{0};
+
+  // Deliveries pushed to this client and not yet acked/nacked by it;
+  // nack-requeued en masse when the connection dies.
+  std::mutex outstanding_mutex;
+  std::set<std::pair<std::string, std::uint64_t>> outstanding;
+  std::set<std::string> consuming;  ///< Queues with a running pump.
+
+  void note_inbound() {
+    last_inbound_ms.store(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now().time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+};
+
+BusServer::BusServer(bus::Broker& broker, BusServerOptions options)
+    : broker_(&broker), options_(std::move(options)) {
+  listen_fd_ =
+      common::listen_tcp(options_.host, options_.port, /*backlog=*/64, &port_);
+}
+
+BusServer::~BusServer() { stop(); }
+
+void BusServer::start() {
+  if (running_.exchange(true)) return;
+  acceptor_ =
+      std::jthread([this](std::stop_token stop) { accept_loop(stop); });
+}
+
+void BusServer::stop() {
+  if (acceptor_.joinable()) {
+    acceptor_.request_stop();
+    acceptor_.join();
+  }
+  // Unblock every reader, then join them (teardown runs on the reader
+  // threads themselves as they unwind).
+  std::vector<ReaderSlot> readers;
+  {
+    const std::scoped_lock lock{conns_mutex_};
+    for (const auto& conn : conns_) conn->fd.shutdown_both();
+    readers = std::move(readers_);
+    readers_.clear();
+  }
+  for (auto& slot : readers) {
+    slot.thread.request_stop();
+    if (slot.thread.joinable()) slot.thread.join();
+  }
+  listen_fd_.reset();
+  running_.store(false);
+}
+
+std::size_t BusServer::active_connections() const {
+  const std::scoped_lock lock{conns_mutex_};
+  return conns_.size();
+}
+
+void BusServer::accept_loop(const std::stop_token& stop) {
+  while (!stop.stop_requested()) {
+    auto client = common::accept_client(listen_fd_.get(), 50);
+    // Reap readers of connections that already finished.
+    {
+      const std::scoped_lock lock{conns_mutex_};
+      std::erase_if(readers_, [](const ReaderSlot& slot) {
+        return slot.done->load(std::memory_order_acquire);
+      });
+    }
+    if (!client.valid()) continue;
+    auto conn = std::make_shared<Connection>(
+        std::move(client), conn_seq_.fetch_add(1) + 1,
+        options_.outbound_capacity);
+    conn->note_inbound();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    auto& tele = server_telemetry();
+    tele.total.inc();
+    const std::scoped_lock lock{conns_mutex_};
+    conns_.push_back(conn);
+    tele.active.set(static_cast<std::int64_t>(conns_.size()));
+    readers_.push_back(
+        {std::jthread([this, conn, done](std::stop_token reader_stop) {
+           run_connection(conn, reader_stop);
+           done->store(true, std::memory_order_release);
+         }),
+         done});
+  }
+}
+
+void BusServer::run_connection(const std::shared_ptr<Connection>& conn,
+                               const std::stop_token& stop) {
+  auto& tele = server_telemetry();
+  // Writer: single drain point for the bounded outbound queue; sends a
+  // heartbeat whenever nothing else went out for a full interval.
+  conn->writer = std::jthread([this, conn, &tele](std::stop_token wstop) {
+    while (!wstop.stop_requested()) {
+      auto frame = conn->outbound.pop_for(
+          std::chrono::milliseconds(options_.heartbeat_interval_ms));
+      std::string bytes;
+      if (frame) {
+        bytes = std::move(*frame);
+      } else {
+        if (conn->outbound.closed()) break;
+        if (wstop.stop_requested()) break;
+        bytes = encode_heartbeat();
+        tele.heartbeats.inc();
+      }
+      if (!common::send_all(conn->fd.get(), bytes.data(), bytes.size())) {
+        // Peer gone: unblock the reader so the connection unwinds.
+        conn->fd.shutdown_both();
+        break;
+      }
+      tele.bytes_out.inc(bytes.size());
+    }
+  });
+
+  std::string buffer;
+  char chunk[16 * 1024];
+  bool alive = true;
+  while (alive && !stop.stop_requested()) {
+    std::size_t received = 0;
+    const auto status =
+        common::recv_some(conn->fd.get(), chunk, sizeof(chunk), 100,
+                          &received);
+    if (status == common::RecvStatus::kClosed ||
+        status == common::RecvStatus::kError) {
+      break;
+    }
+    if (status == common::RecvStatus::kTimeout) {
+      if (options_.idle_timeout_ms > 0) {
+        const auto now_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now().time_since_epoch())
+                .count();
+        if (now_ms - conn->last_inbound_ms.load(std::memory_order_relaxed) >
+            options_.idle_timeout_ms) {
+          tele.idle_drops.inc();
+          break;
+        }
+      }
+      continue;
+    }
+    tele.bytes_in.inc(received);
+    conn->note_inbound();
+    buffer.append(chunk, received);
+    while (alive) {
+      Frame frame;
+      std::size_t consumed = 0;
+      const auto decode = decode_frame(buffer, consumed, frame);
+      if (decode == DecodeStatus::kNeedMore) break;
+      if (decode == DecodeStatus::kError) {
+        tele.protocol_errors.inc();
+        alive = false;
+        break;
+      }
+      buffer.erase(0, consumed);
+      alive = handle_frame(conn, frame, stop);
+    }
+  }
+  teardown(*conn);
+  {
+    const std::scoped_lock lock{conns_mutex_};
+    std::erase(conns_, conn);
+    tele.active.set(static_cast<std::int64_t>(conns_.size()));
+  }
+}
+
+bool BusServer::handle_frame(const std::shared_ptr<Connection>& conn,
+                             const Frame& frame,
+                             const std::stop_token& stop) {
+  auto& tele = server_telemetry();
+  if (!conn->hello_done) {
+    std::uint16_t version = 0;
+    if (frame.type != FrameType::kHello || !parse_hello(frame, &version)) {
+      tele.protocol_errors.inc();
+      conn->outbound.push(encode_error(frame.channel, "expected hello"));
+      return false;
+    }
+    if (version != kProtocolVersion) {
+      conn->outbound.push(encode_error(
+          frame.channel, "protocol version mismatch: server " +
+                             std::to_string(kProtocolVersion) + ", client " +
+                             std::to_string(version)));
+      return false;
+    }
+    conn->hello_done = true;
+    conn->outbound.push(encode_hello_ok(frame.channel));
+    return true;
+  }
+
+  // Request/reply ops answer on the request's channel; broker errors
+  // travel back as kError instead of killing the connection.
+  const auto reply_guarded = [&](auto&& operation) {
+    try {
+      operation();
+      conn->outbound.push(encode_ok(frame.channel));
+    } catch (const std::exception& e) {
+      conn->outbound.push(encode_error(frame.channel, e.what()));
+    }
+    return true;
+  };
+
+  switch (frame.type) {
+    case FrameType::kHeartbeat:
+      return true;  // note_inbound already refreshed the idle clock.
+
+    case FrameType::kDeclareExchange: {
+      std::string name;
+      bus::ExchangeType type{};
+      if (!parse_declare_exchange(frame, &name, &type)) break;
+      return reply_guarded([&] { broker_->declare_exchange(name, type); });
+    }
+
+    case FrameType::kDeclareQueue: {
+      std::string name;
+      bus::QueueOptions options;
+      if (!parse_declare_queue(frame, &name, &options)) break;
+      return reply_guarded([&] { broker_->declare_queue(name, options); });
+    }
+
+    case FrameType::kBind: {
+      std::string queue, exchange, key;
+      if (!parse_bind(frame, &queue, &exchange, &key)) break;
+      return reply_guarded([&] { broker_->bind(queue, exchange, key); });
+    }
+
+    case FrameType::kPublish: {
+      std::string exchange;
+      bus::Message message;
+      if (!parse_publish(frame, &exchange, &message)) break;
+      try {
+        broker_->publish(exchange, std::move(message));
+      } catch (const std::exception& e) {
+        // Fire-and-forget op: report asynchronously, keep the session.
+        conn->outbound.push(encode_error(frame.channel, e.what()));
+      }
+      return true;
+    }
+
+    case FrameType::kConsume: {
+      std::string queue;
+      if (!parse_consume(frame, &queue)) break;
+      if (!broker_->has_queue(queue)) {
+        conn->outbound.push(
+            encode_error(frame.channel, "consume: unknown queue '" + queue +
+                                            "'"));
+        return true;
+      }
+      bool fresh = false;
+      {
+        const std::scoped_lock lock{conn->outstanding_mutex};
+        fresh = conn->consuming.insert(queue).second;
+      }
+      if (fresh) start_consumer_pump(conn, queue);
+      conn->outbound.push(encode_ok(frame.channel));
+      return true;
+    }
+
+    case FrameType::kGet: {
+      std::string queue;
+      std::uint32_t timeout_ms = 0;
+      if (!parse_get(frame, &queue, &timeout_ms)) break;
+      const auto deadline =
+          Clock::now() + std::chrono::milliseconds(timeout_ms);
+      std::optional<bus::Delivery> delivery;
+      do {
+        const int slice =
+            std::min<int>(kGetSliceMs, static_cast<int>(timeout_ms));
+        delivery = broker_->basic_get(queue, conn->tag, slice);
+      } while (!delivery && Clock::now() < deadline &&
+               !stop.stop_requested());
+      if (!delivery) {
+        conn->outbound.push(encode_empty(frame.channel));
+        return true;
+      }
+      {
+        const std::scoped_lock lock{conn->outstanding_mutex};
+        conn->outstanding.emplace(queue, delivery->delivery_tag);
+      }
+      conn->outbound.push(encode_deliver(frame.channel, queue, *delivery));
+      return true;
+    }
+
+    case FrameType::kAck: {
+      std::string queue;
+      std::uint64_t tag = 0;
+      if (!parse_ack(frame, &queue, &tag)) break;
+      {
+        const std::scoped_lock lock{conn->outstanding_mutex};
+        conn->outstanding.erase({queue, tag});
+      }
+      broker_->ack(queue, tag);
+      return true;
+    }
+
+    case FrameType::kNack: {
+      std::string queue;
+      std::uint64_t tag = 0;
+      bool requeue = false;
+      if (!parse_nack(frame, &queue, &tag, &requeue)) break;
+      {
+        const std::scoped_lock lock{conn->outstanding_mutex};
+        conn->outstanding.erase({queue, tag});
+      }
+      broker_->nack(queue, tag, requeue);
+      return true;
+    }
+
+    case FrameType::kQueueStats: {
+      std::string queue;
+      if (!parse_queue_stats(frame, &queue)) break;
+      try {
+        conn->outbound.push(
+            encode_queue_stats_ok(frame.channel, broker_->queue_stats(queue)));
+      } catch (const std::exception& e) {
+        conn->outbound.push(encode_error(frame.channel, e.what()));
+      }
+      return true;
+    }
+
+    default:
+      break;  // Server-to-client-only or malformed frame.
+  }
+  tele.protocol_errors.inc();
+  conn->outbound.push(encode_error(
+      frame.channel, "malformed " + std::string{frame_type_name(frame.type)} +
+                         " frame"));
+  return false;
+}
+
+void BusServer::start_consumer_pump(const std::shared_ptr<Connection>& conn,
+                                    const std::string& queue) {
+  conn->pumps.emplace_back([this, conn, queue](std::stop_token pstop) {
+    while (!pstop.stop_requested()) {
+      auto delivery = broker_->basic_get(queue, conn->tag, 50);
+      if (!delivery) continue;
+      {
+        const std::scoped_lock lock{conn->outstanding_mutex};
+        conn->outstanding.emplace(queue, delivery->delivery_tag);
+      }
+      // Blocking push: a slow client stalls this pump (bounded memory);
+      // returns false only when the connection is unwinding, in which
+      // case teardown nacks the delivery we just registered.
+      if (!conn->outbound.push(encode_deliver(0, queue, *delivery))) break;
+    }
+  });
+}
+
+void BusServer::teardown(Connection& conn) {
+  for (auto& pump : conn.pumps) pump.request_stop();
+  // Close before joining: a pump parked in the bounded push only wakes
+  // (and sees false) once the queue closes.
+  conn.outbound.close();
+  for (auto& pump : conn.pumps) {
+    if (pump.joinable()) pump.join();
+  }
+  conn.pumps.clear();
+  if (conn.writer.joinable()) {
+    conn.writer.request_stop();
+    conn.writer.join();
+  }
+  // Everything delivered to this client and never resolved goes back to
+  // the broker as a failed delivery — redelivery counting and the
+  // dead-letter policy apply exactly as for an in-process consumer.
+  std::set<std::pair<std::string, std::uint64_t>> outstanding;
+  {
+    const std::scoped_lock lock{conn.outstanding_mutex};
+    outstanding.swap(conn.outstanding);
+  }
+  for (const auto& [queue, tag] : outstanding) {
+    broker_->nack(queue, tag, /*requeue=*/true);
+    server_telemetry().disconnect_nacked.inc();
+  }
+  // Shutdown only — stop() may still hold a shared_ptr and call
+  // shutdown_both() concurrently, so the close itself waits for the
+  // Connection destructor (after the last reference drops).
+  conn.fd.shutdown_both();
+}
+
+}  // namespace stampede::net

@@ -1,0 +1,100 @@
+#pragma once
+// net::BusServer — puts a bus::Broker on the TCP wire (DESIGN.md
+// "Network substrate"; the RabbitMQ-broker-on-the-network role of
+// paper §IV-C, Fig. 1).
+//
+// Thread-per-connection like dashboard::HttpServer, but connections are
+// long-lived: each one runs a reader thread (frame dispatch), a writer
+// thread draining a BOUNDED outbound queue, and one consumer-pump
+// thread per CONSUME'd queue that pulls deliveries off the broker and
+// pushes them to the client.
+//
+// Backpressure: the outbound queue is bounded and the pump's push
+// blocks when it is full, so a slow consumer stalls its own pump — the
+// broker keeps the messages, the client's TCP window fills, and memory
+// stays bounded; nothing is dropped.
+//
+// Failure: when a connection dies (EOF, send error, idle past the
+// heartbeat timeout) every delivery handed to it and not yet acked is
+// nack-requeued, so the broker's existing redelivery / dead-letter
+// machinery takes over exactly as if an in-process consumer had
+// crashed.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bus/broker.hpp"
+#include "common/socket.hpp"
+#include "net/frame.hpp"
+
+namespace stampede::net {
+
+struct BusServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; read back with port().
+  /// Encoded frames buffered per connection before the consumer pumps
+  /// block (the backpressure bound).
+  std::size_t outbound_capacity = 256;
+  /// A heartbeat frame is sent when the outbound side is idle this long.
+  int heartbeat_interval_ms = 5000;
+  /// A peer with no inbound traffic (not even heartbeats) for this long
+  /// is dropped and its in-flight deliveries nacked. 0 = never.
+  int idle_timeout_ms = 30000;
+};
+
+class BusServer {
+ public:
+  /// Binds immediately (throws std::runtime_error on failure); serving
+  /// starts with start().
+  BusServer(bus::Broker& broker, BusServerOptions options = {});
+  ~BusServer();
+
+  BusServer(const BusServer&) = delete;
+  BusServer& operator=(const BusServer&) = delete;
+
+  void start();
+  /// Drops every connection (nacking in-flight deliveries) and joins
+  /// all threads. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] int port() const noexcept { return port_; }
+  [[nodiscard]] std::size_t active_connections() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop(const std::stop_token& stop);
+  void run_connection(const std::shared_ptr<Connection>& conn,
+                      const std::stop_token& stop);
+  /// Dispatches one inbound frame. False = protocol violation; drop the
+  /// connection.
+  bool handle_frame(const std::shared_ptr<Connection>& conn,
+                    const Frame& frame, const std::stop_token& stop);
+  void start_consumer_pump(const std::shared_ptr<Connection>& conn,
+                           const std::string& queue);
+  /// Joins the connection's pumps/writer and nacks its in-flight
+  /// deliveries back onto the broker.
+  void teardown(Connection& conn);
+
+  bus::Broker* broker_;
+  BusServerOptions options_;
+  common::SocketFd listen_fd_;
+  int port_ = 0;
+  std::jthread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> conn_seq_{0};
+
+  struct ReaderSlot {
+    std::jthread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  mutable std::mutex conns_mutex_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<ReaderSlot> readers_;
+};
+
+}  // namespace stampede::net

@@ -1,0 +1,479 @@
+#include "net/frame.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "telemetry/metrics.hpp"
+
+namespace stampede::net {
+
+namespace {
+
+/// Codec-level instruments, resolved once. Frame counters are per type
+/// (17 slots), matching the exposition series
+/// stampede_net_frames_total{type="..."}.
+struct FrameTelemetry {
+  telemetry::Histogram& encode_latency = telemetry::registry().histogram(
+      "stampede_net_frame_encode_seconds", {1e-8, 4.0, 16});
+  telemetry::Histogram& decode_latency = telemetry::registry().histogram(
+      "stampede_net_frame_decode_seconds", {1e-8, 4.0, 16});
+  telemetry::Counter* by_type[18] = {};
+
+  FrameTelemetry() {
+    for (int t = 1; t <= 17; ++t) {
+      by_type[t] = &telemetry::registry().counter(telemetry::labeled(
+          "stampede_net_frames_total", "type",
+          frame_type_name(static_cast<FrameType>(t))));
+    }
+  }
+};
+
+FrameTelemetry& frame_telemetry() {
+  static FrameTelemetry instance;
+  return instance;
+}
+
+void count_frame(FrameType type) {
+  const auto t = static_cast<std::uint8_t>(type);
+  if (t >= 1 && t <= 17) frame_telemetry().by_type[t]->inc();
+}
+
+}  // namespace
+
+std::string_view frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloOk: return "hello_ok";
+    case FrameType::kOk: return "ok";
+    case FrameType::kError: return "error";
+    case FrameType::kDeclareExchange: return "declare_exchange";
+    case FrameType::kDeclareQueue: return "declare_queue";
+    case FrameType::kBind: return "bind";
+    case FrameType::kPublish: return "publish";
+    case FrameType::kConsume: return "consume";
+    case FrameType::kGet: return "get";
+    case FrameType::kDeliver: return "deliver";
+    case FrameType::kEmpty: return "empty";
+    case FrameType::kAck: return "ack";
+    case FrameType::kNack: return "nack";
+    case FrameType::kQueueStats: return "queue_stats";
+    case FrameType::kQueueStatsOk: return "queue_stats_ok";
+    case FrameType::kHeartbeat: return "heartbeat";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  put_u8(out, static_cast<std::uint8_t>(v >> 8));
+  put_u8(out, static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::string& out, std::string_view v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  out.append(v);
+}
+
+bool PayloadReader::take(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t PayloadReader::u8() {
+  if (!take(1)) return 0;
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint16_t PayloadReader::u16() {
+  const auto hi = u8();
+  const auto lo = u8();
+  return static_cast<std::uint16_t>((hi << 8) | lo);
+}
+
+std::uint32_t PayloadReader::u32() {
+  const auto hi = u16();
+  const auto lo = u16();
+  return (static_cast<std::uint32_t>(hi) << 16) | lo;
+}
+
+std::uint64_t PayloadReader::u64() {
+  const auto hi = u32();
+  const auto lo = u32();
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+double PayloadReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string PayloadReader::str() {
+  const std::uint32_t len = u32();
+  if (!take(len)) return {};
+  std::string value{data_.substr(pos_, len)};
+  pos_ += len;
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+
+std::string encode_frame(const Frame& frame) {
+  const double start = telemetry::trace_now();
+  std::string out;
+  out.reserve(4 + 1 + 4 + frame.payload.size());
+  put_u32(out, static_cast<std::uint32_t>(1 + 4 + frame.payload.size()));
+  put_u8(out, static_cast<std::uint8_t>(frame.type));
+  put_u32(out, frame.channel);
+  out.append(frame.payload);
+  count_frame(frame.type);
+  if (start > 0.0) {
+    frame_telemetry().encode_latency.observe(telemetry::now() - start);
+  }
+  return out;
+}
+
+DecodeStatus decode_frame(std::string_view buffer, std::size_t& consumed,
+                          Frame& out, std::string* error) {
+  consumed = 0;
+  if (buffer.size() < 4) return DecodeStatus::kNeedMore;
+  PayloadReader head{buffer};
+  const std::uint32_t length = head.u32();
+  if (length < 5 || length > kMaxFrameBytes) {
+    if (error != nullptr) {
+      *error = "frame length " + std::to_string(length) + " out of bounds";
+    }
+    return DecodeStatus::kError;
+  }
+  if (buffer.size() < 4u + length) return DecodeStatus::kNeedMore;
+  const double start = telemetry::trace_now();
+  const std::uint8_t type = head.u8();
+  if (type < 1 || type > 17) {
+    if (error != nullptr) {
+      *error = "unknown frame type " + std::to_string(type);
+    }
+    return DecodeStatus::kError;
+  }
+  out.type = static_cast<FrameType>(type);
+  out.channel = head.u32();
+  out.payload.assign(buffer.substr(9, length - 5));
+  consumed = 4u + length;
+  if (start > 0.0) {
+    frame_telemetry().decode_latency.observe(telemetry::now() - start);
+  }
+  return DecodeStatus::kFrame;
+}
+
+// ---------------------------------------------------------------------------
+// Message codec
+
+void encode_message(std::string& out, const bus::Message& message) {
+  put_string(out, message.routing_key);
+  put_string(out, message.body);
+  put_u32(out, static_cast<std::uint32_t>(message.headers.size()));
+  for (const auto& [key, value] : message.headers) {
+    put_string(out, key);
+    put_string(out, value);
+  }
+  put_f64(out, message.published_at);
+  put_u8(out, message.persistent ? 1 : 0);
+  put_u32(out, message.redeliveries);
+}
+
+bus::Message decode_message(PayloadReader& reader) {
+  bus::Message message;
+  message.routing_key = reader.str();
+  message.body = reader.str();
+  const std::uint32_t headers = reader.u32();
+  for (std::uint32_t i = 0; i < headers && reader.ok(); ++i) {
+    std::string key = reader.str();
+    message.headers[std::move(key)] = reader.str();
+  }
+  message.published_at = reader.f64();
+  message.persistent = reader.u8() != 0;
+  message.redeliveries = reader.u32();
+  return message;
+}
+
+// ---------------------------------------------------------------------------
+// Per-type builders/parsers
+
+namespace {
+
+std::string finish(FrameType type, std::uint32_t channel,
+                   std::string payload) {
+  return encode_frame(Frame{type, channel, std::move(payload)});
+}
+
+}  // namespace
+
+std::string encode_hello(std::uint32_t channel) {
+  std::string p;
+  p.append(kMagic);
+  put_u16(p, kProtocolVersion);
+  return finish(FrameType::kHello, channel, std::move(p));
+}
+
+bool parse_hello(const Frame& frame, std::uint16_t* version) {
+  if (frame.payload.size() != kMagic.size() + 2 ||
+      std::string_view{frame.payload}.substr(0, kMagic.size()) != kMagic) {
+    return false;
+  }
+  PayloadReader r{std::string_view{frame.payload}.substr(kMagic.size())};
+  *version = r.u16();
+  return r.complete();
+}
+
+std::string encode_hello_ok(std::uint32_t channel) {
+  std::string p;
+  put_u16(p, kProtocolVersion);
+  return finish(FrameType::kHelloOk, channel, std::move(p));
+}
+
+std::string encode_ok(std::uint32_t channel) {
+  return finish(FrameType::kOk, channel, {});
+}
+
+std::string encode_error(std::uint32_t channel, std::string_view reason) {
+  std::string p;
+  put_string(p, reason);
+  return finish(FrameType::kError, channel, std::move(p));
+}
+
+std::string encode_empty(std::uint32_t channel) {
+  return finish(FrameType::kEmpty, channel, {});
+}
+
+std::string encode_heartbeat() {
+  return finish(FrameType::kHeartbeat, 0, {});
+}
+
+std::string encode_declare_exchange(std::uint32_t channel,
+                                    std::string_view name,
+                                    bus::ExchangeType type) {
+  std::string p;
+  put_string(p, name);
+  put_u8(p, static_cast<std::uint8_t>(type));
+  return finish(FrameType::kDeclareExchange, channel, std::move(p));
+}
+
+bool parse_declare_exchange(const Frame& frame, std::string* name,
+                            bus::ExchangeType* type) {
+  PayloadReader r{frame.payload};
+  *name = r.str();
+  const std::uint8_t t = r.u8();
+  if (!r.complete() || t > 2) return false;
+  *type = static_cast<bus::ExchangeType>(t);
+  return true;
+}
+
+std::string encode_declare_queue(std::uint32_t channel, std::string_view name,
+                                 const bus::QueueOptions& options) {
+  std::string p;
+  put_string(p, name);
+  put_u8(p, static_cast<std::uint8_t>((options.durable ? 1 : 0) |
+                                      (options.auto_delete ? 2 : 0)));
+  put_u64(p, options.max_length);
+  put_u64(p, options.max_redeliveries);
+  put_string(p, options.dead_letter_queue);
+  put_u64(p, options.spool_compact_threshold);
+  return finish(FrameType::kDeclareQueue, channel, std::move(p));
+}
+
+bool parse_declare_queue(const Frame& frame, std::string* name,
+                         bus::QueueOptions* options) {
+  PayloadReader r{frame.payload};
+  *name = r.str();
+  const std::uint8_t flags = r.u8();
+  options->durable = (flags & 1) != 0;
+  options->auto_delete = (flags & 2) != 0;
+  options->max_length = r.u64();
+  options->max_redeliveries = r.u64();
+  options->dead_letter_queue = r.str();
+  options->spool_compact_threshold = r.u64();
+  return r.complete();
+}
+
+std::string encode_bind(std::uint32_t channel, std::string_view queue,
+                        std::string_view exchange,
+                        std::string_view binding_key) {
+  std::string p;
+  put_string(p, queue);
+  put_string(p, exchange);
+  put_string(p, binding_key);
+  return finish(FrameType::kBind, channel, std::move(p));
+}
+
+bool parse_bind(const Frame& frame, std::string* queue, std::string* exchange,
+                std::string* binding_key) {
+  PayloadReader r{frame.payload};
+  *queue = r.str();
+  *exchange = r.str();
+  *binding_key = r.str();
+  return r.complete();
+}
+
+std::string encode_publish(std::uint32_t channel, std::string_view exchange,
+                           const bus::Message& message) {
+  std::string p;
+  put_string(p, exchange);
+  encode_message(p, message);
+  return finish(FrameType::kPublish, channel, std::move(p));
+}
+
+bool parse_publish(const Frame& frame, std::string* exchange,
+                   bus::Message* message) {
+  PayloadReader r{frame.payload};
+  *exchange = r.str();
+  *message = decode_message(r);
+  return r.complete();
+}
+
+std::string encode_consume(std::uint32_t channel, std::string_view queue) {
+  std::string p;
+  put_string(p, queue);
+  return finish(FrameType::kConsume, channel, std::move(p));
+}
+
+bool parse_consume(const Frame& frame, std::string* queue) {
+  PayloadReader r{frame.payload};
+  *queue = r.str();
+  return r.complete();
+}
+
+std::string encode_get(std::uint32_t channel, std::string_view queue,
+                       std::uint32_t timeout_ms) {
+  std::string p;
+  put_string(p, queue);
+  put_u32(p, timeout_ms);
+  return finish(FrameType::kGet, channel, std::move(p));
+}
+
+bool parse_get(const Frame& frame, std::string* queue,
+               std::uint32_t* timeout_ms) {
+  PayloadReader r{frame.payload};
+  *queue = r.str();
+  *timeout_ms = r.u32();
+  return r.complete();
+}
+
+std::string encode_deliver(std::uint32_t channel, std::string_view queue,
+                           const bus::Delivery& delivery) {
+  std::string p;
+  put_string(p, queue);
+  put_u64(p, delivery.delivery_tag);
+  put_u8(p, delivery.redelivered ? 1 : 0);
+  put_string(p, delivery.consumer_tag);
+  put_string(p, delivery.exchange);
+  encode_message(p, delivery.message());
+  return finish(FrameType::kDeliver, channel, std::move(p));
+}
+
+bool parse_deliver(const Frame& frame, WireDelivery* out) {
+  PayloadReader r{frame.payload};
+  out->queue = r.str();
+  out->delivery_tag = r.u64();
+  out->redelivered = r.u8() != 0;
+  out->consumer_tag = r.str();
+  out->exchange = r.str();
+  out->message = decode_message(r);
+  return r.complete();
+}
+
+std::string encode_ack(std::uint32_t channel, std::string_view queue,
+                       std::uint64_t delivery_tag) {
+  std::string p;
+  put_string(p, queue);
+  put_u64(p, delivery_tag);
+  return finish(FrameType::kAck, channel, std::move(p));
+}
+
+std::string encode_nack(std::uint32_t channel, std::string_view queue,
+                        std::uint64_t delivery_tag, bool requeue) {
+  std::string p;
+  put_string(p, queue);
+  put_u64(p, delivery_tag);
+  put_u8(p, requeue ? 1 : 0);
+  return finish(FrameType::kNack, channel, std::move(p));
+}
+
+bool parse_ack(const Frame& frame, std::string* queue,
+               std::uint64_t* delivery_tag) {
+  PayloadReader r{frame.payload};
+  *queue = r.str();
+  *delivery_tag = r.u64();
+  return r.complete();
+}
+
+bool parse_nack(const Frame& frame, std::string* queue,
+                std::uint64_t* delivery_tag, bool* requeue) {
+  PayloadReader r{frame.payload};
+  *queue = r.str();
+  *delivery_tag = r.u64();
+  *requeue = r.u8() != 0;
+  return r.complete();
+}
+
+std::string encode_queue_stats(std::uint32_t channel,
+                               std::string_view queue) {
+  std::string p;
+  put_string(p, queue);
+  return finish(FrameType::kQueueStats, channel, std::move(p));
+}
+
+bool parse_queue_stats(const Frame& frame, std::string* queue) {
+  PayloadReader r{frame.payload};
+  *queue = r.str();
+  return r.complete();
+}
+
+std::string encode_queue_stats_ok(std::uint32_t channel,
+                                  const bus::QueueStats& stats) {
+  std::string p;
+  put_u64(p, stats.enqueued);
+  put_u64(p, stats.delivered);
+  put_u64(p, stats.acked);
+  put_u64(p, stats.requeued);
+  put_u64(p, stats.redelivered);
+  put_u64(p, stats.dead_lettered);
+  put_u64(p, stats.dropped_overflow);
+  put_u64(p, stats.depth);
+  put_u64(p, stats.unacked);
+  return finish(FrameType::kQueueStatsOk, channel, std::move(p));
+}
+
+bool parse_queue_stats_ok(const Frame& frame, bus::QueueStats* stats) {
+  PayloadReader r{frame.payload};
+  stats->enqueued = r.u64();
+  stats->delivered = r.u64();
+  stats->acked = r.u64();
+  stats->requeued = r.u64();
+  stats->redelivered = r.u64();
+  stats->dead_lettered = r.u64();
+  stats->dropped_overflow = r.u64();
+  stats->depth = static_cast<std::size_t>(r.u64());
+  stats->unacked = static_cast<std::size_t>(r.u64());
+  return r.complete();
+}
+
+}  // namespace stampede::net

@@ -1,0 +1,224 @@
+#pragma once
+// Wire protocol of the networked message bus (DESIGN.md "Network
+// substrate").
+//
+// Every exchange between net::BusClient and net::BusServer is a
+// length-prefixed binary frame:
+//
+//   u32  length   -- bytes after this field (big-endian, bounded)
+//   u8   type     -- FrameType
+//   u32  channel  -- request/reply correlation id (0 = unsolicited)
+//   ...  payload  -- type-specific, see the encode_* builders
+//
+// Strings are u32-length-prefixed raw bytes — no escaping, any byte
+// value round-trips (the BP bodies and header values this carries may
+// contain newlines, quotes and NULs). A connection opens with a
+// versioned handshake (kHello carrying magic + protocol version,
+// answered by kHelloOk or kError+close), so incompatible peers fail
+// loudly instead of misparsing.
+//
+// Request/reply ops (declare/bind/get/stats) echo the request's nonzero
+// channel in the reply; publish/ack/nack are fire-and-forget like their
+// AMQP namesakes; kDeliver frames with channel 0 are unsolicited pushes
+// for a consumed queue. Either side sends kHeartbeat on an idle
+// connection; a peer silent past the server's idle timeout is dropped.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bus/ibus.hpp"
+#include "bus/message.hpp"
+#include "bus/queue.hpp"
+
+namespace stampede::net {
+
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::string_view kMagic = "SBUS";
+/// Upper bound on one frame's post-length bytes; a decoder seeing a
+/// larger length treats the stream as corrupt and drops the connection.
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kHelloOk = 2,
+  kOk = 3,
+  kError = 4,
+  kDeclareExchange = 5,
+  kDeclareQueue = 6,
+  kBind = 7,
+  kPublish = 8,
+  kConsume = 9,
+  kGet = 10,
+  kDeliver = 11,
+  kEmpty = 12,
+  kAck = 13,
+  kNack = 14,
+  kQueueStats = 15,
+  kQueueStatsOk = 16,
+  kHeartbeat = 17,
+};
+
+/// Human-readable frame-type slug ("publish", "deliver", ...) — the
+/// telemetry label for stampede_net_frames_total{type=...}.
+[[nodiscard]] std::string_view frame_type_name(FrameType type);
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::uint32_t channel = 0;
+  std::string payload;
+};
+
+// ---------------------------------------------------------------------------
+// Primitive writers (append to `out`, big-endian)
+
+void put_u8(std::string& out, std::uint8_t v);
+void put_u16(std::string& out, std::uint16_t v);
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+void put_f64(std::string& out, double v);
+void put_string(std::string& out, std::string_view v);
+
+/// Bounds-checked sequential reader over a frame payload. Any overrun
+/// latches ok() false and yields zero values; callers check ok() once
+/// at the end instead of after every field.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint16_t u16();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  /// True when every byte was consumed and nothing overran.
+  [[nodiscard]] bool complete() const noexcept {
+    return ok_ && pos_ == data_.size();
+  }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Frame codec
+
+/// Serializes a frame (length prefix included). Observes the encode
+/// histogram and per-type frame counter.
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+enum class DecodeStatus {
+  kNeedMore,  ///< Buffer holds a partial frame; read more bytes.
+  kFrame,     ///< One frame decoded; `consumed` bytes eaten.
+  kError,     ///< Corrupt stream (oversize/unknown type); drop the peer.
+};
+
+/// Decodes the first complete frame out of `buffer`. On kFrame the
+/// caller erases `consumed` leading bytes and dispatches `out`.
+[[nodiscard]] DecodeStatus decode_frame(std::string_view buffer,
+                                        std::size_t& consumed, Frame& out,
+                                        std::string* error = nullptr);
+
+// ---------------------------------------------------------------------------
+// bus::Message codec (the payload core of kPublish / kDeliver)
+
+/// Wire form: routing_key, body, headers (count + key/value pairs),
+/// published_at, persistent flag, redelivery count. Broker-internal
+/// fields (spool_seq) and process-local trace stamps (steady-clock
+/// seconds, meaningless across hosts) do not travel.
+void encode_message(std::string& out, const bus::Message& message);
+[[nodiscard]] bus::Message decode_message(PayloadReader& reader);
+
+// ---------------------------------------------------------------------------
+// Payload builders + parsers per frame type. Builders return the full
+// encoded frame; parse_* return false on a malformed payload.
+
+[[nodiscard]] std::string encode_hello(std::uint32_t channel);
+[[nodiscard]] bool parse_hello(const Frame& frame, std::uint16_t* version);
+
+[[nodiscard]] std::string encode_hello_ok(std::uint32_t channel);
+[[nodiscard]] std::string encode_ok(std::uint32_t channel);
+[[nodiscard]] std::string encode_error(std::uint32_t channel,
+                                       std::string_view reason);
+[[nodiscard]] std::string encode_empty(std::uint32_t channel);
+[[nodiscard]] std::string encode_heartbeat();
+
+[[nodiscard]] std::string encode_declare_exchange(std::uint32_t channel,
+                                                  std::string_view name,
+                                                  bus::ExchangeType type);
+[[nodiscard]] bool parse_declare_exchange(const Frame& frame,
+                                          std::string* name,
+                                          bus::ExchangeType* type);
+
+[[nodiscard]] std::string encode_declare_queue(
+    std::uint32_t channel, std::string_view name,
+    const bus::QueueOptions& options);
+[[nodiscard]] bool parse_declare_queue(const Frame& frame, std::string* name,
+                                       bus::QueueOptions* options);
+
+[[nodiscard]] std::string encode_bind(std::uint32_t channel,
+                                      std::string_view queue,
+                                      std::string_view exchange,
+                                      std::string_view binding_key);
+[[nodiscard]] bool parse_bind(const Frame& frame, std::string* queue,
+                              std::string* exchange,
+                              std::string* binding_key);
+
+[[nodiscard]] std::string encode_publish(std::uint32_t channel,
+                                         std::string_view exchange,
+                                         const bus::Message& message);
+[[nodiscard]] bool parse_publish(const Frame& frame, std::string* exchange,
+                                 bus::Message* message);
+
+[[nodiscard]] std::string encode_consume(std::uint32_t channel,
+                                         std::string_view queue);
+[[nodiscard]] bool parse_consume(const Frame& frame, std::string* queue);
+
+[[nodiscard]] std::string encode_get(std::uint32_t channel,
+                                     std::string_view queue,
+                                     std::uint32_t timeout_ms);
+[[nodiscard]] bool parse_get(const Frame& frame, std::string* queue,
+                             std::uint32_t* timeout_ms);
+
+[[nodiscard]] std::string encode_deliver(std::uint32_t channel,
+                                         std::string_view queue,
+                                         const bus::Delivery& delivery);
+struct WireDelivery {
+  std::string queue;
+  std::uint64_t delivery_tag = 0;
+  bool redelivered = false;
+  std::string consumer_tag;
+  std::string exchange;
+  bus::Message message;
+};
+[[nodiscard]] bool parse_deliver(const Frame& frame, WireDelivery* out);
+
+[[nodiscard]] std::string encode_ack(std::uint32_t channel,
+                                     std::string_view queue,
+                                     std::uint64_t delivery_tag);
+[[nodiscard]] std::string encode_nack(std::uint32_t channel,
+                                      std::string_view queue,
+                                      std::uint64_t delivery_tag,
+                                      bool requeue);
+[[nodiscard]] bool parse_ack(const Frame& frame, std::string* queue,
+                             std::uint64_t* delivery_tag);
+[[nodiscard]] bool parse_nack(const Frame& frame, std::string* queue,
+                              std::uint64_t* delivery_tag, bool* requeue);
+
+[[nodiscard]] std::string encode_queue_stats(std::uint32_t channel,
+                                             std::string_view queue);
+[[nodiscard]] bool parse_queue_stats(const Frame& frame, std::string* queue);
+
+[[nodiscard]] std::string encode_queue_stats_ok(std::uint32_t channel,
+                                                const bus::QueueStats& stats);
+[[nodiscard]] bool parse_queue_stats_ok(const Frame& frame,
+                                        bus::QueueStats* stats);
+
+}  // namespace stampede::net

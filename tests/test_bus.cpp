@@ -102,6 +102,22 @@ TEST(Broker, TopicExchangeWildcardRouting) {
   EXPECT_EQ(broker.queue_stats("all").depth, 2u);
 }
 
+TEST(Broker, RebindingIdenticallyIsIdempotent) {
+  // Producer and consumer processes both assert the same topology; the
+  // duplicate binding must not double every delivery.
+  bus::Broker broker;
+  broker.declare_exchange("monitoring", bus::ExchangeType::kTopic);
+  broker.declare_queue("q");
+  broker.bind("q", "monitoring", "stampede.#");
+  broker.bind("q", "monitoring", "stampede.#");
+  EXPECT_EQ(broker.publish("monitoring", msg("stampede.job.info")), 1u);
+  EXPECT_EQ(broker.queue_stats("q").depth, 1u);
+  // A different key on the same queue is a real second binding.
+  broker.bind("q", "monitoring", "other.#");
+  EXPECT_EQ(broker.publish("monitoring", msg("other.thing")), 1u);
+  EXPECT_EQ(broker.queue_stats("q").depth, 2u);
+}
+
 TEST(Broker, FanoutIgnoresRoutingKey) {
   bus::Broker broker;
   broker.declare_exchange("fan", bus::ExchangeType::kFanout);

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
+#include "common/socket.hpp"
 #include "dart/experiment.hpp"
 #include "dashboard/dashboard.hpp"
 #include "dashboard/json.hpp"
@@ -95,6 +99,58 @@ TEST(HttpServer, QueryStringsAreSeparated) {
   server.start();
   EXPECT_EQ(dash::http_get(server.port(), "/q?depth=2&json=1"),
             "depth=2&json=1");
+  server.stop();
+}
+
+namespace {
+
+/// Sends `partial` and then goes silent, returning the eventual status
+/// line — the slowloris probe.
+int trickle_request(int port, const std::string& partial) {
+  auto fd = stampede::common::connect_tcp("127.0.0.1", port);
+  EXPECT_TRUE(fd.valid());
+  EXPECT_TRUE(stampede::common::send_all(fd.get(), partial.data(),
+                                         partial.size()));
+  std::string raw;
+  char buf[1024];
+  for (;;) {
+    std::size_t received = 0;
+    const auto status = stampede::common::recv_some(fd.get(), buf, sizeof(buf),
+                                                    5000, &received);
+    if (status != stampede::common::RecvStatus::kData) break;
+    raw.append(buf, received);
+  }
+  return std::atoi(raw.c_str() + 9);  // After "HTTP/1.1 ".
+}
+
+}  // namespace
+
+TEST(HttpServer, SlowRequestsGet408) {
+  dash::HttpServerOptions options;
+  options.read_timeout_ms = 200;  // Short deadline to keep the test fast.
+  dash::HttpServer server{0, options};
+  server.route("/ping", [](const dash::HttpRequest&) {
+    return dash::HttpResponse::text("pong");
+  });
+  server.start();
+  // Half a request line and silence: the server must cut the connection
+  // with 408 instead of holding the acceptor hostage.
+  EXPECT_EQ(trickle_request(server.port(), "GET /ping HT"), 408);
+  // And an honest client still gets served afterwards.
+  int status = 0;
+  EXPECT_EQ(dash::http_get(server.port(), "/ping", &status), "pong");
+  EXPECT_EQ(status, 200);
+  server.stop();
+}
+
+TEST(HttpServer, OversizeRequestsGet431) {
+  dash::HttpServerOptions options;
+  options.max_request_bytes = 512;
+  dash::HttpServer server{0, options};
+  server.start();
+  const std::string huge =
+      "GET /x HTTP/1.1\r\nX-Filler: " + std::string(4096, 'a');
+  EXPECT_EQ(trickle_request(server.port(), huge), 431);
   server.stop();
 }
 

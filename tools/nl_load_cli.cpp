@@ -19,7 +19,22 @@
 //                        parallel lanes (WAL files <archive>.0..N-1);
 //                        N=1 (default) keeps the classic single-file
 //                        archive bit-compatible with earlier releases
+//
+// Networked modes (one positional: the archive; the BP stream arrives
+// over TCP instead of from a file — the paper's real-time deployment
+// with the broker on the wire, DESIGN.md "Network substrate"):
+//   --listen=PORT        host the message bus: start an in-process
+//                        broker + net::BusServer on 127.0.0.1:PORT
+//                        (0 = ephemeral, printed) and pump the
+//                        "stampede" queue into the archive; publishers
+//                        connect with stampede_publish_cli
+//   --connect=HOST:PORT  attach to a remote bus as a consumer: pump the
+//                        "stampede" queue over TCP into the archive
+//   --idle-exit=S        in the networked modes, exit once messages have
+//                        been seen and none arrived for S seconds
+//                        (default 10)
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,11 +42,15 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bus/broker.hpp"
 #include "dashboard/http_server.hpp"
 #include "dashboard/telemetry_routes.hpp"
 #include "loader/nl_load.hpp"
+#include "net/bus_client.hpp"
+#include "net/bus_server.hpp"
 #include "netlogger/formatter.hpp"
 #include "orm/stampede_tables.hpp"
 #include "telemetry/self_stats.hpp"
@@ -43,8 +62,10 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--metrics-port=N] [--stats-interval=SECONDS] "
-               "[--shards=N] <bp-log-file> <archive-path>\n",
-               argv0);
+               "[--shards=N] <bp-log-file> <archive-path>\n"
+               "       %s [--shards=N] [--idle-exit=SECONDS] "
+               "(--listen=PORT | --connect=HOST:PORT) <archive-path>\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -64,9 +85,34 @@ std::optional<double> parse_flag_value(const char* arg, const char* name) {
 
 }  // namespace
 
+/// Polls the pump until messages have flowed and then stayed still for
+/// `idle_exit_s` seconds.
+void wait_for_idle(loader::QueuePump& pump, double idle_exit_s) {
+  using Clock = std::chrono::steady_clock;
+  std::uint64_t last_seen = 0;
+  auto last_change = Clock::now();
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    const auto messages = pump.stats().messages;
+    if (messages != last_seen) {
+      last_seen = messages;
+      last_change = Clock::now();
+      continue;
+    }
+    if (last_seen > 0 &&
+        std::chrono::duration<double>(Clock::now() - last_change).count() >=
+            idle_exit_s) {
+      return;
+    }
+  }
+}
+
 int main(int argc, char** argv) {
   std::optional<int> metrics_port;
   std::optional<double> stats_interval;
+  std::optional<int> listen_port;
+  std::string connect_addr;
+  double idle_exit_s = 10.0;
   std::size_t shards = 1;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
@@ -74,6 +120,12 @@ int main(int argc, char** argv) {
       metrics_port = static_cast<int>(*v);
     } else if (const auto v = parse_flag_value(argv[i], "--stats-interval")) {
       stats_interval = *v;
+    } else if (const auto v = parse_flag_value(argv[i], "--listen")) {
+      listen_port = static_cast<int>(*v);
+    } else if (const auto v = parse_flag_value(argv[i], "--idle-exit")) {
+      idle_exit_s = *v;
+    } else if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      connect_addr = argv[i] + 10;
     } else if (const auto v = parse_flag_value(argv[i], "--shards")) {
       shards = static_cast<std::size_t>(*v);
       if (shards == 0) {
@@ -87,9 +139,14 @@ int main(int argc, char** argv) {
       positional.emplace_back(argv[i]);
     }
   }
-  if (positional.size() != 2) return usage(argv[0]);
-  const std::string& log_path = positional[0];
-  const std::string& archive_path = positional[1];
+  const bool networked = listen_port.has_value() || !connect_addr.empty();
+  if (listen_port && !connect_addr.empty()) {
+    std::fprintf(stderr, "error: --listen and --connect are exclusive\n");
+    return 2;
+  }
+  if (positional.size() != (networked ? 1u : 2u)) return usage(argv[0]);
+  const std::string log_path = networked ? std::string{} : positional[0];
+  const std::string& archive_path = networked ? positional[0] : positional[1];
 
   // Exposition endpoint: scrape while the replay runs (real-time
   // self-monitoring), and after it finishes until the process exits.
@@ -125,20 +182,79 @@ int main(int argc, char** argv) {
     std::size_t n_workflows = 0, n_jobs = 0, n_invocations = 0;
     std::unique_ptr<db::Database> single_archive;
     std::unique_ptr<db::ShardedDatabase> sharded_archive;
+    std::unique_ptr<loader::StampedeLoader> single_loader;
     std::unique_ptr<loader::ShardedLoader> sharded_loader;
     if (shards == 1) {
       single_archive = orm::open_archive(archive_path);
-      loader::StampedeLoader stampede_loader{*single_archive};
-      stats = loader::load_file(log_path, stampede_loader);
-      ls = stampede_loader.stats();
-      n_workflows = single_archive->row_count("workflow");
-      n_jobs = single_archive->row_count("job");
-      n_invocations = single_archive->row_count("invocation");
+      single_loader = std::make_unique<loader::StampedeLoader>(*single_archive);
     } else {
       sharded_archive = orm::open_sharded_archive(archive_path, shards);
       sharded_loader =
           std::make_unique<loader::ShardedLoader>(*sharded_archive);
+    }
+
+    if (networked) {
+      // The bus endpoint: either host the broker here (--listen) or
+      // reach one in another process (--connect).
+      std::unique_ptr<bus::Broker> broker;
+      std::unique_ptr<net::BusServer> server;
+      std::unique_ptr<net::BusClient> client;
+      bus::IBus* bus = nullptr;
+      if (listen_port) {
+        broker = std::make_unique<bus::Broker>();
+        net::BusServerOptions server_options;
+        server_options.port = *listen_port;
+        server = std::make_unique<net::BusServer>(*broker, server_options);
+        server->start();
+        std::fprintf(stderr, "bus     : listening on 127.0.0.1:%d\n",
+                     server->port());
+        bus = broker.get();
+      } else {
+        const auto colon = connect_addr.rfind(':');
+        if (colon == std::string::npos) {
+          std::fprintf(stderr, "error: --connect wants HOST:PORT\n");
+          return 2;
+        }
+        net::BusClientOptions client_options;
+        client_options.host = connect_addr.substr(0, colon);
+        client_options.port = std::atoi(connect_addr.c_str() + colon + 1);
+        client = std::make_unique<net::BusClient>(client_options);
+        if (!client->wait_connected(10'000)) {
+          std::fprintf(stderr, "error: cannot reach bus at %s\n",
+                       connect_addr.c_str());
+          return 1;
+        }
+        bus = client.get();
+      }
+      // Publisher-compatible topology (idempotent on both sides).
+      bus->declare_exchange("monitoring", bus::ExchangeType::kTopic);
+      bus->declare_queue("stampede");
+      bus->bind("stampede", "monitoring", "stampede.#");
+
+      std::unique_ptr<loader::QueuePump> pump;
+      if (single_loader) {
+        pump = std::make_unique<loader::QueuePump>(*bus, "stampede",
+                                                   *single_loader);
+      } else {
+        pump = std::make_unique<loader::QueuePump>(*bus, "stampede",
+                                                   *sharded_loader);
+      }
+      pump->start();
+      wait_for_idle(*pump, idle_exit_s);
+      pump->stop();
+      stats = pump->stats();
+    } else if (single_loader) {
+      stats = loader::load_file(log_path, *single_loader);
+    } else {
       stats = loader::load_file(log_path, *sharded_loader);
+    }
+
+    if (single_loader) {
+      ls = single_loader->stats();
+      n_workflows = single_archive->row_count("workflow");
+      n_jobs = single_archive->row_count("job");
+      n_invocations = single_archive->row_count("invocation");
+    } else {
       ls = sharded_loader->stats();
       n_workflows = sharded_archive->row_count("workflow");
       n_jobs = sharded_archive->row_count("job");

@@ -1,0 +1,114 @@
+// stampede_publish_cli — the producer process of a multi-process
+// deployment (DESIGN.md "Network substrate").
+//
+//   stampede_publish_cli --connect=HOST:PORT [options]
+//
+// Runs the deterministic DART workload (the paper's Triana/SHS sweep,
+// §VI) and publishes every monitoring event through a net::BusClient
+// onto the remote bus, where an nl_load_cli --listen process pumps the
+// "stampede" queue into an archive. With the same seed/config this
+// produces a byte-identical event stream on every run, so the archive
+// built over TCP can be diffed against one built in-process.
+//
+// Options:
+//   --connect=HOST:PORT  the bus to publish to (required)
+//   --executions=N       total SHS executions        (default 24)
+//   --bundle=N           tasks per bundle            (default 8)
+//   --tones=N            tones per task              (default 2)
+//   --nodes=N            TrianaCloud node count      (default 3)
+//   --seed=N             workload RNG seed           (default 424242)
+//   --retain-log=PATH    also write the BP log to PATH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "dart/experiment.hpp"
+#include "net/bus_client.hpp"
+
+using namespace stampede;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect=HOST:PORT [--executions=N] [--bundle=N] "
+               "[--tones=N] [--nodes=N] [--seed=N] [--retain-log=PATH]\n",
+               argv0);
+  return 2;
+}
+
+std::optional<long> parse_flag_value(const char* arg, const char* name) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(arg + len + 1, &end, 10);
+  if (end == arg + len + 1 || *end != '\0' || value < 0) {
+    std::fprintf(stderr, "error: bad value in '%s'\n", arg);
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect_addr;
+  std::string retain_log;
+  dart::DartConfig config;
+  dart::DartExperimentOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--connect=", 10) == 0) {
+      connect_addr = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--retain-log=", 13) == 0) {
+      retain_log = argv[i] + 13;
+    } else if (const auto v = parse_flag_value(argv[i], "--executions")) {
+      config.total_executions = static_cast<int>(*v);
+    } else if (const auto v = parse_flag_value(argv[i], "--bundle")) {
+      config.tasks_per_bundle = static_cast<int>(*v);
+    } else if (const auto v = parse_flag_value(argv[i], "--tones")) {
+      config.tones_per_task = static_cast<int>(*v);
+    } else if (const auto v = parse_flag_value(argv[i], "--nodes")) {
+      options.cloud.nodes = static_cast<int>(*v);
+    } else if (const auto v = parse_flag_value(argv[i], "--seed")) {
+      config.seed = static_cast<std::uint64_t>(*v);
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+  if (connect_addr.empty()) return usage(argv[0]);
+  const auto colon = connect_addr.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "error: --connect wants HOST:PORT\n");
+    return 2;
+  }
+  options.retain_log_path = retain_log;
+
+  net::BusClientOptions client_options;
+  client_options.host = connect_addr.substr(0, colon);
+  client_options.port = std::atoi(connect_addr.c_str() + colon + 1);
+  net::BusClient client{client_options};
+  if (!client.wait_connected(10'000)) {
+    std::fprintf(stderr, "error: cannot reach bus at %s\n",
+                 connect_addr.c_str());
+    return 1;
+  }
+
+  try {
+    const auto result = dart::run_dart_publish(config, client, options);
+    std::printf("published: %llu events\n",
+                static_cast<unsigned long long>(result.published));
+    std::printf("workflow : %s (status %d, %.0f virtual seconds)\n",
+                result.root_uuid.to_string().c_str(), result.status,
+                result.finished_at - result.started_at);
+    return result.status == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
