@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -19,7 +20,7 @@ using common::DbError;
 // Schema
 
 void StorageShard::create_table(TableDef def) {
-  const std::scoped_lock lock{mutex_};
+  const WriteGuard guard{*this};
   const std::string name = def.name;
   if (tables_.find(name) != tables_.end()) {
     throw DbError("create_table: table '" + name + "' already exists");
@@ -30,7 +31,7 @@ void StorageShard::create_table(TableDef def) {
 }
 
 void StorageShard::set_pk_allocation(std::int64_t offset, std::int64_t step) {
-  const std::scoped_lock lock{mutex_};
+  const WriteGuard guard{*this};
   if (step < 1 || offset < 0 || offset >= step) {
     throw DbError("set_pk_allocation: need 0 <= offset < step");
   }
@@ -42,17 +43,17 @@ void StorageShard::set_pk_allocation(std::int64_t offset, std::int64_t step) {
 }
 
 void StorageShard::set_commit_latency_sink(telemetry::Histogram* sink) {
-  const std::scoped_lock lock{mutex_};
+  const WriteGuard guard{*this};
   commit_latency_ = sink;
 }
 
 bool StorageShard::has_table(const std::string& name) const {
-  const std::scoped_lock lock{mutex_};
+  const ReadGuard guard{*this};
   return tables_.find(name) != tables_.end();
 }
 
 std::vector<std::string> StorageShard::table_names() const {
-  const std::scoped_lock lock{mutex_};
+  const ReadGuard guard{*this};
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, table] : tables_) names.push_back(name);
@@ -60,7 +61,22 @@ std::vector<std::string> StorageShard::table_names() const {
 }
 
 const TableDef& StorageShard::table_def(const std::string& name) const {
+  const ReadGuard guard{*this};
   return table_ref(name).def();
+}
+
+std::uint64_t StorageShard::table_version(const std::string& name) const {
+  const ReadGuard guard{*this};
+  return table_ref(name).version();
+}
+
+std::vector<std::uint64_t> StorageShard::table_versions(
+    const std::vector<std::string>& names) const {
+  const ReadGuard guard{*this};
+  std::vector<std::uint64_t> versions;
+  versions.reserve(names.size());
+  for (const auto& name : names) versions.push_back(table_ref(name).version());
+  return versions;
 }
 
 Table& StorageShard::table_ref(const std::string& name) {
@@ -179,8 +195,13 @@ void StorageShard::wal_write(const std::string& line) {
 // DML
 
 std::int64_t StorageShard::insert(const std::string& table,
-                              const NamedValues& values) {
-  const std::scoped_lock lock{mutex_};
+                                  const NamedValues& values) {
+  const WriteGuard guard{*this};
+  return insert_unlocked(table, values);
+}
+
+std::int64_t StorageShard::insert_unlocked(const std::string& table,
+                                           const NamedValues& values) {
   Table& t = table_ref(table);
   const TableDef& def = t.def();
   Row row(def.columns.size(), Value::null());
@@ -208,9 +229,16 @@ std::int64_t StorageShard::insert(const std::string& table,
   return result.pk;
 }
 
-std::size_t StorageShard::update(const std::string& table, const ExprPtr& predicate,
-                             const NamedValues& sets) {
-  const std::scoped_lock lock{mutex_};
+std::size_t StorageShard::update(const std::string& table,
+                                 const ExprPtr& predicate,
+                                 const NamedValues& sets) {
+  const WriteGuard guard{*this};
+  return update_unlocked(table, predicate, sets);
+}
+
+std::size_t StorageShard::update_unlocked(const std::string& table,
+                                          const ExprPtr& predicate,
+                                          const NamedValues& sets) {
   Table& t = table_ref(table);
   const TableDef& def = t.def();
 
@@ -251,8 +279,14 @@ std::size_t StorageShard::update(const std::string& table, const ExprPtr& predic
 }
 
 bool StorageShard::update_pk(const std::string& table, std::int64_t pk,
-                         const NamedValues& sets) {
-  const std::scoped_lock lock{mutex_};
+                             const NamedValues& sets) {
+  const WriteGuard guard{*this};
+  return update_pk_unlocked(table, pk, sets);
+}
+
+bool StorageShard::update_pk_unlocked(const std::string& table,
+                                      std::int64_t pk,
+                                      const NamedValues& sets) {
   Table& t = table_ref(table);
   const auto slot = t.find_pk(Value{pk});
   if (!slot) return false;
@@ -276,8 +310,13 @@ bool StorageShard::update_pk(const std::string& table, std::int64_t pk,
 }
 
 std::size_t StorageShard::delete_rows(const std::string& table,
-                                  const ExprPtr& predicate) {
-  const std::scoped_lock lock{mutex_};
+                                      const ExprPtr& predicate) {
+  const WriteGuard guard{*this};
+  return delete_rows_unlocked(table, predicate);
+}
+
+std::size_t StorageShard::delete_rows_unlocked(const std::string& table,
+                                               const ExprPtr& predicate) {
   Table& t = table_ref(table);
   const TableDef& def = t.def();
   std::vector<RowId> targets;
@@ -308,7 +347,7 @@ std::size_t StorageShard::delete_rows(const std::string& table,
 }
 
 std::size_t StorageShard::row_count(const std::string& table) const {
-  const std::scoped_lock lock{mutex_};
+  const ReadGuard guard{*this};
   return table_ref(table).row_count();
 }
 
@@ -316,17 +355,29 @@ std::size_t StorageShard::row_count(const std::string& table) const {
 // Transactions
 
 void StorageShard::begin() {
-  const std::scoped_lock lock{mutex_};
+  if (txn_owner_.load(std::memory_order_relaxed) ==
+      std::this_thread::get_id()) {
+    throw DbError("begin: transaction already active");
+  }
+  std::unique_lock lock{mutex_};
   if (txn_active_) throw DbError("begin: transaction already active");
   txn_active_ = true;
   undo_log_.clear();
   wal_buffer_.clear();
   if (commit_latency_) txn_begin_time_ = std::chrono::steady_clock::now();
+  txn_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  txn_lock_ = std::move(lock);
 }
 
 void StorageShard::commit() {
-  const std::scoped_lock lock{mutex_};
-  if (!txn_active_) throw DbError("commit: no active transaction");
+  if (txn_owner_.load(std::memory_order_relaxed) !=
+      std::this_thread::get_id()) {
+    throw DbError("commit: no active transaction");
+  }
+  // Adopt the transaction's exclusive lock; released at return, making
+  // the whole batch visible to readers at once.
+  const std::unique_lock lock{std::move(txn_lock_)};
+  txn_owner_.store(std::thread::id{}, std::memory_order_relaxed);
   txn_active_ = false;
   undo_log_.clear();
   if (!wal_path_.empty() && !wal_buffer_.empty()) {
@@ -345,8 +396,12 @@ void StorageShard::commit() {
 }
 
 void StorageShard::rollback() {
-  const std::scoped_lock lock{mutex_};
-  if (!txn_active_) throw DbError("rollback: no active transaction");
+  if (txn_owner_.load(std::memory_order_relaxed) !=
+      std::this_thread::get_id()) {
+    throw DbError("rollback: no active transaction");
+  }
+  const std::unique_lock lock{std::move(txn_lock_)};
+  txn_owner_.store(std::thread::id{}, std::memory_order_relaxed);
   for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
     Table& t = table_ref(it->table);
     switch (it->kind) {
@@ -367,12 +422,16 @@ void StorageShard::rollback() {
 }
 
 bool StorageShard::in_transaction() const {
-  const std::scoped_lock lock{mutex_};
+  if (txn_owner_.load(std::memory_order_relaxed) ==
+      std::this_thread::get_id()) {
+    return true;
+  }
+  const ReadGuard guard{*this};
   return txn_active_;
 }
 
 std::size_t StorageShard::recover() {
-  const std::scoped_lock lock{mutex_};
+  const WriteGuard guard{*this};
   if (wal_path_.empty()) return 0;
   std::ifstream in{wal_path_};
   if (!in) return 0;
@@ -459,7 +518,7 @@ std::size_t StorageShard::recover() {
 }
 
 std::uint64_t StorageShard::wal_truncated_records() const {
-  const std::scoped_lock lock{mutex_};
+  const ReadGuard guard{*this};
   return wal_truncated_;
 }
 
@@ -489,6 +548,18 @@ class ColumnMap {
         if (!inserted) it->second = kAmbiguous;
       }
     }
+  }
+
+  /// Flat index of `name`; nullopt when unknown or ambiguous.
+  [[nodiscard]] std::optional<std::size_t> try_resolve(
+      const std::string& name) const {
+    const auto q = qualified_.find(name);
+    if (q != qualified_.end()) return q->second;
+    const auto u = unqualified_.find(name);
+    if (u == unqualified_.end() || u->second == kAmbiguous) {
+      return std::nullopt;
+    }
+    return u->second;
   }
 
   [[nodiscard]] std::size_t resolve(const std::string& name) const {
@@ -524,6 +595,13 @@ void collect_eq_conjuncts(const Expr& expr,
   if (expr.kind == Expr::Kind::kCompareLiteral && expr.op == CompareOp::kEq) {
     out.push_back(&expr);
   }
+}
+
+/// Every column name mentioned anywhere in the expression tree.
+void collect_expr_columns(const Expr& expr, std::vector<std::string>& out) {
+  if (!expr.column.empty()) out.push_back(expr.column);
+  if (!expr.column_rhs.empty()) out.push_back(expr.column_rhs);
+  for (const auto& child : expr.children) collect_expr_columns(*child, out);
 }
 
 struct Aggregator {
@@ -577,11 +655,50 @@ struct Aggregator {
   }
 };
 
+/// Planner-choice counters (asserted by tests/test_concurrent_queries).
+struct PlanCounters {
+  telemetry::Counter& base_index =
+      telemetry::registry().counter("stampede_db_plan_base_index_total");
+  telemetry::Counter& base_scan =
+      telemetry::registry().counter("stampede_db_plan_base_scan_total");
+  telemetry::Counter& index_join =
+      telemetry::registry().counter("stampede_db_plan_index_join_total");
+  telemetry::Counter& hash_join =
+      telemetry::registry().counter("stampede_db_plan_hash_join_total");
+  telemetry::Counter& join_pushdown =
+      telemetry::registry().counter("stampede_db_plan_join_pushdown_total");
+};
+
+PlanCounters& plan_counters() {
+  static PlanCounters counters;
+  return counters;
+}
+
+/// Left rows at or below this count take the index-nested-loop join
+/// (O(left · log right) probes) instead of building a hash of the whole
+/// right table.
+constexpr std::size_t kIndexJoinMaxProbe = 64;
+
+struct GroupKeyHash {
+  std::size_t operator()(const Row* row) const noexcept {
+    return group_rows_hash(*row, row->size());
+  }
+};
+
+struct GroupKeyEq {
+  bool operator()(const Row* a, const Row* b) const noexcept {
+    return a->size() == b->size() && group_rows_equal(*a, *b, a->size());
+  }
+};
+
 }  // namespace
 
 ResultSet StorageShard::execute(const Select& select) const {
-  const std::scoped_lock lock{mutex_};
+  const ReadGuard guard{*this};
+  return execute_unlocked(select);
+}
 
+ResultSet StorageShard::execute_unlocked(const Select& select) const {
   // Assemble the source chain and the flat column map.
   std::vector<Source> sources;
   {
@@ -595,13 +712,83 @@ ResultSet StorageShard::execute(const Select& select) const {
     }
   }
   const ColumnMap columns{sources};
+  const std::size_t total_width =
+      sources.back().offset + sources.back().table->def().columns.size();
+
+  // Planner: flat columns the query actually reads (projection, groups,
+  // aggregates, predicate, join keys). Everything else is materialized
+  // as NULL in the wide rows, so aggregate-only queries over joins stop
+  // copying every text column. Empty mask = keep every column
+  // (SELECT *, or a name the residual evaluator must diagnose itself).
+  std::vector<char> needed;
+  if (!select.selected().empty() || !select.aggs().empty() ||
+      !select.groups().empty()) {
+    needed.assign(total_width, 0);
+    const auto mark = [&](const std::string& name) {
+      const auto flat = columns.try_resolve(name);
+      if (flat) {
+        needed[*flat] = 1;
+      } else {
+        // Unknown/ambiguous: disable pruning so the error (or the
+        // residual evaluation) surfaces exactly where it always did.
+        needed.clear();
+      }
+    };
+    for (const auto& name : select.selected()) {
+      if (needed.empty()) break;
+      mark(name);
+    }
+    for (const auto& g : select.groups()) {
+      if (needed.empty()) break;
+      mark(g);
+    }
+    for (const auto& spec : select.aggs()) {
+      if (needed.empty()) break;
+      if (!spec.column.empty()) mark(spec.column);
+    }
+    if (!needed.empty() && select.predicate()) {
+      std::vector<std::string> pred_cols;
+      collect_expr_columns(*select.predicate(), pred_cols);
+      for (const auto& name : pred_cols) {
+        if (needed.empty()) break;
+        mark(name);
+      }
+    }
+    for (std::size_t j = 0; !needed.empty() && j < select.joins().size();
+         ++j) {
+      const JoinSpec& join = select.joins()[j];
+      // The left key resolves against the sources joined so far; the
+      // right key lives at a known offset.
+      std::vector<Source> left_sources(
+          sources.begin(),
+          sources.begin() + static_cast<std::ptrdiff_t>(j + 1));
+      const ColumnMap left_columns{left_sources};
+      const auto left_flat = left_columns.try_resolve(join.left_col);
+      if (left_flat) {
+        needed[*left_flat] = 1;
+      } else {
+        needed.clear();
+        break;
+      }
+      const auto right_col =
+          sources[j + 1].table->def().column_index(join.right_col);
+      if (right_col) {
+        needed[sources[j + 1].offset + *right_col] = 1;
+      } else {
+        needed.clear();
+        break;
+      }
+    }
+  }
+  const auto column_needed = [&](std::size_t flat) {
+    return needed.empty() || needed[flat] != 0;
+  };
 
   // 1. Base rows — use an index probe when a top-level equality conjunct
   //    targets an indexed base-table column.
   std::vector<Row> wide;
   {
     const Table& base = *sources[0].table;
-    const TableDef& def = base.def();
     std::vector<RowId> candidates;
     bool used_index = false;
     if (select.predicate()) {
@@ -618,6 +805,10 @@ ResultSet StorageShard::execute(const Select& select) const {
         }
         if (base.has_index(name)) {
           candidates = base.index_lookup(name, e->literal);
+          // Secondary indexes hand ids back in index order; scan order
+          // (ascending RowId) keeps every plan's row enumeration — and
+          // with it GROUP BY first-occurrence order — identical.
+          std::sort(candidates.begin(), candidates.end());
           used_index = true;
           break;
         }
@@ -626,20 +817,28 @@ ResultSet StorageShard::execute(const Select& select) const {
     auto add_row = [&](const Row& row) {
       Row w;
       w.reserve(row.size());
-      w.insert(w.end(), row.begin(), row.end());
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        w.push_back(column_needed(i) ? row[i] : Value::null());
+      }
       wide.push_back(std::move(w));
     };
     if (used_index) {
+      plan_counters().base_index.inc();
       for (const RowId id : candidates) {
         if (const Row* row = base.fetch(id)) add_row(*row);
       }
     } else {
+      plan_counters().base_scan.inc();
       base.scan([&](RowId, const Row& row) { add_row(row); });
     }
-    (void)def;
   }
 
-  // 2. Hash joins, left to right.
+  // 2. Joins, left to right. Each join may have an equality conjunct
+  //    pushed down onto the joined table (narrowing the build side via
+  //    its secondary index when one exists); small probe sides take an
+  //    index-nested-loop instead of building a hash at all. The full
+  //    predicate is still applied afterwards (step 3), so pushdown only
+  //    ever narrows.
   for (std::size_t j = 0; j < select.joins().size(); ++j) {
     const JoinSpec& join = select.joins()[j];
     const Source& source = sources[j + 1];
@@ -649,45 +848,141 @@ ResultSet StorageShard::execute(const Select& select) const {
       throw DbError("join: unknown column '" + join.right_col + "' on " +
                     join.table);
     }
-    // Build side.
-    std::unordered_map<Value, std::vector<const Row*>> build;
-    right.scan([&](RowId, const Row& row) {
-      if (!row[*right_col].is_null()) {
-        build[row[*right_col]].push_back(&row);
+    const std::size_t right_width = right.def().columns.size();
+
+    // Equality conjunct on this joined table, if any — prefer one whose
+    // column is indexed.
+    const Expr* filter = nullptr;
+    std::optional<std::size_t> filter_col;
+    bool filter_indexed = false;
+    if (select.predicate()) {
+      std::vector<const Expr*> eqs;
+      collect_eq_conjuncts(*select.predicate(), eqs);
+      for (const Expr* e : eqs) {
+        std::string name = e->column;
+        const std::string prefix = source.alias + ".";
+        if (common::starts_with(name, prefix)) {
+          name = name.substr(prefix.size());
+        } else if (name.find('.') != std::string::npos) {
+          continue;  // Another source's alias.
+        } else {
+          const auto flat = columns.try_resolve(name);
+          if (!flat || *flat < source.offset ||
+              *flat >= source.offset + right_width) {
+            continue;
+          }
+        }
+        const auto ci = right.def().column_index(name);
+        if (!ci) continue;
+        const bool indexed = right.has_index(name);
+        if (!filter || (indexed && !filter_indexed)) {
+          filter = e;
+          filter_col = ci;
+          filter_indexed = indexed;
+          if (filter_indexed) break;
+        }
       }
-    });
-    // Probe side. The left column resolves against the columns joined so
+    }
+    const auto filter_pass = [&](const Row& row) {
+      return !filter || compare_values(row[*filter_col], CompareOp::kEq,
+                                       filter->literal);
+    };
+
+    // Probe side: the left column resolves against the columns joined so
     // far (all sources with offset < source.offset).
     std::vector<Source> left_sources(sources.begin(),
                                      sources.begin() +
                                          static_cast<std::ptrdiff_t>(j + 1));
     const ColumnMap left_columns{left_sources};
     const std::size_t left_index = left_columns.resolve(join.left_col);
-    const std::size_t right_width = right.def().columns.size();
+
+    const auto append_right = [&](Row& w, const Row& match) {
+      for (std::size_t i = 0; i < right_width; ++i) {
+        w.push_back(column_needed(source.offset + i) ? match[i]
+                                                     : Value::null());
+      }
+    };
 
     std::vector<Row> joined;
     joined.reserve(wide.size());
-    for (auto& left_row : wide) {
-      const Value& key = left_row[left_index];
-      const auto it = key.is_null() ? build.end() : build.find(key);
-      if (it == build.end()) {
-        if (join.left_outer) {
-          Row w = left_row;
+
+    if (right.has_index(join.right_col) &&
+        wide.size() <= kIndexJoinMaxProbe) {
+      // Index-nested-loop: probe the join index per left row.
+      plan_counters().index_join.inc();
+      for (auto& left_row : wide) {
+        const Value& key = left_row[left_index];
+        std::vector<RowId> ids;
+        if (!key.is_null()) {
+          ids = right.index_lookup(join.right_col, key);
+          std::sort(ids.begin(), ids.end());
+        }
+        bool matched = false;
+        for (const RowId id : ids) {
+          const Row* match = right.fetch(id);
+          if (!match || !filter_pass(*match)) continue;
+          matched = true;
+          Row w;
+          w.reserve(left_row.size() + right_width);
+          w.insert(w.end(), left_row.begin(), left_row.end());
+          append_right(w, *match);
+          joined.push_back(std::move(w));
+        }
+        if (!matched && join.left_outer) {
+          Row w = std::move(left_row);
           w.resize(w.size() + right_width, Value::null());
           joined.push_back(std::move(w));
         }
-        continue;
       }
-      for (const Row* match : it->second) {
-        Row w = left_row;
-        w.insert(w.end(), match->begin(), match->end());
-        joined.push_back(std::move(w));
+    } else {
+      // Hash join; the pushed-down conjunct narrows the build side —
+      // through the filter column's index when it has one.
+      plan_counters().hash_join.inc();
+      std::unordered_map<Value, std::vector<const Row*>> build;
+      const auto build_add = [&](const Row& row) {
+        if (filter_pass(row) && !row[*right_col].is_null()) {
+          build[row[*right_col]].push_back(&row);
+        }
+      };
+      if (filter && filter_indexed) {
+        plan_counters().join_pushdown.inc();
+        const std::string& filter_name =
+            right.def().columns[*filter_col].name;
+        std::vector<RowId> ids =
+            right.index_lookup(filter_name, filter->literal);
+        std::sort(ids.begin(), ids.end());
+        for (const RowId id : ids) {
+          if (const Row* row = right.fetch(id)) build_add(*row);
+        }
+      } else {
+        right.scan([&](RowId, const Row& row) { build_add(row); });
+      }
+
+      for (auto& left_row : wide) {
+        const Value& key = left_row[left_index];
+        const auto it = key.is_null() ? build.end() : build.find(key);
+        if (it == build.end()) {
+          if (join.left_outer) {
+            Row w = std::move(left_row);
+            w.resize(w.size() + right_width, Value::null());
+            joined.push_back(std::move(w));
+          }
+          continue;
+        }
+        for (const Row* match : it->second) {
+          Row w;
+          w.reserve(left_row.size() + right_width);
+          w.insert(w.end(), left_row.begin(), left_row.end());
+          append_right(w, *match);
+          joined.push_back(std::move(w));
+        }
       }
     }
     wide = std::move(joined);
   }
 
-  // 3. Residual filter.
+  // 3. Residual filter (the full predicate — index probes and pushdowns
+  //    above only narrowed the candidate set).
   if (select.predicate()) {
     std::vector<Row> filtered;
     filtered.reserve(wide.size());
@@ -714,21 +1009,18 @@ ResultSet StorageShard::execute(const Select& select) const {
       Row key;
       std::vector<Aggregator> aggs;
     };
-    // Key rows by their serialized group values to keep insertion order.
-    std::unordered_map<std::string, std::size_t> index_of;
-    std::vector<GroupState> groups;
+    // Insertion-ordered states in a deque (stable addresses), looked up
+    // by hashed key rows — no serialized string key per input row.
+    std::deque<GroupState> groups;
+    std::unordered_map<const Row*, std::size_t, GroupKeyHash, GroupKeyEq>
+        index_of;
 
     for (const auto& row : wide) {
-      std::string key_text;
       Row key;
       key.reserve(group_cols.size());
-      for (const std::size_t c : group_cols) {
-        key.push_back(row[c]);
-        key_text += serialize_value(row[c]);
-        key_text += '\x1f';
-      }
-      auto [it, inserted] = index_of.emplace(key_text, groups.size());
-      if (inserted) {
+      for (const std::size_t c : group_cols) key.push_back(row[c]);
+      auto it = index_of.find(&key);
+      if (it == index_of.end()) {
         GroupState state;
         state.key = std::move(key);
         state.aggs.reserve(select.aggs().size());
@@ -738,6 +1030,7 @@ ResultSet StorageShard::execute(const Select& select) const {
           state.aggs.push_back(agg);
         }
         groups.push_back(std::move(state));
+        it = index_of.emplace(&groups.back().key, groups.size() - 1).first;
       }
       GroupState& state = groups[it->second];
       for (std::size_t a = 0; a < select.aggs().size(); ++a) {
@@ -763,8 +1056,10 @@ ResultSet StorageShard::execute(const Select& select) const {
 
     for (const auto& g : select.groups()) result.columns.push_back(g);
     for (const auto& spec : select.aggs()) result.columns.push_back(spec.alias);
+    result.rows.reserve(groups.size());
     for (auto& state : groups) {
       Row out = std::move(state.key);
+      out.reserve(out.size() + state.aggs.size());
       for (const auto& agg : state.aggs) out.push_back(agg.result());
       result.rows.push_back(std::move(out));
     }
@@ -796,53 +1091,29 @@ ResultSet StorageShard::execute(const Select& select) const {
     }
   }
 
-  // 5. DISTINCT.
+  // 5. DISTINCT — dedup on hashed rows; pointers stay valid because
+  //    `unique` never reallocates (reserved to the input size).
   if (select.is_distinct()) {
-    std::unordered_set<std::string> seen;
+    std::unordered_set<const Row*, GroupKeyHash, GroupKeyEq> seen;
+    seen.reserve(result.rows.size());
     std::vector<Row> unique;
     unique.reserve(result.rows.size());
     for (auto& row : result.rows) {
-      std::string key;
-      for (const auto& value : row) {
-        key += serialize_value(value);
-        key += '\x1f';
-      }
-      if (seen.insert(key).second) unique.push_back(std::move(row));
+      if (seen.find(&row) != seen.end()) continue;
+      unique.push_back(std::move(row));
+      seen.insert(&unique.back());
     }
     result.rows = std::move(unique);
   }
 
-  // 6. ORDER BY (stable, applied as one composite comparison).
-  if (!select.orders().empty()) {
-    std::vector<std::pair<std::size_t, bool>> keys;
-    for (const auto& order : select.orders()) {
-      const auto idx = result.column_index(order.column);
-      if (!idx) {
-        throw DbError("order by: column '" + order.column +
-                      "' not in result set");
-      }
-      keys.emplace_back(*idx, order.descending);
-    }
-    std::stable_sort(result.rows.begin(), result.rows.end(),
-                     [&](const Row& a, const Row& b) {
-                       for (const auto& [idx, desc] : keys) {
-                         const auto ord = a[idx].compare(b[idx]);
-                         if (ord == std::partial_ordering::less) return !desc;
-                         if (ord == std::partial_ordering::greater) return desc;
-                       }
-                       return false;
-                     });
-  }
-
-  // 7. LIMIT.
-  if (select.row_limit() && result.rows.size() > *select.row_limit()) {
-    result.rows.resize(*select.row_limit());
-  }
+  // 6–7. ORDER BY + LIMIT (bounded top-k when a limit is present).
+  sort_and_limit(result, select.orders(), select.row_limit());
   return result;
 }
 
 std::optional<Value> StorageShard::scalar(const Select& select) const {
-  const ResultSet rs = execute(select);
+  const ReadGuard guard{*this};
+  const ResultSet rs = execute_unlocked(select);
   if (rs.rows.empty() || rs.rows.front().empty()) return std::nullopt;
   return rs.rows.front().front();
 }

@@ -2,28 +2,58 @@
 // The relational archive engine (SQLite substitute, DESIGN.md §2).
 //
 // A StorageShard is one self-contained partition of the archive: its own
-// tables, undo log, write-ahead log file and mutex. Thread-safe at the
-// API level via one shard mutex — the same serialized-writer model
-// SQLite provides — which is exactly what a loader lane (single writer)
-// + query tools (concurrent readers tolerating serialization) need.
-// Supports transactions with rollback via an undo log, and an optional
-// write-ahead log file for crash recovery / reload.
-//
+// tables, undo log, write-ahead log file and reader-writer lock.
 // `Database` is an alias for StorageShard: a one-shard archive, the
 // original single-partition engine. ShardedDatabase (sharded_database.hpp)
 // composes N of these behind a partition-routing facade.
+//
+// Locking discipline (DESIGN.md §10; same documentation contract as
+// broker.hpp):
+//   1. One writer-preferring reader-writer lock (db::SharedMutex — see
+//      shared_mutex.hpp for why std::shared_mutex's reader preference
+//      would starve the loader) per shard. Public read entry points
+//      (execute, scalar, row_count, has_table, table_names, table_def,
+//      table_version(s), in_transaction, wal_truncated_records) take a
+//      shared lock, so any number of statistics / analyzer / dashboard
+//      queries proceed concurrently against a shard; public write entry
+//      points (create_table, set_pk_allocation, insert, update,
+//      update_pk, delete_rows, recover) take the exclusive lock.
+//   2. A transaction owns the exclusive lock for its whole begin() →
+//      commit()/rollback() window (`txn_lock_`). Readers therefore see
+//      either all of a committed batch or none of it — the snapshot
+//      consistency stampede_statistics needs while a loader lane is
+//      mid-flush. The owning thread is recorded in `txn_owner_`; its
+//      own statement calls (and reads) pass straight through instead of
+//      re-locking, which makes the re-entrancy the old recursive_mutex
+//      papered over explicit. A transaction must begin and end on the
+//      same thread; begin() from a second thread blocks until the open
+//      transaction finishes.
+//   3. Every public method is exactly guard + private `*_unlocked`
+//      call; the `*_unlocked` internals assume the caller holds the
+//      right lock and never lock themselves, so no path locks twice
+//      (the lock is not recursive in either mode).
+//   4. set_exclusive_reads(true) degrades reads to the exclusive lock —
+//      the pre-overhaul single-mutex behaviour, kept selectable so
+//      bench_read_while_load can A/B the two disciplines in one binary.
+//
+// Supports transactions with rollback via an undo log, and an optional
+// write-ahead log file for crash recovery / reload.
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "db/query.hpp"
+#include "db/shared_mutex.hpp"
 #include "db/table.hpp"
 
 namespace stampede::telemetry {
@@ -73,6 +103,12 @@ class StorageShard {
   /// the shard (telemetry registry instruments do).
   void set_commit_latency_sink(telemetry::Histogram* sink);
 
+  /// Forces read entry points onto the exclusive lock (the pre-§10
+  /// serialized discipline). Benchmark-only; set before concurrent use.
+  void set_exclusive_reads(bool on) noexcept {
+    exclusive_reads_.store(on, std::memory_order_relaxed);
+  }
+
   // -- DML --------------------------------------------------------------------
 
   /// Inserts named values (missing columns become NULL / defaults).
@@ -104,13 +140,27 @@ class StorageShard {
   /// nullopt when the result is empty.
   [[nodiscard]] std::optional<Value> scalar(const Select& select) const;
 
+  /// Monotonic per-table modification counter (bumped by every insert /
+  /// update / delete / rollback step). Two equal observations bracket a
+  /// window with no committed change — the version-keyed query cache
+  /// (query::QueryExecutor) is built on this.
+  [[nodiscard]] std::uint64_t table_version(const std::string& name) const;
+
+  /// Versions of several tables under one shared lock (one consistent
+  /// observation — no commit can interleave between the reads).
+  [[nodiscard]] std::vector<std::uint64_t> table_versions(
+      const std::vector<std::string>& names) const;
+
   // -- transactions ---------------------------------------------------------------
 
-  /// Begins a transaction; nested begins throw.
+  /// Begins a transaction; holds the shard's exclusive lock until
+  /// commit()/rollback() so readers never see a partial batch. A nested
+  /// begin on the owning thread throws; a begin from another thread
+  /// waits for the open transaction to finish.
   void begin();
-  /// Commits (appends buffered WAL records).
+  /// Commits (appends buffered WAL records) and releases the lock.
   void commit();
-  /// Rolls back every change since begin().
+  /// Rolls back every change since begin() and releases the lock.
   void rollback();
   [[nodiscard]] bool in_transaction() const;
 
@@ -127,9 +177,58 @@ class StorageShard {
   [[nodiscard]] std::uint64_t wal_truncated_records() const;
 
  private:
+  /// Shared lock for a public read entry point — unless this thread
+  /// owns the open transaction (txn_lock_ already excludes everyone
+  /// else), or exclusive_reads_ degrades reads for the A/B bench.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(const StorageShard& shard) {
+      if (shard.txn_owner_.load(std::memory_order_relaxed) ==
+          std::this_thread::get_id()) {
+        return;
+      }
+      if (shard.exclusive_reads_.load(std::memory_order_relaxed)) {
+        exclusive_ = std::unique_lock{shard.mutex_};
+      } else {
+        shared_ = std::shared_lock{shard.mutex_};
+      }
+    }
+
+   private:
+    std::shared_lock<SharedMutex> shared_;
+    std::unique_lock<SharedMutex> exclusive_;
+  };
+
+  /// Exclusive lock for a public write entry point — pass-through when
+  /// this thread's open transaction already holds it.
+  class WriteGuard {
+   public:
+    explicit WriteGuard(const StorageShard& shard) {
+      if (shard.txn_owner_.load(std::memory_order_relaxed) ==
+          std::this_thread::get_id()) {
+        return;
+      }
+      lock_ = std::unique_lock{shard.mutex_};
+    }
+
+   private:
+    std::unique_lock<SharedMutex> lock_;
+  };
+
   Table& table_ref(const std::string& name);
   const Table& table_ref(const std::string& name) const;
   void wal_write(const std::string& line);
+
+  std::int64_t insert_unlocked(const std::string& table,
+                               const NamedValues& values);
+  std::size_t update_unlocked(const std::string& table,
+                              const ExprPtr& predicate,
+                              const NamedValues& sets);
+  bool update_pk_unlocked(const std::string& table, std::int64_t pk,
+                          const NamedValues& sets);
+  std::size_t delete_rows_unlocked(const std::string& table,
+                                   const ExprPtr& predicate);
+  [[nodiscard]] ResultSet execute_unlocked(const Select& select) const;
 
   struct UndoOp {
     enum class Kind { kInsert, kUpdate, kDelete };
@@ -139,7 +238,13 @@ class StorageShard {
     Row before;  ///< For update/delete.
   };
 
-  mutable std::recursive_mutex mutex_;
+  mutable SharedMutex mutex_;
+  /// Held for the whole lifetime of an open transaction; empty otherwise.
+  std::unique_lock<SharedMutex> txn_lock_;
+  /// Thread that called begin(); default id when no transaction is open.
+  std::atomic<std::thread::id> txn_owner_{};
+  std::atomic<bool> exclusive_reads_{false};
+
   std::map<std::string, std::unique_ptr<Table>> tables_;
   std::string wal_path_;
   bool txn_active_ = false;

@@ -1,5 +1,9 @@
 #include "db/query.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
 #include "common/errors.hpp"
 
 namespace stampede::db {
@@ -78,6 +82,87 @@ const Value& ResultSet::at(std::size_t row, std::string_view column) const {
     throw common::DbError("ResultSet: row index out of range");
   }
   return rows[row][*col];
+}
+
+bool group_values_equal(const Value& a, const Value& b) noexcept {
+  if (a.is_null()) return b.is_null();
+  if (a.is_int()) return b.is_int() && a.as_int() == b.as_int();
+  if (a.is_real()) {
+    if (!b.is_real()) return false;
+    const double x = a.as_real();
+    const double y = b.as_real();
+    if (std::isnan(x) || std::isnan(y)) return std::isnan(x) && std::isnan(y);
+    return x == y && std::signbit(x) == std::signbit(y);
+  }
+  return b.is_text() && a.as_text() == b.as_text();
+}
+
+bool group_rows_equal(const Row& a, const Row& b,
+                      std::size_t prefix) noexcept {
+  if (a.size() < prefix || b.size() < prefix) return false;
+  for (std::size_t i = 0; i < prefix; ++i) {
+    if (!group_values_equal(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+std::size_t group_rows_hash(const Row& row, std::size_t prefix) noexcept {
+  // FNV-style accumulation over the per-value hashes keeps the combined
+  // hash sensitive to position.
+  std::size_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < prefix && i < row.size(); ++i) {
+    h ^= std::hash<Value>{}(row[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void sort_and_limit(ResultSet& result, const std::vector<OrderSpec>& orders,
+                    std::optional<std::size_t> limit) {
+  if (!orders.empty()) {
+    std::vector<std::pair<std::size_t, bool>> keys;
+    keys.reserve(orders.size());
+    for (const auto& order : orders) {
+      const auto idx = result.column_index(order.column);
+      if (!idx) {
+        throw common::DbError("order by: column '" + order.column +
+                              "' not in result set");
+      }
+      keys.emplace_back(*idx, order.descending);
+    }
+    const auto row_less = [&](const Row& a, const Row& b) {
+      for (const auto& [idx, desc] : keys) {
+        const auto ord = a[idx].compare(b[idx]);
+        if (ord == std::partial_ordering::less) return !desc;
+        if (ord == std::partial_ordering::greater) return desc;
+      }
+      return false;
+    };
+    if (limit && *limit < result.rows.size()) {
+      std::vector<std::size_t> order(result.rows.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::partial_sort(order.begin(),
+                        order.begin() + static_cast<std::ptrdiff_t>(*limit),
+                        order.end(), [&](std::size_t ia, std::size_t ib) {
+                          if (row_less(result.rows[ia], result.rows[ib])) {
+                            return true;
+                          }
+                          if (row_less(result.rows[ib], result.rows[ia])) {
+                            return false;
+                          }
+                          return ia < ib;
+                        });
+      std::vector<Row> top;
+      top.reserve(*limit);
+      for (std::size_t i = 0; i < *limit; ++i) {
+        top.push_back(std::move(result.rows[order[i]]));
+      }
+      result.rows = std::move(top);
+      return;
+    }
+    std::stable_sort(result.rows.begin(), result.rows.end(), row_less);
+  }
+  if (limit && result.rows.size() > *limit) result.rows.resize(*limit);
 }
 
 }  // namespace stampede::db

@@ -92,6 +92,30 @@ class Select {
   bool distinct_ = false;
 };
 
+// -- row-key semantics for GROUP BY / DISTINCT ------------------------------
+//
+// Group and DISTINCT keys are type-tagged: int 1 and real 1.0 are
+// *different* keys (unlike Value::operator==, which compares
+// numerically) — the semantics the engine has always had via its
+// serialized string keys, now expressed directly over hashed Values so
+// the hot paths stop allocating a string per row.
+
+/// Type-tagged equality of two key values. NULL equals NULL; NaN equals
+/// NaN; +0.0 and -0.0 stay distinct (they render differently).
+[[nodiscard]] bool group_values_equal(const Value& a, const Value& b) noexcept;
+
+/// Equality of the first `prefix` values of two rows under
+/// group_values_equal.
+[[nodiscard]] bool group_rows_equal(const Row& a, const Row& b,
+                                    std::size_t prefix) noexcept;
+
+/// Order-sensitive combination of std::hash<Value> over the first
+/// `prefix` values. Consistent with group_rows_equal (equal rows hash
+/// equal; std::hash<Value> already hashes int 1 and real 1.0 alike,
+/// which is merely a benign collision here).
+[[nodiscard]] std::size_t group_rows_hash(const Row& row,
+                                          std::size_t prefix) noexcept;
+
 /// Materialized query result.
 struct ResultSet {
   std::vector<std::string> columns;
@@ -112,5 +136,14 @@ struct ResultSet {
   [[nodiscard]] bool empty() const noexcept { return rows.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return rows.size(); }
 };
+
+/// Applies the ORDER BY / LIMIT tail to a materialized result: a bounded
+/// top-k (partial sort over row indexes, original index as the final
+/// tie-break) when a limit smaller than the row count is present, a full
+/// stable sort otherwise. The index tie-break makes the top-k output
+/// byte-identical to stable_sort-then-truncate. Throws common::DbError
+/// when an order column is not in the result set.
+void sort_and_limit(ResultSet& result, const std::vector<OrderSpec>& orders,
+                    std::optional<std::size_t> limit);
 
 }  // namespace stampede::db

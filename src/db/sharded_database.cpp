@@ -77,6 +77,21 @@ std::size_t ShardedDatabase::row_count(const std::string& table) const {
   return total;
 }
 
+void ShardedDatabase::set_exclusive_reads(bool on) noexcept {
+  for (auto& shard : shards_) shard->set_exclusive_reads(on);
+}
+
+std::vector<std::uint64_t> ShardedDatabase::table_versions(
+    const std::vector<std::string>& names) const {
+  std::vector<std::uint64_t> versions;
+  versions.reserve(names.size() * shards_.size());
+  for (const auto& shard : shards_) {
+    const auto block = shard->table_versions(names);
+    versions.insert(versions.end(), block.begin(), block.end());
+  }
+  return versions;
+}
+
 std::size_t ShardedDatabase::recover() {
   std::size_t applied = 0;
   for (auto& shard : shards_) applied += shard->recover();

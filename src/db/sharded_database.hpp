@@ -79,6 +79,17 @@ class ShardedDatabase {
   /// Total live rows across shards.
   [[nodiscard]] std::size_t row_count(const std::string& table) const;
 
+  /// Forces every shard's read entry points onto the exclusive lock
+  /// (benchmark-only A/B switch; see StorageShard::set_exclusive_reads).
+  void set_exclusive_reads(bool on) noexcept;
+
+  /// Versions of `names` on every shard, concatenated shard-major
+  /// (shard 0's versions, then shard 1's, …). Each shard's block is one
+  /// consistent observation; the cache treats the whole vector as the
+  /// archive-wide version stamp.
+  [[nodiscard]] std::vector<std::uint64_t> table_versions(
+      const std::vector<std::string>& names) const;
+
   /// Replays every shard's WAL; returns total operations applied.
   std::size_t recover();
 

@@ -1,0 +1,91 @@
+#pragma once
+// Writer-preferring reader-writer mutex (DESIGN.md §10).
+//
+// Why not std::shared_mutex: on glibc it is a reader-preferring
+// pthread_rwlock, so a steady stream of shared acquisitions — exactly
+// what dashboard / statistics pollers produce — can starve a waiting
+// writer indefinitely. On a loaded (or single-core) host the loader's
+// begin() then never acquires the exclusive lock and ingest stops: the
+// opposite of the §10 goal of bounded commit latency under reads.
+//
+// This lock flips the preference: once a writer is *waiting*, new
+// shared acquisitions queue behind it, so writer wait time is bounded
+// by the in-flight readers only. Readers cannot starve in return
+// because writes are punctuated (one commit releases the lock and the
+// whole blocked reader cohort enters before the next writer arrives).
+//
+// Meets BasicLockable / Lockable / SharedLockable, so std::unique_lock
+// and std::shared_lock work unchanged. Not recursive in either mode —
+// the StorageShard guards never nest (see database.hpp discipline).
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace stampede::db {
+
+class SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  // -- exclusive --------------------------------------------------------------
+
+  void lock() {
+    std::unique_lock lk{m_};
+    ++writers_waiting_;
+    writer_cv_.wait(lk, [&] { return !writer_active_ && readers_ == 0; });
+    --writers_waiting_;
+    writer_active_ = true;
+  }
+
+  bool try_lock() {
+    const std::lock_guard lk{m_};
+    if (writer_active_ || readers_ != 0) return false;
+    writer_active_ = true;
+    return true;
+  }
+
+  void unlock() {
+    {
+      const std::lock_guard lk{m_};
+      writer_active_ = false;
+    }
+    // A waiting writer re-checks its predicate; the reader cohort only
+    // passes once no writer is waiting, preserving the preference.
+    writer_cv_.notify_one();
+    reader_cv_.notify_all();
+  }
+
+  // -- shared -----------------------------------------------------------------
+
+  void lock_shared() {
+    std::unique_lock lk{m_};
+    reader_cv_.wait(lk,
+                    [&] { return !writer_active_ && writers_waiting_ == 0; });
+    ++readers_;
+  }
+
+  bool try_lock_shared() {
+    const std::lock_guard lk{m_};
+    if (writer_active_ || writers_waiting_ != 0) return false;
+    ++readers_;
+    return true;
+  }
+
+  void unlock_shared() {
+    const std::lock_guard lk{m_};
+    if (--readers_ == 0 && writers_waiting_ != 0) writer_cv_.notify_one();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable writer_cv_;  ///< Waits for: no writer, no readers.
+  std::condition_variable reader_cv_;  ///< Waits for: no writer active/waiting.
+  std::uint32_t readers_ = 0;
+  std::uint32_t writers_waiting_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace stampede::db

@@ -95,6 +95,7 @@ Table::InsertResult Table::insert(Row row) {
   check_unique(row, std::nullopt);
 
   const auto id = static_cast<RowId>(rows_.size());
+  ++version_;
   index_insert(id, row);
   rows_.push_back(std::move(row));
   live_.push_back(true);
@@ -193,6 +194,7 @@ bool Table::update(RowId id,
   }
   check_not_null(updated);
   check_unique(updated, static_cast<RowId>(slot));
+  ++version_;
   index_remove(static_cast<RowId>(slot), rows_[slot]);
   rows_[slot] = std::move(updated);
   index_insert(static_cast<RowId>(slot), rows_[slot]);
@@ -205,6 +207,7 @@ bool Table::erase(RowId id) {
     return false;
   }
   const auto slot = static_cast<std::size_t>(id);
+  ++version_;
   index_remove(static_cast<RowId>(slot), rows_[slot]);
   live_[slot] = false;
   --live_count_;
@@ -216,6 +219,7 @@ void Table::raw_replace(RowId id, Row row) {
   if (slot >= rows_.size() || !live_[slot]) {
     throw DbError("table " + def_.name + ": raw_replace of dead row");
   }
+  ++version_;
   index_remove(id, rows_[slot]);
   rows_[slot] = std::move(row);
   index_insert(id, rows_[slot]);
@@ -226,6 +230,7 @@ void Table::raw_revive(RowId id, Row row) {
   if (slot >= rows_.size() || live_[slot]) {
     throw DbError("table " + def_.name + ": raw_revive of live row");
   }
+  ++version_;
   rows_[slot] = std::move(row);
   live_[slot] = true;
   ++live_count_;

@@ -82,6 +82,12 @@ class Table {
 
   [[nodiscard]] std::size_t row_count() const noexcept { return live_count_; }
 
+  /// Monotonic modification counter: bumped by every mutation, including
+  /// the raw_* rollback hooks (an undone change still invalidates any
+  /// result computed from the intermediate state). Query caches key
+  /// results on it (query::QueryExecutor).
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
  private:
   void index_insert(RowId id, const Row& row);
   void index_remove(RowId id, const Row& row);
@@ -92,6 +98,7 @@ class Table {
   std::vector<Row> rows_;
   std::vector<bool> live_;
   std::size_t live_count_ = 0;
+  std::uint64_t version_ = 0;
 
   std::optional<std::size_t> pk_col_;  ///< Index into columns.
   std::int64_t next_auto_ = 1;

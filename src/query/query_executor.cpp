@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <exception>
+#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -16,14 +17,24 @@ namespace {
 using common::DbError;
 using db::AggFn;
 using db::AggSpec;
+using db::Expr;
 using db::ResultSet;
 using db::Row;
 using db::Select;
 using db::Value;
 
-// Collision-free serialization of a value for DISTINCT / group-merge
-// keys (length-prefixed, so no escaping is needed).
-void append_key(std::string& out, const Value& value) {
+// -- structural fingerprint --------------------------------------------------
+//
+// Collision-free serialization of a Select for the cache key
+// (length-prefixed fields, so no escaping is needed).
+
+void fp_string(std::string& out, const std::string& text) {
+  out += std::to_string(text.size());
+  out += ':';
+  out += text;
+}
+
+void fp_value(std::string& out, const Value& value) {
   std::string text;
   if (value.is_null()) {
     out += "N;";
@@ -38,16 +49,81 @@ void append_key(std::string& out, const Value& value) {
   } else {
     text = "S" + value.as_text();
   }
-  out += std::to_string(text.size());
-  out += ':';
-  out += text;
+  fp_string(out, text);
 }
 
-std::string row_key(const Row& row, std::size_t prefix) {
-  std::string key;
-  for (std::size_t i = 0; i < prefix; ++i) append_key(key, row[i]);
-  return key;
+void fp_expr(std::string& out, const Expr& expr) {
+  out += 'E';
+  out += std::to_string(static_cast<int>(expr.kind));
+  out += ',';
+  out += std::to_string(static_cast<int>(expr.op));
+  fp_string(out, expr.column);
+  fp_string(out, expr.column_rhs);
+  fp_value(out, expr.literal);
+  fp_string(out, expr.pattern);
+  out += '[';
+  for (const auto& value : expr.in_values) fp_value(out, value);
+  out += "](";
+  for (const auto& child : expr.children) {
+    if (child) fp_expr(out, *child);
+  }
+  out += ')';
 }
+
+std::string fingerprint(const Select& select) {
+  std::string out = "v1|";
+  fp_string(out, select.table());
+  fp_string(out, select.alias());
+  out += 'C';
+  for (const auto& name : select.selected()) fp_string(out, name);
+  out += 'J';
+  for (const auto& join : select.joins()) {
+    fp_string(out, join.table);
+    fp_string(out, join.alias);
+    fp_string(out, join.left_col);
+    fp_string(out, join.right_col);
+    out += join.left_outer ? '1' : '0';
+  }
+  out += 'W';
+  if (select.predicate()) fp_expr(out, *select.predicate());
+  out += 'G';
+  for (const auto& name : select.groups()) fp_string(out, name);
+  out += 'A';
+  for (const auto& spec : select.aggs()) {
+    out += std::to_string(static_cast<int>(spec.fn));
+    fp_string(out, spec.column);
+    fp_string(out, spec.alias);
+  }
+  out += 'O';
+  for (const auto& order : select.orders()) {
+    fp_string(out, order.column);
+    out += order.descending ? '1' : '0';
+  }
+  out += 'L';
+  out += select.row_limit() ? std::to_string(*select.row_limit()) : "-";
+  out += select.is_distinct() ? "D1" : "D0";
+  return out;
+}
+
+// -- hashed merge / dedup keys ----------------------------------------------
+//
+// Group-merge and DISTINCT keys hash the first `prefix` values of a row
+// under the engine's type-tagged key semantics (db::group_rows_hash /
+// group_rows_equal) instead of serializing a string per row.
+
+struct PrefixRowHash {
+  std::size_t prefix = 0;
+  std::size_t operator()(const Row* row) const noexcept {
+    return db::group_rows_hash(*row, prefix);
+  }
+};
+
+struct PrefixRowEq {
+  std::size_t prefix = 0;
+  bool operator()(const Row* a, const Row* b) const noexcept {
+    return db::group_rows_equal(*a, *b, prefix);
+  }
+};
 
 // Separator between an AVG alias and its partial-column suffix; cannot
 // collide with user aliases (control character).
@@ -149,13 +225,14 @@ ResultSet merge_aggregates(const Select& select,
     Row key;
     std::vector<MergeAgg> aggs;
   };
-  std::unordered_map<std::string, std::size_t> index_of;
+  // Keyed on pointers into the (immutable, stable) partial rows.
+  std::unordered_map<const Row*, std::size_t, PrefixRowHash, PrefixRowEq>
+      index_of{0, PrefixRowHash{n_groups}, PrefixRowEq{n_groups}};
   std::vector<GroupState> groups;
 
   for (const auto& part : parts) {
     for (const auto& row : part.rows) {
-      auto [it, inserted] = index_of.emplace(row_key(row, n_groups),
-                                             groups.size());
+      auto [it, inserted] = index_of.emplace(&row, groups.size());
       if (inserted) {
         GroupState state;
         state.key.assign(row.begin(),
@@ -215,6 +292,7 @@ ResultSet merge_aggregates(const Select& select,
   result.rows.reserve(groups.size());
   for (auto& state : groups) {
     Row out = std::move(state.key);
+    out.reserve(out.size() + state.aggs.size());
     for (const auto& agg : state.aggs) out.push_back(agg.result());
     result.rows.push_back(std::move(out));
   }
@@ -225,39 +303,22 @@ ResultSet merge_aggregates(const Select& select,
 /// rows, mirroring the single-shard engine's steps 5-7.
 void apply_tail(const Select& select, ResultSet& result) {
   if (select.is_distinct()) {
-    std::unordered_set<std::string> seen;
+    const std::size_t width = result.columns.size();
+    // Pointers stay valid: `unique` is reserved to the input size and
+    // never reallocates.
+    std::unordered_set<const Row*, PrefixRowHash, PrefixRowEq> seen{
+        0, PrefixRowHash{width}, PrefixRowEq{width}};
+    seen.reserve(result.rows.size());
     std::vector<Row> unique;
     unique.reserve(result.rows.size());
     for (auto& row : result.rows) {
-      if (seen.insert(row_key(row, row.size())).second) {
-        unique.push_back(std::move(row));
-      }
+      if (seen.find(&row) != seen.end()) continue;
+      unique.push_back(std::move(row));
+      seen.insert(&unique.back());
     }
     result.rows = std::move(unique);
   }
-  if (!select.orders().empty()) {
-    std::vector<std::pair<std::size_t, bool>> keys;
-    for (const auto& order : select.orders()) {
-      const auto idx = result.column_index(order.column);
-      if (!idx) {
-        throw DbError("order by: column '" + order.column +
-                      "' not in result set");
-      }
-      keys.emplace_back(*idx, order.descending);
-    }
-    std::stable_sort(result.rows.begin(), result.rows.end(),
-                     [&](const Row& a, const Row& b) {
-                       for (const auto& [idx, desc] : keys) {
-                         const auto ord = a[idx].compare(b[idx]);
-                         if (ord == std::partial_ordering::less) return !desc;
-                         if (ord == std::partial_ordering::greater) return desc;
-                       }
-                       return false;
-                     });
-  }
-  if (select.row_limit() && result.rows.size() > *select.row_limit()) {
-    result.rows.resize(*select.row_limit());
-  }
+  db::sort_and_limit(result, select.orders(), select.row_limit());
 }
 
 telemetry::Counter& scatter_counter() {
@@ -272,7 +333,99 @@ telemetry::Counter& single_shard_counter() {
   return counter;
 }
 
+telemetry::Counter& cache_hit_counter() {
+  static telemetry::Counter& counter =
+      telemetry::registry().counter("stampede_query_cache_hits_total");
+  return counter;
+}
+
+telemetry::Counter& cache_miss_counter() {
+  static telemetry::Counter& counter =
+      telemetry::registry().counter("stampede_query_cache_misses_total");
+  return counter;
+}
+
+telemetry::Counter& cache_invalidation_counter() {
+  static telemetry::Counter& counter =
+      telemetry::registry().counter("stampede_query_cache_invalidations_total");
+  return counter;
+}
+
 }  // namespace
+
+/// Version-keyed memo of fleet-wide results. An entry is valid while
+/// every referenced table's modification counter (on every shard) still
+/// matches the stamp recorded at store time; any committed write bumps a
+/// counter and the next lookup discards the entry (counted as an
+/// invalidation). Thread-safe; results are held behind shared_ptr so the
+/// lock is never held while a caller copies a large ResultSet.
+class QueryCache {
+ public:
+  /// Cached result for (key, versions), or nullptr on miss. Bumps the
+  /// hit / miss / invalidation counters.
+  std::shared_ptr<const ResultSet> lookup(
+      const std::string& key, const std::vector<std::uint64_t>& versions) {
+    {
+      const std::lock_guard<std::mutex> lock{mutex_};
+      const auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        if (it->second.versions == versions) {
+          cache_hit_counter().inc();
+          return it->second.result;
+        }
+        entries_.erase(it);
+        cache_invalidation_counter().inc();
+      }
+    }
+    cache_miss_counter().inc();
+    return nullptr;
+  }
+
+  void store(std::string key, std::vector<std::uint64_t> versions,
+             const ResultSet& result) {
+    auto shared = std::make_shared<const ResultSet>(result);
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (entries_.size() >= kMaxEntries &&
+        entries_.find(key) == entries_.end()) {
+      // Bounded memory beats retention: the workload this serves
+      // (dashboards re-issuing a small query set) never gets near the
+      // cap, so wholesale reset is simpler than LRU bookkeeping.
+      entries_.clear();
+    }
+    entries_[std::move(key)] = Entry{std::move(versions), std::move(shared)};
+  }
+
+ private:
+  static constexpr std::size_t kMaxEntries = 256;
+
+  struct Entry {
+    std::vector<std::uint64_t> versions;
+    std::shared_ptr<const ResultSet> result;
+  };
+
+  std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+QueryExecutor::QueryExecutor(const db::Database& database)
+    : single_(&database), cache_(std::make_shared<QueryCache>()) {}
+
+QueryExecutor::QueryExecutor(const db::ShardedDatabase& sharded)
+    : sharded_(&sharded), cache_(std::make_shared<QueryCache>()) {}
+
+QueryExecutor::QueryExecutor(const QueryExecutor&) = default;
+QueryExecutor& QueryExecutor::operator=(const QueryExecutor&) = default;
+QueryExecutor::~QueryExecutor() = default;
+
+std::vector<std::uint64_t> QueryExecutor::collect_versions(
+    const Select& select) const {
+  std::vector<std::string> tables;
+  tables.reserve(1 + select.joins().size());
+  tables.push_back(select.table());
+  for (const auto& join : select.joins()) tables.push_back(join.table);
+  return single_ ? single_->table_versions(tables)
+                 : sharded_->table_versions(tables);
+}
 
 ResultSet QueryExecutor::gather(const std::vector<std::size_t>& shards,
                                 const Select& select) const {
@@ -319,15 +472,28 @@ ResultSet QueryExecutor::gather(const std::vector<std::size_t>& shards,
   return merged;
 }
 
-ResultSet QueryExecutor::execute(const Select& select) const {
+ResultSet QueryExecutor::execute_uncached(const Select& select) const {
   if (single_) return single_->execute(select);
   std::vector<std::size_t> all(sharded_->shard_count());
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
   return gather(all, select);
 }
 
+ResultSet QueryExecutor::execute(const Select& select) const {
+  const std::string key = fingerprint(select);
+  std::vector<std::uint64_t> versions = collect_versions(select);
+  if (const auto cached = cache_->lookup(key, versions)) return *cached;
+  ResultSet result = execute_uncached(select);
+  // Only cache when no write committed while we were computing —
+  // otherwise the result belongs to neither the before- nor the
+  // after-stamp and must not be served again.
+  if (collect_versions(select) == versions) {
+    cache_->store(std::move(key), std::move(versions), result);
+  }
+  return result;
+}
+
 std::optional<Value> QueryExecutor::scalar(const Select& select) const {
-  if (single_) return single_->scalar(select);
   const ResultSet rs = execute(select);
   if (rs.rows.empty() || rs.rows.front().empty()) return std::nullopt;
   return rs.rows.front().front();

@@ -8,6 +8,16 @@
 // mergeable partials (AVG becomes per-shard SUM+COUNT) and combined
 // per group with the same null semantics as the single-shard engine.
 //
+// Fleet-wide execute()/scalar() results are memoized in a version-keyed
+// cache: the key is (structural fingerprint of the Select, per-table
+// modification counters of every referenced table across every shard).
+// Any committed write bumps a counter and naturally invalidates — no
+// explicit invalidation hook, and a result is only stored when the
+// versions observed before and after execution match (so a result
+// computed while a writer raced is never cached). Telemetry:
+// stampede_query_cache_{hits,misses,invalidations}_total. Copies of an
+// executor share one cache; the cache itself is thread-safe.
+//
 // Workflow-scoped queries should use the *_for routes: because primary
 // keys are strided by shard, the owner of wf_id is known without
 // hashing, and the query touches exactly one shard — which also makes
@@ -15,6 +25,7 @@
 // unsharded archive.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,20 +35,27 @@
 
 namespace stampede::query {
 
+/// Version-keyed result cache (defined in query_executor.cpp).
+class QueryCache;
+
 class QueryExecutor {
  public:
   /// Single-shard pass-through (the original Database path).
-  explicit QueryExecutor(const db::Database& database) : single_(&database) {}
+  explicit QueryExecutor(const db::Database& database);
 
   /// Scatter-gather over every shard.
-  explicit QueryExecutor(const db::ShardedDatabase& sharded)
-      : sharded_(&sharded) {}
+  explicit QueryExecutor(const db::ShardedDatabase& sharded);
+
+  QueryExecutor(const QueryExecutor&);
+  QueryExecutor& operator=(const QueryExecutor&);
+  ~QueryExecutor();
 
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return sharded_ ? sharded_->shard_count() : 1;
   }
 
-  /// Fleet-wide: all shards, merged.
+  /// Fleet-wide: all shards, merged; memoized in the version-keyed
+  /// cache (see file header).
   [[nodiscard]] db::ResultSet execute(const db::Select& select) const;
   [[nodiscard]] std::optional<db::Value> scalar(const db::Select& select) const;
 
@@ -57,8 +75,17 @@ class QueryExecutor {
   [[nodiscard]] db::ResultSet gather(const std::vector<std::size_t>& shards,
                                      const db::Select& select) const;
 
+  /// The uncached fleet-wide path behind execute().
+  [[nodiscard]] db::ResultSet execute_uncached(const db::Select& select) const;
+
+  /// Version stamp of every table `select` references (base + joins),
+  /// across every shard.
+  [[nodiscard]] std::vector<std::uint64_t> collect_versions(
+      const db::Select& select) const;
+
   const db::Database* single_ = nullptr;
   const db::ShardedDatabase* sharded_ = nullptr;
+  std::shared_ptr<QueryCache> cache_;  ///< Shared by copies.
 };
 
 }  // namespace stampede::query
