@@ -12,8 +12,18 @@
 #include "netlogger/formatter.hpp"
 #include "netlogger/record.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace stampede::bus {
+
+/// Routing-key prefix of the tracer's own span events (DESIGN.md §11).
+/// Messages under it are never traced — the self-amplification guard
+/// that keeps span re-publication from spawning spans about spans.
+inline constexpr std::string_view kTraceEventPrefix = "stampede.trace.";
+
+[[nodiscard]] inline bool is_trace_event(std::string_view routing_key) {
+  return routing_key.substr(0, kTraceEventPrefix.size()) == kTraceEventPrefix;
+}
 
 class BpPublisher {
  public:
@@ -29,7 +39,11 @@ class BpPublisher {
   }
 
   /// Formats and publishes one record; returns queues reached. The
-  /// publish-side trace stamp starts the end-to-end latency clock.
+  /// publish-side trace stamp starts the end-to-end latency clock, and —
+  /// when the head-sampling decision says yes — a new trace roots here:
+  /// the context rides on the message (and as a `traceparent` header for
+  /// peers without the TRACE wire field), and a local "bus.publish" span
+  /// measures the publish call itself.
   std::size_t publish(const nl::LogRecord& record) {
     Message message;
     message.routing_key = record.event();
@@ -38,6 +52,18 @@ class BpPublisher {
     message.persistent = persistent_;
     message.trace_published = telemetry::trace_now();
     ++published_;
+    if (!is_trace_event(message.routing_key)) {
+      auto& tracer = telemetry::Tracer::instance();
+      message.trace_ctx = tracer.start_trace();
+      if (message.trace_ctx.valid()) {
+        message.trace_published_wall =
+            tracer.wall_at(message.trace_published);
+        message.headers["traceparent"] = message.trace_ctx.to_traceparent();
+        telemetry::SpanGuard span{"bus.publish", message.trace_ctx};
+        span.attr("routing_key", message.routing_key);
+        return broker_->publish(exchange_, std::move(message));
+      }
+    }
     return broker_->publish(exchange_, std::move(message));
   }
 

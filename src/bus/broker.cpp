@@ -7,6 +7,7 @@
 #include "bus/spool.hpp"
 #include "common/errors.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace stampede::bus {
 
@@ -43,6 +44,20 @@ BusTelemetry& bus_telemetry() {
 // raw 20 Hz basic_get loop until it dead-letters.
 constexpr std::chrono::milliseconds kRetryBackoffBase{10};
 constexpr std::chrono::milliseconds kRetryBackoffMax{500};
+
+/// The spool record for a live message, trace fields included so
+/// compaction/recovery rewrites keep redeliveries on their trace.
+spool::MessageRecord spool_record(const Message& msg) {
+  spool::MessageRecord rec;
+  rec.seq = msg.spool_seq;
+  rec.routing_key = msg.routing_key;
+  rec.body = msg.body;
+  if (msg.trace_ctx.valid()) {
+    rec.traceparent = msg.trace_ctx.to_traceparent();
+    rec.published_wall = msg.trace_published_wall;
+  }
+  return rec;
+}
 
 }  // namespace
 
@@ -202,6 +217,16 @@ std::vector<std::string> Broker::queue_names() const {
 
 std::size_t Broker::publish(const std::string& exchange, Message message) {
   if (closed_.load()) return 0;
+  // A message from a peer without the TRACE wire field still carries its
+  // context as a `traceparent` header — restore it so spool records and
+  // downstream spans keep the trace.
+  if (!message.trace_ctx.valid() && !message.headers.empty()) {
+    const auto tp = message.headers.find("traceparent");
+    if (tp != message.headers.end()) {
+      (void)telemetry::TraceContext::from_traceparent(tp->second,
+                                                      &message.trace_ctx);
+    }
+  }
   auto& tele = bus_telemetry();
   const double route_start = telemetry::trace_now();
   std::vector<std::shared_ptr<QueueEntry>> targets;
@@ -233,6 +258,10 @@ std::size_t Broker::publish(const std::string& exchange, Message message) {
   // Enqueue outside the broker lock: BrokerQueue has its own mutex and
   // spooling does file I/O (CP.43 — keep critical sections small).
   message.trace_enqueued = route_start > 0.0 ? telemetry::now() : 0.0;
+  if (message.trace_ctx.valid() && message.trace_enqueued > 0.0) {
+    message.trace_enqueued_wall =
+        telemetry::Tracer::instance().wall_at(message.trace_enqueued);
+  }
   for (std::size_t i = 0; i < targets.size(); ++i) {
     const bool last = i + 1 == targets.size();
     spool_publish(*targets[i], last ? std::move(message) : message);
@@ -409,10 +438,18 @@ void Broker::spool_publish(QueueEntry& entry, Message message) {
   const std::scoped_lock slock{entry.spool_mutex};
   message.spool_seq = entry.next_seq++;
   if (entry.spool_out) {
-    entry.spool_out << spool::encode_message(message.spool_seq,
-                                             message.routing_key, message.body)
+    const std::string traceparent = message.trace_ctx.valid()
+                                        ? message.trace_ctx.to_traceparent()
+                                        : std::string{};
+    entry.spool_out << spool::encode_message(
+                           message.spool_seq, message.routing_key,
+                           message.body, traceparent,
+                           message.trace_published_wall)
                     << '\n';
     entry.spool_out.flush();
+    if (message.trace_ctx.valid()) {
+      message.trace_spooled_wall = telemetry::Tracer::instance().wall_now();
+    }
   }
   const auto result = entry.queue.enqueue(std::move(message));
   if (result.dropped_spool_seq != 0) {
@@ -444,7 +481,7 @@ void Broker::compact_locked(QueueEntry& entry) {
   std::vector<spool::MessageRecord> records;
   records.reserve(live.size());
   for (const auto& msg : live) {
-    records.push_back({msg.spool_seq, msg.routing_key, msg.body});
+    records.push_back(spool_record(msg));
   }
   entry.spool_out.close();
   spool::rewrite_file(entry.spool_path, records);
@@ -471,6 +508,14 @@ void Broker::spool_recover(QueueEntry& entry) {
     message.persistent = true;
     message.spool_seq = rec.seq;
     message.replayed = true;
+    // A traced message keeps its trace across the crash: redeliveries
+    // after restart belong to the same causal tree (DESIGN.md §11).
+    if (!rec.traceparent.empty() &&
+        telemetry::TraceContext::from_traceparent(rec.traceparent,
+                                                  &message.trace_ctx)) {
+      message.trace_published_wall = rec.published_wall;
+      message.headers["traceparent"] = std::move(rec.traceparent);
+    }
     entry.queue.enqueue(std::move(message));
   }
   // Recovery always rewrites the file down to the live set — the one
@@ -482,7 +527,7 @@ void Broker::spool_recover(QueueEntry& entry) {
   std::vector<spool::MessageRecord> records;
   records.reserve(live.size());
   for (const auto& msg : live) {
-    records.push_back({msg.spool_seq, msg.routing_key, msg.body});
+    records.push_back(spool_record(msg));
   }
   spool::rewrite_file(entry.spool_path, records);
   if (recovered.acks > 0 || recovered.legacy ||

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/time_utils.hpp"
+#include "telemetry/span.hpp"
 
 namespace stampede::bus {
 
@@ -34,6 +35,17 @@ struct Message {
   // byte-identical to a file replay.
   double trace_published = 0.0;  ///< BpPublisher::publish.
   double trace_enqueued = 0.0;   ///< Broker::publish routing.
+
+  // Distributed-tracing context (DESIGN.md §11), set by the publisher
+  // when the trace was head-sampled; invalid (all-zero) otherwise. The
+  // wall stamps are anchored epoch seconds (Tracer::wall_at) for the
+  // same instants as the steady stamps above — comparable across
+  // processes. The context also rides as a `traceparent` header so it
+  // survives peers that predate the TRACE wire field.
+  telemetry::TraceContext trace_ctx;
+  double trace_published_wall = 0.0;  ///< BpPublisher::publish.
+  double trace_enqueued_wall = 0.0;   ///< Broker::publish routing.
+  double trace_spooled_wall = 0.0;    ///< Durable-spool append (0 = not spooled).
 };
 
 class BrokerQueue;

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 
@@ -104,13 +105,22 @@ std::string decode_field(std::string_view& rest, bool& ok) {
 }
 
 std::string encode_message(std::uint64_t seq, std::string_view routing_key,
-                           std::string_view body) {
+                           std::string_view body, std::string_view traceparent,
+                           double published_wall) {
   std::string out = "M ";
   out += std::to_string(seq);
   out.push_back(' ');
   out += encode_field(routing_key);
   out.push_back(' ');
   out += encode_field(body);
+  if (!traceparent.empty()) {
+    out.push_back(' ');
+    out += encode_field(traceparent);
+    out.push_back(' ');
+    char wall[32];
+    std::snprintf(wall, sizeof wall, "%.6f", published_wall);
+    out += wall;
+  }
   return out;
 }
 
@@ -139,6 +149,18 @@ Record decode_record(std::string_view line) {
     if (!ok) return RecordError{"torn routing key"};
     msg.body = decode_field(rest, ok);
     if (!ok) return RecordError{"torn body"};
+    if (!rest.empty()) {
+      // Optional trace fields (traced publishes only).
+      msg.traceparent = decode_field(rest, ok);
+      if (!ok) return RecordError{"torn traceparent"};
+      const std::string_view wall = take_token(rest);
+      char* end = nullptr;
+      std::string wall_text{wall};
+      msg.published_wall = std::strtod(wall_text.c_str(), &end);
+      if (end == wall_text.c_str() || *end != '\0') {
+        return RecordError{"bad publish wall time"};
+      }
+    }
     return msg;
   }
   return RecordError{"unknown record marker"};
@@ -234,7 +256,9 @@ void rewrite_file(const std::string& path,
     if (!out) return;  // Spool loss degrades durability, not availability.
     out << kHeader << '\n';
     for (const auto& msg : live) {
-      out << encode_message(msg.seq, msg.routing_key, msg.body) << '\n';
+      out << encode_message(msg.seq, msg.routing_key, msg.body,
+                            msg.traceparent, msg.published_wall)
+          << '\n';
     }
     out.flush();
   }

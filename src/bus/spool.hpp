@@ -5,6 +5,12 @@
 //
 //   stampede-spool v2          -- header, first line
 //   M <seq> <key> <body>       -- a persistent message, fields escaped
+//   M <seq> <key> <body> <traceparent> <wall>
+//                              -- same, from a traced publish: the
+//                                 message's trace context and anchored
+//                                 publish wall time, so redeliveries
+//                                 after a broker restart keep their
+//                                 trace (DESIGN.md §11)
 //   A <seq>                    -- acknowledgment of message <seq>
 //
 // Sequence numbers are per-queue, strictly increasing and never reused,
@@ -35,6 +41,10 @@ struct MessageRecord {
   std::uint64_t seq = 0;
   std::string routing_key;
   std::string body;
+  // Optional trailing trace fields; empty/zero on untraced messages and
+  // on records written before distributed tracing existed.
+  std::string traceparent;
+  double published_wall = 0.0;
 };
 
 struct AckRecord {
@@ -56,9 +66,13 @@ using Record = std::variant<MessageRecord, AckRecord, RecordError>;
 /// quote (a torn record).
 [[nodiscard]] std::string decode_field(std::string_view& rest, bool& ok);
 
+/// The trace fields are appended only when `traceparent` is non-empty,
+/// so untraced messages encode byte-identically to earlier releases.
 [[nodiscard]] std::string encode_message(std::uint64_t seq,
                                          std::string_view routing_key,
-                                         std::string_view body);
+                                         std::string_view body,
+                                         std::string_view traceparent = {},
+                                         double published_wall = 0.0);
 [[nodiscard]] std::string encode_ack(std::uint64_t seq);
 
 /// Decodes one spool line. RecordError for anything malformed (unknown

@@ -2,6 +2,7 @@
 
 #include "dashboard/json.hpp"
 #include "dashboard/telemetry_routes.hpp"
+#include "dashboard/trace_routes.hpp"
 
 namespace stampede::dash {
 
@@ -16,10 +17,11 @@ Dashboard::Dashboard(const db::ShardedDatabase& database, int port)
 }
 
 void Dashboard::install_routes() {
-  server_.route("/healthz", [](const HttpRequest&) {
-    return HttpResponse::json(R"({"status":"ok"})");
-  });
+  // The read-only dashboard serves as soon as it binds, so readiness
+  // coincides with liveness (register_health_routes' nullptr default).
+  register_health_routes(server_);
   register_telemetry_routes(server_);
+  register_trace_routes(server_);
   server_.route("/workflows",
                 [this](const HttpRequest& r) { return workflows(r); });
   server_.route("/workflow/{uuid}/summary",

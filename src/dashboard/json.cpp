@@ -1,5 +1,6 @@
 #include "dashboard/json.hpp"
 
+#include <charconv>
 #include <cstdio>
 
 namespace stampede::dash {
@@ -92,9 +93,12 @@ JsonWriter& JsonWriter::value(std::string_view text) {
 
 JsonWriter& JsonWriter::value(double number) {
   comma_if_needed();
+  // Shortest representation that round-trips the exact double: %g-style
+  // fixed precision truncates epoch-second timestamps (~1.8e9) to
+  // minute granularity, which would destroy span ordering in /tracez.
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.6g", number);
-  out_ += buf;
+  const auto result = std::to_chars(buf, buf + sizeof(buf), number);
+  out_.append(buf, result.ptr);
   return *this;
 }
 

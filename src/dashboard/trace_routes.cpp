@@ -1,0 +1,203 @@
+#include "dashboard/trace_routes.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dashboard/json.hpp"
+
+namespace stampede::dash {
+namespace {
+
+using telemetry::Span;
+using telemetry::SpanSink;
+using telemetry::TraceContext;
+
+/// Value of `name` in a raw query string ("a=1&b=2"), or empty.
+std::string query_param(const std::string& query, std::string_view name) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    const std::size_t amp = query.find('&', pos);
+    const std::string_view pair =
+        std::string_view{query}.substr(pos, amp == std::string::npos
+                                                ? std::string::npos
+                                                : amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == name) {
+      return std::string{pair.substr(eq + 1)};
+    }
+    if (amp == std::string::npos) break;
+    pos = amp + 1;
+  }
+  return {};
+}
+
+/// Parses a 32-hex-char trace id into (hi, lo). False on malformed.
+bool parse_trace_id(std::string_view text, std::uint64_t* hi,
+                    std::uint64_t* lo) {
+  if (text.size() != 32) return false;
+  std::uint64_t parts[2] = {0, 0};
+  for (int half = 0; half < 2; ++half) {
+    for (int i = 0; i < 16; ++i) {
+      const char c = text[static_cast<std::size_t>(half * 16 + i)];
+      std::uint64_t nibble = 0;
+      if (c >= '0' && c <= '9') {
+        nibble = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        nibble = static_cast<std::uint64_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        nibble = static_cast<std::uint64_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+      parts[half] = (parts[half] << 4) | nibble;
+    }
+  }
+  *hi = parts[0];
+  *lo = parts[1];
+  return true;
+}
+
+void write_span(JsonWriter& w, const Span& span) {
+  w.begin_object();
+  w.key("name").value(span.name);
+  w.key("trace_id").value(span.context.trace_id_hex());
+  w.key("span_id").value(span.context.span_id_hex());
+  char parent[17];
+  std::snprintf(parent, sizeof(parent), "%016llx",
+                static_cast<unsigned long long>(span.parent_span_id));
+  w.key("parent_span_id").value(parent);
+  w.key("start").value(span.start_wall);
+  w.key("duration_ms").value(span.duration * 1e3);
+  w.key("error").value(span.error);
+  w.key("attributes").begin_object();
+  for (const auto& [key, value] : span.attributes) {
+    w.key(key).value(value);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+HttpResponse tracez(const SpanSink& sink, const HttpRequest& request) {
+  const std::string view = query_param(request.query, "view");
+  const std::string trace = query_param(request.query, "trace");
+  std::size_t limit = 100;
+  if (const std::string raw = query_param(request.query, "limit");
+      !raw.empty()) {
+    limit = static_cast<std::size_t>(std::strtoull(raw.c_str(), nullptr, 10));
+    if (limit == 0) limit = 100;
+  }
+
+  std::vector<Span> spans;
+  if (!trace.empty()) {
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+    if (!parse_trace_id(trace, &hi, &lo)) {
+      return HttpResponse{400, "text/plain", "bad trace id"};
+    }
+    spans = sink.trace(hi, lo);
+  } else if (view == "slow") {
+    spans = sink.slowest(limit);
+  } else if (view == "errors") {
+    spans = sink.errors(limit);
+  } else {
+    spans = sink.recent(limit);
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("view").value(trace.empty() ? (view.empty() ? "recent" : view)
+                                    : "trace");
+  w.key("sample_rate").value(telemetry::Tracer::instance().sample_rate());
+  w.key("recorded").value(static_cast<std::int64_t>(sink.recorded()));
+  w.key("dropped").value(static_cast<std::int64_t>(sink.dropped()));
+  w.key("capacity").value(static_cast<std::int64_t>(sink.capacity()));
+  w.key("spans").begin_array();
+  for (const auto& span : spans) write_span(w, span);
+  w.end_array();
+  w.end_object();
+  return HttpResponse::json(w.str());
+}
+
+/// The waterfall page: pure server-rendered HTML; each span becomes a
+/// horizontal bar positioned on the trace's shared wall-clock axis.
+HttpResponse waterfall(const SpanSink& sink, const HttpRequest& request) {
+  const std::string& id = request.params.at(0);
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  if (!parse_trace_id(id, &hi, &lo)) {
+    return HttpResponse{400, "text/plain", "bad trace id"};
+  }
+  const std::vector<Span> spans = sink.trace(hi, lo);
+  if (spans.empty()) {
+    return HttpResponse::not_found("trace not found (evicted or unsampled)");
+  }
+
+  double t0 = spans.front().start_wall;
+  double t1 = t0;
+  for (const auto& span : spans) {
+    t0 = std::min(t0, span.start_wall);
+    t1 = std::max(t1, span.start_wall + span.duration);
+  }
+  const double total = std::max(t1 - t0, 1e-9);
+
+  std::string html;
+  html += "<!doctype html><html><head><title>trace " + json_escape(id) +
+          "</title><style>"
+          "body{font-family:monospace;background:#111;color:#ddd;margin:2em}"
+          ".row{display:flex;align-items:center;height:1.6em}"
+          ".label{width:14em;overflow:hidden;white-space:nowrap}"
+          ".track{position:relative;flex:1;height:1.1em;background:#1c1c1c}"
+          ".bar{position:absolute;height:100%;background:#4a90d9;"
+          "min-width:2px}"
+          ".bar.error{background:#d94a4a}"
+          ".ms{margin-left:.6em;color:#888;white-space:nowrap}"
+          "</style></head><body>";
+  html += "<h2>trace " + json_escape(id) + "</h2>";
+  char header[96];
+  std::snprintf(header, sizeof(header), "<p>%zu spans, %.3f ms total</p>",
+                spans.size(), total * 1e3);
+  html += header;
+  for (const auto& span : spans) {
+    const double left = (span.start_wall - t0) / total * 100.0;
+    const double width = std::max(span.duration / total * 100.0, 0.1);
+    char bar[192];
+    std::snprintf(bar, sizeof(bar),
+                  "<div class=\"track\"><div class=\"bar%s\" "
+                  "style=\"left:%.2f%%;width:%.2f%%\"></div></div>"
+                  "<span class=\"ms\">%.3f ms</span></div>",
+                  span.error ? " error" : "", left, width,
+                  span.duration * 1e3);
+    html += "<div class=\"row\"><span class=\"label\">" +
+            json_escape(span.name) + "</span>" + bar;
+  }
+  html += "</body></html>";
+  HttpResponse response = HttpResponse::text(std::move(html));
+  response.content_type = "text/html";
+  return response;
+}
+
+}  // namespace
+
+void register_trace_routes(HttpServer& server, const SpanSink& sink) {
+  server.route("/tracez", [&sink](const HttpRequest& request) {
+    return tracez(sink, request);
+  });
+  server.route("/trace/{trace_id}", [&sink](const HttpRequest& request) {
+    return waterfall(sink, request);
+  });
+}
+
+void register_health_routes(HttpServer& server, std::function<bool()> ready) {
+  server.route("/healthz", [](const HttpRequest&) {
+    return HttpResponse::json(R"({"status":"ok"})");
+  });
+  server.route("/readyz", [ready = std::move(ready)](const HttpRequest&) {
+    if (!ready || ready()) return HttpResponse::json(R"({"ready":true})");
+    return HttpResponse{503, "application/json", R"({"ready":false})"};
+  });
+}
+
+}  // namespace stampede::dash

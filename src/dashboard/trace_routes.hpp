@@ -1,0 +1,34 @@
+#pragma once
+// Tracing + health endpoints for any embedded HttpServer (DESIGN.md §11):
+//
+//   GET /tracez              — JSON views over the span ring buffer:
+//                              ?view=recent|slow|errors (default recent),
+//                              ?trace=<32 hex> narrows to one trace,
+//                              ?limit=N caps the span count (default 100)
+//   GET /trace/{trace_id}    — HTML latency-waterfall page for one trace
+//                              (publish → enqueue → spool → dequeue →
+//                              commit stages on a shared time axis)
+//   GET /healthz             — liveness probe, always 200
+//   GET /readyz              — readiness probe: 200 when the supplied
+//                              callback says yes, 503 otherwise
+//
+// The Dashboard mounts all of them; standalone tools (nl_load_cli's
+// metrics server) mount them on a bare HttpServer.
+
+#include <functional>
+
+#include "dashboard/http_server.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace stampede::dash {
+
+void register_trace_routes(HttpServer& server,
+                           const telemetry::SpanSink& sink =
+                               telemetry::Tracer::instance().sink());
+
+/// `ready` is polled per request; nullptr means always ready (liveness
+/// and readiness coincide, as on the read-only Dashboard).
+void register_health_routes(HttpServer& server,
+                            std::function<bool()> ready = nullptr);
+
+}  // namespace stampede::dash

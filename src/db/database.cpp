@@ -674,6 +674,10 @@ PlanCounters& plan_counters() {
   return counters;
 }
 
+/// Per-thread snapshot of the running query's planner choices; queries
+/// never span threads, so thread_local gives race-free attribution.
+thread_local PlanInfo g_last_plan;
+
 /// Left rows at or below this count take the index-nested-loop join
 /// (O(left · log right) probes) instead of building a hash of the whole
 /// right table.
@@ -693,12 +697,15 @@ struct GroupKeyEq {
 
 }  // namespace
 
+const PlanInfo& last_plan_info() noexcept { return g_last_plan; }
+
 ResultSet StorageShard::execute(const Select& select) const {
   const ReadGuard guard{*this};
   return execute_unlocked(select);
 }
 
 ResultSet StorageShard::execute_unlocked(const Select& select) const {
+  g_last_plan = {};
   // Assemble the source chain and the flat column map.
   std::vector<Source> sources;
   {
@@ -824,11 +831,13 @@ ResultSet StorageShard::execute_unlocked(const Select& select) const {
     };
     if (used_index) {
       plan_counters().base_index.inc();
+      ++g_last_plan.base_index;
       for (const RowId id : candidates) {
         if (const Row* row = base.fetch(id)) add_row(*row);
       }
     } else {
       plan_counters().base_scan.inc();
+      ++g_last_plan.base_scan;
       base.scan([&](RowId, const Row& row) { add_row(row); });
     }
   }
@@ -910,6 +919,7 @@ ResultSet StorageShard::execute_unlocked(const Select& select) const {
         wide.size() <= kIndexJoinMaxProbe) {
       // Index-nested-loop: probe the join index per left row.
       plan_counters().index_join.inc();
+      ++g_last_plan.index_joins;
       for (auto& left_row : wide) {
         const Value& key = left_row[left_index];
         std::vector<RowId> ids;
@@ -938,6 +948,7 @@ ResultSet StorageShard::execute_unlocked(const Select& select) const {
       // Hash join; the pushed-down conjunct narrows the build side —
       // through the filter column's index when it has one.
       plan_counters().hash_join.inc();
+      ++g_last_plan.hash_joins;
       std::unordered_map<Value, std::vector<const Row*>> build;
       const auto build_add = [&](const Row& row) {
         if (filter_pass(row) && !row[*right_col].is_null()) {
@@ -946,6 +957,7 @@ ResultSet StorageShard::execute_unlocked(const Select& select) const {
       };
       if (filter && filter_indexed) {
         plan_counters().join_pushdown.inc();
+        ++g_last_plan.join_pushdowns;
         const std::string& filter_name =
             right.def().columns[*filter_col].name;
         std::vector<RowId> ids =

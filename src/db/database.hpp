@@ -65,6 +65,21 @@ namespace stampede::db {
 /// Column-name/value pairs, the convenient insert/update currency.
 using NamedValues = std::vector<std::pair<std::string, Value>>;
 
+/// Planner choices made by the most recent execute() on this thread.
+/// Reset at the start of every query; read by the query layer to attach
+/// plan attributes to query spans and the slow-query log without
+/// snapshotting the process-wide counters.
+struct PlanInfo {
+  std::uint64_t base_index = 0;     ///< Base rows fetched via index probe.
+  std::uint64_t base_scan = 0;      ///< Base rows fetched via full scan.
+  std::uint64_t index_joins = 0;    ///< Index-nested-loop joins taken.
+  std::uint64_t hash_joins = 0;     ///< Hash joins taken.
+  std::uint64_t join_pushdowns = 0; ///< Build sides narrowed via pushdown.
+};
+
+/// The PlanInfo for the last execute() that ran on the calling thread.
+[[nodiscard]] const PlanInfo& last_plan_info() noexcept;
+
 class StorageShard {
  public:
   /// In-memory shard.

@@ -6,6 +6,7 @@
 
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace stampede::loader {
 namespace {
@@ -136,9 +137,17 @@ void QueuePump::pump(const std::stop_token& stop) {
     }
     // The dequeue-side trace stamp; together with the bus-side stamps it
     // lets the loader measure true end-to-end latency per event.
-    const telemetry::TraceStamps trace{delivery->message().trace_published,
-                                       delivery->message().trace_enqueued,
-                                       telemetry::trace_now()};
+    telemetry::TraceStamps trace{delivery->message().trace_published,
+                                 delivery->message().trace_enqueued,
+                                 telemetry::trace_now()};
+    trace.context = delivery->message().trace_ctx;
+    if (trace.context.valid()) {
+      trace.published_wall = delivery->message().trace_published_wall;
+      trace.enqueued_wall = delivery->message().trace_enqueued_wall;
+      trace.spooled_wall = delivery->message().trace_spooled_wall;
+      trace.dequeued_wall =
+          telemetry::Tracer::instance().wall_at(trace.dequeued);
+    }
     nl::ParseResult parsed = nl::parse_line(delivery->message().body);
     {
       const std::scoped_lock lock{stats_mutex_};

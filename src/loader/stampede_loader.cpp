@@ -5,6 +5,7 @@
 #include "common/string_utils.hpp"
 #include "common/time_utils.hpp"
 #include "netlogger/events.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace stampede::loader {
 
@@ -669,14 +670,18 @@ StampedeLoader::Outcome StampedeLoader::dispatch(const nl::LogRecord& r) {
 }
 
 void StampedeLoader::note_applied(const telemetry::TraceStamps& trace) {
-  if (!trace.traced()) return;
-  if (trace.enqueued > 0.0) {
+  // Cross-process events have no steady publish stamp (it does not
+  // travel), but a sampled TraceContext still awaits the commit so the
+  // waterfall spans can be reconstructed.
+  const bool wants_spans = trace.context.valid() && trace.context.sampled();
+  if (!trace.traced() && !wants_spans) return;
+  if (trace.traced() && trace.enqueued > 0.0) {
     tele_.publish_to_enqueue.observe(trace.enqueued - trace.published);
     if (trace.dequeued > 0.0) {
       tele_.enqueue_to_dequeue.observe(trace.dequeued - trace.enqueued);
     }
   }
-  awaiting_commit_.push_back(trace.published);
+  awaiting_commit_.push_back(trace);
 }
 
 void StampedeLoader::note_deferred_depth() {
@@ -701,9 +706,12 @@ void StampedeLoader::note_deferred_depth() {
 void StampedeLoader::on_batch_commit() {
   if (!awaiting_commit_.empty()) {
     const double now = telemetry::now();
-    for (const double published : awaiting_commit_) {
-      tele_.publish_to_commit.observe(now - published);
+    for (const auto& trace : awaiting_commit_) {
+      if (trace.traced()) {
+        tele_.publish_to_commit.observe(now - trace.published);
+      }
     }
+    record_waterfall_spans(now);
     awaiting_commit_.clear();
   }
   // Rows are durable exactly when this hook fires, so these events'
@@ -714,6 +722,50 @@ void StampedeLoader::on_batch_commit() {
       for (const std::uint64_t tag : awaiting_ack_) ack_cb_(tag);
     }
     awaiting_ack_.clear();
+  }
+}
+
+void StampedeLoader::record_waterfall_spans(double commit_steady) {
+  if (!telemetry::enabled()) return;
+  auto& tracer = telemetry::Tracer::instance();
+  const double commit_wall = tracer.wall_at(commit_steady);
+  for (const auto& trace : awaiting_commit_) {
+    const auto& ctx = trace.context;
+    if (!ctx.valid() || !ctx.sampled()) continue;
+    // One child span per pipeline stage whose bounding stamps exist.
+    // Wall stamps are anchored epoch seconds from whichever process
+    // observed the stage, so the stages line up across hosts.
+    const auto stage = [&](const char* name, double begin, double end) {
+      if (begin <= 0.0 || end <= 0.0 || end < begin) return;
+      telemetry::Span span;
+      span.name = name;
+      span.context = ctx;
+      span.context.span_id = tracer.next_id();
+      span.parent_span_id = ctx.span_id;
+      span.start_wall = begin;
+      span.duration = end - begin;
+      tracer.record(std::move(span));
+    };
+    stage("publish", trace.published_wall, trace.enqueued_wall);
+    if (trace.spooled_wall > 0.0) {
+      stage("spool", trace.enqueued_wall, trace.spooled_wall);
+      stage("queue", trace.spooled_wall, trace.dequeued_wall);
+    } else {
+      stage("queue", trace.enqueued_wall, trace.dequeued_wall);
+    }
+    stage("commit", trace.dequeued_wall, commit_wall);
+    // The root pipeline span (the publisher's span id) closes here, at
+    // the commit that made the event durable.
+    double start = trace.published_wall;
+    if (start <= 0.0) start = trace.enqueued_wall;
+    if (start <= 0.0) start = trace.dequeued_wall;
+    if (start <= 0.0 || commit_wall < start) continue;
+    telemetry::Span root;
+    root.name = "pipeline";
+    root.context = ctx;
+    root.start_wall = start;
+    root.duration = commit_wall - start;
+    tracer.record(std::move(root));
   }
 }
 

@@ -244,9 +244,13 @@ class StampedeLoader {
   };
   static Instruments make_instruments();
   Instruments tele_;
-  /// Publish stamps of applied-but-not-yet-committed events; drained
-  /// into the publish→commit histogram by the session's commit hook.
-  std::vector<double> awaiting_commit_;
+  /// Reconstructs the publish→enqueue→spool→dequeue→commit waterfall
+  /// spans for every sampled event in the closing batch (DESIGN.md §11).
+  void record_waterfall_spans(double commit_steady);
+  /// Trace stamps of applied-but-not-yet-committed events; drained into
+  /// the publish→commit histogram (and, for sampled traces, waterfall
+  /// spans) by the session's commit hook.
+  std::vector<telemetry::TraceStamps> awaiting_commit_;
   /// Ack tags of applied-but-not-yet-committed events; released to
   /// ack_cb_ by the same commit hook (acked ⊆ committed).
   std::vector<std::uint64_t> awaiting_ack_;

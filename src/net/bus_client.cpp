@@ -106,7 +106,10 @@ common::SocketFd BusClient::establish(const std::stop_token& stop,
   auto fd = common::connect_tcp(options_.host, options_.port);
   if (!fd.valid()) return {};
 
-  const auto hello = encode_hello(next_channel());
+  const bool want_features =
+      options_.enable_trace && !hello_legacy_.load(std::memory_order_relaxed);
+  const auto hello =
+      encode_hello(next_channel(), want_features ? kFeatureTrace : 0u);
   if (!common::send_all(fd.get(), hello.data(), hello.size())) {
     return {};
   }
@@ -134,7 +137,20 @@ common::SocketFd BusClient::establish(const std::stop_token& stop,
     }
     carry.append(chunk, received);
   }
-  if (frame.type != FrameType::kHelloOk) return {};
+  if (frame.type != FrameType::kHelloOk) {
+    // A v1 server refuses the feature-extended HELLO with kError before
+    // ever reaching version negotiation. Fall back to the plain
+    // handshake (no optional features) from the next attempt on.
+    if (frame.type == FrameType::kError && want_features) {
+      hello_legacy_.store(true, std::memory_order_relaxed);
+    }
+    return {};
+  }
+  std::uint16_t version = 0;
+  std::uint32_t granted = 0;
+  if (!parse_hello_ok(frame, &version, &granted)) return {};
+  wire_trace_.store(want_features && (granted & kFeatureTrace) != 0,
+                    std::memory_order_relaxed);
 
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   {
@@ -249,7 +265,10 @@ void BusClient::dispatch(const Frame& frame) {
   if (frame.type != FrameType::kDeliver) return;
 
   WireDelivery delivery;
-  if (!parse_deliver(frame, &delivery)) return;
+  if (!parse_deliver(frame, &delivery,
+                     wire_trace_.load(std::memory_order_relaxed))) {
+    return;
+  }
   // Stamp the tag with the connection it arrived on (see class doc).
   delivery.delivery_tag =
       (epoch_.load(std::memory_order_acquire) << kEpochShift) |
@@ -405,7 +424,10 @@ void BusClient::bind(const std::string& queue, const std::string& exchange,
 
 std::size_t BusClient::publish(const std::string& exchange,
                                bus::Message message) {
-  send_blocking(encode_publish(0, exchange, message));
+  // Without the negotiated TRACE field the context still travels as the
+  // `traceparent` header BpPublisher set (headers always cross the wire).
+  send_blocking(encode_publish(0, exchange, message,
+                               wire_trace_.load(std::memory_order_relaxed)));
   return 1;
 }
 

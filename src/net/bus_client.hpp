@@ -65,6 +65,11 @@ struct BusClientOptions {
   /// Heartbeat cadence when nothing else is sent; keeps the server's
   /// idle timeout at bay.
   int heartbeat_interval_ms = 1000;
+  /// Offer kFeatureTrace at handshake so messages carry their trace
+  /// context on the wire. Applied only when the server grants it; a
+  /// peer that rejects the feature-extended HELLO outright (a v1
+  /// server) downgrades this client to the plain handshake.
+  bool enable_trace = true;
 };
 
 class BusClient final : public bus::IBus {
@@ -86,6 +91,10 @@ class BusClient final : public bus::IBus {
   /// Bumps on every successful handshake; 1 after the first connect.
   [[nodiscard]] std::uint64_t connection_epoch() const noexcept {
     return epoch_.load(std::memory_order_acquire);
+  }
+  /// True when the live connection negotiated the TRACE wire field.
+  [[nodiscard]] bool trace_negotiated() const noexcept {
+    return wire_trace_.load(std::memory_order_relaxed);
   }
 
   // -- bus::IBus ------------------------------------------------------------
@@ -160,6 +169,11 @@ class BusClient final : public bus::IBus {
   std::atomic<bool> closed_{false};
   std::atomic<bool> connected_{false};
   std::atomic<std::uint64_t> epoch_{0};
+  /// TRACE granted on the live connection (handshake negotiation).
+  std::atomic<bool> wire_trace_{false};
+  /// The peer rejected the feature-extended HELLO (v1 server); all
+  /// later attempts use the plain handshake.
+  std::atomic<bool> hello_legacy_{false};
   mutable std::mutex state_mutex_;        ///< Guards the cv + maps below.
   std::condition_variable state_cv_;      ///< Connected-state changes.
   std::map<std::uint32_t, std::shared_ptr<PendingReply>> pending_;

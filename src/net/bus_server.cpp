@@ -57,7 +57,15 @@ struct BusServer::Connection {
   std::jthread writer;
   std::vector<std::jthread> pumps;
   bool hello_done = false;  ///< Reader-thread-only before handshake.
+  /// Features negotiated at handshake (client ∩ kSupportedFeatures).
+  /// Written once by the reader thread before any pump exists; atomic
+  /// because consumer pumps read it concurrently afterwards.
+  std::atomic<std::uint32_t> features{0};
   std::atomic<std::int64_t> last_inbound_ms{0};
+
+  [[nodiscard]] bool wire_trace() const noexcept {
+    return (features.load(std::memory_order_relaxed) & kFeatureTrace) != 0;
+  }
 
   // Deliveries pushed to this client and not yet acked/nacked by it;
   // nack-requeued en masse when the connection dies.
@@ -229,7 +237,9 @@ bool BusServer::handle_frame(const std::shared_ptr<Connection>& conn,
   auto& tele = server_telemetry();
   if (!conn->hello_done) {
     std::uint16_t version = 0;
-    if (frame.type != FrameType::kHello || !parse_hello(frame, &version)) {
+    std::uint32_t requested = 0;
+    if (frame.type != FrameType::kHello ||
+        !parse_hello(frame, &version, &requested)) {
       tele.protocol_errors.inc();
       conn->outbound.push(encode_error(frame.channel, "expected hello"));
       return false;
@@ -241,8 +251,10 @@ bool BusServer::handle_frame(const std::shared_ptr<Connection>& conn,
                              std::to_string(version)));
       return false;
     }
+    const std::uint32_t granted = requested & kSupportedFeatures;
+    conn->features.store(granted, std::memory_order_relaxed);
     conn->hello_done = true;
-    conn->outbound.push(encode_hello_ok(frame.channel));
+    conn->outbound.push(encode_hello_ok(frame.channel, granted));
     return true;
   }
 
@@ -285,7 +297,9 @@ bool BusServer::handle_frame(const std::shared_ptr<Connection>& conn,
     case FrameType::kPublish: {
       std::string exchange;
       bus::Message message;
-      if (!parse_publish(frame, &exchange, &message)) break;
+      if (!parse_publish(frame, &exchange, &message, conn->wire_trace())) {
+        break;
+      }
       try {
         broker_->publish(exchange, std::move(message));
       } catch (const std::exception& e) {
@@ -335,7 +349,8 @@ bool BusServer::handle_frame(const std::shared_ptr<Connection>& conn,
         const std::scoped_lock lock{conn->outstanding_mutex};
         conn->outstanding.emplace(queue, delivery->delivery_tag);
       }
-      conn->outbound.push(encode_deliver(frame.channel, queue, *delivery));
+      conn->outbound.push(encode_deliver(frame.channel, queue, *delivery,
+                                         conn->wire_trace()));
       return true;
     }
 
@@ -399,7 +414,10 @@ void BusServer::start_consumer_pump(const std::shared_ptr<Connection>& conn,
       // Blocking push: a slow client stalls this pump (bounded memory);
       // returns false only when the connection is unwinding, in which
       // case teardown nacks the delivery we just registered.
-      if (!conn->outbound.push(encode_deliver(0, queue, *delivery))) break;
+      if (!conn->outbound.push(
+              encode_deliver(0, queue, *delivery, conn->wire_trace()))) {
+        break;
+      }
     }
   });
 }

@@ -187,7 +187,8 @@ DecodeStatus decode_frame(std::string_view buffer, std::size_t& consumed,
 // ---------------------------------------------------------------------------
 // Message codec
 
-void encode_message(std::string& out, const bus::Message& message) {
+void encode_message(std::string& out, const bus::Message& message,
+                    bool with_trace) {
   put_string(out, message.routing_key);
   put_string(out, message.body);
   put_u32(out, static_cast<std::uint32_t>(message.headers.size()));
@@ -198,9 +199,18 @@ void encode_message(std::string& out, const bus::Message& message) {
   put_f64(out, message.published_at);
   put_u8(out, message.persistent ? 1 : 0);
   put_u32(out, message.redeliveries);
+  if (with_trace) {
+    put_u64(out, message.trace_ctx.trace_hi);
+    put_u64(out, message.trace_ctx.trace_lo);
+    put_u64(out, message.trace_ctx.span_id);
+    put_u8(out, message.trace_ctx.flags);
+    put_f64(out, message.trace_published_wall);
+    put_f64(out, message.trace_enqueued_wall);
+    put_f64(out, message.trace_spooled_wall);
+  }
 }
 
-bus::Message decode_message(PayloadReader& reader) {
+bus::Message decode_message(PayloadReader& reader, bool with_trace) {
   bus::Message message;
   message.routing_key = reader.str();
   message.body = reader.str();
@@ -212,6 +222,15 @@ bus::Message decode_message(PayloadReader& reader) {
   message.published_at = reader.f64();
   message.persistent = reader.u8() != 0;
   message.redeliveries = reader.u32();
+  if (with_trace) {
+    message.trace_ctx.trace_hi = reader.u64();
+    message.trace_ctx.trace_lo = reader.u64();
+    message.trace_ctx.span_id = reader.u64();
+    message.trace_ctx.flags = reader.u8();
+    message.trace_published_wall = reader.f64();
+    message.trace_enqueued_wall = reader.f64();
+    message.trace_spooled_wall = reader.f64();
+  }
   return message;
 }
 
@@ -227,27 +246,43 @@ std::string finish(FrameType type, std::uint32_t channel,
 
 }  // namespace
 
-std::string encode_hello(std::uint32_t channel) {
+std::string encode_hello(std::uint32_t channel, std::uint32_t features) {
   std::string p;
   p.append(kMagic);
   put_u16(p, kProtocolVersion);
+  if (features != 0) put_u32(p, features);
   return finish(FrameType::kHello, channel, std::move(p));
 }
 
-bool parse_hello(const Frame& frame, std::uint16_t* version) {
-  if (frame.payload.size() != kMagic.size() + 2 ||
+bool parse_hello(const Frame& frame, std::uint16_t* version,
+                 std::uint32_t* features) {
+  const std::size_t size = frame.payload.size();
+  if ((size != kMagic.size() + 2 && size != kMagic.size() + 6) ||
       std::string_view{frame.payload}.substr(0, kMagic.size()) != kMagic) {
     return false;
   }
   PayloadReader r{std::string_view{frame.payload}.substr(kMagic.size())};
   *version = r.u16();
+  const std::uint32_t advertised = size == kMagic.size() + 6 ? r.u32() : 0;
+  if (features != nullptr) *features = advertised;
   return r.complete();
 }
 
-std::string encode_hello_ok(std::uint32_t channel) {
+std::string encode_hello_ok(std::uint32_t channel, std::uint32_t features) {
   std::string p;
   put_u16(p, kProtocolVersion);
+  if (features != 0) put_u32(p, features);
   return finish(FrameType::kHelloOk, channel, std::move(p));
+}
+
+bool parse_hello_ok(const Frame& frame, std::uint16_t* version,
+                    std::uint32_t* features) {
+  const std::size_t size = frame.payload.size();
+  if (size != 2 && size != 6) return false;
+  PayloadReader r{frame.payload};
+  *version = r.u16();
+  *features = size == 6 ? r.u32() : 0;
+  return r.complete();
 }
 
 std::string encode_ok(std::uint32_t channel) {
@@ -334,18 +369,18 @@ bool parse_bind(const Frame& frame, std::string* queue, std::string* exchange,
 }
 
 std::string encode_publish(std::uint32_t channel, std::string_view exchange,
-                           const bus::Message& message) {
+                           const bus::Message& message, bool with_trace) {
   std::string p;
   put_string(p, exchange);
-  encode_message(p, message);
+  encode_message(p, message, with_trace);
   return finish(FrameType::kPublish, channel, std::move(p));
 }
 
 bool parse_publish(const Frame& frame, std::string* exchange,
-                   bus::Message* message) {
+                   bus::Message* message, bool with_trace) {
   PayloadReader r{frame.payload};
   *exchange = r.str();
-  *message = decode_message(r);
+  *message = decode_message(r, with_trace);
   return r.complete();
 }
 
@@ -378,25 +413,25 @@ bool parse_get(const Frame& frame, std::string* queue,
 }
 
 std::string encode_deliver(std::uint32_t channel, std::string_view queue,
-                           const bus::Delivery& delivery) {
+                           const bus::Delivery& delivery, bool with_trace) {
   std::string p;
   put_string(p, queue);
   put_u64(p, delivery.delivery_tag);
   put_u8(p, delivery.redelivered ? 1 : 0);
   put_string(p, delivery.consumer_tag);
   put_string(p, delivery.exchange);
-  encode_message(p, delivery.message());
+  encode_message(p, delivery.message(), with_trace);
   return finish(FrameType::kDeliver, channel, std::move(p));
 }
 
-bool parse_deliver(const Frame& frame, WireDelivery* out) {
+bool parse_deliver(const Frame& frame, WireDelivery* out, bool with_trace) {
   PayloadReader r{frame.payload};
   out->queue = r.str();
   out->delivery_tag = r.u64();
   out->redelivered = r.u8() != 0;
   out->consumer_tag = r.str();
   out->exchange = r.str();
-  out->message = decode_message(r);
+  out->message = decode_message(r, with_trace);
   return r.complete();
 }
 

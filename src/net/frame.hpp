@@ -35,6 +35,19 @@ namespace stampede::net {
 
 inline constexpr std::uint16_t kProtocolVersion = 1;
 inline constexpr std::string_view kMagic = "SBUS";
+
+// Optional capabilities negotiated at handshake time (DESIGN.md §11).
+// A client that wants extras appends a u32 feature bitmap to its HELLO;
+// the server answers with the intersection it supports appended to
+// HELLO_OK. Both payloads are backward compatible: a v1 server rejects
+// the longer HELLO with kError (the client falls back to a plain HELLO
+// on its next attempt), and a v1 client never parses the HELLO_OK
+// payload at all. Wire changes guarded by a feature bit only apply on
+// connections where both sides advertised it.
+/// Message frames carry the distributed-tracing suffix (trace context +
+/// anchored wall stamps).
+inline constexpr std::uint32_t kFeatureTrace = 1u << 0;
+inline constexpr std::uint32_t kSupportedFeatures = kFeatureTrace;
 /// Upper bound on one frame's post-length bytes; a decoder seeing a
 /// larger length treats the stream as corrupt and drops the connection.
 inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
@@ -132,18 +145,36 @@ enum class DecodeStatus {
 /// Wire form: routing_key, body, headers (count + key/value pairs),
 /// published_at, persistent flag, redelivery count. Broker-internal
 /// fields (spool_seq) and process-local trace stamps (steady-clock
-/// seconds, meaningless across hosts) do not travel.
-void encode_message(std::string& out, const bus::Message& message);
-[[nodiscard]] bus::Message decode_message(PayloadReader& reader);
+/// seconds, meaningless across hosts) do not travel. With `with_trace`
+/// (connections that negotiated kFeatureTrace) a fixed trace suffix is
+/// appended: trace id (2×u64), span id, flags, and the anchored
+/// publish/enqueue/spool wall stamps (3×f64) — zeros on untraced
+/// messages, so framing stays deterministic.
+void encode_message(std::string& out, const bus::Message& message,
+                    bool with_trace = false);
+[[nodiscard]] bus::Message decode_message(PayloadReader& reader,
+                                          bool with_trace = false);
 
 // ---------------------------------------------------------------------------
 // Payload builders + parsers per frame type. Builders return the full
 // encoded frame; parse_* return false on a malformed payload.
 
-[[nodiscard]] std::string encode_hello(std::uint32_t channel);
-[[nodiscard]] bool parse_hello(const Frame& frame, std::uint16_t* version);
+/// `features` != 0 appends the capability bitmap (a v1 server rejects
+/// that form; callers retry with features = 0).
+[[nodiscard]] std::string encode_hello(std::uint32_t channel,
+                                       std::uint32_t features = 0);
+/// Accepts both HELLO forms; `*features` (optional) gets 0 for the
+/// plain form.
+[[nodiscard]] bool parse_hello(const Frame& frame, std::uint16_t* version,
+                               std::uint32_t* features = nullptr);
 
-[[nodiscard]] std::string encode_hello_ok(std::uint32_t channel);
+/// `features` != 0 appends the granted capability bitmap (ignored
+/// harmlessly by v1 clients, which never parse the HELLO_OK payload).
+[[nodiscard]] std::string encode_hello_ok(std::uint32_t channel,
+                                          std::uint32_t features = 0);
+/// Accepts both HELLO_OK forms; `*features` gets 0 for the plain form.
+[[nodiscard]] bool parse_hello_ok(const Frame& frame, std::uint16_t* version,
+                                  std::uint32_t* features);
 [[nodiscard]] std::string encode_ok(std::uint32_t channel);
 [[nodiscard]] std::string encode_error(std::uint32_t channel,
                                        std::string_view reason);
@@ -173,9 +204,11 @@ void encode_message(std::string& out, const bus::Message& message);
 
 [[nodiscard]] std::string encode_publish(std::uint32_t channel,
                                          std::string_view exchange,
-                                         const bus::Message& message);
+                                         const bus::Message& message,
+                                         bool with_trace = false);
 [[nodiscard]] bool parse_publish(const Frame& frame, std::string* exchange,
-                                 bus::Message* message);
+                                 bus::Message* message,
+                                 bool with_trace = false);
 
 [[nodiscard]] std::string encode_consume(std::uint32_t channel,
                                          std::string_view queue);
@@ -189,7 +222,8 @@ void encode_message(std::string& out, const bus::Message& message);
 
 [[nodiscard]] std::string encode_deliver(std::uint32_t channel,
                                          std::string_view queue,
-                                         const bus::Delivery& delivery);
+                                         const bus::Delivery& delivery,
+                                         bool with_trace = false);
 struct WireDelivery {
   std::string queue;
   std::uint64_t delivery_tag = 0;
@@ -198,7 +232,8 @@ struct WireDelivery {
   std::string exchange;
   bus::Message message;
 };
-[[nodiscard]] bool parse_deliver(const Frame& frame, WireDelivery* out);
+[[nodiscard]] bool parse_deliver(const Frame& frame, WireDelivery* out,
+                                 bool with_trace = false);
 
 [[nodiscard]] std::string encode_ack(std::uint32_t channel,
                                      std::string_view queue,

@@ -1,6 +1,7 @@
 #include "orm/session.hpp"
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace stampede::orm {
 
@@ -60,6 +61,8 @@ void Session::flush() {
   if (pending_.empty()) return;
   auto& tele = orm_telemetry();
   const double start = telemetry::trace_now();
+  auto span = telemetry::SpanGuard::root("orm.commit");
+  span.attr("ops", std::to_string(pending_.size()));
   db_->begin();
   try {
     for (const auto& op : pending_) {
@@ -73,6 +76,7 @@ void Session::flush() {
     db_->commit();
   } catch (...) {
     db_->rollback();
+    span.set_error();
     throw;
   }
   const std::size_t ops = pending_.size();

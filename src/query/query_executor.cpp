@@ -1,8 +1,11 @@
 #include "query/query_executor.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cstdio>
 #include <exception>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -10,6 +13,7 @@
 
 #include "common/errors.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace stampede::query {
 namespace {
@@ -351,7 +355,35 @@ telemetry::Counter& cache_invalidation_counter() {
   return counter;
 }
 
+telemetry::Counter& slow_query_counter() {
+  static telemetry::Counter& counter =
+      telemetry::registry().counter("stampede_query_slow_total");
+  return counter;
+}
+
+/// Seconds, as an atomic bit pattern (atomic<double> lacks lock-free
+/// guarantees on some targets; u64 bit_cast is always fine).
+std::atomic<std::uint64_t> g_slow_threshold_bits{
+    std::bit_cast<std::uint64_t>(0.25)};
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
 }  // namespace
+
+void set_slow_query_threshold(double seconds) {
+  g_slow_threshold_bits.store(std::bit_cast<std::uint64_t>(seconds),
+                              std::memory_order_relaxed);
+}
+
+double slow_query_threshold() noexcept {
+  return std::bit_cast<double>(
+      g_slow_threshold_bits.load(std::memory_order_relaxed));
+}
 
 /// Version-keyed memo of fleet-wide results. An entry is valid while
 /// every referenced table's modification counter (on every shard) still
@@ -481,14 +513,62 @@ ResultSet QueryExecutor::execute_uncached(const Select& select) const {
 
 ResultSet QueryExecutor::execute(const Select& select) const {
   const std::string key = fingerprint(select);
+  const std::uint64_t fp_hash = std::hash<std::string>{}(key);
+  auto span = telemetry::SpanGuard::root("query.execute");
+  span.attr("table", select.table());
+  span.attr("fingerprint", hex_u64(fp_hash));
+  const double start = telemetry::now();
+
   std::vector<std::uint64_t> versions = collect_versions(select);
-  if (const auto cached = cache_->lookup(key, versions)) return *cached;
-  ResultSet result = execute_uncached(select);
-  // Only cache when no write committed while we were computing —
-  // otherwise the result belongs to neither the before- nor the
-  // after-stamp and must not be served again.
-  if (collect_versions(select) == versions) {
-    cache_->store(std::move(key), std::move(versions), result);
+  bool cache_hit = false;
+  ResultSet result;
+  db::PlanInfo plan;
+  if (const auto cached = cache_->lookup(key, versions)) {
+    cache_hit = true;
+    result = *cached;
+  } else {
+    result = execute_uncached(select);
+    // Planner attribution: last_plan_info() is thread_local, so it only
+    // reflects this query when execution stayed on the calling thread
+    // (a single Database, or a one-shard fleet). Multi-shard scatters
+    // run on worker threads and report no per-query plan.
+    if (single_ != nullptr || sharded_->shard_count() == 1) {
+      plan = db::last_plan_info();
+      span.attr("plan_base_index", std::to_string(plan.base_index));
+      span.attr("plan_base_scan", std::to_string(plan.base_scan));
+      span.attr("plan_index_joins", std::to_string(plan.index_joins));
+      span.attr("plan_hash_joins", std::to_string(plan.hash_joins));
+      span.attr("plan_pushdowns", std::to_string(plan.join_pushdowns));
+    }
+    // Only cache when no write committed while we were computing —
+    // otherwise the result belongs to neither the before- nor the
+    // after-stamp and must not be served again.
+    if (collect_versions(select) == versions) {
+      cache_->store(key, std::move(versions), result);
+    }
+  }
+  span.attr("cache", cache_hit ? "hit" : "miss");
+  span.attr("rows", std::to_string(result.rows.size()));
+
+  const double elapsed = telemetry::now() - start;
+  const double threshold = slow_query_threshold();
+  if (threshold > 0.0 && elapsed >= threshold) {
+    slow_query_counter().inc();
+    span.attr("slow", "true");
+    std::fprintf(stderr,
+                 "[stampede.query.slow] fingerprint=%s table=%s "
+                 "elapsed_ms=%.3f threshold_ms=%.3f cache=%s rows=%zu "
+                 "plan_base_index=%llu plan_base_scan=%llu "
+                 "plan_index_joins=%llu plan_hash_joins=%llu "
+                 "plan_pushdowns=%llu\n",
+                 hex_u64(fp_hash).c_str(), select.table().c_str(),
+                 elapsed * 1e3, threshold * 1e3,
+                 cache_hit ? "hit" : "miss", result.rows.size(),
+                 static_cast<unsigned long long>(plan.base_index),
+                 static_cast<unsigned long long>(plan.base_scan),
+                 static_cast<unsigned long long>(plan.index_joins),
+                 static_cast<unsigned long long>(plan.hash_joins),
+                 static_cast<unsigned long long>(plan.join_pushdowns));
   }
   return result;
 }

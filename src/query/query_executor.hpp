@@ -38,6 +38,13 @@ namespace stampede::query {
 /// Version-keyed result cache (defined in query_executor.cpp).
 class QueryCache;
 
+/// Fleet-wide execute() calls slower than this many seconds emit one
+/// structured slow-query log line on stderr (fingerprint hash, planner
+/// choices, row count), mark their span slow=true, and count in
+/// stampede_query_slow_total. 0 disables. Thread-safe.
+void set_slow_query_threshold(double seconds);
+[[nodiscard]] double slow_query_threshold() noexcept;
+
 class QueryExecutor {
  public:
   /// Single-shard pass-through (the original Database path).

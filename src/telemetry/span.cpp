@@ -1,0 +1,179 @@
+#include "telemetry/span.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace stampede::telemetry {
+
+namespace {
+
+void append_hex(std::string& out, std::uint64_t v, int digits) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (int shift = (digits - 1) * 4; shift >= 0; shift -= 4) {
+    out.push_back(kDigits[(v >> shift) & 0xF]);
+  }
+}
+
+/// Parses exactly `digits` lowercase-or-uppercase hex characters.
+bool parse_hex(std::string_view text, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string TraceContext::to_traceparent() const {
+  std::string out;
+  out.reserve(55);
+  out.append("00-");
+  append_hex(out, trace_hi, 16);
+  append_hex(out, trace_lo, 16);
+  out.push_back('-');
+  append_hex(out, span_id, 16);
+  out.push_back('-');
+  append_hex(out, flags, 2);
+  return out;
+}
+
+bool TraceContext::from_traceparent(std::string_view text, TraceContext* out) {
+  // 00-<32>-<16>-<2> = 2 + 1 + 32 + 1 + 16 + 1 + 2 = 55 characters.
+  if (text.size() != 55 || text.substr(0, 3) != "00-" || text[35] != '-' ||
+      text[52] != '-') {
+    return false;
+  }
+  TraceContext parsed;
+  std::uint64_t flags = 0;
+  if (!parse_hex(text.substr(3, 16), &parsed.trace_hi) ||
+      !parse_hex(text.substr(19, 16), &parsed.trace_lo) ||
+      !parse_hex(text.substr(36, 16), &parsed.span_id) ||
+      !parse_hex(text.substr(53, 2), &flags)) {
+    return false;
+  }
+  parsed.flags = static_cast<std::uint8_t>(flags);
+  if (!parsed.valid()) return false;
+  *out = parsed;
+  return true;
+}
+
+std::string TraceContext::trace_id_hex() const {
+  std::string out;
+  out.reserve(32);
+  append_hex(out, trace_hi, 16);
+  append_hex(out, trace_lo, 16);
+  return out;
+}
+
+std::string TraceContext::span_id_hex() const {
+  std::string out;
+  out.reserve(16);
+  append_hex(out, span_id, 16);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SpanSink
+
+SpanSink::SpanSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 256));
+}
+
+void SpanSink::record(Span span) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  ring_[next_] = std::move(span);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<Span> SpanSink::recent(std::size_t limit) const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<Span> out;
+  const std::size_t n = std::min(limit, ring_.size());
+  out.reserve(n);
+  // Newest element sits just before the write cursor (or at the back
+  // while the ring is still filling).
+  std::size_t pos = ring_.size() < capacity_ ? ring_.size() : next_;
+  for (std::size_t i = 0; i < n; ++i) {
+    pos = (pos + ring_.size() - 1) % ring_.size();
+    out.push_back(ring_[pos]);
+  }
+  return out;
+}
+
+std::vector<Span> SpanSink::slowest(std::size_t limit) const {
+  std::vector<Span> out;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    out = ring_;
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.duration > b.duration;
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<Span> SpanSink::errors(std::size_t limit) const {
+  std::vector<Span> newest = recent(capacity_);
+  std::vector<Span> out;
+  for (auto& span : newest) {
+    if (!span.error) continue;
+    out.push_back(std::move(span));
+    if (out.size() >= limit) break;
+  }
+  return out;
+}
+
+std::vector<Span> SpanSink::trace(std::uint64_t trace_hi,
+                                  std::uint64_t trace_lo) const {
+  std::vector<Span> out;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    for (const auto& span : ring_) {
+      if (span.context.trace_hi == trace_hi &&
+          span.context.trace_lo == trace_lo) {
+        out.push_back(span);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start_wall < b.start_wall;
+  });
+  return out;
+}
+
+std::uint64_t SpanSink::recorded() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return recorded_;
+}
+
+std::uint64_t SpanSink::dropped() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+void SpanSink::clear() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace stampede::telemetry

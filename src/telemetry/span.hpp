@@ -1,0 +1,112 @@
+#pragma once
+// Distributed-tracing primitives (DESIGN.md §11).
+//
+// A trace is one monitoring event's causal path through the pipeline
+// (publish → enqueue → spool → dequeue → commit), possibly crossing
+// process boundaries over the networked bus. Identifiers follow the
+// W3C trace-context shape: a 128-bit trace id names the whole causal
+// tree, a 64-bit span id names one timed operation inside it, and the
+// `traceparent` text form (`00-<32 hex>-<16 hex>-<2 hex>`) is what
+// rides in message headers and spool records so old peers — which
+// forward headers untouched — keep the trace alive.
+//
+// Span timestamps are *wall-clock anchored*: each process captures one
+// (wall epoch, steady clock) pair at tracer startup and converts its
+// steady-clock readings to epoch seconds through that anchor. Durations
+// therefore come from the steady clock (immune to wall steps) while
+// start times from different hosts line up on a shared axis — the
+// property the latency-waterfall view needs.
+//
+// Finished spans land in a SpanSink: a fixed-capacity ring buffer (the
+// self-monitoring archive) that /tracez renders as recent/slow/error
+// views and the dashboard renders as a per-trace waterfall.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace stampede::telemetry {
+
+/// TraceContext.flags bit 0 — the head-based sampling decision made at
+/// the trace root; downstream stages create spans only when set.
+inline constexpr std::uint8_t kTraceFlagSampled = 0x01;
+
+/// The propagated identity of one position in a trace: which trace, which
+/// span, and whether the root sampled it. All-zero ids mean "no trace".
+struct TraceContext {
+  std::uint64_t trace_hi = 0;  ///< High 64 bits of the 128-bit trace id.
+  std::uint64_t trace_lo = 0;  ///< Low 64 bits of the 128-bit trace id.
+  std::uint64_t span_id = 0;   ///< This hop's span id.
+  std::uint8_t flags = 0;      ///< kTraceFlag* bits.
+
+  [[nodiscard]] bool valid() const noexcept {
+    return (trace_hi | trace_lo) != 0 && span_id != 0;
+  }
+  [[nodiscard]] bool sampled() const noexcept {
+    return (flags & kTraceFlagSampled) != 0;
+  }
+
+  /// `00-<trace id, 32 hex>-<span id, 16 hex>-<flags, 2 hex>`.
+  [[nodiscard]] std::string to_traceparent() const;
+  /// Parses the exact format to_traceparent emits (version 00 only).
+  /// Returns false — leaving *out untouched — on anything malformed.
+  [[nodiscard]] static bool from_traceparent(std::string_view text,
+                                             TraceContext* out);
+
+  [[nodiscard]] std::string trace_id_hex() const;
+  [[nodiscard]] std::string span_id_hex() const;
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// One finished, timed operation. `context.span_id` is this span's own
+/// id; `parent_span_id` links it into the trace tree (0 = root).
+struct Span {
+  std::string name;
+  TraceContext context;
+  std::uint64_t parent_span_id = 0;
+  double start_wall = 0.0;  ///< Anchored epoch seconds (Tracer::wall_at).
+  double duration = 0.0;    ///< Steady-clock seconds.
+  bool error = false;
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+/// Fixed-capacity ring buffer of finished spans — the tracer's
+/// self-monitoring archive. Thread-safe; when full, the oldest span is
+/// overwritten (and counted as dropped) so memory stays bounded no
+/// matter the sampling rate.
+class SpanSink {
+ public:
+  explicit SpanSink(std::size_t capacity = 4096);
+
+  void record(Span span);
+
+  /// Newest-first, up to `limit` spans.
+  [[nodiscard]] std::vector<Span> recent(std::size_t limit) const;
+  /// Longest-duration-first, up to `limit` spans.
+  [[nodiscard]] std::vector<Span> slowest(std::size_t limit) const;
+  /// Newest-first error spans, up to `limit`.
+  [[nodiscard]] std::vector<Span> errors(std::size_t limit) const;
+  /// Every retained span of one trace, ascending start time — the
+  /// waterfall's input.
+  [[nodiscard]] std::vector<Span> trace(std::uint64_t trace_hi,
+                                        std::uint64_t trace_lo) const;
+
+  [[nodiscard]] std::uint64_t recorded() const;  ///< Spans ever recorded.
+  [[nodiscard]] std::uint64_t dropped() const;   ///< Overwritten by wrap.
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<Span> ring_;       ///< Grows to capacity_, then wraps.
+  std::size_t next_ = 0;         ///< Ring write cursor.
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace stampede::telemetry

@@ -15,6 +15,16 @@
 // means "stage not traced" (telemetry disabled, or the event entered the
 // pipeline downstream of that stage — e.g. file replays never pass the
 // broker); consumers skip observations whose inputs are zero.
+//
+// Since distributed tracing (DESIGN.md §11) the stamps also carry the
+// event's TraceContext plus wall-clock-anchored copies of each stage
+// time. The steady stamps above remain the source of truth for the
+// latency histograms (immune to wall steps, but process-local); the
+// wall stamps place the same instants on a cross-process axis so the
+// loader can reconstruct a publish→enqueue→spool→dequeue→commit
+// waterfall even when the publisher was another host.
+
+#include "telemetry/span.hpp"
 
 namespace stampede::telemetry {
 
@@ -22,6 +32,14 @@ struct TraceStamps {
   double published = 0.0;
   double enqueued = 0.0;
   double dequeued = 0.0;
+
+  // Distributed-tracing context + anchored wall-clock stage times
+  // (Tracer::wall_at); 0 = stage not traced or upstream peer untraced.
+  TraceContext context;
+  double published_wall = 0.0;
+  double enqueued_wall = 0.0;
+  double spooled_wall = 0.0;
+  double dequeued_wall = 0.0;
 
   [[nodiscard]] bool traced() const noexcept { return published > 0.0; }
 };

@@ -1,0 +1,82 @@
+// Data-race check for the tracer, compiled standalone under
+// -fsanitize=thread (see tests/CMakeLists.txt). Deliberately gtest-free
+// like test_telemetry_tsan: TSan must instrument every object in the
+// binary, and any race aborts with a non-zero exit.
+//
+// The scenario mirrors production contention on the process tracer:
+// many threads rooting traces and finishing span guards (id generation,
+// head-sampling reads, ring-buffer writes) while one thread flips the
+// sample rate and another continuously snapshots the sink the way
+// /tracez does.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "telemetry/span.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace tele = stampede::telemetry;
+
+int main() {
+  auto& tracer = tele::Tracer::instance();
+  tracer.set_sample_rate(1.0);
+  constexpr int kWriters = 4;
+  constexpr int kIterations = 10'000;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::jthread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&tracer, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const auto ctx = tracer.start_trace();
+        if (ctx.valid()) {
+          tele::SpanGuard span{"tsan.op", ctx};
+          span.attr("thread", std::to_string(t));
+          if (i % 257 == 0) span.set_error();
+        } else {
+          // Unsampled iterations still exercise the error path, which
+          // records regardless of the sampling decision.
+          auto root = tele::SpanGuard::root("tsan.unsampled");
+          if (i % 509 == 0) root.set_error();
+        }
+      }
+    });
+  }
+
+  // The /tracez reader: concurrent snapshots of every sink view.
+  std::jthread reader{[&tracer, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)tracer.sink().recent(64);
+      (void)tracer.sink().slowest(16);
+      (void)tracer.sink().errors(16);
+      (void)tracer.sink().recorded();
+      (void)tracer.sink().dropped();
+    }
+  }};
+
+  // Operators retune sampling at runtime; writers must race safely with
+  // the threshold store.
+  std::jthread tuner{[&tracer, &stop] {
+    double rate = 1.0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      rate = rate == 1.0 ? 0.25 : 1.0;
+      tracer.set_sample_rate(rate);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }};
+
+  writers.clear();  // Join writers.
+  stop = true;
+  reader.join();
+  tuner.join();
+  tracer.set_sample_rate(tele::kDefaultSampleRate);
+
+  if (tracer.sink().recorded() == 0) {
+    std::fprintf(stderr, "no spans recorded under contention\n");
+    return 1;
+  }
+  std::puts("tracer tsan scenario: ok");
+  return 0;
+}

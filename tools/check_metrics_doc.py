@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Fails when a registered stampede_* metric is missing from DESIGN.md.
+
+Scans src/ for telemetry registrations — counter("..."), gauge("..."),
+histogram("...") and the labeled("base", key, value) variant — and
+checks that every stampede_* series name appears in a DESIGN.md
+metric-catalogue row (any backticked `stampede_...` token counts, so
+labeled series documented as `name{key=...}` match their base name).
+
+Run from anywhere:  python3 tools/check_metrics_doc.py [repo-root]
+Wired into ctest as check_metrics_doc (tier-1), so adding an instrument
+without documenting it breaks the build.
+"""
+
+import pathlib
+import re
+import sys
+
+REGISTRATION = re.compile(
+    r'(?:counter|gauge|histogram|labeled)\(\s*(?:telemetry::labeled\(\s*)?'
+    r'"(stampede_[A-Za-z0-9_]+)"'
+)
+DOCUMENTED = re.compile(r"`(stampede_[A-Za-z0-9_]+)")
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else
+                        pathlib.Path(__file__).resolve().parent.parent)
+    design = root / "DESIGN.md"
+    if not design.is_file():
+        print(f"check_metrics_doc: no DESIGN.md at {design}", file=sys.stderr)
+        return 2
+
+    registered = {}
+    for path in sorted((root / "src").rglob("*.[ch]pp")):
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for match in REGISTRATION.finditer(text):
+            registered.setdefault(match.group(1), path.relative_to(root))
+
+    documented = set(DOCUMENTED.findall(design.read_text(encoding="utf-8")))
+
+    missing = sorted(name for name in registered if name not in documented)
+    if missing:
+        print("check_metrics_doc: metrics registered in src/ but absent "
+              "from the DESIGN.md metric catalogue:", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}  (registered in {registered[name]})",
+                  file=sys.stderr)
+        return 1
+
+    print(f"check_metrics_doc: {len(registered)} registered stampede_* "
+          f"series all documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

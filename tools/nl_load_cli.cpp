@@ -10,9 +10,14 @@
 //   nl_load ... stampede_loader connString=sqlite:///test.db
 //
 // Options:
-//   --metrics-port=N     serve GET /metrics (Prometheus) and GET /selfz
-//                        (JSON) on 127.0.0.1:N while loading; with N=0 an
+//   --metrics-port=N     serve GET /metrics (Prometheus), GET /selfz
+//                        (JSON), GET /tracez + /trace/{id} (distributed
+//                        tracing) and GET /healthz + /readyz (probes) on
+//                        127.0.0.1:N while loading; with N=0 an
 //                        ephemeral port is chosen and printed
+//   --trace-sample=R     head-sample fraction R (0..1) of locally rooted
+//                        traces (default 0.01); propagated contexts on
+//                        arriving messages are honored regardless
 //   --stats-interval=S   every S seconds emit a self-telemetry snapshot
 //                        as stampede.loader.stats.* BP lines on stderr
 //   --shards=N           partition the archive into N shards loaded by N
@@ -34,6 +39,7 @@
 //                        been seen and none arrived for S seconds
 //                        (default 10)
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -48,12 +54,14 @@
 #include "bus/broker.hpp"
 #include "dashboard/http_server.hpp"
 #include "dashboard/telemetry_routes.hpp"
+#include "dashboard/trace_routes.hpp"
 #include "loader/nl_load.hpp"
 #include "net/bus_client.hpp"
 #include "net/bus_server.hpp"
 #include "netlogger/formatter.hpp"
 #include "orm/stampede_tables.hpp"
 #include "telemetry/self_stats.hpp"
+#include "telemetry/tracer.hpp"
 
 using namespace stampede;
 
@@ -62,8 +70,9 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--metrics-port=N] [--stats-interval=SECONDS] "
-               "[--shards=N] <bp-log-file> <archive-path>\n"
+               "[--shards=N] [--trace-sample=R] <bp-log-file> <archive-path>\n"
                "       %s [--shards=N] [--idle-exit=SECONDS] "
+               "[--trace-sample=R] "
                "(--listen=PORT | --connect=HOST:PORT) <archive-path>\n",
                argv0, argv0);
   return 2;
@@ -82,6 +91,28 @@ std::optional<double> parse_flag_value(const char* arg, const char* name) {
   }
   return value;
 }
+
+/// What /readyz reports (DESIGN.md §11): the archive is open, the queue
+/// pump is running when one is expected, and — in --connect mode — the
+/// bus client currently holds a live connection.
+struct ReadyState {
+  std::atomic<bool> archive_open{false};
+  std::atomic<bool> pump_required{false};
+  std::atomic<bool> pump_running{false};
+  std::atomic<net::BusClient*> bus_client{nullptr};
+
+  [[nodiscard]] bool ready() const {
+    if (!archive_open.load(std::memory_order_acquire)) return false;
+    if (pump_required.load(std::memory_order_acquire) &&
+        !pump_running.load(std::memory_order_acquire)) {
+      return false;
+    }
+    if (auto* client = bus_client.load(std::memory_order_acquire)) {
+      return client->connected();
+    }
+    return true;
+  }
+};
 
 }  // namespace
 
@@ -126,6 +157,12 @@ int main(int argc, char** argv) {
       idle_exit_s = *v;
     } else if (std::strncmp(argv[i], "--connect=", 10) == 0) {
       connect_addr = argv[i] + 10;
+    } else if (const auto v = parse_flag_value(argv[i], "--trace-sample")) {
+      if (*v > 1.0) {
+        std::fprintf(stderr, "error: --trace-sample wants 0..1\n");
+        return 2;
+      }
+      telemetry::Tracer::instance().set_sample_rate(*v);
     } else if (const auto v = parse_flag_value(argv[i], "--shards")) {
       shards = static_cast<std::size_t>(*v);
       if (shards == 0) {
@@ -150,18 +187,26 @@ int main(int argc, char** argv) {
 
   // Exposition endpoint: scrape while the replay runs (real-time
   // self-monitoring), and after it finishes until the process exits.
+  // Declared after `ready` so the route lambdas never outlive the
+  // state they probe.
+  ReadyState ready;
   std::unique_ptr<dash::HttpServer> metrics_server;
   if (metrics_port) {
     try {
       metrics_server = std::make_unique<dash::HttpServer>(*metrics_port);
       dash::register_telemetry_routes(*metrics_server);
+      dash::register_trace_routes(*metrics_server);
+      dash::register_health_routes(*metrics_server,
+                                   [&ready] { return ready.ready(); });
       metrics_server->start();
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: cannot serve metrics on port %d: %s\n",
                    *metrics_port, e.what());
       return 1;
     }
-    std::fprintf(stderr, "metrics : http://127.0.0.1:%d/metrics (and /selfz)\n",
+    std::fprintf(stderr,
+                 "metrics : http://127.0.0.1:%d/metrics (and /selfz, "
+                 "/tracez, /readyz)\n",
                  metrics_server->port());
   }
 
@@ -192,6 +237,7 @@ int main(int argc, char** argv) {
       sharded_loader =
           std::make_unique<loader::ShardedLoader>(*sharded_archive);
     }
+    ready.archive_open.store(true, std::memory_order_release);
 
     if (networked) {
       // The bus endpoint: either host the broker here (--listen) or
@@ -225,6 +271,7 @@ int main(int argc, char** argv) {
           return 1;
         }
         bus = client.get();
+        ready.bus_client.store(client.get(), std::memory_order_release);
       }
       // Publisher-compatible topology (idempotent on both sides).
       bus->declare_exchange("monitoring", bus::ExchangeType::kTopic);
@@ -239,9 +286,13 @@ int main(int argc, char** argv) {
         pump = std::make_unique<loader::QueuePump>(*bus, "stampede",
                                                    *sharded_loader);
       }
+      ready.pump_required.store(true, std::memory_order_release);
       pump->start();
+      ready.pump_running.store(true, std::memory_order_release);
       wait_for_idle(*pump, idle_exit_s);
       pump->stop();
+      ready.pump_running.store(false, std::memory_order_release);
+      ready.bus_client.store(nullptr, std::memory_order_release);
       stats = pump->stats();
     } else if (single_loader) {
       stats = loader::load_file(log_path, *single_loader);

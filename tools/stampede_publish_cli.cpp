@@ -18,6 +18,8 @@
 //   --nodes=N            TrianaCloud node count      (default 3)
 //   --seed=N             workload RNG seed           (default 424242)
 //   --retain-log=PATH    also write the BP log to PATH
+//   --trace-sample=R     head-sample fraction R (0..1) of published
+//                        events into distributed traces (default 0.01)
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +29,7 @@
 
 #include "dart/experiment.hpp"
 #include "net/bus_client.hpp"
+#include "telemetry/tracer.hpp"
 
 using namespace stampede;
 
@@ -35,7 +38,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --connect=HOST:PORT [--executions=N] [--bundle=N] "
-               "[--tones=N] [--nodes=N] [--seed=N] [--retain-log=PATH]\n",
+               "[--tones=N] [--nodes=N] [--seed=N] [--retain-log=PATH] "
+               "[--trace-sample=R]\n",
                argv0);
   return 2;
 }
@@ -76,6 +80,14 @@ int main(int argc, char** argv) {
       options.cloud.nodes = static_cast<int>(*v);
     } else if (const auto v = parse_flag_value(argv[i], "--seed")) {
       config.seed = static_cast<std::uint64_t>(*v);
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      char* end = nullptr;
+      const double rate = std::strtod(argv[i] + 15, &end);
+      if (end == argv[i] + 15 || *end != '\0' || rate < 0 || rate > 1) {
+        std::fprintf(stderr, "error: --trace-sample wants 0..1\n");
+        return 2;
+      }
+      telemetry::Tracer::instance().set_sample_rate(rate);
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return usage(argv[0]);
