@@ -1,7 +1,9 @@
-// Networked-bus benchmarks (DESIGN.md "Network substrate"):
+// Networked-bus benchmarks (DESIGN.md "Network substrate" + §12):
 // publish→deliver→ack round-trip latency over loopback TCP and
-// sustained throughput with 1 and 4 consumer connections, dumped as
-// BENCH_net_throughput.json, plus frame-codec micro benches.
+// sustained throughput with 1 and 4 consumer connections
+// (BENCH_net_throughput.json), a connection-count sweep of raw-socket
+// publishers against the epoll reactor (BENCH_net_connections.json),
+// and frame-codec micro benches.
 
 #include <benchmark/benchmark.h>
 
@@ -14,6 +16,7 @@
 #include <vector>
 
 #include "bus/broker.hpp"
+#include "common/socket.hpp"
 #include "net/bus_client.hpp"
 #include "net/bus_server.hpp"
 #include "net/frame.hpp"
@@ -153,6 +156,165 @@ void emit_net_json() {
 }
 
 // ---------------------------------------------------------------------------
+// Connection-count sweep: K raw-socket publishers against one BusServer
+
+/// Plain v1 handshake on a blocking socket (HELLO out, HELLO_OK back).
+bool plain_handshake(int fd) {
+  const auto hello = net::encode_hello(/*channel=*/1);
+  if (!stampede::common::send_all(fd, hello.data(), hello.size())) {
+    return false;
+  }
+  std::string buffer;
+  char chunk[256];
+  for (int i = 0; i < 200; ++i) {
+    std::size_t received = 0;
+    const auto status = stampede::common::recv_some(fd, chunk, sizeof(chunk),
+                                                    5000, &received);
+    if (status == stampede::common::RecvStatus::kClosed ||
+        status == stampede::common::RecvStatus::kError) {
+      return false;
+    }
+    if (status == stampede::common::RecvStatus::kTimeout) continue;
+    buffer.append(chunk, received);
+    net::Frame frame;
+    std::size_t consumed = 0;
+    const auto decoded = net::decode_frame(buffer, consumed, frame);
+    if (decoded == net::DecodeStatus::kNeedMore) continue;
+    return decoded == net::DecodeStatus::kFrame &&
+           frame.type == net::FrameType::kHelloOk;
+  }
+  return false;
+}
+
+/// Opens `connections` raw publisher sockets against a fresh
+/// BusServer, fans `total` publishes across all of them from a few
+/// sender threads (each thread owns many sockets — the reactor is what
+/// scales, not the bench), and returns broker-ingest msgs/s.
+double measure_connection_sweep(std::size_t connections, std::size_t total) {
+  namespace common = stampede::common;
+  bus::Broker broker;
+  // Drop-head cap: the sweep has no consumer, so an unbounded queue
+  // would hold the whole run in memory; `enqueued` still counts every
+  // accepted message, which is what the wait below keys on.
+  bus::QueueOptions queue_options;
+  queue_options.max_length = 8192;
+  broker.declare_queue("sweep", queue_options);
+
+  net::BusServerOptions options;
+  options.workers = 2;
+  net::BusServer server{broker, options};
+  server.start();
+
+  const std::size_t threads =
+      std::min<std::size_t>(4, std::max<std::size_t>(1, connections));
+  std::vector<common::SocketFd> sockets(connections);
+  std::atomic<bool> setup_failed{false};
+  {
+    std::vector<std::jthread> connectors;
+    for (std::size_t t = 0; t < threads; ++t) {
+      connectors.emplace_back([&, t] {
+        for (std::size_t i = t; i < connections; i += threads) {
+          auto fd = common::connect_tcp("127.0.0.1", server.port());
+          if (!fd.valid() || !plain_handshake(fd.get())) {
+            setup_failed.store(true);
+            return;
+          }
+          sockets[i] = std::move(fd);
+        }
+      });
+    }
+  }
+  if (setup_failed.load()) return 0.0;
+
+  // Every sweep point pushes the same total so the measurement windows
+  // (and the broker queue depths they build) are comparable.
+  const std::size_t per_connection =
+      std::max<std::size_t>(1, total / connections);
+  const std::size_t expected = per_connection * connections;
+  // Each connection publishes a short burst per visit (the shape the
+  // batching BusClient produces), round-robin over the thread's sockets
+  // so all K connections stay concurrently active.
+  constexpr std::size_t kBurst = 128;
+  auto burst_message = bench_message(0);
+  burst_message.routing_key = "sweep";
+  const auto one_wire = net::encode_publish(0, "", std::move(burst_message));
+  std::string burst_wire;
+  for (std::size_t i = 0; i < kBurst; ++i) burst_wire += one_wire;
+  const auto start = Clock::now();
+  {
+    std::vector<std::jthread> senders;
+    for (std::size_t t = 0; t < threads; ++t) {
+      senders.emplace_back([&, t] {
+        std::size_t sent = 0;
+        while (sent < per_connection) {
+          const std::size_t n = std::min(kBurst, per_connection - sent);
+          for (std::size_t i = t; i < connections; i += threads) {
+            if (!common::send_all(sockets[i].get(), burst_wire.data(),
+                                  one_wire.size() * n)) {
+              return;
+            }
+          }
+          sent += n;
+        }
+      });
+    }
+  }
+  // Publishes are fire-and-forget: completion is the broker having
+  // routed every message, not the last send() returning.
+  const auto deadline = Clock::now() + std::chrono::seconds(120);
+  while (broker.queue_stats("sweep").enqueued < expected &&
+         Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (broker.queue_stats("sweep").enqueued < expected) return 0.0;
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  sockets.clear();
+  server.stop();
+  return seconds > 0 ? static_cast<double>(expected) / seconds : 0.0;
+}
+
+void emit_connection_sweep_json() {
+  // 256 messages per connection at the widest point (4096), so even
+  // there every socket carries a sustained multi-burst stream.
+  constexpr std::size_t kTotal = 4096 * 256;
+  const std::size_t sweep[] = {1, 16, 256, 1024, 4096};
+  double rates[std::size(sweep)] = {};
+  for (std::size_t i = 0; i < std::size(sweep); ++i) {
+    rates[i] = measure_connection_sweep(sweep[i], kTotal);
+    std::printf("  %4zu connections: %.0f msg/s\n", sweep[i], rates[i]);
+  }
+  const double baseline16 = rates[1];
+  const double ratio4k = baseline16 > 0 ? rates[4] / baseline16 : 0.0;
+
+  std::FILE* out = std::fopen("BENCH_net_connections.json", "w");
+  if (out == nullptr) return;
+  std::fprintf(out,
+               "{\n"
+               "  \"transport\": \"loopback TCP, raw-socket publishers, "
+               "epoll reactor (2 workers)\",\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"messages_per_sweep\": %zu,\n"
+               "  \"sweep\": [\n",
+               std::thread::hardware_concurrency(), kTotal);
+  for (std::size_t i = 0; i < std::size(sweep); ++i) {
+    std::fprintf(out,
+                 "    {\"connections\": %zu, \"msgs_per_second\": %.0f}%s\n",
+                 sweep[i], rates[i],
+                 i + 1 < std::size(sweep) ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"throughput_4096_over_16\": %.3f\n"
+               "}\n",
+               ratio4k);
+  std::fclose(out);
+  std::printf("BENCH_net_connections.json: 4096-connection throughput is "
+              "%.0f%% of the 16-connection baseline\n",
+              ratio4k * 100.0);
+}
+
+// ---------------------------------------------------------------------------
 // Frame codec micro benches
 
 void BM_FrameEncodePublish(benchmark::State& state) {
@@ -204,6 +366,7 @@ BENCHMARK(BM_NetPublishConsumeAck)->Unit(benchmark::kMicrosecond)
 
 int main(int argc, char** argv) {
   emit_net_json();
+  emit_connection_sweep_json();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -1,6 +1,7 @@
 #include "common/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -31,6 +32,9 @@ sockaddr_in make_addr(const std::string& host, int port) {
 
 void SocketFd::reset() noexcept {
   if (fd_ >= 0) {
+    // POSIX leaves the fd state unspecified after close() fails with
+    // EINTR; on Linux the descriptor is gone either way, so retrying
+    // would race a concurrent open. One close is correct here.
     ::close(fd_);
     fd_ = -1;
   }
@@ -40,12 +44,30 @@ void SocketFd::shutdown_both() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
+bool set_nonblocking(int fd, bool enabled) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+bool set_tcp_nodelay(int fd, bool enabled) {
+  const int value = enabled ? 1 : 0;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &value, sizeof(value)) ==
+         0;
+}
+
+bool set_reuseaddr(int fd, bool enabled) {
+  const int value = enabled ? 1 : 0;
+  return ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &value, sizeof(value)) ==
+         0;
+}
+
 SocketFd listen_tcp(const std::string& host, int port, int backlog,
                     int* bound_port) {
   SocketFd fd{::socket(AF_INET, SOCK_STREAM, 0)};
   if (!fd.valid()) throw std::runtime_error("socket() failed");
-  const int one = 1;
-  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  (void)set_reuseaddr(fd.get());
   sockaddr_in addr = make_addr(host, port);
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     throw std::runtime_error("bind(" + host + ":" + std::to_string(port) +
@@ -64,7 +86,32 @@ SocketFd accept_client(int listen_fd, int timeout_ms) {
   pollfd pfd{listen_fd, POLLIN, 0};
   const int ready = ::poll(&pfd, 1, timeout_ms);
   if (ready <= 0) return SocketFd{};
-  return SocketFd{::accept(listen_fd, nullptr, nullptr)};
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      SocketFd client{fd};
+      (void)set_tcp_nodelay(client.get());
+      return client;
+    }
+    // The pending connection was reset before we got to it, or a signal
+    // landed mid-accept; both are retryable without re-polling because
+    // the listening socket is still readable-or-empty (EAGAIN exits).
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return SocketFd{};
+  }
+}
+
+SocketFd accept_nonblocking(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      SocketFd client{fd};
+      (void)set_tcp_nodelay(client.get());
+      return client;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return SocketFd{};  // EAGAIN or fatal; caller re-arms either way.
+  }
 }
 
 SocketFd connect_tcp(const std::string& host, int port) {
@@ -76,12 +123,29 @@ SocketFd connect_tcp(const std::string& host, int port) {
   }
   SocketFd fd{::socket(AF_INET, SOCK_STREAM, 0)};
   if (!fd.valid()) return SocketFd{};
-  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) {
+      // The connect continues in the background; wait for writability
+      // and read the result instead of calling connect() again (a
+      // second connect on an in-progress socket yields EALREADY).
+      pollfd pfd{fd.get(), POLLOUT, 0};
+      while (::poll(&pfd, 1, -1) < 0 && errno == EINTR) {
+      }
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &len) == 0 &&
+          soerr == 0) {
+        break;
+      }
+      return SocketFd{};
+    }
     return SocketFd{};
   }
-  const int one = 1;
-  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  (void)set_tcp_nodelay(fd.get());
   return fd;
 }
 
@@ -91,6 +155,14 @@ bool send_all(int fd, const void* data, std::size_t size) {
   while (sent < size) {
     const ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // A blocking caller handed us a non-blocking fd (or SO_SNDTIMEO
+      // fired): park on writability rather than spin.
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, -1);
+      if (ready < 0 && errno != EINTR) return false;
+      continue;
+    }
     if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
@@ -104,13 +176,42 @@ RecvStatus recv_some(int fd, void* buf, std::size_t size, int timeout_ms,
   if (ready == 0) return RecvStatus::kTimeout;
   if (ready < 0) return errno == EINTR ? RecvStatus::kTimeout
                                        : RecvStatus::kError;
-  const ssize_t n = ::recv(fd, buf, size, 0);
-  if (n > 0) {
-    if (received != nullptr) *received = static_cast<std::size_t>(n);
-    return RecvStatus::kData;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, size, 0);
+    if (n > 0) {
+      if (received != nullptr) *received = static_cast<std::size_t>(n);
+      return RecvStatus::kData;
+    }
+    if (n == 0) return RecvStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvStatus::kTimeout;
+    return RecvStatus::kError;
   }
-  if (n == 0) return RecvStatus::kClosed;
-  return errno == EINTR ? RecvStatus::kTimeout : RecvStatus::kError;
+}
+
+std::ptrdiff_t send_some(int fd, const void* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    return -1;
+  }
+}
+
+RecvStatus recv_nonblocking(int fd, void* buf, std::size_t size,
+                            std::size_t* received) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, size, MSG_DONTWAIT);
+    if (n > 0) {
+      if (received != nullptr) *received = static_cast<std::size_t>(n);
+      return RecvStatus::kData;
+    }
+    if (n == 0) return RecvStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvStatus::kTimeout;
+    return RecvStatus::kError;
+  }
 }
 
 }  // namespace stampede::common

@@ -3,7 +3,18 @@
 // net::BusServer/BusClient). Plain POSIX TCP, loopback-oriented, no
 // external dependencies: RAII fds, bind/listen/accept with poll-based
 // timeouts, and full-buffer read/write loops that handle short
-// transfers and EINTR.
+// transfers, EINTR and SIGPIPE (every send uses MSG_NOSIGNAL, so a
+// vanished peer surfaces as an error return instead of killing the
+// process).
+//
+// Two call families live here:
+//   - Blocking helpers (send_all, recv_some, accept_client) used by the
+//     synchronous client paths and tests.
+//   - Non-blocking primitives (set_nonblocking, send_some,
+//     recv_nonblocking, accept_nonblocking) used by the net::EventLoop
+//     reactor under the bus and dashboard servers. These never park the
+//     caller: they report kWouldBlock/-EAGAIN and let the event loop
+//     re-arm interest.
 
 #include <cstddef>
 #include <cstdint>
@@ -39,7 +50,7 @@ class SocketFd {
     return fd;
   }
 
-  /// Closes now (idempotent).
+  /// Closes now (idempotent, EINTR-safe).
   void reset() noexcept;
 
   /// shutdown(SHUT_RDWR): unblocks a peer thread parked in poll/recv on
@@ -50,6 +61,21 @@ class SocketFd {
   int fd_ = -1;
 };
 
+// ---------------------------------------------------------------------------
+// Socket-option helpers (each returns false when setsockopt/fcntl fails)
+
+/// O_NONBLOCK on/off.
+bool set_nonblocking(int fd, bool enabled = true);
+/// TCP_NODELAY: no Nagle batching — the framing layer coalesces writes
+/// itself, so delaying small segments only adds latency.
+bool set_tcp_nodelay(int fd, bool enabled = true);
+/// SO_REUSEADDR: rebind a listening port still in TIME_WAIT (server
+/// restarts).
+bool set_reuseaddr(int fd, bool enabled = true);
+
+// ---------------------------------------------------------------------------
+// Setup
+
 /// Binds and listens on `host`:`port` (port 0 = ephemeral) with
 /// SO_REUSEADDR. `bound_port` (may be null) receives the actual port.
 /// Throws std::runtime_error on failure. `host` must be a dotted-quad
@@ -57,23 +83,48 @@ class SocketFd {
 [[nodiscard]] SocketFd listen_tcp(const std::string& host, int port,
                                   int backlog, int* bound_port);
 
-/// Polls the listening fd up to `timeout_ms` and accepts one client.
+/// Polls the listening fd up to `timeout_ms` and accepts one client
+/// (EINTR/ECONNABORTED retried within the window, TCP_NODELAY applied).
 /// Invalid SocketFd on timeout or error.
 [[nodiscard]] SocketFd accept_client(int listen_fd, int timeout_ms);
 
-/// Connects to `host`:`port`. Invalid SocketFd on failure.
+/// Non-blocking accept for a listening fd owned by an event loop.
+/// Invalid SocketFd when no connection is pending (EAGAIN) or on a
+/// transient error (ECONNABORTED); the accepted fd has TCP_NODELAY set
+/// but inherits blocking mode — callers switch it themselves.
+[[nodiscard]] SocketFd accept_nonblocking(int listen_fd);
+
+/// Connects to `host`:`port` (EINTR-safe) and sets TCP_NODELAY.
+/// Invalid SocketFd on failure.
 [[nodiscard]] SocketFd connect_tcp(const std::string& host, int port);
 
-/// Writes the whole buffer, looping over short sends. False on error
-/// (peer gone).
+// ---------------------------------------------------------------------------
+// Blocking transfer loops
+
+/// Writes the whole buffer, looping over short sends and EINTR. False
+/// on error (peer gone). MSG_NOSIGNAL: a dead peer is a return value,
+/// never a SIGPIPE.
 bool send_all(int fd, const void* data, std::size_t size);
 
 /// Result of a single timed read.
 enum class RecvStatus { kData, kClosed, kTimeout, kError };
 
 /// Polls up to `timeout_ms` then recv()s once into `buf`. On kData,
-/// `received` holds the byte count (> 0).
+/// `received` holds the byte count (> 0). EINTR during the poll or the
+/// recv reports kTimeout so callers simply re-enter their read loop.
 RecvStatus recv_some(int fd, void* buf, std::size_t size, int timeout_ms,
                      std::size_t* received);
+
+// ---------------------------------------------------------------------------
+// Non-blocking transfer primitives (reactor building blocks)
+
+/// One non-blocking send attempt handling partial writes: returns the
+/// byte count actually queued (possibly 0 when the socket buffer is
+/// full), or -1 on a fatal socket error. Loops only over EINTR.
+std::ptrdiff_t send_some(int fd, const void* data, std::size_t size);
+
+/// One non-blocking recv attempt. kTimeout doubles as "would block".
+RecvStatus recv_nonblocking(int fd, void* buf, std::size_t size,
+                            std::size_t* received);
 
 }  // namespace stampede::common

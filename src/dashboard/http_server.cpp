@@ -2,9 +2,12 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <future>
 #include <stdexcept>
+#include <utility>
 
 #include "common/string_utils.hpp"
+#include "net/connection.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace stampede::dash {
@@ -23,6 +26,8 @@ struct HttpTelemetry {
                          "oversize"));
   telemetry::Histogram& latency = telemetry::registry().histogram(
       "stampede_http_request_latency_seconds");
+  telemetry::Gauge& connections =
+      telemetry::registry().gauge("stampede_http_connections_active");
 };
 
 HttpTelemetry& http_telemetry() {
@@ -49,21 +54,21 @@ std::string status_text(int status) {
   }
 }
 
-void send_response(int fd, const HttpResponse& response) {
+std::string render_response(const HttpResponse& response) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     status_text(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   out += "Connection: close\r\n\r\n";
   out += response.body;
-  (void)common::send_all(fd, out.data(), out.size());
+  return out;
 }
 
 }  // namespace
 
 HttpServer::HttpServer(int port, HttpServerOptions options)
     : options_(options) {
-  listen_fd_ = common::listen_tcp("127.0.0.1", port, /*backlog=*/16, &port_);
+  listen_fd_ = common::listen_tcp("127.0.0.1", port, /*backlog=*/64, &port_);
 }
 
 HttpServer::~HttpServer() { stop(); }
@@ -79,71 +84,91 @@ void HttpServer::route(const std::string& pattern, HttpHandler handler) {
 
 void HttpServer::start() {
   if (running_.exchange(true)) return;
-  acceptor_ = std::jthread([this](std::stop_token stop) {
-    while (!stop.stop_requested()) {
-      auto client = common::accept_client(listen_fd_.get(), 50);
-      if (client.valid()) serve(client.get());
-    }
+  (void)common::set_nonblocking(listen_fd_.get());
+  loop_.start();
+  loop_.defer([this] {
+    loop_.watch(listen_fd_.get(), net::EventLoop::kReadable,
+                [this](std::uint32_t) { accept_ready(); });
   });
 }
 
 void HttpServer::stop() {
-  if (acceptor_.joinable()) {
-    acceptor_.request_stop();
-    acceptor_.join();
-  }
+  if (!running_.exchange(false)) return;
+  // Drop everything on the loop thread (watch/timer state lives there),
+  // then stop the loop.
+  std::promise<void> drained;
+  loop_.defer([this, &drained] {
+    loop_.unwatch(listen_fd_.get());
+    auto snapshot = conns_;
+    for (const auto& [_, pending] : snapshot) pending->conn->close();
+    drained.set_value();
+  });
+  drained.get_future().wait();
+  loop_.stop();
   listen_fd_.reset();
-  running_.store(false);
 }
 
-void HttpServer::serve(int client_fd) {
-  auto& tele = http_telemetry();
-  // Read until the end of the request headers (we only support GET, so
-  // no body) — but never wait on a trickling client beyond the deadline
-  // and never buffer past the size cap.
-  using Clock = std::chrono::steady_clock;
-  const auto deadline =
-      Clock::now() + std::chrono::milliseconds(options_.read_timeout_ms);
-  std::string raw;
-  char buf[2048];
-  bool closed_early = false;
-  while (raw.find("\r\n\r\n") == std::string::npos) {
-    if (raw.size() > options_.max_request_bytes) {
-      tele.rejected_oversize.inc();
-      tele.errors.inc();
-      send_response(client_fd, HttpResponse{431, "text/plain",
-                                            "request too large"});
-      return;
-    }
-    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-        deadline - Clock::now());
-    if (remaining.count() <= 0) {
-      tele.rejected_slow.inc();
-      tele.errors.inc();
-      send_response(client_fd,
-                    HttpResponse{408, "text/plain", "request timeout"});
-      return;
-    }
-    std::size_t received = 0;
-    const auto status = common::recv_some(
-        client_fd, buf, sizeof(buf),
-        static_cast<int>(std::min<std::int64_t>(remaining.count(), 100)),
-        &received);
-    if (status == common::RecvStatus::kClosed ||
-        status == common::RecvStatus::kError) {
-      closed_early = true;
-      break;
-    }
-    if (status == common::RecvStatus::kData) {
-      raw.append(buf, received);
-    }
+void HttpServer::accept_ready() {
+  for (;;) {
+    auto client = common::accept_nonblocking(listen_fd_.get());
+    if (!client.valid()) return;  // EAGAIN; the loop re-arms.
+    auto pending = std::make_shared<Pending>();
+    net::Connection::Options copts;
+    copts.read_chunk = 4096;
+    pending->conn = std::make_shared<net::Connection>(
+        loop_, std::move(client), copts);
+    conns_[pending->conn.get()] = pending;
+    http_telemetry().connections.set(
+        static_cast<std::int64_t>(conns_.size()));
+    pending->conn->start(
+        [this, pending](std::string_view data) {
+          return on_data(pending, data);
+        },
+        [this, pending] {
+          if (pending->deadline != 0) {
+            loop_.cancel(pending->deadline);
+            pending->deadline = 0;
+          }
+          conns_.erase(pending->conn.get());
+          http_telemetry().connections.set(
+              static_cast<std::int64_t>(conns_.size()));
+        });
+    // The slowloris guard: a connection that has not produced a full
+    // header block when this fires gets 408 and the door.
+    pending->deadline = loop_.schedule(
+        std::chrono::milliseconds(options_.read_timeout_ms),
+        [this, pending] {
+          pending->deadline = 0;
+          if (pending->responded || pending->conn->closed()) return;
+          auto& tele = http_telemetry();
+          tele.rejected_slow.inc();
+          tele.errors.inc();
+          respond(pending,
+                  HttpResponse{408, "text/plain", "request timeout"});
+        });
   }
+}
+
+std::size_t HttpServer::on_data(const std::shared_ptr<Pending>& pending,
+                                std::string_view data) {
+  if (pending->responded) return data.size();  // Draining until close.
+  auto& tele = http_telemetry();
+  if (data.size() > options_.max_request_bytes) {
+    tele.rejected_oversize.inc();
+    tele.errors.inc();
+    respond(pending, HttpResponse{431, "text/plain", "request too large"});
+    return data.size();
+  }
+  // We only support GET (no body): a request is complete at the end of
+  // its header block. Anything less stays buffered in the connection.
+  const auto header_end = data.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) return 0;
+
   const double serve_start = telemetry::trace_now();
   tele.requests.inc();
-  const auto line_end = raw.find("\r\n");
-  if (closed_early || line_end == std::string::npos) return;
+  const auto line_end = data.find("\r\n");
   const auto parts =
-      common::split_nonempty(std::string_view{raw}.substr(0, line_end), ' ');
+      common::split_nonempty(data.substr(0, line_end), ' ');
   HttpResponse response;
   if (parts.size() < 2) {
     response = HttpResponse{400, "text/plain", "bad request"};
@@ -159,11 +184,23 @@ void HttpServer::serve(int client_fd) {
     request.path = std::string{target};
     response = dispatch(request);
   }
-  send_response(client_fd, response);
   if (response.status >= 400) tele.errors.inc();
+  respond(pending, response);
   if (serve_start > 0.0) {
     tele.latency.observe(telemetry::now() - serve_start);
   }
+  return data.size();
+}
+
+void HttpServer::respond(const std::shared_ptr<Pending>& pending,
+                         const HttpResponse& response) {
+  pending->responded = true;
+  if (pending->deadline != 0) {
+    loop_.cancel(pending->deadline);
+    pending->deadline = 0;
+  }
+  (void)pending->conn->send(render_response(response));
+  pending->conn->close_after_flush();
 }
 
 HttpResponse HttpServer::dispatch(const HttpRequest& request) const {

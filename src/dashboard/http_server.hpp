@@ -1,7 +1,12 @@
 #pragma once
 // Minimal embedded HTTP/1.1 server — the substrate for the "very
 // lightweight performance dashboard ... based on an embedded web server"
-// (paper §IV-F; theirs was Python, ours is sockets + a jthread).
+// (paper §IV-F; theirs was Python, ours is an epoll reactor).
+//
+// Runs on the same net::EventLoop core as the bus server (DESIGN.md
+// §12): one loop thread accepts and serves every connection, so a
+// trickling client no longer serializes the whole server — it just
+// parks a buffer and a deadline timer.
 //
 // Hardened against trickle-feed (slowloris-style) clients: a request
 // must arrive whole within `read_timeout_ms` and fit in
@@ -11,11 +16,16 @@
 #include <atomic>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/socket.hpp"
+#include "net/event_loop.hpp"
+
+namespace stampede::net {
+class Connection;
+}
 
 namespace stampede::dash {
 
@@ -68,10 +78,11 @@ class HttpServer {
   /// "/workflow/{uuid}/summary".
   void route(const std::string& pattern, HttpHandler handler);
 
-  /// Starts the accept loop.
+  /// Starts the event loop and begins accepting.
   void start();
 
-  /// Stops and joins. Idempotent; the destructor calls it.
+  /// Drops every connection, stops the loop and joins. Idempotent; the
+  /// destructor calls it.
   void stop();
 
   [[nodiscard]] int port() const noexcept { return port_; }
@@ -81,16 +92,29 @@ class HttpServer {
     std::vector<std::string> segments;
     HttpHandler handler;
   };
+  /// Per-connection serving state (loop thread only).
+  struct Pending {
+    std::shared_ptr<net::Connection> conn;
+    net::EventLoop::TimerId deadline = 0;
+    bool responded = false;
+  };
 
-  void serve(int client_fd);
+  void accept_ready();
+  /// Consumes buffered request bytes; returns bytes eaten.
+  std::size_t on_data(const std::shared_ptr<Pending>& pending,
+                      std::string_view data);
+  void respond(const std::shared_ptr<Pending>& pending,
+               const HttpResponse& response);
   [[nodiscard]] HttpResponse dispatch(const HttpRequest& request) const;
 
   HttpServerOptions options_;
   common::SocketFd listen_fd_;
   int port_ = 0;
   std::vector<Route> routes_;
-  std::jthread acceptor_;
+  net::EventLoop loop_;
   std::atomic<bool> running_{false};
+  /// Live connections (loop thread only); drained by stop().
+  std::map<const net::Connection*, std::shared_ptr<Pending>> conns_;
 };
 
 /// One-shot HTTP GET against 127.0.0.1 (test/client helper). Returns the

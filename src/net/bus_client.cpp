@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <random>
 #include <utility>
 
 #include "common/errors.hpp"
+#include "common/rng.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace stampede::net {
@@ -30,6 +32,10 @@ struct ClientTelemetry {
       telemetry::registry().counter("stampede_net_stale_acks_total");
   telemetry::Counter& async_errors = telemetry::registry().counter(
       "stampede_net_client_async_errors_total");
+  telemetry::Counter& publish_batches = telemetry::registry().counter(
+      "stampede_net_client_publish_batches_total");
+  telemetry::Counter& ack_batches = telemetry::registry().counter(
+      "stampede_net_client_ack_batches_total");
   telemetry::Histogram& request_rtt = telemetry::registry().histogram(
       "stampede_net_request_rtt_seconds",
       telemetry::HistogramOptions{1e-6, 4.0, 16});
@@ -63,6 +69,8 @@ bool BusClient::wait_connected(int timeout_ms) {
 }
 
 void BusClient::close() {
+  if (closed_.load(std::memory_order_acquire)) return;
+  flush_acks();  // Best effort; unflushed acks just redeliver.
   if (closed_.exchange(true)) return;
   io_.request_stop();
   {
@@ -74,20 +82,28 @@ void BusClient::close() {
     for (auto& [queue, buffer] : buffers_) buffer->close();
   }
   state_cv_.notify_all();
+  publish_cv_.notify_all();  // Batched publishers check closed_ and bail.
   if (io_.joinable()) io_.join();
 }
 
 // -- IO thread --------------------------------------------------------------
 
 void BusClient::io_loop(const std::stop_token& stop) {
+  // ±20% jitter on every backoff sleep: when a broker restarts under
+  // hundreds of publishers, their retry clocks decorrelate instead of
+  // stampeding the fresh listener in lockstep. Seeded per client from
+  // the OS so separate processes do not share a sequence.
+  common::Rng jitter{std::random_device{}()};
   int backoff_ms = options_.reconnect_initial_ms;
   while (!stop.stop_requested()) {
     std::string carry;
     auto fd = establish(stop, carry);
     if (!fd.valid()) {
       client_telemetry().reconnect_attempts.inc();
+      const auto jittered = static_cast<std::int64_t>(
+          static_cast<double>(backoff_ms) * jitter.uniform(0.8, 1.2));
       // Sliced sleep so stop() does not wait out the whole backoff.
-      const auto deadline = Clock::now() + std::chrono::milliseconds(backoff_ms);
+      const auto deadline = Clock::now() + std::chrono::milliseconds(jittered);
       while (Clock::now() < deadline && !stop.stop_requested()) {
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
       }
@@ -106,10 +122,13 @@ common::SocketFd BusClient::establish(const std::stop_token& stop,
   auto fd = common::connect_tcp(options_.host, options_.port);
   if (!fd.valid()) return {};
 
+  const std::uint32_t wanted =
+      (options_.enable_trace ? kFeatureTrace : 0u) |
+      (options_.enable_batch ? kFeatureBatch : 0u);
   const bool want_features =
-      options_.enable_trace && !hello_legacy_.load(std::memory_order_relaxed);
+      wanted != 0 && !hello_legacy_.load(std::memory_order_relaxed);
   const auto hello =
-      encode_hello(next_channel(), want_features ? kFeatureTrace : 0u);
+      encode_hello(next_channel(), want_features ? wanted : 0u);
   if (!common::send_all(fd.get(), hello.data(), hello.size())) {
     return {};
   }
@@ -149,7 +168,10 @@ common::SocketFd BusClient::establish(const std::stop_token& stop,
   std::uint16_t version = 0;
   std::uint32_t granted = 0;
   if (!parse_hello_ok(frame, &version, &granted)) return {};
-  wire_trace_.store(want_features && (granted & kFeatureTrace) != 0,
+  if (!want_features) granted = 0;
+  wire_trace_.store(options_.enable_trace && (granted & kFeatureTrace) != 0,
+                    std::memory_order_relaxed);
+  wire_batch_.store(options_.enable_batch && (granted & kFeatureBatch) != 0,
                     std::memory_order_relaxed);
 
   epoch_.fetch_add(1, std::memory_order_acq_rel);
@@ -228,6 +250,9 @@ void BusClient::read_stream(common::SocketFd& fd, std::string& carry,
     if (status == common::RecvStatus::kData) {
       carry.append(chunk, received);
     }
+    // Acks accumulated since the last pass ride out now, so coalescing
+    // adds at most one read-timeout slice of latency.
+    flush_acks();
     const auto now = now_ms();
     if (now - last_heartbeat >= options_.heartbeat_interval_ms) {
       last_heartbeat = now;
@@ -262,6 +287,16 @@ void BusClient::dispatch(const Frame& frame) {
     client_telemetry().async_errors.inc();
     return;
   }
+
+  if (frame.type == FrameType::kDeliverBatch) {
+    std::vector<WireDelivery> batch;
+    if (!parse_deliver_batch(frame, &batch,
+                             wire_trace_.load(std::memory_order_relaxed))) {
+      return;
+    }
+    for (auto& delivery : batch) enqueue_delivery(std::move(delivery));
+    return;
+  }
   if (frame.type != FrameType::kDeliver) return;
 
   WireDelivery delivery;
@@ -269,6 +304,10 @@ void BusClient::dispatch(const Frame& frame) {
                      wire_trace_.load(std::memory_order_relaxed))) {
     return;
   }
+  enqueue_delivery(std::move(delivery));
+}
+
+void BusClient::enqueue_delivery(WireDelivery delivery) {
   // Stamp the tag with the connection it arrived on (see class doc).
   delivery.delivery_tag =
       (epoch_.load(std::memory_order_acquire) << kEpochShift) |
@@ -332,6 +371,10 @@ void BusClient::send_blocking(const std::string& bytes) {
 
 Frame BusClient::request(std::uint32_t channel, const std::string& bytes) {
   auto& tele = client_telemetry();
+  // Buffered acks go first on the same stream, so a queue_stats reply
+  // always reflects every ack issued before the call (callers poll
+  // stats exactly this way).
+  flush_acks();
   for (;;) {
     if (closed_.load(std::memory_order_acquire)) {
       throw common::BusError("BusClient closed");
@@ -424,11 +467,83 @@ void BusClient::bind(const std::string& queue, const std::string& exchange,
 
 std::size_t BusClient::publish(const std::string& exchange,
                                bus::Message message) {
+  if (wire_batch_.load(std::memory_order_relaxed)) {
+    publish_batched(exchange, std::move(message));
+    return 1;
+  }
   // Without the negotiated TRACE field the context still travels as the
   // `traceparent` header BpPublisher set (headers always cross the wire).
   send_blocking(encode_publish(0, exchange, message,
                                wire_trace_.load(std::memory_order_relaxed)));
   return 1;
+}
+
+void BusClient::publish_batched(const std::string& exchange,
+                                bus::Message message) {
+  std::uint64_t my_gen = 0;
+  {
+    std::unique_lock lock{publish_mutex_};
+    publish_pending_.push_back(WirePublish{exchange, std::move(message)});
+    my_gen = ++publish_append_gen_;
+    if (publish_flusher_active_) {
+      // A flusher is already writing; it will pick this entry up on its
+      // next drain. Wait for our generation so publish() still means
+      // "written to the socket" when it returns.
+      publish_cv_.wait(lock, [&] {
+        return publish_flushed_gen_ >= my_gen ||
+               closed_.load(std::memory_order_acquire);
+      });
+      if (publish_flushed_gen_ < my_gen) {
+        throw common::BusError("BusClient closed");
+      }
+      return;
+    }
+    publish_flusher_active_ = true;
+  }
+  // Appender-becomes-flusher: drain every entry that accumulates while
+  // we hold the socket — a lone publisher writes singular frames with
+  // zero added latency; concurrent publishers group-commit into
+  // kPublishBatch (many BP events per TCP segment).
+  for (;;) {
+    std::vector<WirePublish> batch;
+    std::uint64_t flushed_gen = 0;
+    {
+      const std::scoped_lock lock{publish_mutex_};
+      if (publish_pending_.empty()) {
+        publish_flusher_active_ = false;
+        break;
+      }
+      batch.swap(publish_pending_);
+      flushed_gen = publish_append_gen_;
+    }
+    const bool trace = wire_trace_.load(std::memory_order_relaxed);
+    std::string bytes;
+    if (batch.size() == 1) {
+      bytes = encode_publish(0, batch.front().exchange, batch.front().message,
+                             trace);
+    } else {
+      bytes = encode_publish_batch(0, batch, trace);
+      client_telemetry().publish_batches.inc();
+    }
+    try {
+      send_blocking(bytes);
+    } catch (...) {
+      // Closed mid-flush: release the flusher role and wake waiters
+      // (they observe closed_ and throw for themselves).
+      {
+        const std::scoped_lock lock{publish_mutex_};
+        publish_flusher_active_ = false;
+      }
+      publish_cv_.notify_all();
+      throw;
+    }
+    {
+      const std::scoped_lock lock{publish_mutex_};
+      publish_flushed_gen_ =
+          std::max(publish_flushed_gen_, flushed_gen);
+    }
+    publish_cv_.notify_all();
+  }
 }
 
 std::optional<bus::Delivery> BusClient::basic_get(
@@ -466,7 +581,49 @@ bool BusClient::ack(const std::string& queue, std::uint64_t delivery_tag) {
     client_telemetry().stale_acks.inc();
     return false;
   }
+  if (wire_batch_.load(std::memory_order_relaxed)) {
+    // Coalesce: tags park (epoch-stamped) until the next flush point —
+    // the IO loop's pass, a request/reply op, or the eager cap here.
+    bool eager = false;
+    {
+      const std::scoped_lock lock{ack_mutex_};
+      ack_pending_.push_back(WireAck{queue, delivery_tag});
+      eager = ack_pending_.size() >= options_.ack_batch_max;
+    }
+    if (eager) flush_acks();
+    return true;
+  }
   return send_now(encode_ack(0, queue, delivery_tag & kTagMask));
+}
+
+void BusClient::flush_acks() {
+  std::vector<WireAck> batch;
+  {
+    const std::scoped_lock lock{ack_mutex_};
+    if (ack_pending_.empty()) return;
+    batch.swap(ack_pending_);
+  }
+  // Re-check epochs at flush time: a reconnect between append and flush
+  // makes a tag stale (the broker already nack-requeued its delivery).
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  std::vector<WireAck> live;
+  live.reserve(batch.size());
+  for (auto& ack : batch) {
+    if ((ack.delivery_tag >> kEpochShift) != epoch) {
+      client_telemetry().stale_acks.inc();
+      continue;
+    }
+    ack.delivery_tag &= kTagMask;
+    live.push_back(std::move(ack));
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    (void)send_now(encode_ack(0, live.front().queue,
+                              live.front().delivery_tag));
+    return;
+  }
+  client_telemetry().ack_batches.inc();
+  (void)send_now(encode_ack_batch(0, live));
 }
 
 bool BusClient::nack(const std::string& queue, std::uint64_t delivery_tag,

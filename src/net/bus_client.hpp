@@ -70,6 +70,13 @@ struct BusClientOptions {
   /// peer that rejects the feature-extended HELLO outright (a v1
   /// server) downgrades this client to the plain handshake.
   bool enable_trace = true;
+  /// Offer kFeatureBatch: concurrent publishes group-commit into
+  /// kPublishBatch frames and acks coalesce into kAckBatch frames.
+  /// Same downgrade path as enable_trace.
+  bool enable_batch = true;
+  /// Acks buffered before an eager kAckBatch flush (they also flush on
+  /// every IO-loop pass and before any request/reply op).
+  std::size_t ack_batch_max = 64;
 };
 
 class BusClient final : public bus::IBus {
@@ -95,6 +102,10 @@ class BusClient final : public bus::IBus {
   /// True when the live connection negotiated the TRACE wire field.
   [[nodiscard]] bool trace_negotiated() const noexcept {
     return wire_trace_.load(std::memory_order_relaxed);
+  }
+  /// True when the live connection negotiated batch frames.
+  [[nodiscard]] bool batch_negotiated() const noexcept {
+    return wire_batch_.load(std::memory_order_relaxed);
   }
 
   // -- bus::IBus ------------------------------------------------------------
@@ -164,6 +175,17 @@ class BusClient final : public bus::IBus {
 
   std::shared_ptr<Buffer> buffer_for(const std::string& queue);
 
+  /// Epoch-stamps and enqueues one inbound delivery (blocking push into
+  /// the prefetch buffer — the client half of the backpressure chain).
+  void enqueue_delivery(WireDelivery delivery);
+  /// Group-commit publish path (batch connections): append under the
+  /// publish mutex; one appender becomes the flusher and drains every
+  /// entry that accumulated while it was writing.
+  void publish_batched(const std::string& exchange, bus::Message message);
+  /// Flushes buffered acks as one kAckBatch frame (stale epochs are
+  /// dropped). No-op when nothing is pending.
+  void flush_acks();
+
   BusClientOptions options_;
   std::jthread io_;
   std::atomic<bool> closed_{false};
@@ -171,6 +193,8 @@ class BusClient final : public bus::IBus {
   std::atomic<std::uint64_t> epoch_{0};
   /// TRACE granted on the live connection (handshake negotiation).
   std::atomic<bool> wire_trace_{false};
+  /// BATCH granted on the live connection (handshake negotiation).
+  std::atomic<bool> wire_batch_{false};
   /// The peer rejected the feature-extended HELLO (v1 server); all
   /// later attempts use the plain handshake.
   std::atomic<bool> hello_legacy_{false};
@@ -196,6 +220,21 @@ class BusClient final : public bus::IBus {
   std::mutex topology_mutex_;
   std::vector<TopologyOp> topology_;
   std::vector<std::string> consumed_;  ///< Queues with an active CONSUME.
+
+  // Publish group-commit state (batch connections). Generations let
+  // non-flusher appenders wait until THEIR entry hit the socket, so
+  // publish() keeps its written-when-it-returns contract.
+  std::mutex publish_mutex_;
+  std::condition_variable publish_cv_;
+  std::vector<WirePublish> publish_pending_;
+  bool publish_flusher_active_ = false;
+  std::uint64_t publish_append_gen_ = 0;
+  std::uint64_t publish_flushed_gen_ = 0;
+
+  // Ack coalescing state (batch connections). Tags stored epoch-stamped
+  // and re-checked at flush time.
+  std::mutex ack_mutex_;
+  std::vector<WireAck> ack_pending_;
 };
 
 }  // namespace stampede::net

@@ -1,0 +1,307 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/metrics.hpp"
+
+namespace stampede::net {
+
+namespace {
+
+struct LoopTelemetry {
+  telemetry::Counter& wakeups =
+      telemetry::registry().counter("stampede_net_epoll_wakeups_total");
+  telemetry::Counter& tasks =
+      telemetry::registry().counter("stampede_net_loop_tasks_total");
+  telemetry::Counter& timers =
+      telemetry::registry().counter("stampede_net_timer_fires_total");
+};
+
+LoopTelemetry& loop_telemetry() {
+  static LoopTelemetry instance;
+  return instance;
+}
+
+std::uint32_t to_epoll(std::uint32_t events) {
+  std::uint32_t mask = 0;
+  if ((events & EventLoop::kReadable) != 0) mask |= EPOLLIN;
+  if ((events & EventLoop::kWritable) != 0) mask |= EPOLLOUT;
+  return mask;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("epoll_create1() failed");
+  wakeup_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakeup_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw std::runtime_error("eventfd() failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakeup_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev);
+}
+
+EventLoop::~EventLoop() {
+  stop();
+  if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::start() {
+  const std::scoped_lock lock{thread_mutex_};
+  if (thread_.joinable()) return;
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { run(); });
+}
+
+void EventLoop::stop() {
+  stopping_.store(true, std::memory_order_release);
+  wake();
+  std::thread joiner;
+  {
+    const std::scoped_lock lock{thread_mutex_};
+    joiner = std::move(thread_);
+  }
+  if (joiner.joinable()) joiner.join();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (impossible at our rates) would EAGAIN; the
+  // loop is already due to wake in that case.
+  [[maybe_unused]] const auto n =
+      ::write(wakeup_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_wakeup_fd() const {
+  std::uint64_t count = 0;
+  while (::read(wakeup_fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+std::int64_t EventLoop::steady_now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void EventLoop::run() {
+  loop_thread_.store(std::this_thread::get_id());
+  wheel_cursor_ms_ = steady_now_ms();
+  auto& tele = loop_telemetry();
+  std::vector<epoll_event> events(256);
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int timeout = next_timeout_ms(steady_now_ms());
+    const int ready =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), timeout);
+    if (ready < 0 && errno != EINTR) break;
+    tele.wakeups.inc();
+
+    for (int i = 0; i < std::max(ready, 0); ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wakeup_fd_) {
+        drain_wakeup_fd();
+        continue;
+      }
+      const auto it = watches_.find(fd);
+      if (it == watches_.end()) continue;  // Unwatched by an earlier event.
+      std::uint32_t mask = 0;
+      if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+        // Errors/hangups fold into readability: the handler's next read
+        // observes EOF or the errno and tears the connection down.
+        mask |= kReadable;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) mask |= kWritable;
+      if (mask == 0) continue;
+      // Invoke through a copy: the handler may unwatch (and thereby
+      // destroy) its own registered closure mid-call.
+      const IoCallback callback = it->second.callback;
+      callback(mask);
+    }
+    if (ready == static_cast<int>(events.size())) {
+      events.resize(events.size() * 2);
+    }
+
+    run_tasks();
+    fire_due_timers(steady_now_ms());
+  }
+
+  run_tasks();  // Posted-but-unprocessed closures still run once.
+  loop_thread_.store(std::thread::id{});
+}
+
+void EventLoop::post(std::function<void()> task) {
+  if (in_loop_thread()) {
+    task();
+    return;
+  }
+  defer(std::move(task));
+}
+
+void EventLoop::defer(std::function<void()> task) {
+  {
+    const std::scoped_lock lock{task_mutex_};
+    tasks_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::run_tasks() {
+  std::vector<std::function<void()>> batch;
+  {
+    const std::scoped_lock lock{task_mutex_};
+    batch.swap(tasks_);
+  }
+  for (auto& task : batch) {
+    loop_telemetry().tasks.inc();
+    task();
+  }
+}
+
+// -- fd interest ------------------------------------------------------------
+
+void EventLoop::watch(int fd, std::uint32_t events, IoCallback callback) {
+  watches_[fd] = Watch{events, std::move(callback)};
+  epoll_event ev{};
+  ev.events = to_epoll(events);
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+}
+
+void EventLoop::rearm(int fd, std::uint32_t events) {
+  const auto it = watches_.find(fd);
+  if (it == watches_.end()) return;
+  it->second.events = events;
+  epoll_event ev{};
+  ev.events = to_epoll(events);
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::unwatch(int fd) {
+  if (watches_.erase(fd) == 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+// -- timer wheel ------------------------------------------------------------
+
+EventLoop::TimerId EventLoop::schedule(std::chrono::milliseconds delay,
+                                       std::function<void()> callback) {
+  Timer timer;
+  timer.id = ++timer_seq_;
+  timer.deadline_ms = steady_now_ms() + std::max<std::int64_t>(delay.count(), 0);
+  timer.callback = std::move(callback);
+  const TimerId id = timer.id;
+  insert_timer(std::move(timer));
+  return id;
+}
+
+EventLoop::TimerId EventLoop::schedule_every(std::chrono::milliseconds period,
+                                             std::function<void()> callback) {
+  Timer timer;
+  timer.id = ++timer_seq_;
+  timer.period_ms = std::max<std::int64_t>(period.count(), kTickMs);
+  timer.deadline_ms = steady_now_ms() + timer.period_ms;
+  timer.callback = std::move(callback);
+  const TimerId id = timer.id;
+  insert_timer(std::move(timer));
+  return id;
+}
+
+void EventLoop::cancel(TimerId id) {
+  // O(slots) worst case, but cancels are rare (connection teardown) and
+  // slots are short; the entry is dropped in place.
+  for (auto& slot : wheel_) {
+    for (auto it = slot.begin(); it != slot.end(); ++it) {
+      if (it->id == id) {
+        slot.erase(it);
+        --timer_count_;
+        return;
+      }
+    }
+  }
+}
+
+void EventLoop::insert_timer(Timer timer) {
+  // Deadlines land in the NEXT tick at the earliest so the current
+  // sweep (which has already passed its own slot) cannot strand a
+  // just-scheduled timer for a full wheel revolution.
+  timer.deadline_ms =
+      std::max(timer.deadline_ms, wheel_cursor_ms_ + kTickMs);
+  if (timer_count_ == 0 || timer.deadline_ms < soonest_deadline_ms_) {
+    soonest_deadline_ms_ = timer.deadline_ms;
+  }
+  const auto slot = static_cast<std::size_t>(
+      (timer.deadline_ms / kTickMs) & (kWheelSlots - 1));
+  wheel_[slot].push_back(std::move(timer));
+  ++timer_count_;
+}
+
+void EventLoop::fire_due_timers(std::int64_t now_ms) {
+  if (timer_count_ == 0 || now_ms < soonest_deadline_ms_) {
+    wheel_cursor_ms_ = now_ms;
+    return;
+  }
+  const std::int64_t from_tick = wheel_cursor_ms_ / kTickMs;
+  const std::int64_t to_tick = now_ms / kTickMs;
+  // Visiting more ticks than the wheel has slots would re-scan slots;
+  // one full revolution covers every slot already.
+  const std::int64_t ticks =
+      std::min<std::int64_t>(to_tick - from_tick, kWheelSlots);
+  std::vector<Timer> due;
+  for (std::int64_t t = 1; t <= ticks; ++t) {
+    auto& slot = wheel_[static_cast<std::size_t>((from_tick + t) &
+                                                 (kWheelSlots - 1))];
+    for (std::size_t i = 0; i < slot.size();) {
+      if (slot[i].deadline_ms <= now_ms) {
+        due.push_back(std::move(slot[i]));
+        slot[i] = std::move(slot.back());
+        slot.pop_back();
+        --timer_count_;
+      } else {
+        ++i;  // A later revolution's entry; stays parked.
+      }
+    }
+  }
+  wheel_cursor_ms_ = now_ms;
+  for (auto& timer : due) {
+    loop_telemetry().timers.inc();
+    timer.callback();
+    if (timer.period_ms > 0) {
+      timer.deadline_ms = now_ms + timer.period_ms;
+      insert_timer(std::move(timer));
+    }
+  }
+  // Recompute the next deadline (callbacks may have inserted sooner
+  // timers; insert_timer already lowered the hint for those).
+  if (timer_count_ > 0) {
+    std::int64_t soonest = INT64_MAX;
+    for (const auto& slot : wheel_) {
+      for (const auto& timer : slot) {
+        soonest = std::min(soonest, timer.deadline_ms);
+      }
+    }
+    soonest_deadline_ms_ = soonest;
+  }
+}
+
+int EventLoop::next_timeout_ms(std::int64_t now_ms) const {
+  if (timer_count_ == 0) return 500;
+  const std::int64_t until = soonest_deadline_ms_ - now_ms;
+  if (until <= 0) return 0;
+  return static_cast<int>(std::min<std::int64_t>(until, 500));
+}
+
+}  // namespace stampede::net

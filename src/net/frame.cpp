@@ -10,17 +10,17 @@ namespace stampede::net {
 namespace {
 
 /// Codec-level instruments, resolved once. Frame counters are per type
-/// (17 slots), matching the exposition series
+/// (20 slots), matching the exposition series
 /// stampede_net_frames_total{type="..."}.
 struct FrameTelemetry {
   telemetry::Histogram& encode_latency = telemetry::registry().histogram(
       "stampede_net_frame_encode_seconds", {1e-8, 4.0, 16});
   telemetry::Histogram& decode_latency = telemetry::registry().histogram(
       "stampede_net_frame_decode_seconds", {1e-8, 4.0, 16});
-  telemetry::Counter* by_type[18] = {};
+  telemetry::Counter* by_type[21] = {};
 
   FrameTelemetry() {
-    for (int t = 1; t <= 17; ++t) {
+    for (int t = 1; t <= 20; ++t) {
       by_type[t] = &telemetry::registry().counter(telemetry::labeled(
           "stampede_net_frames_total", "type",
           frame_type_name(static_cast<FrameType>(t))));
@@ -35,7 +35,7 @@ FrameTelemetry& frame_telemetry() {
 
 void count_frame(FrameType type) {
   const auto t = static_cast<std::uint8_t>(type);
-  if (t >= 1 && t <= 17) frame_telemetry().by_type[t]->inc();
+  if (t >= 1 && t <= 20) frame_telemetry().by_type[t]->inc();
 }
 
 }  // namespace
@@ -59,6 +59,9 @@ std::string_view frame_type_name(FrameType type) {
     case FrameType::kQueueStats: return "queue_stats";
     case FrameType::kQueueStatsOk: return "queue_stats_ok";
     case FrameType::kHeartbeat: return "heartbeat";
+    case FrameType::kPublishBatch: return "publish_batch";
+    case FrameType::kDeliverBatch: return "deliver_batch";
+    case FrameType::kAckBatch: return "ack_batch";
   }
   return "unknown";
 }
@@ -168,7 +171,7 @@ DecodeStatus decode_frame(std::string_view buffer, std::size_t& consumed,
   if (buffer.size() < 4u + length) return DecodeStatus::kNeedMore;
   const double start = telemetry::trace_now();
   const std::uint8_t type = head.u8();
-  if (type < 1 || type > 17) {
+  if (type < 1 || type > 20) {
     if (error != nullptr) {
       *error = "unknown frame type " + std::to_string(type);
     }
@@ -509,6 +512,93 @@ bool parse_queue_stats_ok(const Frame& frame, bus::QueueStats* stats) {
   stats->depth = static_cast<std::size_t>(r.u64());
   stats->unacked = static_cast<std::size_t>(r.u64());
   return r.complete();
+}
+
+// ---------------------------------------------------------------------------
+// Batch frames
+
+std::string encode_publish_batch(std::uint32_t channel,
+                                 const std::vector<WirePublish>& entries,
+                                 bool with_trace) {
+  std::string p;
+  put_u32(p, static_cast<std::uint32_t>(entries.size()));
+  for (const auto& entry : entries) {
+    put_string(p, entry.exchange);
+    encode_message(p, entry.message, with_trace);
+  }
+  return finish(FrameType::kPublishBatch, channel, std::move(p));
+}
+
+bool parse_publish_batch(const Frame& frame, std::vector<WirePublish>* out,
+                         bool with_trace) {
+  PayloadReader r{frame.payload};
+  const std::uint32_t count = r.u32();
+  out->clear();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    WirePublish entry;
+    entry.exchange = r.str();
+    entry.message = decode_message(r, with_trace);
+    out->push_back(std::move(entry));
+  }
+  return r.complete() && out->size() == count;
+}
+
+std::string encode_deliver_batch(std::uint32_t channel, std::string_view queue,
+                                 const std::vector<bus::Delivery>& deliveries,
+                                 bool with_trace) {
+  std::string p;
+  put_u32(p, static_cast<std::uint32_t>(deliveries.size()));
+  for (const auto& delivery : deliveries) {
+    put_string(p, queue);
+    put_u64(p, delivery.delivery_tag);
+    put_u8(p, delivery.redelivered ? 1 : 0);
+    put_string(p, delivery.consumer_tag);
+    put_string(p, delivery.exchange);
+    encode_message(p, delivery.message(), with_trace);
+  }
+  return finish(FrameType::kDeliverBatch, channel, std::move(p));
+}
+
+bool parse_deliver_batch(const Frame& frame, std::vector<WireDelivery>* out,
+                         bool with_trace) {
+  PayloadReader r{frame.payload};
+  const std::uint32_t count = r.u32();
+  out->clear();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    WireDelivery entry;
+    entry.queue = r.str();
+    entry.delivery_tag = r.u64();
+    entry.redelivered = r.u8() != 0;
+    entry.consumer_tag = r.str();
+    entry.exchange = r.str();
+    entry.message = decode_message(r, with_trace);
+    out->push_back(std::move(entry));
+  }
+  return r.complete() && out->size() == count;
+}
+
+std::string encode_ack_batch(std::uint32_t channel,
+                             const std::vector<WireAck>& acks) {
+  std::string p;
+  put_u32(p, static_cast<std::uint32_t>(acks.size()));
+  for (const auto& ack : acks) {
+    put_string(p, ack.queue);
+    put_u64(p, ack.delivery_tag);
+  }
+  return finish(FrameType::kAckBatch, channel, std::move(p));
+}
+
+bool parse_ack_batch(const Frame& frame, std::vector<WireAck>* out) {
+  PayloadReader r{frame.payload};
+  const std::uint32_t count = r.u32();
+  out->clear();
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    WireAck ack;
+    ack.queue = r.str();
+    ack.delivery_tag = r.u64();
+    out->push_back(std::move(ack));
+  }
+  return r.complete() && out->size() == count;
 }
 
 }  // namespace stampede::net

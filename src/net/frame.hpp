@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "bus/ibus.hpp"
 #include "bus/message.hpp"
@@ -47,7 +48,13 @@ inline constexpr std::string_view kMagic = "SBUS";
 /// Message frames carry the distributed-tracing suffix (trace context +
 /// anchored wall stamps).
 inline constexpr std::uint32_t kFeatureTrace = 1u << 0;
-inline constexpr std::uint32_t kSupportedFeatures = kFeatureTrace;
+/// Peers may pack many publishes/deliveries/acks into one batch frame
+/// (kPublishBatch/kDeliverBatch/kAckBatch) — many BP events per TCP
+/// segment. Negotiated like kFeatureTrace; v1 peers never see batch
+/// frames.
+inline constexpr std::uint32_t kFeatureBatch = 1u << 1;
+inline constexpr std::uint32_t kSupportedFeatures =
+    kFeatureTrace | kFeatureBatch;
 /// Upper bound on one frame's post-length bytes; a decoder seeing a
 /// larger length treats the stream as corrupt and drops the connection.
 inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
@@ -70,6 +77,11 @@ enum class FrameType : std::uint8_t {
   kQueueStats = 15,
   kQueueStatsOk = 16,
   kHeartbeat = 17,
+  // Batch frames (kFeatureBatch connections only): u32 count followed
+  // by `count` payloads laid out exactly like the singular frame.
+  kPublishBatch = 18,
+  kDeliverBatch = 19,
+  kAckBatch = 20,
 };
 
 /// Human-readable frame-type slug ("publish", "deliver", ...) — the
@@ -255,5 +267,37 @@ struct WireDelivery {
                                                 const bus::QueueStats& stats);
 [[nodiscard]] bool parse_queue_stats_ok(const Frame& frame,
                                         bus::QueueStats* stats);
+
+// ---------------------------------------------------------------------------
+// Batch frames (kFeatureBatch). Each payload is `u32 count` followed by
+// count repetitions of the singular frame's payload layout, so the
+// parsers simply loop the singular decoders.
+
+struct WirePublish {
+  std::string exchange;
+  bus::Message message;
+};
+[[nodiscard]] std::string encode_publish_batch(
+    std::uint32_t channel, const std::vector<WirePublish>& entries,
+    bool with_trace = false);
+[[nodiscard]] bool parse_publish_batch(const Frame& frame,
+                                       std::vector<WirePublish>* out,
+                                       bool with_trace = false);
+
+[[nodiscard]] std::string encode_deliver_batch(
+    std::uint32_t channel, std::string_view queue,
+    const std::vector<bus::Delivery>& deliveries, bool with_trace = false);
+[[nodiscard]] bool parse_deliver_batch(const Frame& frame,
+                                       std::vector<WireDelivery>* out,
+                                       bool with_trace = false);
+
+struct WireAck {
+  std::string queue;
+  std::uint64_t delivery_tag = 0;
+};
+[[nodiscard]] std::string encode_ack_batch(std::uint32_t channel,
+                                           const std::vector<WireAck>& acks);
+[[nodiscard]] bool parse_ack_batch(const Frame& frame,
+                                   std::vector<WireAck>* out);
 
 }  // namespace stampede::net

@@ -35,6 +35,8 @@
 //                        connect with stampede_publish_cli
 //   --connect=HOST:PORT  attach to a remote bus as a consumer: pump the
 //                        "stampede" queue over TCP into the archive
+//   --net-workers=N      with --listen: spread connections over N
+//                        event-loop workers (DESIGN.md §12; default 1)
 //   --idle-exit=S        in the networked modes, exit once messages have
 //                        been seen and none arrived for S seconds
 //                        (default 10)
@@ -72,7 +74,7 @@ int usage(const char* argv0) {
                "usage: %s [--metrics-port=N] [--stats-interval=SECONDS] "
                "[--shards=N] [--trace-sample=R] <bp-log-file> <archive-path>\n"
                "       %s [--shards=N] [--idle-exit=SECONDS] "
-               "[--trace-sample=R] "
+               "[--trace-sample=R] [--net-workers=N] "
                "(--listen=PORT | --connect=HOST:PORT) <archive-path>\n",
                argv0, argv0);
   return 2;
@@ -145,6 +147,7 @@ int main(int argc, char** argv) {
   std::string connect_addr;
   double idle_exit_s = 10.0;
   std::size_t shards = 1;
+  std::size_t net_workers = 1;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     if (const auto v = parse_flag_value(argv[i], "--metrics-port")) {
@@ -157,6 +160,12 @@ int main(int argc, char** argv) {
       idle_exit_s = *v;
     } else if (std::strncmp(argv[i], "--connect=", 10) == 0) {
       connect_addr = argv[i] + 10;
+    } else if (const auto v = parse_flag_value(argv[i], "--net-workers")) {
+      net_workers = static_cast<std::size_t>(*v);
+      if (net_workers == 0) {
+        std::fprintf(stderr, "error: --net-workers must be >= 1\n");
+        return 2;
+      }
     } else if (const auto v = parse_flag_value(argv[i], "--trace-sample")) {
       if (*v > 1.0) {
         std::fprintf(stderr, "error: --trace-sample wants 0..1\n");
@@ -250,6 +259,7 @@ int main(int argc, char** argv) {
         broker = std::make_unique<bus::Broker>();
         net::BusServerOptions server_options;
         server_options.port = *listen_port;
+        server_options.workers = net_workers;
         server = std::make_unique<net::BusServer>(*broker, server_options);
         server->start();
         std::fprintf(stderr, "bus     : listening on 127.0.0.1:%d\n",
