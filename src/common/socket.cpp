@@ -82,7 +82,8 @@ SocketFd listen_tcp(const std::string& host, int port, int backlog,
   return fd;
 }
 
-SocketFd accept_client(int listen_fd, int timeout_ms) {
+SocketFd accept_client(int listen_fd, int timeout_ms, int* fatal_errno) {
+  if (fatal_errno != nullptr) *fatal_errno = 0;
   pollfd pfd{listen_fd, POLLIN, 0};
   const int ready = ::poll(&pfd, 1, timeout_ms);
   if (ready <= 0) return SocketFd{};
@@ -97,11 +98,15 @@ SocketFd accept_client(int listen_fd, int timeout_ms) {
     // landed mid-accept; both are retryable without re-polling because
     // the listening socket is still readable-or-empty (EAGAIN exits).
     if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK && fatal_errno != nullptr) {
+      *fatal_errno = errno;
+    }
     return SocketFd{};
   }
 }
 
-SocketFd accept_nonblocking(int listen_fd) {
+SocketFd accept_nonblocking(int listen_fd, int* fatal_errno) {
+  if (fatal_errno != nullptr) *fatal_errno = 0;
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd >= 0) {
@@ -110,7 +115,14 @@ SocketFd accept_nonblocking(int listen_fd) {
       return client;
     }
     if (errno == EINTR || errno == ECONNABORTED) continue;
-    return SocketFd{};  // EAGAIN or fatal; caller re-arms either way.
+    // EAGAIN means the backlog is drained; anything else (EMFILE,
+    // ENFILE, ENOMEM, ...) leaves the pending connection in place — the
+    // fd stays level-triggered-readable, so a caller that cannot tell
+    // the two apart retries in a tight spin. Surface the errno.
+    if (errno != EAGAIN && errno != EWOULDBLOCK && fatal_errno != nullptr) {
+      *fatal_errno = errno;
+    }
+    return SocketFd{};
   }
 }
 

@@ -85,14 +85,23 @@ bool set_reuseaddr(int fd, bool enabled = true);
 
 /// Polls the listening fd up to `timeout_ms` and accepts one client
 /// (EINTR/ECONNABORTED retried within the window, TCP_NODELAY applied).
-/// Invalid SocketFd on timeout or error.
-[[nodiscard]] SocketFd accept_client(int listen_fd, int timeout_ms);
+/// Invalid SocketFd on timeout or error; `fatal_errno` (may be null)
+/// receives the errno of a non-retryable accept failure (EMFILE-class)
+/// and 0 otherwise, so accept loops can back off instead of re-polling
+/// a backlog that stays readable.
+[[nodiscard]] SocketFd accept_client(int listen_fd, int timeout_ms,
+                                     int* fatal_errno = nullptr);
 
 /// Non-blocking accept for a listening fd owned by an event loop.
 /// Invalid SocketFd when no connection is pending (EAGAIN) or on a
 /// transient error (ECONNABORTED); the accepted fd has TCP_NODELAY set
 /// but inherits blocking mode — callers switch it themselves.
-[[nodiscard]] SocketFd accept_nonblocking(int listen_fd);
+/// `fatal_errno` (may be null) receives the errno of a persistent
+/// failure (EMFILE/ENFILE/ENOMEM) and 0 otherwise — distinguishing
+/// "backlog drained" from "accept failing while the fd stays readable",
+/// which a level-triggered watcher must answer with backoff, not retry.
+[[nodiscard]] SocketFd accept_nonblocking(int listen_fd,
+                                          int* fatal_errno = nullptr);
 
 /// Connects to `host`:`port` (EINTR-safe) and sets TCP_NODELAY.
 /// Invalid SocketFd on failure.

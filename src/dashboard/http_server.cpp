@@ -87,8 +87,23 @@ void HttpServer::start() {
   (void)common::set_nonblocking(listen_fd_.get());
   loop_.start();
   loop_.defer([this] {
-    loop_.watch(listen_fd_.get(), net::EventLoop::kReadable,
-                [this](std::uint32_t) { accept_ready(); });
+    if (!watch_listen_fd()) pause_accepting();
+  });
+}
+
+bool HttpServer::watch_listen_fd() {
+  return loop_.watch(listen_fd_.get(), net::EventLoop::kReadable,
+                     [this](std::uint32_t) { accept_ready(); });
+}
+
+void HttpServer::pause_accepting() {
+  loop_.unwatch(listen_fd_.get());
+  (void)loop_.schedule(std::chrono::milliseconds(100), [this] {
+    if (!running_.load()) return;
+    // Existing connections had 100 ms to close and release fds; if the
+    // re-registration itself fails we are still out of resources — keep
+    // backing off on the same cadence.
+    if (!watch_listen_fd()) pause_accepting();
   });
 }
 
@@ -110,8 +125,15 @@ void HttpServer::stop() {
 
 void HttpServer::accept_ready() {
   for (;;) {
-    auto client = common::accept_nonblocking(listen_fd_.get());
-    if (!client.valid()) return;  // EAGAIN; the loop re-arms.
+    int accept_err = 0;
+    auto client = common::accept_nonblocking(listen_fd_.get(), &accept_err);
+    if (!client.valid()) {
+      // EMFILE-class failure leaves the pending connection queued and
+      // the fd readable: without the pause the loop would wake and
+      // re-fail accept in a tight spin. EAGAIN just means drained.
+      if (accept_err != 0) pause_accepting();
+      return;
+    }
     auto pending = std::make_shared<Pending>();
     net::Connection::Options copts;
     copts.read_chunk = 4096;

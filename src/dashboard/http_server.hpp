@@ -100,6 +100,12 @@ class HttpServer {
   };
 
   void accept_ready();
+  /// (Re-)registers the listen fd with the loop; loop thread only.
+  bool watch_listen_fd();
+  /// Drops the listen-fd watch and retries it on a timer — the escape
+  /// hatch when accept fails EMFILE-class while the backlog keeps the
+  /// level-triggered fd readable (an immediate retry would spin).
+  void pause_accepting();
   /// Consumes buffered request bytes; returns bytes eaten.
   std::size_t on_data(const std::shared_ptr<Pending>& pending,
                       std::string_view data);

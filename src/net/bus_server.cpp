@@ -159,8 +159,17 @@ std::size_t BusServer::active_connections() const {
 
 void BusServer::accept_loop(const std::stop_token& stop) {
   while (!stop.stop_requested()) {
-    auto client = common::accept_client(listen_fd_.get(), 50);
-    if (!client.valid()) continue;
+    int accept_err = 0;
+    auto client = common::accept_client(listen_fd_.get(), 50, &accept_err);
+    if (!client.valid()) {
+      if (accept_err != 0) {
+        // EMFILE-class: the pending connection keeps the backlog
+        // readable, so the 50 ms poll returns instantly and this loop
+        // would spin hot. Sleep out the window instead.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      continue;
+    }
     // Round-robin worker assignment; the acceptor never touches the
     // socket again.
     auto* loop = loops_[next_loop_++ % loops_.size()].get();

@@ -34,8 +34,13 @@ void Connection::start(DataHandler on_data, CloseHandler on_close) {
   on_close_ = std::move(on_close);
   (void)common::set_nonblocking(fd_.get());
   auto self = shared_from_this();
-  loop_.watch(fd_.get(), EventLoop::kReadable,
-              [self](std::uint32_t mask) { self->handle_events(mask); });
+  if (!loop_.watch(fd_.get(), EventLoop::kReadable,
+                   [self](std::uint32_t mask) { self->handle_events(mask); })) {
+    // epoll registration failed (fd-limit pressure): no events will ever
+    // arrive, so tear down — deferred so the caller finishes wiring its
+    // connection bookkeeping before on_close fires.
+    loop_.defer([self] { self->do_close(); });
+  }
 }
 
 void Connection::handle_events(std::uint32_t mask) {
@@ -167,10 +172,16 @@ void Connection::flush_on_loop() {
     }
     front_off_ += static_cast<std::size_t>(sent);
     if (front_off_ < front_.size()) {
-      // Kernel buffer full: resume on writability.
+      // Kernel buffer full: resume on writability. If the interest
+      // change is rejected the writable event will never come and the
+      // remaining bytes can never drain — close instead of hanging.
       if (!writable_armed_) {
         writable_armed_ = true;
-        loop_.rearm(fd_.get(), EventLoop::kReadable | EventLoop::kWritable);
+        if (!loop_.rearm(fd_.get(),
+                         EventLoop::kReadable | EventLoop::kWritable)) {
+          do_close();
+          return;
+        }
       }
       return;
     }
@@ -205,7 +216,14 @@ void Connection::do_close() {
   out_cv_.notify_all();
   loop_.unwatch(fd_.get());
   fd_.reset();
-  on_data_ = nullptr;
+  if (on_data_) {
+    // do_close legitimately runs from INSIDE on_data_ (handlers close on
+    // protocol errors), so the closure's operator() may be on the stack
+    // right now — destroying or moving it here is UB. Defer the release:
+    // run_tasks() executes only after the dispatch stack unwinds, and
+    // closed_loop_ guarantees no further invocations meanwhile.
+    loop_.defer([self = shared_from_this()] { self->on_data_ = nullptr; });
+  }
   if (on_close_) {
     // Move-out first: the callback may drop the last external reference.
     const CloseHandler handler = std::move(on_close_);

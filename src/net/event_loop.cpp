@@ -49,6 +49,7 @@ EventLoop::EventLoop() {
   ev.events = EPOLLIN;
   ev.data.fd = wakeup_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev);
+  wheel_cursor_ms_ = (steady_now_ms() / kTickMs) * kTickMs;
 }
 
 EventLoop::~EventLoop() {
@@ -97,7 +98,6 @@ std::int64_t EventLoop::steady_now_ms() {
 
 void EventLoop::run() {
   loop_thread_.store(std::this_thread::get_id());
-  wheel_cursor_ms_ = steady_now_ms();
   auto& tele = loop_telemetry();
   std::vector<epoll_event> events(256);
 
@@ -172,22 +172,28 @@ void EventLoop::run_tasks() {
 
 // -- fd interest ------------------------------------------------------------
 
-void EventLoop::watch(int fd, std::uint32_t events, IoCallback callback) {
-  watches_[fd] = Watch{events, std::move(callback)};
+bool EventLoop::watch(int fd, std::uint32_t events, IoCallback callback) {
   epoll_event ev{};
   ev.events = to_epoll(events);
   ev.data.fd = fd;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  // Register with the kernel BEFORE recording the callback: a failed
+  // ADD (EMFILE/ENOMEM/already-watched) must not leave a phantom entry
+  // in watches_ that never fires — and must not clobber the live
+  // callback of an fd that is already watched.
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  watches_[fd] = Watch{events, std::move(callback)};
+  return true;
 }
 
-void EventLoop::rearm(int fd, std::uint32_t events) {
+bool EventLoop::rearm(int fd, std::uint32_t events) {
   const auto it = watches_.find(fd);
-  if (it == watches_.end()) return;
-  it->second.events = events;
+  if (it == watches_.end()) return false;
   epoll_event ev{};
   ev.events = to_epoll(events);
   ev.data.fd = fd;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) return false;
+  it->second.events = events;
+  return true;
 }
 
 void EventLoop::unwatch(int fd) {
@@ -235,11 +241,10 @@ void EventLoop::cancel(TimerId id) {
 }
 
 void EventLoop::insert_timer(Timer timer) {
-  // Deadlines land in the NEXT tick at the earliest so the current
-  // sweep (which has already passed its own slot) cannot strand a
-  // just-scheduled timer for a full wheel revolution.
-  timer.deadline_ms =
-      std::max(timer.deadline_ms, wheel_cursor_ms_ + kTickMs);
+  // Slots behind the sweep cursor are not revisited until the wheel
+  // wraps, so clamp stale deadlines into the cursor's own tick — sweeps
+  // include that tick, so the timer fires on the next pass.
+  timer.deadline_ms = std::max(timer.deadline_ms, wheel_cursor_ms_);
   if (timer_count_ == 0 || timer.deadline_ms < soonest_deadline_ms_) {
     soonest_deadline_ms_ = timer.deadline_ms;
   }
@@ -250,18 +255,24 @@ void EventLoop::insert_timer(Timer timer) {
 }
 
 void EventLoop::fire_due_timers(std::int64_t now_ms) {
+  // The cursor only ever advances to the START of the current tick: its
+  // window has not elapsed yet, so a deadline later in this same tick
+  // must stay sweepable. Advancing to now_ms here is the bug class that
+  // strands a pending timer for a full revolution while
+  // soonest_deadline_ms_ <= now busy-spins epoll_wait(0).
+  const std::int64_t now_tick_ms = (now_ms / kTickMs) * kTickMs;
   if (timer_count_ == 0 || now_ms < soonest_deadline_ms_) {
-    wheel_cursor_ms_ = now_ms;
+    wheel_cursor_ms_ = now_tick_ms;
     return;
   }
   const std::int64_t from_tick = wheel_cursor_ms_ / kTickMs;
   const std::int64_t to_tick = now_ms / kTickMs;
-  // Visiting more ticks than the wheel has slots would re-scan slots;
-  // one full revolution covers every slot already.
+  // Sweep [from, to] INCLUSIVE of the current tick, capped at one full
+  // revolution (256 consecutive ticks visit every slot once already).
   const std::int64_t ticks =
-      std::min<std::int64_t>(to_tick - from_tick, kWheelSlots);
+      std::min<std::int64_t>(to_tick - from_tick + 1, kWheelSlots);
   std::vector<Timer> due;
-  for (std::int64_t t = 1; t <= ticks; ++t) {
+  for (std::int64_t t = 0; t < ticks; ++t) {
     auto& slot = wheel_[static_cast<std::size_t>((from_tick + t) &
                                                  (kWheelSlots - 1))];
     for (std::size_t i = 0; i < slot.size();) {
@@ -275,7 +286,7 @@ void EventLoop::fire_due_timers(std::int64_t now_ms) {
       }
     }
   }
-  wheel_cursor_ms_ = now_ms;
+  wheel_cursor_ms_ = now_tick_ms;
   for (auto& timer : due) {
     loop_telemetry().timers.inc();
     timer.callback();

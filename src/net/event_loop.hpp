@@ -74,9 +74,14 @@ class EventLoop {
   /// Registers `fd` with the given interest mask. The callback fires on
   /// the loop thread with the ready mask (error/hup folded into
   /// kReadable so every handler sees the condition on its next read).
-  void watch(int fd, std::uint32_t events, IoCallback callback);
-  /// Changes the interest mask of a watched fd.
-  void rearm(int fd, std::uint32_t events);
+  /// Returns false — recording nothing — when the kernel rejects the
+  /// registration (EMFILE/ENOMEM/fd already watched); the caller must
+  /// tear the connection down instead of waiting on events that will
+  /// never arrive.
+  [[nodiscard]] bool watch(int fd, std::uint32_t events, IoCallback callback);
+  /// Changes the interest mask of a watched fd. False when the fd is
+  /// not watched or the kernel rejects the change.
+  bool rearm(int fd, std::uint32_t events);
   /// Deregisters; safe against in-flight events (they are skipped).
   void unwatch(int fd);
 
@@ -131,7 +136,10 @@ class EventLoop {
   std::vector<std::function<void()>> tasks_;
 
   std::array<std::vector<Timer>, kWheelSlots> wheel_;
-  std::int64_t wheel_cursor_ms_ = 0;  ///< Last tick fully processed.
+  /// Start (ms) of the tick the next sweep begins from, INCLUSIVE: the
+  /// current tick's window may not have elapsed, so the cursor never
+  /// moves past its start (a deadline later in the tick stays reachable).
+  std::int64_t wheel_cursor_ms_ = 0;
   std::uint64_t timer_seq_ = 0;
   std::size_t timer_count_ = 0;
   std::int64_t soonest_deadline_ms_ = 0;  ///< Valid when timer_count_ > 0.

@@ -201,8 +201,104 @@ TEST(EventLoop, OneShotAndPeriodicTimers) {
   loop.stop();
 }
 
+TEST(EventLoop, TimerFiresOnTimeUnderConcurrentWakeups) {
+  // Regression: a wakeup landing in the same wheel tick as a deadline
+  // (but before it) used to advance the sweep cursor past the slot,
+  // stranding the timer for a full revolution (~1 s) while the loop
+  // busy-spun on epoll_wait(0). Hammer the loop with sub-tick wakeups
+  // around short deadlines and require on-time delivery.
+  net::EventLoop loop;
+  loop.start();
+  for (int round = 0; round < 20; ++round) {
+    std::promise<void> fired;
+    auto fired_future = fired.get_future();
+    run_on_loop(loop, [&] {
+      (void)loop.schedule(5ms, [&] { fired.set_value(); });
+    });
+    const auto start = std::chrono::steady_clock::now();
+    while (fired_future.wait_for(0ms) != std::future_status::ready &&
+           std::chrono::steady_clock::now() - start < 2s) {
+      loop.defer([] {});  // Each wakeup runs a timer sweep mid-tick.
+      std::this_thread::sleep_for(500us);
+    }
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    ASSERT_EQ(fired_future.wait_for(0ms), std::future_status::ready)
+        << "timer stranded in round " << round;
+    EXPECT_LT(elapsed.count(), 500) << "timer late in round " << round
+                                    << " (wheel-revolution stall?)";
+  }
+  loop.stop();
+}
+
+TEST(EventLoop, WatchRejectsDuplicateFdWithoutClobbering) {
+  net::EventLoop loop;
+  loop.start();
+  auto pair = make_tcp_pair();
+
+  std::atomic<int> first_fired{0};
+  std::atomic<int> second_fired{0};
+  bool first_ok = false;
+  bool second_ok = true;
+  run_on_loop(loop, [&] {
+    first_ok = loop.watch(pair.server.get(), net::EventLoop::kReadable,
+                          [&](std::uint32_t) { first_fired.fetch_add(1); });
+    // A second ADD on the same fd must fail (EEXIST) and must NOT
+    // replace the live callback.
+    second_ok = loop.watch(pair.server.get(), net::EventLoop::kReadable,
+                           [&](std::uint32_t) { second_fired.fetch_add(1); });
+  });
+  EXPECT_TRUE(first_ok);
+  EXPECT_FALSE(second_ok);
+
+  ASSERT_TRUE(common::send_all(pair.client.get(), "x", 1));
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (first_fired.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GT(first_fired.load(), 0);
+  EXPECT_EQ(second_fired.load(), 0);
+  run_on_loop(loop, [&] { loop.unwatch(pair.server.get()); });
+  loop.stop();
+}
+
 // ---------------------------------------------------------------------------
 // Connection frame reassembly
+
+TEST(Connection, SynchronousCloseInsideDataHandlerIsSafe) {
+  // BusServer closes connections from INSIDE on_data on protocol
+  // errors, which runs do_close while the data handler's own closure is
+  // still on the stack. Its release must be deferred past the unwind
+  // (destroying an executing std::function is UB).
+  net::EventLoop loop;
+  loop.start();
+  auto pair = make_tcp_pair();
+
+  auto conn = std::make_shared<net::Connection>(loop, std::move(pair.server),
+                                                net::Connection::Options{});
+  std::atomic<bool> closed{false};
+  std::atomic<int> handler_calls{0};
+  run_on_loop(loop, [&] {
+    conn->start(
+        [&, conn](std::string_view data) -> std::size_t {
+          handler_calls.fetch_add(1);
+          conn->close();  // Synchronous close from inside the handler.
+          return data.size();
+        },
+        [&] { closed.store(true); });
+  });
+
+  ASSERT_TRUE(common::send_all(pair.client.get(), "junk", 4));
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (!closed.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_TRUE(closed.load());
+  EXPECT_EQ(handler_calls.load(), 1);
+  EXPECT_TRUE(conn->closed());
+  loop.stop();
+}
 
 TEST(Connection, ReassemblesFrameDeliveredByteAtATime) {
   net::EventLoop loop;
