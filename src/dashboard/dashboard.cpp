@@ -3,6 +3,7 @@
 #include "dashboard/json.hpp"
 #include "dashboard/telemetry_routes.hpp"
 #include "dashboard/trace_routes.hpp"
+#include "dashboard/view_routes.hpp"
 
 namespace stampede::dash {
 
@@ -14,6 +15,10 @@ Dashboard::Dashboard(const db::Database& database, int port)
 Dashboard::Dashboard(const db::ShardedDatabase& database, int port)
     : query_(database), server_(port) {
   install_routes();
+}
+
+void Dashboard::attach_views(query::ContinuousQueryEngine& views) {
+  register_view_routes(server_, views);
 }
 
 void Dashboard::install_routes() {

@@ -16,10 +16,19 @@
 // Self-telemetry (dashboard/telemetry_routes.hpp):
 //   GET /metrics                      — Prometheus text exposition
 //   GET /selfz                        — registry snapshot as JSON
+//
+// Continuous views (dashboard/view_routes.hpp, after attach_views):
+//   GET /viewz                        — registered continuous views
+//   GET /viewz/{id}                   — view snapshot + seq
+//   GET /viewz/{id}/wait              — long-poll for updates past seq
 
 #include "dashboard/http_server.hpp"
 #include "query/analyzer.hpp"
 #include "query/statistics.hpp"
+
+namespace stampede::query {
+class ContinuousQueryEngine;
+}
 
 namespace stampede::dash {
 
@@ -31,6 +40,10 @@ class Dashboard {
 
   /// Same, over a sharded archive: queries scatter-gather across shards.
   explicit Dashboard(const db::ShardedDatabase& database, int port = 0);
+
+  /// Mounts the /viewz endpoints for `views` (dashboard/view_routes.hpp).
+  /// The engine must outlive this dashboard. Call before start().
+  void attach_views(query::ContinuousQueryEngine& views);
 
   void start() { server_.start(); }
   void stop() { server_.stop(); }

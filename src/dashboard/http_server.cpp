@@ -66,9 +66,31 @@ std::string render_response(const HttpResponse& response) {
 
 }  // namespace
 
+struct HttpResponder::State {
+  std::shared_ptr<HttpServer::AsyncGate> gate;
+  std::shared_ptr<HttpServer::Pending> pending;
+  std::atomic<bool> done{false};
+};
+
+void HttpResponder::respond(HttpResponse response) const {
+  const auto state = state_;
+  if (!state || state->done.exchange(true)) return;
+  const std::lock_guard<std::mutex> lock{state->gate->mu};
+  HttpServer* server = state->gate->server;
+  if (server == nullptr) return;  // Server stopped; drop silently.
+  server->loop_.defer(
+      [server, state, response = std::move(response)]() mutable {
+        const auto& pending = state->pending;
+        if (pending->responded || pending->conn->closed()) return;
+        if (response.status >= 400) http_telemetry().errors.inc();
+        server->respond(pending, response);
+      });
+}
+
 HttpServer::HttpServer(int port, HttpServerOptions options)
     : options_(options) {
   listen_fd_ = common::listen_tcp("127.0.0.1", port, /*backlog=*/64, &port_);
+  gate_->server = this;
 }
 
 HttpServer::~HttpServer() { stop(); }
@@ -79,6 +101,16 @@ void HttpServer::route(const std::string& pattern, HttpHandler handler) {
     r.segments.emplace_back(seg);
   }
   r.handler = std::move(handler);
+  routes_.push_back(std::move(r));
+}
+
+void HttpServer::route_async(const std::string& pattern,
+                             AsyncHttpHandler handler) {
+  Route r;
+  for (const auto seg : common::split_nonempty(pattern, '/')) {
+    r.segments.emplace_back(seg);
+  }
+  r.async = std::move(handler);
   routes_.push_back(std::move(r));
 }
 
@@ -109,6 +141,11 @@ void HttpServer::pause_accepting() {
 
 void HttpServer::stop() {
   if (!running_.exchange(false)) return;
+  {
+    // Outstanding HttpResponders become no-ops from here on.
+    const std::lock_guard<std::mutex> lock{gate_->mu};
+    gate_->server = nullptr;
+  }
   // Drop everything on the loop thread (watch/timer state lives there),
   // then stop the loop.
   std::promise<void> drained;
@@ -173,7 +210,9 @@ void HttpServer::accept_ready() {
 
 std::size_t HttpServer::on_data(const std::shared_ptr<Pending>& pending,
                                 std::string_view data) {
-  if (pending->responded) return data.size();  // Draining until close.
+  if (pending->responded || pending->async_in_flight) {
+    return data.size();  // Draining until close / response.
+  }
   auto& tele = http_telemetry();
   if (data.size() > options_.max_request_bytes) {
     tele.rejected_oversize.inc();
@@ -204,7 +243,41 @@ std::size_t HttpServer::on_data(const std::shared_ptr<Pending>& pending,
       target = target.substr(0, qpos);
     }
     request.path = std::string{target};
-    response = dispatch(request);
+    if (request.method != "GET") {
+      response = HttpResponse{400, "text/plain", "only GET is supported"};
+    } else {
+      std::vector<std::string> params;
+      const Route* route = match_route(request.path, &params);
+      if (route == nullptr) {
+        response = HttpResponse::not_found("no route for " + request.path);
+      } else {
+        request.params = std::move(params);
+        if (route->async) {
+          // The request is complete — the slowloris guard has done its
+          // job; a long-poll may now park as long as it likes.
+          if (pending->deadline != 0) {
+            loop_.cancel(pending->deadline);
+            pending->deadline = 0;
+          }
+          pending->async_in_flight = true;
+          HttpResponder responder;
+          responder.state_ = std::make_shared<HttpResponder::State>();
+          responder.state_->gate = gate_;
+          responder.state_->pending = pending;
+          try {
+            route->async(request, responder);
+          } catch (const std::exception& e) {
+            responder.respond(HttpResponse{500, "text/plain", e.what()});
+          }
+          return data.size();
+        }
+        try {
+          response = route->handler(request);
+        } catch (const std::exception& e) {
+          response = HttpResponse{500, "text/plain", e.what()};
+        }
+      }
+    }
   }
   if (response.status >= 400) tele.errors.inc();
   respond(pending, response);
@@ -225,35 +298,28 @@ void HttpServer::respond(const std::shared_ptr<Pending>& pending,
   pending->conn->close_after_flush();
 }
 
-HttpResponse HttpServer::dispatch(const HttpRequest& request) const {
-  if (request.method != "GET") {
-    return HttpResponse{400, "text/plain", "only GET is supported"};
-  }
-  const auto segments = common::split_nonempty(request.path, '/');
+const HttpServer::Route* HttpServer::match_route(
+    const std::string& path, std::vector<std::string>* params) const {
+  const auto segments = common::split_nonempty(path, '/');
   for (const auto& route : routes_) {
     if (route.segments.size() != segments.size()) continue;
-    std::vector<std::string> params;
+    std::vector<std::string> captured;
     bool match = true;
     for (std::size_t i = 0; i < segments.size(); ++i) {
       const std::string& pat = route.segments[i];
       if (pat.size() >= 2 && pat.front() == '{' && pat.back() == '}') {
-        params.emplace_back(segments[i]);
+        captured.emplace_back(segments[i]);
       } else if (pat != segments[i]) {
         match = false;
         break;
       }
     }
     if (match) {
-      HttpRequest enriched = request;
-      enriched.params = std::move(params);
-      try {
-        return route.handler(enriched);
-      } catch (const std::exception& e) {
-        return HttpResponse{500, "text/plain", e.what()};
-      }
+      *params = std::move(captured);
+      return &route;
     }
   }
-  return HttpResponse::not_found("no route for " + request.path);
+  return nullptr;
 }
 
 std::string http_get(int port, const std::string& path, int* status_out) {

@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,28 @@ struct HttpResponse {
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
+/// Completion handle for route_async(). Thread-safe and once-only:
+/// the first respond() wins, later calls (and calls after the server
+/// stopped or the client vanished) are silently dropped. The actual
+/// write always happens on the server's loop thread.
+class HttpResponder {
+ public:
+  void respond(HttpResponse response) const;
+
+ private:
+  friend class HttpServer;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Handler that completes later (long-poll, subscription): it receives
+/// the parsed request plus a responder it may hand to another thread.
+/// The slowloris deadline is cancelled once the handler takes over —
+/// the request has fully arrived; holding the connection open is the
+/// point.
+using AsyncHttpHandler =
+    std::function<void(const HttpRequest&, HttpResponder)>;
+
 struct HttpServerOptions {
   /// A connection that has not delivered a complete request header
   /// block within this window gets 408 Request Timeout.
@@ -78,6 +101,10 @@ class HttpServer {
   /// "/workflow/{uuid}/summary".
   void route(const std::string& pattern, HttpHandler handler);
 
+  /// Registers a GET route whose handler responds asynchronously via
+  /// the provided HttpResponder (same pattern syntax as route()).
+  void route_async(const std::string& pattern, AsyncHttpHandler handler);
+
   /// Starts the event loop and begins accepting.
   void start();
 
@@ -88,15 +115,27 @@ class HttpServer {
   [[nodiscard]] int port() const noexcept { return port_; }
 
  private:
+  friend class HttpResponder;
+
   struct Route {
     std::vector<std::string> segments;
     HttpHandler handler;
+    AsyncHttpHandler async;  ///< Set for route_async registrations.
   };
   /// Per-connection serving state (loop thread only).
   struct Pending {
     std::shared_ptr<net::Connection> conn;
     net::EventLoop::TimerId deadline = 0;
     bool responded = false;
+    bool async_in_flight = false;  ///< Awaiting an HttpResponder.
+  };
+  /// Shared liveness latch between the server and outstanding
+  /// responders: stop() nulls `server` so a responder firing from a
+  /// foreign thread after shutdown becomes a no-op instead of a
+  /// use-after-free.
+  struct AsyncGate {
+    std::mutex mu;
+    HttpServer* server = nullptr;
   };
 
   void accept_ready();
@@ -111,7 +150,8 @@ class HttpServer {
                       std::string_view data);
   void respond(const std::shared_ptr<Pending>& pending,
                const HttpResponse& response);
-  [[nodiscard]] HttpResponse dispatch(const HttpRequest& request) const;
+  [[nodiscard]] const Route* match_route(
+      const std::string& path, std::vector<std::string>* params) const;
 
   HttpServerOptions options_;
   common::SocketFd listen_fd_;
@@ -119,6 +159,7 @@ class HttpServer {
   std::vector<Route> routes_;
   net::EventLoop loop_;
   std::atomic<bool> running_{false};
+  std::shared_ptr<AsyncGate> gate_ = std::make_shared<AsyncGate>();
   /// Live connections (loop thread only); drained by stop().
   std::map<const net::Connection*, std::shared_ptr<Pending>> conns_;
 };

@@ -1,0 +1,183 @@
+#include "dashboard/view_routes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dashboard/json.hpp"
+#include "query/continuous_views.hpp"
+
+namespace stampede::dash {
+
+namespace {
+
+void write_value(JsonWriter& w, const db::Value& v) {
+  if (v.is_null()) {
+    w.null();
+  } else if (v.is_int()) {
+    w.value(v.as_int());
+  } else if (v.is_text()) {
+    w.value(v.as_text());
+  } else {
+    // JsonWriter renders doubles with round-trip precision; NaN and
+    // infinities have no JSON spelling, so they degrade to strings.
+    const double d = v.as_real();
+    if (d != d) {
+      w.value("NaN");
+    } else if (d == HUGE_VAL) {
+      w.value("Infinity");
+    } else if (d == -HUGE_VAL) {
+      w.value("-Infinity");
+    } else {
+      w.value(d);
+    }
+  }
+}
+
+void write_row(JsonWriter& w, const db::Row& row) {
+  w.begin_array();
+  for (const auto& cell : row) write_value(w, cell);
+  w.end_array();
+}
+
+void write_update(JsonWriter& w, const query::ViewUpdate& update) {
+  w.begin_object();
+  w.key("seq").value(static_cast<std::int64_t>(update.seq));
+  w.key("snapshot").value(update.snapshot);
+  w.key("changes").begin_array();
+  for (const auto& change : update.changes) {
+    w.begin_object();
+    w.key("op").value(change.op == query::ViewChange::Op::kDelete
+                          ? "delete"
+                          : "upsert");
+    w.key("key").value(change.key);
+    if (change.op == query::ViewChange::Op::kUpsert) {
+      w.key("row");
+      write_row(w, change.row);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+/// Parses the {id} capture; returns false on anything but a bare
+/// decimal number.
+bool parse_view_id(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(id);
+  return true;
+}
+
+/// Pulls `name` out of a raw "a=1&b=2" query string.
+std::optional<std::uint64_t> query_u64(std::string_view query,
+                                       std::string_view name) {
+  while (!query.empty()) {
+    const auto amp = query.find('&');
+    const auto pair = query.substr(0, amp);
+    const auto eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == name) {
+      const std::string text{pair.substr(eq + 1)};
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0' && !text.empty()) {
+        return static_cast<std::uint64_t>(v);
+      }
+      return std::nullopt;
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void register_view_routes(HttpServer& server,
+                          query::ContinuousQueryEngine& views) {
+  server.route("/viewz", [&views](const HttpRequest&) {
+    JsonWriter w;
+    w.begin_array();
+    for (const auto& info : views.list()) {
+      w.begin_object();
+      w.key("id").value(static_cast<std::int64_t>(info.id));
+      w.key("name").value(info.name);
+      w.key("table").value(info.table);
+      w.key("seq").value(static_cast<std::int64_t>(info.seq));
+      w.key("rows").value(static_cast<std::int64_t>(info.rows));
+      w.end_object();
+    }
+    w.end_array();
+    return HttpResponse::json(w.str());
+  });
+
+  server.route("/viewz/{id}", [&views](const HttpRequest& request) {
+    std::uint64_t id = 0;
+    if (!parse_view_id(request.params.at(0), &id)) {
+      return HttpResponse{400, "text/plain", "bad view id"};
+    }
+    const auto info = views.info(id);
+    if (!info) {
+      return HttpResponse::not_found("no view " + request.params.at(0));
+    }
+    std::uint64_t seq = 0;
+    const auto result = views.snapshot(id, &seq);
+    JsonWriter w;
+    w.begin_object();
+    w.key("id").value(static_cast<std::int64_t>(id));
+    w.key("name").value(info->name);
+    w.key("seq").value(static_cast<std::int64_t>(seq));
+    w.key("columns").begin_array();
+    for (const auto& column : result.columns) w.value(column);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& row : result.rows) write_row(w, row);
+    w.end_array();
+    w.end_object();
+    return HttpResponse::json(w.str());
+  });
+
+  server.route_async(
+      "/viewz/{id}/wait",
+      [&views](const HttpRequest& request, HttpResponder responder) {
+        std::uint64_t id = 0;
+        if (!parse_view_id(request.params.at(0), &id)) {
+          responder.respond({400, "text/plain", "bad view id"});
+          return;
+        }
+        if (!views.info(id)) {
+          responder.respond(HttpResponse::not_found(
+              "no view " + request.params.at(0)));
+          return;
+        }
+        const std::uint64_t after =
+            query_u64(request.query, "seq").value_or(0);
+        const std::uint64_t timeout = std::min<std::uint64_t>(
+            query_u64(request.query, "timeout_ms").value_or(30000), 60000);
+        views.async_wait(
+            id, after, static_cast<int>(timeout),
+            [responder, id](std::vector<query::ViewUpdate> updates) {
+              JsonWriter w;
+              w.begin_object();
+              w.key("view").value(static_cast<std::int64_t>(id));
+              std::uint64_t last = 0;
+              for (const auto& u : updates) last = std::max(last, u.seq);
+              w.key("seq").value(static_cast<std::int64_t>(last));
+              w.key("updates").begin_array();
+              for (const auto& u : updates) write_update(w, u);
+              w.end_array();
+              w.end_object();
+              responder.respond(HttpResponse::json(w.str()));
+            });
+      });
+}
+
+}  // namespace stampede::dash

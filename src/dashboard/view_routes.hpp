@@ -1,0 +1,26 @@
+#pragma once
+// Continuous-view endpoints (DESIGN.md §13) for any embedded HttpServer:
+//
+//   GET /viewz                  — registered views (id, name, seq, rows)
+//   GET /viewz/{id}             — current result snapshot + its seq
+//   GET /viewz/{id}/wait?seq=N[&timeout_ms=M]
+//       — HTTP long-poll subscription: parks until the view advances
+//         past seq (returns the missed updates, or one snapshot-update
+//         when N has aged out of the log), or until the timeout
+//         (empty update list). Served through route_async, so a parked
+//         poll costs the dashboard a buffer, not its serving thread.
+//
+// The engine must outlive the server (routes capture a reference).
+
+#include "dashboard/http_server.hpp"
+
+namespace stampede::query {
+class ContinuousQueryEngine;
+}
+
+namespace stampede::dash {
+
+void register_view_routes(HttpServer& server,
+                          query::ContinuousQueryEngine& views);
+
+}  // namespace stampede::dash

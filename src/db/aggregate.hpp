@@ -1,0 +1,69 @@
+#pragma once
+// Streaming aggregate state for one group: the arithmetic behind the
+// engine's GROUP BY path (database.cpp) and the continuous-view engine
+// (query/continuous_views.cpp).
+//
+// Continuous views promise results byte-identical to re-executing the
+// Select from scratch, which only holds if both paths fold values
+// through this exact code in the exact same (ascending RowId) order —
+// floating-point addition is not associative, so do not fork or
+// "optimize" this struct.
+
+#include <cstdint>
+
+#include "db/query.hpp"
+
+namespace stampede::db {
+
+struct Aggregator {
+  AggFn fn = AggFn::kCount;
+  std::int64_t count = 0;
+  double sum = 0.0;
+  bool any_numeric = false;
+  Value min_value;
+  Value max_value;
+  bool has_minmax = false;
+
+  void feed(const Value& value) {
+    if (fn == AggFn::kCount) {
+      if (!value.is_null()) ++count;
+      return;
+    }
+    if (value.is_null()) return;
+    ++count;
+    if (value.is_int() || value.is_real()) {
+      sum += value.as_number();
+      any_numeric = true;
+    }
+    if (!has_minmax) {
+      min_value = value;
+      max_value = value;
+      has_minmax = true;
+    } else {
+      if (value < min_value) min_value = value;
+      if (max_value < value) max_value = value;
+    }
+  }
+
+  void feed_row() { ++count; }  ///< COUNT(*)
+
+  [[nodiscard]] Value result() const {
+    switch (fn) {
+      case AggFn::kCount:
+        return Value{count};
+      case AggFn::kSum:
+        return any_numeric ? Value{sum} : Value::null();
+      case AggFn::kAvg:
+        return (any_numeric && count > 0)
+                   ? Value{sum / static_cast<double>(count)}
+                   : Value::null();
+      case AggFn::kMin:
+        return has_minmax ? min_value : Value::null();
+      case AggFn::kMax:
+        return has_minmax ? max_value : Value::null();
+    }
+    return Value::null();
+  }
+};
+
+}  // namespace stampede::db

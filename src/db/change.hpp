@@ -1,0 +1,46 @@
+#pragma once
+// Committed-batch change capture (DESIGN.md §13): the row-level feed a
+// StorageShard delivers to its registered ChangeSink after every commit
+// (and after every autocommitted public write). This is the push-side
+// counterpart of the per-table version counters — versions tell a cache
+// *that* something changed, a CommittedBatch tells a continuous-view
+// engine *what* changed.
+//
+// Delivery contract (see StorageShard::set_change_sink):
+//   - The sink runs with no shard lock held, so it may read the shard
+//     (execute / for_each_row) and take its own locks freely.
+//   - Batches from one shard arrive in commit order, one at a time
+//     (deliveries are ticketed and serialized per shard).
+//   - Rolled-back changes are never delivered.
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "db/schema.hpp"
+
+namespace stampede::db {
+
+/// One row-level mutation inside a committed batch.
+struct RowChange {
+  enum class Kind { kInsert, kUpdate, kDelete };
+
+  Kind kind = Kind::kInsert;
+  std::string table;
+  RowId row_id = 0;
+  Row before;  ///< Full row image for update/delete; empty for insert.
+  Row after;   ///< Full row image for insert/update; empty for delete.
+};
+
+/// Everything one commit changed on one shard, in statement order.
+struct CommittedBatch {
+  std::size_t shard = 0;  ///< Ordinal within the sharded archive.
+  std::chrono::steady_clock::time_point commit_time{};
+  std::vector<RowChange> changes;
+};
+
+using ChangeSink = std::function<void(const CommittedBatch&)>;
+
+}  // namespace stampede::db

@@ -10,6 +10,7 @@
 
 #include "common/errors.hpp"
 #include "common/string_utils.hpp"
+#include "db/aggregate.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace stampede::db {
@@ -192,12 +193,104 @@ void StorageShard::wal_write(const std::string& line) {
 }
 
 // ---------------------------------------------------------------------------
+// Change capture (change.hpp)
+
+void StorageShard::set_change_sink(ChangeSink sink,
+                                   std::vector<std::string> tables,
+                                   std::size_t shard_ordinal) {
+  std::uint64_t fence = 0;
+  {
+    const WriteGuard guard{*this};
+    change_sink_ = std::move(sink);
+    capture_tables_ = {tables.begin(), tables.end()};
+    shard_ordinal_ = shard_ordinal;
+    change_buffer_.clear();
+    fence = delivery_ticket_;
+  }
+  // Deliveries already staged hold a copy of the previous sink; wait
+  // for them so a caller detaching (sink = nullptr) may safely destroy
+  // whatever that sink pointed at once this returns.
+  std::unique_lock lock{delivery_mutex_};
+  delivery_cv_.wait(lock, [&] { return delivery_next_ >= fence; });
+}
+
+void StorageShard::for_each_row(
+    const std::string& table,
+    const std::function<void(RowId, const Row&)>& fn) const {
+  const ReadGuard guard{*this};
+  table_ref(table).scan(fn);
+}
+
+bool StorageShard::capturing(const std::string& table) const {
+  return change_sink_ && !replaying_ &&
+         (capture_tables_.empty() || capture_tables_.count(table) != 0);
+}
+
+void StorageShard::capture(RowChange::Kind kind, const std::string& table,
+                           RowId row_id, Row before, Row after) {
+  change_buffer_.push_back(
+      {kind, table, row_id, std::move(before), std::move(after)});
+}
+
+StorageShard::StagedDelivery StorageShard::stage_delivery() {
+  StagedDelivery staged;
+  if (!change_sink_ || change_buffer_.empty()) {
+    change_buffer_.clear();
+    return staged;
+  }
+  staged.armed = true;
+  staged.ticket = delivery_ticket_++;
+  staged.batch.shard = shard_ordinal_;
+  staged.batch.commit_time = std::chrono::steady_clock::now();
+  staged.batch.changes = std::move(change_buffer_);
+  change_buffer_.clear();
+  staged.sink = change_sink_;
+  return staged;
+}
+
+void StorageShard::deliver(StagedDelivery&& staged) {
+  if (!staged.armed) return;
+  std::unique_lock lock{delivery_mutex_};
+  delivery_cv_.wait(lock, [&] { return delivery_next_ == staged.ticket; });
+  try {
+    staged.sink(staged.batch);
+  } catch (...) {
+    // A throwing sink must not wedge the ticket sequence (every later
+    // delivery would park forever). Swallow; sinks own their errors.
+  }
+  ++delivery_next_;
+  lock.unlock();
+  delivery_cv_.notify_all();
+}
+
+template <typename Fn>
+auto StorageShard::write_entry(Fn&& fn) -> decltype(fn()) {
+  StagedDelivery staged;
+  decltype(fn()) out;
+  {
+    const WriteGuard guard{*this};
+    try {
+      out = fn();
+    } catch (...) {
+      // Autocommit path: the statement failed part-way, nothing commits
+      // beyond what the statement already applied — captured changes for
+      // the applied part would mislead sinks, drop them. (Inside a
+      // transaction rollback() clears the buffer instead.)
+      if (!txn_active_) change_buffer_.clear();
+      throw;
+    }
+    if (!txn_active_) staged = stage_delivery();
+  }
+  deliver(std::move(staged));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // DML
 
 std::int64_t StorageShard::insert(const std::string& table,
                                   const NamedValues& values) {
-  const WriteGuard guard{*this};
-  return insert_unlocked(table, values);
+  return write_entry([&] { return insert_unlocked(table, values); });
 }
 
 std::int64_t StorageShard::insert_unlocked(const std::string& table,
@@ -217,6 +310,10 @@ std::int64_t StorageShard::insert_unlocked(const std::string& table,
   if (txn_active_) {
     undo_log_.push_back({UndoOp::Kind::kInsert, table, result.row_id, {}});
   }
+  if (capturing(table)) {
+    capture(RowChange::Kind::kInsert, table, result.row_id, {},
+            *t.fetch(result.row_id));
+  }
   if (!wal_path_.empty() && !replaying_) {
     const Row* stored = t.fetch(result.row_id);
     std::string line = "I|" + wal_escape(table);
@@ -232,8 +329,7 @@ std::int64_t StorageShard::insert_unlocked(const std::string& table,
 std::size_t StorageShard::update(const std::string& table,
                                  const ExprPtr& predicate,
                                  const NamedValues& sets) {
-  const WriteGuard guard{*this};
-  return update_unlocked(table, predicate, sets);
+  return write_entry([&] { return update_unlocked(table, predicate, sets); });
 }
 
 std::size_t StorageShard::update_unlocked(const std::string& table,
@@ -260,6 +356,9 @@ std::size_t StorageShard::update_unlocked(const std::string& table,
     if (txn_active_) {
       undo_log_.push_back({UndoOp::Kind::kUpdate, table, id, before});
     }
+    if (capturing(table)) {
+      capture(RowChange::Kind::kUpdate, table, id, before, *t.fetch(id));
+    }
     if (!wal_path_.empty() && !replaying_) {
       // Address the row by PK when available so replay is robust to slot
       // drift from rolled-back inserts.
@@ -280,8 +379,7 @@ std::size_t StorageShard::update_unlocked(const std::string& table,
 
 bool StorageShard::update_pk(const std::string& table, std::int64_t pk,
                              const NamedValues& sets) {
-  const WriteGuard guard{*this};
-  return update_pk_unlocked(table, pk, sets);
+  return write_entry([&] { return update_pk_unlocked(table, pk, sets); });
 }
 
 bool StorageShard::update_pk_unlocked(const std::string& table,
@@ -294,6 +392,9 @@ bool StorageShard::update_pk_unlocked(const std::string& table,
   t.update(*slot, sets);
   if (txn_active_) {
     undo_log_.push_back({UndoOp::Kind::kUpdate, table, *slot, before});
+  }
+  if (capturing(table)) {
+    capture(RowChange::Kind::kUpdate, table, *slot, before, *t.fetch(*slot));
   }
   if (!wal_path_.empty() && !replaying_) {
     std::string line = "U|" + wal_escape(table) + '|';
@@ -311,8 +412,7 @@ bool StorageShard::update_pk_unlocked(const std::string& table,
 
 std::size_t StorageShard::delete_rows(const std::string& table,
                                       const ExprPtr& predicate) {
-  const WriteGuard guard{*this};
-  return delete_rows_unlocked(table, predicate);
+  return write_entry([&] { return delete_rows_unlocked(table, predicate); });
 }
 
 std::size_t StorageShard::delete_rows_unlocked(const std::string& table,
@@ -335,6 +435,9 @@ std::size_t StorageShard::delete_rows_unlocked(const std::string& table,
     t.erase(id);
     if (txn_active_) {
       undo_log_.push_back({UndoOp::Kind::kDelete, table, id, before});
+    }
+    if (capturing(table)) {
+      capture(RowChange::Kind::kDelete, table, id, before, {});
     }
     if (!wal_path_.empty() && !replaying_) {
       std::string line = "D|" + wal_escape(table) + '|';
@@ -364,6 +467,7 @@ void StorageShard::begin() {
   txn_active_ = true;
   undo_log_.clear();
   wal_buffer_.clear();
+  change_buffer_.clear();
   if (commit_latency_) txn_begin_time_ = std::chrono::steady_clock::now();
   txn_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
   txn_lock_ = std::move(lock);
@@ -374,25 +478,33 @@ void StorageShard::commit() {
       std::this_thread::get_id()) {
     throw DbError("commit: no active transaction");
   }
-  // Adopt the transaction's exclusive lock; released at return, making
-  // the whole batch visible to readers at once.
-  const std::unique_lock lock{std::move(txn_lock_)};
-  txn_owner_.store(std::thread::id{}, std::memory_order_relaxed);
-  txn_active_ = false;
-  undo_log_.clear();
-  if (!wal_path_.empty() && !wal_buffer_.empty()) {
-    std::ofstream out{wal_path_, std::ios::app};
-    if (out) {
-      for (const auto& line : wal_buffer_) out << line << '\n';
+  // Adopt the transaction's exclusive lock; released at block end,
+  // making the whole batch visible to readers at once. The change
+  // delivery runs after that release (sinks may read the shard) but
+  // takes its ticket before it, so sinks still see batches in commit
+  // order.
+  StagedDelivery staged;
+  {
+    const std::unique_lock lock{std::move(txn_lock_)};
+    txn_owner_.store(std::thread::id{}, std::memory_order_relaxed);
+    txn_active_ = false;
+    undo_log_.clear();
+    if (!wal_path_.empty() && !wal_buffer_.empty()) {
+      std::ofstream out{wal_path_, std::ios::app};
+      if (out) {
+        for (const auto& line : wal_buffer_) out << line << '\n';
+      }
     }
+    wal_buffer_.clear();
+    if (commit_latency_) {
+      commit_latency_->observe(std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() -
+                                   txn_begin_time_)
+                                   .count());
+    }
+    staged = stage_delivery();
   }
-  wal_buffer_.clear();
-  if (commit_latency_) {
-    commit_latency_->observe(std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() -
-                                 txn_begin_time_)
-                                 .count());
-  }
+  deliver(std::move(staged));
 }
 
 void StorageShard::rollback() {
@@ -418,6 +530,7 @@ void StorageShard::rollback() {
   }
   undo_log_.clear();
   wal_buffer_.clear();
+  change_buffer_.clear();  // Rolled-back changes are never delivered.
   txn_active_ = false;
 }
 
@@ -604,56 +717,9 @@ void collect_expr_columns(const Expr& expr, std::vector<std::string>& out) {
   for (const auto& child : expr.children) collect_expr_columns(*child, out);
 }
 
-struct Aggregator {
-  AggFn fn = AggFn::kCount;
-  std::int64_t count = 0;
-  double sum = 0.0;
-  bool any_numeric = false;
-  Value min_value;
-  Value max_value;
-  bool has_minmax = false;
-
-  void feed(const Value& value) {
-    if (fn == AggFn::kCount) {
-      if (!value.is_null()) ++count;
-      return;
-    }
-    if (value.is_null()) return;
-    ++count;
-    if (value.is_int() || value.is_real()) {
-      sum += value.as_number();
-      any_numeric = true;
-    }
-    if (!has_minmax) {
-      min_value = value;
-      max_value = value;
-      has_minmax = true;
-    } else {
-      if (value < min_value) min_value = value;
-      if (max_value < value) max_value = value;
-    }
-  }
-
-  void feed_row() { ++count; }  ///< COUNT(*)
-
-  [[nodiscard]] Value result() const {
-    switch (fn) {
-      case AggFn::kCount:
-        return Value{count};
-      case AggFn::kSum:
-        return any_numeric ? Value{sum} : Value::null();
-      case AggFn::kAvg:
-        return (any_numeric && count > 0)
-                   ? Value{sum / static_cast<double>(count)}
-                   : Value::null();
-      case AggFn::kMin:
-        return has_minmax ? min_value : Value::null();
-      case AggFn::kMax:
-        return has_minmax ? max_value : Value::null();
-    }
-    return Value::null();
-  }
-};
+// Aggregator moved to db/aggregate.hpp: the continuous-view engine
+// (query/continuous_views.cpp) must fold through the identical
+// arithmetic to keep views byte-identical to re-execution.
 
 /// Planner-choice counters (asserted by tests/test_concurrent_queries).
 struct PlanCounters {

@@ -41,17 +41,21 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "db/change.hpp"
 #include "db/query.hpp"
 #include "db/shared_mutex.hpp"
 #include "db/table.hpp"
@@ -123,6 +127,22 @@ class StorageShard {
   void set_exclusive_reads(bool on) noexcept {
     exclusive_reads_.store(on, std::memory_order_relaxed);
   }
+
+  // -- change capture ---------------------------------------------------------
+
+  /// Registers the shard's change sink (one per shard; empty detaches).
+  /// After this returns, every committed write to a table in `tables`
+  /// (empty = all tables) is delivered as a CommittedBatch — see
+  /// change.hpp for the delivery contract. `shard_ordinal` is stamped
+  /// into each batch (ShardedDatabase passes the shard index).
+  void set_change_sink(ChangeSink sink, std::vector<std::string> tables = {},
+                       std::size_t shard_ordinal = 0);
+
+  /// Visits every live row of `table` in ascending RowId order under one
+  /// shared lock (a consistent snapshot: no commit interleaves). The
+  /// view engine's registration scan.
+  void for_each_row(const std::string& table,
+                    const std::function<void(RowId, const Row&)>& fn) const;
 
   // -- DML --------------------------------------------------------------------
 
@@ -234,6 +254,33 @@ class StorageShard {
   const Table& table_ref(const std::string& name) const;
   void wal_write(const std::string& line);
 
+  /// One commit's worth of captured changes on its way out to the sink.
+  struct StagedDelivery {
+    bool armed = false;
+    std::uint64_t ticket = 0;
+    CommittedBatch batch;
+    ChangeSink sink;
+  };
+  /// True when writes to `table` should be captured.
+  [[nodiscard]] bool capturing(const std::string& table) const;
+  /// Records one mutation into the capture buffer (caller checked
+  /// capturing()).
+  void capture(RowChange::Kind kind, const std::string& table, RowId row_id,
+               Row before, Row after);
+  /// Takes a delivery ticket and moves the capture buffer out. Must run
+  /// while still holding the exclusive lock — the ticket order IS the
+  /// commit order.
+  StagedDelivery stage_delivery();
+  /// Calls the sink once the staged ticket's turn comes. Must run with
+  /// no shard lock held: a blocked predecessor would otherwise hold the
+  /// lock across an arbitrary sink, and sinks are allowed to read the
+  /// shard.
+  void deliver(StagedDelivery&& staged);
+  /// Guard + fn() + autocommit delivery: the shape of every public
+  /// write entry point.
+  template <typename Fn>
+  auto write_entry(Fn&& fn) -> decltype(fn());
+
   std::int64_t insert_unlocked(const std::string& table,
                                const NamedValues& values);
   std::size_t update_unlocked(const std::string& table,
@@ -272,6 +319,20 @@ class StorageShard {
   std::uint64_t wal_truncated_ = 0;
   telemetry::Histogram* commit_latency_ = nullptr;
   std::chrono::steady_clock::time_point txn_begin_time_{};
+
+  // Change capture (all guarded by the exclusive lock): the sink, the
+  // table filter, the in-flight buffer and the next delivery ticket.
+  ChangeSink change_sink_;
+  std::set<std::string> capture_tables_;
+  std::vector<RowChange> change_buffer_;
+  std::size_t shard_ordinal_ = 0;
+  std::uint64_t delivery_ticket_ = 0;
+  // Ticketed hand-off: deliveries wait their turn here, outside the
+  // shard lock, so sink calls serialize in commit order without ever
+  // blocking a committer inside the lock.
+  std::mutex delivery_mutex_;
+  std::condition_variable delivery_cv_;
+  std::uint64_t delivery_next_ = 0;  ///< Guarded by delivery_mutex_.
 };
 
 /// The single-partition archive: exactly one shard. Existing code built

@@ -81,6 +81,13 @@ void ShardedDatabase::set_exclusive_reads(bool on) noexcept {
   for (auto& shard : shards_) shard->set_exclusive_reads(on);
 }
 
+void ShardedDatabase::set_change_sink(const ChangeSink& sink,
+                                      std::vector<std::string> tables) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->set_change_sink(sink, tables, i);
+  }
+}
+
 std::vector<std::uint64_t> ShardedDatabase::table_versions(
     const std::vector<std::string>& names) const {
   std::vector<std::uint64_t> versions;

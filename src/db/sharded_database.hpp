@@ -83,6 +83,14 @@ class ShardedDatabase {
   /// (benchmark-only A/B switch; see StorageShard::set_exclusive_reads).
   void set_exclusive_reads(bool on) noexcept;
 
+  /// Installs `sink` on every shard (empty detaches); each shard stamps
+  /// its index into the batches it delivers. See
+  /// StorageShard::set_change_sink / change.hpp for the contract —
+  /// ordering holds per shard, batches from different shards arrive
+  /// concurrently.
+  void set_change_sink(const ChangeSink& sink,
+                       std::vector<std::string> tables = {});
+
   /// Versions of `names` on every shard, concatenated shard-major
   /// (shard 0's versions, then shard 1's, …). Each shard's block is one
   /// consistent observation; the cache treats the whole vector as the

@@ -25,6 +25,10 @@ ShardedLoader::ShardedLoader(db::ShardedDatabase& database,
     : db_(&database),
       lane_events_(database.shard_count(), 0),
       skew_(telemetry::registry().gauge("stampede_loader_shard_skew_permille")) {
+  if (options.flush_deadline_ms != 0) {
+    lane_poll_ = std::chrono::milliseconds(std::clamp<std::size_t>(
+        options.flush_deadline_ms / 2, 1, 100));
+  }
   lanes_.reserve(database.shard_count());
   for (std::size_t i = 0; i < database.shard_count(); ++i) {
     lanes_.push_back(
@@ -64,16 +68,30 @@ ShardedLoader::~ShardedLoader() {
 }
 
 void ShardedLoader::run_lane(Lane& lane) {
-  while (auto item = lane.queue.pop()) {
+  for (;;) {
+    auto item = lane.queue.pop_for(lane_poll_);
+    if (!item) {
+      // This thread is the queue's only consumer, so closed+empty seen
+      // here is final. A plain timeout is the trickle-input escape
+      // hatch: batched-but-uncommitted rows past their age deadline
+      // flush now instead of waiting for a marker on an empty queue.
+      if (lane.queue.closed() && lane.queue.size() == 0) break;
+      lane.loader.maybe_deadline_flush();
+      continue;
+    }
     lane.depth.set(static_cast<std::int64_t>(lane.queue.size()));
     if (item->flush_marker) {
-      // Only flush when genuinely idle — if real events queued up
-      // behind the marker they will flush (and ack) soon anyway.
+      // Flush eagerly when genuinely idle; behind queued events the
+      // age deadline below bounds the wait instead.
       if (lane.queue.size() == 0) lane.loader.idle_flush();
       continue;
     }
     lane.loader.process(item->record, item->traced ? &item->trace : nullptr,
                         item->redelivered, item->ack_tag);
+    // A trickle that never fills a batch (and a backlog of markers
+    // never reaching an empty queue) must still ack within the
+    // deadline.
+    lane.loader.maybe_deadline_flush();
   }
   // Queue closed and drained: final flush + deferred replay.
   lane.loader.finish();

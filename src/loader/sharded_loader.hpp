@@ -17,6 +17,7 @@
 //     single shard. Unattributed workflows route by hash of their own
 //     UUID.
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -118,6 +119,9 @@ class ShardedLoader {
   std::vector<std::uint64_t> lane_events_;  ///< Dispatcher-side, for skew.
   std::uint64_t dispatched_ = 0;
   telemetry::Gauge& skew_;  ///< stampede_loader_shard_skew_permille
+  /// Lane pop timeout: how often an idle (or trickling) lane checks its
+  /// flush deadline. Half the deadline, clamped to [1, 100] ms.
+  std::chrono::milliseconds lane_poll_{100};
   bool finished_ = false;
 };
 

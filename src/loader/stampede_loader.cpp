@@ -723,6 +723,34 @@ void StampedeLoader::on_batch_commit() {
     }
     awaiting_ack_.clear();
   }
+  note_pending();
+}
+
+bool StampedeLoader::has_unflushed() const noexcept {
+  return session_.pending() > 0 || !awaiting_commit_.empty() ||
+         !awaiting_ack_.empty();
+}
+
+void StampedeLoader::note_pending() {
+  if (!has_unflushed()) {
+    has_pending_ = false;
+  } else if (!has_pending_) {
+    has_pending_ = true;
+    pending_since_ = std::chrono::steady_clock::now();
+  }
+  // Already pending: keep the original (oldest) timestamp — the
+  // deadline bounds the *oldest* event's wait, or a steady trickle
+  // could push the flush out forever.
+}
+
+bool StampedeLoader::flush_deadline_due() const {
+  if (options_.flush_deadline_ms == 0 || !has_pending_) return false;
+  return std::chrono::steady_clock::now() - pending_since_ >=
+         std::chrono::milliseconds(options_.flush_deadline_ms);
+}
+
+void StampedeLoader::maybe_deadline_flush() {
+  if (flush_deadline_due()) idle_flush();
 }
 
 void StampedeLoader::record_waterfall_spans(double commit_steady) {
@@ -802,6 +830,7 @@ bool StampedeLoader::process(const nl::LogRecord& record,
       if (trace != nullptr) note_applied(*trace);
       if (ack_tag != 0) awaiting_ack_.push_back(ack_tag);
       if (!deferred_.empty()) replay_deferred();
+      note_pending();
       return true;
     case Outcome::kDefer:
       ++stats_.events_deferred;
@@ -820,11 +849,13 @@ bool StampedeLoader::process(const nl::LogRecord& record,
         tele_.deferred_dropped.inc();
       }
       note_deferred_depth();
+      note_pending();  // A deferral can batch rows via replayed events.
       return false;
     case Outcome::kError:
       ++stats_.events_unknown;
       tele_.unknown.inc();
       ack_now(ack_tag);
+      note_pending();
       return false;
   }
   return false;

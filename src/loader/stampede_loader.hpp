@@ -13,6 +13,7 @@
 //   * tolerate modest event reordering by deferring records whose
 //     referents have not arrived yet and replaying them when they do
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -75,6 +76,13 @@ struct LoaderOptions {
   /// parallel lanes (ShardedLoader); the dispatcher blocks when a lane
   /// falls this far behind (backpressure).
   std::size_t lane_queue_capacity = 4096;
+  /// Age-based flush deadline: applied-but-uncommitted work (batched
+  /// rows, unreleased acks) is force-flushed once the oldest piece has
+  /// waited this long — so a trickling event stream that never fills a
+  /// batch still sees bounded commit/ack latency. Enforced by whoever
+  /// drives the loader (ShardedLoader lanes poll it; single-loader
+  /// callers may call maybe_deadline_flush()). 0 disables.
+  std::size_t flush_deadline_ms = 250;
 };
 
 struct LoaderStats {
@@ -131,6 +139,14 @@ class StampedeLoader {
   /// QueuePump::wait_until_drained) do not wait for a full batch.
   void idle_flush();
 
+  /// True when applied-but-uncommitted work has been waiting longer
+  /// than LoaderOptions::flush_deadline_ms.
+  [[nodiscard]] bool flush_deadline_due() const;
+
+  /// idle_flush() iff flush_deadline_due() — the bounded-ack-latency
+  /// guarantee for trickle input that never fills a batch.
+  void maybe_deadline_flush();
+
   /// Flushes batched inserts and replays deferred events one last time.
   /// Call when the input stream ends (or periodically for real-time
   /// readers).
@@ -155,6 +171,10 @@ class StampedeLoader {
   /// Bookkeeping shared by process() and replay_deferred() when an event
   /// lands: stage latencies now, publish→commit when the batch commits.
   void note_applied(const telemetry::TraceStamps& trace);
+  /// Anything applied but not yet committed (batched rows, held acks)?
+  [[nodiscard]] bool has_unflushed() const noexcept;
+  /// Starts/stops the flush-deadline clock to match has_unflushed().
+  void note_pending();
   void note_deferred_depth();
   void on_batch_commit();
 
@@ -256,6 +276,10 @@ class StampedeLoader {
   std::vector<std::uint64_t> awaiting_ack_;
   std::function<void(std::uint64_t)> ack_cb_;
   bool defer_warned_ = false;
+  /// Flush-deadline clock: set when uncommitted work first appears,
+  /// cleared when a commit drains it (see flush_deadline_due()).
+  bool has_pending_ = false;
+  std::chrono::steady_clock::time_point pending_since_{};
 };
 
 }  // namespace stampede::loader

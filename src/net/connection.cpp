@@ -197,6 +197,12 @@ void Connection::close() {
 }
 
 void Connection::close_after_flush() {
+  if (!loop_.in_loop_thread()) {
+    // close_after_flush_ and front_ are loop-thread state; hop over.
+    loop_.defer([self = shared_from_this()] { self->close_after_flush(); });
+    return;
+  }
+  if (closed_loop_) return;
   close_after_flush_ = true;
   bool drained = false;
   {

@@ -87,7 +87,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void close();
 
   /// Closes once everything queued so far has reached the kernel
-  /// (HTTP "write response, then hang up"). Loop thread only.
+  /// (HTTP "write response, then hang up"). Thread-safe: non-loop
+  /// callers are deferred onto the loop.
   void close_after_flush();
 
   [[nodiscard]] int fd() const noexcept { return fd_.get(); }

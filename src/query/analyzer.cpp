@@ -77,9 +77,9 @@ WorkflowAnalysis StampedeAnalyzer::analyze(std::int64_t wf_id) const {
   const auto hosts =
       exec.execute(Select{"host"}.columns({"host_id", "hostname"}));
   std::map<std::int64_t, std::string> hostnames;
-  for (std::size_t i = 0; i < hosts.size(); ++i) {
-    hostnames[hosts.at(i, "host_id").as_int()] =
-        hosts.at(i, "hostname").as_text();
+  for (std::size_t i = 0; i < hosts->size(); ++i) {
+    hostnames[hosts->at(i, "host_id").as_int()] =
+        hosts->at(i, "hostname").as_text();
   }
 
   for (const auto& [name, slot] : last_of) {

@@ -1,0 +1,1368 @@
+#include "query/continuous_views.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <list>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "bus/ibus.hpp"
+#include "common/errors.hpp"
+#include "db/aggregate.hpp"
+#include "db/database.hpp"
+#include "db/sharded_database.hpp"
+#include "query/anomaly.hpp"
+#include "query/partial_merge.hpp"
+#include "query/query_executor.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace stampede::query {
+
+using db::AggFn;
+using db::Aggregator;
+using db::Row;
+using db::RowId;
+using db::Value;
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+// -- wire codec -------------------------------------------------------------
+//
+// Line-oriented: a header line then one line per change. Fields are
+// '|'-separated; text payloads escape '\' -> "\\", '|' -> "\p" and
+// '\n' -> "\n" so the separators stay unambiguous. Doubles travel as
+// their 16-hex-digit bit pattern: the decoder reconstructs the exact
+// double, including -0.0 and NaN payloads, which is what keeps a remote
+// subscriber's view byte-identical to the engine's.
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '|':
+        out += "\\p";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+std::string unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 == s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char c = s[++i];
+    out += c == 'p' ? '|' : c == 'n' ? '\n' : c;
+  }
+  return out;
+}
+
+/// Appends one value as a wire field (already field-safe; do not escape
+/// the result again).
+void append_value(std::string& out, const Value& v) {
+  if (v.is_null()) {
+    out += 'N';
+  } else if (v.is_int()) {
+    out += 'I';
+    out += std::to_string(v.as_int());
+  } else if (v.is_real()) {
+    std::uint64_t bits = 0;
+    const double d = v.as_real();
+    std::memcpy(&bits, &d, sizeof bits);
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(bits));
+    out += 'R';
+    out += buf;
+  } else {
+    out += 'S';
+    append_escaped(out, v.as_text());
+  }
+}
+
+std::optional<Value> decode_value(std::string_view field) {
+  if (field.empty()) return std::nullopt;
+  const std::string_view payload = field.substr(1);
+  switch (field[0]) {
+    case 'N':
+      return Value::null();
+    case 'I': {
+      errno = 0;
+      char* end = nullptr;
+      const std::string text{payload};
+      const long long n = std::strtoll(text.c_str(), &end, 10);
+      if (errno != 0 || end != text.c_str() + text.size() || text.empty()) {
+        return std::nullopt;
+      }
+      return Value{static_cast<std::int64_t>(n)};
+    }
+    case 'R': {
+      if (payload.size() != 16) return std::nullopt;
+      std::uint64_t bits = 0;
+      for (const char c : payload) {
+        const int digit = c >= '0' && c <= '9'   ? c - '0'
+                          : c >= 'a' && c <= 'f' ? c - 'a' + 10
+                                                 : -1;
+        if (digit < 0) return std::nullopt;
+        bits = bits << 4 | static_cast<std::uint64_t>(digit);
+      }
+      double d = 0.0;
+      std::memcpy(&d, &bits, sizeof d);
+      return Value{d};
+    }
+    case 'S':
+      return Value{unescape(payload)};
+    default:
+      return std::nullopt;
+  }
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t n = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return n;
+}
+
+/// Stable row-identity string for the first `prefix` values of a result
+/// row. NaN is canonicalized (group semantics treat every NaN as the
+/// same key, so the identity must not depend on its payload bits);
+/// +0.0/-0.0 and int-vs-real keep distinct identities through the bit
+/// pattern / type tag.
+std::string key_string(const Row& row, std::size_t prefix) {
+  std::string out;
+  for (std::size_t i = 0; i < prefix; ++i) {
+    if (i != 0) out += '|';
+    const Value& v = row[i];
+    if (v.is_real() && std::isnan(v.as_real())) {
+      out += "Rnan";
+    } else {
+      append_value(out, v);
+    }
+  }
+  return out;
+}
+
+const char* op_name(db::CompareOp op) {
+  switch (op) {
+    case db::CompareOp::kEq:
+      return "==";
+    case db::CompareOp::kNe:
+      return "!=";
+    case db::CompareOp::kLt:
+      return "<";
+    case db::CompareOp::kLe:
+      return "<=";
+    case db::CompareOp::kGt:
+      return ">";
+    case db::CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+struct KeyHash {
+  std::size_t prefix = 0;
+  std::size_t operator()(const Row* row) const noexcept {
+    return db::group_rows_hash(*row, prefix);
+  }
+};
+
+struct KeyEq {
+  std::size_t prefix = 0;
+  bool operator()(const Row* a, const Row* b) const noexcept {
+    return db::group_rows_equal(*a, *b, prefix);
+  }
+};
+
+/// Exact cell equality for the self-check: type tags must match, reals
+/// must be bit-identical (NaN equals NaN regardless of payload — the
+/// declared key semantics).
+bool cells_identical(const Value& a, const Value& b) {
+  if (a.is_null()) return b.is_null();
+  if (a.is_int()) return b.is_int() && a.as_int() == b.as_int();
+  if (a.is_real()) {
+    if (!b.is_real()) return false;
+    const double x = a.as_real();
+    const double y = b.as_real();
+    if (std::isnan(x) || std::isnan(y)) return std::isnan(x) && std::isnan(y);
+    std::uint64_t xb = 0;
+    std::uint64_t yb = 0;
+    std::memcpy(&xb, &x, sizeof xb);
+    std::memcpy(&yb, &y, sizeof yb);
+    return xb == yb;
+  }
+  return b.is_text() && a.as_text() == b.as_text();
+}
+
+}  // namespace
+
+std::string encode_view_update(const ViewUpdate& update) {
+  std::string out = "VU1|";
+  out += std::to_string(update.view);
+  out += '|';
+  out += std::to_string(update.seq);
+  out += '|';
+  out += update.snapshot ? '1' : '0';
+  out += '|';
+  append_escaped(out, update.name);
+  out += '\n';
+  for (const auto& change : update.changes) {
+    if (change.op == ViewChange::Op::kDelete) {
+      out += "D|";
+      append_escaped(out, change.key);
+    } else {
+      out += "U|";
+      append_escaped(out, change.key);
+      out += '|';
+      out += std::to_string(change.row.size());
+      for (const auto& v : change.row) {
+        out += '|';
+        append_value(out, v);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<ViewUpdate> decode_view_update(std::string_view body) {
+  auto lines = split(body, '\n');
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.empty()) return std::nullopt;
+
+  const auto header = split(lines[0], '|');
+  if (header.size() != 5 || header[0] != "VU1") return std::nullopt;
+  const auto view = parse_u64(header[1]);
+  const auto seq = parse_u64(header[2]);
+  if (!view || !seq || (header[3] != "0" && header[3] != "1")) {
+    return std::nullopt;
+  }
+  ViewUpdate update;
+  update.view = *view;
+  update.seq = *seq;
+  update.snapshot = header[3] == "1";
+  update.name = unescape(header[4]);
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto fields = split(lines[i], '|');
+    if (fields.empty()) return std::nullopt;
+    ViewChange change;
+    if (fields[0] == "D") {
+      if (fields.size() != 2) return std::nullopt;
+      change.op = ViewChange::Op::kDelete;
+      change.key = unescape(fields[1]);
+    } else if (fields[0] == "U") {
+      if (fields.size() < 3) return std::nullopt;
+      change.op = ViewChange::Op::kUpsert;
+      change.key = unescape(fields[1]);
+      const auto n = parse_u64(fields[2]);
+      if (!n || fields.size() != 3 + *n) return std::nullopt;
+      change.row.reserve(*n);
+      for (std::size_t f = 3; f < fields.size(); ++f) {
+        auto v = decode_value(fields[f]);
+        if (!v) return std::nullopt;
+        change.row.push_back(std::move(*v));
+      }
+    } else {
+      return std::nullopt;
+    }
+    update.changes.push_back(std::move(change));
+  }
+  return update;
+}
+
+// ---------------------------------------------------------------------------
+// View state
+
+/// One partial aggregator slot: single-shard views keep the declared
+/// function; multi-shard views split AVG into SUM+COUNT partials (spec
+/// index says which input value feeds it), mirroring the scatter-gather
+/// executor's build_partial.
+struct PartialSpec {
+  AggFn fn = AggFn::kCount;
+  std::size_t spec = 0;
+  bool count_star = false;
+};
+
+struct ContinuousQueryEngine::View {
+  std::uint64_t id = 0;
+  ViewOptions options;
+  db::Select select{""};
+  bool aggregated = false;
+  std::size_t n_groups = 0;
+  std::size_t n_specs = 0;
+  std::size_t width = 0;  ///< Stored-row width (and result width).
+  std::size_t shard_count = 1;
+  std::vector<std::string> result_columns;
+  std::vector<std::size_t> group_cols;  ///< Table column index per group.
+  std::vector<std::size_t> agg_cols;    ///< Per spec; kNone for COUNT(*).
+  std::vector<PartialSpec> partials;
+  /// Per spec: partial slot(s). second == kNone except AVG's COUNT leg.
+  std::vector<std::pair<std::size_t, std::size_t>> spec_partials;
+  std::vector<std::size_t> proj_cols;  ///< Plain views.
+  std::unordered_map<std::string, std::size_t> name_to_col;
+
+  /// Stored rows per shard, keyed by RowId. Aggregated views store
+  /// [group values..., one input value per spec (null for COUNT(*))];
+  /// plain views store the projected result row.
+  std::vector<std::map<RowId, Row>> rows;
+
+  struct ShardAgg {
+    std::set<RowId> members;
+    std::vector<Aggregator> aggs;
+    RowId max_row = -1;
+    bool dirty = false;
+  };
+  struct Group {
+    Row key;
+    std::vector<ShardAgg> shards;
+    Row last_emitted;
+    bool present = false;
+    std::string key_str;
+  };
+  std::deque<Group> groups;
+  std::unordered_map<const Row*, std::size_t, KeyHash, KeyEq> group_index{
+      0, KeyHash{}, KeyEq{}};
+  std::set<std::size_t> touched;  ///< Group indexes changed this batch.
+  std::map<std::string, ViewChange> pending_plain;  ///< Plain-view deltas.
+
+  std::uint64_t seq = 0;
+  std::deque<ViewUpdate> log;
+
+  struct Threshold {
+    std::string column;
+    db::CompareOp op;
+    Value bound;
+    AlertHandler handler;
+    std::unordered_map<std::string, bool> firing;  ///< By row key.
+  };
+  std::vector<Threshold> thresholds;
+
+  struct Anomaly {
+    std::string key_column;
+    std::string value_column;
+    AlertHandler handler;
+    RuntimeAnomalyDetector detector;
+  };
+  std::vector<Anomaly> anomalies;
+};
+
+// ---------------------------------------------------------------------------
+// Impl
+
+struct ContinuousQueryEngine::Impl {
+  db::ShardedDatabase& archive;
+  QueryExecutor executor;
+
+  mutable std::mutex mu;
+  std::condition_variable seq_cv;
+  std::uint64_t next_id = 1;
+  std::map<std::uint64_t, std::unique_ptr<View>> views;
+
+  UpdateHandler update_handler;
+  bus::IBus* bus = nullptr;
+  std::string exchange;
+
+  bool self_check = false;
+  std::uint64_t check_runs = 0;
+  std::uint64_t check_failures = 0;
+  std::string check_error;
+  std::uint64_t rescan_count = 0;
+
+  struct Waiter {
+    std::uint64_t view = 0;
+    std::uint64_t after = 0;
+    std::chrono::steady_clock::time_point deadline;
+    std::function<void(std::vector<ViewUpdate>)> cb;
+  };
+  std::mutex wmu;
+  std::condition_variable wcv;
+  std::list<Waiter> waiters;
+  bool stopping = false;
+  std::thread waiter_thread;
+
+  telemetry::Counter& m_updates =
+      telemetry::registry().counter("stampede_view_updates_total");
+  telemetry::Counter& m_rows =
+      telemetry::registry().counter("stampede_view_rows_emitted_total");
+  telemetry::Counter& m_rescans =
+      telemetry::registry().counter("stampede_view_rescans_total");
+  telemetry::Counter& m_published =
+      telemetry::registry().counter("stampede_view_published_total");
+  telemetry::Counter& m_alerts =
+      telemetry::registry().counter("stampede_view_alerts_total");
+  telemetry::Gauge& m_registered =
+      telemetry::registry().gauge("stampede_view_registered");
+  telemetry::Histogram& m_latency =
+      telemetry::registry().histogram("stampede_view_update_latency_seconds");
+
+  explicit Impl(db::ShardedDatabase& db) : archive(db), executor(db) {}
+
+  // -- helpers ---------------------------------------------------------------
+
+  [[nodiscard]] std::size_t resolve(const View& v,
+                                    const std::string& name) const {
+    const auto it = v.name_to_col.find(name);
+    if (it == v.name_to_col.end()) {
+      throw common::DbError("continuous view: unknown column '" + name + "'");
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] bool passes(const View& v, const Row& row) const {
+    if (!v.select.predicate()) return true;
+    return db::evaluate(*v.select.predicate(), [&](const std::string& name) {
+      return row[resolve(v, name)];
+    });
+  }
+
+  [[nodiscard]] static Row build_stored(const View& v, const Row& row) {
+    Row stored;
+    stored.reserve(v.width);
+    for (const std::size_t c : v.group_cols) stored.push_back(row[c]);
+    for (const std::size_t c : v.agg_cols) {
+      stored.push_back(c == kNone ? Value::null() : row[c]);
+    }
+    return stored;
+  }
+
+  [[nodiscard]] static Row project(const View& v, const Row& row) {
+    Row out;
+    out.reserve(v.proj_cols.size());
+    for (const std::size_t c : v.proj_cols) out.push_back(row[c]);
+    return out;
+  }
+
+  [[nodiscard]] static std::vector<Aggregator> make_aggs(const View& v) {
+    std::vector<Aggregator> aggs;
+    aggs.reserve(v.partials.size());
+    for (const auto& p : v.partials) {
+      Aggregator agg;
+      agg.fn = p.fn;
+      aggs.push_back(agg);
+    }
+    return aggs;
+  }
+
+  static void feed_stored(const View& v, View::ShardAgg& sa,
+                          const Row& stored) {
+    for (std::size_t p = 0; p < v.partials.size(); ++p) {
+      if (v.partials[p].count_star) {
+        sa.aggs[p].feed_row();
+      } else {
+        sa.aggs[p].feed(stored[v.n_groups + v.partials[p].spec]);
+      }
+    }
+  }
+
+  std::size_t ensure_group(View& v, const Row& keyed) {
+    const auto it = v.group_index.find(&keyed);
+    if (it != v.group_index.end()) return it->second;
+    View::Group g;
+    g.key.assign(keyed.begin(),
+                 keyed.begin() + static_cast<std::ptrdiff_t>(v.n_groups));
+    g.shards.resize(v.shard_count);
+    for (auto& sa : g.shards) sa.aggs = make_aggs(v);
+    v.groups.push_back(std::move(g));
+    const std::size_t index = v.groups.size() - 1;
+    v.group_index.emplace(&v.groups.back().key, index);
+    return index;
+  }
+
+  void add_member(View& v, std::size_t shard, RowId rid, const Row& stored) {
+    const std::size_t gi = ensure_group(v, stored);
+    auto& sa = v.groups[gi].shards[shard];
+    if (!sa.dirty && rid > sa.max_row) {
+      // Tail append: feeding the live aggregators now is exactly what a
+      // full rescan in RowId order would do — the hot path stays O(1).
+      feed_stored(v, sa, stored);
+      sa.max_row = rid;
+    } else {
+      sa.dirty = true;
+    }
+    sa.members.insert(rid);
+    v.touched.insert(gi);
+  }
+
+  void remove_member(View& v, std::size_t shard, RowId rid,
+                     const Row& stored) {
+    const auto it = v.group_index.find(&stored);
+    if (it == v.group_index.end()) return;
+    auto& sa = v.groups[it->second].shards[shard];
+    sa.members.erase(rid);
+    sa.dirty = true;
+    v.touched.insert(it->second);
+  }
+
+  void rescan(View& v, View::Group& g, std::size_t shard) {
+    auto& sa = g.shards[shard];
+    sa.aggs = make_aggs(v);
+    sa.max_row = -1;
+    for (const RowId rid : sa.members) {
+      feed_stored(v, sa, v.rows[shard].at(rid));
+      sa.max_row = rid;
+    }
+    sa.dirty = false;
+    ++rescan_count;
+    m_rescans.inc();
+  }
+
+  /// Current result row of a group: canonical key (from the stored row
+  /// the executor would see first) followed by the aggregate results —
+  /// direct Aggregator results on one shard, MergeAgg over per-shard
+  /// partials in shard order otherwise.
+  [[nodiscard]] Row group_result(const View& v, const View::Group& g) const {
+    Row out;
+    out.reserve(v.width);
+    if (v.n_groups > 0) {
+      for (std::size_t s = 0; s < v.shard_count; ++s) {
+        if (g.shards[s].members.empty()) continue;
+        const Row& first = v.rows[s].at(*g.shards[s].members.begin());
+        out.assign(first.begin(),
+                   first.begin() + static_cast<std::ptrdiff_t>(v.n_groups));
+        break;
+      }
+    }
+    if (v.shard_count == 1) {
+      for (std::size_t a = 0; a < v.n_specs; ++a) {
+        out.push_back(g.shards[0].aggs[a].result());
+      }
+      return out;
+    }
+    for (std::size_t a = 0; a < v.n_specs; ++a) {
+      detail::MergeAgg merge;
+      merge.fn = v.select.aggs()[a].fn;
+      const auto [p0, p1] = v.spec_partials[a];
+      for (std::size_t s = 0; s < v.shard_count; ++s) {
+        const auto& sa = g.shards[s];
+        if (sa.members.empty()) continue;
+        switch (merge.fn) {
+          case AggFn::kCount:
+            merge.feed_count(sa.aggs[p0].result());
+            break;
+          case AggFn::kSum:
+            merge.feed_sum(sa.aggs[p0].result());
+            break;
+          case AggFn::kAvg:
+            merge.feed_sum(sa.aggs[p0].result());
+            merge.avg_count += sa.aggs[p1].result().as_int();
+            break;
+          case AggFn::kMin:
+            merge.feed_minmax(sa.aggs[p0].result(), /*want_min=*/true);
+            break;
+          case AggFn::kMax:
+            merge.feed_minmax(sa.aggs[p0].result(), /*want_min=*/false);
+            break;
+        }
+      }
+      out.push_back(merge.result());
+    }
+    return out;
+  }
+
+  [[nodiscard]] static bool has_members(const View::Group& g) {
+    for (const auto& sa : g.shards) {
+      if (!sa.members.empty()) return true;
+    }
+    return false;
+  }
+
+  // -- change application ----------------------------------------------------
+
+  bool apply_agg(View& v, std::size_t shard, const db::RowChange& c) {
+    std::optional<Row> stored;
+    if (c.kind != db::RowChange::Kind::kDelete && passes(v, c.after)) {
+      stored = build_stored(v, c.after);
+    }
+    auto& shard_rows = v.rows[shard];
+    const auto it = shard_rows.find(c.row_id);
+    if (!stored) {
+      if (it == shard_rows.end()) return false;
+      remove_member(v, shard, c.row_id, it->second);
+      shard_rows.erase(it);
+      return true;
+    }
+    if (it != shard_rows.end()) {
+      if (db::group_rows_equal(it->second, *stored, v.width)) {
+        return false;  // Idempotent replay / no-op update.
+      }
+      if (db::group_rows_equal(it->second, *stored, v.n_groups)) {
+        // Same group, inputs changed: no incremental shortcut exists
+        // (float addition is order-sensitive) — rescan the group-shard.
+        const auto gi = v.group_index.find(&it->second);
+        it->second = std::move(*stored);
+        if (gi != v.group_index.end()) {
+          v.groups[gi->second].shards[shard].dirty = true;
+          v.touched.insert(gi->second);
+        }
+        return true;
+      }
+      remove_member(v, shard, c.row_id, it->second);
+      it->second = std::move(*stored);
+      add_member(v, shard, c.row_id, it->second);
+      return true;
+    }
+    const auto pos = shard_rows.emplace(c.row_id, std::move(*stored)).first;
+    add_member(v, shard, c.row_id, pos->second);
+    return true;
+  }
+
+  bool apply_plain(View& v, std::size_t shard, const db::RowChange& c) {
+    const std::string key =
+        "s" + std::to_string(shard) + ":" + std::to_string(c.row_id);
+    std::optional<Row> proj;
+    if (c.kind != db::RowChange::Kind::kDelete && passes(v, c.after)) {
+      proj = project(v, c.after);
+    }
+    auto& shard_rows = v.rows[shard];
+    const auto it = shard_rows.find(c.row_id);
+    if (!proj) {
+      if (it == shard_rows.end()) return false;
+      shard_rows.erase(it);
+      ViewChange change;
+      change.op = ViewChange::Op::kDelete;
+      change.key = key;
+      v.pending_plain[key] = std::move(change);
+      return true;
+    }
+    if (it != shard_rows.end() &&
+        db::group_rows_equal(it->second, *proj, v.width)) {
+      return false;
+    }
+    ViewChange change;
+    change.op = ViewChange::Op::kUpsert;
+    change.key = key;
+    change.row = *proj;
+    shard_rows[c.row_id] = std::move(*proj);
+    v.pending_plain[key] = std::move(change);
+    return true;
+  }
+
+  /// Resolves dirty state for touched groups and collects the deltas.
+  /// With emit == false (registration fill) the result state is set
+  /// without producing changes.
+  ViewUpdate collect_changes(View& v, bool emit) {
+    ViewUpdate update;
+    if (!v.aggregated) {
+      for (auto& [key, change] : v.pending_plain) {
+        (void)key;
+        if (emit) update.changes.push_back(std::move(change));
+      }
+      v.pending_plain.clear();
+      return update;
+    }
+    for (const std::size_t gi : v.touched) {
+      auto& g = v.groups[gi];
+      for (std::size_t s = 0; s < v.shard_count; ++s) {
+        if (g.shards[s].dirty) rescan(v, g, s);
+      }
+      const bool now_present = v.n_groups == 0 || has_members(g);
+      if (!now_present) {
+        if (g.present) {
+          if (emit) {
+            ViewChange change;
+            change.op = ViewChange::Op::kDelete;
+            change.key = g.key_str;
+            update.changes.push_back(std::move(change));
+          }
+          g.present = false;
+          g.last_emitted.clear();
+        }
+        continue;
+      }
+      Row result = group_result(v, g);
+      if (g.present &&
+          db::group_rows_equal(result, g.last_emitted, result.size())) {
+        continue;  // Aggregates landed on the same value — nothing moved.
+      }
+      g.key_str = key_string(result, v.n_groups);
+      if (emit) {
+        ViewChange change;
+        change.op = ViewChange::Op::kUpsert;
+        change.key = g.key_str;
+        change.row = result;
+        update.changes.push_back(std::move(change));
+      }
+      g.last_emitted = std::move(result);
+      g.present = true;
+    }
+    v.touched.clear();
+    return update;
+  }
+
+  // -- reads (mu held) -------------------------------------------------------
+
+  /// Present groups ordered as the scatter-gather merge would order
+  /// them: by (first shard holding the group, smallest current RowId in
+  /// that shard) — first-occurrence order across a shard-ordered scan.
+  [[nodiscard]] std::vector<std::size_t> ordered_groups(const View& v) const {
+    struct Entry {
+      std::size_t shard;
+      RowId rid;
+      std::size_t group;
+    };
+    std::vector<Entry> entries;
+    for (std::size_t gi = 0; gi < v.groups.size(); ++gi) {
+      const auto& g = v.groups[gi];
+      if (!g.present) continue;
+      Entry e{0, -1, gi};
+      for (std::size_t s = 0; s < v.shard_count; ++s) {
+        if (g.shards[s].members.empty()) continue;
+        e.shard = s;
+        e.rid = *g.shards[s].members.begin();
+        break;
+      }
+      entries.push_back(e);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.shard != b.shard ? a.shard < b.shard : a.rid < b.rid;
+              });
+    std::vector<std::size_t> out;
+    out.reserve(entries.size());
+    for (const auto& e : entries) out.push_back(e.group);
+    return out;
+  }
+
+  [[nodiscard]] db::ResultSet snapshot_locked(const View& v) const {
+    db::ResultSet rs;
+    rs.columns = v.result_columns;
+    if (v.aggregated) {
+      for (const std::size_t gi : ordered_groups(v)) {
+        rs.rows.push_back(v.groups[gi].last_emitted);
+      }
+    } else {
+      for (const auto& shard_rows : v.rows) {
+        for (const auto& [rid, row] : shard_rows) {
+          (void)rid;
+          rs.rows.push_back(row);
+        }
+      }
+    }
+    return rs;
+  }
+
+  [[nodiscard]] ViewUpdate resync_update(const View& v) const {
+    ViewUpdate update;
+    update.view = v.id;
+    update.name = v.options.name;
+    update.seq = v.seq;
+    update.snapshot = true;
+    if (v.aggregated) {
+      for (const std::size_t gi : ordered_groups(v)) {
+        const auto& g = v.groups[gi];
+        ViewChange change;
+        change.op = ViewChange::Op::kUpsert;
+        change.key = g.key_str;
+        change.row = g.last_emitted;
+        update.changes.push_back(std::move(change));
+      }
+    } else {
+      for (std::size_t s = 0; s < v.shard_count; ++s) {
+        for (const auto& [rid, row] : v.rows[s]) {
+          ViewChange change;
+          change.op = ViewChange::Op::kUpsert;
+          change.key = "s" + std::to_string(s) + ":" + std::to_string(rid);
+          change.row = row;
+          update.changes.push_back(std::move(change));
+        }
+      }
+    }
+    return update;
+  }
+
+  [[nodiscard]] std::vector<ViewUpdate> updates_since_locked(
+      const View& v, std::uint64_t after) const {
+    if (after >= v.seq) return {};
+    const std::uint64_t first_logged = v.seq - v.log.size() + 1;
+    if (v.log.empty() || after + 1 < first_logged) {
+      // The requested position has aged out of the log — resync.
+      return {resync_update(v)};
+    }
+    std::vector<ViewUpdate> out;
+    for (const auto& update : v.log) {
+      if (update.seq > after) out.push_back(update);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t result_rows_locked(const View& v) const {
+    if (!v.aggregated) {
+      std::size_t n = 0;
+      for (const auto& shard_rows : v.rows) n += shard_rows.size();
+      return n;
+    }
+    std::size_t n = 0;
+    for (const auto& g : v.groups) n += g.present ? 1 : 0;
+    return n;
+  }
+
+  // -- alerts / self-check (mu held) -----------------------------------------
+
+  void run_alerts(View& v, const ViewUpdate& update) {
+    for (auto& t : v.thresholds) {
+      const auto col = std::find(v.result_columns.begin(),
+                                 v.result_columns.end(), t.column);
+      if (col == v.result_columns.end()) continue;
+      const auto ci =
+          static_cast<std::size_t>(col - v.result_columns.begin());
+      for (const auto& change : update.changes) {
+        if (change.op == ViewChange::Op::kDelete) {
+          t.firing.erase(change.key);
+          continue;
+        }
+        const Value& value = change.row[ci];
+        const bool now = db::compare_values(value, t.op, t.bound);
+        bool& was = t.firing[change.key];
+        if (now && !was) {
+          ViewAlert alert;
+          alert.view = v.id;
+          alert.name = v.options.name;
+          alert.detail = "view '" + v.options.name + "' row [" + change.key +
+                         "]: " + t.column + "=" + value.to_string() + " " +
+                         op_name(t.op) + " " + t.bound.to_string();
+          m_alerts.inc();
+          t.handler(alert);
+        }
+        was = now;
+      }
+    }
+    for (auto& a : v.anomalies) {
+      const auto kc = std::find(v.result_columns.begin(),
+                                v.result_columns.end(), a.key_column);
+      const auto vc = std::find(v.result_columns.begin(),
+                                v.result_columns.end(), a.value_column);
+      if (kc == v.result_columns.end() || vc == v.result_columns.end()) {
+        continue;
+      }
+      const auto ki = static_cast<std::size_t>(kc - v.result_columns.begin());
+      const auto vi = static_cast<std::size_t>(vc - v.result_columns.begin());
+      for (const auto& change : update.changes) {
+        if (change.op == ViewChange::Op::kDelete) continue;
+        const Value& value = change.row[vi];
+        if (value.is_null() || value.is_text()) continue;
+        const auto flagged = a.detector.observe(change.row[ki].to_string(),
+                                                value.as_number());
+        if (!flagged) continue;
+        ViewAlert alert;
+        alert.view = v.id;
+        alert.name = v.options.name;
+        alert.detail = "view '" + v.options.name + "' anomaly: " +
+                       flagged->transformation + " " + a.value_column + "=" +
+                       std::to_string(flagged->value) +
+                       " z=" + std::to_string(flagged->z_score) +
+                       " (mean " + std::to_string(flagged->mean) + ")";
+        m_alerts.inc();
+        a.handler(alert);
+      }
+    }
+  }
+
+  void run_self_check(const View& v) {
+    ++check_runs;
+    const auto expect = executor.execute(v.select);
+    const auto got = snapshot_locked(v);
+    std::string error;
+    if (expect->columns != got.columns) {
+      error = "column mismatch";
+    } else if (expect->rows.size() != got.rows.size()) {
+      error = "row count " + std::to_string(got.rows.size()) + " != " +
+              std::to_string(expect->rows.size());
+    } else {
+      for (std::size_t r = 0; r < got.rows.size() && error.empty(); ++r) {
+        for (std::size_t c = 0; c < got.columns.size(); ++c) {
+          if (!cells_identical(got.rows[r][c], expect->rows[r][c])) {
+            error = "cell (" + std::to_string(r) + "," + got.columns[c] +
+                    "): view=" + got.rows[r][c].to_string() +
+                    " rescan=" + expect->rows[r][c].to_string();
+            break;
+          }
+        }
+      }
+    }
+    if (!error.empty()) {
+      ++check_failures;
+      check_error = "view '" + v.options.name + "': " + error;
+    }
+  }
+
+  // -- delivery --------------------------------------------------------------
+
+  void on_batch(const db::CommittedBatch& batch) {
+    {
+      std::unique_lock lock{mu};
+      for (auto& [id, vp] : views) {
+        (void)id;
+        View& v = *vp;
+        bool any = false;
+        for (const auto& change : batch.changes) {
+          if (change.table != v.select.table()) continue;
+          any = (v.aggregated ? apply_agg(v, batch.shard, change)
+                              : apply_plain(v, batch.shard, change)) ||
+                any;
+        }
+        if (!any) continue;
+        ViewUpdate update = collect_changes(v, /*emit=*/true);
+        if (update.changes.empty()) {
+          if (self_check) run_self_check(v);
+          continue;
+        }
+        update.view = v.id;
+        update.name = v.options.name;
+        update.seq = ++v.seq;
+        v.log.push_back(update);
+        while (v.log.size() > std::max<std::size_t>(
+                                  1, v.options.update_log_capacity)) {
+          v.log.pop_front();
+        }
+        m_updates.inc();
+        m_rows.inc(update.changes.size());
+        m_latency.observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          batch.commit_time)
+                .count());
+        if (bus != nullptr) {
+          bus::Message message;
+          message.routing_key = "stampede.view." + std::to_string(v.id);
+          message.headers["view-name"] = v.options.name;
+          message.body = encode_view_update(update);
+          bus->publish(exchange, std::move(message));
+          m_published.inc();
+        }
+        if (update_handler) update_handler(update);
+        run_alerts(v, update);
+        if (self_check) run_self_check(v);
+      }
+    }
+    seq_cv.notify_all();
+    {
+      // Taken-and-dropped so a waiter between its check and its wait
+      // cannot miss this notification.
+      const std::lock_guard<std::mutex> wl{wmu};
+    }
+    wcv.notify_all();
+  }
+
+  // -- waiter thread ---------------------------------------------------------
+
+  void waiter_loop() {
+    std::unique_lock wl{wmu};
+    while (!stopping) {
+      if (waiters.empty()) {
+        wcv.wait(wl);
+        continue;
+      }
+      auto nearest = waiters.front().deadline;
+      for (const auto& w : waiters) nearest = std::min(nearest, w.deadline);
+      wcv.wait_until(wl, nearest);
+      if (stopping) break;
+
+      std::vector<std::pair<std::function<void(std::vector<ViewUpdate>)>,
+                            std::vector<ViewUpdate>>>
+          fire;
+      const auto now = std::chrono::steady_clock::now();
+      for (auto it = waiters.begin(); it != waiters.end();) {
+        std::vector<ViewUpdate> updates;
+        bool view_gone = false;
+        {
+          const std::lock_guard<std::mutex> lock{mu};
+          const auto vi = views.find(it->view);
+          if (vi == views.end()) {
+            view_gone = true;
+          } else {
+            updates = updates_since_locked(*vi->second, it->after);
+          }
+        }
+        if (!updates.empty() || view_gone || now >= it->deadline) {
+          fire.emplace_back(std::move(it->cb), std::move(updates));
+          it = waiters.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      wl.unlock();
+      for (auto& [cb, updates] : fire) cb(std::move(updates));
+      wl.lock();
+    }
+    // Shutdown: honor the fire-exactly-once contract with empty results.
+    auto orphans = std::move(waiters);
+    waiters.clear();
+    wl.unlock();
+    for (auto& w : orphans) w.cb({});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Engine surface
+
+ContinuousQueryEngine::ContinuousQueryEngine(db::ShardedDatabase& archive)
+    : impl_(std::make_unique<Impl>(archive)) {
+  impl_->waiter_thread = std::thread{[this] { impl_->waiter_loop(); }};
+  archive.set_change_sink(
+      [this](const db::CommittedBatch& batch) { on_batch(batch); });
+}
+
+ContinuousQueryEngine::~ContinuousQueryEngine() {
+  // Detach first: set_change_sink drains in-flight deliveries, so no
+  // on_batch can be running (or start) once it returns.
+  impl_->archive.set_change_sink(nullptr);
+  {
+    const std::lock_guard<std::mutex> wl{impl_->wmu};
+    impl_->stopping = true;
+  }
+  impl_->wcv.notify_all();
+  impl_->waiter_thread.join();
+}
+
+void ContinuousQueryEngine::on_batch(const db::CommittedBatch& batch) {
+  impl_->on_batch(batch);
+}
+
+std::uint64_t ContinuousQueryEngine::register_view(db::Select select,
+                                                   ViewOptions options) {
+  if (!select.joins().empty()) {
+    throw common::DbError("continuous view: joins are not supported");
+  }
+  if (select.is_distinct()) {
+    throw common::DbError("continuous view: DISTINCT is not supported");
+  }
+  if (!select.orders().empty()) {
+    throw common::DbError("continuous view: ORDER BY is not supported");
+  }
+  if (select.row_limit()) {
+    throw common::DbError("continuous view: LIMIT is not supported");
+  }
+
+  auto& impl = *impl_;
+  const db::TableDef& def = impl.archive.table_def(select.table());
+  const std::string alias =
+      select.alias().empty() ? select.table() : select.alias();
+
+  auto v = std::make_unique<View>();
+  v->select = select;
+  v->options = std::move(options);
+  v->shard_count = impl.archive.shard_count();
+  v->rows.resize(v->shard_count);
+  for (std::size_t i = 0; i < def.columns.size(); ++i) {
+    v->name_to_col[def.columns[i].name] = i;
+    v->name_to_col[alias + "." + def.columns[i].name] = i;
+  }
+  const auto resolve = [&](const std::string& name) {
+    return impl.resolve(*v, name);
+  };
+
+  // Pre-validate the predicate so delivery never throws on resolution.
+  const std::function<void(const db::Expr&)> check = [&](const db::Expr& e) {
+    if (!e.column.empty()) resolve(e.column);
+    if (e.kind == db::Expr::Kind::kCompareColumns) resolve(e.column_rhs);
+    for (const auto& child : e.children) check(*child);
+  };
+  if (select.predicate()) check(*select.predicate());
+
+  v->aggregated = !select.groups().empty() || !select.aggs().empty();
+  if (v->aggregated) {
+    v->n_groups = select.groups().size();
+    v->n_specs = select.aggs().size();
+    v->width = v->n_groups + v->n_specs;
+    for (const auto& g : select.groups()) {
+      v->group_cols.push_back(resolve(g));
+      v->result_columns.push_back(g);
+    }
+    for (std::size_t a = 0; a < select.aggs().size(); ++a) {
+      const auto& spec = select.aggs()[a];
+      v->agg_cols.push_back(spec.column.empty() ? kNone
+                                                : resolve(spec.column));
+      v->result_columns.push_back(spec.alias);
+      std::pair<std::size_t, std::size_t> slots{v->partials.size(), kNone};
+      if (v->shard_count > 1 && spec.fn == AggFn::kAvg) {
+        // Mirror build_partial: AVG is maintained as SUM+COUNT partials
+        // and merged, never averaged per shard.
+        v->partials.push_back({AggFn::kSum, a, false});
+        slots.second = v->partials.size();
+        v->partials.push_back({AggFn::kCount, a, false});
+      } else {
+        v->partials.push_back({spec.fn, a, spec.column.empty()});
+      }
+      v->spec_partials.push_back(slots);
+    }
+    v->group_index = decltype(v->group_index){
+        0, KeyHash{v->n_groups}, KeyEq{v->n_groups}};
+  } else {
+    if (select.selected().empty()) {
+      for (std::size_t i = 0; i < def.columns.size(); ++i) {
+        v->proj_cols.push_back(i);
+        v->result_columns.push_back(def.columns[i].name);
+      }
+    } else {
+      for (const auto& name : select.selected()) {
+        v->proj_cols.push_back(resolve(name));
+        v->result_columns.push_back(name);
+      }
+    }
+    v->width = v->proj_cols.size();
+  }
+
+  // Registration holds the engine mutex across the backfill scan:
+  // batches staged before the scan park in their shard's delivery
+  // hand-off wanting this mutex, and replay after — the idempotent
+  // content checks in apply_* make that replay a no-op.
+  const std::unique_lock lock{impl.mu};
+  v->id = impl.next_id++;
+  if (v->options.name.empty()) {
+    v->options.name = "view-" + std::to_string(v->id);
+  }
+
+  for (std::size_t s = 0; s < v->shard_count; ++s) {
+    impl.archive.shard(s).for_each_row(
+        select.table(), [&](RowId rid, const Row& row) {
+          if (!impl.passes(*v, row)) return;
+          if (v->aggregated) {
+            Row stored = Impl::build_stored(*v, row);
+            const auto pos = v->rows[s].emplace(rid, std::move(stored)).first;
+            impl.add_member(*v, s, rid, pos->second);
+          } else {
+            v->rows[s].emplace(rid, Impl::project(*v, row));
+          }
+        });
+  }
+  if (v->aggregated) {
+    if (v->n_groups == 0) {
+      // Zero-input aggregates still have one result row (COUNT(*)==0).
+      v->touched.insert(impl.ensure_group(*v, Row{}));
+    }
+    (void)impl.collect_changes(*v, /*emit=*/false);
+  }
+
+  const std::uint64_t id = v->id;
+  impl.views.emplace(id, std::move(v));
+  impl.m_registered.add(1);
+  return id;
+}
+
+void ContinuousQueryEngine::unregister(std::uint64_t view_id) {
+  {
+    const std::lock_guard<std::mutex> lock{impl_->mu};
+    if (impl_->views.erase(view_id) == 0) return;
+    impl_->m_registered.add(-1);
+  }
+  impl_->seq_cv.notify_all();
+  {
+    const std::lock_guard<std::mutex> wl{impl_->wmu};
+  }
+  impl_->wcv.notify_all();
+}
+
+std::vector<ViewInfo> ContinuousQueryEngine::list() const {
+  const std::lock_guard<std::mutex> lock{impl_->mu};
+  std::vector<ViewInfo> out;
+  out.reserve(impl_->views.size());
+  for (const auto& [id, v] : impl_->views) {
+    ViewInfo info;
+    info.id = id;
+    info.name = v->options.name;
+    info.table = v->select.table();
+    info.seq = v->seq;
+    info.rows = impl_->result_rows_locked(*v);
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::optional<ViewInfo> ContinuousQueryEngine::info(
+    std::uint64_t view_id) const {
+  const std::lock_guard<std::mutex> lock{impl_->mu};
+  const auto it = impl_->views.find(view_id);
+  if (it == impl_->views.end()) return std::nullopt;
+  ViewInfo info;
+  info.id = view_id;
+  info.name = it->second->options.name;
+  info.table = it->second->select.table();
+  info.seq = it->second->seq;
+  info.rows = impl_->result_rows_locked(*it->second);
+  return info;
+}
+
+db::ResultSet ContinuousQueryEngine::snapshot(std::uint64_t view_id,
+                                              std::uint64_t* seq_out) const {
+  const std::lock_guard<std::mutex> lock{impl_->mu};
+  const auto it = impl_->views.find(view_id);
+  if (it == impl_->views.end()) {
+    throw common::DbError("continuous view: unknown view id " +
+                          std::to_string(view_id));
+  }
+  if (seq_out != nullptr) *seq_out = it->second->seq;
+  return impl_->snapshot_locked(*it->second);
+}
+
+std::vector<ViewUpdate> ContinuousQueryEngine::updates_since(
+    std::uint64_t view_id, std::uint64_t after_seq) const {
+  const std::lock_guard<std::mutex> lock{impl_->mu};
+  const auto it = impl_->views.find(view_id);
+  if (it == impl_->views.end()) return {};
+  return impl_->updates_since_locked(*it->second, after_seq);
+}
+
+std::vector<ViewUpdate> ContinuousQueryEngine::wait_for(std::uint64_t view_id,
+                                                        std::uint64_t after_seq,
+                                                        int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds{std::max(0, timeout_ms)};
+  std::unique_lock lock{impl_->mu};
+  for (;;) {
+    const auto it = impl_->views.find(view_id);
+    if (it == impl_->views.end()) return {};
+    if (it->second->seq > after_seq) {
+      return impl_->updates_since_locked(*it->second, after_seq);
+    }
+    if (impl_->seq_cv.wait_until(lock, deadline) ==
+        std::cv_status::timeout) {
+      const auto again = impl_->views.find(view_id);
+      if (again != impl_->views.end() && again->second->seq > after_seq) {
+        return impl_->updates_since_locked(*again->second, after_seq);
+      }
+      return {};
+    }
+  }
+}
+
+void ContinuousQueryEngine::async_wait(
+    std::uint64_t view_id, std::uint64_t after_seq, int timeout_ms,
+    std::function<void(std::vector<ViewUpdate>)> cb) {
+  std::vector<ViewUpdate> ready;
+  bool immediate = false;
+  {
+    const std::lock_guard<std::mutex> lock{impl_->mu};
+    const auto it = impl_->views.find(view_id);
+    if (it == impl_->views.end()) {
+      immediate = true;
+    } else {
+      ready = impl_->updates_since_locked(*it->second, after_seq);
+      immediate = !ready.empty();
+    }
+  }
+  if (immediate) {
+    cb(std::move(ready));
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> wl{impl_->wmu};
+    if (!impl_->stopping) {
+      Impl::Waiter w;
+      w.view = view_id;
+      w.after = after_seq;
+      w.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds{std::max(0, timeout_ms)};
+      w.cb = std::move(cb);
+      impl_->waiters.push_back(std::move(w));
+      cb = nullptr;
+    }
+  }
+  if (cb) {
+    cb({});  // Engine is shutting down; honor fire-exactly-once.
+    return;
+  }
+  impl_->wcv.notify_all();
+}
+
+void ContinuousQueryEngine::publish_to(bus::IBus& bus, std::string exchange) {
+  bus.declare_exchange(exchange, bus::ExchangeType::kTopic);
+  const std::lock_guard<std::mutex> lock{impl_->mu};
+  impl_->bus = &bus;
+  impl_->exchange = std::move(exchange);
+}
+
+void ContinuousQueryEngine::on_update(UpdateHandler handler) {
+  const std::lock_guard<std::mutex> lock{impl_->mu};
+  impl_->update_handler = std::move(handler);
+}
+
+void ContinuousQueryEngine::add_threshold(std::uint64_t view_id,
+                                          const std::string& column,
+                                          db::CompareOp op, db::Value bound,
+                                          AlertHandler handler) {
+  const std::lock_guard<std::mutex> lock{impl_->mu};
+  const auto it = impl_->views.find(view_id);
+  if (it == impl_->views.end()) {
+    throw common::DbError("continuous view: unknown view id " +
+                          std::to_string(view_id));
+  }
+  View::Threshold t{column, op, std::move(bound), std::move(handler), {}};
+  it->second->thresholds.push_back(std::move(t));
+}
+
+void ContinuousQueryEngine::add_anomaly(std::uint64_t view_id,
+                                        const std::string& key_column,
+                                        const std::string& value_column,
+                                        AlertHandler handler, double threshold,
+                                        std::int64_t min_samples) {
+  const std::lock_guard<std::mutex> lock{impl_->mu};
+  const auto it = impl_->views.find(view_id);
+  if (it == impl_->views.end()) {
+    throw common::DbError("continuous view: unknown view id " +
+                          std::to_string(view_id));
+  }
+  View::Anomaly a{key_column, value_column, std::move(handler),
+                  RuntimeAnomalyDetector{threshold, min_samples}};
+  it->second->anomalies.push_back(std::move(a));
+}
+
+void ContinuousQueryEngine::enable_self_check() {
+  const std::lock_guard<std::mutex> lock{impl_->mu};
+  impl_->self_check = true;
+}
+
+std::uint64_t ContinuousQueryEngine::self_check_runs() const {
+  const std::lock_guard<std::mutex> lock{impl_->mu};
+  return impl_->check_runs;
+}
+
+std::uint64_t ContinuousQueryEngine::self_check_failures() const {
+  const std::lock_guard<std::mutex> lock{impl_->mu};
+  return impl_->check_failures;
+}
+
+std::string ContinuousQueryEngine::last_self_check_error() const {
+  const std::lock_guard<std::mutex> lock{impl_->mu};
+  return impl_->check_error;
+}
+
+std::uint64_t ContinuousQueryEngine::rescans() const {
+  const std::lock_guard<std::mutex> lock{impl_->mu};
+  return impl_->rescan_count;
+}
+
+}  // namespace stampede::query

@@ -1,0 +1,229 @@
+#pragma once
+// Continuous queries (DESIGN.md §13): register a Select once, stream
+// only the result rows that change as commits land — R-GMA's
+// continuous-query consumers grafted onto the Stampede archive.
+//
+// The engine installs itself as the archive's ChangeSink (db/change.hpp)
+// and maintains, per registered view, incrementally-updated aggregate
+// state. The invariant is strict: after every delivered commit, the
+// maintained result is byte-identical to re-executing the Select from
+// scratch (same Value semantics as db::group_rows_hash — int != real,
+// NaN == NaN, +0.0/-0.0 distinct; same row order; bit-identical
+// doubles). That works because:
+//   * per (group, shard) state folds values through db::Aggregator —
+//     the exact code the engine's GROUP BY path runs — in ascending
+//     RowId order, the exact order a table scan feeds it;
+//   * multi-shard results merge per-shard partials through
+//     query::detail::MergeAgg in shard order, mirroring the
+//     scatter-gather executor (AVG kept as SUM+COUNT partials);
+//   * any retraction (delete, update, predicate flip, group move)
+//     marks the (group, shard) dirty and the next emission rescans just
+//     that group's stored rows in RowId order — float addition is not
+//     associative, so there is no "subtract the retracted value"
+//     shortcut (stampede_view_rescans_total counts these);
+//   * pure tail appends (new RowId above every member) feed the live
+//     aggregator directly — the loader's append-mostly hot path.
+//
+// Supported Selects: plain filtered projections, and GROUP BY with
+// COUNT/SUM/AVG/MIN/MAX. Joins, DISTINCT, ORDER BY and LIMIT are
+// rejected at registration (deltas and global reordering do not
+// compose).
+//
+// Update protocol: every emission gets the view's next seq and lists
+// only changed result rows as upserts/deletes keyed by a stable row
+// identity (serialized group key, or shard:rowid for plain views).
+// Subscribers resync via snapshot()+seq then apply deltas with a higher
+// seq; updates_since() replays from the bounded per-view log, or
+// returns one snapshot-update when the requested seq has been trimmed
+// (the reconnect path). publish_to() mirrors every update onto a bus
+// topic exchange as `stampede.view.{id}` messages.
+//
+// Threading: one engine mutex guards all view state; per-shard batch
+// delivery is serialized in commit order by the shard's ticket hand-off
+// (sinks run with no shard lock held, so the engine may re-read the
+// archive freely — registration scans and self-check re-executions do).
+// Alert/update callbacks run under the engine mutex: they must not call
+// back into the engine.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "db/change.hpp"
+#include "db/expr.hpp"
+#include "db/query.hpp"
+
+namespace stampede::bus {
+class IBus;
+}
+namespace stampede::db {
+class ShardedDatabase;
+class StorageShard;
+}
+
+namespace stampede::query {
+
+class QueryExecutor;
+
+/// One result-row change inside a view update.
+struct ViewChange {
+  enum class Op { kUpsert, kDelete };
+  Op op = Op::kUpsert;
+  std::string key;  ///< Stable row identity within the view.
+  db::Row row;      ///< Full result row for upserts; empty for deletes.
+};
+
+/// One emitted update: everything one committed batch changed in one
+/// view. `snapshot` marks a full-state resync (every current row as an
+/// upsert; discard prior state before applying).
+struct ViewUpdate {
+  std::uint64_t view = 0;
+  std::string name;
+  std::uint64_t seq = 0;
+  bool snapshot = false;
+  std::vector<ViewChange> changes;
+};
+
+struct ViewOptions {
+  /// Display name (also carried in published updates); defaults to
+  /// "view-{id}".
+  std::string name;
+  /// Updates kept for updates_since() replay; older seqs resync.
+  std::size_t update_log_capacity = 1024;
+};
+
+struct ViewInfo {
+  std::uint64_t id = 0;
+  std::string name;
+  std::string table;
+  std::uint64_t seq = 0;
+  std::size_t rows = 0;
+};
+
+struct ViewAlert {
+  std::uint64_t view = 0;
+  std::string name;
+  std::string detail;
+};
+
+/// Wire codec for bus-published updates (exact: doubles travel as bit
+/// patterns, so a remote subscriber reconstructs byte-identical rows).
+[[nodiscard]] std::string encode_view_update(const ViewUpdate& update);
+[[nodiscard]] std::optional<ViewUpdate> decode_view_update(
+    std::string_view body);
+
+class ContinuousQueryEngine {
+ public:
+  using AlertHandler = std::function<void(const ViewAlert&)>;
+  using UpdateHandler = std::function<void(const ViewUpdate&)>;
+
+  /// Attaches to every shard of `archive` as its change sink. The
+  /// engine must outlive nothing: the destructor detaches and drains
+  /// in-flight deliveries before returning.
+  explicit ContinuousQueryEngine(db::ShardedDatabase& archive);
+  ~ContinuousQueryEngine();
+
+  ContinuousQueryEngine(const ContinuousQueryEngine&) = delete;
+  ContinuousQueryEngine& operator=(const ContinuousQueryEngine&) = delete;
+
+  // -- registration -----------------------------------------------------------
+
+  /// Registers `select` as a continuous view: scans current archive
+  /// state under the shard read locks, then maintains it incrementally.
+  /// Returns the view id. Throws common::DbError for unsupported
+  /// shapes (joins / DISTINCT / ORDER BY / LIMIT) or unknown columns.
+  std::uint64_t register_view(db::Select select, ViewOptions options = {});
+
+  /// Drops a view; its seqs and update log go with it.
+  void unregister(std::uint64_t view_id);
+
+  // -- reads ------------------------------------------------------------------
+
+  [[nodiscard]] std::vector<ViewInfo> list() const;
+  [[nodiscard]] std::optional<ViewInfo> info(std::uint64_t view_id) const;
+
+  /// Current result, byte-identical to executing the Select now (with
+  /// respect to delivered commits). `seq_out` receives the seq the
+  /// snapshot reflects — resume deltas strictly after it.
+  [[nodiscard]] db::ResultSet snapshot(std::uint64_t view_id,
+                                       std::uint64_t* seq_out = nullptr) const;
+
+  /// Updates with seq > after_seq, in order. When after_seq has aged
+  /// out of the log, returns one snapshot-update at the current seq
+  /// instead (the resync path). Empty when already current (or the view
+  /// is gone).
+  [[nodiscard]] std::vector<ViewUpdate> updates_since(
+      std::uint64_t view_id, std::uint64_t after_seq) const;
+
+  /// Blocks until the view advances past after_seq (then returns those
+  /// updates) or timeout_ms elapses (empty).
+  std::vector<ViewUpdate> wait_for(std::uint64_t view_id,
+                                   std::uint64_t after_seq, int timeout_ms);
+
+  /// Long-poll flavor: `cb` fires exactly once — immediately when
+  /// updates are already available, from the engine's waiter thread on
+  /// advance or timeout (empty vector) otherwise. The callback must not
+  /// call back into the engine.
+  void async_wait(std::uint64_t view_id, std::uint64_t after_seq,
+                  int timeout_ms,
+                  std::function<void(std::vector<ViewUpdate>)> cb);
+
+  // -- delivery ---------------------------------------------------------------
+
+  /// Publishes every subsequent update onto `bus` through a topic
+  /// exchange (declared here) with routing key "stampede.view.{id}".
+  /// `bus` must outlive the engine or its detach.
+  void publish_to(bus::IBus& bus, std::string exchange = "stampede.views");
+
+  /// In-process update hook (fires under the engine mutex).
+  void on_update(UpdateHandler handler);
+
+  // -- alerts -----------------------------------------------------------------
+
+  /// Edge-triggered threshold on an output column: `handler` fires when
+  /// a result row's `column` starts satisfying (value <op> bound), and
+  /// re-arms when it stops. Wired to deltas — no polling.
+  void add_threshold(std::uint64_t view_id, const std::string& column,
+                     db::CompareOp op, db::Value bound, AlertHandler handler);
+
+  /// Streaming z-score anomaly detection on view deltas: each upsert
+  /// feeds (key_column → value_column) into a RuntimeAnomalyDetector;
+  /// flagged observations fire `handler`.
+  void add_anomaly(std::uint64_t view_id, const std::string& key_column,
+                   const std::string& value_column, AlertHandler handler,
+                   double threshold = 3.0, std::int64_t min_samples = 5);
+
+  // -- self-check -------------------------------------------------------------
+
+  /// After every delivered batch, re-execute each view's Select and
+  /// compare byte-for-byte with the maintained result. Test harness for
+  /// the byte-identity invariant; only meaningful when commits are
+  /// serialized (concurrent shards can commit between a delivery and
+  /// its re-execution, which is a false mismatch, not a bug).
+  void enable_self_check();
+  [[nodiscard]] std::uint64_t self_check_runs() const;
+  [[nodiscard]] std::uint64_t self_check_failures() const;
+  [[nodiscard]] std::string last_self_check_error() const;
+
+  /// Group rescans taken on the retraction path (engine lifetime).
+  [[nodiscard]] std::uint64_t rescans() const;
+
+ private:
+  struct View;
+  struct Impl;
+
+  void on_batch(const db::CommittedBatch& batch);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace stampede::query

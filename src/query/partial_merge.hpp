@@ -1,0 +1,64 @@
+#pragma once
+// Cross-shard aggregate merging, shared by the scatter-gather executor
+// (query_executor.cpp) and the continuous-view engine
+// (continuous_views.cpp).
+//
+// MergeAgg reproduces db::Aggregator's result semantics from per-shard
+// partials: COUNT sums partial counts, SUM adds non-null partial sums,
+// AVG divides summed SUM partials by summed COUNT partials, MIN/MAX
+// compare partial extrema. Views are byte-identical to re-execution
+// only because both paths feed partials through this exact code in
+// shard order — do not fork it.
+
+#include <cstdint>
+
+#include "db/query.hpp"
+
+namespace stampede::query::detail {
+
+struct MergeAgg {
+  db::AggFn fn = db::AggFn::kCount;
+  std::int64_t count = 0;  ///< kCount: summed partial counts.
+  double sum = 0.0;        ///< kSum / kAvg: summed non-null partial sums.
+  bool any_sum = false;
+  std::int64_t avg_count = 0;  ///< kAvg: summed non-null-value counts.
+  db::Value minmax;
+  bool has_minmax = false;
+
+  void feed_count(const db::Value& partial) { count += partial.as_int(); }
+
+  void feed_sum(const db::Value& partial) {
+    if (partial.is_null()) return;
+    sum += partial.as_number();
+    any_sum = true;
+  }
+
+  void feed_minmax(const db::Value& partial, bool want_min) {
+    if (partial.is_null()) return;
+    if (!has_minmax) {
+      minmax = partial;
+      has_minmax = true;
+    } else if (want_min ? partial < minmax : minmax < partial) {
+      minmax = partial;
+    }
+  }
+
+  [[nodiscard]] db::Value result() const {
+    switch (fn) {
+      case db::AggFn::kCount:
+        return db::Value{count};
+      case db::AggFn::kSum:
+        return any_sum ? db::Value{sum} : db::Value::null();
+      case db::AggFn::kAvg:
+        return (any_sum && avg_count > 0)
+                   ? db::Value{sum / static_cast<double>(avg_count)}
+                   : db::Value::null();
+      case db::AggFn::kMin:
+      case db::AggFn::kMax:
+        return has_minmax ? minmax : db::Value::null();
+    }
+    return db::Value::null();
+  }
+};
+
+}  // namespace stampede::query::detail

@@ -13,10 +13,10 @@ RuntimePredictor::RuntimePredictor(const QueryInterface& query) {
           .where(db::and_(db::eq("exitcode", db::Value{0}),
                           db::is_not_null("remote_duration")))
           .columns({"transformation", "remote_duration"}));
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& name = rows.at(i, "transformation");
+  for (std::size_t i = 0; i < rows->size(); ++i) {
+    const auto& name = rows->at(i, "transformation");
     if (!name.is_text()) continue;
-    history_[name.as_text()].add(rows.at(i, "remote_duration").as_number());
+    history_[name.as_text()].add(rows->at(i, "remote_duration").as_number());
   }
 }
 

@@ -12,6 +12,7 @@
 #include <unordered_set>
 
 #include "common/errors.hpp"
+#include "query/partial_merge.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/tracer.hpp"
 
@@ -174,52 +175,9 @@ Select build_partial(const Select& select) {
   return partial;
 }
 
-/// Cross-shard accumulator reproducing Aggregator's result semantics
-/// from per-shard partials.
-struct MergeAgg {
-  AggFn fn = AggFn::kCount;
-  std::int64_t count = 0;  ///< kCount: summed partial counts.
-  double sum = 0.0;        ///< kSum / kAvg: summed non-null partial sums.
-  bool any_sum = false;
-  std::int64_t avg_count = 0;  ///< kAvg: summed non-null-value counts.
-  Value minmax;
-  bool has_minmax = false;
-
-  void feed_count(const Value& partial) { count += partial.as_int(); }
-
-  void feed_sum(const Value& partial) {
-    if (partial.is_null()) return;
-    sum += partial.as_number();
-    any_sum = true;
-  }
-
-  void feed_minmax(const Value& partial, bool want_min) {
-    if (partial.is_null()) return;
-    if (!has_minmax) {
-      minmax = partial;
-      has_minmax = true;
-    } else if (want_min ? partial < minmax : minmax < partial) {
-      minmax = partial;
-    }
-  }
-
-  [[nodiscard]] Value result() const {
-    switch (fn) {
-      case AggFn::kCount:
-        return Value{count};
-      case AggFn::kSum:
-        return any_sum ? Value{sum} : Value::null();
-      case AggFn::kAvg:
-        return (any_sum && avg_count > 0)
-                   ? Value{sum / static_cast<double>(avg_count)}
-                   : Value::null();
-      case AggFn::kMin:
-      case AggFn::kMax:
-        return has_minmax ? minmax : Value::null();
-    }
-    return Value::null();
-  }
-};
+// MergeAgg moved to query/partial_merge.hpp so the continuous-view
+// engine merges per-shard partials through the identical arithmetic.
+using detail::MergeAgg;
 
 ResultSet merge_aggregates(const Select& select,
                            const std::vector<ResultSet>& parts) {
@@ -414,8 +372,7 @@ class QueryCache {
   }
 
   void store(std::string key, std::vector<std::uint64_t> versions,
-             const ResultSet& result) {
-    auto shared = std::make_shared<const ResultSet>(result);
+             std::shared_ptr<const ResultSet> shared) {
     const std::lock_guard<std::mutex> lock{mutex_};
     if (entries_.size() >= kMaxEntries &&
         entries_.find(key) == entries_.end()) {
@@ -511,7 +468,8 @@ ResultSet QueryExecutor::execute_uncached(const Select& select) const {
   return gather(all, select);
 }
 
-ResultSet QueryExecutor::execute(const Select& select) const {
+std::shared_ptr<const ResultSet> QueryExecutor::execute(
+    const Select& select) const {
   const std::string key = fingerprint(select);
   const std::uint64_t fp_hash = std::hash<std::string>{}(key);
   auto span = telemetry::SpanGuard::root("query.execute");
@@ -521,13 +479,16 @@ ResultSet QueryExecutor::execute(const Select& select) const {
 
   std::vector<std::uint64_t> versions = collect_versions(select);
   bool cache_hit = false;
-  ResultSet result;
+  std::shared_ptr<const ResultSet> result;
   db::PlanInfo plan;
-  if (const auto cached = cache_->lookup(key, versions)) {
+  if (auto cached = cache_->lookup(key, versions)) {
+    // O(1) hit: hand back the cached snapshot itself; copying
+    // fleet-wide rows per dashboard poll is exactly what the cache was
+    // meant to avoid.
     cache_hit = true;
-    result = *cached;
+    result = std::move(cached);
   } else {
-    result = execute_uncached(select);
+    result = std::make_shared<const ResultSet>(execute_uncached(select));
     // Planner attribution: last_plan_info() is thread_local, so it only
     // reflects this query when execution stayed on the calling thread
     // (a single Database, or a one-shard fleet). Multi-shard scatters
@@ -548,7 +509,7 @@ ResultSet QueryExecutor::execute(const Select& select) const {
     }
   }
   span.attr("cache", cache_hit ? "hit" : "miss");
-  span.attr("rows", std::to_string(result.rows.size()));
+  span.attr("rows", std::to_string(result->rows.size()));
 
   const double elapsed = telemetry::now() - start;
   const double threshold = slow_query_threshold();
@@ -563,7 +524,7 @@ ResultSet QueryExecutor::execute(const Select& select) const {
                  "plan_pushdowns=%llu\n",
                  hex_u64(fp_hash).c_str(), select.table().c_str(),
                  elapsed * 1e3, threshold * 1e3,
-                 cache_hit ? "hit" : "miss", result.rows.size(),
+                 cache_hit ? "hit" : "miss", result->rows.size(),
                  static_cast<unsigned long long>(plan.base_index),
                  static_cast<unsigned long long>(plan.base_scan),
                  static_cast<unsigned long long>(plan.index_joins),
@@ -574,9 +535,9 @@ ResultSet QueryExecutor::execute(const Select& select) const {
 }
 
 std::optional<Value> QueryExecutor::scalar(const Select& select) const {
-  const ResultSet rs = execute(select);
-  if (rs.rows.empty() || rs.rows.front().empty()) return std::nullopt;
-  return rs.rows.front().front();
+  const auto rs = execute(select);
+  if (rs->rows.empty() || rs->rows.front().empty()) return std::nullopt;
+  return rs->rows.front().front();
 }
 
 ResultSet QueryExecutor::execute_for(std::int64_t wf_id,
@@ -603,7 +564,7 @@ ResultSet QueryExecutor::execute_for_ids(
       shards.push_back(s);
     }
   }
-  if (shards.empty()) return execute(select);
+  if (shards.empty()) return *execute(select);
   std::sort(shards.begin(), shards.end());
   return gather(shards, select);
 }

@@ -62,8 +62,11 @@ class QueryExecutor {
   }
 
   /// Fleet-wide: all shards, merged; memoized in the version-keyed
-  /// cache (see file header).
-  [[nodiscard]] db::ResultSet execute(const db::Select& select) const;
+  /// cache (see file header). Returns a shared handle so a cache hit is
+  /// O(1) — no row is copied; callers must not hold the pointer across
+  /// writes they need to observe (re-execute instead).
+  [[nodiscard]] std::shared_ptr<const db::ResultSet> execute(
+      const db::Select& select) const;
   [[nodiscard]] std::optional<db::Value> scalar(const db::Select& select) const;
 
   /// Workflow-scoped: exactly the shard owning `wf_id`.

@@ -40,8 +40,8 @@ std::optional<WorkflowInfo> QueryInterface::workflow_by_uuid(
   const auto rs = exec_.execute(
       workflow_columns(Select{"workflow"}.where(db::eq("wf_uuid",
                                                        Value{uuid}))));
-  if (rs.empty()) return std::nullopt;
-  return row_to_info(rs, 0);
+  if (rs->empty()) return std::nullopt;
+  return row_to_info(*rs, 0);
 }
 
 std::optional<WorkflowInfo> QueryInterface::workflow_by_id(
@@ -57,8 +57,10 @@ std::vector<WorkflowInfo> QueryInterface::root_workflows() const {
   const auto rs = exec_.execute(workflow_columns(
       Select{"workflow"}.where(db::is_null("parent_wf_id"))));
   std::vector<WorkflowInfo> out;
-  out.reserve(rs.size());
-  for (std::size_t i = 0; i < rs.size(); ++i) out.push_back(row_to_info(rs, i));
+  out.reserve(rs->size());
+  for (std::size_t i = 0; i < rs->size(); ++i) {
+    out.push_back(row_to_info(*rs, i));
+  }
   return out;
 }
 
@@ -71,8 +73,10 @@ std::vector<WorkflowInfo> QueryInterface::children_of(
           .where(db::eq("parent_wf_id", Value{wf_id}))
           .order_by("wf_id")));
   std::vector<WorkflowInfo> out;
-  out.reserve(rs.size());
-  for (std::size_t i = 0; i < rs.size(); ++i) out.push_back(row_to_info(rs, i));
+  out.reserve(rs->size());
+  for (std::size_t i = 0; i < rs->size(); ++i) {
+    out.push_back(row_to_info(*rs, i));
+  }
   return out;
 }
 

@@ -230,9 +230,12 @@ TEST(QueryCache, RepeatQueryHitsUntilWriteInvalidates) {
 
   const auto second = exec.execute(select);
   EXPECT_EQ(counter_value("stampede_query_cache_hits_total"), hits0 + 1);
-  ASSERT_EQ(second.size(), first.size());
-  for (std::size_t i = 0; i < first.size(); ++i) {
-    EXPECT_EQ(second.rows[i], first.rows[i]);
+  // A hit hands back the cached ResultSet itself — O(1), no row copied
+  // or reallocated (this pointer identity is the pin for that).
+  EXPECT_EQ(second.get(), first.get());
+  ASSERT_EQ(second->size(), first->size());
+  for (std::size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ(second->rows[i], first->rows[i]);
   }
 
   // Any committed write bumps the version and kills the entry.
@@ -241,7 +244,8 @@ TEST(QueryCache, RepeatQueryHitsUntilWriteInvalidates) {
   EXPECT_EQ(counter_value("stampede_query_cache_invalidations_total"),
             inv0 + 1);
   EXPECT_EQ(counter_value("stampede_query_cache_misses_total"), miss0 + 2);
-  EXPECT_EQ(third.at(0, "n").as_int() + third.at(1, "n").as_int(), 11);
+  EXPECT_NE(third.get(), second.get());
+  EXPECT_EQ(third->at(0, "n").as_int() + third->at(1, "n").as_int(), 11);
 }
 
 TEST(QueryCache, CachedShardedResultMatchesUncached) {
@@ -263,9 +267,10 @@ TEST(QueryCache, CachedShardedResultMatchesUncached) {
                           .order_by("state");
   const auto fresh = exec.execute(select);
   const auto cached = exec.execute(select);
-  ASSERT_EQ(cached.size(), fresh.size());
-  for (std::size_t i = 0; i < fresh.size(); ++i) {
-    EXPECT_EQ(cached.rows[i], fresh.rows[i]);
+  EXPECT_EQ(cached.get(), fresh.get());
+  ASSERT_EQ(cached->size(), fresh->size());
+  for (std::size_t i = 0; i < fresh->size(); ++i) {
+    EXPECT_EQ(cached->rows[i], fresh->rows[i]);
   }
 }
 

@@ -1,0 +1,819 @@
+// Continuous queries (DESIGN.md §13): the incrementally-maintained view
+// engine. The load-bearing invariant everywhere below: after every
+// delivered commit the maintained result is byte-identical to
+// re-executing the Select from scratch — enforced per commit by
+// enable_self_check() on real DART runs (1 shard and 4 shards), and
+// spot-checked bit-for-bit by `exact` renders on the hand-built
+// scenarios (MIN/MAX retraction, group-key semantics, plain views).
+// Also covered: the wire codec, the update log / resync protocol, the
+// bus-published subscriber reconnect flow, long-poll waits, /viewz HTTP
+// routes, and threshold/anomaly alerts wired to view deltas.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bus/broker.hpp"
+#include "dart/experiment.hpp"
+#include "dashboard/http_server.hpp"
+#include "dashboard/view_routes.hpp"
+#include "db/sharded_database.hpp"
+#include "loader/nl_load.hpp"
+#include "loader/sharded_loader.hpp"
+#include "net/bus_client.hpp"
+#include "net/bus_server.hpp"
+#include "netlogger/events.hpp"
+#include "netlogger/parser.hpp"
+#include "orm/stampede_tables.hpp"
+#include "query/continuous_views.hpp"
+#include "query/query_executor.hpp"
+
+namespace db = stampede::db;
+namespace query = stampede::query;
+namespace loader = stampede::loader;
+namespace dart = stampede::dart;
+namespace bus = stampede::bus;
+namespace net = stampede::net;
+namespace dash = stampede::dash;
+namespace nl = stampede::nl;
+namespace attr = stampede::nl::events::attr;
+using stampede::common::DbError;
+using stampede::common::Uuid;
+using stampede::db::Value;
+
+namespace {
+
+/// Bit-exact cell render: int vs real tagged, doubles by bit pattern
+/// (so NaN payloads and ±0.0 are distinguished), like the invariant
+/// demands.
+std::string cell(const Value& v) {
+  if (v.is_null()) return "N";
+  if (v.is_int()) return "I" + std::to_string(v.as_int());
+  if (v.is_text()) return "S" + v.as_text();
+  const double d = v.as_real();
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof bits);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "R%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+std::string exact(const db::ResultSet& rs) {
+  std::string out;
+  for (const auto& c : rs.columns) out += c + ";";
+  out += "\n";
+  for (const auto& row : rs.rows) {
+    for (const auto& v : row) out += cell(v) + "|";
+    out += "\n";
+  }
+  return out;
+}
+
+db::TableDef vals_def() {
+  db::TableDef t;
+  t.name = "vals";
+  t.columns = {
+      {"k", db::ColumnType::kText, true, std::nullopt},
+      {"v", db::ColumnType::kReal, true, std::nullopt},
+  };
+  return t;
+}
+
+/// Asserts that the maintained result of `id` matches a from-scratch
+/// execution bit for bit.
+void expect_view_matches_rescan(query::ContinuousQueryEngine& engine,
+                                db::ShardedDatabase& archive,
+                                std::uint64_t id, const db::Select& select,
+                                const char* what) {
+  const query::QueryExecutor exec{archive};
+  EXPECT_EQ(exact(engine.snapshot(id)), exact(*exec.execute(select))) << what;
+}
+
+/// Applies view updates to a key->row map the way a subscriber would.
+struct Applier {
+  std::map<std::string, db::Row> state;
+  std::uint64_t seq = 0;
+
+  void apply(const query::ViewUpdate& u) {
+    if (u.seq <= seq) return;  // Already reflected (resync overlap).
+    if (u.snapshot) state.clear();
+    for (const auto& change : u.changes) {
+      if (change.op == query::ViewChange::Op::kDelete) {
+        state.erase(change.key);
+      } else {
+        state[change.key] = change.row;
+      }
+    }
+    seq = u.seq;
+  }
+
+  /// Order-insensitive bit-exact content render.
+  [[nodiscard]] std::string render() const {
+    std::string out;
+    for (const auto& [key, row] : state) {
+      out += key + " => ";
+      for (const auto& v : row) out += cell(v) + "|";
+      out += "\n";
+    }
+    return out;
+  }
+};
+
+/// The same content render over a snapshot keyed by its upsert keys
+/// (one resync update carries key+row for every current row).
+std::string render_keyed_snapshot(query::ContinuousQueryEngine& engine,
+                                  std::uint64_t id) {
+  Applier a;
+  for (const auto& u : engine.updates_since(id, 0)) a.apply(u);
+  return a.render();
+}
+
+std::filesystem::path dart_retain_log(const char* name) {
+  const auto path = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove(path);
+  dart::DartConfig config;
+  config.total_executions = 24;
+  config.tasks_per_bundle = 8;
+  config.tones_per_task = 2;
+  db::Database live;
+  dart::DartExperimentOptions options;
+  options.cloud.nodes = 3;
+  options.retain_log_path = path.string();
+  const auto result = dart::run_dart_experiment(config, live, options);
+  EXPECT_EQ(result.status, 0);
+  return path;
+}
+
+/// The three view shapes every DART test registers: a COUNT rollup, the
+/// full aggregate family, and a plain filtered projection.
+struct DartViews {
+  db::Select by_state = db::Select{"jobstate"}.group_by({"state"}).count_all(
+      "n");
+  db::Select by_transformation = db::Select{"invocation"}
+                                     .group_by({"transformation"})
+                                     .count_all("n")
+                                     .agg(db::AggFn::kSum, "remote_duration",
+                                          "total")
+                                     .agg(db::AggFn::kAvg, "remote_duration",
+                                          "mean")
+                                     .agg(db::AggFn::kMin, "remote_duration",
+                                          "lo")
+                                     .agg(db::AggFn::kMax, "remote_duration",
+                                          "hi");
+  db::Select executing = db::Select{"jobstate"}
+                             .where(db::eq("state", Value{"EXECUTE"}))
+                             .columns({"job_instance_id", "state"});
+
+  std::uint64_t a = 0, b = 0, c = 0;
+
+  void register_all(query::ContinuousQueryEngine& engine) {
+    a = engine.register_view(by_state, {.name = "by-state"});
+    b = engine.register_view(by_transformation, {.name = "by-xform"});
+    c = engine.register_view(executing, {.name = "executing"});
+  }
+
+  void expect_all_match(query::ContinuousQueryEngine& engine,
+                        db::ShardedDatabase& archive) {
+    expect_view_matches_rescan(engine, archive, a, by_state, "by-state");
+    expect_view_matches_rescan(engine, archive, b, by_transformation,
+                               "by-xform");
+    expect_view_matches_rescan(engine, archive, c, executing, "executing");
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Wire codec
+
+TEST(ViewCodec, RoundTripsBitExactValuesAndAwkwardKeys) {
+  query::ViewUpdate u;
+  u.view = 42;
+  u.name = "weird|name\nwith\\escapes";
+  u.seq = 7;
+  u.snapshot = true;
+  query::ViewChange up;
+  up.op = query::ViewChange::Op::kUpsert;
+  up.key = "a|b\\c\nd";
+  std::uint64_t nan_bits = 0x7ff80000deadbeefULL;  // NaN with a payload.
+  double payload_nan = 0;
+  std::memcpy(&payload_nan, &nan_bits, sizeof payload_nan);
+  up.row = {Value{std::int64_t{-5}}, Value{payload_nan}, Value{-0.0},
+            Value{"text|with\nseps\\"}, Value::null()};
+  query::ViewChange del;
+  del.op = query::ViewChange::Op::kDelete;
+  del.key = "gone";
+  u.changes = {up, del};
+
+  const auto decoded = query::decode_view_update(query::encode_view_update(u));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->view, u.view);
+  EXPECT_EQ(decoded->name, u.name);
+  EXPECT_EQ(decoded->seq, u.seq);
+  EXPECT_EQ(decoded->snapshot, u.snapshot);
+  ASSERT_EQ(decoded->changes.size(), 2u);
+  EXPECT_EQ(decoded->changes[0].op, query::ViewChange::Op::kUpsert);
+  EXPECT_EQ(decoded->changes[0].key, up.key);
+  ASSERT_EQ(decoded->changes[0].row.size(), up.row.size());
+  for (std::size_t i = 0; i < up.row.size(); ++i) {
+    EXPECT_EQ(cell(decoded->changes[0].row[i]), cell(up.row[i])) << i;
+  }
+  EXPECT_EQ(decoded->changes[1].op, query::ViewChange::Op::kDelete);
+  EXPECT_EQ(decoded->changes[1].key, "gone");
+
+  EXPECT_FALSE(query::decode_view_update("not a view update").has_value());
+  EXPECT_FALSE(query::decode_view_update("").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Registration validation
+
+TEST(ContinuousViews, RejectsShapesThatDoNotComposeWithDeltas) {
+  db::ShardedDatabase archive{1};
+  archive.create_table(vals_def());
+  query::ContinuousQueryEngine engine{archive};
+  EXPECT_THROW(engine.register_view(
+                   db::Select{"vals"}.join("vals", "k", "k")),
+               DbError);
+  EXPECT_THROW(engine.register_view(db::Select{"vals"}.distinct()), DbError);
+  EXPECT_THROW(engine.register_view(db::Select{"vals"}.order_by("k")),
+               DbError);
+  EXPECT_THROW(engine.register_view(db::Select{"vals"}.limit(3)), DbError);
+  EXPECT_THROW(engine.register_view(db::Select{"vals"}.columns({"ghost"})),
+               DbError);
+  EXPECT_THROW(engine.register_view(db::Select{"no_such_table"}), DbError);
+  EXPECT_TRUE(engine.list().empty());
+}
+
+// ---------------------------------------------------------------------------
+// DART runs: per-commit byte-identity, 1 shard and 4 shards
+
+TEST(ContinuousViews, DartRunStaysByteIdenticalOnEveryCommitOneShard) {
+  const auto path = dart_retain_log("stampede_test_views_dart1.bp");
+
+  db::ShardedDatabase archive{1};
+  stampede::orm::create_stampede_schema(archive);
+  query::ContinuousQueryEngine engine{archive};
+  engine.enable_self_check();
+  DartViews views;
+  views.register_all(engine);
+
+  // One lane => serialized commits => every self-check observes exactly
+  // the state its delivery left behind.
+  loader::ShardedLoader lanes{archive};
+  const auto pump = loader::load_file(path.string(), lanes);
+  EXPECT_EQ(pump.parse_errors, 0u);
+  lanes.finish();
+
+  EXPECT_GT(engine.self_check_runs(), 0u);
+  EXPECT_EQ(engine.self_check_failures(), 0u)
+      << engine.last_self_check_error();
+  views.expect_all_match(engine, archive);
+
+  const auto info = engine.info(views.a);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->name, "by-state");
+  EXPECT_EQ(info->table, "jobstate");
+  EXPECT_GT(info->seq, 0u);
+  EXPECT_EQ(info->rows, engine.snapshot(views.a).size());
+  std::filesystem::remove(path);
+}
+
+TEST(ContinuousViews, DartRunStaysByteIdenticalOnEveryCommitFourShards) {
+  const auto path = dart_retain_log("stampede_test_views_dart4.bp");
+
+  db::ShardedDatabase archive{4};
+  stampede::orm::create_stampede_schema(archive);
+  query::ContinuousQueryEngine engine{archive};
+  engine.enable_self_check();
+  DartViews views;
+  views.register_all(engine);
+
+  // Four shards, one feeding thread: per-shard StampedeLoaders driven by
+  // the same tree-co-locating routing the lanes use. Serialized commits
+  // keep the self-check exact while the 4-way partitioning exercises the
+  // multi-shard merge path on every delivery.
+  std::vector<std::unique_ptr<loader::StampedeLoader>> loaders;
+  for (std::size_t s = 0; s < archive.shard_count(); ++s) {
+    loaders.push_back(
+        std::make_unique<loader::StampedeLoader>(archive.shard(s)));
+  }
+  std::unordered_map<Uuid, std::size_t> route;
+  const auto lane_of = [&](const nl::LogRecord& r) -> std::size_t {
+    const auto uuid = r.get_uuid(attr::kXwfId);
+    if (!uuid) return 0;
+    if (const auto it = route.find(*uuid); it != route.end()) {
+      return it->second;
+    }
+    std::size_t lane = 0;
+    if (const auto root = r.get_uuid(attr::kRootXwfId);
+        root && *root != *uuid) {
+      const auto rit = route.find(*root);
+      lane = rit != route.end()
+                 ? rit->second
+                 : archive.shard_index_for_key(root->to_string());
+    } else if (const auto parent = r.get_uuid(attr::kParentXwfId)) {
+      const auto pit = route.find(*parent);
+      lane = pit != route.end()
+                 ? pit->second
+                 : archive.shard_index_for_key(parent->to_string());
+    } else {
+      lane = archive.shard_index_for_key(uuid->to_string());
+    }
+    route.emplace(*uuid, lane);
+    return lane;
+  };
+
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  nl::StreamParser parser{in};
+  std::size_t fed = 0;
+  std::uint64_t mid_register = 0;
+  while (auto record = parser.next()) {
+    const auto lane = lane_of(*record);
+    if (record->event() == stampede::nl::events::kMapSubwfJob) {
+      if (const auto subwf = record->get_uuid(attr::kSubwfId)) {
+        route.emplace(*subwf, lane);
+      }
+    }
+    loaders[lane]->process(*record);
+    if (++fed == 200) {
+      // Mid-stream registration: the backfill scan must agree with a
+      // rescan immediately and stay identical for the rest of the run.
+      mid_register = engine.register_view(
+          db::Select{"jobstate"}.group_by({"state"}).agg(
+              db::AggFn::kMax, "jobstate_submit_seq", "hi"),
+          {.name = "mid-stream"});
+    }
+  }
+  EXPECT_TRUE(parser.errors().empty());
+  for (auto& l : loaders) l->finish();
+
+  EXPECT_GT(engine.self_check_runs(), 0u);
+  EXPECT_EQ(engine.self_check_failures(), 0u)
+      << engine.last_self_check_error();
+  views.expect_all_match(engine, archive);
+  ASSERT_NE(mid_register, 0u);
+  expect_view_matches_rescan(engine, archive, mid_register,
+                             db::Select{"jobstate"}.group_by({"state"}).agg(
+                                 db::AggFn::kMax, "jobstate_submit_seq", "hi"),
+                             "mid-stream");
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Retraction: MIN/MAX cannot be maintained by subtraction
+
+TEST(ContinuousViews, MinMaxRetractionRescansAndStaysExact) {
+  db::ShardedDatabase archive{1};
+  archive.create_table(vals_def());
+  auto& shard = archive.shard(0);
+  query::ContinuousQueryEngine engine{archive};
+  engine.enable_self_check();
+  const auto select = db::Select{"vals"}
+                          .group_by({"k"})
+                          .count_all("n")
+                          .agg(db::AggFn::kSum, "v", "total")
+                          .agg(db::AggFn::kMin, "v", "lo")
+                          .agg(db::AggFn::kMax, "v", "hi");
+  const auto id = engine.register_view(select, {.name = "minmax"});
+
+  for (int i = 0; i < 6; ++i) {
+    shard.insert("vals", {{"k", Value{i % 2 ? "odd" : "even"}},
+                          {"v", Value{1.5 * i}}});
+  }
+  expect_view_matches_rescan(engine, archive, id, select, "after inserts");
+  const auto rescans_before = engine.rescans();
+
+  // Delete the global max (v = 7.5, group "odd"): the stored MAX must
+  // retreat, which only a group rescan can prove.
+  EXPECT_EQ(shard.delete_rows("vals", db::eq("v", Value{7.5})), 1u);
+  EXPECT_GT(engine.rescans(), rescans_before);
+  expect_view_matches_rescan(engine, archive, id, select, "after delete");
+
+  // An update that moves a row between groups retracts from one and
+  // feeds the other.
+  EXPECT_EQ(shard.update("vals", db::eq("v", Value{6.0}),
+                         {{"k", Value{"odd"}}}),
+            1u);
+  expect_view_matches_rescan(engine, archive, id, select, "after move");
+
+  // Drain one whole group: its result row must be deleted.
+  shard.delete_rows("vals", db::eq("k", Value{"even"}));
+  expect_view_matches_rescan(engine, archive, id, select, "group drained");
+  bool saw_delete = false;
+  for (const auto& u : engine.updates_since(id, 0)) {
+    for (const auto& c : u.changes) {
+      saw_delete |= c.op == query::ViewChange::Op::kDelete;
+    }
+  }
+  EXPECT_TRUE(saw_delete);
+  EXPECT_EQ(engine.self_check_failures(), 0u)
+      << engine.last_self_check_error();
+}
+
+// ---------------------------------------------------------------------------
+// Group-key semantics: int != real, NaN == NaN, ±0.0 distinct
+
+TEST(ContinuousViews, GroupKeysDistinguishIntRealZeroSignAndNan) {
+  db::TableDef t;
+  t.name = "vals";
+  t.columns = {{"v", db::ColumnType::kReal, false, std::nullopt}};
+  db::ShardedDatabase archive{1};
+  archive.create_table(t);
+  auto& shard = archive.shard(0);
+  query::ContinuousQueryEngine engine{archive};
+  engine.enable_self_check();
+  const auto select = db::Select{"vals"}.group_by({"v"}).count_all("n");
+  const auto id = engine.register_view(select);
+
+  const double nan = std::nan("");
+  shard.insert("vals", {{"v", Value{1}}});      // int 1
+  shard.insert("vals", {{"v", Value{1.0}}});    // real 1.0 — distinct key
+  shard.insert("vals", {{"v", Value{0.0}}});
+  shard.insert("vals", {{"v", Value{-0.0}}});   // distinct from +0.0
+  shard.insert("vals", {{"v", Value{nan}}});
+  shard.insert("vals", {{"v", Value{nan}}});    // NaN groups with NaN
+  shard.insert("vals", {{"v", Value::null()}});
+  shard.insert("vals", {{"v", Value::null()}});
+
+  const auto rs = engine.snapshot(id);
+  EXPECT_EQ(rs.size(), 6u);  // int 1, real 1.0, +0.0, -0.0, NaN, NULL.
+  expect_view_matches_rescan(engine, archive, id, select, "mixed keys");
+
+  // Retract one NaN: it must fold into the existing NaN group, not
+  // spawn a new one.
+  struct Counter {
+    static bool is_nan(const Value& v) {
+      return !v.is_null() && !v.is_int() && !v.is_text() &&
+             std::isnan(v.as_real());
+    }
+  };
+  shard.delete_rows("vals", db::is_not_null("v"));
+  (void)Counter::is_nan;
+  expect_view_matches_rescan(engine, archive, id, select, "after retract");
+  EXPECT_EQ(engine.snapshot(id).size(), 1u);  // Only the NULL group left.
+  EXPECT_EQ(engine.self_check_failures(), 0u)
+      << engine.last_self_check_error();
+}
+
+TEST(ContinuousViews, ZeroRowAggregateKeepsItsSingleResultRow) {
+  db::ShardedDatabase archive{2};
+  archive.create_table(vals_def());
+  query::ContinuousQueryEngine engine{archive};
+  const auto select = db::Select{"vals"}.count_all("n").agg(db::AggFn::kAvg,
+                                                            "v", "mean");
+  const auto id = engine.register_view(select);
+  // No GROUP BY and no rows: still exactly one row, n=0, mean NULL —
+  // same as the executor.
+  expect_view_matches_rescan(engine, archive, id, select, "empty");
+  archive.shard(0).insert("vals", {{"k", Value{"a"}}, {"v", Value{2.0}}});
+  archive.shard(1).insert("vals", {{"k", Value{"b"}}, {"v", Value{4.0}}});
+  expect_view_matches_rescan(engine, archive, id, select, "two shards");
+  archive.shard(0).delete_rows("vals", nullptr);
+  archive.shard(1).delete_rows("vals", nullptr);
+  expect_view_matches_rescan(engine, archive, id, select, "drained");
+  EXPECT_EQ(engine.snapshot(id).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Update log, replay and resync
+
+TEST(ContinuousViews, UpdateLogReplaysAndAgedSeqsResyncViaSnapshot) {
+  db::ShardedDatabase archive{1};
+  archive.create_table(vals_def());
+  auto& shard = archive.shard(0);
+  query::ContinuousQueryEngine engine{archive};
+  query::ViewOptions options;
+  options.name = "tiny-log";
+  options.update_log_capacity = 2;
+  const auto id = engine.register_view(
+      db::Select{"vals"}.group_by({"k"}).count_all("n"), options);
+
+  for (int i = 0; i < 6; ++i) {
+    shard.insert("vals", {{"k", Value{"g" + std::to_string(i % 3)}},
+                          {"v", Value{1.0 * i}}});
+  }
+  std::uint64_t seq = 0;
+  (void)engine.snapshot(id, &seq);
+  EXPECT_EQ(seq, 6u);
+
+  // Recent seqs replay as deltas.
+  const auto recent = engine.updates_since(id, seq - 1);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_FALSE(recent[0].snapshot);
+  EXPECT_EQ(recent[0].seq, seq);
+
+  // An aged-out seq gets exactly one snapshot-update at the current seq.
+  const auto resync = engine.updates_since(id, 1);
+  ASSERT_EQ(resync.size(), 1u);
+  EXPECT_TRUE(resync[0].snapshot);
+  EXPECT_EQ(resync[0].seq, seq);
+
+  // Applying the resync reconstructs the full state.
+  Applier a;
+  for (const auto& u : resync) a.apply(u);
+  EXPECT_EQ(a.render(), render_keyed_snapshot(engine, id));
+
+  // Caught-up subscribers get nothing.
+  EXPECT_TRUE(engine.updates_since(id, seq).empty());
+  // Unknown views are empty, not an error (the subscriber's view may
+  // have been dropped).
+  EXPECT_TRUE(engine.updates_since(9999, 0).empty());
+}
+
+TEST(ContinuousViews, WaitForBlocksUntilAdvanceAndAsyncWaitFiresOnce) {
+  db::ShardedDatabase archive{1};
+  archive.create_table(vals_def());
+  auto& shard = archive.shard(0);
+  query::ContinuousQueryEngine engine{archive};
+  const auto id = engine.register_view(
+      db::Select{"vals"}.group_by({"k"}).count_all("n"));
+
+  // Timeout path: nothing advances.
+  EXPECT_TRUE(engine.wait_for(id, 0, 50).empty());
+
+  // Advance from another thread unblocks the waiter with the deltas.
+  std::thread writer{[&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    shard.insert("vals", {{"k", Value{"a"}}, {"v", Value{1.0}}});
+  }};
+  const auto got = engine.wait_for(id, 0, 5000);
+  writer.join();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].seq, 1u);
+  ASSERT_EQ(got[0].changes.size(), 1u);
+  EXPECT_EQ(got[0].changes[0].op, query::ViewChange::Op::kUpsert);
+
+  // async_wait with updates already available fires immediately.
+  std::promise<std::vector<query::ViewUpdate>> immediate;
+  engine.async_wait(id, 0, 5000, [&](std::vector<query::ViewUpdate> u) {
+    immediate.set_value(std::move(u));
+  });
+  EXPECT_EQ(immediate.get_future().get().size(), 1u);
+
+  // async_wait parked on a future seq fires from the waiter thread.
+  std::promise<std::vector<query::ViewUpdate>> parked;
+  engine.async_wait(id, 1, 5000, [&](std::vector<query::ViewUpdate> u) {
+    parked.set_value(std::move(u));
+  });
+  shard.insert("vals", {{"k", Value{"b"}}, {"v", Value{2.0}}});
+  auto parked_updates = parked.get_future().get();
+  ASSERT_EQ(parked_updates.size(), 1u);
+  EXPECT_EQ(parked_updates[0].seq, 2u);
+
+  // Timeout path fires exactly once with an empty vector.
+  std::promise<std::vector<query::ViewUpdate>> timed;
+  engine.async_wait(id, 2, 50, [&](std::vector<query::ViewUpdate> u) {
+    timed.set_value(std::move(u));
+  });
+  EXPECT_TRUE(timed.get_future().get().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Bus delivery: TCP subscriber with mid-stream reconnect + resync
+
+TEST(ContinuousViews, BusSubscriberReconnectsAndResyncsMidStream) {
+  db::ShardedDatabase archive{1};
+  archive.create_table(vals_def());
+  auto& shard = archive.shard(0);
+  query::ContinuousQueryEngine engine{archive};
+  const auto id = engine.register_view(
+      db::Select{"vals"}.group_by({"k"}).count_all("n"), {.name = "counts"});
+
+  bus::Broker broker;
+  engine.publish_to(broker);
+  net::BusServer server{broker};
+  server.start();
+  net::BusClientOptions copts;
+  copts.port = server.port();
+
+  const std::string key = "stampede.view." + std::to_string(id);
+  Applier applier;
+
+  {
+    net::BusClient client{copts};
+    ASSERT_TRUE(client.wait_connected(5000));
+    client.declare_queue("sub1");
+    client.bind("sub1", "stampede.views", key);
+
+    for (int i = 0; i < 4; ++i) {
+      shard.insert("vals", {{"k", Value{"g" + std::to_string(i % 2)}},
+                            {"v", Value{1.0 * i}}});
+    }
+    for (int i = 0; i < 4; ++i) {
+      auto delivery = client.basic_get("sub1", "t", 5000);
+      ASSERT_TRUE(delivery.has_value()) << "update " << i;
+      EXPECT_EQ(delivery->message().headers.at("view-name"), "counts");
+      const auto update =
+          query::decode_view_update(delivery->message().body);
+      ASSERT_TRUE(update.has_value());
+      EXPECT_EQ(update->view, id);
+      applier.apply(*update);
+      client.ack("sub1", delivery->delivery_tag);
+    }
+  }  // Subscriber drops mid-stream.
+
+  // Updates published while nobody is bound are simply missed.
+  for (int i = 4; i < 9; ++i) {
+    shard.insert("vals", {{"k", Value{"g" + std::to_string(i % 3)}},
+                          {"v", Value{1.0 * i}}});
+  }
+
+  // Reconnect: bind a fresh queue FIRST, then resync through the
+  // engine's log (snapshot-update), then apply only deltas newer than
+  // the resync — the overlap window between bind and resync dedupes by
+  // seq.
+  net::BusClient client{copts};
+  ASSERT_TRUE(client.wait_connected(5000));
+  client.declare_queue("sub2");
+  client.bind("sub2", "stampede.views", key);
+  for (const auto& u : engine.updates_since(id, applier.seq)) {
+    applier.apply(u);
+  }
+
+  for (int i = 9; i < 12; ++i) {
+    shard.insert("vals", {{"k", Value{"g" + std::to_string(i % 3)}},
+                          {"v", Value{1.0 * i}}});
+  }
+  for (int i = 9; i < 12; ++i) {
+    auto delivery = client.basic_get("sub2", "t", 5000);
+    ASSERT_TRUE(delivery.has_value()) << "update " << i;
+    const auto update = query::decode_view_update(delivery->message().body);
+    ASSERT_TRUE(update.has_value());
+    applier.apply(*update);
+    client.ack("sub2", delivery->delivery_tag);
+  }
+
+  EXPECT_EQ(applier.render(), render_keyed_snapshot(engine, id));
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Dashboard routes: /viewz, snapshots, long-poll
+
+TEST(ContinuousViews, ViewzRoutesServeListSnapshotAndLongPoll) {
+  db::ShardedDatabase archive{1};
+  archive.create_table(vals_def());
+  auto& shard = archive.shard(0);
+  query::ContinuousQueryEngine engine{archive};
+  const auto id = engine.register_view(
+      db::Select{"vals"}.group_by({"k"}).count_all("n"), {.name = "by-k"});
+  shard.insert("vals", {{"k", Value{"alpha"}}, {"v", Value{1.0}}});
+
+  dash::HttpServer server{0};
+  dash::register_view_routes(server, engine);
+  server.start();
+
+  int status = 0;
+  const auto list = dash::http_get(server.port(), "/viewz", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(list.find("\"by-k\""), std::string::npos);
+  EXPECT_NE(list.find("\"table\":\"vals\""), std::string::npos);
+
+  const auto snap = dash::http_get(
+      server.port(), "/viewz/" + std::to_string(id), &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(snap.find("\"columns\":[\"k\",\"n\"]"), std::string::npos);
+  EXPECT_NE(snap.find("[\"alpha\",1]"), std::string::npos);
+
+  (void)dash::http_get(server.port(), "/viewz/9999", &status);
+  EXPECT_EQ(status, 404);
+  (void)dash::http_get(server.port(), "/viewz/bogus", &status);
+  EXPECT_EQ(status, 400);
+
+  // Long-poll timeout: empty updates, not a hang and not an error.
+  const auto idle = dash::http_get(
+      server.port(),
+      "/viewz/" + std::to_string(id) + "/wait?seq=1&timeout_ms=100",
+      &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(idle.find("\"updates\":[]"), std::string::npos);
+
+  // Long-poll completion: a commit while parked delivers the delta.
+  std::promise<std::string> body_promise;
+  std::thread poller{[&] {
+    body_promise.set_value(dash::http_get(
+        server.port(),
+        "/viewz/" + std::to_string(id) + "/wait?seq=1&timeout_ms=10000"));
+  }};
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  shard.insert("vals", {{"k", Value{"beta"}}, {"v", Value{2.0}}});
+  auto body = body_promise.get_future().get();
+  poller.join();
+  EXPECT_NE(body.find("\"seq\":2"), std::string::npos);
+  EXPECT_NE(body.find("\"op\":\"upsert\""), std::string::npos);
+  EXPECT_NE(body.find("\"beta\""), std::string::npos);
+
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Alerts on view deltas
+
+TEST(ContinuousViews, ThresholdAlertsAreEdgeTriggeredAndReArm) {
+  db::ShardedDatabase archive{1};
+  archive.create_table(vals_def());
+  auto& shard = archive.shard(0);
+  query::ContinuousQueryEngine engine{archive};
+  const auto id = engine.register_view(
+      db::Select{"vals"}.group_by({"k"}).count_all("n"));
+
+  std::vector<query::ViewAlert> alerts;
+  engine.add_threshold(id, "n", db::CompareOp::kGe, Value{std::int64_t{3}},
+                       [&](const query::ViewAlert& a) {
+                         alerts.push_back(a);
+                       });
+
+  for (int i = 0; i < 4; ++i) {
+    shard.insert("vals", {{"k", Value{"hot"}}, {"v", Value{1.0 * i}}});
+  }
+  // Crossed at n=3; n=4 must NOT re-fire (edge, not level).
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].view, id);
+  EXPECT_NE(alerts[0].detail.find("n"), std::string::npos);
+
+  // Drop below the bound, then cross again: re-armed.
+  shard.delete_rows("vals", db::gt("v", Value{0.5}));  // n -> 1
+  shard.insert("vals", {{"k", Value{"hot"}}, {"v", Value{9.0}}});
+  shard.insert("vals", {{"k", Value{"hot"}}, {"v", Value{9.5}}});  // n -> 3
+  EXPECT_EQ(alerts.size(), 2u);
+
+  EXPECT_THROW(engine.add_threshold(9999, "n", db::CompareOp::kGe,
+                                    Value{std::int64_t{1}}, nullptr),
+               DbError);
+}
+
+TEST(ContinuousViews, AnomalyDetectionFlagsOutlierViewDeltas) {
+  db::ShardedDatabase archive{1};
+  archive.create_table(vals_def());
+  auto& shard = archive.shard(0);
+  query::ContinuousQueryEngine engine{archive};
+  const auto id = engine.register_view(db::Select{"vals"}
+                                           .group_by({"k"})
+                                           .agg(db::AggFn::kMax, "v", "peak"));
+
+  std::vector<query::ViewAlert> alerts;
+  engine.add_anomaly(id, "k", "peak",
+                     [&](const query::ViewAlert& a) { alerts.push_back(a); },
+                     /*threshold=*/2.0, /*min_samples=*/4);
+
+  // Steady-state observations, then a spike. Each insert nudges the MAX
+  // up: only CHANGED rows feed the detector, so the values must move.
+  for (int i = 0; i < 8; ++i) {
+    shard.insert("vals", {{"k", Value{"m"}}, {"v", Value{10.0 + 0.01 * i}}});
+  }
+  EXPECT_TRUE(alerts.empty());
+  shard.insert("vals", {{"k", Value{"m"}}, {"v", Value{500.0}}});
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_NE(alerts[0].detail.find("m"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Plain (non-aggregated) views
+
+TEST(ContinuousViews, PlainFilteredViewTracksUpdatesAndDeletes) {
+  db::ShardedDatabase archive{2};
+  archive.create_table(vals_def());
+  query::ContinuousQueryEngine engine{archive};
+  engine.enable_self_check();
+  const auto select = db::Select{"vals"}
+                          .where(db::gt("v", Value{1.0}))
+                          .columns({"k", "v"});
+  const auto id = engine.register_view(select);
+
+  for (int i = 0; i < 6; ++i) {
+    archive.shard(i % 2).insert(
+        "vals", {{"k", Value{"r" + std::to_string(i)}}, {"v", Value{0.5 * i}}});
+  }
+  expect_view_matches_rescan(engine, archive, id, select, "inserts");
+
+  // Predicate flips both ways via updates.
+  archive.shard(0).update("vals", db::eq("k", Value{"r0"}),
+                          {{"v", Value{9.0}}});  // out -> in
+  archive.shard(0).update("vals", db::eq("k", Value{"r4"}),
+                          {{"v", Value{0.25}}});  // in -> out
+  expect_view_matches_rescan(engine, archive, id, select, "flips");
+
+  archive.shard(1).delete_rows("vals", db::gt("v", Value{2.0}));
+  expect_view_matches_rescan(engine, archive, id, select, "deletes");
+  EXPECT_EQ(engine.self_check_failures(), 0u)
+      << engine.last_self_check_error();
+
+  engine.unregister(id);
+  EXPECT_FALSE(engine.info(id).has_value());
+  EXPECT_THROW((void)engine.snapshot(id), DbError);
+}

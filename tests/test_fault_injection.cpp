@@ -283,8 +283,8 @@ std::optional<std::int64_t> wf_id_of(const db::ShardedDatabase& archive,
                                    .where(db::eq("wf_uuid",
                                                  Value{uuid.to_string()}))
                                    .columns({"wf_id"}));
-  if (rs.size() != 1) return std::nullopt;
-  return rs.at(0, "wf_id").as_int();
+  if (rs->size() != 1) return std::nullopt;
+  return rs->at(0, "wf_id").as_int();
 }
 
 /// Publishes a DART workload through the durable bus into a WAL-backed

@@ -588,3 +588,125 @@ TEST(LoaderStats, MergeSumsCountersAndEventMap) {
   EXPECT_EQ(a.by_event["x"], 3u);
   EXPECT_EQ(a.by_event["y"], 7u);
 }
+
+// ---------------------------------------------------------------------------
+// Age-based flush deadline (bounded ack latency under trickle input)
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "db/sharded_database.hpp"
+#include "loader/sharded_loader.hpp"
+
+// Regression: lanes used to flush only on flush_hint() markers with an
+// empty queue, so a trickle without hints held applied-but-uncommitted
+// rows (and their acks) until a full batch or finish(). The age-based
+// deadline must release them on its own, within a bounded delay.
+TEST(LoaderFlushDeadline, TrickleAcksWithinDeadlineWithoutFlushHints) {
+  db::ShardedDatabase archive{2};
+  stampede::orm::create_stampede_schema(archive);
+  loader::LoaderOptions opts;
+  opts.flush_deadline_ms = 50;
+  loader::ShardedLoader lanes{archive, opts};
+
+  std::mutex mutex;
+  std::size_t acked = 0;
+  lanes.set_ack_callback([&](std::uint64_t) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    ++acked;
+  });
+
+  const auto events = small_workflow();
+  std::uint64_t tag = 0;
+  for (const auto& record : events) {
+    ASSERT_TRUE(lanes.process(record, nullptr, false, ++tag));
+  }
+
+  // NO flush_hint() and NO finish(): only the deadline can commit.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (acked == events.size()) break;
+    }
+    if (std::chrono::steady_clock::now() > deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_EQ(acked, events.size()) << "acks held past the flush deadline";
+  }
+  lanes.finish();
+}
+
+// A steady trickle must not starve the deadline either: the timer keys
+// off the OLDEST pending row, not the newest arrival.
+TEST(LoaderFlushDeadline, SteadyTrickleDoesNotStarveTheDeadline) {
+  db::ShardedDatabase archive{1};
+  stampede::orm::create_stampede_schema(archive);
+  loader::LoaderOptions opts;
+  opts.flush_deadline_ms = 40;
+  loader::ShardedLoader lanes{archive, opts};
+
+  std::mutex mutex;
+  std::size_t acked = 0;
+  lanes.set_ack_callback([&](std::uint64_t) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    ++acked;
+  });
+
+  const auto events = small_workflow();
+  std::uint64_t tag = 0;
+  std::size_t first_acked = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& record : events) {
+    ASSERT_TRUE(lanes.process(record, nullptr, false, ++tag));
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (first_acked == 0) first_acked = acked;
+    // With a new event every 10 ms, a deadline that reset on each
+    // arrival would never fire; keyed off the oldest pending row it
+    // must fire while the trickle is still flowing.
+    if (acked > 0 && std::chrono::steady_clock::now() - start >
+                         std::chrono::milliseconds(400)) {
+      break;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_GT(acked, 0u) << "deadline starved by steady trickle";
+  }
+  lanes.finish();
+}
+
+// Direct unit coverage of the deadline bookkeeping on StampedeLoader.
+TEST(LoaderFlushDeadline, DeadlineTracksOldestPendingAndDisablesAtZero) {
+  db::Database archive;
+  stampede::orm::create_stampede_schema(archive);
+  loader::LoaderOptions opts;
+  opts.flush_deadline_ms = 30;
+  loader::StampedeLoader ldr{archive, opts};
+
+  EXPECT_FALSE(ldr.flush_deadline_due());  // Nothing pending.
+  auto plan = make(1000.0, ev::kWfPlan);
+  ASSERT_TRUE(ldr.process(plan));
+  EXPECT_FALSE(ldr.flush_deadline_due());  // Pending but young.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(ldr.flush_deadline_due());   // Aged past the deadline.
+  ldr.maybe_deadline_flush();
+  EXPECT_FALSE(ldr.flush_deadline_due());  // Flush cleared the clock.
+  EXPECT_EQ(archive.row_count("workflow"), 1u);
+
+  loader::LoaderOptions off;
+  off.flush_deadline_ms = 0;               // 0 disables the deadline.
+  loader::StampedeLoader manual{archive, off};
+  auto plan2 = nl::LogRecord{2000.0, std::string{ev::kWfPlan}};
+  plan2.set(attr::kXwfId, kSubWf);
+  ASSERT_TRUE(manual.process(plan2));
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_FALSE(manual.flush_deadline_due());
+  manual.finish();
+  ldr.finish();
+}

@@ -487,6 +487,166 @@ TEST(Connection, SlowConsumerBlocksProducerUntilDrained) {
   loop.stop();
 }
 
+namespace {
+
+/// Parks `n` producer threads inside send() against a peer that is not
+/// reading, then returns them plus the flag each thread sets with its
+/// final send() result. Backpressure engagement is verified before
+/// returning.
+struct ParkedSenders {
+  std::vector<std::thread> threads;
+  /// One per thread: the last send() return value once unparked.
+  std::vector<std::unique_ptr<std::atomic<int>>> results;  ///< -1 = parked.
+
+  void park(const std::shared_ptr<net::Connection>& conn, int n) {
+    constexpr std::size_t kChunk = 64 * 1024;
+    for (int i = 0; i < n; ++i) {
+      results.push_back(std::make_unique<std::atomic<int>>(-1));
+      auto* result = results.back().get();
+      threads.emplace_back([conn, result] {
+        const std::string chunk(kChunk, 'p');
+        bool ok = true;
+        // Enough volume that every thread ends up parked at capacity.
+        for (int c = 0; ok && c < 1024; ++c) ok = conn->send(chunk);
+        result->store(ok ? 1 : 0);
+      });
+    }
+    // All still parked (none finished) after the buffers filled.
+    std::this_thread::sleep_for(300ms);
+    for (const auto& r : results) ASSERT_EQ(r->load(), -1);
+  }
+
+  /// Every parked sender must unblock with send() == false within the
+  /// budget — the wakeup-on-close guarantee.
+  void expect_all_fail_within(std::chrono::milliseconds budget) {
+    const auto deadline = std::chrono::steady_clock::now() + budget;
+    for (const auto& r : results) {
+      while (r->load() == -1 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(1ms);
+      }
+      EXPECT_EQ(r->load(), 0) << "sender still parked or send succeeded";
+    }
+    for (auto& t : threads) t.join();
+    threads.clear();
+  }
+};
+
+}  // namespace
+
+// Close must wake EVERY cross-thread sender parked on out_cv_ with an
+// error — a single notify_one would strand all but one of them forever.
+TEST(Connection, CloseWakesAllParkedSendersWithError) {
+  net::EventLoop loop;
+  loop.start();
+  auto pair = make_tcp_pair();
+  net::Connection::Options options;
+  options.outbound_capacity = 32 * 1024;
+  auto conn = std::make_shared<net::Connection>(loop, std::move(pair.server),
+                                                options);
+  FrameSink sink;
+  run_on_loop(loop, [&] {
+    conn->start(sink.data_handler(conn), [&] { sink.closed.store(true); });
+  });
+
+  ParkedSenders senders;
+  senders.park(conn, 4);
+  conn->close();
+  senders.expect_all_fail_within(2000ms);
+  EXPECT_TRUE(sink.wait_closed(2000ms));
+  loop.stop();
+}
+
+// The do_close-from-inside-on_data path: the data handler itself calls
+// close() (protocol error) while senders are parked. do_close runs on
+// the loop thread mid-dispatch; the parked senders must still all wake.
+TEST(Connection, ProtocolErrorCloseInsideOnDataWakesParkedSenders) {
+  net::EventLoop loop;
+  loop.start();
+  auto pair = make_tcp_pair();
+  net::Connection::Options options;
+  options.outbound_capacity = 32 * 1024;
+  auto conn = std::make_shared<net::Connection>(loop, std::move(pair.server),
+                                                options);
+  FrameSink sink;
+  run_on_loop(loop, [&] {
+    conn->start(sink.data_handler(conn), [&] { sink.closed.store(true); });
+  });
+
+  ParkedSenders senders;
+  senders.park(conn, 3);
+  // Garbage bytes: FrameSink's decoder errors and closes the connection
+  // from inside the handler.
+  const std::string garbage = "\xff\xff\xff\xffnot a frame";
+  ASSERT_TRUE(
+      common::send_all(pair.client.get(), garbage.data(), garbage.size()));
+  senders.expect_all_fail_within(2000ms);
+  EXPECT_TRUE(sink.wait_closed(2000ms));
+  EXPECT_TRUE(sink.decode_error.load());
+  loop.stop();
+}
+
+// Peer hangup variant: EOF arrives while senders are parked; teardown
+// originates from the readable path rather than an API call.
+TEST(Connection, PeerHangupWakesParkedSenders) {
+  net::EventLoop loop;
+  loop.start();
+  auto pair = make_tcp_pair();
+  net::Connection::Options options;
+  options.outbound_capacity = 32 * 1024;
+  auto conn = std::make_shared<net::Connection>(loop, std::move(pair.server),
+                                                options);
+  FrameSink sink;
+  run_on_loop(loop, [&] {
+    conn->start(sink.data_handler(conn), [&] { sink.closed.store(true); });
+  });
+
+  ParkedSenders senders;
+  senders.park(conn, 3);
+  pair.client.reset();  // RST/EOF the peer.
+  senders.expect_all_fail_within(2000ms);
+  EXPECT_TRUE(sink.wait_closed(2000ms));
+  loop.stop();
+}
+
+// close_after_flush from a NON-loop thread: must defer to the loop (not
+// touch loop-thread state), deliver everything queued, then hang up.
+TEST(Connection, CrossThreadCloseAfterFlushDeliversThenCloses) {
+  net::EventLoop loop;
+  loop.start();
+  auto pair = make_tcp_pair();
+  auto conn = std::make_shared<net::Connection>(loop, std::move(pair.server),
+                                                net::Connection::Options{});
+  FrameSink sink;
+  run_on_loop(loop, [&] {
+    conn->start(sink.data_handler(conn), [&] { sink.closed.store(true); });
+  });
+
+  const std::string payload(256 * 1024, 'f');
+  std::thread producer([&] {
+    EXPECT_TRUE(conn->send(payload));
+    conn->close_after_flush();       // Cross-thread: defers to the loop.
+    conn->close_after_flush();       // Idempotent, incl. post-close.
+  });
+
+  std::string received;
+  char buffer[64 * 1024];
+  for (;;) {
+    std::size_t got = 0;
+    const auto status = common::recv_some(pair.client.get(), buffer,
+                                          sizeof(buffer), 10000, &got);
+    if (status == common::RecvStatus::kTimeout) continue;
+    if (status == common::RecvStatus::kClosed) break;
+    ASSERT_EQ(status, common::RecvStatus::kData);
+    received.append(buffer, got);
+  }
+  producer.join();
+  EXPECT_EQ(received.size(), payload.size());
+  EXPECT_EQ(received, payload);
+  EXPECT_TRUE(sink.wait_closed(2000ms));
+  loop.stop();
+}
+
 // ---------------------------------------------------------------------------
 // Batch frame codec (kFeatureBatch)
 

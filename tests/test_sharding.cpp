@@ -112,8 +112,8 @@ TEST_F(ScatterFixture, PredicateScanMatchesUnsharded) {
                           .columns({"wf", "kind", "dur"});
   query::QueryExecutor one{single};
   query::QueryExecutor many{sharded};
-  EXPECT_EQ(canon(one.execute(select)), canon(many.execute(select)));
-  EXPECT_EQ(many.execute(select).size(), 10u);
+  EXPECT_EQ(canon(*one.execute(select)), canon(*many.execute(select)));
+  EXPECT_EQ(many.execute(select)->size(), 10u);
 }
 
 TEST_F(ScatterFixture, GroupedAggregatesMatchUnsharded) {
@@ -127,7 +127,7 @@ TEST_F(ScatterFixture, GroupedAggregatesMatchUnsharded) {
                           .order_by("kind");
   query::QueryExecutor one{single};
   query::QueryExecutor many{sharded};
-  EXPECT_EQ(exact(one.execute(select)), exact(many.execute(select)));
+  EXPECT_EQ(exact(*one.execute(select)), exact(*many.execute(select)));
 }
 
 TEST_F(ScatterFixture, UngroupedAggregateOverNoRowsStillOneRow) {
@@ -139,19 +139,19 @@ TEST_F(ScatterFixture, UngroupedAggregateOverNoRowsStillOneRow) {
   query::QueryExecutor many{sharded};
   const auto a = one.execute(select);
   const auto b = many.execute(select);
-  ASSERT_EQ(a.size(), 1u);
-  ASSERT_EQ(b.size(), 1u);
-  EXPECT_EQ(b.at(0, "n").as_int(), 0);
-  EXPECT_TRUE(b.at(0, "mean").is_null());
-  EXPECT_EQ(exact(a), exact(b));
+  ASSERT_EQ(a->size(), 1u);
+  ASSERT_EQ(b->size(), 1u);
+  EXPECT_EQ(b->at(0, "n").as_int(), 0);
+  EXPECT_TRUE(b->at(0, "mean").is_null());
+  EXPECT_EQ(exact(*a), exact(*b));
 }
 
 TEST_F(ScatterFixture, DistinctMatchesUnsharded) {
   const auto select = db::Select{"runs"}.columns({"kind"}).distinct();
   query::QueryExecutor one{single};
   query::QueryExecutor many{sharded};
-  EXPECT_EQ(canon(one.execute(select)), canon(many.execute(select)));
-  EXPECT_EQ(many.execute(select).size(), 3u);
+  EXPECT_EQ(canon(*one.execute(select)), canon(*many.execute(select)));
+  EXPECT_EQ(many.execute(select)->size(), 3u);
 }
 
 TEST_F(ScatterFixture, OrderByLimitMatchesUnsharded) {
@@ -163,7 +163,7 @@ TEST_F(ScatterFixture, OrderByLimitMatchesUnsharded) {
                           .limit(5);
   query::QueryExecutor one{single};
   query::QueryExecutor many{sharded};
-  EXPECT_EQ(exact(one.execute(select)), exact(many.execute(select)));
+  EXPECT_EQ(exact(*one.execute(select)), exact(*many.execute(select)));
 }
 
 TEST_F(ScatterFixture, ScalarMatchesUnsharded) {
@@ -400,7 +400,7 @@ TEST(ShardedDart, ScatterQueriesMatchSingleShardOnDartArchive) {
                             .group_by({"state"})
                             .count_all("n")
                             .order_by("state");
-  EXPECT_EQ(exact(one.execute(by_state)), exact(many.execute(by_state)));
+  EXPECT_EQ(exact(*one.execute(by_state)), exact(*many.execute(by_state)));
   const auto wf_count = db::Select{"workflow"}.count_all("n");
   EXPECT_EQ(one.scalar(wf_count)->as_int(), many.scalar(wf_count)->as_int());
   std::filesystem::remove(path);
