@@ -1,0 +1,226 @@
+// bench_cluster_scatter — distributed-archive headline numbers
+// (DESIGN.md §14): a synthetic workflow stream is routed through a
+// cluster::Router into 1, 2 and 4 in-process shard hosts over loopback
+// TCP, then a scatter-gather aggregate is hammered against the fleet.
+//
+//   ingest — events/second through the full routed path (route → frame
+//            batch → TCP → lane commit → replication-free ack → bus-tag
+//            release), finish() included.
+//   query  — per-query latency of a grouped COUNT over jobstate with a
+//            rotating WHERE literal (defeats the QueryCache, so every
+//            iteration really scatters to all hosts and merges).
+//            Reports p50/p99 and queries/second.
+//
+// Results land in BENCH_cluster_scatter.json (hardware_concurrency
+// recorded — on the 1-core reference box all hosts share one core, so
+// the scaling story is about protocol overhead, not parallel speedup).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "cluster/shard_host.hpp"
+#include "cluster/shard_map.hpp"
+#include "common/uuid.hpp"
+#include "db/expr.hpp"
+#include "db/query.hpp"
+#include "loader/nl_load.hpp"
+#include "netlogger/events.hpp"
+#include "netlogger/record.hpp"
+#include "query/query_interface.hpp"
+
+using namespace stampede;
+using Clock = std::chrono::steady_clock;
+namespace ev = nl::events;
+namespace attr = nl::events::attr;
+using common::Uuid;
+
+namespace {
+
+Uuid wf_uuid(int i) {
+  char buf[37];
+  std::snprintf(buf, sizeof buf, "beefbeef-0000-4000-8000-%012d", i);
+  return *Uuid::parse(buf);
+}
+
+/// The test_sharding synthetic generator: plan + start, then J jobs
+/// through the SUBMIT → ... → SUCCESS ladder, round-robin interleaved
+/// across workflows.
+std::vector<nl::LogRecord> synthetic_events(int workflows, int jobs) {
+  std::vector<std::vector<nl::LogRecord>> streams;
+  for (int w = 0; w < workflows; ++w) {
+    const Uuid wf = wf_uuid(w);
+    std::vector<nl::LogRecord> events;
+    double t = 1000.0;
+    nl::LogRecord plan{t, std::string{ev::kWfPlan}};
+    plan.set(attr::kXwfId, wf);
+    plan.set(attr::kDaxLabel, std::string{"bench"});
+    events.push_back(plan);
+    nl::LogRecord start{t += 1, std::string{ev::kXwfStart}};
+    start.set(attr::kXwfId, wf);
+    start.set(attr::kRestartCount, std::int64_t{0});
+    events.push_back(start);
+    for (int j = 0; j < jobs; ++j) {
+      const std::string name = "job-" + std::to_string(j);
+      nl::LogRecord info{t += 1, std::string{ev::kJobInfo}};
+      info.set(attr::kXwfId, wf);
+      info.set(attr::kJobId, name);
+      events.push_back(info);
+      for (const auto* e :
+           {ev::kJobInstSubmitStart.data(), ev::kJobInstHeldStart.data(),
+            ev::kJobInstHeldEnd.data(), ev::kJobInstMainStart.data(),
+            ev::kJobInstMainTerm.data(), ev::kJobInstMainEnd.data()}) {
+        nl::LogRecord r{t += 1, std::string{e}};
+        r.set(attr::kXwfId, wf);
+        r.set(attr::kJobId, name);
+        r.set(attr::kJobInstId, std::int64_t{1});
+        r.set(attr::kExitcode, std::int64_t{0});
+        events.push_back(r);
+      }
+    }
+    streams.push_back(std::move(events));
+  }
+  std::vector<nl::LogRecord> all;
+  for (std::size_t i = 0; i < streams[0].size(); ++i) {
+    for (auto& stream : streams) all.push_back(stream[i]);
+  }
+  return all;
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[rank];
+}
+
+struct FleetResult {
+  std::size_t hosts = 0;
+  double ingest_events_per_s = 0.0;
+  double query_p50_ms = 0.0;
+  double query_p99_ms = 0.0;
+  double queries_per_s = 0.0;
+};
+
+FleetResult run_fleet(std::size_t n_hosts,
+                      const std::vector<nl::LogRecord>& events,
+                      int query_iters) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("bench_cluster_" + std::to_string(n_hosts));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  // One shard per host: the host count IS the scatter width.
+  std::vector<std::unique_ptr<cluster::ShardHost>> hosts;
+  std::string spec;
+  for (std::size_t i = 0; i < n_hosts; ++i) {
+    cluster::ShardHostOptions options;
+    options.wal_base = (dir / ("host" + std::to_string(i) + ".db")).string();
+    options.shards = {i};
+    options.total_shards = n_hosts;
+    hosts.push_back(std::make_unique<cluster::ShardHost>(options));
+    hosts.back()->start();
+    if (!spec.empty()) spec += ";";
+    spec += std::to_string(i) + "@127.0.0.1:" +
+            std::to_string(hosts.back()->port());
+  }
+
+  FleetResult result;
+  result.hosts = n_hosts;
+  {
+    cluster::Router router{cluster::ShardMap::parse(spec)};
+    loader::EventSink& sink = router;
+    const auto t0 = Clock::now();
+    for (const auto& e : events) sink.process(e);
+    sink.finish();
+    const double ingest_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    result.ingest_events_per_s =
+        static_cast<double>(events.size()) / ingest_s;
+
+    // Scatter queries with a rotating literal so the QueryCache never
+    // short-circuits the wire round-trip.
+    const query::QueryInterface q{router.backend()};
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(static_cast<std::size_t>(query_iters));
+    const auto q0 = Clock::now();
+    for (int i = 0; i < query_iters; ++i) {
+      const auto select =
+          db::Select{"jobstate"}
+              .where(db::gt("jobstate_submit_seq",
+                            db::Value{std::int64_t{i % 40}}))
+              .group_by({"state"})
+              .count_all("n")
+              .order_by("state");
+      const auto s0 = Clock::now();
+      const auto rs = q.executor().execute(select);
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - s0)
+              .count());
+      if (rs->empty() && i == 0) {
+        std::fprintf(stderr, "warning: empty scatter result\n");
+      }
+    }
+    const double query_s =
+        std::chrono::duration<double>(Clock::now() - q0).count();
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    result.query_p50_ms = percentile(latencies_ms, 0.50);
+    result.query_p99_ms = percentile(latencies_ms, 0.99);
+    result.queries_per_s = static_cast<double>(query_iters) / query_s;
+  }
+  for (auto& host : hosts) host->stop();
+  hosts.clear();
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const auto events = synthetic_events(/*workflows=*/24, /*jobs=*/8);
+  constexpr int kQueryIters = 200;
+
+  std::vector<FleetResult> results;
+  for (const std::size_t n : {1u, 2u, 4u}) {
+    results.push_back(run_fleet(n, events, kQueryIters));
+    std::printf("%zu host(s): ingest %.0f ev/s, query p50 %.2f ms "
+                "p99 %.2f ms (%.0f q/s)\n",
+                results.back().hosts, results.back().ingest_events_per_s,
+                results.back().query_p50_ms, results.back().query_p99_ms,
+                results.back().queries_per_s);
+  }
+
+  std::FILE* out = std::fopen("BENCH_cluster_scatter.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write BENCH_cluster_scatter.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"events\": %zu,\n"
+               "  \"query_iterations\": %d,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"fleets\": [\n",
+               events.size(), kQueryIters,
+               std::thread::hardware_concurrency());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(out,
+                 "    {\"hosts\": %zu, \"ingest_events_per_s\": %.1f, "
+                 "\"query_p50_ms\": %.3f, \"query_p99_ms\": %.3f, "
+                 "\"queries_per_s\": %.1f}%s\n",
+                 r.hosts, r.ingest_events_per_s, r.query_p50_ms,
+                 r.query_p99_ms, r.queries_per_s,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("BENCH_cluster_scatter.json written\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "cluster/cluster_routes.hpp"
+
+#include "cluster/router.hpp"
+#include "dashboard/json.hpp"
+#include "dashboard/trace_routes.hpp"
+
+namespace stampede::cluster {
+
+void register_cluster_routes(dash::HttpServer& server, Router& router) {
+  dash::register_health_routes(server,
+                               [&router] { return router.all_connected(); });
+  server.route("/clusterz", [&router](const dash::HttpRequest&) {
+    dash::JsonWriter json;
+    json.begin_object();
+    json.key("total_shards")
+        .value(static_cast<std::int64_t>(router.shard_count()));
+    json.key("inflight").value(static_cast<std::int64_t>(router.inflight()));
+    json.key("placements").begin_array();
+    for (const auto& placement : router.status()) {
+      json.begin_object();
+      json.key("addr").value(placement.addr.to_string());
+      json.key("connected").value(placement.connected);
+      json.key("failed_over").value(placement.failed_over);
+      json.key("shards").begin_array();
+      for (const std::size_t shard : placement.shards) {
+        json.value(static_cast<std::int64_t>(shard));
+      }
+      json.end_array();
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    return dash::HttpResponse::json(json.str());
+  });
+}
+
+}  // namespace stampede::cluster

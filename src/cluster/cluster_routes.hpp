@@ -1,0 +1,18 @@
+#pragma once
+// HTTP visibility for the cluster router (DESIGN.md §14): /clusterz
+// reports the shard map, per-placement connectivity and failover
+// state; /readyz (registered via the shared health routes) answers 503
+// until every shard-host link is alive — so an orchestrator only sends
+// traffic to a router that can actually reach its fleet.
+
+#include "dashboard/http_server.hpp"
+
+namespace stampede::cluster {
+
+class Router;
+
+/// Registers /clusterz plus /healthz and /readyz (readiness =
+/// Router::all_connected). `router` must outlive the server.
+void register_cluster_routes(dash::HttpServer& server, Router& router);
+
+}  // namespace stampede::cluster

@@ -1,0 +1,222 @@
+#include "cluster/link.hpp"
+
+#include <chrono>
+#include <random>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace stampede::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+
+telemetry::Counter& connect_retries_counter() {
+  static telemetry::Counter& counter =
+      telemetry::registry().counter("stampede_cluster_connect_retries_total");
+  return counter;
+}
+
+/// Blocks until one whole frame arrives (pre-reader handshake phase).
+bool read_frame_blocking(int fd, std::string& carry, net::Frame* out,
+                         int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  char chunk[4096];
+  for (;;) {
+    std::size_t consumed = 0;
+    switch (net::decode_frame(carry, consumed, *out)) {
+      case net::DecodeStatus::kFrame:
+        carry.erase(0, consumed);
+        return true;
+      case net::DecodeStatus::kError:
+        return false;
+      case net::DecodeStatus::kNeedMore:
+        break;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::size_t received = 0;
+    switch (common::recv_some(fd, chunk, sizeof chunk, 100, &received)) {
+      case common::RecvStatus::kData:
+        carry.append(chunk, received);
+        break;
+      case common::RecvStatus::kTimeout:
+        break;
+      case common::RecvStatus::kClosed:
+      case common::RecvStatus::kError:
+        return false;
+    }
+  }
+}
+
+}  // namespace
+
+Link::Link(HostAddr addr, Options options)
+    : addr_(std::move(addr)), options_(options) {
+  common::Rng jitter{options_.jitter_seed != 0 ? options_.jitter_seed
+                                               : std::random_device{}()};
+  int backoff_ms = options_.backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    fd_ = common::connect_tcp(addr_.host, addr_.port);
+    if (fd_.valid()) break;
+    if (attempt >= options_.connect_attempts) {
+      throw ClusterError{"cluster: cannot reach " + addr_.to_string() +
+                         " after " + std::to_string(attempt) + " attempts"};
+    }
+    connect_retries_counter().inc();
+    const auto delay = std::chrono::milliseconds(static_cast<std::int64_t>(
+        static_cast<double>(backoff_ms) * jitter.uniform(0.8, 1.2)));
+    std::this_thread::sleep_for(delay);
+    backoff_ms = std::min(backoff_ms * 2, options_.max_backoff_ms);
+  }
+
+  // Versioned handshake; the cluster frames only exist on connections
+  // where both sides advertised kFeatureCluster.
+  const std::string hello = net::encode_hello(1, net::kSupportedFeatures);
+  if (!common::send_all(fd_.get(), hello.data(), hello.size())) {
+    throw ClusterError{"cluster: handshake send to " + addr_.to_string() +
+                       " failed"};
+  }
+  std::string carry;
+  net::Frame reply;
+  if (!read_frame_blocking(fd_.get(), carry, &reply,
+                           options_.request_timeout_ms)) {
+    throw ClusterError{"cluster: no handshake reply from " +
+                       addr_.to_string()};
+  }
+  std::uint16_t version = 0;
+  std::uint32_t features = 0;
+  if (reply.type != net::FrameType::kHelloOk ||
+      !net::parse_hello_ok(reply, &version, &features) ||
+      (features & net::kFeatureCluster) == 0) {
+    throw ClusterError{"cluster: peer " + addr_.to_string() +
+                       " does not speak the cluster protocol"};
+  }
+  // Any frames the peer pushed right behind HELLO_OK are re-presented
+  // to the reader thread.
+  carry_ = std::move(carry);
+}
+
+Link::~Link() {
+  close();
+  if (reader_thread_.joinable()) reader_thread_.join();
+}
+
+void Link::start(FrameHandler on_unsolicited, DownHandler on_down) {
+  on_unsolicited_ = std::move(on_unsolicited);
+  on_down_ = std::move(on_down);
+  reader_thread_ = std::thread([this] { reader(); });
+}
+
+bool Link::send(std::string_view bytes) {
+  const std::scoped_lock lock{send_mutex_};
+  if (down_.load()) return false;
+  if (!common::send_all(fd_.get(), bytes.data(), bytes.size())) {
+    down_.store(true);
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t Link::next_channel() {
+  const std::scoped_lock lock{pending_mutex_};
+  // Channel 0 is reserved for unsolicited frames; skip it on wrap.
+  if (++next_channel_ == 0) ++next_channel_;
+  return next_channel_;
+}
+
+net::Frame Link::request(std::uint32_t channel, std::string_view bytes) {
+  {
+    const std::scoped_lock lock{pending_mutex_};
+    pending_.emplace(channel, Pending{});
+  }
+  if (!send(bytes)) {
+    const std::scoped_lock lock{pending_mutex_};
+    pending_.erase(channel);
+    throw ClusterError{"cluster: " + addr_.to_string() + " is down"};
+  }
+  std::unique_lock lock{pending_mutex_};
+  const bool done = pending_cv_.wait_for(
+      lock, std::chrono::milliseconds(options_.request_timeout_ms),
+      [&] { return pending_[channel].done || down_.load(); });
+  net::Frame reply = std::move(pending_[channel].reply);
+  const bool completed = pending_[channel].done;
+  pending_.erase(channel);
+  lock.unlock();
+  if (!done || !completed) {
+    throw ClusterError{"cluster: request to " + addr_.to_string() +
+                       (down_.load() ? " failed (link down)" : " timed out")};
+  }
+  if (reply.type == net::FrameType::kError) {
+    net::PayloadReader reader{reply.payload};
+    throw ClusterError{"cluster: " + addr_.to_string() +
+                       " rejected request: " + reader.str()};
+  }
+  return reply;
+}
+
+void Link::close() {
+  down_.store(true);
+  fd_.shutdown_both();
+  pending_cv_.notify_all();
+}
+
+void Link::mark_down() {
+  down_.store(true);
+  pending_cv_.notify_all();
+  if (!down_fired_.exchange(true) && on_down_) on_down_();
+}
+
+void Link::dispatch(const net::Frame& frame) {
+  if (frame.channel != 0) {
+    const std::scoped_lock lock{pending_mutex_};
+    const auto it = pending_.find(frame.channel);
+    if (it != pending_.end()) {
+      it->second.reply = frame;
+      it->second.done = true;
+      pending_cv_.notify_all();
+    }
+    return;
+  }
+  if (frame.type == net::FrameType::kHeartbeat) return;
+  if (on_unsolicited_) on_unsolicited_(frame);
+}
+
+void Link::reader() {
+  std::string buffer = std::move(carry_);
+  char chunk[64 * 1024];
+  while (!down_.load()) {
+    // Drain every complete frame already buffered.
+    for (;;) {
+      std::size_t consumed = 0;
+      net::Frame frame;
+      const auto status = net::decode_frame(buffer, consumed, frame);
+      if (status == net::DecodeStatus::kFrame) {
+        buffer.erase(0, consumed);
+        dispatch(frame);
+        continue;
+      }
+      if (status == net::DecodeStatus::kError) {
+        mark_down();
+        return;
+      }
+      break;  // kNeedMore
+    }
+    std::size_t received = 0;
+    switch (common::recv_some(fd_.get(), chunk, sizeof chunk, 100, &received)) {
+      case common::RecvStatus::kData:
+        buffer.append(chunk, received);
+        break;
+      case common::RecvStatus::kTimeout:
+        break;
+      case common::RecvStatus::kClosed:
+      case common::RecvStatus::kError:
+        mark_down();
+        return;
+    }
+  }
+  mark_down();
+}
+
+}  // namespace stampede::cluster

@@ -1,0 +1,111 @@
+#pragma once
+// cluster::Link — one outbound cluster connection (router→shard-host,
+// primary→follower), living exactly as long as the TCP connection.
+//
+// Connecting is blocking with bounded, jittered retries (the BusClient
+// backoff discipline: exponential with ±20% jitter so a restarting
+// fleet does not reconnect in lockstep) — but unlike the bus client a
+// Link does NOT reconnect transparently: cluster peers hold routed
+// state (in-flight applies, replication offsets), so a dead link is
+// surfaced to the owner via on_down and the owner decides (fail over,
+// resync, or give up). Exhausting the attempts throws ClusterError
+// instead of hanging.
+//
+// After start(), a reader thread decodes frames off the socket:
+// nonzero channels complete pending request() calls; channel-0 frames
+// (acks, replication traffic) go to the owner's handler; heartbeats
+// are swallowed. request() is thread-safe and may overlap — replies
+// correlate by channel.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "cluster/shard_map.hpp"
+#include "common/socket.hpp"
+#include "net/frame.hpp"
+
+namespace stampede::cluster {
+
+struct LinkOptions {
+  int connect_attempts = 5;
+  int backoff_ms = 50;        ///< First retry delay; doubles per attempt.
+  int max_backoff_ms = 2000;
+  int request_timeout_ms = 30000;
+  std::uint64_t jitter_seed = 0;  ///< 0 = seed from std::random_device.
+};
+
+class Link {
+ public:
+  using Options = LinkOptions;
+
+  /// Channel-0 frames (unsolicited pushes) — called on the reader
+  /// thread. Heartbeats are filtered out before this fires.
+  using FrameHandler = std::function<void(const net::Frame&)>;
+  /// Fires exactly once, on the reader thread, when the peer goes away.
+  using DownHandler = std::function<void()>;
+
+  /// Connects (bounded retries) and runs the HELLO handshake requiring
+  /// kFeatureCluster. Throws ClusterError on exhaustion or a peer that
+  /// lacks the feature.
+  explicit Link(HostAddr addr, Options options = {});
+  ~Link();
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Spawns the reader thread. Call once, before any request()/send().
+  void start(FrameHandler on_unsolicited, DownHandler on_down);
+
+  /// Fire-and-forget frame (already encoded). False once the link died.
+  bool send(std::string_view bytes);
+
+  /// Allocates a fresh nonzero channel for a request frame.
+  [[nodiscard]] std::uint32_t next_channel();
+
+  /// Sends `bytes` (a frame carrying `channel`) and blocks for the
+  /// reply on that channel. Throws ClusterError on timeout, link death,
+  /// or a kError reply (whose reason is included).
+  [[nodiscard]] net::Frame request(std::uint32_t channel,
+                                   std::string_view bytes);
+
+  [[nodiscard]] bool alive() const noexcept { return !down_.load(); }
+  [[nodiscard]] const HostAddr& addr() const noexcept { return addr_; }
+
+  /// Tears the connection down (idempotent; wakes the reader + waiters).
+  void close();
+
+ private:
+  void reader();
+  void mark_down();
+  void dispatch(const net::Frame& frame);
+
+  HostAddr addr_;
+  Options options_;
+  common::SocketFd fd_;
+  std::string carry_;  ///< Bytes read past HELLO_OK during the handshake.
+  std::thread reader_thread_;
+
+  std::mutex send_mutex_;
+  std::atomic<bool> down_{false};
+  std::atomic<bool> down_fired_{false};
+
+  FrameHandler on_unsolicited_;
+  DownHandler on_down_;
+
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::uint32_t next_channel_ = 1;
+  struct Pending {
+    bool done = false;
+    net::Frame reply;
+  };
+  std::map<std::uint32_t, Pending> pending_;
+};
+
+}  // namespace stampede::cluster

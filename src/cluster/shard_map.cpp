@@ -1,0 +1,113 @@
+#include "cluster/shard_map.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <string_view>
+
+namespace stampede::cluster {
+namespace {
+
+[[noreturn]] void fail(const std::string& spec, const std::string& why) {
+  throw ClusterError{"cluster spec '" + spec + "': " + why};
+}
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+bool parse_number(std::string_view text, std::size_t* out) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+HostAddr parse_addr(const std::string& spec, std::string_view text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == text.size()) {
+    fail(spec, "bad address '" + std::string{text} + "' (want host:port)");
+  }
+  std::size_t port = 0;
+  if (!parse_number(text.substr(colon + 1), &port) || port == 0 ||
+      port > 65535) {
+    fail(spec, "bad port in '" + std::string{text} + "'");
+  }
+  return HostAddr{std::string{text.substr(0, colon)}, static_cast<int>(port)};
+}
+
+}  // namespace
+
+HostAddr parse_addr(const std::string& text) {
+  return parse_addr(text, text);
+}
+
+ShardMap ShardMap::parse(const std::string& spec) {
+  ShardMap map;
+  if (spec.empty()) fail(spec, "empty");
+  for (const std::string_view part : split(spec, ';')) {
+    if (part.empty()) fail(spec, "empty placement");
+    const std::size_t at = part.find('@');
+    if (at == std::string_view::npos) {
+      fail(spec, "placement '" + std::string{part} + "' missing '@'");
+    }
+    Placement placement;
+    for (const std::string_view shard_text : split(part.substr(0, at), ',')) {
+      std::size_t shard = 0;
+      if (!parse_number(shard_text, &shard)) {
+        fail(spec, "bad shard index '" + std::string{shard_text} + "'");
+      }
+      placement.shards.push_back(shard);
+    }
+    if (placement.shards.empty()) fail(spec, "placement without shards");
+    const std::string_view addrs = part.substr(at + 1);
+    const std::size_t slash = addrs.find('/');
+    placement.primary = parse_addr(spec, slash == std::string_view::npos
+                                             ? addrs
+                                             : addrs.substr(0, slash));
+    if (slash != std::string_view::npos) {
+      placement.follower = parse_addr(spec, addrs.substr(slash + 1));
+    }
+    map.placements_.push_back(std::move(placement));
+  }
+
+  // Coverage: every shard in [0, max+1) exactly once.
+  std::size_t max_shard = 0;
+  std::size_t named = 0;
+  for (const auto& placement : map.placements_) {
+    for (const std::size_t shard : placement.shards) {
+      max_shard = std::max(max_shard, shard);
+      ++named;
+    }
+  }
+  map.total_ = max_shard + 1;
+  if (named != map.total_) {
+    fail(spec, "shards must cover 0.." + std::to_string(max_shard) +
+                   " exactly once");
+  }
+  map.owner_.assign(map.total_, static_cast<std::size_t>(-1));
+  for (std::size_t p = 0; p < map.placements_.size(); ++p) {
+    for (const std::size_t shard : map.placements_[p].shards) {
+      if (map.owner_[shard] != static_cast<std::size_t>(-1)) {
+        fail(spec, "shard " + std::to_string(shard) + " named twice");
+      }
+      map.owner_[shard] = p;
+    }
+  }
+  return map;
+}
+
+}  // namespace stampede::cluster

@@ -1,0 +1,577 @@
+#include "cluster/wire.hpp"
+
+#include <bit>
+#include <utility>
+
+namespace stampede::cluster {
+namespace {
+
+using net::Frame;
+using net::FrameType;
+using net::PayloadReader;
+
+// Expression trees come off the wire; past this nesting depth the
+// decoder declares the payload hostile rather than recursing further.
+constexpr int kMaxExprDepth = 64;
+
+// Value tags. Ints travel as their two's-complement bit pattern in a
+// u64; reals as raw IEEE-754 bits (bit-exact, NaN included).
+constexpr std::uint8_t kValNull = 0;
+constexpr std::uint8_t kValInt = 1;
+constexpr std::uint8_t kValReal = 2;
+constexpr std::uint8_t kValText = 3;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scalars and trees
+
+void encode_value(std::string& out, const db::Value& value) {
+  if (value.is_null()) {
+    net::put_u8(out, kValNull);
+  } else if (value.is_int()) {
+    net::put_u8(out, kValInt);
+    net::put_u64(out, static_cast<std::uint64_t>(value.as_int()));
+  } else if (value.is_real()) {
+    net::put_u8(out, kValReal);
+    net::put_f64(out, value.as_real());
+  } else {
+    net::put_u8(out, kValText);
+    net::put_string(out, value.as_text());
+  }
+}
+
+bool decode_value(PayloadReader& reader, db::Value* out) {
+  switch (reader.u8()) {
+    case kValNull:
+      *out = db::Value::null();
+      break;
+    case kValInt:
+      *out = db::Value{static_cast<std::int64_t>(reader.u64())};
+      break;
+    case kValReal:
+      *out = db::Value{reader.f64()};
+      break;
+    case kValText:
+      *out = db::Value{reader.str()};
+      break;
+    default:
+      return false;
+  }
+  return reader.ok();
+}
+
+void encode_expr(std::string& out, const db::Expr& expr) {
+  net::put_u8(out, static_cast<std::uint8_t>(expr.kind));
+  net::put_u8(out, static_cast<std::uint8_t>(expr.op));
+  net::put_string(out, expr.column);
+  net::put_string(out, expr.column_rhs);
+  encode_value(out, expr.literal);
+  net::put_string(out, expr.pattern);
+  net::put_u32(out, static_cast<std::uint32_t>(expr.in_values.size()));
+  for (const auto& v : expr.in_values) encode_value(out, v);
+  net::put_u32(out, static_cast<std::uint32_t>(expr.children.size()));
+  for (const auto& child : expr.children) encode_expr(out, *child);
+}
+
+bool decode_expr(PayloadReader& reader, db::ExprPtr* out, int depth) {
+  if (depth > kMaxExprDepth) return false;
+  auto expr = std::make_shared<db::Expr>();
+  const std::uint8_t kind = reader.u8();
+  const std::uint8_t op = reader.u8();
+  if (kind > static_cast<std::uint8_t>(db::Expr::Kind::kIn) ||
+      op > static_cast<std::uint8_t>(db::CompareOp::kGe)) {
+    return false;
+  }
+  expr->kind = static_cast<db::Expr::Kind>(kind);
+  expr->op = static_cast<db::CompareOp>(op);
+  expr->column = reader.str();
+  expr->column_rhs = reader.str();
+  if (!decode_value(reader, &expr->literal)) return false;
+  expr->pattern = reader.str();
+  const std::uint32_t n_in = reader.u32();
+  if (!reader.ok()) return false;
+  expr->in_values.reserve(n_in);
+  for (std::uint32_t i = 0; i < n_in; ++i) {
+    db::Value v;
+    if (!decode_value(reader, &v)) return false;
+    expr->in_values.push_back(std::move(v));
+  }
+  const std::uint32_t n_children = reader.u32();
+  if (!reader.ok()) return false;
+  expr->children.reserve(n_children);
+  for (std::uint32_t i = 0; i < n_children; ++i) {
+    db::ExprPtr child;
+    if (!decode_expr(reader, &child, depth + 1)) return false;
+    expr->children.push_back(std::move(child));
+  }
+  *out = std::move(expr);
+  return reader.ok();
+}
+
+void encode_select(std::string& out, const db::Select& select) {
+  net::put_string(out, select.table());
+  net::put_string(out, select.alias());
+  net::put_u32(out, static_cast<std::uint32_t>(select.selected().size()));
+  for (const auto& col : select.selected()) net::put_string(out, col);
+  net::put_u32(out, static_cast<std::uint32_t>(select.joins().size()));
+  for (const auto& join : select.joins()) {
+    net::put_string(out, join.table);
+    net::put_string(out, join.alias);
+    net::put_string(out, join.left_col);
+    net::put_string(out, join.right_col);
+    net::put_u8(out, join.left_outer ? 1 : 0);
+  }
+  net::put_u8(out, select.predicate() ? 1 : 0);
+  if (select.predicate()) encode_expr(out, *select.predicate());
+  net::put_u32(out, static_cast<std::uint32_t>(select.groups().size()));
+  for (const auto& col : select.groups()) net::put_string(out, col);
+  net::put_u32(out, static_cast<std::uint32_t>(select.aggs().size()));
+  for (const auto& agg : select.aggs()) {
+    net::put_u8(out, static_cast<std::uint8_t>(agg.fn));
+    net::put_string(out, agg.column);
+    net::put_string(out, agg.alias);
+  }
+  net::put_u32(out, static_cast<std::uint32_t>(select.orders().size()));
+  for (const auto& order : select.orders()) {
+    net::put_string(out, order.column);
+    net::put_u8(out, order.descending ? 1 : 0);
+  }
+  net::put_u8(out, select.row_limit() ? 1 : 0);
+  if (select.row_limit()) {
+    net::put_u64(out, static_cast<std::uint64_t>(*select.row_limit()));
+  }
+  net::put_u8(out, select.is_distinct() ? 1 : 0);
+}
+
+bool decode_select(PayloadReader& reader, db::Select* out) {
+  const std::string table = reader.str();
+  const std::string alias = reader.str();
+  if (!reader.ok()) return false;
+  db::Select select{table, alias};
+  const std::uint32_t n_cols = reader.u32();
+  if (!reader.ok()) return false;
+  std::vector<std::string> cols;
+  cols.reserve(n_cols);
+  for (std::uint32_t i = 0; i < n_cols && reader.ok(); ++i) {
+    cols.push_back(reader.str());
+  }
+  if (!cols.empty()) select.columns(std::move(cols));
+  const std::uint32_t n_joins = reader.u32();
+  for (std::uint32_t i = 0; i < n_joins && reader.ok(); ++i) {
+    const std::string jt = reader.str();
+    const std::string ja = reader.str();
+    const std::string left = reader.str();
+    const std::string right = reader.str();
+    const bool outer = reader.u8() != 0;
+    if (outer) {
+      select.left_join(jt, left, right, ja);
+    } else {
+      select.join(jt, left, right, ja);
+    }
+  }
+  if (reader.u8() != 0) {
+    db::ExprPtr predicate;
+    if (!decode_expr(reader, &predicate)) return false;
+    select.where(std::move(predicate));
+  }
+  const std::uint32_t n_groups = reader.u32();
+  if (!reader.ok()) return false;
+  std::vector<std::string> groups;
+  groups.reserve(n_groups);
+  for (std::uint32_t i = 0; i < n_groups && reader.ok(); ++i) {
+    groups.push_back(reader.str());
+  }
+  if (!groups.empty()) select.group_by(std::move(groups));
+  const std::uint32_t n_aggs = reader.u32();
+  for (std::uint32_t i = 0; i < n_aggs && reader.ok(); ++i) {
+    const std::uint8_t fn = reader.u8();
+    const std::string column = reader.str();
+    const std::string agg_alias = reader.str();
+    if (fn > static_cast<std::uint8_t>(db::AggFn::kAvg)) return false;
+    if (column.empty() && static_cast<db::AggFn>(fn) == db::AggFn::kCount) {
+      select.count_all(agg_alias);
+    } else {
+      select.agg(static_cast<db::AggFn>(fn), column, agg_alias);
+    }
+  }
+  const std::uint32_t n_orders = reader.u32();
+  for (std::uint32_t i = 0; i < n_orders && reader.ok(); ++i) {
+    const std::string column = reader.str();
+    const bool desc = reader.u8() != 0;
+    select.order_by(column, desc);
+  }
+  if (reader.u8() != 0) {
+    select.limit(static_cast<std::size_t>(reader.u64()));
+  }
+  if (reader.u8() != 0) select.distinct();
+  if (!reader.ok()) return false;
+  *out = std::move(select);
+  return true;
+}
+
+void encode_result_set(std::string& out, const db::ResultSet& rs) {
+  net::put_u32(out, static_cast<std::uint32_t>(rs.columns.size()));
+  for (const auto& col : rs.columns) net::put_string(out, col);
+  net::put_u32(out, static_cast<std::uint32_t>(rs.rows.size()));
+  for (const auto& row : rs.rows) {
+    net::put_u32(out, static_cast<std::uint32_t>(row.size()));
+    for (const auto& value : row) encode_value(out, value);
+  }
+}
+
+bool decode_result_set(PayloadReader& reader, db::ResultSet* out) {
+  db::ResultSet rs;
+  const std::uint32_t n_cols = reader.u32();
+  if (!reader.ok()) return false;
+  rs.columns.reserve(n_cols);
+  for (std::uint32_t i = 0; i < n_cols && reader.ok(); ++i) {
+    rs.columns.push_back(reader.str());
+  }
+  const std::uint32_t n_rows = reader.u32();
+  if (!reader.ok()) return false;
+  rs.rows.reserve(n_rows);
+  for (std::uint32_t r = 0; r < n_rows; ++r) {
+    const std::uint32_t n_vals = reader.u32();
+    if (!reader.ok()) return false;
+    db::Row row;
+    row.reserve(n_vals);
+    for (std::uint32_t v = 0; v < n_vals; ++v) {
+      db::Value value;
+      if (!decode_value(reader, &value)) return false;
+      row.push_back(std::move(value));
+    }
+    rs.rows.push_back(std::move(row));
+  }
+  *out = std::move(rs);
+  return true;
+}
+
+void encode_record(std::string& out, const nl::LogRecord& record) {
+  net::put_f64(out, record.ts());
+  net::put_u8(out, static_cast<std::uint8_t>(record.level()));
+  net::put_string(out, record.event());
+  net::put_u32(out, static_cast<std::uint32_t>(record.attributes().size()));
+  for (const auto& [key, value] : record.attributes()) {
+    net::put_string(out, key);
+    net::put_string(out, value);
+  }
+}
+
+bool decode_record(PayloadReader& reader, nl::LogRecord* out) {
+  const double ts = reader.f64();
+  const std::uint8_t level = reader.u8();
+  const std::string event = reader.str();
+  if (!reader.ok() || level > static_cast<std::uint8_t>(nl::Level::kTrace)) {
+    return false;
+  }
+  nl::LogRecord record{ts, event, static_cast<nl::Level>(level)};
+  const std::uint32_t n_attrs = reader.u32();
+  if (!reader.ok()) return false;
+  for (std::uint32_t i = 0; i < n_attrs; ++i) {
+    const std::string key = reader.str();
+    std::string value = reader.str();
+    if (!reader.ok()) return false;
+    record.set(key, std::move(value));
+  }
+  *out = std::move(record);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Apply / ack
+
+std::string encode_cluster_apply(std::uint32_t channel, std::uint32_t shard,
+                                 const std::vector<ApplyItem>& items) {
+  Frame frame;
+  frame.type = FrameType::kClusterApply;
+  frame.channel = channel;
+  net::put_u32(frame.payload, shard);
+  net::put_u32(frame.payload, static_cast<std::uint32_t>(items.size()));
+  for (const auto& item : items) {
+    encode_record(frame.payload, item.record);
+    net::put_u8(frame.payload, item.redelivered ? 1 : 0);
+    net::put_u64(frame.payload, item.ack_tag);
+  }
+  return encode_frame(frame);
+}
+
+bool parse_cluster_apply(const Frame& frame, std::uint32_t* shard,
+                         std::vector<ApplyItem>* items) {
+  PayloadReader reader{frame.payload};
+  *shard = reader.u32();
+  const std::uint32_t count = reader.u32();
+  if (!reader.ok()) return false;
+  items->clear();
+  items->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ApplyItem item;
+    if (!decode_record(reader, &item.record)) return false;
+    item.redelivered = reader.u8() != 0;
+    item.ack_tag = reader.u64();
+    items->push_back(std::move(item));
+  }
+  return reader.complete();
+}
+
+std::string encode_cluster_ack(const std::vector<std::uint64_t>& tags) {
+  Frame frame;
+  frame.type = FrameType::kClusterAck;
+  net::put_u32(frame.payload, static_cast<std::uint32_t>(tags.size()));
+  for (const std::uint64_t tag : tags) net::put_u64(frame.payload, tag);
+  return encode_frame(frame);
+}
+
+bool parse_cluster_ack(const Frame& frame, std::vector<std::uint64_t>* tags) {
+  PayloadReader reader{frame.payload};
+  const std::uint32_t count = reader.u32();
+  if (!reader.ok()) return false;
+  tags->clear();
+  tags->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) tags->push_back(reader.u64());
+  return reader.complete();
+}
+
+// ---------------------------------------------------------------------------
+// Query / result
+
+std::string encode_cluster_query(std::uint32_t channel, std::uint32_t shard,
+                                 const db::Select& select) {
+  Frame frame;
+  frame.type = FrameType::kClusterQuery;
+  frame.channel = channel;
+  net::put_u32(frame.payload, shard);
+  encode_select(frame.payload, select);
+  return encode_frame(frame);
+}
+
+bool parse_cluster_query(const Frame& frame, std::uint32_t* shard,
+                         db::Select* select) {
+  PayloadReader reader{frame.payload};
+  *shard = reader.u32();
+  if (!reader.ok()) return false;
+  if (!decode_select(reader, select)) return false;
+  return reader.complete();
+}
+
+std::string encode_cluster_result(std::uint32_t channel,
+                                  const db::ResultSet& rs) {
+  Frame frame;
+  frame.type = FrameType::kClusterResult;
+  frame.channel = channel;
+  encode_result_set(frame.payload, rs);
+  return encode_frame(frame);
+}
+
+bool parse_cluster_result(const Frame& frame, db::ResultSet* rs) {
+  PayloadReader reader{frame.payload};
+  if (!decode_result_set(reader, rs)) return false;
+  return reader.complete();
+}
+
+// ---------------------------------------------------------------------------
+// Versions
+
+std::string encode_cluster_versions(std::uint32_t channel, std::uint32_t shard,
+                                    const std::vector<std::string>& tables) {
+  Frame frame;
+  frame.type = FrameType::kClusterVersions;
+  frame.channel = channel;
+  net::put_u32(frame.payload, shard);
+  net::put_u32(frame.payload, static_cast<std::uint32_t>(tables.size()));
+  for (const auto& table : tables) net::put_string(frame.payload, table);
+  return encode_frame(frame);
+}
+
+bool parse_cluster_versions(const Frame& frame, std::uint32_t* shard,
+                            std::vector<std::string>* tables) {
+  PayloadReader reader{frame.payload};
+  *shard = reader.u32();
+  const std::uint32_t count = reader.u32();
+  if (!reader.ok()) return false;
+  tables->clear();
+  tables->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) tables->push_back(reader.str());
+  return reader.complete();
+}
+
+std::string encode_cluster_versions_ok(
+    std::uint32_t channel, const std::vector<std::uint64_t>& versions) {
+  Frame frame;
+  frame.type = FrameType::kClusterVersionsOk;
+  frame.channel = channel;
+  net::put_u32(frame.payload, static_cast<std::uint32_t>(versions.size()));
+  for (const std::uint64_t v : versions) net::put_u64(frame.payload, v);
+  return encode_frame(frame);
+}
+
+bool parse_cluster_versions_ok(const Frame& frame,
+                               std::vector<std::uint64_t>* versions) {
+  PayloadReader reader{frame.payload};
+  const std::uint32_t count = reader.u32();
+  if (!reader.ok()) return false;
+  versions->clear();
+  versions->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) versions->push_back(reader.u64());
+  return reader.complete();
+}
+
+// ---------------------------------------------------------------------------
+// Replication
+
+std::string encode_cluster_replicate(std::uint32_t shard, std::uint64_t offset,
+                                     std::string_view bytes) {
+  Frame frame;
+  frame.type = FrameType::kClusterReplicate;
+  net::put_u32(frame.payload, shard);
+  net::put_u64(frame.payload, offset);
+  net::put_string(frame.payload, bytes);
+  return encode_frame(frame);
+}
+
+bool parse_cluster_replicate(const Frame& frame, std::uint32_t* shard,
+                             std::uint64_t* offset, std::string* bytes) {
+  PayloadReader reader{frame.payload};
+  *shard = reader.u32();
+  *offset = reader.u64();
+  *bytes = reader.str();
+  return reader.complete();
+}
+
+std::string encode_cluster_replicate_ack(std::uint32_t shard,
+                                         std::uint64_t offset) {
+  Frame frame;
+  frame.type = FrameType::kClusterReplicateAck;
+  net::put_u32(frame.payload, shard);
+  net::put_u64(frame.payload, offset);
+  return encode_frame(frame);
+}
+
+bool parse_cluster_replicate_ack(const Frame& frame, std::uint32_t* shard,
+                                 std::uint64_t* offset) {
+  PayloadReader reader{frame.payload};
+  *shard = reader.u32();
+  *offset = reader.u64();
+  return reader.complete();
+}
+
+// ---------------------------------------------------------------------------
+// Promote
+
+std::string encode_cluster_promote(std::uint32_t channel,
+                                   const std::vector<std::uint32_t>& shards) {
+  Frame frame;
+  frame.type = FrameType::kClusterPromote;
+  frame.channel = channel;
+  net::put_u32(frame.payload, static_cast<std::uint32_t>(shards.size()));
+  for (const std::uint32_t shard : shards) net::put_u32(frame.payload, shard);
+  return encode_frame(frame);
+}
+
+bool parse_cluster_promote(const Frame& frame,
+                           std::vector<std::uint32_t>* shards) {
+  PayloadReader reader{frame.payload};
+  const std::uint32_t count = reader.u32();
+  if (!reader.ok()) return false;
+  shards->clear();
+  shards->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) shards->push_back(reader.u32());
+  return reader.complete();
+}
+
+std::string encode_cluster_promote_ok(
+    std::uint32_t channel, const std::vector<PromoteResult>& results) {
+  Frame frame;
+  frame.type = FrameType::kOk;
+  frame.channel = channel;
+  net::put_u32(frame.payload, static_cast<std::uint32_t>(results.size()));
+  for (const auto& result : results) {
+    net::put_u32(frame.payload, result.shard);
+    net::put_u64(frame.payload, result.recovered_ops);
+    net::put_u64(frame.payload, result.truncated_records);
+  }
+  return encode_frame(frame);
+}
+
+bool parse_cluster_promote_ok(const Frame& frame,
+                              std::vector<PromoteResult>* results) {
+  PayloadReader reader{frame.payload};
+  const std::uint32_t count = reader.u32();
+  if (!reader.ok()) return false;
+  results->clear();
+  results->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PromoteResult result;
+    result.shard = reader.u32();
+    result.recovered_ops = reader.u64();
+    result.truncated_records = reader.u64();
+    results->push_back(result);
+  }
+  return reader.complete();
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+std::string encode_cluster_stats(std::uint32_t channel, std::uint32_t shard) {
+  Frame frame;
+  frame.type = FrameType::kClusterStats;
+  frame.channel = channel;
+  net::put_u32(frame.payload, shard);
+  return encode_frame(frame);
+}
+
+bool parse_cluster_stats(const Frame& frame, std::uint32_t* shard) {
+  PayloadReader reader{frame.payload};
+  *shard = reader.u32();
+  return reader.complete();
+}
+
+std::string encode_cluster_stats_ok(std::uint32_t channel,
+                                    const HostShardStats& stats) {
+  Frame frame;
+  frame.type = FrameType::kClusterStatsOk;
+  frame.channel = channel;
+  const auto& l = stats.loader;
+  net::put_u64(frame.payload, l.events_seen);
+  net::put_u64(frame.payload, l.events_loaded);
+  net::put_u64(frame.payload, l.events_invalid);
+  net::put_u64(frame.payload, l.events_unknown);
+  net::put_u64(frame.payload, l.events_dropped);
+  net::put_u64(frame.payload, l.events_deferred);
+  net::put_u64(frame.payload, l.deferred_evicted);
+  net::put_u64(frame.payload, l.replay_deduped);
+  net::put_u32(frame.payload, static_cast<std::uint32_t>(l.by_event.size()));
+  for (const auto& [event, count] : l.by_event) {
+    net::put_string(frame.payload, event);
+    net::put_u64(frame.payload, count);
+  }
+  net::put_u64(frame.payload, stats.wal_truncated);
+  return encode_frame(frame);
+}
+
+bool parse_cluster_stats_ok(const Frame& frame, HostShardStats* stats) {
+  PayloadReader reader{frame.payload};
+  auto& l = stats->loader;
+  l = loader::LoaderStats{};
+  l.events_seen = reader.u64();
+  l.events_loaded = reader.u64();
+  l.events_invalid = reader.u64();
+  l.events_unknown = reader.u64();
+  l.events_dropped = reader.u64();
+  l.events_deferred = reader.u64();
+  l.deferred_evicted = reader.u64();
+  l.replay_deduped = reader.u64();
+  const std::uint32_t count = reader.u32();
+  if (!reader.ok()) return false;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string event = reader.str();
+    const std::uint64_t n = reader.u64();
+    if (!reader.ok()) return false;
+    l.by_event[event] = n;
+  }
+  stats->wal_truncated = reader.u64();
+  return reader.complete();
+}
+
+}  // namespace stampede::cluster

@@ -1,0 +1,27 @@
+#pragma once
+// Stable, implementation-independent hashing shared by every layer that
+// must agree on placement across builds and processes.
+//
+// db::ShardedDatabase (in-process partition routing) and the cluster
+// query router (cross-process shard maps) both derive "which shard owns
+// this workflow" from fnv1a64 — one definition here, so the two can
+// never silently diverge and misroute rows. Deliberately not std::hash:
+// that is implementation-defined and WAL recovery has to find rows on
+// the shard that wrote them, possibly in a different binary.
+
+#include <cstdint>
+#include <string_view>
+
+namespace stampede::common {
+
+/// 64-bit FNV-1a over the bytes of `key`.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view key) noexcept {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace stampede::common

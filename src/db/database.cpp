@@ -190,6 +190,16 @@ void StorageShard::wal_write(const std::string& line) {
   }
   std::ofstream out{wal_path_, std::ios::app};
   if (out) out << line << '\n';
+  if (wal_sink_) {
+    std::string shipped = line;
+    shipped += '\n';
+    wal_sink_(shipped);
+  }
+}
+
+void StorageShard::set_wal_sink(WalSink sink) {
+  const WriteGuard guard{*this};
+  wal_sink_ = std::move(sink);
 }
 
 // ---------------------------------------------------------------------------
@@ -490,10 +500,17 @@ void StorageShard::commit() {
     txn_active_ = false;
     undo_log_.clear();
     if (!wal_path_.empty() && !wal_buffer_.empty()) {
-      std::ofstream out{wal_path_, std::ios::app};
-      if (out) {
-        for (const auto& line : wal_buffer_) out << line << '\n';
+      // One concatenation serves both the local append and the
+      // replication sink, so the shipped bytes are exactly the bytes on
+      // disk (byte-offset bookkeeping on both ends stays trivial).
+      std::string batch;
+      for (const auto& line : wal_buffer_) {
+        batch += line;
+        batch += '\n';
       }
+      std::ofstream out{wal_path_, std::ios::app};
+      if (out) out << batch;
+      if (wal_sink_) wal_sink_(batch);
     }
     wal_buffer_.clear();
     if (commit_latency_) {

@@ -211,6 +211,16 @@ class StorageShard {
   /// Number of truncated trailing WAL records discarded by recover().
   [[nodiscard]] std::uint64_t wal_truncated_records() const;
 
+  /// Receives every byte range appended to the WAL file (one call per
+  /// autocommit line or per committed batch; `bytes` includes the
+  /// trailing newlines). The cluster layer ships these to a follower
+  /// replica. Invoked while the shard's exclusive lock is held, so the
+  /// sink must not call back into the shard; empty detaches. The sink
+  /// fires only for a WAL-backed shard (wal_path non-empty) and never
+  /// during recover() replay.
+  using WalSink = std::function<void(std::string_view bytes)>;
+  void set_wal_sink(WalSink sink);
+
  private:
   /// Shared lock for a public read entry point — unless this thread
   /// owns the open transaction (txn_lock_ already excludes everyone
@@ -314,6 +324,7 @@ class StorageShard {
   std::vector<UndoOp> undo_log_;
   std::vector<std::string> wal_buffer_;  ///< Committed at commit().
 
+  WalSink wal_sink_;
   std::int64_t pk_offset_ = 0;  ///< This shard's congruence class.
   std::int64_t pk_step_ = 1;    ///< Total shard count.
   std::uint64_t wal_truncated_ = 0;

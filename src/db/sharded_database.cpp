@@ -1,18 +1,15 @@
 #include "db/sharded_database.hpp"
 
 #include "common/errors.hpp"
+#include "common/hash.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace stampede::db {
 
 std::uint64_t partition_hash(std::string_view key) noexcept {
-  // FNV-1a 64-bit.
-  std::uint64_t h = 14695981039346656037ULL;
-  for (const char c : key) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
+  // One shared definition (common/hash.hpp): the cluster router hashes
+  // the same keys in another process and must land on the same shard.
+  return common::fnv1a64(key);
 }
 
 std::string ShardedDatabase::shard_wal_path(const std::string& base,

@@ -49,8 +49,8 @@ NlLoadStats load_stream(std::istream& in, StampedeLoader& loader) {
   return load_stream_impl(in, loader);
 }
 
-NlLoadStats load_stream(std::istream& in, ShardedLoader& loader) {
-  return load_stream_impl(in, loader);
+NlLoadStats load_stream(std::istream& in, EventSink& sink) {
+  return load_stream_impl(in, sink);
 }
 
 NlLoadStats load_file(const std::string& path, StampedeLoader& loader) {
@@ -61,21 +61,20 @@ NlLoadStats load_file(const std::string& path, StampedeLoader& loader) {
   return load_stream(in, loader);
 }
 
-NlLoadStats load_file(const std::string& path, ShardedLoader& loader) {
+NlLoadStats load_file(const std::string& path, EventSink& sink) {
   std::ifstream in{path};
   if (!in) {
     throw std::runtime_error("nl_load: cannot open " + path);
   }
-  return load_stream(in, loader);
+  return load_stream(in, sink);
 }
 
 QueuePump::QueuePump(bus::IBus& bus, std::string queue,
                      StampedeLoader& loader)
     : broker_(&bus), queue_(std::move(queue)), loader_(&loader) {}
 
-QueuePump::QueuePump(bus::IBus& bus, std::string queue,
-                     ShardedLoader& loader)
-    : broker_(&bus), queue_(std::move(queue)), sharded_(&loader) {}
+QueuePump::QueuePump(bus::IBus& bus, std::string queue, EventSink& sink)
+    : broker_(&bus), queue_(std::move(queue)), sink_(&sink) {}
 
 QueuePump::~QueuePump() { stop(); }
 
@@ -117,8 +116,8 @@ void QueuePump::pump(const std::stop_token& stop) {
   const auto ack = [this](std::uint64_t delivery_tag) {
     broker_->ack(queue_, delivery_tag);
   };
-  if (sharded_ != nullptr) {
-    sharded_->set_ack_callback(ack);
+  if (sink_ != nullptr) {
+    sink_->set_ack_callback(ack);
   } else {
     loader_->set_ack_callback(ack);
   }
@@ -128,8 +127,8 @@ void QueuePump::pump(const std::stop_token& stop) {
       if (stop.stop_requested()) break;  // Drained and asked to stop.
       // Idle: commit the partial batch so its acks release — otherwise
       // unacked messages linger until batch_size more events arrive.
-      if (sharded_ != nullptr) {
-        sharded_->flush_hint();
+      if (sink_ != nullptr) {
+        sink_->flush_hint();
       } else {
         loader_->idle_flush();
       }
@@ -161,9 +160,9 @@ void QueuePump::pump(const std::stop_token& stop) {
           static_cast<std::int64_t>(stats_.events_per_second()));
     }
     if (auto* record = std::get_if<nl::LogRecord>(&parsed)) {
-      if (sharded_ != nullptr) {
-        sharded_->process(*record, &trace, delivery->redelivered,
-                          delivery->delivery_tag);
+      if (sink_ != nullptr) {
+        sink_->process(*record, &trace, delivery->redelivered,
+                       delivery->delivery_tag);
       } else {
         loader_->process(*record, &trace, delivery->redelivered,
                          delivery->delivery_tag);
@@ -175,8 +174,8 @@ void QueuePump::pump(const std::stop_token& stop) {
     }
   }
   // finish() flushes and releases every remaining ack via the callback.
-  if (sharded_ != nullptr) {
-    sharded_->finish();
+  if (sink_ != nullptr) {
+    sink_->finish();
   } else {
     loader_->finish();
   }

@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "bus/ibus.hpp"
+#include "loader/event_sink.hpp"
 #include "loader/sharded_loader.hpp"
 #include "loader/stampede_loader.hpp"
 #include "netlogger/parser.hpp"
@@ -43,10 +44,11 @@ NlLoadStats load_file(const std::string& path, StampedeLoader& loader);
 /// Parses BP text from any istream into the loader (for tests/pipes).
 NlLoadStats load_stream(std::istream& in, StampedeLoader& loader);
 
-/// Parallel-lane variants: the calling thread acts as the dispatcher
-/// and events load on the ShardedLoader's per-shard lanes.
-NlLoadStats load_file(const std::string& path, ShardedLoader& loader);
-NlLoadStats load_stream(std::istream& in, ShardedLoader& loader);
+/// Dispatcher variants: the calling thread routes each event into an
+/// EventSink — a ShardedLoader's per-shard lanes, or a cluster Router
+/// forwarding to remote shard hosts.
+NlLoadStats load_file(const std::string& path, EventSink& sink);
+NlLoadStats load_stream(std::istream& in, EventSink& sink);
 
 /// Real-time loader pump attached to an AMQP queue. Runs on its own
 /// thread; messages are acked only after the loader's transaction
@@ -62,9 +64,9 @@ class QueuePump {
   /// transport-agnostic.
   QueuePump(bus::IBus& bus, std::string queue, StampedeLoader& loader);
 
-  /// Sharded variant: the pump thread is the dispatcher and hands each
-  /// message to the loader's per-shard lanes.
-  QueuePump(bus::IBus& bus, std::string queue, ShardedLoader& loader);
+  /// Dispatcher variant: the pump thread routes each message into an
+  /// EventSink (ShardedLoader lanes or a cluster Router).
+  QueuePump(bus::IBus& bus, std::string queue, EventSink& sink);
 
   ~QueuePump();
   QueuePump(const QueuePump&) = delete;
@@ -89,7 +91,7 @@ class QueuePump {
   bus::IBus* broker_;
   std::string queue_;
   StampedeLoader* loader_ = nullptr;
-  ShardedLoader* sharded_ = nullptr;  ///< Set instead of loader_ when sharded.
+  EventSink* sink_ = nullptr;  ///< Set instead of loader_ for sink dispatch.
   std::jthread worker_;
   mutable std::mutex stats_mutex_;
   NlLoadStats stats_;

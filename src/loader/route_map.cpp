@@ -1,0 +1,47 @@
+#include "loader/route_map.hpp"
+
+#include "netlogger/events.hpp"
+
+namespace stampede::loader {
+
+namespace ev = nl::events;
+namespace attr = nl::events::attr;
+
+std::size_t WorkflowRouteMap::route(const nl::LogRecord& record,
+                                    const HashRoute& hash_route) {
+  const auto uuid = record.get_uuid(attr::kXwfId);
+  if (!uuid) return 0;  // No workflow attribution: arbitrary (stable) route.
+
+  std::size_t index;
+  if (const auto it = map_.find(*uuid); it != map_.end()) {
+    index = it->second;
+  } else {
+    // First sighting: co-locate with the tree. Prefer the root's route,
+    // then the parent's; a workflow with neither attribute is (the root
+    // of) its own tree and routes by hash of its own UUID.
+    if (const auto root = record.get_uuid(attr::kRootXwfId);
+        root && *root != *uuid) {
+      const auto rit = map_.find(*root);
+      index = rit != map_.end() ? rit->second : hash_route(root->to_string());
+    } else if (const auto parent = record.get_uuid(attr::kParentXwfId)) {
+      const auto pit = map_.find(*parent);
+      index = pit != map_.end() ? pit->second
+                                : hash_route(parent->to_string());
+    } else {
+      index = hash_route(uuid->to_string());
+    }
+    map_.emplace(*uuid, index);
+  }
+
+  // A sub-workflow mapping pins the child to this tree's route before
+  // any of the child's own events (which may lack parent attribution)
+  // arrive.
+  if (record.event() == ev::kMapSubwfJob) {
+    if (const auto subwf = record.get_uuid(attr::kSubwfId)) {
+      map_.emplace(*subwf, index);
+    }
+  }
+  return index;
+}
+
+}  // namespace stampede::loader

@@ -1,0 +1,59 @@
+#pragma once
+// Sticky tree-co-locating workflow routing (DESIGN.md §2, §14).
+//
+// Decides which shard/lane owns each BP event and remembers the
+// decision, keeping a workflow's whole sub-workflow tree on one shard:
+//   * every event of a seen workflow follows its pinned route;
+//   * a first-seen workflow prefers its root's route, then its
+//     parent's, then a stable hash of its own UUID;
+//   * a stampede.xwf.map.subwf_job event pins the child to the tree's
+//     route before any of the child's own events arrive.
+//
+// Extracted from ShardedLoader so the in-process lanes and the cluster
+// query router share ONE implementation — routing divergence between
+// the two would silently strand a workflow's rows on the wrong shard.
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/uuid.hpp"
+#include "netlogger/record.hpp"
+
+namespace stampede::loader {
+
+class WorkflowRouteMap {
+ public:
+  /// Stable shard index for a partition key (a workflow UUID string);
+  /// ShardedLoader passes ShardedDatabase::shard_index_for_key, the
+  /// router passes fnv1a64 % total. Must be pure and reproducible.
+  using HashRoute = std::function<std::size_t(std::string_view key)>;
+
+  /// Route for `record`, updating the map (first sightings are pinned;
+  /// map.subwf_job pins the named child too). Unattributed records
+  /// return route 0 without pinning anything. NOT thread-safe — call
+  /// from the one dispatcher thread.
+  std::size_t route(const nl::LogRecord& record, const HashRoute& hash_route);
+
+  /// Pins `uuid` explicitly (archive recovery seeding). First pin wins,
+  /// matching route()'s stickiness.
+  void pin(const common::Uuid& uuid, std::size_t index) {
+    map_.emplace(uuid, index);
+  }
+
+  [[nodiscard]] std::optional<std::size_t> route_of(
+      const common::Uuid& uuid) const {
+    const auto it = map_.find(uuid);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+
+ private:
+  std::unordered_map<common::Uuid, std::size_t> map_;
+};
+
+}  // namespace stampede::loader

@@ -3,12 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "netlogger/events.hpp"
-
 namespace stampede::loader {
-
-namespace ev = nl::events;
-namespace attr = nl::events::attr;
 
 ShardedLoader::Lane::Lane(db::StorageShard& shard,
                           const LoaderOptions& options, std::size_t index)
@@ -47,7 +42,7 @@ ShardedLoader::ShardedLoader(db::ShardedDatabase& database,
     for (std::size_t r = 0; r < rs.size(); ++r) {
       if (const auto uuid =
               common::Uuid::parse(rs.at(r, "wf_uuid").as_text())) {
-        route_of_.emplace(*uuid, i);
+        route_map_.pin(*uuid, i);
       }
     }
   }
@@ -113,34 +108,6 @@ void ShardedLoader::flush_hint() {
   }
 }
 
-std::size_t ShardedLoader::route(const nl::LogRecord& record) {
-  const auto uuid = record.get_uuid(attr::kXwfId);
-  if (!uuid) return 0;  // No workflow attribution: arbitrary (stable) lane.
-  if (const auto it = route_of_.find(*uuid); it != route_of_.end()) {
-    return it->second;
-  }
-  // First sighting: co-locate with the tree. Prefer the root's lane,
-  // then the parent's; a workflow with neither attribute is (the root
-  // of) its own tree and routes by hash of its own UUID.
-  std::size_t lane;
-  if (const auto root = record.get_uuid(attr::kRootXwfId);
-      root && *root != *uuid) {
-    const auto rit = route_of_.find(*root);
-    lane = rit != route_of_.end()
-               ? rit->second
-               : db_->shard_index_for_key(root->to_string());
-  } else if (const auto parent = record.get_uuid(attr::kParentXwfId)) {
-    const auto pit = route_of_.find(*parent);
-    lane = pit != route_of_.end()
-               ? pit->second
-               : db_->shard_index_for_key(parent->to_string());
-  } else {
-    lane = db_->shard_index_for_key(uuid->to_string());
-  }
-  route_of_.emplace(*uuid, lane);
-  return lane;
-}
-
 void ShardedLoader::update_skew() {
   // Max relative deviation from a perfectly even spread, in permille:
   // 0 = balanced, 1000 = one lane holds double its fair share (or
@@ -163,16 +130,10 @@ bool ShardedLoader::process(const nl::LogRecord& record,
                             const telemetry::TraceStamps* trace,
                             bool redelivered, std::uint64_t ack_tag) {
   if (finished_) return false;
-  const std::size_t lane_index = route(record);
-
-  // A sub-workflow mapping pins the child to this tree's lane before
-  // any of the child's own events (which may lack parent attribution)
-  // arrive.
-  if (record.event() == ev::kMapSubwfJob) {
-    if (const auto subwf = record.get_uuid(attr::kSubwfId)) {
-      route_of_.emplace(*subwf, lane_index);
-    }
-  }
+  const std::size_t lane_index = route_map_.route(
+      record, [this](std::string_view key) {
+        return db_->shard_index_for_key(key);
+      });
 
   Item item;
   item.record = record;
@@ -214,16 +175,14 @@ const LoaderStats& ShardedLoader::lane_stats(std::size_t lane) const {
 
 std::optional<std::size_t> ShardedLoader::route_of(
     const common::Uuid& uuid) const {
-  const auto it = route_of_.find(uuid);
-  if (it == route_of_.end()) return std::nullopt;
-  return it->second;
+  return route_map_.route_of(uuid);
 }
 
 std::optional<std::int64_t> ShardedLoader::wf_id(
     const common::Uuid& uuid) const {
-  const auto route = route_of_.find(uuid);
-  if (route == route_of_.end()) return std::nullopt;
-  return lanes_[route->second]->loader.wf_id(uuid);
+  const auto route = route_map_.route_of(uuid);
+  if (!route) return std::nullopt;
+  return lanes_[*route]->loader.wf_id(uuid);
 }
 
 }  // namespace stampede::loader

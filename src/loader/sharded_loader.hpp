@@ -28,6 +28,8 @@
 #include "common/concurrent_queue.hpp"
 #include "common/uuid.hpp"
 #include "db/sharded_database.hpp"
+#include "loader/event_sink.hpp"
+#include "loader/route_map.hpp"
 #include "loader/stampede_loader.hpp"
 #include "netlogger/record.hpp"
 #include "telemetry/metrics.hpp"
@@ -35,14 +37,14 @@
 
 namespace stampede::loader {
 
-class ShardedLoader {
+class ShardedLoader : public EventSink {
  public:
   /// The sharded database must already contain the Stampede schema
   /// (orm::create_stampede_schema). One lane is spawned per shard.
   explicit ShardedLoader(db::ShardedDatabase& database,
                          LoaderOptions options = {});
 
-  ~ShardedLoader();
+  ~ShardedLoader() override;
 
   ShardedLoader(const ShardedLoader&) = delete;
   ShardedLoader& operator=(const ShardedLoader&) = delete;
@@ -54,20 +56,20 @@ class ShardedLoader {
   /// dedup + ack-after-commit).
   bool process(const nl::LogRecord& record,
                const telemetry::TraceStamps* trace = nullptr,
-               bool redelivered = false, std::uint64_t ack_tag = 0);
+               bool redelivered = false, std::uint64_t ack_tag = 0) override;
 
   /// Forwarded to every lane loader. The callback runs on lane worker
   /// threads, so it must be thread-safe (Broker::ack is).
-  void set_ack_callback(std::function<void(std::uint64_t)> callback);
+  void set_ack_callback(std::function<void(std::uint64_t)> callback) override;
 
   /// Asks every lane to commit pending rows and release acks once it
   /// drains its queue; the dispatcher calls this when the input stream
   /// goes idle (cheap: one marker item per lane).
-  void flush_hint();
+  void flush_hint() override;
 
   /// Terminal: closes the lane queues, joins the workers and flushes
   /// every lane's session. Events offered afterwards are rejected.
-  void finish();
+  void finish() override;
 
   [[nodiscard]] std::size_t lane_count() const noexcept {
     return lanes_.size();
@@ -108,14 +110,14 @@ class ShardedLoader {
     std::jthread worker;            ///< Started by ShardedLoader's ctor.
   };
 
-  /// Sticky tree-co-locating route for `record`; updates the route map.
-  std::size_t route(const nl::LogRecord& record);
   void run_lane(Lane& lane);
   void update_skew();
 
   db::ShardedDatabase* db_;
   std::vector<std::unique_ptr<Lane>> lanes_;
-  std::unordered_map<common::Uuid, std::size_t> route_of_;
+  /// Sticky tree-co-locating routes (shared logic with the cluster
+  /// router — see route_map.hpp).
+  WorkflowRouteMap route_map_;
   std::vector<std::uint64_t> lane_events_;  ///< Dispatcher-side, for skew.
   std::uint64_t dispatched_ = 0;
   telemetry::Gauge& skew_;  ///< stampede_loader_shard_skew_permille

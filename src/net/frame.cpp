@@ -10,17 +10,19 @@ namespace stampede::net {
 namespace {
 
 /// Codec-level instruments, resolved once. Frame counters are per type
-/// (20 slots), matching the exposition series
+/// (kMaxFrameType slots), matching the exposition series
 /// stampede_net_frames_total{type="..."}.
+constexpr int kMaxFrameType = 31;
+
 struct FrameTelemetry {
   telemetry::Histogram& encode_latency = telemetry::registry().histogram(
       "stampede_net_frame_encode_seconds", {1e-8, 4.0, 16});
   telemetry::Histogram& decode_latency = telemetry::registry().histogram(
       "stampede_net_frame_decode_seconds", {1e-8, 4.0, 16});
-  telemetry::Counter* by_type[21] = {};
+  telemetry::Counter* by_type[kMaxFrameType + 1] = {};
 
   FrameTelemetry() {
-    for (int t = 1; t <= 20; ++t) {
+    for (int t = 1; t <= kMaxFrameType; ++t) {
       by_type[t] = &telemetry::registry().counter(telemetry::labeled(
           "stampede_net_frames_total", "type",
           frame_type_name(static_cast<FrameType>(t))));
@@ -35,7 +37,7 @@ FrameTelemetry& frame_telemetry() {
 
 void count_frame(FrameType type) {
   const auto t = static_cast<std::uint8_t>(type);
-  if (t >= 1 && t <= 20) frame_telemetry().by_type[t]->inc();
+  if (t >= 1 && t <= kMaxFrameType) frame_telemetry().by_type[t]->inc();
 }
 
 }  // namespace
@@ -62,6 +64,17 @@ std::string_view frame_type_name(FrameType type) {
     case FrameType::kPublishBatch: return "publish_batch";
     case FrameType::kDeliverBatch: return "deliver_batch";
     case FrameType::kAckBatch: return "ack_batch";
+    case FrameType::kClusterApply: return "cluster_apply";
+    case FrameType::kClusterAck: return "cluster_ack";
+    case FrameType::kClusterQuery: return "cluster_query";
+    case FrameType::kClusterResult: return "cluster_result";
+    case FrameType::kClusterVersions: return "cluster_versions";
+    case FrameType::kClusterVersionsOk: return "cluster_versions_ok";
+    case FrameType::kClusterReplicate: return "cluster_replicate";
+    case FrameType::kClusterReplicateAck: return "cluster_replicate_ack";
+    case FrameType::kClusterPromote: return "cluster_promote";
+    case FrameType::kClusterStats: return "cluster_stats";
+    case FrameType::kClusterStatsOk: return "cluster_stats_ok";
   }
   return "unknown";
 }
@@ -171,7 +184,7 @@ DecodeStatus decode_frame(std::string_view buffer, std::size_t& consumed,
   if (buffer.size() < 4u + length) return DecodeStatus::kNeedMore;
   const double start = telemetry::trace_now();
   const std::uint8_t type = head.u8();
-  if (type < 1 || type > 20) {
+  if (type < 1 || type > kMaxFrameType) {
     if (error != nullptr) {
       *error = "unknown frame type " + std::to_string(type);
     }

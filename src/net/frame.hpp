@@ -53,8 +53,12 @@ inline constexpr std::uint32_t kFeatureTrace = 1u << 0;
 /// segment. Negotiated like kFeatureTrace; v1 peers never see batch
 /// frames.
 inline constexpr std::uint32_t kFeatureBatch = 1u << 1;
+/// Distributed-archive frames (kCluster*): a shard host serves
+/// StorageShards to a query router over this connection. Negotiated
+/// like the other bits; a peer without it never sees cluster frames.
+inline constexpr std::uint32_t kFeatureCluster = 1u << 2;
 inline constexpr std::uint32_t kSupportedFeatures =
-    kFeatureTrace | kFeatureBatch;
+    kFeatureTrace | kFeatureBatch | kFeatureCluster;
 /// Upper bound on one frame's post-length bytes; a decoder seeing a
 /// larger length treats the stream as corrupt and drops the connection.
 inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
@@ -82,6 +86,20 @@ enum class FrameType : std::uint8_t {
   kPublishBatch = 18,
   kDeliverBatch = 19,
   kAckBatch = 20,
+  // Distributed archive (kFeatureCluster connections only; payload
+  // codecs live in cluster/wire.hpp — the cluster layer owns the
+  // archive-specific currency, this enum just reserves the types).
+  kClusterApply = 21,         ///< Router→host: batch of BP events for a shard.
+  kClusterAck = 22,           ///< Host→router: committed apply tags (chan 0).
+  kClusterQuery = 23,         ///< Router→host: one Select against one shard.
+  kClusterResult = 24,        ///< Host→router: the ResultSet reply.
+  kClusterVersions = 25,      ///< Router→host: table-version stamp request.
+  kClusterVersionsOk = 26,    ///< Host→router: the version vector reply.
+  kClusterReplicate = 27,     ///< Primary→follower: WAL bytes at an offset.
+  kClusterReplicateAck = 28,  ///< Follower→primary: bytes durable through.
+  kClusterPromote = 29,       ///< Router→follower: open shards, serve them.
+  kClusterStats = 30,         ///< Router→host: loader-stats request.
+  kClusterStatsOk = 31,       ///< Host→router: the LoaderStats reply.
 };
 
 /// Human-readable frame-type slug ("publish", "deliver", ...) — the

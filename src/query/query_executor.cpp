@@ -402,6 +402,9 @@ QueryExecutor::QueryExecutor(const db::Database& database)
 QueryExecutor::QueryExecutor(const db::ShardedDatabase& sharded)
     : sharded_(&sharded), cache_(std::make_shared<QueryCache>()) {}
 
+QueryExecutor::QueryExecutor(const ShardBackend& backend)
+    : backend_(&backend), cache_(std::make_shared<QueryCache>()) {}
+
 QueryExecutor::QueryExecutor(const QueryExecutor&) = default;
 QueryExecutor& QueryExecutor::operator=(const QueryExecutor&) = default;
 QueryExecutor::~QueryExecutor() = default;
@@ -412,15 +415,28 @@ std::vector<std::uint64_t> QueryExecutor::collect_versions(
   tables.reserve(1 + select.joins().size());
   tables.push_back(select.table());
   for (const auto& join : select.joins()) tables.push_back(join.table);
-  return single_ ? single_->table_versions(tables)
-                 : sharded_->table_versions(tables);
+  if (single_) return single_->table_versions(tables);
+  if (backend_ != nullptr) return backend_->table_versions(tables);
+  return sharded_->table_versions(tables);
+}
+
+ResultSet QueryExecutor::run_on_shard(std::size_t shard,
+                                      const Select& select) const {
+  if (backend_ != nullptr) return backend_->execute_on(shard, select);
+  return sharded_->shard(shard).execute(select);
+}
+
+std::size_t QueryExecutor::owner_of_id(std::int64_t id) const noexcept {
+  if (sharded_ != nullptr) return sharded_->shard_index_for_id(id);
+  const auto n = static_cast<std::int64_t>(shard_count());
+  return static_cast<std::size_t>(((id - 1) % n + n) % n);
 }
 
 ResultSet QueryExecutor::gather(const std::vector<std::size_t>& shards,
                                 const Select& select) const {
   if (shards.size() == 1) {
     single_shard_counter().inc();
-    return sharded_->shard(shards.front()).execute(select);
+    return run_on_shard(shards.front(), select);
   }
   scatter_counter().inc();
 
@@ -433,7 +449,7 @@ ResultSet QueryExecutor::gather(const std::vector<std::size_t>& shards,
     for (std::size_t i = 0; i < shards.size(); ++i) {
       workers.emplace_back([&, i] {
         try {
-          parts[i] = sharded_->shard(shards[i]).execute(partial);
+          parts[i] = run_on_shard(shards[i], partial);
         } catch (...) {
           errors[i] = std::current_exception();
         }
@@ -463,7 +479,7 @@ ResultSet QueryExecutor::gather(const std::vector<std::size_t>& shards,
 
 ResultSet QueryExecutor::execute_uncached(const Select& select) const {
   if (single_) return single_->execute(select);
-  std::vector<std::size_t> all(sharded_->shard_count());
+  std::vector<std::size_t> all(shard_count());
   for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
   return gather(all, select);
 }
@@ -493,7 +509,10 @@ std::shared_ptr<const ResultSet> QueryExecutor::execute(
     // reflects this query when execution stayed on the calling thread
     // (a single Database, or a one-shard fleet). Multi-shard scatters
     // run on worker threads and report no per-query plan.
-    if (single_ != nullptr || sharded_->shard_count() == 1) {
+    // (Remote backends never report one: their execution ran in another
+    // process, so this thread's plan info would be stale.)
+    if (single_ != nullptr ||
+        (sharded_ != nullptr && sharded_->shard_count() == 1)) {
       plan = db::last_plan_info();
       span.attr("plan_base_index", std::to_string(plan.base_index));
       span.attr("plan_base_scan", std::to_string(plan.base_scan));
@@ -543,7 +562,7 @@ std::optional<Value> QueryExecutor::scalar(const Select& select) const {
 ResultSet QueryExecutor::execute_for(std::int64_t wf_id,
                                      const Select& select) const {
   if (single_) return single_->execute(select);
-  return gather({sharded_->shard_index_for_id(wf_id)}, select);
+  return gather({owner_of_id(wf_id)}, select);
 }
 
 std::optional<Value> QueryExecutor::scalar_for(std::int64_t wf_id,
@@ -559,7 +578,7 @@ ResultSet QueryExecutor::execute_for_ids(
   if (single_) return single_->execute(select);
   std::vector<std::size_t> shards;
   for (const std::int64_t id : wf_ids) {
-    const std::size_t s = sharded_->shard_index_for_id(id);
+    const std::size_t s = owner_of_id(id);
     if (std::find(shards.begin(), shards.end(), s) == shards.end()) {
       shards.push_back(s);
     }
@@ -570,7 +589,13 @@ ResultSet QueryExecutor::execute_for_ids(
 }
 
 std::size_t QueryExecutor::row_count(const std::string& table) const {
-  return single_ ? single_->row_count(table) : sharded_->row_count(table);
+  if (single_) return single_->row_count(table);
+  if (sharded_ != nullptr) return sharded_->row_count(table);
+  // Remote fleet: one mergeable COUNT(*) scatter (cached like any other
+  // fleet-wide query, so dashboard polls stay O(1) between writes).
+  const auto count = scalar(Select{table}.count_all("n"));
+  return count && count->is_int() ? static_cast<std::size_t>(count->as_int())
+                                  : 0;
 }
 
 }  // namespace stampede::query

@@ -32,6 +32,7 @@
 
 #include "db/database.hpp"
 #include "db/sharded_database.hpp"
+#include "query/shard_backend.hpp"
 
 namespace stampede::query {
 
@@ -53,11 +54,17 @@ class QueryExecutor {
   /// Scatter-gather over every shard.
   explicit QueryExecutor(const db::ShardedDatabase& sharded);
 
+  /// Scatter-gather through an abstract backend (e.g. cluster::Router's
+  /// remote shards). The backend must outlive the executor and all its
+  /// copies.
+  explicit QueryExecutor(const ShardBackend& backend);
+
   QueryExecutor(const QueryExecutor&);
   QueryExecutor& operator=(const QueryExecutor&);
   ~QueryExecutor();
 
   [[nodiscard]] std::size_t shard_count() const noexcept {
+    if (backend_ != nullptr) return backend_->shard_count();
     return sharded_ ? sharded_->shard_count() : 1;
   }
 
@@ -85,6 +92,14 @@ class QueryExecutor {
   [[nodiscard]] db::ResultSet gather(const std::vector<std::size_t>& shards,
                                      const db::Select& select) const;
 
+  /// `select` executed on one shard, via whichever multi-shard source
+  /// this executor wraps (sharded_ or backend_).
+  [[nodiscard]] db::ResultSet run_on_shard(std::size_t shard,
+                                           const db::Select& select) const;
+
+  /// Shard owning primary key `id` under the global stride.
+  [[nodiscard]] std::size_t owner_of_id(std::int64_t id) const noexcept;
+
   /// The uncached fleet-wide path behind execute().
   [[nodiscard]] db::ResultSet execute_uncached(const db::Select& select) const;
 
@@ -95,6 +110,7 @@ class QueryExecutor {
 
   const db::Database* single_ = nullptr;
   const db::ShardedDatabase* sharded_ = nullptr;
+  const ShardBackend* backend_ = nullptr;
   std::shared_ptr<QueryCache> cache_;  ///< Shared by copies.
 };
 

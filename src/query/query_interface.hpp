@@ -30,6 +30,9 @@ class QueryInterface {
   explicit QueryInterface(const db::Database& database) : exec_(database) {}
   explicit QueryInterface(const db::ShardedDatabase& sharded)
       : exec_(sharded) {}
+  /// Remote fleet: shards served by cluster shard hosts, reached
+  /// through a ShardBackend (e.g. cluster::Router::backend()).
+  explicit QueryInterface(const ShardBackend& backend) : exec_(backend) {}
 
   /// The scatter-gather executor; query tools route their own Selects
   /// through this (workflow-scoped ones via execute_for and friends).

@@ -1,0 +1,38 @@
+#pragma once
+// Abstract shard access for the scatter-gather executor (DESIGN.md §14).
+//
+// QueryExecutor's merge machinery (AVG as SUM+COUNT partials, global
+// DISTINCT / ORDER BY / LIMIT, the version-keyed cache) is independent
+// of WHERE the shards live. This interface is the seam: a local
+// ShardedDatabase satisfies it trivially, and cluster::Router satisfies
+// it over TCP — so stampede_statistics runs unchanged against a fleet
+// of shard-host processes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/query.hpp"
+
+namespace stampede::query {
+
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  [[nodiscard]] virtual std::size_t shard_count() const = 0;
+
+  /// Executes `select` against shard `shard` and materializes the rows.
+  /// Implementations may run this concurrently from gather() workers.
+  [[nodiscard]] virtual db::ResultSet execute_on(
+      std::size_t shard, const db::Select& select) const = 0;
+
+  /// Version stamps of `tables` on every shard, concatenated
+  /// shard-major — the same contract as ShardedDatabase::table_versions
+  /// (each shard's block is one consistent observation; the cache
+  /// treats the whole vector as the fleet-wide stamp).
+  [[nodiscard]] virtual std::vector<std::uint64_t> table_versions(
+      const std::vector<std::string>& tables) const = 0;
+};
+
+}  // namespace stampede::query

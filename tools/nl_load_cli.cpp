@@ -40,6 +40,21 @@
 //   --idle-exit=S        in the networked modes, exit once messages have
 //                        been seen and none arrived for S seconds
 //                        (default 10)
+//
+// Distributed mode (DESIGN.md §14 — the archive lives on shard-host
+// processes, this process is the scatter-gather router):
+//   --router=SPEC        route events to a fleet of stampede_shard_cli
+//                        processes instead of a local archive. SPEC
+//                        names every shard's placement, e.g.
+//                        "0,1@h1:7401/h1:7411;2,3@h2:7402" (the /addr
+//                        is an optional follower replica promoted on
+//                        primary failure). Takes the BP log positional
+//                        (no archive path — the fleet owns the WALs);
+//                        composes with --listen/--connect, where the
+//                        bus queue is pumped into the router. With
+//                        --metrics-port the endpoint also serves
+//                        /clusterz, and /readyz reports per-shard-host
+//                        connectivity.
 
 #include <atomic>
 #include <chrono>
@@ -54,7 +69,11 @@
 #include <vector>
 
 #include "bus/broker.hpp"
+#include "cluster/cluster_routes.hpp"
+#include "cluster/router.hpp"
+#include "cluster/shard_map.hpp"
 #include "dashboard/http_server.hpp"
+#include "db/query.hpp"
 #include "dashboard/telemetry_routes.hpp"
 #include "dashboard/trace_routes.hpp"
 #include "loader/nl_load.hpp"
@@ -75,8 +94,12 @@ int usage(const char* argv0) {
                "[--shards=N] [--trace-sample=R] <bp-log-file> <archive-path>\n"
                "       %s [--shards=N] [--idle-exit=SECONDS] "
                "[--trace-sample=R] [--net-workers=N] "
-               "(--listen=PORT | --connect=HOST:PORT) <archive-path>\n",
-               argv0, argv0);
+               "(--listen=PORT | --connect=HOST:PORT) <archive-path>\n"
+               "       %s --router=SPEC [--metrics-port=N] "
+               "[--trace-sample=R] <bp-log-file>\n"
+               "       %s --router=SPEC [--idle-exit=SECONDS] "
+               "[--net-workers=N] (--listen=PORT | --connect=HOST:PORT)\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -145,6 +168,7 @@ int main(int argc, char** argv) {
   std::optional<double> stats_interval;
   std::optional<int> listen_port;
   std::string connect_addr;
+  std::string router_spec;
   double idle_exit_s = 10.0;
   std::size_t shards = 1;
   std::size_t net_workers = 1;
@@ -160,6 +184,8 @@ int main(int argc, char** argv) {
       idle_exit_s = *v;
     } else if (std::strncmp(argv[i], "--connect=", 10) == 0) {
       connect_addr = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--router=", 9) == 0) {
+      router_spec = argv[i] + 9;
     } else if (const auto v = parse_flag_value(argv[i], "--net-workers")) {
       net_workers = static_cast<std::size_t>(*v);
       if (net_workers == 0) {
@@ -190,9 +216,35 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --listen and --connect are exclusive\n");
     return 2;
   }
-  if (positional.size() != (networked ? 1u : 2u)) return usage(argv[0]);
+  const bool routed = !router_spec.empty();
+  if (routed && shards != 1) {
+    std::fprintf(stderr,
+                 "error: --router and --shards are exclusive (the cluster "
+                 "spec fixes the shard count)\n");
+    return 2;
+  }
+  const std::size_t want_positional =
+      routed ? (networked ? 0u : 1u) : (networked ? 1u : 2u);
+  if (positional.size() != want_positional) return usage(argv[0]);
   const std::string log_path = networked ? std::string{} : positional[0];
-  const std::string& archive_path = networked ? positional[0] : positional[1];
+  const std::string archive_path =
+      routed ? std::string{} : (networked ? positional[0] : positional[1]);
+
+  // Distributed mode: connect the router to every shard host up front
+  // (bounded, jittered retries per link) — before the metrics server so
+  // /clusterz and the cluster-aware /readyz can be registered.
+  std::unique_ptr<cluster::Router> router;
+  if (routed) {
+    try {
+      router = std::make_unique<cluster::Router>(
+          cluster::ShardMap::parse(router_spec));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "cluster : %zu shards across %zu hosts\n",
+                 router->shard_count(), router->status().size());
+  }
 
   // Exposition endpoint: scrape while the replay runs (real-time
   // self-monitoring), and after it finishes until the process exits.
@@ -205,8 +257,12 @@ int main(int argc, char** argv) {
       metrics_server = std::make_unique<dash::HttpServer>(*metrics_port);
       dash::register_telemetry_routes(*metrics_server);
       dash::register_trace_routes(*metrics_server);
-      dash::register_health_routes(*metrics_server,
-                                   [&ready] { return ready.ready(); });
+      if (router) {
+        cluster::register_cluster_routes(*metrics_server, *router);
+      } else {
+        dash::register_health_routes(*metrics_server,
+                                     [&ready] { return ready.ready(); });
+      }
       metrics_server->start();
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: cannot serve metrics on port %d: %s\n",
@@ -238,7 +294,10 @@ int main(int argc, char** argv) {
     std::unique_ptr<db::ShardedDatabase> sharded_archive;
     std::unique_ptr<loader::StampedeLoader> single_loader;
     std::unique_ptr<loader::ShardedLoader> sharded_loader;
-    if (shards == 1) {
+    if (routed) {
+      // The archives live on the shard hosts; the router already holds a
+      // live link to each.
+    } else if (shards == 1) {
       single_archive = orm::open_archive(archive_path);
       single_loader = std::make_unique<loader::StampedeLoader>(*single_archive);
     } else {
@@ -289,7 +348,10 @@ int main(int argc, char** argv) {
       bus->bind("stampede", "monitoring", "stampede.#");
 
       std::unique_ptr<loader::QueuePump> pump;
-      if (single_loader) {
+      if (router) {
+        pump = std::make_unique<loader::QueuePump>(
+            *bus, "stampede", static_cast<loader::EventSink&>(*router));
+      } else if (single_loader) {
         pump = std::make_unique<loader::QueuePump>(*bus, "stampede",
                                                    *single_loader);
       } else {
@@ -304,13 +366,42 @@ int main(int argc, char** argv) {
       ready.pump_running.store(false, std::memory_order_release);
       ready.bus_client.store(nullptr, std::memory_order_release);
       stats = pump->stats();
+    } else if (router) {
+      stats = loader::load_file(log_path,
+                                static_cast<loader::EventSink&>(*router));
     } else if (single_loader) {
       stats = loader::load_file(log_path, *single_loader);
     } else {
       stats = loader::load_file(log_path, *sharded_loader);
     }
 
-    if (single_loader) {
+    std::vector<cluster::HostShardStats> shard_stats;
+    if (router) {
+      // Fleet accounting: per-shard loader stats over kClusterStats and
+      // entity counts via remote COUNT(*) scatter (each row lives in
+      // exactly one shard, so the sum is the total).
+      for (std::size_t i = 0; i < router->shard_count(); ++i) {
+        shard_stats.push_back(router->remote_stats(i));
+        const auto& remote = shard_stats.back().loader;
+        ls.events_loaded += remote.events_loaded;
+        ls.events_invalid += remote.events_invalid;
+        ls.events_unknown += remote.events_unknown;
+        ls.events_dropped += remote.events_dropped;
+      }
+      const auto count_rows = [&](const std::string& table) {
+        db::Select select{table};
+        select.count_all("n");
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < router->shard_count(); ++i) {
+          const db::ResultSet result = router->backend().execute_on(i, select);
+          total += static_cast<std::size_t>(result.at(0, "n").as_int());
+        }
+        return total;
+      };
+      n_workflows = count_rows("workflow");
+      n_jobs = count_rows("job");
+      n_invocations = count_rows("invocation");
+    } else if (single_loader) {
       ls = single_loader->stats();
       n_workflows = single_archive->row_count("workflow");
       n_jobs = single_archive->row_count("job");
@@ -333,7 +424,27 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ls.events_dropped));
     std::printf("rate    : %.0f events/s\n", stats.events_per_second());
     std::printf("archive : %s (%zu workflows, %zu jobs, %zu invocations)\n",
-                archive_path.c_str(), n_workflows, n_jobs, n_invocations);
+                routed ? router_spec.c_str() : archive_path.c_str(),
+                n_workflows, n_jobs, n_invocations);
+    if (router) {
+      std::vector<std::string> shard_addr(router->shard_count());
+      for (const auto& placement : router->status()) {
+        for (const std::size_t shard : placement.shards) {
+          shard_addr[shard] = placement.addr.to_string() +
+                              (placement.failed_over ? " (failed over)" : "");
+        }
+      }
+      for (std::size_t i = 0; i < shard_stats.size(); ++i) {
+        std::printf("shard %-2zu: %llu events @ %s (%llu torn WAL records "
+                    "tolerated)\n",
+                    i,
+                    static_cast<unsigned long long>(
+                        shard_stats[i].loader.events_loaded),
+                    shard_addr[i].c_str(),
+                    static_cast<unsigned long long>(
+                        shard_stats[i].wal_truncated));
+      }
+    }
     if (sharded_loader) {
       for (std::size_t i = 0; i < sharded_loader->lane_count(); ++i) {
         const auto& lane = sharded_loader->lane_stats(i);

@@ -1,0 +1,138 @@
+// stampede_shard_cli — one shard-host process of the distributed
+// archive (DESIGN.md §14).
+//
+//   stampede_shard_cli --wal=PATH --shards=0,1 --total=4 [options]
+//   stampede_shard_cli --wal=PATH --total=4 --follower [options]
+//
+// Active mode serves the listed global shard indexes: each opens its
+// WAL file (`<wal>.<i>` — the same name and strided primary-key
+// allocation a local `nl_load_cli --shards=N` run would use, so the
+// fleet's archive is byte-compatible), runs a loader lane, and answers
+// the router's apply/query/stats frames. With --follower-addr the WAL
+// of every hosted shard is streamed to a replica and apply acks wait
+// for the replica's durability ack (semi-synchronous replication).
+//
+// Follower mode is the passive replica: it appends replicated WAL
+// bytes and serves kClusterPromote when the router fails over.
+//
+// Options:
+//   --host=ADDR            bind address (default 127.0.0.1)
+//   --port=N               listen port (default 0 = ephemeral, printed)
+//   --wal=PATH             base archive/WAL path (required)
+//   --shards=I[,J...]      global shard indexes served (active mode)
+//   --total=N              fleet-wide shard count (default 1)
+//   --follower             start as a passive replica
+//   --follower-addr=H:P    replicate hosted WALs to this replica
+//   --repl-timeout-ms=N    max wait for a replication ack per commit
+//                          before releasing the apply ack anyway
+//                          (default 5000; counted as a stall)
+//   --query-threads=N      query pool size (default 2)
+//
+// The process prints "port    : N" once it accepts connections and
+// runs until stdin reaches EOF (or the process is killed — which is
+// exactly the failure the router's failover machinery covers).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/shard_host.hpp"
+#include "cluster/shard_map.hpp"
+
+using namespace stampede;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --wal=PATH [--total=N] [--shards=I,J,...]\n"
+               "          [--host=ADDR] [--port=N] [--follower]\n"
+               "          [--follower-addr=HOST:PORT] [--repl-timeout-ms=N]\n"
+               "          [--query-threads=N]\n",
+               argv0);
+  return 2;
+}
+
+const char* flag_value(const char* arg, const char* name) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return nullptr;
+  return arg + len + 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cluster::ShardHostOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = flag_value(argv[i], "--host")) {
+      options.host = v;
+    } else if (const char* v = flag_value(argv[i], "--port")) {
+      options.port = std::atoi(v);
+    } else if (const char* v = flag_value(argv[i], "--wal")) {
+      options.wal_base = v;
+    } else if (const char* v = flag_value(argv[i], "--total")) {
+      options.total_shards = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = flag_value(argv[i], "--repl-timeout-ms")) {
+      options.replication_ack_timeout_ms = std::atoi(v);
+    } else if (const char* v = flag_value(argv[i], "--query-threads")) {
+      options.query_threads = static_cast<std::size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--follower") == 0) {
+      options.follower = true;
+    } else if (const char* v = flag_value(argv[i], "--follower-addr")) {
+      try {
+        options.follower_addr = cluster::parse_addr(v);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    } else if (const char* v = flag_value(argv[i], "--shards")) {
+      for (const char* p = v; *p != '\0';) {
+        char* end = nullptr;
+        options.shards.push_back(
+            static_cast<std::size_t>(std::strtoull(p, &end, 10)));
+        if (end == p || (*end != '\0' && *end != ',')) {
+          std::fprintf(stderr, "error: bad --shards list '%s'\n", v);
+          return 2;
+        }
+        p = (*end == ',') ? end + 1 : end;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return usage(argv[0]);
+    }
+  }
+  if (options.wal_base.empty()) {
+    std::fprintf(stderr, "error: --wal is required\n");
+    return usage(argv[0]);
+  }
+  if (!options.follower && options.shards.empty()) {
+    std::fprintf(stderr, "error: active mode needs --shards (or --follower)\n");
+    return usage(argv[0]);
+  }
+  if (options.total_shards == 0) {
+    std::fprintf(stderr, "error: --total must be >= 1\n");
+    return 2;
+  }
+
+  try {
+    cluster::ShardHost host(options);
+    host.start();
+    std::printf("port    : %d\n", host.port());
+    std::printf("mode    : %s (%zu/%zu shards, wal %s)\n",
+                options.follower ? "follower" : "active",
+                options.shards.size(), options.total_shards,
+                options.wal_base.c_str());
+    std::fflush(stdout);
+    // Serve until our parent closes stdin (or kills us outright).
+    for (int c = std::getchar(); c != EOF; c = std::getchar()) {
+    }
+    host.stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
