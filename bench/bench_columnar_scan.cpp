@@ -1,0 +1,202 @@
+// bench_columnar_scan — the columnar tentpole's headline numbers
+// (DESIGN.md §15): fleet-wide aggregate scans over a DART-derived
+// archive, row store vs compacted column segments.
+//
+// One DART run is replayed into two archives with identical logical
+// content; one is then compacted into column segments. Every query is
+// checked byte-identical across the two before it is timed (the
+// speedup claim is meaningless if the answers differ). The query mix
+// is the dashboard's fleet-wide shapes: full-table aggregates, a
+// selective timestamp range (where zone maps + the range index prune),
+// and a GROUP BY rollup.
+//
+// Results land in BENCH_columnar_scan.json. Target: >= 10x on the
+// aggregate scans.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dart/experiment.hpp"
+#include "db/compactor.hpp"
+#include "db/database.hpp"
+#include "loader/nl_load.hpp"
+#include "loader/stampede_loader.hpp"
+#include "orm/stampede_tables.hpp"
+
+using namespace stampede;
+
+namespace {
+
+constexpr int kExecutions = 120;
+constexpr int kScaleCopies = 32;  ///< Inflate the archive to fleet size.
+
+std::string cell(const db::Value& v) {
+  if (v.is_null()) return "N";
+  if (v.is_int()) return "I" + std::to_string(v.as_int());
+  if (v.is_real()) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "R%.17g", v.as_number());
+    return buf;
+  }
+  return "S" + std::string{v.as_text()};
+}
+
+std::string render(const db::ResultSet& rs) {
+  std::string out;
+  for (const auto& row : rs.rows) {
+    for (const auto& v : row) out += cell(v) + "|";
+    out += "\n";
+  }
+  return out;
+}
+
+struct Shape {
+  const char* name;
+  db::Select select;
+};
+
+std::vector<Shape> shapes(double ts_lo, double ts_hi) {
+  std::vector<Shape> out;
+  out.push_back({"count_all", db::Select{"invocation"}.count_all("n")});
+  out.push_back({"sum_avg_minmax",
+                 db::Select{"invocation"}
+                     .agg(db::AggFn::kSum, "remote_duration", "s")
+                     .agg(db::AggFn::kAvg, "remote_duration", "a")
+                     .agg(db::AggFn::kMin, "remote_duration", "lo")
+                     .agg(db::AggFn::kMax, "remote_duration", "hi")});
+  out.push_back({"ts_range",
+                 db::Select{"jobstate"}
+                     .where(db::and_(db::ge("timestamp", db::Value{ts_lo}),
+                                     db::lt("timestamp", db::Value{ts_hi})))
+                     .count_all("n")});
+  out.push_back({"group_rollup", db::Select{"jobstate"}
+                                     .group_by({"state"})
+                                     .count_all("n")});
+  out.push_back({"filtered_sum",
+                 db::Select{"invocation"}
+                     .where(db::eq("exitcode", db::Value{std::int64_t{0}}))
+                     .agg(db::AggFn::kSum, "remote_cpu_time", "s")
+                     .count_all("n")});
+  return out;
+}
+
+double time_queries(const db::Database& archive, const db::Select& select,
+                    int iters) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    const auto rs = archive.execute(select);
+    if (rs.columns.empty()) std::abort();  // Keep the result observed.
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+             .count() /
+         iters;
+}
+
+}  // namespace
+
+int main() {
+  // kScaleCopies independent DART runs, each retained as a BP log and
+  // replayed into BOTH archives — a fleet of workflow runs with
+  // identical logical content on the two sides.
+  db::Database rows;    // Row path only.
+  db::Database sealed;  // Compacted into column segments.
+  orm::create_stampede_schema(rows);
+  orm::create_stampede_schema(sealed);
+  for (int copy = 0; copy < kScaleCopies; ++copy) {
+    const std::string log_path =
+        "bench_columnar_scan_" + std::to_string(copy) + ".bp";
+    db::Database seed;
+    dart::DartConfig config;
+    config.total_executions = kExecutions;
+    config.seed += static_cast<std::uint64_t>(copy);  // Distinct UUIDs.
+    dart::DartExperimentOptions options;
+    options.retain_log_path = log_path;
+    if (dart::run_dart_experiment(config, seed, options).status != 0) {
+      std::fprintf(stderr, "error: DART run failed\n");
+      return 1;
+    }
+    for (db::Database* archive : {&rows, &sealed}) {
+      loader::StampedeLoader l{*archive};
+      loader::load_file(log_path, l);
+    }
+    std::remove(log_path.c_str());
+  }
+
+  db::SealOptions seal;
+  seal.min_seal_rows = 256;
+  seal.hot_tail_rows = 0;
+  seal.target_segment_rows = 4096;
+  const auto stats = sealed.compact(seal);
+  std::printf("archive : %zu invocations, %zu jobstates; %zu segments "
+              "(%zu rows sealed)\n",
+              rows.row_count("invocation"), rows.row_count("jobstate"),
+              stats.segments_built, stats.rows_sealed);
+
+  // Timestamp range covering ~5%% of jobstate rows.
+  const auto lo = sealed.scalar(
+      db::Select{"jobstate"}.agg(db::AggFn::kMin, "timestamp", "lo"));
+  const auto hi = sealed.scalar(
+      db::Select{"jobstate"}.agg(db::AggFn::kMax, "timestamp", "hi"));
+  const double t0 = lo->as_number();
+  const double span = hi->as_number() - t0;
+  auto mix = shapes(t0 + 0.50 * span, t0 + 0.55 * span);
+
+  struct Timing {
+    const char* name;
+    double row_s, col_s, speedup;
+  };
+  std::vector<Timing> timings;
+  for (const auto& shape : mix) {
+    // Byte-identity gate before timing.
+    const auto want = render(rows.execute(shape.select));
+    const auto got = render(sealed.execute(shape.select));
+    if (want != got) {
+      std::fprintf(stderr, "error: %s diverged between row and column "
+                   "paths\n", shape.name);
+      return 1;
+    }
+    const int iters = 20;
+    (void)time_queries(rows, shape.select, 2);    // Warm both paths.
+    (void)time_queries(sealed, shape.select, 2);
+    const double row_s = time_queries(rows, shape.select, iters);
+    const double col_s = time_queries(sealed, shape.select, iters);
+    timings.push_back(
+        {shape.name, row_s, col_s, col_s > 0 ? row_s / col_s : 0.0});
+    std::printf("%-16s row %8.3f ms  col %8.3f ms  speedup %6.2fx\n",
+                shape.name, row_s * 1e3, col_s * 1e3,
+                timings.back().speedup);
+  }
+
+  std::FILE* out = std::fopen("BENCH_columnar_scan.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write BENCH_columnar_scan.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"workload\": \"DART %d executions x %d fleet copies\",\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"rows\": {\"invocation\": %zu, \"jobstate\": %zu},\n"
+               "  \"segments_built\": %zu,\n"
+               "  \"rows_sealed\": %zu,\n"
+               "  \"byte_identical\": true,\n"
+               "  \"scan_seconds\": {\n",
+               kExecutions, kScaleCopies, std::thread::hardware_concurrency(),
+               rows.row_count("invocation"), rows.row_count("jobstate"),
+               stats.segments_built, stats.rows_sealed);
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    std::fprintf(out,
+                 "    \"%s\": {\"row\": %.6g, \"columnar\": %.6g, "
+                 "\"speedup\": %.2f}%s\n",
+                 timings[i].name, timings[i].row_s, timings[i].col_s,
+                 timings[i].speedup, i + 1 < timings.size() ? "," : "");
+  }
+  std::fprintf(out, "  }\n}\n");
+  std::fclose(out);
+  std::printf("BENCH_columnar_scan.json written\n");
+  return 0;
+}

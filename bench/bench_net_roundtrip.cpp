@@ -142,13 +142,14 @@ void emit_net_json() {
                "{\n"
                "  \"transport\": \"loopback TCP, length-prefixed frames\",\n"
                "  \"round_trips\": %zu,\n"
+               "  \"hardware_concurrency\": %u,\n"
                "  \"publish_to_deliver_seconds\": "
                "{\"mean\": %.6g, \"p50\": %.6g, \"p99\": %.6g},\n"
                "  \"throughput_msgs_per_second\": "
                "{\"consumers_1\": %.0f, \"consumers_4\": %.0f}\n"
                "}\n",
-               latencies.size(), mean, quantile(0.5), quantile(0.99), one,
-               four);
+               latencies.size(), std::thread::hardware_concurrency(), mean,
+               quantile(0.5), quantile(0.99), one, four);
   std::fclose(out);
   std::printf("BENCH_net_throughput.json: rtt mean %.0f us, p99 %.0f us; "
               "%.0f msg/s (1 consumer), %.0f msg/s (4 consumers)\n",

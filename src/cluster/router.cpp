@@ -49,6 +49,10 @@ Router::~Router() {
   for (auto& peer : peers_) {
     if (peer->link) peer->link->close();
   }
+  // Join reader threads here, not in ~peers_: a reader observing the
+  // close fires the down handler, which broadcasts inflight_cv_ — a
+  // member declared after peers_ and therefore destroyed first.
+  for (auto& peer : peers_) peer->link.reset();
 }
 
 void Router::connect_peer(Peer& peer, const HostAddr& addr) {

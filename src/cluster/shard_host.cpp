@@ -96,7 +96,24 @@ void ShardHost::start() {
        ++i) {
     pool_.emplace_back([this] { pool_worker(); });
   }
+  start_compactor();
   acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void ShardHost::start_compactor() {
+  if (options_.compact_interval_ms == 0) return;
+  std::vector<db::StorageShard*> shards;
+  {
+    const std::scoped_lock lock{hosted_mutex_};
+    for (auto& [index, hosted] : hosted_) shards.push_back(hosted->db.get());
+  }
+  if (shards.empty()) return;
+  db::CompactorOptions copts;
+  copts.seal = options_.seal;
+  copts.interval_ms = options_.compact_interval_ms;
+  const std::scoped_lock lock{compactor_mutex_};
+  compactor_.reset();  // Join the old sweep before re-targeting shards.
+  compactor_ = std::make_unique<db::Compactor>(std::move(shards), copts);
 }
 
 void ShardHost::start_replication() {
@@ -527,6 +544,7 @@ void ShardHost::handle_promote(const std::shared_ptr<HostConn>& hconn,
         results.push_back(result);
       }
       promoted_.store(true);
+      start_compactor();  // The promoted shards now take live writes.
       host_telemetry().promotions.inc();
       conn->send(encode_cluster_promote_ok(channel, results));
     } catch (const std::exception& e) {
@@ -543,6 +561,11 @@ void ShardHost::pool_worker() {
 
 void ShardHost::stop() {
   const bool was_running = running_.exchange(false);
+  {
+    // Stop sweeping before the shards it targets start tearing down.
+    const std::scoped_lock lock{compactor_mutex_};
+    compactor_.reset();
+  }
   if (acceptor_.joinable()) acceptor_.join();
   {
     // Close connections first: a lane blocked in an ack send unblocks.

@@ -45,6 +45,7 @@
 #include "cluster/wire.hpp"
 #include "common/concurrent_queue.hpp"
 #include "common/socket.hpp"
+#include "db/compactor.hpp"
 #include "db/database.hpp"
 #include "loader/stampede_loader.hpp"
 #include "net/connection.hpp"
@@ -74,6 +75,11 @@ struct ShardHostOptions {
   /// before it is released anyway (counted as a stall).
   int replication_ack_timeout_ms = 5000;
   std::size_t query_threads = 2;
+  /// Background columnar compaction sweep period for hosted shards
+  /// (db::Compactor, DESIGN.md §15). 0 disables compaction.
+  std::uint64_t compact_interval_ms = 0;
+  /// Seal tuning for the compactor (ignored when disabled).
+  db::SealOptions seal;
 };
 
 class ShardHost {
@@ -166,6 +172,7 @@ class ShardHost {
   void run_lane(Hosted& hosted);
   void flush_acks(Hosted& hosted);
   void start_replication();
+  void start_compactor();
   void pool_worker();
 
   ShardHostOptions options_;
@@ -186,6 +193,10 @@ class ShardHost {
 
   std::unique_ptr<Link> repl_link_;
   std::atomic<bool> repl_down_{false};
+
+  /// Sweeps hosted shards into columnar segments; rebuilt on promote.
+  std::unique_ptr<db::Compactor> compactor_;
+  std::mutex compactor_mutex_;
 
   common::ConcurrentQueue<std::function<void()>> pool_jobs_{0};
   std::vector<std::thread> pool_;

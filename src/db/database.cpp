@@ -653,6 +653,82 @@ std::uint64_t StorageShard::wal_truncated_records() const {
 }
 
 // ---------------------------------------------------------------------------
+// Columnar compaction (DESIGN.md §15)
+
+StorageShard::CompactStats StorageShard::compact(const SealOptions& opts) {
+  const WriteGuard guard{*this};
+  CompactStats stats;
+  for (auto& [name, table] : tables_) {
+    const SealStats sealed = table->seal(opts);
+    stats.segments_built += sealed.segments_built;
+    stats.rows_sealed += sealed.rows_sealed;
+    stats.tombstones_reclaimed += sealed.tombstones_reclaimed;
+  }
+  if (stats.segments_built > 0) {
+    telemetry::registry()
+        .counter("stampede_segment_seals_total")
+        .inc(stats.segments_built);
+    telemetry::registry()
+        .counter("stampede_segment_sealed_rows_total")
+        .inc(stats.rows_sealed);
+  }
+  if (stats.tombstones_reclaimed > 0) {
+    telemetry::registry()
+        .counter("stampede_segment_tombstones_reclaimed_total")
+        .inc(stats.tombstones_reclaimed);
+  }
+  return stats;
+}
+
+std::vector<StorageShard::TableCounts> StorageShard::table_counts() const {
+  const ReadGuard guard{*this};
+  std::vector<TableCounts> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    out.push_back({name, table->row_count(), table->dead_count(),
+                   table->column_store().sealed_rows()});
+  }
+  return out;
+}
+
+bool StorageShard::checkpoint_wal() {
+  const WriteGuard guard{*this};
+  if (wal_path_.empty() || txn_active_ || wal_sink_) return false;
+  // Snapshot of the live rows as plain insert records, tables in map
+  // order, rows in ascending RowId order — exactly what replay needs.
+  std::string snapshot;
+  for (const auto& [name, table] : tables_) {
+    const std::string escaped = wal_escape(name);
+    table->scan([&](RowId, const Row& row) {
+      snapshot += "I|";
+      snapshot += escaped;
+      for (const auto& value : row) {
+        snapshot += '|';
+        snapshot += serialize_value(value);
+      }
+      snapshot += '\n';
+    });
+  }
+  const std::string tmp = wal_path_ + ".ckpt";
+  {
+    std::ofstream out{tmp, std::ios::trunc};
+    if (!out) return false;
+    out << snapshot;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), wal_path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  telemetry::registry().counter("stampede_db_wal_checkpoints_total").inc();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // Query executor
 
 namespace {
@@ -750,6 +826,14 @@ struct PlanCounters {
       telemetry::registry().counter("stampede_db_plan_hash_join_total");
   telemetry::Counter& join_pushdown =
       telemetry::registry().counter("stampede_db_plan_join_pushdown_total");
+  telemetry::Counter& columnar =
+      telemetry::registry().counter("stampede_db_plan_columnar_total");
+  telemetry::Counter& segment_scans =
+      telemetry::registry().counter("stampede_segment_scans_total");
+  telemetry::Counter& segment_prunes =
+      telemetry::registry().counter("stampede_segment_prunes_total");
+  telemetry::Counter& segment_range_probes =
+      telemetry::registry().counter("stampede_segment_range_probes_total");
 };
 
 PlanCounters& plan_counters() {
@@ -789,6 +873,29 @@ ResultSet StorageShard::execute(const Select& select) const {
 
 ResultSet StorageShard::execute_unlocked(const Select& select) const {
   g_last_plan = {};
+  // Columnar fast path: a single-source query over a table with sealed
+  // segments takes the vectorized scan (segment.cpp) when its shape is
+  // supported; results are byte-identical to the row path below, so the
+  // two are interchangeable mid-workload.
+  if (select.joins().empty()) {
+    const Table& base = table_ref(select.table());
+    if (!base.column_store().empty()) {
+      if (auto columnar = execute_columnar(base, select, g_last_plan)) {
+        PlanCounters& counters = plan_counters();
+        counters.columnar.inc();
+        if (g_last_plan.segments_scanned > 0) {
+          counters.segment_scans.inc(g_last_plan.segments_scanned);
+        }
+        if (g_last_plan.segments_pruned > 0) {
+          counters.segment_prunes.inc(g_last_plan.segments_pruned);
+        }
+        if (g_last_plan.range_index_probes > 0) {
+          counters.segment_range_probes.inc(g_last_plan.range_index_probes);
+        }
+        return std::move(*columnar);
+      }
+    }
+  }
   // Assemble the source chain and the flat column map.
   std::vector<Source> sources;
   {
@@ -893,8 +1000,10 @@ ResultSet StorageShard::execute_unlocked(const Select& select) const {
         } else if (name.find('.') != std::string::npos) {
           continue;  // Qualified with some join alias.
         }
-        if (base.has_index(name)) {
-          candidates = base.index_lookup(name, e->literal);
+        // nullopt = no index on this column (try the next conjunct); an
+        // engaged empty vector is a real "no matching rows" answer.
+        if (auto probe = base.index_lookup(name, e->literal)) {
+          candidates = std::move(*probe);
           // Secondary indexes hand ids back in index order; scan order
           // (ascending RowId) keeps every plan's row enumeration — and
           // with it GROUP BY first-occurrence order — identical.
@@ -1007,7 +1116,8 @@ ResultSet StorageShard::execute_unlocked(const Select& select) const {
         const Value& key = left_row[left_index];
         std::vector<RowId> ids;
         if (!key.is_null()) {
-          ids = right.index_lookup(join.right_col, key);
+          // Engaged by the has_index() branch condition above.
+          ids = std::move(right.index_lookup(join.right_col, key).value());
           std::sort(ids.begin(), ids.end());
         }
         bool matched = false;
@@ -1043,8 +1153,9 @@ ResultSet StorageShard::execute_unlocked(const Select& select) const {
         ++g_last_plan.join_pushdowns;
         const std::string& filter_name =
             right.def().columns[*filter_col].name;
+        // Engaged: filter_indexed was established via has_index().
         std::vector<RowId> ids =
-            right.index_lookup(filter_name, filter->literal);
+            std::move(right.index_lookup(filter_name, filter->literal).value());
         std::sort(ids.begin(), ids.end());
         for (const RowId id : ids) {
           if (const Row* row = right.fetch(id)) build_add(*row);

@@ -79,6 +79,11 @@ struct PlanInfo {
   std::uint64_t index_joins = 0;    ///< Index-nested-loop joins taken.
   std::uint64_t hash_joins = 0;     ///< Hash joins taken.
   std::uint64_t join_pushdowns = 0; ///< Build sides narrowed via pushdown.
+  std::uint64_t columnar = 0;           ///< Answered by the vectorized
+                                        ///< segment-scan path (§15).
+  std::uint64_t segments_scanned = 0;   ///< Segments scanned after pruning.
+  std::uint64_t segments_pruned = 0;    ///< Segments skipped via zone maps.
+  std::uint64_t range_index_probes = 0; ///< Sorted-column range probes.
 };
 
 /// The PlanInfo for the last execute() that ran on the calling thread.
@@ -220,6 +225,42 @@ class StorageShard {
   /// during recover() replay.
   using WalSink = std::function<void(std::string_view bytes)>;
   void set_wal_sink(WalSink sink);
+
+  // -- columnar compaction (segment.hpp, DESIGN.md §15) -----------------------
+
+  struct CompactStats {
+    std::size_t segments_built = 0;
+    std::size_t rows_sealed = 0;
+    std::size_t tombstones_reclaimed = 0;
+  };
+
+  /// Seals cold row ranges of every table into columnar segments under
+  /// the exclusive lock (so it serializes with committing lanes exactly
+  /// like any writer) and reclaims tombstoned payloads inside sealed
+  /// ranges. Logical content is unchanged: table versions do not move,
+  /// cached results stay valid, and no change-capture deltas fire.
+  CompactStats compact(const SealOptions& opts = {});
+
+  /// Live/dead row counts per table, one consistent observation (feeds
+  /// the stampede_db_tombstones_total / stampede_db_live_rows gauges).
+  struct TableCounts {
+    std::string table;
+    std::size_t live = 0;
+    std::size_t dead = 0;
+    std::size_t sealed = 0;  ///< Rows currently inside segments.
+  };
+  [[nodiscard]] std::vector<TableCounts> table_counts() const;
+
+  /// Rewrites the WAL as a snapshot of the current live rows (atomic
+  /// tmp+rename), bounding replay by table size instead of total write
+  /// history. Returns false when skipped: not WAL-backed, a transaction
+  /// is open, or a replication wal_sink is attached (followers track
+  /// byte offsets into the append-only file, which a rewrite would
+  /// break). Caveat: tables with no declared PK are addressed by RowId
+  /// in U/D records, and a checkpoint compacts slots — like the
+  /// pre-existing rolled-back-insert drift, this is only safe for
+  /// insert-only PK-less tables (all of stampede's are).
+  bool checkpoint_wal();
 
  private:
   /// Shared lock for a public read entry point — unless this thread

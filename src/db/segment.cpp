@@ -1,0 +1,1003 @@
+#include "db/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+
+#include "common/errors.hpp"
+#include "common/string_utils.hpp"
+#include "db/aggregate.hpp"
+#include "db/database.hpp"
+#include "db/table.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace stampede::db {
+
+using common::DbError;
+
+// ---------------------------------------------------------------------------
+// SegmentColumn
+
+std::uint32_t SegmentColumn::code_at(std::size_t pos) const {
+  if (!codes.empty()) return codes[pos];
+  // RLE: the run owning `pos` is the last run starting at or before it.
+  const auto it = std::upper_bound(run_starts.begin(), run_starts.end(),
+                                   static_cast<std::uint32_t>(pos));
+  return run_codes[static_cast<std::size_t>(it - run_starts.begin()) - 1];
+}
+
+Value SegmentColumn::value_at(std::size_t pos) const {
+  if (is_null_at(pos)) return Value::null();
+  switch (encoding) {
+    case Encoding::kInt64:
+      return Value{ints[pos]};
+    case Encoding::kFloat64:
+      return Value{reals[pos]};
+    case Encoding::kDict:
+      return Value{dict[code_at(pos)]};
+    case Encoding::kMixed:
+      return values[pos];
+  }
+  return Value::null();
+}
+
+// ---------------------------------------------------------------------------
+// ColumnStore
+
+std::size_t ColumnStore::sealed_rows() const noexcept {
+  std::size_t total = 0;
+  for (const auto& seg : segments_) total += seg.size();
+  return total;
+}
+
+void ColumnStore::add(Segment segment) {
+  const auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), segment.lo,
+      [](const Segment& s, RowId lo) { return s.lo < lo; });
+  covered_hi_ = std::max(covered_hi_, segment.hi);
+  segments_.insert(it, std::move(segment));
+}
+
+void ColumnStore::invalidate(RowId id) {
+  if (id >= covered_hi_) return;  // Hot tail: the common case.
+  // Last segment with lo <= id; disjoint ranges make it the only candidate.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), id,
+      [](RowId lhs, const Segment& s) { return lhs < s.lo; });
+  if (it == segments_.begin()) return;
+  --it;
+  if (id >= it->hi) return;  // In a gap between segments.
+  segments_.erase(it);
+  ++invalidations_;
+  covered_hi_ = segments_.empty() ? 0 : segments_.back().hi;
+  telemetry::registry()
+      .counter("stampede_segment_invalidations_total")
+      .inc();
+}
+
+void ColumnStore::clear() {
+  segments_.clear();
+  covered_hi_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Sealing: rows -> columnar image
+
+namespace {
+
+/// True for a real Value holding NaN.
+bool is_nan_value(const Value& v) {
+  return v.is_real() && std::isnan(v.as_real());
+}
+
+}  // namespace
+
+Segment build_segment(const TableDef& def, const std::vector<Row>& rows,
+                      const std::vector<bool>& live, RowId lo, RowId hi,
+                      const std::vector<std::size_t>& range_index_cols) {
+  Segment seg;
+  seg.lo = lo;
+  seg.hi = hi;
+  for (RowId id = lo; id < hi; ++id) {
+    if (live[static_cast<std::size_t>(id)]) seg.row_ids.push_back(id);
+  }
+  const std::size_t n = seg.row_ids.size();
+  seg.columns.resize(def.columns.size());
+
+  for (std::size_t c = 0; c < def.columns.size(); ++c) {
+    SegmentColumn& col = seg.columns[c];
+    // Pass 1: classify observed cell types and collect the zone map.
+    bool any_int = false, any_real = false, any_text = false;
+    col.nulls.assign(n, 0);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      const Value& v = rows[static_cast<std::size_t>(seg.row_ids[pos])][c];
+      if (v.is_null()) {
+        col.nulls[pos] = 1;
+        col.has_nulls = true;
+        continue;
+      }
+      col.has_values = true;
+      if (v.is_int()) {
+        any_int = true;
+      } else if (v.is_real()) {
+        any_real = true;
+      } else {
+        any_text = true;
+      }
+      if (is_nan_value(v)) {
+        col.has_nan = true;
+        continue;  // Unordered: never a zone-map bound.
+      }
+      if (col.min_value.is_null() || v < col.min_value) col.min_value = v;
+      if (col.max_value.is_null() || col.max_value < v) col.max_value = v;
+    }
+    if (!col.has_nulls) col.nulls.clear();
+
+    // Pass 2: encode. One observed type -> typed array / dictionary;
+    // mixtures (or all-NULL) keep exact Values.
+    const int kinds = (any_int ? 1 : 0) + (any_real ? 1 : 0) + (any_text ? 1 : 0);
+    const auto cell = [&](std::size_t pos) -> const Value& {
+      return rows[static_cast<std::size_t>(seg.row_ids[pos])][c];
+    };
+    if (kinds == 1 && any_int) {
+      col.encoding = SegmentColumn::Encoding::kInt64;
+      col.ints.assign(n, 0);
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        if (!col.is_null_at(pos)) col.ints[pos] = cell(pos).as_int();
+      }
+    } else if (kinds == 1 && any_real) {
+      col.encoding = SegmentColumn::Encoding::kFloat64;
+      col.reals.assign(n, 0.0);
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        if (!col.is_null_at(pos)) col.reals[pos] = cell(pos).as_real();
+      }
+    } else if (kinds == 1 && any_text) {
+      col.encoding = SegmentColumn::Encoding::kDict;
+      std::vector<std::string> distinct;
+      {
+        std::unordered_set<std::string_view> seen;
+        for (std::size_t pos = 0; pos < n; ++pos) {
+          if (col.is_null_at(pos)) continue;
+          const std::string& s = cell(pos).as_text();
+          if (seen.insert(s).second) distinct.push_back(s);
+        }
+      }
+      std::sort(distinct.begin(), distinct.end());
+      col.dict = std::move(distinct);
+      std::vector<std::uint32_t> codes(n, 0);
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        if (col.is_null_at(pos)) continue;
+        const auto it = std::lower_bound(col.dict.begin(), col.dict.end(),
+                                         cell(pos).as_text());
+        codes[pos] = static_cast<std::uint32_t>(it - col.dict.begin());
+      }
+      // RLE when runs are long enough to pay for the indirection: states
+      // and hosts arrive in long same-value stretches, event names less so.
+      std::size_t run_count = 0;
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        if (pos == 0 || codes[pos] != codes[pos - 1]) ++run_count;
+      }
+      if (n > 0 && run_count * 4 <= n) {
+        for (std::size_t pos = 0; pos < n; ++pos) {
+          if (pos == 0 || codes[pos] != codes[pos - 1]) {
+            col.run_starts.push_back(static_cast<std::uint32_t>(pos));
+            col.run_codes.push_back(codes[pos]);
+          }
+        }
+      } else {
+        col.codes = std::move(codes);
+      }
+    } else {
+      col.encoding = SegmentColumn::Encoding::kMixed;
+      col.values.reserve(n);
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        col.values.push_back(cell(pos));
+      }
+    }
+  }
+
+  // Range indexes: positions sorted by (value, position); NULL and NaN
+  // excluded (both are unordered targets for range predicates anyway,
+  // and NaN would break the sort's strict weak ordering).
+  for (const std::size_t c : range_index_cols) {
+    if (c >= seg.columns.size()) continue;
+    const SegmentColumn& col = seg.columns[c];
+    std::vector<std::uint32_t> perm;
+    perm.reserve(n);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      if (col.is_null_at(pos)) continue;
+      if (col.has_nan && is_nan_value(col.value_at(pos))) continue;
+      perm.push_back(static_cast<std::uint32_t>(pos));
+    }
+    std::sort(perm.begin(), perm.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const Value va = col.value_at(a);
+                const Value vb = col.value_at(b);
+                const auto ord = va.compare(vb);
+                if (ord == std::partial_ordering::less) return true;
+                if (ord == std::partial_ordering::greater) return false;
+                return a < b;
+              });
+    seg.range_index.emplace(c, std::move(perm));
+  }
+  return seg;
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized execution
+
+namespace {
+
+/// Name -> base-table column index, honouring the "col" and "alias.col"
+/// spellings the row path accepts for a single-source query.
+struct BaseResolver {
+  const TableDef* def = nullptr;
+  std::string prefix;  ///< alias + "."
+
+  [[nodiscard]] std::optional<std::size_t> resolve(
+      const std::string& name) const {
+    if (const auto direct = def->column_index(name)) return direct;
+    if (common::starts_with(name, prefix)) {
+      return def->column_index(name.substr(prefix.size()));
+    }
+    return std::nullopt;
+  }
+};
+
+/// Every column mentioned in the expression tree (left and right sides).
+void collect_columns(const Expr& expr, std::vector<std::string>& out) {
+  if (!expr.column.empty()) out.push_back(expr.column);
+  if (!expr.column_rhs.empty()) out.push_back(expr.column_rhs);
+  for (const auto& child : expr.children) collect_columns(*child, out);
+}
+
+bool expr_supported(const Expr& expr) {
+  if (expr.kind == Expr::Kind::kCompareColumns) return false;
+  for (const auto& child : expr.children) {
+    if (!expr_supported(*child)) return false;
+  }
+  return true;
+}
+
+// -- zone-map pruning -------------------------------------------------------
+
+/// Conservative "could any row in this segment satisfy `expr`?". Must
+/// never return false when a row matches; true costs only a scan.
+bool zone_maybe(const Segment& seg, const Expr& expr,
+                const BaseResolver& resolver) {
+  switch (expr.kind) {
+    case Expr::Kind::kAnd:
+      for (const auto& child : expr.children) {
+        if (!zone_maybe(seg, *child, resolver)) return false;
+      }
+      return true;
+    case Expr::Kind::kOr: {
+      if (expr.children.empty()) return false;
+      for (const auto& child : expr.children) {
+        if (zone_maybe(seg, *child, resolver)) return true;
+      }
+      return false;
+    }
+    case Expr::Kind::kCompareLiteral: {
+      const auto c = resolver.resolve(expr.column);
+      if (!c) return true;
+      const SegmentColumn& col = seg.columns[*c];
+      // All-NULL column: every comparison is false.
+      if (!col.has_values) return false;
+      // NaN cells are outside the [min,max] bounds; with one present the
+      // bounds prove nothing (and kNe against them is always true).
+      if (col.has_nan) return true;
+      const Value& lit = expr.literal;
+      if (lit.is_null()) return false;
+      switch (expr.op) {
+        case CompareOp::kEq:
+          return compare_values(col.min_value, CompareOp::kLe, lit) &&
+                 compare_values(lit, CompareOp::kLe, col.max_value);
+        case CompareOp::kNe:
+          // Only prunable when every cell equals the literal.
+          return !(compare_values(col.min_value, CompareOp::kEq, lit) &&
+                   compare_values(col.max_value, CompareOp::kEq, lit));
+        case CompareOp::kLt:
+          return compare_values(col.min_value, CompareOp::kLt, lit);
+        case CompareOp::kLe:
+          return compare_values(col.min_value, CompareOp::kLe, lit);
+        case CompareOp::kGt:
+          return compare_values(col.max_value, CompareOp::kGt, lit);
+        case CompareOp::kGe:
+          return compare_values(col.max_value, CompareOp::kGe, lit);
+      }
+      return true;
+    }
+    case Expr::Kind::kIn: {
+      const auto c = resolver.resolve(expr.column);
+      if (!c) return true;
+      const SegmentColumn& col = seg.columns[*c];
+      if (!col.has_values) return false;
+      if (col.has_nan) return true;
+      for (const auto& cand : expr.in_values) {
+        if (cand.is_null()) continue;
+        if (compare_values(col.min_value, CompareOp::kLe, cand) &&
+            compare_values(cand, CompareOp::kLe, col.max_value)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case Expr::Kind::kIsNull: {
+      const auto c = resolver.resolve(expr.column);
+      return !c || seg.columns[*c].has_nulls;
+    }
+    case Expr::Kind::kIsNotNull: {
+      const auto c = resolver.resolve(expr.column);
+      return !c || seg.columns[*c].has_values;
+    }
+    case Expr::Kind::kLike: {
+      const auto c = resolver.resolve(expr.column);
+      if (!c) return true;
+      const SegmentColumn& col = seg.columns[*c];
+      if (!col.has_values) return false;
+      // LIKE is false for every non-text cell; a typed numeric column
+      // cannot match at all.
+      return col.encoding == SegmentColumn::Encoding::kDict ||
+             col.encoding == SegmentColumn::Encoding::kMixed;
+    }
+    case Expr::Kind::kNot:
+    case Expr::Kind::kCompareColumns:
+      return true;
+  }
+  return true;
+}
+
+// -- per-segment predicate vectors ------------------------------------------
+
+/// Codes [first, second) of dictionary entries satisfying `op` vs a text
+/// literal (the dictionary is sorted, so order ops are code ranges).
+std::pair<std::uint32_t, std::uint32_t> dict_range(
+    const std::vector<std::string>& dict, CompareOp op,
+    const std::string& lit) {
+  const auto lower = static_cast<std::uint32_t>(
+      std::lower_bound(dict.begin(), dict.end(), lit) - dict.begin());
+  const auto upper = static_cast<std::uint32_t>(
+      std::upper_bound(dict.begin(), dict.end(), lit) - dict.begin());
+  const auto size = static_cast<std::uint32_t>(dict.size());
+  switch (op) {
+    case CompareOp::kEq:
+      return {lower, upper};
+    case CompareOp::kLt:
+      return {0, lower};
+    case CompareOp::kLe:
+      return {0, upper};
+    case CompareOp::kGt:
+      return {upper, size};
+    case CompareOp::kGe:
+      return {lower, size};
+    case CompareOp::kNe:
+      break;  // Not a contiguous range; handled by the caller.
+  }
+  return {0, 0};
+}
+
+struct VectorEvaluator {
+  const Segment& seg;
+  const BaseResolver& resolver;
+  PlanInfo& plan;
+
+  using Bits = std::vector<std::uint8_t>;
+
+  [[nodiscard]] Bits eval(const Expr& expr) const {
+    const std::size_t n = seg.size();
+    switch (expr.kind) {
+      case Expr::Kind::kAnd: {
+        Bits out(n, 1);  // evaluate(): empty AND is true.
+        for (const auto& child : expr.children) {
+          const Bits b = eval(*child);
+          for (std::size_t i = 0; i < n; ++i) out[i] &= b[i];
+        }
+        return out;
+      }
+      case Expr::Kind::kOr: {
+        Bits out(n, 0);
+        for (const auto& child : expr.children) {
+          const Bits b = eval(*child);
+          for (std::size_t i = 0; i < n; ++i) out[i] |= b[i];
+        }
+        return out;
+      }
+      case Expr::Kind::kNot: {
+        if (expr.children.empty()) return Bits(n, 0);  // evaluate(): false.
+        Bits out = eval(*expr.children[0]);
+        // evaluate() collapses SQL tri-state to bool before NOT, so a
+        // bitwise flip reproduces NOT(NULL-comparison) == true exactly.
+        for (std::size_t i = 0; i < n; ++i) out[i] = out[i] ? 0 : 1;
+        return out;
+      }
+      case Expr::Kind::kIsNull: {
+        const SegmentColumn& col = column(expr.column);
+        Bits out(n, 0);
+        for (std::size_t i = 0; i < n; ++i) out[i] = col.is_null_at(i) ? 1 : 0;
+        return out;
+      }
+      case Expr::Kind::kIsNotNull: {
+        const SegmentColumn& col = column(expr.column);
+        Bits out(n, 0);
+        for (std::size_t i = 0; i < n; ++i) out[i] = col.is_null_at(i) ? 0 : 1;
+        return out;
+      }
+      case Expr::Kind::kCompareLiteral:
+        return compare_literal(expr);
+      case Expr::Kind::kIn:
+        return in_list(expr);
+      case Expr::Kind::kLike:
+        return like(expr);
+      case Expr::Kind::kCompareColumns:
+        break;  // Filtered out by the eligibility walk.
+    }
+    throw DbError("columnar: unhandled expression kind");
+  }
+
+ private:
+  [[nodiscard]] const SegmentColumn& column(const std::string& name) const {
+    return seg.columns[*resolver.resolve(name)];
+  }
+
+  [[nodiscard]] Bits compare_literal(const Expr& expr) const {
+    const std::size_t n = seg.size();
+    const std::size_t ci = *resolver.resolve(expr.column);
+    const SegmentColumn& col = seg.columns[ci];
+    const Value& lit = expr.literal;
+    Bits out(n, 0);
+    if (lit.is_null()) return out;  // NULL comparand: everything false.
+
+    // Range-index probe: binary search the sorted positions instead of
+    // scanning the column. kNe is not a contiguous range, and NaN on
+    // either side falls back to the scan loops: NaN cells are excluded
+    // from the index (yet do satisfy `< text` — numbers order before
+    // text), and a NaN literal is unordered against the sorted keys.
+    const auto ri = seg.range_index.find(ci);
+    if (ri != seg.range_index.end() && expr.op != CompareOp::kNe &&
+        !col.has_nan && !is_nan_value(lit)) {
+      const std::vector<std::uint32_t>& perm = ri->second;
+      const auto less_than_lit = [&](std::uint32_t pos) {
+        return col.value_at(pos).compare(lit) == std::partial_ordering::less;
+      };
+      const auto not_greater_than_lit = [&](std::uint32_t pos) {
+        const auto ord = col.value_at(pos).compare(lit);
+        return ord == std::partial_ordering::less ||
+               ord == std::partial_ordering::equivalent;
+      };
+      const std::size_t lower = static_cast<std::size_t>(
+          std::partition_point(perm.begin(), perm.end(), less_than_lit) -
+          perm.begin());
+      const std::size_t upper = static_cast<std::size_t>(
+          std::partition_point(perm.begin(), perm.end(), not_greater_than_lit) -
+          perm.begin());
+      std::size_t first = 0, last = 0;
+      switch (expr.op) {
+        case CompareOp::kEq: first = lower; last = upper; break;
+        case CompareOp::kLt: first = 0; last = lower; break;
+        case CompareOp::kLe: first = 0; last = upper; break;
+        case CompareOp::kGt: first = upper; last = perm.size(); break;
+        case CompareOp::kGe: first = lower; last = perm.size(); break;
+        case CompareOp::kNe: break;
+      }
+      for (std::size_t i = first; i < last; ++i) out[perm[i]] = 1;
+      ++plan.range_index_probes;
+      return out;
+    }
+
+    switch (col.encoding) {
+      case SegmentColumn::Encoding::kInt64: {
+        if (lit.is_int()) {
+          const std::int64_t b = lit.as_int();
+          fill_typed(col, out, [&](std::size_t i) {
+            return int_compare(col.ints[i], expr.op, b);
+          });
+        } else if (lit.is_real()) {
+          // Value::compare widens the int side to double; replicate.
+          const double b = lit.as_real();
+          fill_typed(col, out, [&](std::size_t i) {
+            return double_compare(static_cast<double>(col.ints[i]), expr.op, b);
+          });
+        } else {
+          // Numbers order before text: <, <=, != hold for every cell.
+          const bool all = expr.op == CompareOp::kLt ||
+                           expr.op == CompareOp::kLe ||
+                           expr.op == CompareOp::kNe;
+          if (all) fill_typed(col, out, [](std::size_t) { return true; });
+        }
+        return out;
+      }
+      case SegmentColumn::Encoding::kFloat64: {
+        if (lit.is_int() || lit.is_real()) {
+          const double b = lit.as_number();
+          fill_typed(col, out, [&](std::size_t i) {
+            return double_compare(col.reals[i], expr.op, b);
+          });
+        } else {
+          // Numbers — NaN included, the type rank decides first — order
+          // before text: <, <=, != hold for every cell.
+          const bool all = expr.op == CompareOp::kLt ||
+                           expr.op == CompareOp::kLe ||
+                           expr.op == CompareOp::kNe;
+          if (all) fill_typed(col, out, [](std::size_t) { return true; });
+        }
+        return out;
+      }
+      case SegmentColumn::Encoding::kDict: {
+        if (lit.is_text()) {
+          if (expr.op == CompareOp::kNe) {
+            const auto [lo, hi] =
+                dict_range(col.dict, CompareOp::kEq, lit.as_text());
+            fill_dict(col, out, [&](std::uint32_t code) {
+              return code < lo || code >= hi;
+            });
+          } else {
+            const auto [lo, hi] = dict_range(col.dict, expr.op, lit.as_text());
+            fill_dict(col, out, [&](std::uint32_t code) {
+              return code >= lo && code < hi;
+            });
+          }
+        } else {
+          // Text orders after numbers: >, >=, != hold for every cell.
+          const bool all = expr.op == CompareOp::kGt ||
+                           expr.op == CompareOp::kGe ||
+                           expr.op == CompareOp::kNe;
+          if (all) fill_typed(col, out, [](std::size_t) { return true; });
+        }
+        return out;
+      }
+      case SegmentColumn::Encoding::kMixed: {
+        for (std::size_t i = 0; i < n; ++i) {
+          out[i] = compare_values(col.values[i], expr.op, lit) ? 1 : 0;
+        }
+        return out;
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] Bits in_list(const Expr& expr) const {
+    const std::size_t n = seg.size();
+    const SegmentColumn& col = column(expr.column);
+    Bits out(n, 0);
+    switch (col.encoding) {
+      case SegmentColumn::Encoding::kDict: {
+        // Per-dictionary-entry membership, evaluated once per distinct
+        // value instead of once per row.
+        std::vector<std::uint8_t> match(col.dict.size(), 0);
+        for (std::size_t d = 0; d < col.dict.size(); ++d) {
+          const Value v{col.dict[d]};
+          for (const auto& cand : expr.in_values) {
+            if (compare_values(v, CompareOp::kEq, cand)) {
+              match[d] = 1;
+              break;
+            }
+          }
+        }
+        fill_dict(col, out,
+                  [&](std::uint32_t code) { return match[code] != 0; });
+        return out;
+      }
+      case SegmentColumn::Encoding::kInt64: {
+        fill_typed(col, out, [&](std::size_t i) {
+          const Value v{col.ints[i]};
+          for (const auto& cand : expr.in_values) {
+            if (compare_values(v, CompareOp::kEq, cand)) return true;
+          }
+          return false;
+        });
+        return out;
+      }
+      case SegmentColumn::Encoding::kFloat64: {
+        fill_typed(col, out, [&](std::size_t i) {
+          const Value v{col.reals[i]};
+          for (const auto& cand : expr.in_values) {
+            if (compare_values(v, CompareOp::kEq, cand)) return true;
+          }
+          return false;
+        });
+        return out;
+      }
+      case SegmentColumn::Encoding::kMixed: {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (col.values[i].is_null()) continue;
+          for (const auto& cand : expr.in_values) {
+            if (compare_values(col.values[i], CompareOp::kEq, cand)) {
+              out[i] = 1;
+              break;
+            }
+          }
+        }
+        return out;
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] Bits like(const Expr& expr) const {
+    const std::size_t n = seg.size();
+    const SegmentColumn& col = column(expr.column);
+    Bits out(n, 0);
+    switch (col.encoding) {
+      case SegmentColumn::Encoding::kDict: {
+        std::vector<std::uint8_t> match(col.dict.size(), 0);
+        for (std::size_t d = 0; d < col.dict.size(); ++d) {
+          match[d] = common::like_match(col.dict[d], expr.pattern) ? 1 : 0;
+        }
+        fill_dict(col, out,
+                  [&](std::uint32_t code) { return match[code] != 0; });
+        return out;
+      }
+      case SegmentColumn::Encoding::kMixed: {
+        for (std::size_t i = 0; i < n; ++i) {
+          const Value& v = col.values[i];
+          out[i] =
+              v.is_text() && common::like_match(v.as_text(), expr.pattern);
+        }
+        return out;
+      }
+      case SegmentColumn::Encoding::kInt64:
+      case SegmentColumn::Encoding::kFloat64:
+        return out;  // LIKE is false for non-text.
+    }
+    return out;
+  }
+
+  // Sets out[i] = pred(i) for every non-null position.
+  template <typename Pred>
+  void fill_typed(const SegmentColumn& col, Bits& out, Pred&& pred) const {
+    const std::size_t n = out.size();
+    if (!col.has_nulls) {
+      for (std::size_t i = 0; i < n; ++i) out[i] = pred(i) ? 1 : 0;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = (col.nulls[i] == 0 && pred(i)) ? 1 : 0;
+      }
+    }
+  }
+
+  // Sets out[i] = pred(code(i)) for non-null positions; whole runs at a
+  // time when the column is RLE.
+  template <typename Pred>
+  void fill_dict(const SegmentColumn& col, Bits& out, Pred&& pred) const {
+    const std::size_t n = out.size();
+    if (!col.codes.empty()) {
+      fill_typed(col, out, [&](std::size_t i) { return pred(col.codes[i]); });
+      return;
+    }
+    for (std::size_t r = 0; r < col.run_starts.size(); ++r) {
+      if (!pred(col.run_codes[r])) continue;
+      const std::size_t first = col.run_starts[r];
+      const std::size_t last =
+          r + 1 < col.run_starts.size() ? col.run_starts[r + 1] : n;
+      for (std::size_t i = first; i < last; ++i) {
+        out[i] = col.is_null_at(i) ? 0 : 1;
+      }
+    }
+  }
+
+  static bool int_compare(std::int64_t a, CompareOp op, std::int64_t b) {
+    switch (op) {
+      case CompareOp::kEq: return a == b;
+      case CompareOp::kNe: return a != b;
+      case CompareOp::kLt: return a < b;
+      case CompareOp::kLe: return a <= b;
+      case CompareOp::kGt: return a > b;
+      case CompareOp::kGe: return a >= b;
+    }
+    return false;
+  }
+
+  // IEEE comparisons reproduce partial_ordering exactly: NaN fails every
+  // op except !=, which compare_values maps from "not equivalent".
+  static bool double_compare(double a, CompareOp op, double b) {
+    switch (op) {
+      case CompareOp::kEq: return a == b;
+      case CompareOp::kNe: return !(a == b);
+      case CompareOp::kLt: return a < b;
+      case CompareOp::kLe: return a <= b;
+      case CompareOp::kGt: return a > b;
+      case CompareOp::kGe: return a >= b;
+    }
+    return false;
+  }
+};
+
+// -- result accumulation ----------------------------------------------------
+
+struct GroupKeyHash {
+  std::size_t operator()(const Row* row) const noexcept {
+    return group_rows_hash(*row, row->size());
+  }
+};
+
+struct GroupKeyEq {
+  bool operator()(const Row* a, const Row* b) const noexcept {
+    return a->size() == b->size() && group_rows_equal(*a, *b, a->size());
+  }
+};
+
+/// Insertion-ordered GROUP BY accumulator — the exact structures and
+/// feed order of the row path in database.cpp, so grouped results (state
+/// addresses, first-occurrence order, Aggregator arithmetic) match
+/// byte-for-byte.
+struct GroupAccumulator {
+  const Select& select;
+  struct GroupState {
+    Row key;
+    std::vector<Aggregator> aggs;
+  };
+  std::deque<GroupState> groups;
+  std::unordered_map<const Row*, std::size_t, GroupKeyHash, GroupKeyEq>
+      index_of;
+
+  std::size_t state_for(Row key) {
+    const auto it = index_of.find(&key);
+    if (it != index_of.end()) return it->second;
+    GroupState state;
+    state.key = std::move(key);
+    state.aggs.reserve(select.aggs().size());
+    for (const auto& spec : select.aggs()) {
+      Aggregator agg;
+      agg.fn = spec.fn;
+      state.aggs.push_back(agg);
+    }
+    groups.push_back(std::move(state));
+    index_of.emplace(&groups.back().key, groups.size() - 1);
+    return groups.size() - 1;
+  }
+
+  ResultSet finish() {
+    // SQL's zero-input aggregate row (e.g. COUNT(*) == 0).
+    if (groups.empty() && select.groups().empty() && !select.aggs().empty()) {
+      GroupState state;
+      for (const auto& spec : select.aggs()) {
+        Aggregator agg;
+        agg.fn = spec.fn;
+        state.aggs.push_back(agg);
+      }
+      groups.push_back(std::move(state));
+    }
+    ResultSet result;
+    for (const auto& g : select.groups()) result.columns.push_back(g);
+    for (const auto& spec : select.aggs()) result.columns.push_back(spec.alias);
+    result.rows.reserve(groups.size());
+    for (auto& state : groups) {
+      Row out = std::move(state.key);
+      out.reserve(out.size() + state.aggs.size());
+      for (const auto& agg : state.aggs) out.push_back(agg.result());
+      result.rows.push_back(std::move(out));
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+std::optional<ResultSet> execute_columnar(const Table& table,
+                                          const Select& select,
+                                          PlanInfo& plan) {
+  if (!select.joins().empty()) return std::nullopt;
+  const TableDef& def = table.def();
+  const BaseResolver resolver{&def, select.alias() + "."};
+
+  // Eligibility: every referenced name must resolve against the base
+  // table and every predicate node must be vectorizable. Anything else
+  // falls back to the row path — which also reproduces the row path's
+  // error behaviour for genuinely unknown columns.
+  if (select.predicate()) {
+    if (!expr_supported(*select.predicate())) return std::nullopt;
+    std::vector<std::string> pred_cols;
+    collect_columns(*select.predicate(), pred_cols);
+    for (const auto& name : pred_cols) {
+      if (!resolver.resolve(name)) return std::nullopt;
+    }
+  }
+  std::vector<std::size_t> group_cols;
+  group_cols.reserve(select.groups().size());
+  for (const auto& g : select.groups()) {
+    const auto c = resolver.resolve(g);
+    if (!c) return std::nullopt;
+    group_cols.push_back(*c);
+  }
+  // -1 marks COUNT(*).
+  std::vector<std::ptrdiff_t> agg_cols;
+  agg_cols.reserve(select.aggs().size());
+  for (const auto& spec : select.aggs()) {
+    if (spec.column.empty()) {
+      agg_cols.push_back(-1);
+      continue;
+    }
+    const auto c = resolver.resolve(spec.column);
+    if (!c) return std::nullopt;
+    agg_cols.push_back(static_cast<std::ptrdiff_t>(*c));
+  }
+  const bool aggregate_mode =
+      !select.groups().empty() || !select.aggs().empty();
+  // SUM/AVG/MIN/MAX of the same measure is the common dashboard shape;
+  // fetch each distinct aggregate source column once per row and feed
+  // every aggregator from that cell. Feed order and values are
+  // unchanged, only the duplicate cell materialisations go away.
+  std::vector<std::size_t> agg_unique;
+  std::vector<std::ptrdiff_t> agg_slot(agg_cols.size(), -1);
+  for (std::size_t a = 0; a < agg_cols.size(); ++a) {
+    if (agg_cols[a] < 0) continue;  // COUNT(*) reads no column.
+    const auto col = static_cast<std::size_t>(agg_cols[a]);
+    std::size_t u = 0;
+    while (u < agg_unique.size() && agg_unique[u] != col) ++u;
+    if (u == agg_unique.size()) agg_unique.push_back(col);
+    agg_slot[a] = static_cast<std::ptrdiff_t>(u);
+  }
+  std::vector<Value> agg_cells(agg_unique.size());
+  std::vector<std::size_t> proj;
+  ResultSet projected;
+  if (!aggregate_mode) {
+    if (select.selected().empty()) {
+      for (std::size_t i = 0; i < def.columns.size(); ++i) {
+        proj.push_back(i);
+        projected.columns.push_back(def.columns[i].name);
+      }
+    } else {
+      for (const auto& name : select.selected()) {
+        const auto c = resolver.resolve(name);
+        if (!c) return std::nullopt;
+        proj.push_back(*c);
+        projected.columns.push_back(name);
+      }
+    }
+  }
+
+  // Row-path resolver for the uncovered gap/tail rows; every name was
+  // validated above, so resolution cannot fail.
+  const Expr* predicate = select.predicate().get();
+  const auto row_matches = [&](const Row& row) {
+    return !predicate || evaluate(*predicate, [&](const std::string& name) {
+      return row[*resolver.resolve(name)];
+    });
+  };
+
+  GroupAccumulator acc{select, {}, {}};
+
+  // Global aggregates (no GROUP BY) hit one group for every row; cache
+  // it so the hot loop skips the hashed key lookup. deque references
+  // stay valid across later state_for() growth.
+  GroupAccumulator::GroupState* global_group = nullptr;
+
+  // Per-row consumption, shared by both chunk kinds. `get` returns the
+  // cell for a base-table column index.
+  const auto consume = [&](const auto& get) {
+    if (aggregate_mode) {
+      GroupAccumulator::GroupState* found = nullptr;
+      if (group_cols.empty()) {
+        if (global_group == nullptr) {
+          global_group = &acc.groups[acc.state_for(Row{})];
+        }
+        found = global_group;
+      } else {
+        Row key;
+        key.reserve(group_cols.size());
+        for (const std::size_t c : group_cols) key.push_back(get(c));
+        found = &acc.groups[acc.state_for(std::move(key))];
+      }
+      GroupAccumulator::GroupState& state = *found;
+      for (std::size_t u = 0; u < agg_unique.size(); ++u) {
+        agg_cells[u] = get(agg_unique[u]);
+      }
+      for (std::size_t a = 0; a < agg_cols.size(); ++a) {
+        if (agg_slot[a] < 0) {
+          state.aggs[a].feed_row();
+        } else {
+          state.aggs[a].feed(agg_cells[static_cast<std::size_t>(agg_slot[a])]);
+        }
+      }
+    } else {
+      Row out;
+      out.reserve(proj.size());
+      for (const std::size_t c : proj) out.push_back(get(c));
+      projected.rows.push_back(std::move(out));
+    }
+  };
+
+  // Enumerate chunks in ascending slot order: segments where sealed,
+  // row-store scans over the gaps and the hot tail. Ascending order end
+  // to end keeps Aggregator arithmetic and GROUP BY first-occurrence
+  // order identical to the row path's single scan.
+  const auto row_range = [&](RowId from, RowId to) {
+    for (RowId id = from; id < to; ++id) {
+      const Row* row = table.fetch(id);
+      if (!row || !row_matches(*row)) continue;
+      consume([&](std::size_t c) -> const Value& { return (*row)[c]; });
+    }
+  };
+
+  const auto segment_chunk = [&](const Segment& seg) {
+    if (seg.size() == 0) return;
+    if (predicate && !zone_maybe(seg, *predicate, resolver)) {
+      ++plan.segments_pruned;
+      return;
+    }
+    ++plan.segments_scanned;
+    std::vector<std::uint8_t> sel;
+    if (predicate) {
+      const VectorEvaluator ev{seg, resolver, plan};
+      sel = ev.eval(*predicate);
+    }
+
+    // Fast path for the bench-critical shape — GROUP BY one dictionary
+    // column — caching code -> group so surviving rows skip the hashed
+    // key lookup (and its per-row key allocation).
+    const SegmentColumn* dict_group = nullptr;
+    if (aggregate_mode && group_cols.size() == 1 &&
+        seg.columns[group_cols[0]].encoding ==
+            SegmentColumn::Encoding::kDict) {
+      dict_group = &seg.columns[group_cols[0]];
+    }
+    std::vector<std::ptrdiff_t> code_group;
+    std::ptrdiff_t null_group = -1;
+    if (dict_group) code_group.assign(dict_group->dict.size(), -1);
+
+    const std::size_t n = seg.size();
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      if (predicate && !sel[pos]) continue;
+      if (dict_group) {
+        std::ptrdiff_t* slot = nullptr;
+        if (dict_group->is_null_at(pos)) {
+          slot = &null_group;
+        } else {
+          slot = &code_group[dict_group->code_at(pos)];
+        }
+        if (*slot < 0) {
+          Row key;
+          key.push_back(dict_group->value_at(pos));
+          *slot = static_cast<std::ptrdiff_t>(acc.state_for(std::move(key)));
+        }
+        GroupAccumulator::GroupState& state =
+            acc.groups[static_cast<std::size_t>(*slot)];
+        for (std::size_t u = 0; u < agg_unique.size(); ++u) {
+          agg_cells[u] = seg.columns[agg_unique[u]].value_at(pos);
+        }
+        for (std::size_t a = 0; a < agg_cols.size(); ++a) {
+          if (agg_slot[a] < 0) {
+            state.aggs[a].feed_row();
+          } else {
+            state.aggs[a].feed(
+                agg_cells[static_cast<std::size_t>(agg_slot[a])]);
+          }
+        }
+        continue;
+      }
+      consume([&](std::size_t c) { return seg.columns[c].value_at(pos); });
+    }
+  };
+
+  const auto& segments = table.column_store().segments();
+  RowId cursor = 0;
+  for (const auto& seg : segments) {
+    if (seg.lo > cursor) row_range(cursor, seg.lo);
+    segment_chunk(seg);
+    cursor = seg.hi;
+  }
+  row_range(cursor, static_cast<RowId>(table.slot_count()));
+
+  ResultSet result = aggregate_mode ? acc.finish() : std::move(projected);
+
+  // DISTINCT, then ORDER BY + LIMIT — same tail as the row path.
+  if (select.is_distinct()) {
+    std::unordered_set<const Row*, GroupKeyHash, GroupKeyEq> seen;
+    seen.reserve(result.rows.size());
+    std::vector<Row> unique;
+    unique.reserve(result.rows.size());
+    for (auto& row : result.rows) {
+      if (seen.find(&row) != seen.end()) continue;
+      unique.push_back(std::move(row));
+      seen.insert(&unique.back());
+    }
+    result.rows = std::move(unique);
+  }
+  sort_and_limit(result, select.orders(), select.row_limit());
+  ++plan.columnar;
+  return result;
+}
+
+}  // namespace stampede::db

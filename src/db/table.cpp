@@ -156,18 +156,18 @@ bool Table::has_index(const std::string& column) const {
   return secondary_.find(*col) != secondary_.end();
 }
 
-std::vector<RowId> Table::index_lookup(const std::string& column,
-                                       const Value& key) const {
-  std::vector<RowId> out;
+std::optional<std::vector<RowId>> Table::index_lookup(const std::string& column,
+                                                      const Value& key) const {
   const auto col = def_.column_index(column);
-  if (!col) return out;
+  if (!col) return std::nullopt;
+  std::vector<RowId> out;
   if (pk_col_ && *pk_col_ == *col) {
     const auto it = pk_index_.find(key);
     if (it != pk_index_.end()) out.push_back(it->second);
     return out;
   }
   const auto it = secondary_.find(*col);
-  if (it == secondary_.end()) return out;
+  if (it == secondary_.end()) return std::nullopt;
   const auto [lo, hi] = it->second.equal_range(key);
   for (auto cur = lo; cur != hi; ++cur) out.push_back(cur->second);
   return out;
@@ -180,6 +180,7 @@ bool Table::update(RowId id,
     return false;
   }
   const auto slot = static_cast<std::size_t>(id);
+  store_.invalidate(id);
   Row updated = rows_[slot];
   for (const auto& [name, value] : sets) {
     const auto col = def_.column_index(name);
@@ -208,6 +209,7 @@ bool Table::erase(RowId id) {
   }
   const auto slot = static_cast<std::size_t>(id);
   ++version_;
+  store_.invalidate(id);
   index_remove(static_cast<RowId>(slot), rows_[slot]);
   live_[slot] = false;
   --live_count_;
@@ -220,6 +222,7 @@ void Table::raw_replace(RowId id, Row row) {
     throw DbError("table " + def_.name + ": raw_replace of dead row");
   }
   ++version_;
+  store_.invalidate(id);
   index_remove(id, rows_[slot]);
   rows_[slot] = std::move(row);
   index_insert(id, rows_[slot]);
@@ -231,10 +234,81 @@ void Table::raw_revive(RowId id, Row row) {
     throw DbError("table " + def_.name + ": raw_revive of live row");
   }
   ++version_;
+  // The covering segment (if any) omitted this row when it was dead;
+  // reviving it makes that image stale. The payload arrives with the
+  // call, so sealing having reclaimed the dead slot is harmless.
+  store_.invalidate(id);
   rows_[slot] = std::move(row);
   live_[slot] = true;
   ++live_count_;
   index_insert(id, rows_[slot]);
+}
+
+SealStats Table::seal(const SealOptions& opts) {
+  SealStats stats;
+  const auto total = static_cast<RowId>(rows_.size());
+  const auto hot =
+      static_cast<RowId>(std::min<std::size_t>(opts.hot_tail_rows, rows_.size()));
+  const RowId sealable_hi = total - hot;  // Slots below stay sealable.
+  if (sealable_hi <= 0) return stats;
+
+  // Range indexes: declared REAL columns (timestamps) plus any extras.
+  std::vector<std::size_t> range_cols;
+  for (std::size_t c = 0; c < def_.columns.size(); ++c) {
+    if (def_.columns[c].type == ColumnType::kReal) range_cols.push_back(c);
+  }
+  for (const auto& name : opts.range_index_columns) {
+    const auto c = def_.column_index(name);
+    if (c && std::find(range_cols.begin(), range_cols.end(), *c) ==
+                 range_cols.end()) {
+      range_cols.push_back(*c);
+    }
+  }
+
+  // Uncovered gaps below the hot tail, left to right. A gap in front of
+  // an existing segment was opened by an invalidation — always re-seal
+  // it; the trailing gap waits until it is worth a segment.
+  struct Gap {
+    RowId lo, hi;
+    bool interior;
+  };
+  std::vector<Gap> gaps;
+  RowId cursor = 0;
+  for (const auto& seg : store_.segments()) {
+    if (seg.lo > cursor) {
+      gaps.push_back({cursor, std::min(seg.lo, sealable_hi), true});
+    }
+    cursor = std::max(cursor, seg.hi);
+    if (cursor >= sealable_hi) break;
+  }
+  if (cursor < sealable_hi) gaps.push_back({cursor, sealable_hi, false});
+
+  for (const auto& gap : gaps) {
+    if (gap.lo >= gap.hi) continue;
+    const auto len = static_cast<std::size_t>(gap.hi - gap.lo);
+    if (!gap.interior && len < opts.min_seal_rows) continue;
+    const auto target =
+        static_cast<RowId>(std::max<std::size_t>(opts.target_segment_rows, 1));
+    for (RowId lo = gap.lo; lo < gap.hi; lo += target) {
+      const RowId hi = std::min(lo + target, gap.hi);
+      Segment seg = build_segment(def_, rows_, live_, lo, hi, range_cols);
+      // Tombstones vanish in the columnar image; free their row-store
+      // payloads too. raw_revive() restores content from the undo log,
+      // so rollbacks never need the dead bytes back.
+      for (RowId id = lo; id < hi; ++id) {
+        const auto slot = static_cast<std::size_t>(id);
+        if (!live_[slot] && !rows_[slot].empty()) {
+          Row{}.swap(rows_[slot]);
+          ++reclaimed_;
+          ++stats.tombstones_reclaimed;
+        }
+      }
+      ++stats.segments_built;
+      stats.rows_sealed += seg.size();
+      store_.add(std::move(seg));
+    }
+  }
+  return stats;
 }
 
 }  // namespace stampede::db

@@ -10,6 +10,7 @@
 
 #include "db/expr.hpp"
 #include "db/schema.hpp"
+#include "db/segment.hpp"
 
 namespace stampede::db {
 
@@ -47,10 +48,12 @@ class Table {
   /// Fetch by primary-key value (indexed).
   [[nodiscard]] std::optional<RowId> find_pk(const Value& key) const;
 
-  /// RowIds whose indexed column equals `key`; empty when the column has
-  /// no index (callers should fall back to a scan).
-  [[nodiscard]] std::vector<RowId> index_lookup(const std::string& column,
-                                                const Value& key) const;
+  /// RowIds whose indexed column equals `key`. nullopt when the column
+  /// has no exact-match index (callers should fall back to a scan);
+  /// an engaged empty vector means "indexed, no matches" — the two
+  /// cases were conflated as one empty vector before.
+  [[nodiscard]] std::optional<std::vector<RowId>> index_lookup(
+      const std::string& column, const Value& key) const;
 
   /// True when `column` has an exact-match index available.
   [[nodiscard]] bool has_index(const std::string& column) const;
@@ -82,11 +85,37 @@ class Table {
 
   [[nodiscard]] std::size_t row_count() const noexcept { return live_count_; }
 
+  /// Total storage slots, live or tombstoned (== one past the highest
+  /// RowId ever assigned).
+  [[nodiscard]] std::size_t slot_count() const noexcept { return rows_.size(); }
+
+  /// Tombstoned slots still occupying storage.
+  [[nodiscard]] std::size_t dead_count() const noexcept {
+    return rows_.size() - live_count_;
+  }
+
+  /// Tombstoned slots whose payloads sealing has reclaimed so far.
+  [[nodiscard]] std::size_t reclaimed_count() const noexcept {
+    return reclaimed_;
+  }
+
   /// Monotonic modification counter: bumped by every mutation, including
   /// the raw_* rollback hooks (an undone change still invalidates any
   /// result computed from the intermediate state). Query caches key
   /// results on it (query::QueryExecutor).
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  // -- columnar segments (segment.hpp, DESIGN.md §15) -----------------------
+
+  [[nodiscard]] const ColumnStore& column_store() const noexcept {
+    return store_;
+  }
+
+  /// Rolls cold, uncovered slot ranges into columnar segments per
+  /// `opts`, reclaiming tombstoned payloads inside sealed ranges. Does
+  /// NOT bump version(): sealing changes the physical layout only, so
+  /// cached results stay valid. Caller holds the shard's exclusive lock.
+  SealStats seal(const SealOptions& opts);
 
  private:
   void index_insert(RowId id, const Row& row);
@@ -109,6 +138,9 @@ class Table {
   /// (first column of a composite index gets the exact-match map).
   std::unordered_map<std::size_t, std::multimap<Value, RowId>> secondary_;
   std::vector<std::size_t> unique_single_;  ///< Columns with UNIQUE index.
+
+  ColumnStore store_;          ///< Columnar acceleration segments.
+  std::size_t reclaimed_ = 0;  ///< Dead payloads freed by seal().
 };
 
 }  // namespace stampede::db

@@ -1,0 +1,514 @@
+// Columnar segments (DESIGN.md §15): row-path vs column-path
+// byte-identity — deterministic fixtures, a randomized property sweep
+// over filters / GROUP BY aggregates / ORDER BY+LIMIT with the nasty
+// group keys (NaN, ±0.0, int-vs-real), zone-map pruning and range-index
+// attribution, invalidation on mutation, tombstone reclamation, WAL
+// checkpointing, and a DART workload replayed into compacted 1- and
+// 4-shard archives racing a 1 ms Compactor.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dart/experiment.hpp"
+#include "db/compactor.hpp"
+#include "db/database.hpp"
+#include "db/sharded_database.hpp"
+#include "db/table.hpp"
+#include "loader/nl_load.hpp"
+#include "loader/sharded_loader.hpp"
+#include "orm/stampede_tables.hpp"
+#include "query/query_executor.hpp"
+#include "query/query_interface.hpp"
+#include "query/statistics.hpp"
+
+namespace db = stampede::db;
+namespace dart = stampede::dart;
+namespace loader = stampede::loader;
+namespace query = stampede::query;
+using db::Value;
+
+namespace {
+
+std::string cell(const Value& v) {
+  if (v.is_null()) return "N";
+  if (v.is_int()) return "I" + std::to_string(v.as_int());
+  if (v.is_real()) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "R%.17g", v.as_number());
+    return buf;
+  }
+  return "S" + std::string{v.as_text()};
+}
+
+/// Order-sensitive canonical form: the columnar path must reproduce the
+/// row path byte for byte, row order included.
+std::vector<std::string> exact(const db::ResultSet& rs) {
+  std::vector<std::string> rows;
+  rows.reserve(rs.size());
+  for (const auto& row : rs.rows) {
+    std::string s;
+    for (const auto& v : row) s += cell(v) + "|";
+    rows.push_back(std::move(s));
+  }
+  return rows;
+}
+
+db::TableDef runs_def() {
+  db::TableDef t;
+  t.name = "runs";
+  t.primary_key = "id";
+  t.columns = {
+      {"id", db::ColumnType::kInteger, false, std::nullopt},
+      {"ts", db::ColumnType::kReal, false, std::nullopt},
+      {"host", db::ColumnType::kText, false, std::nullopt},
+      {"state", db::ColumnType::kText, false, std::nullopt},
+      {"dur", db::ColumnType::kReal, false, std::nullopt},
+      {"code", db::ColumnType::kInteger, false, std::nullopt},
+      {"extra", db::ColumnType::kText, false, std::nullopt},
+  };
+  t.indexes = {{"ix_runs_state", {"state"}, false}};
+  return t;
+}
+
+/// Aggressive seal tuning so small test tables produce several
+/// segments with no hot tail left behind.
+db::SealOptions tight_seal() {
+  db::SealOptions opts;
+  opts.min_seal_rows = 1;
+  opts.hot_tail_rows = 0;
+  opts.target_segment_rows = 64;
+  return opts;
+}
+
+/// Twin archives with identical logical content; `cold` gets compacted
+/// by the individual tests, `plain` never does. The data deliberately
+/// hits every encoding (low-cardinality text → dict/RLE, ints, reals)
+/// and every comparison hazard (NULL, NaN, ±0.0, ints in a REAL
+/// column, text in an INTEGER column → kMixed).
+struct ColumnarFixture : ::testing::Test {
+  static constexpr int kRows = 500;
+
+  ColumnarFixture() {
+    plain.create_table(runs_def());
+    cold.create_table(runs_def());
+    std::mt19937 rng{20260809};
+    const char* hosts[] = {"node-a", "node-b", "node-c"};
+    const char* states[] = {"SUBMIT", "EXECUTE", "TERMINATE", "FAIL"};
+    for (int i = 0; i < kRows; ++i) {
+      db::NamedValues row;
+      row.emplace_back("ts", Value{1000.0 + i});
+      row.emplace_back("host", Value{hosts[(i / 50) % 3]});
+      row.emplace_back("state", Value{states[rng() % 4]});
+      switch (rng() % 8) {
+        case 0: row.emplace_back("dur", Value{});  break;  // NULL
+        case 1: row.emplace_back("dur", Value{std::nan("")}); break;
+        case 2: row.emplace_back("dur", Value{0.0}); break;
+        case 3: row.emplace_back("dur", Value{-0.0}); break;
+        case 4: row.emplace_back("dur", Value{std::int64_t{2}}); break;
+        default:
+          row.emplace_back("dur", Value{0.25 * static_cast<int>(rng() % 40)});
+      }
+      row.emplace_back("code", Value{static_cast<std::int64_t>(rng() % 5)});
+      // kMixed bait: text column receiving ints and reals too.
+      switch (rng() % 4) {
+        case 0: row.emplace_back("extra", Value{std::int64_t{7}}); break;
+        case 1: row.emplace_back("extra", Value{1.5}); break;
+        case 2: row.emplace_back("extra", Value{"tag"}); break;
+        default: break;  // NULL
+      }
+      plain.insert("runs", row);
+      cold.insert("runs", row);
+    }
+  }
+
+  void expect_identical(const db::Select& select) {
+    const auto want = exact(plain.execute(select));
+    const auto got = exact(cold.execute(select));
+    EXPECT_EQ(want, got);
+  }
+
+  db::Database plain;
+  db::Database cold;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// index_lookup disambiguation (the old API returned one empty vector
+// for both "no index" and "indexed, no matches")
+
+TEST(IndexLookup, DistinguishesMissingIndexFromNoMatches) {
+  db::Table table{runs_def()};
+  table.insert({Value{std::int64_t{1}}, Value{1.0}, Value{"node-a"},
+                Value{"SUBMIT"}, Value{0.5}, Value{std::int64_t{0}}, Value{}});
+
+  EXPECT_FALSE(table.index_lookup("no_such_column", Value{std::int64_t{1}}));
+  EXPECT_FALSE(table.index_lookup("dur", Value{0.5}));  // Not indexed.
+
+  const auto pk_hit = table.index_lookup("id", Value{std::int64_t{1}});
+  ASSERT_TRUE(pk_hit.has_value());
+  EXPECT_EQ(pk_hit->size(), 1u);
+
+  const auto pk_miss = table.index_lookup("id", Value{std::int64_t{99}});
+  ASSERT_TRUE(pk_miss.has_value());  // Indexed: an authoritative miss.
+  EXPECT_TRUE(pk_miss->empty());
+
+  const auto ix_miss = table.index_lookup("state", Value{"NOPE"});
+  ASSERT_TRUE(ix_miss.has_value());
+  EXPECT_TRUE(ix_miss->empty());
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity: deterministic shapes
+
+TEST_F(ColumnarFixture, FilterShapesMatchRowPath) {
+  const auto stats = cold.compact(tight_seal());
+  ASSERT_GT(stats.segments_built, 0u);
+  ASSERT_GT(stats.rows_sealed, 0u);
+
+  expect_identical(db::Select{"runs"});  // Full scan.
+  expect_identical(db::Select{"runs"}.where(db::eq("host", Value{"node-b"})));
+  expect_identical(db::Select{"runs"}.where(db::ge("ts", Value{1200.0})));
+  expect_identical(db::Select{"runs"}.where(
+      db::and_(db::gt("ts", Value{1100.0}), db::lt("ts", Value{1300.0}))));
+  expect_identical(db::Select{"runs"}.where(db::ne("dur", Value{0.0})));
+  expect_identical(db::Select{"runs"}.where(db::is_null("dur")));
+  expect_identical(db::Select{"runs"}.where(db::is_not_null("extra")));
+  expect_identical(db::Select{"runs"}.where(db::like("host", "node-%")));
+  expect_identical(db::Select{"runs"}.where(db::like("extra", "t%")));
+  expect_identical(db::Select{"runs"}.where(
+      db::in_list("state", {Value{"SUBMIT"}, Value{"FAIL"}})));
+  expect_identical(db::Select{"runs"}.where(
+      db::not_(db::eq("state", Value{"EXECUTE"}))));
+  // NaN literal: unordered vs numbers, but ordered before text.
+  expect_identical(db::Select{"runs"}.where(db::ne("dur", Value{std::nan("")})));
+  expect_identical(db::Select{"runs"}.where(db::lt("dur", Value{std::nan("")})));
+  // Cross-type literals: text literal against numeric columns and back.
+  expect_identical(db::Select{"runs"}.where(db::lt("dur", Value{"zzz"})));
+  expect_identical(db::Select{"runs"}.where(db::gt("extra", Value{1.0})));
+  expect_identical(db::Select{"runs"}.where(db::eq("code", Value{2.0})));
+}
+
+TEST_F(ColumnarFixture, AggregateShapesMatchRowPath) {
+  cold.compact(tight_seal());
+
+  expect_identical(db::Select{"runs"}.count_all("n"));
+  expect_identical(db::Select{"runs"}
+                       .agg(db::AggFn::kSum, "dur", "s")
+                       .agg(db::AggFn::kAvg, "dur", "a")
+                       .agg(db::AggFn::kMin, "ts", "lo")
+                       .agg(db::AggFn::kMax, "ts", "hi"));
+  expect_identical(db::Select{"runs"}
+                       .group_by({"host"})
+                       .count_all("n")
+                       .agg(db::AggFn::kSum, "dur", "s"));
+  expect_identical(db::Select{"runs"}
+                       .group_by({"state", "code"})
+                       .agg(db::AggFn::kAvg, "dur", "a")
+                       .order_by("state")
+                       .order_by("code", true));
+  // Group keys with NaN / ±0.0 / int-vs-real collisions route through
+  // group_rows_hash on both paths.
+  expect_identical(db::Select{"runs"}.group_by({"dur"}).count_all("n"));
+  expect_identical(db::Select{"runs"}.group_by({"extra"}).count_all("n"));
+  // Zero-input aggregate: the ghost row.
+  expect_identical(db::Select{"runs"}
+                       .where(db::eq("host", Value{"absent"}))
+                       .agg(db::AggFn::kSum, "dur", "s")
+                       .count_all("n"));
+}
+
+TEST_F(ColumnarFixture, OrderLimitDistinctMatchRowPath) {
+  cold.compact(tight_seal());
+
+  expect_identical(
+      db::Select{"runs"}.columns({"host", "state"}).distinct());
+  expect_identical(db::Select{"runs"}.order_by("ts", true).limit(17));
+  expect_identical(db::Select{"runs"}
+                       .columns({"state", "dur"})
+                       .where(db::ge("ts", Value{1111.0}))
+                       .order_by("dur")
+                       .limit(23));
+  expect_identical(db::Select{"runs"}.columns({"dur"}).distinct().order_by(
+      "dur", true));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized property sweep
+
+TEST_F(ColumnarFixture, RandomizedQueriesMatchRowPath) {
+  cold.compact(tight_seal());
+
+  std::mt19937 rng{424242};
+  const std::vector<std::string> cols = {"id",  "ts",   "host", "state",
+                                         "dur", "code", "extra"};
+  const auto random_literal = [&]() -> Value {
+    switch (rng() % 8) {
+      case 0: return Value{1000.0 + static_cast<int>(rng() % 600)};
+      case 1: return Value{static_cast<std::int64_t>(rng() % 6)};
+      case 2: return Value{"node-b"};
+      case 3: return Value{"EXECUTE"};
+      case 4: return Value{std::nan("")};
+      case 5: return Value{-0.0};
+      case 6: return Value{0.25 * static_cast<int>(rng() % 40)};
+      default: return Value{};
+    }
+  };
+  const auto random_leaf = [&]() -> db::ExprPtr {
+    const auto& col = cols[rng() % cols.size()];
+    switch (rng() % 8) {
+      case 0: return db::eq(col, random_literal());
+      case 1: return db::ne(col, random_literal());
+      case 2: return db::lt(col, random_literal());
+      case 3: return db::le(col, random_literal());
+      case 4: return db::gt(col, random_literal());
+      case 5: return db::ge(col, random_literal());
+      case 6: return db::is_null(col);
+      default:
+        return db::in_list(col, {random_literal(), random_literal()});
+    }
+  };
+  const auto random_predicate = [&]() -> db::ExprPtr {
+    switch (rng() % 4) {
+      case 0: return random_leaf();
+      case 1: return db::and_(random_leaf(), random_leaf());
+      case 2: return db::or_(random_leaf(), random_leaf());
+      default: return db::not_(random_leaf());
+    }
+  };
+
+  for (int round = 0; round < 120; ++round) {
+    db::Select select{"runs"};
+    if (rng() % 2) select.where(random_predicate());
+    switch (rng() % 4) {
+      case 0:  // Projection.
+        select.columns({cols[rng() % cols.size()], cols[rng() % cols.size()]});
+        break;
+      case 1:  // Grouped aggregates.
+        select.group_by({cols[rng() % cols.size()]});
+        select.count_all("n");
+        select.agg(db::AggFn::kSum, "dur", "s");
+        break;
+      case 2:  // Global aggregates.
+        select.agg(db::AggFn::kMin, cols[rng() % cols.size()], "lo");
+        select.agg(db::AggFn::kMax, cols[rng() % cols.size()], "hi");
+        select.count_all("n");
+        break;
+      default:  // DISTINCT projection.
+        select.columns({cols[rng() % cols.size()]});
+        select.distinct();
+        break;
+    }
+    if (rng() % 3 == 0) {
+      select.order_by(cols[rng() % cols.size()], rng() % 2 == 0);
+      select.limit(1 + rng() % 40);
+    }
+    // Errors must surface identically too (e.g. ORDER BY on a column
+    // the projection dropped): compare outcome, not just rows.
+    const auto outcome = [&](const db::Database& archive) {
+      try {
+        return exact(archive.execute(select));
+      } catch (const std::exception& e) {
+        return std::vector<std::string>{std::string{"ERROR: "} + e.what()};
+      }
+    };
+    ASSERT_EQ(outcome(plain), outcome(cold)) << "round " << round;
+  }
+  // The sweep must actually have exercised the columnar operator.
+  (void)cold.execute(db::Select{"runs"}.count_all("n"));
+  EXPECT_TRUE(db::last_plan_info().columnar);
+}
+
+// ---------------------------------------------------------------------------
+// Plan attribution: zone maps and the range index
+
+TEST_F(ColumnarFixture, ZoneMapsPruneDisjointSegments) {
+  cold.compact(tight_seal());
+  // ts ascends with RowId, so a tight ts range rules most segments out
+  // by min/max alone.
+  const auto select = db::Select{"runs"}
+                          .where(db::and_(db::ge("ts", Value{1490.0}),
+                                          db::lt("ts", Value{1495.0})))
+                          .count_all("n");
+  expect_identical(select);
+  const auto& plan = db::last_plan_info();
+  EXPECT_TRUE(plan.columnar);
+  EXPECT_GT(plan.segments_pruned, 0u);
+  EXPECT_GT(plan.range_index_probes, 0u);  // ts is a REAL column.
+}
+
+TEST_F(ColumnarFixture, AllSegmentsPrunedStillAnswers) {
+  cold.compact(tight_seal());
+  const auto select =
+      db::Select{"runs"}.where(db::gt("ts", Value{99999.0})).count_all("n");
+  expect_identical(select);
+  const auto& plan = db::last_plan_info();
+  EXPECT_TRUE(plan.columnar);
+  EXPECT_EQ(plan.segments_scanned, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Mutation: invalidation, re-sealing, tombstone reclamation
+
+TEST_F(ColumnarFixture, MutationInvalidatesAndResealRecovers) {
+  cold.compact(tight_seal());
+  const auto sealed_before = cold.table_counts().front().sealed;
+  ASSERT_GT(sealed_before, 0u);
+
+  // Mutate sealed rows on both twins: covering segments must drop.
+  const auto hit = db::eq("code", Value{std::int64_t{3}});
+  const auto updated = cold.update("runs", hit, {{"state", Value{"RETRY"}}});
+  EXPECT_EQ(plain.update("runs", hit, {{"state", Value{"RETRY"}}}), updated);
+  ASSERT_GT(updated, 0u);
+  EXPECT_LT(cold.table_counts().front().sealed, sealed_before);
+  expect_identical(db::Select{"runs"}.group_by({"state"}).count_all("n"));
+
+  // Deletions tombstone; re-sealing reclaims the dead payloads.
+  const auto dead = db::eq("code", Value{std::int64_t{1}});
+  const auto erased = cold.delete_rows("runs", dead);
+  EXPECT_EQ(plain.delete_rows("runs", dead), erased);
+  ASSERT_GT(erased, 0u);
+  const auto reseal = cold.compact(tight_seal());
+  EXPECT_GT(reseal.tombstones_reclaimed, 0u);
+
+  const auto counts = cold.table_counts().front();
+  EXPECT_EQ(counts.table, "runs");
+  EXPECT_EQ(counts.live, cold.row_count("runs"));
+  EXPECT_EQ(counts.dead, erased);
+
+  expect_identical(db::Select{"runs"});
+  expect_identical(db::Select{"runs"}.group_by({"host"}).count_all("n"));
+}
+
+// ---------------------------------------------------------------------------
+// Interactions: query cache, change capture, WAL checkpoint
+
+TEST_F(ColumnarFixture, SealingKeepsCachedResultsValid) {
+  const query::QueryExecutor exec{cold};
+  const auto select = db::Select{"runs"}.group_by({"state"}).count_all("n");
+  const auto before = exec.execute(select);
+  cold.compact(tight_seal());
+  // No version bump: the cache must hand back the very same snapshot.
+  EXPECT_EQ(before.get(), exec.execute(select).get());
+}
+
+TEST_F(ColumnarFixture, SealingEmitsNoChangeDeltas) {
+  std::size_t deltas = 0;
+  cold.set_change_sink(
+      [&](const db::CommittedBatch& batch) { deltas += batch.changes.size(); },
+      {"runs"});
+  cold.compact(tight_seal());
+  EXPECT_EQ(deltas, 0u);  // Physical reorganization is not a change.
+  cold.insert("runs", {{"ts", Value{9999.0}},
+                       {"host", Value{"node-z"}},
+                       {"state", Value{"SUBMIT"}}});
+  EXPECT_EQ(deltas, 1u);  // Real writes still flow.
+  cold.set_change_sink({});
+}
+
+TEST(ColumnarWal, CheckpointBoundsReplayAndPreservesContent) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "stampede_test_columnar_ckpt.wal";
+  std::filesystem::remove(path);
+
+  std::vector<std::string> want;
+  {
+    db::Database archive{path.string()};
+    archive.create_table(runs_def());
+    for (int i = 0; i < 300; ++i) {
+      archive.insert("runs", {{"ts", Value{1000.0 + i}},
+                              {"host", Value{i % 2 ? "a" : "b"}},
+                              {"state", Value{"EXECUTE"}}});
+    }
+    // Churn that bloats the WAL beyond the live row count.
+    archive.update("runs", db::lt("ts", Value{1100.0}),
+                   {{"state", Value{"TERMINATE"}}});
+    archive.delete_rows("runs", db::ge("ts", Value{1250.0}));
+    const auto stats = archive.compact(tight_seal());
+    EXPECT_GT(stats.tombstones_reclaimed, 0u);
+    EXPECT_TRUE(archive.checkpoint_wal());
+    want = exact(archive.execute(db::Select{"runs"}.order_by("id")));
+  }
+
+  db::Database reopened{path.string()};
+  reopened.create_table(runs_def());
+  const auto replayed = reopened.recover();
+  EXPECT_EQ(replayed, reopened.row_count("runs"));  // Snapshot, not history.
+  EXPECT_EQ(want, exact(reopened.execute(db::Select{"runs"}.order_by("id"))));
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// DART workload: compaction racing ingest, 1-shard vs 4-shard
+
+TEST(ColumnarDart, StatisticsIdenticalWithCompactionRacingIngest) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "stampede_test_columnar_dart.bp";
+  std::filesystem::remove(path);
+  dart::DartConfig config;
+  config.total_executions = 24;
+  config.tasks_per_bundle = 8;
+  config.tones_per_task = 2;
+  db::Database live;
+  dart::DartExperimentOptions options;
+  options.cloud.nodes = 3;
+  options.retain_log_path = path.string();
+  const auto result = dart::run_dart_experiment(config, live, options);
+  ASSERT_EQ(result.status, 0);
+
+  // renders[0]: uncompacted baseline; renders[1]/[2]: 1- and 4-shard
+  // archives with a 1 ms compactor racing the loader lanes.
+  std::string renders[3];
+  std::size_t rows[3];
+  const std::size_t shard_counts[3] = {1, 1, 4};
+  for (int i = 0; i < 3; ++i) {
+    db::ShardedDatabase archive{shard_counts[i]};
+    stampede::orm::create_stampede_schema(archive);
+    std::unique_ptr<db::Compactor> compactor;
+    if (i > 0) {
+      db::CompactorOptions copts;
+      copts.seal.min_seal_rows = 32;
+      copts.seal.hot_tail_rows = 16;
+      copts.seal.target_segment_rows = 128;
+      copts.interval_ms = 1;
+      compactor = std::make_unique<db::Compactor>(archive, copts);
+    }
+    loader::ShardedLoader l{archive};
+    const auto pump = loader::load_file(path.string(), l);
+    EXPECT_EQ(pump.parse_errors, 0u);
+    if (compactor) {
+      compactor->run_once();  // Final sweep after the load settles.
+      EXPECT_GT(compactor->passes(), 0u);
+    }
+    const auto root = l.wf_id(result.root_uuid);
+    ASSERT_TRUE(root.has_value());
+
+    const query::QueryInterface q{archive};
+    const query::StampedeStatistics stats{q};
+    std::string text =
+        query::StampedeStatistics::render_summary(stats.summary(*root));
+    for (const auto& child : q.children_of(*root)) {
+      text += query::StampedeStatistics::render_breakdown(
+          stats.breakdown(child.wf_id));
+      text += query::StampedeStatistics::render_jobs_invocations(
+          stats.jobs(child.wf_id));
+    }
+    text +=
+        query::StampedeStatistics::render_host_usage(stats.host_usage(*root));
+    renders[i] = std::move(text);
+    rows[i] = archive.row_count("jobstate");
+  }
+  EXPECT_EQ(rows[0], rows[1]);
+  EXPECT_EQ(rows[0], rows[2]);
+  EXPECT_FALSE(renders[0].empty());
+  EXPECT_EQ(renders[0], renders[1]);  // Compaction changed nothing.
+  EXPECT_EQ(renders[0], renders[2]);  // Across shard counts too.
+  std::filesystem::remove(path);
+}

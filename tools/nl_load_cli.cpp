@@ -24,6 +24,11 @@
 //                        parallel lanes (WAL files <archive>.0..N-1);
 //                        N=1 (default) keeps the classic single-file
 //                        archive bit-compatible with earlier releases
+//   --compact-interval=MS  sweep cold rows into columnar segments every
+//                        MS milliseconds while loading (db::Compactor,
+//                        DESIGN.md §15); 0 (default) disables
+//                        compaction. Results are byte-identical either
+//                        way — segments only accelerate scans
 //
 // Networked modes (one positional: the archive; the BP stream arrives
 // over TCP instead of from a file — the paper's real-time deployment
@@ -73,6 +78,7 @@
 #include "cluster/router.hpp"
 #include "cluster/shard_map.hpp"
 #include "dashboard/http_server.hpp"
+#include "db/compactor.hpp"
 #include "db/query.hpp"
 #include "dashboard/telemetry_routes.hpp"
 #include "dashboard/trace_routes.hpp"
@@ -91,7 +97,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--metrics-port=N] [--stats-interval=SECONDS] "
-               "[--shards=N] [--trace-sample=R] <bp-log-file> <archive-path>\n"
+               "[--shards=N] [--compact-interval=MS] [--trace-sample=R] "
+               "<bp-log-file> <archive-path>\n"
                "       %s [--shards=N] [--idle-exit=SECONDS] "
                "[--trace-sample=R] [--net-workers=N] "
                "(--listen=PORT | --connect=HOST:PORT) <archive-path>\n"
@@ -172,6 +179,7 @@ int main(int argc, char** argv) {
   double idle_exit_s = 10.0;
   std::size_t shards = 1;
   std::size_t net_workers = 1;
+  std::uint64_t compact_interval_ms = 0;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     if (const auto v = parse_flag_value(argv[i], "--metrics-port")) {
@@ -204,6 +212,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --shards must be >= 1\n");
         return 2;
       }
+    } else if (const auto v = parse_flag_value(argv[i], "--compact-interval")) {
+      compact_interval_ms = static_cast<std::uint64_t>(*v);
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return usage(argv[0]);
@@ -306,6 +316,21 @@ int main(int argc, char** argv) {
           std::make_unique<loader::ShardedLoader>(*sharded_archive);
     }
     ready.archive_open.store(true, std::memory_order_release);
+
+    // Background columnar compaction racing the load (local modes only;
+    // a routed fleet compacts on the shard hosts via their own flag).
+    std::unique_ptr<db::Compactor> compactor;
+    if (compact_interval_ms > 0 && !routed) {
+      db::CompactorOptions copts;
+      copts.interval_ms = compact_interval_ms;
+      if (single_archive) {
+        compactor = std::make_unique<db::Compactor>(*single_archive, copts);
+      } else {
+        compactor = std::make_unique<db::Compactor>(*sharded_archive, copts);
+      }
+      std::fprintf(stderr, "compact : every %llu ms\n",
+                   static_cast<unsigned long long>(compact_interval_ms));
+    }
 
     if (networked) {
       // The bus endpoint: either host the broker here (--listen) or

@@ -27,6 +27,9 @@
 //                          before releasing the apply ack anyway
 //                          (default 5000; counted as a stall)
 //   --query-threads=N      query pool size (default 2)
+//   --compact-interval=MS  sweep hosted shards into columnar segments
+//                          every MS milliseconds (db::Compactor,
+//                          DESIGN.md §15); 0 (default) disables
 //
 // The process prints "port    : N" once it accepts connections and
 // runs until stdin reaches EOF (or the process is killed — which is
@@ -51,7 +54,7 @@ int usage(const char* argv0) {
                "usage: %s --wal=PATH [--total=N] [--shards=I,J,...]\n"
                "          [--host=ADDR] [--port=N] [--follower]\n"
                "          [--follower-addr=HOST:PORT] [--repl-timeout-ms=N]\n"
-               "          [--query-threads=N]\n",
+               "          [--query-threads=N] [--compact-interval=MS]\n",
                argv0);
   return 2;
 }
@@ -79,6 +82,9 @@ int main(int argc, char** argv) {
       options.replication_ack_timeout_ms = std::atoi(v);
     } else if (const char* v = flag_value(argv[i], "--query-threads")) {
       options.query_threads = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = flag_value(argv[i], "--compact-interval")) {
+      options.compact_interval_ms =
+          static_cast<std::uint64_t>(std::atoll(v));
     } else if (std::strcmp(argv[i], "--follower") == 0) {
       options.follower = true;
     } else if (const char* v = flag_value(argv[i], "--follower-addr")) {
